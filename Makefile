@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt tables cover
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+tables:
+	$(GO) run ./cmd/bftables
+
+cover:
+	$(GO) test -cover ./...

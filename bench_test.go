@@ -1,0 +1,240 @@
+package bfvlsi
+
+// One benchmark per experiment of the reproduction index (DESIGN.md,
+// E1-E12). Each benchmark regenerates the core computation behind its
+// table/figure; `go test -bench . -benchmem` therefore re-measures the
+// entire evaluation. Custom metrics report the headline quantity of each
+// experiment alongside time and allocations.
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfvlsi/internal/analysis"
+	"bfvlsi/internal/benes"
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/collinear"
+	"bfvlsi/internal/cubelayout"
+	"bfvlsi/internal/fftsim"
+	"bfvlsi/internal/hierarchy"
+	"bfvlsi/internal/isn"
+	"bfvlsi/internal/packaging"
+	"bfvlsi/internal/routing"
+	"bfvlsi/internal/thompson"
+)
+
+// E1: Fig. 1 - transform the 4x4 ISN and verify the automorphism.
+func BenchmarkE1TransformSmall(b *testing.B) {
+	spec := bitutil.MustGroupSpec(1, 1)
+	for i := 0; i < b.N; i++ {
+		sb := isn.Transform(spec)
+		if err := sb.VerifyAutomorphism(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2: Fig. 2 - 8x8 and 16x16 swap-butterflies.
+func BenchmarkE2TransformMedium(b *testing.B) {
+	specs := []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(2, 1),
+		bitutil.MustGroupSpec(1, 1, 1),
+		bitutil.MustGroupSpec(2, 2),
+	}
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			sb := isn.Transform(spec)
+			if err := sb.VerifyAutomorphism(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E3: Fig. 3 - the recursive grid layout, built end to end.
+func BenchmarkE3ThompsonLayout(b *testing.B) {
+	spec := thompson.SpecForDim(6)
+	b.ReportAllocs()
+	var area int64
+	for i := 0; i < b.N; i++ {
+		res, err := thompson.Build(thompson.Params{Spec: spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		area = res.L.Stats().Area
+	}
+	b.ReportMetric(float64(area), "area")
+}
+
+// E4: Fig. 4 - optimal collinear layout of K_N plus geometry validation.
+func BenchmarkE4Collinear(b *testing.B) {
+	var tracks int
+	for i := 0; i < b.N; i++ {
+		ta := collinear.Optimal(64)
+		if err := ta.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		tracks = ta.NumTracks
+	}
+	b.ReportMetric(float64(tracks), "tracks")
+}
+
+// E5: Sec. 2.3 - off-module links of the swap-link partition.
+func BenchmarkE5Packaging(b *testing.B) {
+	sb := isn.Transform(bitutil.MustGroupSpec(3, 3, 3))
+	var avg float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		avg = packaging.RowPartition(sb).Stats().AvgOffLinksPerNode
+	}
+	b.ReportMetric(avg, "off-links/node")
+}
+
+// E6: Theorem 2.1 - nucleus partition bound checking.
+func BenchmarkE6Theorem21(b *testing.B) {
+	sb := isn.Transform(bitutil.MustGroupSpec(3, 3, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := packaging.Theorem21(sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7: Sec. 3 - Thompson area and wire-length bound regeneration at n=9.
+func BenchmarkE7ThompsonBounds(b *testing.B) {
+	spec := thompson.SpecForDim(9)
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := thompson.Build(thompson.Params{Spec: spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(res.L.Stats().Area) / analysis.LeadingAreaExact(9)
+	}
+	b.ReportMetric(ratio, "area/2^2n")
+}
+
+// E8: Theorem 4.1 - the multilayer sweep (L = 2, 4, 8).
+func BenchmarkE8Multilayer(b *testing.B) {
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	for i := 0; i < b.N; i++ {
+		for _, L := range []int{2, 4, 8} {
+			if _, err := thompson.Build(thompson.Params{Spec: spec, Layers: L, Multilayer: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E9: Sec. 5.2 - the full chip/board design search.
+func BenchmarkE9Hierarchical(b *testing.B) {
+	var area int64
+	for i := 0; i < b.N; i++ {
+		d, err := hierarchy.Design(9, 64, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		area = d.BoardArea(2)
+	}
+	b.ReportMetric(float64(area), "board-area-L2")
+}
+
+// E10: Sec. 2.3 - routing simulation near saturation.
+func BenchmarkE10Routing(b *testing.B) {
+	var thr float64
+	for i := 0; i < b.N; i++ {
+		r, err := routing.Simulate(routing.Params{
+			N: 6, Lambda: routing.TheoreticalSaturation(6) * 0.8,
+			Warmup: 100, Cycles: 300, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		thr = r.Throughput
+	}
+	b.ReportMetric(thr, "throughput")
+}
+
+// E11: Sec. 3.3 - node-size scalability build (side 8).
+func BenchmarkE11Scalability(b *testing.B) {
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	for i := 0; i < b.N; i++ {
+		if _, err := thompson.Build(thompson.Params{Spec: spec, NodeSide: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E12: Sec. 2.2 - FFT along the ISN, 512 points.
+func BenchmarkE12FFT(b *testing.B) {
+	in := isn.New(bitutil.MustGroupSpec(3, 3, 3))
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, in.Rows)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fftsim.OnISN(in, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Baseline micro-benchmark: plain butterfly construction for scale
+// context next to E1-E3.
+func BenchmarkButterflyB12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		butterfly.New(12)
+	}
+}
+
+// E13: extension - hypercube and torus layouts via the same scheme.
+func BenchmarkE13CubeLayouts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := cubelayout.Hypercube(8); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cubelayout.Torus(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E14: extension - Benes looping algorithm.
+func BenchmarkE14BenesRoute(b *testing.B) {
+	net := benes.New(8)
+	rng := rand.New(rand.NewSource(2))
+	perm := rng.Perm(net.T)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Reset()
+		if err := net.Route(perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E15: extension - adversarial traffic simulation.
+func BenchmarkE15BitReverseTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.SimulatePattern(routing.Params{
+			N: 5, Lambda: 0.2, Warmup: 50, Cycles: 200, Seed: int64(i),
+		}, routing.BitReverse); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E16: extension - three-level packaging design.
+func BenchmarkE16MultiLevel(b *testing.B) {
+	spec := bitutil.MustGroupSpec(3, 3, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := hierarchy.DesignMultiLevel(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command bflayout builds a butterfly layout and prints its measured
+// metrics next to the paper's bounds.
+//
+// Usage:
+//
+//	bflayout -n 9                       # Thompson layout of B_9
+//	bflayout -spec 3,3,3 -L 8 -ml       # 8-layer multilayer layout
+//	bflayout -n 6 -nodeside 8 -validate # big nodes, full rule check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"bfvlsi/internal/analysis"
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/render"
+	"bfvlsi/internal/thompson"
+)
+
+var (
+	dim      = flag.Int("n", 0, "butterfly dimension (uses the paper's spec choice)")
+	specFlag = flag.String("spec", "", "explicit group spec, e.g. 3,3,3 (overrides -n)")
+	layers   = flag.Int("L", 2, "number of wiring layers")
+	ml       = flag.Bool("ml", false, "use the multilayer 2-D grid model")
+	nodeSide = flag.Int("nodeside", 0, "node box side (0 = minimum, 4)")
+	validate = flag.Bool("validate", false, "run the full geometric rule check")
+	svgPath  = flag.String("svg", "", "write the layout as SVG to this file")
+	jsonPath = flag.String("json", "", "write the layout as JSON to this file")
+)
+
+func main() {
+	flag.Parse()
+	spec, err := resolveSpec()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := thompson.Build(thompson.Params{
+		Spec:       spec,
+		Layers:     *layers,
+		Multilayer: *ml,
+		NodeSide:   *nodeSide,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	n := spec.TotalBits()
+	st := res.L.Stats()
+	model := "Thompson"
+	if *ml {
+		model = fmt.Sprintf("multilayer (L=%d)", res.Layers)
+	}
+	fmt.Printf("B_%d via ISN%v under the %s model\n", n, spec, model)
+	fmt.Printf("  block grid %dx%d, %d rows/block, block %dx%d\n",
+		res.GridRows, res.GridCols, res.RowsPerBlock, res.BlockW, res.BlockH)
+	fmt.Printf("  band height %d (of %d raw tracks), column width %d (of %d)\n",
+		res.BandH, res.FullBandTracks, res.ColW, res.FullColTracks)
+	fmt.Printf("  measured: %s\n", st)
+	if *ml {
+		fmt.Printf("  paper: area %.0f, max wire %.0f, volume %.0f\n",
+			analysis.MultilayerArea(n, res.Layers),
+			analysis.MultilayerMaxWire(n, res.Layers),
+			analysis.MultilayerVolume(n, res.Layers))
+	} else {
+		fmt.Printf("  paper: area %.0f (leading 2^2n = %.0f), max wire %.0f\n",
+			analysis.ThompsonArea(n), analysis.LeadingAreaExact(n), analysis.ThompsonMaxWire(n))
+	}
+	if *validate {
+		if err := res.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "VALIDATION FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("  validation: OK (all model rules hold)")
+	}
+	if *svgPath != "" {
+		if err := writeFile(*svgPath, func(w io.Writer) error {
+			return render.SVG(w, res.L, render.Options{})
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", *svgPath)
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, res.L.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", *jsonPath)
+	}
+}
+
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func resolveSpec() (bitutil.GroupSpec, error) {
+	if *specFlag != "" {
+		parts := strings.Split(*specFlag, ",")
+		widths := make([]int, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return bitutil.GroupSpec{}, fmt.Errorf("bad spec %q: %v", *specFlag, err)
+			}
+			widths = append(widths, v)
+		}
+		return bitutil.NewGroupSpec(widths...)
+	}
+	if *dim > 0 {
+		return thompson.SpecForDim(*dim), nil
+	}
+	return bitutil.GroupSpec{}, fmt.Errorf("need -n or -spec")
+}

@@ -1,0 +1,121 @@
+// Command bfpack explores butterfly partitioning and packaging: the
+// paper's swap-link scheme (Section 2.3), the naive baseline, and the
+// two-level chip/board designer (Section 5.2).
+//
+// Usage:
+//
+//	bfpack -spec 3,3,3                 # row partition stats
+//	bfpack -spec 3,3,3 -mode nucleus   # nucleus partition (Theorem 2.1)
+//	bfpack -naive 9 -rows 8            # baseline on B_9
+//	bfpack -design 9 -pins 64 -side 20 # Section 5.2 board design
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/hierarchy"
+	"bfvlsi/internal/isn"
+	"bfvlsi/internal/packaging"
+)
+
+var (
+	specFlag = flag.String("spec", "", "group spec for the swap-link scheme, e.g. 3,3,3")
+	mode     = flag.String("mode", "row", "partition mode: row | nucleus")
+	naive    = flag.Int("naive", 0, "run the naive baseline on B_n with this dimension")
+	rows     = flag.Int("rows", 4, "rows per module for the naive baseline")
+	design   = flag.Int("design", 0, "design a chip/board packaging for B_n with this dimension")
+	pins     = flag.Int("pins", 64, "per-chip pin budget for -design")
+	side     = flag.Int("side", 20, "chip side for -design")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *design > 0:
+		runDesign()
+	case *naive > 0:
+		runNaive()
+	case *specFlag != "":
+		runScheme()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runScheme() {
+	parts := strings.Split(*specFlag, ",")
+	widths := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad spec %q: %v\n", *specFlag, err)
+			os.Exit(2)
+		}
+		widths = append(widths, v)
+	}
+	spec, err := bitutil.NewGroupSpec(widths...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sb := isn.Transform(spec)
+	if err := sb.VerifyAutomorphism(); err != nil {
+		fmt.Fprintf(os.Stderr, "transformation broken: %v\n", err)
+		os.Exit(1)
+	}
+	var p *packaging.Partition
+	switch *mode {
+	case "row":
+		p = packaging.RowPartition(sb)
+	case "nucleus":
+		p = packaging.NucleusPartition(sb)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	printStats(p)
+	fmt.Printf("paper formula (row variant): %.4f off-links/node\n",
+		packaging.GeneralAvgOffLinks(widths))
+}
+
+func runNaive() {
+	bf := butterfly.New(*naive)
+	p := packaging.NaiveRowPartition(bf, *rows)
+	printStats(p)
+}
+
+func printStats(p *packaging.Partition) {
+	st := p.Stats()
+	fmt.Println(p.Desc)
+	fmt.Printf("  modules:            %d\n", st.NumModules)
+	fmt.Printf("  nodes/module:       %d..%d\n", st.MinNodesPerModule, st.MaxNodesPerModule)
+	fmt.Printf("  cut links:          %d\n", st.TotalCutLinks)
+	fmt.Printf("  max off-links:      %d per module\n", st.MaxOffLinksPerModu)
+	fmt.Printf("  avg off-links/node: %.4f\n", st.AvgOffLinksPerNode)
+}
+
+func runDesign() {
+	d, err := hierarchy.Design(*design, *pins, *side)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("B_%d on %d-pin chips of side %d: spec %v\n", d.N, d.MaxPins, d.ChipSide, d.Spec)
+	fmt.Printf("  %d chips x %d nodes, %d off-chip links each\n",
+		d.NumChips, d.NodesPerChip, d.OffChipLinks)
+	fmt.Printf("  chip grid %dx%d, %d tracks/gap (optimized)\n",
+		d.GridRows, d.GridCols, d.OptimizedHTracks)
+	for _, L := range []int{2, 4, 8} {
+		w, h := d.BoardDims(L)
+		fmt.Printf("  L=%d: board %dx%d, area %d\n", L, w, h, d.BoardArea(L))
+	}
+	er, ec := hierarchy.NaiveChipsPaperEstimate(d.N, d.MaxPins)
+	fmt.Printf("  naive baseline (paper accounting): %d rows/chip, %d chips\n", er, ec)
+}

@@ -1,0 +1,152 @@
+// Command bfroute drives the synchronous packet-routing simulator: load
+// sweeps, saturation search, traffic patterns, and module-boundary
+// traffic measurement.
+//
+// Usage:
+//
+//	bfroute -n 6 -lambda 0.2                 # one run, uniform traffic
+//	bfroute -n 6 -lambda 0.2 -pattern bitrev # adversarial pattern
+//	bfroute -n 6 -saturate                   # bisection for lambda*
+//	bfroute -n 6 -sweep                      # load sweep table
+//	bfroute -n 6 -lambda 0.2 -modrows 8      # boundary traffic per module
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"bfvlsi/internal/packaging"
+	"bfvlsi/internal/routing"
+)
+
+var (
+	dim      = flag.Int("n", 6, "butterfly dimension")
+	lambda   = flag.Float64("lambda", 0.1, "per-node injection probability")
+	warmup   = flag.Int("warmup", 300, "warmup cycles")
+	cycles   = flag.Int("cycles", 1000, "measured cycles")
+	seed     = flag.Int64("seed", 1, "random seed")
+	pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform | bitrev | transpose | complement")
+	saturate = flag.Bool("saturate", false, "search for the saturation rate")
+	sweep    = flag.Bool("sweep", false, "run a load sweep")
+	modRows  = flag.Int("modrows", 0, "rows per module for boundary-traffic measurement (0 = off)")
+	buffers  = flag.Int("buffers", 0, "per-link buffer limit (0 = unbounded)")
+	tracePth = flag.String("trace", "", "write a per-cycle CSV trace to this file")
+)
+
+func main() {
+	flag.Parse()
+	pat, err := parsePattern(*pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch {
+	case *saturate:
+		runSaturate()
+	case *sweep:
+		runSweep(pat)
+	default:
+		runOnce(pat)
+	}
+}
+
+func parsePattern(s string) (routing.Pattern, error) {
+	switch s {
+	case "uniform":
+		return routing.Uniform, nil
+	case "bitrev", "bit-reverse":
+		return routing.BitReverse, nil
+	case "transpose":
+		return routing.Transpose, nil
+	case "complement":
+		return routing.Complement, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q", s)
+	}
+}
+
+func params(l float64) routing.Params {
+	p := routing.Params{
+		N: *dim, Lambda: l, Warmup: *warmup, Cycles: *cycles, Seed: *seed,
+		BufferLimit: *buffers,
+	}
+	if *modRows > 0 {
+		rows := 1 << uint(*dim)
+		p.ModuleOf = make([]int, *dim*rows)
+		for col := 0; col < *dim; col++ {
+			for row := 0; row < rows; row++ {
+				p.ModuleOf[col*rows+row] = row / *modRows
+			}
+		}
+	}
+	return p
+}
+
+func runOnce(pat routing.Pattern) {
+	p := params(*lambda)
+	if *tracePth != "" {
+		f, err := os.Create(*tracePth)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		p.Trace = f
+	}
+	r, err := routing.SimulatePattern(p, pat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("B_%d wrapped, %v traffic, lambda=%.4f over %d cycles:\n", *dim, pat, *lambda, *cycles)
+	fmt.Printf("  throughput:   %.4f pkts/node/cycle (%.1f%% of offered)\n",
+		r.Throughput, 100*r.Throughput / *lambda)
+	fmt.Printf("  avg latency:  %.2f cycles (avg hops %.2f)\n", r.AvgLatency, r.AvgHops)
+	fmt.Printf("  backlog:      %d packets (max queue %d)\n", r.Backlog, r.MaxQueue)
+	if *buffers > 0 {
+		fmt.Printf("  backpressure: %d stalls, %d injection drops\n", r.Stalls, r.InjectionDrops)
+	}
+	if *tracePth != "" {
+		fmt.Printf("  trace:        %s\n", *tracePth)
+	}
+	if *modRows > 0 {
+		rows := 1 << uint(*dim)
+		modules := rows / *modRows
+		fmt.Printf("  boundary:     %.2f crossings/cycle (%.2f per module; Omega(M/log R) = %.2f)\n",
+			r.BoundaryCrossingsPerCycle,
+			r.BoundaryCrossingsPerCycle/float64(modules),
+			packaging.InjectionLowerBound(*modRows**dim, rows))
+	}
+}
+
+func runSweep(pat routing.Pattern) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "lambda\tthroughput\tefficiency\tlatency\tbacklog\n")
+	theory := routing.TheoreticalSaturation(*dim)
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.3} {
+		l := theory * frac
+		r, err := routing.SimulatePattern(params(l), pat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%.4f\t%.4f\t%.1f%%\t%.1f\t%d\n",
+			l, r.Throughput, 100*r.Throughput/l, r.AvgLatency, r.Backlog)
+	}
+	w.Flush()
+	fmt.Printf("(fluid-limit saturation for n=%d: %.4f)\n", *dim, theory)
+}
+
+func runSaturate() {
+	rate, err := routing.SaturationRate(*dim, routing.SaturationOptions{
+		Warmup: *warmup, Cycles: *cycles, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("B_%d: simulated saturation lambda* = %.4f (x n = %.3f; fluid limit %.4f)\n",
+		*dim, rate, rate*float64(*dim), routing.TheoreticalSaturation(*dim))
+}

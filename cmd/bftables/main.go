@@ -1,0 +1,55 @@
+// Command bftables regenerates every experiment table and figure of the
+// paper reproduction (see DESIGN.md for the experiment index E1-E18 and
+// EXPERIMENTS.md for recorded paper-vs-measured results).
+//
+// Usage:
+//
+//	bftables [-quick] [experiment ...]
+//
+// With no arguments every experiment runs in order. Experiment names are
+// e1..e20. -quick shrinks the slowest sweeps for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bfvlsi/internal/experiments"
+)
+
+var quick = flag.Bool("quick", false, "shrink slow sweeps for a fast smoke run")
+
+func main() {
+	flag.Parse()
+	want := flag.Args()
+	selected := func(name string) bool {
+		if len(want) == 0 {
+			return true
+		}
+		for _, w := range want {
+			if w == name {
+				return true
+			}
+		}
+		return false
+	}
+	cfg := &experiments.Config{W: os.Stdout, Quick: *quick}
+	ran := 0
+	for _, ex := range experiments.All() {
+		if !selected(ex.Name) {
+			continue
+		}
+		ran++
+		fmt.Printf("==== %s: %s ====\n", ex.Name, ex.Desc)
+		if err := ex.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", ex.Name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %v (have e1..e20)\n", want)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,71 @@
+// chipdesign: the Section 5.2 design study as a reusable workflow. Given
+// a butterfly dimension and per-chip pin budget, find the partition,
+// size the board for several wiring layer counts, and compare against the
+// naive baseline - then repeat the study across pin budgets to show how
+// packaging constraints drive the architecture.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"bfvlsi"
+	"bfvlsi/internal/hierarchy"
+	"bfvlsi/internal/routing"
+)
+
+func main() {
+	// The paper's exact scenario.
+	d, err := bfvlsi.DesignBoard(9, 64, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Section 5.2 scenario: B_9, 64-pin chips, side 20\n")
+	fmt.Printf("  partition %v: %d chips x %d nodes, %d off-chip links\n",
+		d.Spec, d.NumChips, d.NodesPerChip, d.OffChipLinks)
+	for _, L := range []int{2, 4, 8} {
+		fmt.Printf("  board with %d layers: area %d\n", L, d.BoardArea(L))
+	}
+	nr, nc := hierarchy.NaiveChipsPaperEstimate(9, 64)
+	fmt.Printf("  naive baseline: %d rows/chip -> %d chips (vs %d)\n\n", nr, nc, d.NumChips)
+
+	// Sweep pin budgets: how the best feasible design shifts.
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "pins\tspec\tchips\tnodes/chip\toff-chip\tboard area (L=4)\n")
+	for _, pins := range []int{56, 64, 96, 128, 256} {
+		dd, err := bfvlsi.DesignBoard(9, pins, 20)
+		if err != nil {
+			fmt.Fprintf(w, "%d\t(infeasible for l<=3)\t\t\t\t\n", pins)
+			continue
+		}
+		fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%d\t%d\n",
+			pins, dd.Spec, dd.NumChips, dd.NodesPerChip, dd.OffChipLinks, dd.BoardArea(4))
+	}
+	w.Flush()
+
+	// Sanity-check the pin budget against actual traffic: simulate the
+	// network near saturation and compare per-chip crossing demand with
+	// the provisioned off-chip links.
+	n := 6 // simulate a smaller sibling for speed
+	rows := 1 << uint(n)
+	moduleOf := make([]int, n*rows)
+	for col := 0; col < n; col++ {
+		for row := 0; row < rows; row++ {
+			moduleOf[col*rows+row] = row / 8
+		}
+	}
+	res, err := bfvlsi.SimulateRouting(routing.Params{
+		N: n, Lambda: routing.TheoreticalSaturation(n) * 0.8,
+		Warmup: 300, Cycles: 1000, Seed: 5, ModuleOf: moduleOf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	perChip := res.BoundaryCrossingsPerCycle / float64(rows/8)
+	fmt.Printf("\ntraffic check (B_%d, 8-row modules, 0.8x saturation): %.1f crossings/chip/cycle\n",
+		n, perChip)
+	fmt.Println("each crossing needs one off-chip link-cycle: the pin budget must cover it,")
+	fmt.Println("which is the Omega(M/log R) lower bound of Theorem 2.1 in action.")
+}

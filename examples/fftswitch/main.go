@@ -1,0 +1,100 @@
+// fftswitch: the network-switch / signal-processing workload the paper's
+// introduction motivates. A 64-point FFT is executed along the stages of
+// three different indirect swap networks - the data physically moves only
+// over ISN links - and each spectrum is checked against a direct DFT.
+// The example then filters a noisy signal in the frequency domain and
+// reconstructs it with the inverse transform on the same fabric.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"bfvlsi"
+	"bfvlsi/internal/fftsim"
+	"bfvlsi/internal/isn"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+
+	// A clean two-tone signal plus noise, 64 samples.
+	const bins = 64
+	x := make([]complex128, bins)
+	for i := range x {
+		ti := float64(i) / bins
+		clean := math.Sin(2*math.Pi*5*ti) + 0.5*math.Sin(2*math.Pi*12*ti)
+		x[i] = complex(clean+0.4*(rng.Float64()*2-1), 0)
+	}
+
+	// Three fabrics that all realize B_6 after transformation: the plain
+	// butterfly (one cluster), a two-level ISN, and a three-level ISN
+	// (more packaging-friendly, one extra forwarding step per level).
+	for _, widths := range [][]int{{6}, {3, 3}, {2, 2, 2}} {
+		spec, err := bfvlsi.NewGroupSpec(widths...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in := bfvlsi.NewISN(spec)
+		res, err := bfvlsi.FFTOnISN(in, x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errMax := fftsim.MaxError(res.Output, fftsim.DFT(x))
+		fmt.Printf("ISN%v: %2d comm steps (%d forwarding), max error vs DFT %.2e\n",
+			spec, res.CommSteps, res.SwapSteps, errMax)
+	}
+
+	// Frequency-domain filtering on the (2,2,2) fabric: keep only the
+	// two strongest positive-frequency bins (and their mirrors).
+	spec, _ := bfvlsi.NewGroupSpec(2, 2, 2)
+	in := bfvlsi.NewISN(spec)
+	fwd, err := bfvlsi.FFTOnISN(in, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spectrum := fwd.Output
+	type bin struct {
+		k   int
+		mag float64
+	}
+	best := []bin{{0, 0}, {0, 0}}
+	for k := 1; k < bins/2; k++ {
+		m := cmplx.Abs(spectrum[k])
+		if m > best[0].mag {
+			best[1] = best[0]
+			best[0] = bin{k, m}
+		} else if m > best[1].mag {
+			best[1] = bin{k, m}
+		}
+	}
+	fmt.Printf("dominant bins: %d and %d (expected 5 and 12)\n", best[0].k, best[1].k)
+
+	filtered := make([]complex128, bins)
+	for _, b := range best {
+		filtered[b.k] = spectrum[b.k]
+		filtered[bins-b.k] = spectrum[bins-b.k]
+	}
+	y, err := fftsim.Inverse(isn.New(spec), filtered)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Residual against the clean signal must be far below the noise.
+	var noisePow, residPow float64
+	for i := range x {
+		ti := float64(i) / bins
+		clean := math.Sin(2*math.Pi*5*ti) + 0.5*math.Sin(2*math.Pi*12*ti)
+		noisePow += (real(x[i]) - clean) * (real(x[i]) - clean)
+		residPow += (real(y[i]) - clean) * (real(y[i]) - clean)
+	}
+	fmt.Printf("denoising on the ISN fabric: noise power %.3f -> residual %.3f\n",
+		noisePow/bins, residPow/bins)
+	if residPow >= noisePow {
+		log.Fatal("filter failed to reduce noise")
+	}
+	fmt.Println("OK: the ISN dataflow computes, filters, and inverts the transform.")
+}

@@ -1,0 +1,94 @@
+// gallery: regenerate the paper's figures (and this repository's
+// extension figures) as SVG files from the live constructions. Run with
+// an output directory:
+//
+//	go run ./examples/gallery -out /tmp/gallery
+//
+// Produces:
+//
+//	fig3-butterfly-thompson.svg   the recursive grid layout (Fig. 3 view)
+//	fig4-collinear-k9.svg         the collinear K_9 layout (Fig. 4)
+//	multilayer-L4-layer1.svg      one layer of a 4-layer layout
+//	hypercube-q6.svg              extension: Q_6 grid layout
+//	torus-8ary.svg                extension: 8-ary 2-cube
+//	bitonic-16.svg                extension: 16-wire Batcher sorter
+//	benes-8.svg                   extension: 8-port Benes fabric
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"bfvlsi"
+	"bfvlsi/internal/benes"
+	"bfvlsi/internal/bitonic"
+	"bfvlsi/internal/collinear"
+	"bfvlsi/internal/cubelayout"
+	"bfvlsi/internal/grid"
+	"bfvlsi/internal/render"
+)
+
+var out = flag.String("out", "gallery-out", "output directory")
+
+func main() {
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 3: the blocked butterfly layout.
+	bf, err := bfvlsi.LayoutButterfly(6)
+	must(err)
+	write("fig3-butterfly-thompson.svg", bf.L, render.Options{})
+
+	// Figure 4: collinear K_9.
+	ta := collinear.Optimal(9)
+	ta.ReorderByDescendingSpan()
+	k9, err := collinear.ToLayout(ta, collinear.LayoutOptions{})
+	must(err)
+	write("fig4-collinear-k9.svg", k9, render.Options{Scale: 4, Labels: true})
+
+	// One layer of a multilayer layout: the partitioned band structure.
+	ml, err := bfvlsi.LayoutMultilayer(6, 4)
+	must(err)
+	write("multilayer-L4-all.svg", ml.L, render.Options{})
+	write("multilayer-L4-layer1.svg", ml.L, render.Options{OnlyLayer: 1})
+
+	// Extensions.
+	q6, err := cubelayout.Hypercube(6)
+	must(err)
+	write("hypercube-q6.svg", q6.L, render.Options{})
+
+	tor, err := cubelayout.Torus(8)
+	must(err)
+	write("torus-8ary.svg", tor.L, render.Options{Scale: 4})
+
+	sorter, err := bitonic.New(4).Layout()
+	must(err)
+	write("bitonic-16.svg", sorter, render.Options{Scale: 3})
+
+	bn, err := benes.New(3).Layout()
+	must(err)
+	write("benes-8.svg", bn, render.Options{Scale: 4})
+
+	fmt.Println("gallery written to", *out)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func write(name string, l *grid.Layout, opts render.Options) {
+	path := filepath.Join(*out, name)
+	f, err := os.Create(path)
+	must(err)
+	must(render.SVG(f, l, opts))
+	must(f.Close())
+	st, _ := os.Stat(path)
+	fmt.Printf("  %-32s %7d bytes\n", name, st.Size())
+}

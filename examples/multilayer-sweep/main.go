@@ -1,0 +1,61 @@
+// multilayer-sweep: a design-space exploration over the number of wiring
+// layers (Section 4). For a fixed butterfly it builds the L-layer layout
+// for every L, prints area / wire length / volume / vias, and locates the
+// knee where extra layers stop paying because the block floor dominates -
+// the same diminishing-returns effect the paper observes in Section 5.2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"bfvlsi"
+	"bfvlsi/internal/analysis"
+)
+
+func main() {
+	const n = 6
+	spec := bfvlsi.SpecForDim(n)
+	fmt.Printf("multilayer sweep for B_%d (spec %v)\n\n", n, spec)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "L\tarea\tsaving vs L=2\tmax wire\tvolume\tThm4.1 area\n")
+	var base int64
+	prev := int64(0)
+	knee := 0
+	for _, L := range []int{2, 3, 4, 5, 6, 8, 10, 12, 16} {
+		res, err := bfvlsi.LayoutMultilayer(n, L)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Validate(); err != nil {
+			log.Fatalf("L=%d: %v", L, err)
+		}
+		st := res.Stats()
+		if L == 2 {
+			base = st.Area
+		}
+		saving := float64(base-st.Area) / float64(base) * 100
+		fmt.Fprintf(w, "%d\t%d\t%.1f%%\t%d\t%d\t%.0f\n",
+			L, st.Area, saving, st.MaxWireLength, st.Volume,
+			bfvlsi.PaperMultilayerArea(n, L))
+		if prev > 0 && knee == 0 {
+			// Knee: less than 5% further saving from the previous step.
+			if float64(prev-st.Area)/float64(prev) < 0.05 {
+				knee = L
+			}
+		}
+		prev = st.Area
+	}
+	w.Flush()
+	if knee > 0 {
+		fmt.Printf("\nknee at L=%d: beyond it the (layer-independent) blocks dominate -\n", knee)
+		fmt.Printf("the paper's Section 5.2 observation that 'the saving in total area\n")
+		fmt.Printf("diminishes in relative importance when L becomes larger'.\n")
+	}
+	fmt.Printf("\nanalytic trend for large n: area ~ 4N^2/(L^2 log2^2 N); at n=%d the\n", n)
+	fmt.Printf("wiring term is %.0f at L=2 vs %.0f at L=8 (a 16x drop the floor hides).\n",
+		analysis.MultilayerArea(n, 2), analysis.MultilayerArea(n, 8))
+}

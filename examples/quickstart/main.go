@@ -1,0 +1,48 @@
+// Quickstart: build the paper's optimal Thompson-model layout of a
+// butterfly network, verify all the model rules hold, and compare the
+// measured metrics against the paper's bounds - the shortest path through
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfvlsi"
+)
+
+func main() {
+	const n = 6 // B_6: 64 rows, 7 stages, 448 nodes
+
+	// 1. The paper's construction starts from an indirect swap network.
+	spec := bfvlsi.SpecForDim(n)
+	fmt.Printf("group spec for B_%d: %v\n", n, spec)
+
+	// 2. Transform it into a swap-butterfly and check - exactly - that it
+	// is an automorphism of the butterfly network (Section 2.2).
+	sb := bfvlsi.Transform(spec)
+	if err := sb.VerifyAutomorphism(); err != nil {
+		log.Fatalf("transformation broken: %v", err)
+	}
+	fmt.Printf("swap-butterfly verified as an automorphism of B_%d\n", n)
+
+	// 3. Build the layout: every wire is placed, every rule is checked.
+	res, err := bfvlsi.LayoutButterfly(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		log.Fatalf("layout violates the Thompson rules: %v", err)
+	}
+	st := res.Stats()
+	fmt.Printf("layout: %d x %d, area %d, max wire %d, %d wires, %d vias\n",
+		st.Width, st.Height, st.Area, st.MaxWireLength, st.Wires, st.Vias)
+	fmt.Printf("paper bound: area N^2/log2^2 N = %.0f (leading term 2^2n = %d)\n",
+		bfvlsi.PaperThompsonArea(n), 1<<(2*n))
+
+	// 4. Packaging: only swap links leave the modules.
+	part := bfvlsi.PackageRows(sb)
+	ps := part.Stats()
+	fmt.Printf("packaging: %d modules, %.3f off-module links per node (naive pays ~2)\n",
+		ps.NumModules, ps.AvgOffLinksPerNode)
+}

@@ -1,0 +1,3 @@
+module bfvlsi
+
+go 1.22

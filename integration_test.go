@@ -1,0 +1,170 @@
+package bfvlsi
+
+// Integration tests: invariants that span multiple subsystems. They tie
+// the geometric layout back to the graph it claims to realize, and the
+// packaging counts back to simulated traffic.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/graph"
+	"bfvlsi/internal/isn"
+	"bfvlsi/internal/packaging"
+	"bfvlsi/internal/routing"
+	"bfvlsi/internal/thompson"
+)
+
+// parseWire decodes the builder's wire labels back into the swap-butterfly
+// edge the wire realizes.
+func parseWire(t *testing.T, sb *isn.SwapButterfly, label string) (u, v int) {
+	t.Helper()
+	var r, to, j int
+	switch {
+	case strings.HasPrefix(label, "s"):
+		if _, err := fmt.Sscanf(label, "s%d.%d", &r, &j); err != nil {
+			t.Fatalf("bad straight label %q: %v", label, err)
+		}
+		return sb.ID(r, j), sb.ID(r, j+1)
+	case strings.HasPrefix(label, "c"):
+		if _, err := fmt.Sscanf(label, "c%d.%d", &r, &j); err != nil {
+			t.Fatalf("bad cross label %q: %v", label, err)
+		}
+		bit := 1 << uint(sb.Steps[j].Bit)
+		return sb.ID(r, j), sb.ID(r^bit, j+1)
+	case strings.HasPrefix(label, "m"):
+		if _, err := fmt.Sscanf(label, "m%d-%d.%d", &r, &to, &j); err != nil {
+			t.Fatalf("bad merged label %q: %v", label, err)
+		}
+		return sb.ID(r, j), sb.ID(to, j+1)
+	case strings.HasPrefix(label, "x"):
+		if _, err := fmt.Sscanf(label, "x%d-%d.%d", &r, &to, &j); err != nil {
+			t.Fatalf("bad inter label %q: %v", label, err)
+		}
+		return sb.ID(r, j), sb.ID(to, j+1)
+	}
+	t.Fatalf("unknown wire label %q", label)
+	return 0, 0
+}
+
+// Every wire of the built layout realizes exactly one edge of the
+// swap-butterfly, the multiset of realized edges equals the graph's edge
+// multiset, and each wire's endpoints touch the boxes of its edge's
+// endpoint nodes.
+func TestLayoutRealizesGraphExactly(t *testing.T) {
+	for _, widths := range [][]int{{2, 2}, {1, 1, 1}, {2, 2, 2}} {
+		spec := bitutil.MustGroupSpec(widths...)
+		res, err := thompson.Build(thompson.Params{Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb := res.SB
+		realized := graph.New(sb.G.NumNodes())
+		for i := range res.L.Wires {
+			w := &res.L.Wires[i]
+			u, v := parseWire(t, sb, w.Label)
+			realized.AddEdge(u, v, graph.KindStraight)
+			// Geometric endpoint containment.
+			a, bpt := w.Endpoints()
+			ru, su := sb.RowStage(u)
+			rv, sv := sb.RowStage(v)
+			if !res.NodeRect(ru, su).Contains(a) {
+				t.Fatalf("%v: wire %q start %v not on node (%d,%d) box %v",
+					spec, w.Label, a, ru, su, res.NodeRect(ru, su))
+			}
+			if !res.NodeRect(rv, sv).Contains(bpt) {
+				t.Fatalf("%v: wire %q end %v not on node (%d,%d) box %v",
+					spec, w.Label, bpt, rv, sv, res.NodeRect(rv, sv))
+			}
+		}
+		if !graph.SameEdgeMultiset(realized, sb.G, true) {
+			t.Errorf("%v: realized edge multiset differs from the swap-butterfly", spec)
+		}
+	}
+}
+
+// The layout's inter-block wires are exactly the links the row partition
+// counts as cut: geometry and packaging agree.
+func TestInterBlockWiresMatchPartitionCut(t *testing.T) {
+	for _, widths := range [][]int{{2, 2}, {2, 2, 2}, {2, 2, 1}} {
+		spec := bitutil.MustGroupSpec(widths...)
+		res, err := thompson.Build(thompson.Params{Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter := 0
+		for i := range res.L.Wires {
+			if strings.HasPrefix(res.L.Wires[i].Label, "x") {
+				inter++
+			}
+		}
+		cut := packaging.RowPartition(res.SB).Stats().TotalCutLinks
+		if inter != cut {
+			t.Errorf("%v: %d inter-block wires vs %d cut links", spec, inter, cut)
+		}
+	}
+}
+
+// Simulated boundary traffic never exceeds the partition's link capacity
+// (each cut link carries at most one packet per cycle in each direction).
+func TestTrafficWithinCutCapacity(t *testing.T) {
+	n := 5
+	rows := 1 << uint(n)
+	rowsPer := 4
+	moduleOf := make([]int, n*rows)
+	for col := 0; col < n; col++ {
+		for row := 0; row < rows; row++ {
+			moduleOf[col*rows+row] = row / rowsPer
+		}
+	}
+	r, err := routing.Simulate(routing.Params{
+		N: n, Lambda: 0.9, // above saturation: worst-case pressure
+		Warmup: 200, Cycles: 500, Seed: 3, ModuleOf: moduleOf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity: count wrapped-butterfly links crossing modules.
+	capacity := 0
+	for col := 0; col < n; col++ {
+		next := (col + 1) % n
+		bit := 1 << uint(col)
+		for row := 0; row < rows; row++ {
+			for _, nr := range []int{row, row ^ bit} {
+				if moduleOf[col*rows+row] != moduleOf[next*rows+nr] {
+					capacity++
+				}
+			}
+		}
+	}
+	if r.BoundaryCrossingsPerCycle > float64(capacity) {
+		t.Errorf("crossings %.2f/cycle exceed capacity %d", r.BoundaryCrossingsPerCycle, capacity)
+	}
+	if r.BoundaryCrossingsPerCycle < 1 {
+		t.Error("implausibly low boundary traffic at overload")
+	}
+}
+
+// The whole pipeline at once: spec -> ISN -> swap butterfly (verified)
+// -> layout (validated) -> partition -> counts consistent with formulas.
+func TestEndToEndPipeline(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 1)
+	sb := isn.Transform(spec)
+	if err := sb.VerifyAutomorphism(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := thompson.Build(thompson.Params{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := packaging.RowPartition(sb).Stats()
+	want := packaging.GeneralAvgOffLinks([]int{2, 2, 1})
+	if diff := st.AvgOffLinksPerNode - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("avg off links %v != formula %v", st.AvgOffLinksPerNode, want)
+	}
+}

@@ -1,0 +1,97 @@
+// Package analysis collects the paper's closed-form bounds in one place
+// so the experiment harness can print paper-vs-measured tables.
+//
+// Conventions: n is the butterfly dimension; the network has R = 2^n rows
+// and N = (n+1) 2^n nodes. The paper states its bounds in terms of N and
+// log2 N; note that N / log2 N = 2^n (1 + o(1)), so the exact leading
+// term of the constructions is 2^n per side and 2^{2n} of area.
+package analysis
+
+import "math"
+
+// NumNodes returns N = (n+1) * 2^n.
+func NumNodes(n int) float64 { return float64(n+1) * math.Exp2(float64(n)) }
+
+// Log2N returns log2 N.
+func Log2N(n int) float64 { return math.Log2(NumNodes(n)) }
+
+// ThompsonArea returns the paper's Thompson-model area bound
+// N^2 / log2^2 N (Section 3.2), optimal within 1 + o(1).
+func ThompsonArea(n int) float64 {
+	v := NumNodes(n) / Log2N(n)
+	return v * v
+}
+
+// ThompsonMaxWire returns the Section 3.2 maximum wire length bound
+// N / log2 N.
+func ThompsonMaxWire(n int) float64 { return NumNodes(n) / Log2N(n) }
+
+// LeadingAreaExact returns 2^{2n}, the exact leading term of the
+// recursive grid construction (the quantity ThompsonArea approximates).
+func LeadingAreaExact(n int) float64 { return math.Exp2(float64(2 * n)) }
+
+// LeadingWireExact returns 2^n.
+func LeadingWireExact(n int) float64 { return math.Exp2(float64(n)) }
+
+// MultilayerArea returns the Theorem 4.1 area bound with L layers:
+// 4N^2/(L^2 log2^2 N) for even L, 4N^2/((L^2-1) log2^2 N) for odd L.
+func MultilayerArea(n, L int) float64 {
+	num := 4 * ThompsonArea(n)
+	if L%2 == 0 {
+		return num / float64(L*L)
+	}
+	return num / float64(L*L-1)
+}
+
+// MultilayerMaxWire returns 2N/(L log2 N) (Section 4.2).
+func MultilayerMaxWire(n, L int) float64 {
+	return 2 * NumNodes(n) / (float64(L) * Log2N(n))
+}
+
+// MultilayerVolume returns 4N^2/(L log2^2 N) (Section 4.2).
+func MultilayerVolume(n, L int) float64 {
+	return 4 * ThompsonArea(n) / float64(L)
+}
+
+// AviorArea is the prior two-layer bound of Avior et al. [1]:
+// N^2/log2^2 N + o(.), the same leading term the paper matches while
+// additionally gaining packaging and node-size scalability.
+func AviorArea(n int) float64 { return ThompsonArea(n) }
+
+// DinitzSlantedArea is the bound of Dinitz et al. [10] under the slanted
+// (45-degree) rectangle model: N^2 / (2 log2^2 N).
+func DinitzSlantedArea(n int) float64 { return ThompsonArea(n) / 2 }
+
+// MuthuKnockKneeArea is the knock-knee model bound of Muthukrishnan et
+// al. [16]: 2N^2 / (3 log2^2 N) (usually needing more than two layers to
+// realize).
+func MuthuKnockKneeArea(n int) float64 { return 2 * ThompsonArea(n) / 3 }
+
+// NodeSizeThreshold returns sqrt(N)/(L log2 N): node sides strictly below
+// any constant fraction of this leave the leading constants of the
+// L-layer layout unchanged (Sections 3.3 and 4.2).
+func NodeSizeThreshold(n, L int) float64 {
+	return math.Sqrt(NumNodes(n)) / (float64(L) * Log2N(n))
+}
+
+// LooseNodeSizeThreshold returns sqrt(N / log2 N) / L: the larger bound
+// available to O(N / log N) of the nodes (first/last-stage processor and
+// memory nodes, Section 3.3).
+func LooseNodeSizeThreshold(n, L int) float64 {
+	return math.Sqrt(NumNodes(n)/Log2N(n)) / float64(L)
+}
+
+// RectangularNodeGrid returns the node-grid shape the paper prescribes
+// for W1 x W2 rectangular nodes (Section 4.2): to minimize area, align
+// the N nodes as a sqrt(W2 N / W1) x sqrt(W1 N / W2) grid, so that both
+// sides of the node array are sqrt(W1 W2 N).
+func RectangularNodeGrid(n int, w1, w2 float64) (rows, cols float64) {
+	nodes := NumNodes(n)
+	return math.Sqrt(w1 * nodes / w2), math.Sqrt(w2 * nodes / w1)
+}
+
+// SaturationRate returns the Theta(1/log R) analytic saturation scaling
+// constant used by the packaging lower bound: c / n for the wrapped
+// butterfly with deterministic routing, with c = 2 / 1.5 = 4/3 in the
+// fluid limit (see package routing for the exact expectation).
+func SaturationRate(n int) float64 { return 4.0 / (3.0 * float64(n)) }

@@ -1,0 +1,235 @@
+// Package benes implements Benes rearrangeable permutation networks and
+// their looping (Waksman) routing algorithm. The paper's introduction
+// motivates butterfly layouts with "network switches/routers ... based on
+// butterfly, Benes, or related interconnection topologies"; a Benes
+// network is two back-to-back butterflies, so the paper's layout results
+// apply to it directly (twice the area), and this package provides the
+// switching substrate that makes the examples' switch scenarios real.
+//
+// Structure: an n-dimensional Benes network connects T = 2^n inputs to T
+// outputs through 2n-1 columns of T/2 two-by-two switches. Column k
+// operates at recursion level j = min(k, 2n-2-k): the rows split into
+// 2^j contiguous blocks of 2^{n-j}, and each switch pairs rows r and
+// r ^ 2^{n-j-1} within a block. Any permutation is routable; Route finds
+// the switch settings by 2-coloring the union of the input-pairing and
+// output-pairing matchings at every recursion level.
+package benes
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/graph"
+)
+
+// Benes is an n-dimensional Benes network with switch settings.
+type Benes struct {
+	// N is the dimension; the network has 2^N terminals per side.
+	N int
+	// T = 2^N.
+	T int
+	// NumStages = 2N - 1 switch columns.
+	NumStages int
+	// Settings[k][s] reports whether switch s in column k is crossed.
+	// Switch s at column k is switchOf(k, r) for the rows r it pairs.
+	Settings [][]bool
+}
+
+// New returns an n-dimensional Benes network with all switches straight.
+func New(n int) *Benes {
+	if n < 1 || n > 20 {
+		panic(fmt.Sprintf("benes: dimension %d out of range [1,20]", n))
+	}
+	t := 1 << uint(n)
+	stages := 2*n - 1
+	b := &Benes{N: n, T: t, NumStages: stages}
+	b.Settings = make([][]bool, stages)
+	for k := range b.Settings {
+		b.Settings[k] = make([]bool, t/2)
+	}
+	return b
+}
+
+// level returns the recursion level of column k.
+func (b *Benes) level(k int) int {
+	j := k
+	if r := 2*b.N - 2 - k; r < j {
+		j = r
+	}
+	return j
+}
+
+// half returns the pairing distance of column k: 2^{n - level - 1}.
+func (b *Benes) half(k int) int {
+	return 1 << uint(b.N-b.level(k)-1)
+}
+
+// SwitchOf returns the index of the switch in column k that handles
+// row r.
+func (b *Benes) SwitchOf(k, r int) int {
+	h := b.half(k)
+	blockSize := 2 * h
+	return (r/blockSize)*h + (r & (h - 1))
+}
+
+// Evaluate walks a packet from the given input row through the current
+// switch settings and returns the output row it reaches.
+func (b *Benes) Evaluate(input int) int {
+	if input < 0 || input >= b.T {
+		panic(fmt.Sprintf("benes: input %d out of range", input))
+	}
+	r := input
+	for k := 0; k < b.NumStages; k++ {
+		if b.Settings[k][b.SwitchOf(k, r)] {
+			r ^= b.half(k)
+		}
+	}
+	return r
+}
+
+// Route sets the switches so that input i exits at perm[i], for any
+// permutation perm of 0..T-1. It implements the looping algorithm as an
+// explicit 2-coloring of the constraint cycles at each recursion level.
+func (b *Benes) Route(perm []int) error {
+	if len(perm) != b.T {
+		return fmt.Errorf("benes: permutation has %d entries, want %d", len(perm), b.T)
+	}
+	seen := make([]bool, b.T)
+	for _, v := range perm {
+		if v < 0 || v >= b.T || seen[v] {
+			return fmt.Errorf("benes: not a permutation")
+		}
+		seen[v] = true
+	}
+	local := make([]int, b.T)
+	copy(local, perm)
+	return b.route(0, 0, local)
+}
+
+// route handles one recursion level: the sub-network of size len(perm)
+// whose rows start at blockStart, with outer columns `level` and
+// 2N-2-level.
+func (b *Benes) route(level, blockStart int, perm []int) error {
+	t := len(perm)
+	if t == 2 {
+		// The center column: a single switch.
+		k := b.N - 1
+		b.Settings[k][b.SwitchOf(k, blockStart)] = perm[0] == 1
+		return nil
+	}
+	half := t / 2
+	inv := make([]int, t)
+	for i, v := range perm {
+		inv[v] = i
+	}
+	// 2-color the union of two perfect matchings on inputs:
+	//   (i, i^half)            - partners at the input column
+	//   (inv[o], inv[o^half])  - sources of partnered outputs
+	// The union is a disjoint set of even cycles, hence 2-colorable;
+	// color 0 sends an input through the upper sub-network.
+	sub := make([]int, t)
+	for i := range sub {
+		sub[i] = -1
+	}
+	var stack []int
+	for start := 0; start < t; start++ {
+		if sub[start] >= 0 {
+			continue
+		}
+		sub[start] = 0
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			c := sub[i]
+			for _, nb := range [2]int{i ^ half, inv[perm[i]^half]} {
+				if sub[nb] < 0 {
+					sub[nb] = 1 - c
+					stack = append(stack, nb)
+				} else if sub[nb] == c {
+					return fmt.Errorf("benes: constraint cycle not 2-colorable (internal error)")
+				}
+			}
+		}
+	}
+	// Outer switch settings.
+	inCol := level
+	outCol := 2*b.N - 2 - level
+	for i := 0; i < half; i++ {
+		// Input switch pairing rows blockStart+i and blockStart+i+half:
+		// crossed iff the top input goes to the lower sub-network.
+		b.Settings[inCol][b.SwitchOf(inCol, blockStart+i)] = sub[i] == 1
+		// Output switch for outputs j and j+half: crossed iff output j's
+		// packet arrives from the lower sub-network.
+		b.Settings[outCol][b.SwitchOf(outCol, blockStart+i)] = sub[inv[i]] == 1
+	}
+	// Sub-permutations: position p of a sub-network receives the packet
+	// of the input with index p (mod half) assigned to it, destined for
+	// output position perm[i] (mod half).
+	upper := make([]int, half)
+	lower := make([]int, half)
+	for i := 0; i < t; i++ {
+		p := i & (half - 1)
+		q := perm[i] & (half - 1)
+		if sub[i] == 0 {
+			upper[p] = q
+		} else {
+			lower[p] = q
+		}
+	}
+	if err := b.route(level+1, blockStart, upper); err != nil {
+		return err
+	}
+	return b.route(level+1, blockStart+half, lower)
+}
+
+// Verify checks that the current settings realize the permutation.
+func (b *Benes) Verify(perm []int) error {
+	if len(perm) != b.T {
+		return fmt.Errorf("benes: permutation has %d entries, want %d", len(perm), b.T)
+	}
+	for i := 0; i < b.T; i++ {
+		if got := b.Evaluate(i); got != perm[i] {
+			return fmt.Errorf("benes: input %d reaches %d, want %d", i, got, perm[i])
+		}
+	}
+	return nil
+}
+
+// Reset sets every switch straight.
+func (b *Benes) Reset() {
+	for k := range b.Settings {
+		for s := range b.Settings[k] {
+			b.Settings[k][s] = false
+		}
+	}
+}
+
+// Graph returns the wire-level graph of the network: 2N columns of T
+// wire segments (the links between consecutive switch columns plus the
+// terminal links), as an undirected graph whose node (col, row) has ID
+// col*T + row. Consecutive columns are joined per the switch pairing:
+// each switch contributes a straight and a cross edge, so the graph is
+// the "back-to-back butterflies" the paper alludes to.
+func (b *Benes) Graph() *graph.Graph {
+	cols := b.NumStages + 1
+	g := graph.New(cols * b.T)
+	id := func(c, r int) int { return c*b.T + r }
+	for k := 0; k < b.NumStages; k++ {
+		h := b.half(k)
+		for r := 0; r < b.T; r++ {
+			g.AddEdge(id(k, r), id(k+1, r), graph.KindStraight)
+			if r&h == 0 {
+				g.AddEdge(id(k, r), id(k+1, r^h), graph.KindCross)
+				g.AddEdge(id(k, r^h), id(k+1, r), graph.KindCross)
+			}
+		}
+	}
+	return g
+}
+
+// LayoutAreaEstimate returns the leading-order Thompson-model area of a
+// Benes network per the paper's butterfly result: two mirrored
+// butterflies need twice the butterfly area, 2 * 2^{2n} (1 + o(1)).
+func LayoutAreaEstimate(n int) float64 {
+	return 2 * float64(int64(1)<<uint(2*n))
+}

@@ -1,0 +1,264 @@
+package benes
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/graph"
+	"bfvlsi/internal/grid"
+)
+
+func TestNewShape(t *testing.T) {
+	b := New(3)
+	if b.T != 8 || b.NumStages != 5 {
+		t.Fatalf("T=%d stages=%d", b.T, b.NumStages)
+	}
+	for k, col := range b.Settings {
+		if len(col) != 4 {
+			t.Errorf("stage %d has %d switches", k, len(col))
+		}
+	}
+}
+
+func TestLevelsAndHalves(t *testing.T) {
+	b := New(3)
+	wantHalf := []int{4, 2, 1, 2, 4}
+	for k := 0; k < b.NumStages; k++ {
+		if b.half(k) != wantHalf[k] {
+			t.Errorf("half(%d) = %d, want %d", k, b.half(k), wantHalf[k])
+		}
+	}
+}
+
+func TestIdentityDefault(t *testing.T) {
+	// All-straight switches realize the identity.
+	b := New(4)
+	for i := 0; i < b.T; i++ {
+		if b.Evaluate(i) != i {
+			t.Fatalf("straight network moved input %d to %d", i, b.Evaluate(i))
+		}
+	}
+}
+
+func TestRouteIdentity(t *testing.T) {
+	b := New(3)
+	perm := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if err := b.Route(perm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(perm); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteReversal(t *testing.T) {
+	b := New(3)
+	perm := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	if err := b.Route(perm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(perm); err != nil {
+		t.Error(err)
+	}
+}
+
+// The rearrangeability theorem, empirically: every random permutation
+// routes, across dimensions.
+func TestRouteRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for n := 1; n <= 8; n++ {
+		b := New(n)
+		trials := 50
+		if n >= 7 {
+			trials = 10
+		}
+		for trial := 0; trial < trials; trial++ {
+			perm := rng.Perm(b.T)
+			b.Reset()
+			if err := b.Route(perm); err != nil {
+				t.Fatalf("n=%d trial %d: %v", n, trial, err)
+			}
+			if err := b.Verify(perm); err != nil {
+				t.Fatalf("n=%d trial %d: %v", n, trial, err)
+			}
+		}
+	}
+}
+
+func TestRouteAllPermutationsN2(t *testing.T) {
+	// Exhaustive check for T=4: all 24 permutations.
+	b := New(2)
+	var perm [4]int
+	var rec func(depth int, used int)
+	count := 0
+	rec = func(depth, used int) {
+		if depth == 4 {
+			p := append([]int(nil), perm[:]...)
+			b.Reset()
+			if err := b.Route(p); err != nil {
+				t.Fatalf("%v: %v", p, err)
+			}
+			if err := b.Verify(p); err != nil {
+				t.Fatalf("%v: %v", p, err)
+			}
+			count++
+			return
+		}
+		for v := 0; v < 4; v++ {
+			if used&(1<<uint(v)) == 0 {
+				perm[depth] = v
+				rec(depth+1, used|1<<uint(v))
+			}
+		}
+	}
+	rec(0, 0)
+	if count != 24 {
+		t.Errorf("checked %d permutations, want 24", count)
+	}
+}
+
+func TestRouteRejectsNonPermutations(t *testing.T) {
+	b := New(2)
+	if err := b.Route([]int{0, 1, 2}); err == nil {
+		t.Error("short input accepted")
+	}
+	if err := b.Route([]int{0, 0, 1, 2}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := b.Route([]int{0, 1, 2, 4}); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	n := 3
+	b := New(n)
+	g := b.Graph()
+	cols := b.NumStages + 1
+	if g.NumNodes() != cols*b.T {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Every column gap contributes 2T edges (T straight + T cross).
+	if g.NumEdges() != b.NumStages*2*b.T {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), b.NumStages*2*b.T)
+	}
+	if !g.Connected() {
+		t.Error("Benes graph disconnected")
+	}
+	if err := g.HandshakeOK(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphFirstHalfIsReversedButterfly(t *testing.T) {
+	// Columns 0..n of the Benes graph form a butterfly with dimensions
+	// in descending order - an automorphism of B_n. Relabel rows by bit
+	// reversal and compare with B_n exactly.
+	n := 3
+	b := New(n)
+	g := b.Graph()
+	t8 := b.T
+	sub := graph.New((n + 1) * t8)
+	id := func(c, r int) int { return c*t8 + r }
+	for _, e := range g.Edges() {
+		cu, ru := e.U/t8, e.U%t8
+		cv, rv := e.V/t8, e.V%t8
+		if cu <= n && cv <= n {
+			sub.AddEdge(id(cu, ru), id(cv, rv), e.Kind)
+		}
+	}
+	// Reverse the bits of every row label; dimension order n-1..0
+	// becomes 0..n-1.
+	perm := make([]int, sub.NumNodes())
+	rev := func(r int) int {
+		out := 0
+		for i := 0; i < n; i++ {
+			if r&(1<<uint(i)) != 0 {
+				out |= 1 << uint(n-1-i)
+			}
+		}
+		return out
+	}
+	for c := 0; c <= n; c++ {
+		for r := 0; r < t8; r++ {
+			perm[id(c, r)] = id(c, rev(r))
+		}
+	}
+	want := butterfly.New(n)
+	if !graph.SameEdgeMultiset(sub.Relabel(perm), want.G, true) {
+		t.Error("first half of Benes is not a butterfly automorphism")
+	}
+}
+
+func TestLayoutAreaEstimate(t *testing.T) {
+	if LayoutAreaEstimate(5) != 2048 { // 2 * 2^{2*5}... 2^{10} = 1024, doubled
+		t.Errorf("estimate = %v", LayoutAreaEstimate(5))
+	}
+}
+
+func BenchmarkRouteN8(b *testing.B) {
+	net := New(8)
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(net.T)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Reset()
+		if err := net.Route(perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateN8(b *testing.B) {
+	net := New(8)
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(net.T)
+	if err := net.Route(perm); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Evaluate(i & (net.T - 1))
+	}
+}
+
+func TestLayoutValidates(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		b := New(n)
+		l, err := b.Layout()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := l.Validate(grid.ValidateOptions{
+			CheckNodeInteriors:      true,
+			RequireTerminalsOnNodes: true,
+		}); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		// Wires: per column, T straight + T cross nets.
+		want := b.NumStages * 2 * b.T
+		if got := len(l.Wires); got != want {
+			t.Errorf("n=%d: %d wires, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLayoutAreaNearTwoButterflies(t *testing.T) {
+	// The column-by-column Benes layout has 2n-1 switch columns vs the
+	// butterfly's n: its area should be roughly twice a same-style
+	// butterfly layout (the bitonic/benes column router is the l=1
+	// scheme, constant ~8x the leading term).
+	b5 := New(5)
+	l, err := b5.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := l.Stats().Area
+	if float64(a) < benesAreaSanityLow(5) || float64(a) > benesAreaSanityHigh(5) {
+		t.Errorf("area %d outside sanity band [%v, %v]", a, benesAreaSanityLow(5), benesAreaSanityHigh(5))
+	}
+}
+
+func benesAreaSanityLow(n int) float64  { return float64(int64(2) << uint(2*n)) }  // 2*4^n
+func benesAreaSanityHigh(n int) float64 { return float64(int64(64) << uint(2*n)) } // 64*4^n

@@ -1,0 +1,31 @@
+package benes
+
+import "testing"
+
+// FuzzRoute derives a permutation from arbitrary bytes (Fisher-Yates
+// keyed by the input) and asserts the looping algorithm always routes it.
+func FuzzRoute(f *testing.F) {
+	f.Add(uint8(3), int64(1))
+	f.Add(uint8(5), int64(-42))
+	f.Add(uint8(1), int64(0))
+	f.Fuzz(func(t *testing.T, rawN uint8, key int64) {
+		n := 1 + int(rawN)%6
+		b := New(n)
+		perm := make([]int, b.T)
+		for i := range perm {
+			perm[i] = i
+		}
+		s := uint64(key)
+		for i := b.T - 1; i > 0; i-- {
+			s = s*6364136223846793005 + 1442695040888963407
+			j := int(s % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		if err := b.Route(perm); err != nil {
+			t.Fatalf("route %v: %v", perm, err)
+		}
+		if err := b.Verify(perm); err != nil {
+			t.Fatalf("verify %v: %v", perm, err)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package benes
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/channel"
+	"bfvlsi/internal/geom"
+	"bfvlsi/internal/grid"
+)
+
+// Layout channel-routes the Benes wire graph column by column into a
+// valid Thompson-model layout: each wire node is a 4x4 box, each switch
+// column a routed channel (straight + two cross nets per switch). The
+// measured area realizes the "two back-to-back butterflies" structure
+// whose asymptotic cost the paper's results bound.
+func (b *Benes) Layout() (*grid.Layout, error) {
+	const side = 4
+	rowPitch := side
+	l := grid.NewLayout(grid.Thompson, 2)
+	cols := b.NumStages + 1
+
+	plans := make([]*channel.Plan, b.NumStages)
+	nets := make([][]channel.Net, b.NumStages)
+	widths := make([]int, b.NumStages)
+	for k := 0; k < b.NumStages; k++ {
+		h := b.half(k)
+		var ns []channel.Net
+		for r := 0; r < b.T; r++ {
+			ns = append(ns, channel.Net{
+				Label: fmt.Sprintf("s%d.%d", r, k),
+				LeftY: r * rowPitch, RightY: r * rowPitch,
+			})
+		}
+		for r := 0; r < b.T; r++ {
+			if r&h != 0 {
+				continue
+			}
+			ns = append(ns,
+				channel.Net{
+					Label: fmt.Sprintf("c%d.%d", r, k),
+					LeftY: r*rowPitch + 1, RightY: (r^h)*rowPitch + 2,
+				},
+				channel.Net{
+					Label: fmt.Sprintf("c%d.%d", r^h, k),
+					LeftY: (r^h)*rowPitch + 1, RightY: r*rowPitch + 2,
+				})
+		}
+		plan, err := channel.Route(ns)
+		if err != nil {
+			return nil, fmt.Errorf("benes: column %d: %v", k, err)
+		}
+		plans[k], nets[k], widths[k] = plan, ns, plan.Tracks
+	}
+
+	colX := make([]int, cols)
+	x := 0
+	for s := 0; s < cols; s++ {
+		colX[s] = x
+		if s < b.NumStages {
+			x += side + widths[s]
+		}
+	}
+	for s := 0; s < cols; s++ {
+		for r := 0; r < b.T; r++ {
+			x0, y0 := colX[s], r*rowPitch
+			l.AddNode(fmt.Sprintf("n%d.%d", r, s),
+				geom.NewRect(x0, y0, x0+side-1, y0+side-1))
+		}
+	}
+	for s := 0; s < b.NumStages; s++ {
+		xLeft := colX[s] + side - 1
+		xRight := colX[s+1]
+		trackX := func(t int) int { return xLeft + 1 + t }
+		if err := channel.Realize(l, nets[s], plans[s], xLeft, xRight, trackX); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}

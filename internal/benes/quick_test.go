@@ -1,0 +1,50 @@
+package benes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property (testing/quick): any permutation derived from a random seed
+// routes and verifies, for a random dimension in [1, 6].
+func TestRouteQuickProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := 1 + int(rawN)%6
+		b := New(n)
+		perm := rand.New(rand.NewSource(seed)).Perm(b.T)
+		if err := b.Route(perm); err != nil {
+			return false
+		}
+		return b.Verify(perm) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: routing then routing the inverse permutation composes to the
+// identity when evaluated through both networks in sequence.
+func TestRouteInverseComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 4
+		fwd, bwd := New(n), New(n)
+		perm := rand.New(rand.NewSource(seed)).Perm(fwd.T)
+		inv := make([]int, len(perm))
+		for i, v := range perm {
+			inv[v] = i
+		}
+		if fwd.Route(perm) != nil || bwd.Route(inv) != nil {
+			return false
+		}
+		for i := 0; i < fwd.T; i++ {
+			if bwd.Evaluate(fwd.Evaluate(i)) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

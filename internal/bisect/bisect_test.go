@@ -1,0 +1,167 @@
+package bisect
+
+import (
+	"testing"
+
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/collinear"
+	"bfvlsi/internal/graph"
+	"bfvlsi/internal/hypercube"
+)
+
+func ring(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, graph.KindStraight)
+	}
+	return g
+}
+
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			g.AddEdge(a, b, graph.KindStraight)
+		}
+	}
+	return g
+}
+
+func TestExactKnownWidths(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"ring6", ring(6), 2},
+		{"ring8", ring(8), 2},
+		{"K4", complete(4), 4},
+		{"K6", complete(6), 9},
+		{"K8", complete(8), 16},
+		{"Q3", hypercube.Q(3), 4},
+		{"Q4", hypercube.Q(4), 8},
+	}
+	for _, c := range cases {
+		got, err := Exact(c.g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: bisection %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// Appendix B's optimality statement: the collinear track count of K_N
+// exactly matches the bisection width (even N).
+func TestCollinearTracksEqualBisection(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		b, err := Exact(complete(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tracks := collinear.OptimalTracks(n); tracks != b {
+			t.Errorf("K_%d: tracks %d != bisection %d", n, tracks, b)
+		}
+	}
+	// Odd N: floor(N^2/4) vs (N^2-1)/4 - also equal.
+	for _, n := range []int{5, 7} {
+		b, err := Exact(complete(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tracks := collinear.OptimalTracks(n); tracks != b {
+			t.Errorf("K_%d: tracks %d != bisection %d", n, tracks, b)
+		}
+	}
+}
+
+func TestExactRejectsLarge(t *testing.T) {
+	if _, err := Exact(complete(25)); err == nil {
+		t.Error("25-node exact accepted")
+	}
+}
+
+func TestExactDegenerate(t *testing.T) {
+	if b, _ := Exact(graph.New(1)); b != 0 {
+		t.Error("singleton bisection nonzero")
+	}
+	if b, _ := Exact(graph.New(0)); b != 0 {
+		t.Error("empty bisection nonzero")
+	}
+}
+
+func TestKLMatchesExactOnSmall(t *testing.T) {
+	for _, g := range []*graph.Graph{ring(8), complete(6), hypercube.Q(3), hypercube.Q(4)} {
+		exact, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kl := KernighanLin(g, nil)
+		if kl < exact {
+			t.Fatalf("KL %d below exact %d: impossible", kl, exact)
+		}
+		if kl > 2*exact && kl > exact+2 {
+			t.Errorf("KL %d far above exact %d", kl, exact)
+		}
+	}
+}
+
+func TestKLButterflyUpperBound(t *testing.T) {
+	// Butterfly bisection is Theta(2^n); KL must find a cut within a
+	// small factor of 2 * 2^n (the natural row-split gives ~2 * 2^{n-1}
+	// cross links per middle stage... empirically small).
+	for _, n := range []int{3, 4, 5} {
+		bf := butterfly.New(n)
+		kl := KernighanLin(bf.G, nil)
+		rows := 1 << uint(n)
+		if kl > 4*rows {
+			t.Errorf("B_%d: KL cut %d implausibly large (4R = %d)", n, kl, 4*rows)
+		}
+		if kl < rows/2 {
+			t.Errorf("B_%d: KL cut %d below plausible bisection", n, kl)
+		}
+	}
+}
+
+func TestKLSeededPartition(t *testing.T) {
+	g := ring(8)
+	seed := make([]bool, 8)
+	// Alternating seed: worst case cut 8; KL must improve to 2.
+	for i := range seed {
+		seed[i] = i%2 == 0
+	}
+	if kl := KernighanLin(g, seed); kl != 2 {
+		t.Errorf("KL from alternating seed = %d, want 2", kl)
+	}
+}
+
+func TestLayoutAreaLowerBound(t *testing.T) {
+	if LayoutAreaLowerBound(16) != 64 {
+		t.Errorf("bound = %d", LayoutAreaLowerBound(16))
+	}
+	// Butterfly area lower bound vs our measured layout: measured area
+	// must exceed bisection^2/4.
+	bf := butterfly.New(4)
+	kl := KernighanLin(bf.G, nil) // upper bound on bisection, still a sanity anchor
+	if LayoutAreaLowerBound(kl) > 8640 {
+		t.Errorf("lower bound %d exceeds measured B_4 area 8640: inconsistent", LayoutAreaLowerBound(kl))
+	}
+}
+
+func BenchmarkExactK12(b *testing.B) {
+	g := complete(12)
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKLQ6(b *testing.B) {
+	g := hypercube.Q(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KernighanLin(g, nil)
+	}
+}

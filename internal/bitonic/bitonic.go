@@ -1,0 +1,185 @@
+// Package bitonic implements Batcher's bitonic sorting network, the
+// multistage comparator fabric whose VLSI layout the paper cites as a
+// companion problem ([11] Even, Muthukrishnan, Paterson, Sahinalp,
+// "Layout of the Batcher bitonic sorter"). Each comparator stage pairs
+// wires that differ in one address bit - the same connectivity pattern as
+// a butterfly stage - so the sorter rides on the exact substrates this
+// repository builds: its stage graph is generated here, its comparator
+// schedule is executable, and its columns can be channel-routed like any
+// butterfly step.
+package bitonic
+
+import (
+	"fmt"
+	"sort"
+
+	"bfvlsi/internal/channel"
+	"bfvlsi/internal/geom"
+	"bfvlsi/internal/graph"
+	"bfvlsi/internal/grid"
+)
+
+// Comparator orders the values on wires Lo and Hi so that the smaller
+// ends up on Lo when Ascending (on Hi otherwise).
+type Comparator struct {
+	Lo, Hi    int
+	Ascending bool
+}
+
+// Network is a Batcher bitonic sorting network on 2^n wires.
+type Network struct {
+	N      int // wires = 2^N
+	Wires  int
+	Stages [][]Comparator
+}
+
+// New builds the sorting network: N(N+1)/2 stages of 2^{N-1} comparators.
+// Stage (k, j) with k = 1..N, j = k-1..0 pairs wires differing in bit j;
+// the direction follows the standard bitonic pattern (bit k of the wire
+// index selects descending).
+func New(n int) *Network {
+	if n < 1 || n > 20 {
+		panic(fmt.Sprintf("bitonic: dimension %d out of range [1,20]", n))
+	}
+	wires := 1 << uint(n)
+	net := &Network{N: n, Wires: wires}
+	for k := 1; k <= n; k++ {
+		for j := k - 1; j >= 0; j-- {
+			var stage []Comparator
+			bit := 1 << uint(j)
+			for w := 0; w < wires; w++ {
+				if w&bit != 0 {
+					continue
+				}
+				asc := w&(1<<uint(k)) == 0
+				stage = append(stage, Comparator{Lo: w, Hi: w | bit, Ascending: asc})
+			}
+			net.Stages = append(net.Stages, stage)
+		}
+	}
+	return net
+}
+
+// NumComparators returns the total comparator count: 2^{N-1} * N(N+1)/2.
+func (net *Network) NumComparators() int {
+	total := 0
+	for _, s := range net.Stages {
+		total += len(s)
+	}
+	return total
+}
+
+// Sort runs the comparator schedule on a copy of xs (len 2^N) and
+// returns the sorted result.
+func (net *Network) Sort(xs []int) ([]int, error) {
+	if len(xs) != net.Wires {
+		return nil, fmt.Errorf("bitonic: %d values on %d wires", len(xs), net.Wires)
+	}
+	v := append([]int(nil), xs...)
+	for _, stage := range net.Stages {
+		for _, c := range stage {
+			a, b := v[c.Lo], v[c.Hi]
+			if (a > b) == c.Ascending {
+				v[c.Lo], v[c.Hi] = b, a
+			}
+		}
+	}
+	return v, nil
+}
+
+// Check verifies that the network sorts the given input; by the zero-one
+// principle, checking all 0-1 inputs proves it sorts everything (see the
+// tests).
+func (net *Network) Check(xs []int) error {
+	out, err := net.Sort(xs)
+	if err != nil {
+		return err
+	}
+	if !sort.IntsAreSorted(out) {
+		return fmt.Errorf("bitonic: output not sorted: %v", out)
+	}
+	return nil
+}
+
+// Graph returns the wire-level stage graph: S+1 columns of 2^N wire
+// nodes (S = number of stages), with a straight and a cross edge per
+// comparator - structurally a sequence of butterfly steps, which is why
+// the paper's layout machinery applies.
+func (net *Network) Graph() *graph.Graph {
+	cols := len(net.Stages) + 1
+	g := graph.New(cols * net.Wires)
+	id := func(c, w int) int { return c*net.Wires + w }
+	for s, stage := range net.Stages {
+		for _, c := range stage {
+			g.AddEdge(id(s, c.Lo), id(s+1, c.Lo), graph.KindStraight)
+			g.AddEdge(id(s, c.Hi), id(s+1, c.Hi), graph.KindStraight)
+			g.AddEdge(id(s, c.Lo), id(s+1, c.Hi), graph.KindCross)
+			g.AddEdge(id(s, c.Hi), id(s+1, c.Lo), graph.KindCross)
+		}
+	}
+	return g
+}
+
+// Layout channel-routes the sorter column by column (each wire a 4x4
+// node box per column, each stage a routed channel), yielding a valid
+// Thompson-model layout of the full fabric.
+func (net *Network) Layout() (*grid.Layout, error) {
+	const side = 4
+	rowPitch := side
+	l := grid.NewLayout(grid.Thompson, 2)
+	cols := len(net.Stages) + 1
+	// Pass 1: route every channel to find widths.
+	plans := make([]*channel.Plan, len(net.Stages))
+	nets := make([][]channel.Net, len(net.Stages))
+	widths := make([]int, len(net.Stages))
+	for s, stage := range net.Stages {
+		var ns []channel.Net
+		for w := 0; w < net.Wires; w++ {
+			ns = append(ns, channel.Net{
+				Label: fmt.Sprintf("s%d.%d", w, s),
+				LeftY: w*rowPitch + 0, RightY: w*rowPitch + 0,
+			})
+		}
+		for _, c := range stage {
+			ns = append(ns,
+				channel.Net{
+					Label: fmt.Sprintf("c%d.%d", c.Lo, s),
+					LeftY: c.Lo*rowPitch + 1, RightY: c.Hi*rowPitch + 2,
+				},
+				channel.Net{
+					Label: fmt.Sprintf("c%d.%d", c.Hi, s),
+					LeftY: c.Hi*rowPitch + 1, RightY: c.Lo*rowPitch + 2,
+				})
+		}
+		plan, err := channel.Route(ns)
+		if err != nil {
+			return nil, fmt.Errorf("bitonic: stage %d: %v", s, err)
+		}
+		plans[s], nets[s], widths[s] = plan, ns, plan.Tracks
+	}
+	// Pass 2: place nodes and realize.
+	colX := make([]int, cols)
+	x := 0
+	for s := 0; s < cols; s++ {
+		colX[s] = x
+		if s < len(net.Stages) {
+			x += side + widths[s]
+		}
+	}
+	for s := 0; s < cols; s++ {
+		for w := 0; w < net.Wires; w++ {
+			x0, y0 := colX[s], w*rowPitch
+			l.AddNode(fmt.Sprintf("n%d.%d", w, s),
+				geom.NewRect(x0, y0, x0+side-1, y0+side-1))
+		}
+	}
+	for s := range net.Stages {
+		xLeft := colX[s] + side - 1
+		xRight := colX[s+1]
+		trackX := func(t int) int { return xLeft + 1 + t }
+		if err := channel.Realize(l, nets[s], plans[s], xLeft, xRight, trackX); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,175 @@
+package bitonic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bfvlsi/internal/grid"
+)
+
+func TestStageAndComparatorCounts(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		net := New(n)
+		wantStages := n * (n + 1) / 2
+		if len(net.Stages) != wantStages {
+			t.Errorf("n=%d: %d stages, want %d", n, len(net.Stages), wantStages)
+		}
+		wantComps := (1 << uint(n-1)) * wantStages
+		if net.NumComparators() != wantComps {
+			t.Errorf("n=%d: %d comparators, want %d", n, net.NumComparators(), wantComps)
+		}
+	}
+}
+
+// The zero-one principle: a comparator network sorts all inputs iff it
+// sorts all 0-1 inputs. Exhaustive over 2^(2^n) 0-1 vectors for n <= 4.
+func TestZeroOnePrinciple(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		net := New(n)
+		wires := net.Wires
+		for mask := 0; mask < 1<<uint(wires); mask++ {
+			xs := make([]int, wires)
+			for i := range xs {
+				xs[i] = (mask >> uint(i)) & 1
+			}
+			if err := net.Check(xs); err != nil {
+				t.Fatalf("n=%d mask=%b: %v", n, mask, err)
+			}
+		}
+	}
+}
+
+func TestSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{3, 5, 7, 9} {
+		net := New(n)
+		for trial := 0; trial < 20; trial++ {
+			xs := make([]int, net.Wires)
+			for i := range xs {
+				xs[i] = rng.Intn(1000) - 500
+			}
+			out, err := net.Sort(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := append([]int(nil), xs...)
+			sort.Ints(want)
+			for i := range want {
+				if out[i] != want[i] {
+					t.Fatalf("n=%d: out[%d]=%d want %d", n, i, out[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortPreservesMultiset(t *testing.T) {
+	net := New(5)
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]int, net.Wires)
+	for i := range xs {
+		xs[i] = rng.Intn(10)
+	}
+	out, err := net.Sort(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, v := range xs {
+		count[v]++
+	}
+	for _, v := range out {
+		count[v]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Errorf("value %d multiplicity changed by %d", k, c)
+		}
+	}
+}
+
+func TestSortLengthMismatch(t *testing.T) {
+	if _, err := New(3).Sort(make([]int, 7)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	net := New(3)
+	g := net.Graph()
+	cols := len(net.Stages) + 1
+	if g.NumNodes() != cols*8 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// 4 edges per comparator.
+	if g.NumEdges() != 4*net.NumComparators() {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), 4*net.NumComparators())
+	}
+	if !g.Connected() {
+		t.Error("sorter graph disconnected")
+	}
+}
+
+func TestLayoutValidates(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		net := New(n)
+		l, err := net.Layout()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := l.Validate(grid.ValidateOptions{
+			CheckNodeInteriors:      true,
+			RequireTerminalsOnNodes: true,
+		}); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		wantWires := len(net.Stages)*net.Wires + 2*net.NumComparators()
+		if got := len(l.Wires); got != wantWires {
+			t.Errorf("n=%d: %d wires, want %d", n, got, wantWires)
+		}
+	}
+}
+
+func TestLayoutAreaGrowth(t *testing.T) {
+	// The column-by-column layout has width Theta(sum of stage widths)
+	// ~ O(2^n * n^2 / ...) and height Theta(2^n): quadratic-ish area in
+	// the wire count; just pin down sane monotone growth.
+	prev := int64(0)
+	for _, n := range []int{2, 3, 4, 5} {
+		l, err := New(n).Layout()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := l.Stats().Area
+		if a <= prev {
+			t.Errorf("n=%d: area %d did not grow", n, a)
+		}
+		prev = a
+	}
+}
+
+func BenchmarkSortN8(b *testing.B) {
+	net := New(8)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int, net.Wires)
+	for i := range xs {
+		xs[i] = rng.Int()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Sort(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLayoutN5(b *testing.B) {
+	net := New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Layout(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		k    int
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{8, 255},
+		{16, 65535},
+		{63, (uint64(1) << 63) - 1},
+	}
+	for _, c := range cases {
+		if got := Mask(c.k); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.k, got, c.want)
+		}
+	}
+}
+
+func TestMaskPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{-1, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mask(%d) did not panic", k)
+				}
+			}()
+			Mask(k)
+		}()
+	}
+}
+
+func TestFieldSetField(t *testing.T) {
+	x := uint64(0b1101_0110)
+	if got := Field(x, 0, 4); got != 0b0110 {
+		t.Errorf("Field low nibble = %#b", got)
+	}
+	if got := Field(x, 4, 4); got != 0b1101 {
+		t.Errorf("Field high nibble = %#b", got)
+	}
+	y := SetField(x, 4, 4, 0b1010)
+	if y != 0b1010_0110 {
+		t.Errorf("SetField = %#b", y)
+	}
+	// SetField must ignore high bits of v beyond width k.
+	z := SetField(0, 0, 2, 0xFF)
+	if z != 0b11 {
+		t.Errorf("SetField truncation = %#b", z)
+	}
+}
+
+func TestSwapFields(t *testing.T) {
+	x := uint64(0b01_10) // group at pos 2 = 01, pos 0 = 10
+	got := SwapFields(x, 0, 2, 2)
+	if got != 0b10_01 {
+		t.Errorf("SwapFields = %#b, want %#b", got, 0b1001)
+	}
+}
+
+func TestSwapFieldsOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SwapFields with overlapping fields did not panic")
+		}
+	}()
+	SwapFields(0, 0, 1, 2)
+}
+
+func TestSwapFieldsInvolution(t *testing.T) {
+	f := func(x uint64, posA, posB, k uint8) bool {
+		pa := int(posA % 20)
+		pb := 24 + int(posB%20)
+		kk := 1 + int(k%4)
+		y := SwapFields(x, pa, pb, kk)
+		return SwapFields(y, pa, pb, kk) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewGroupSpecValidation(t *testing.T) {
+	if _, err := NewGroupSpec(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := NewGroupSpec(0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewGroupSpec(3, -1); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := NewGroupSpec(2, 3); err == nil {
+		t.Error("k2 > k1 accepted")
+	}
+	if _, err := NewGroupSpec(40, 40); err == nil {
+		t.Error("over-wide spec accepted")
+	}
+	gs, err := NewGroupSpec(3, 3, 2)
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if gs.Levels() != 3 || gs.TotalBits() != 8 || gs.Size() != 256 {
+		t.Errorf("spec summary wrong: %v levels=%d bits=%d size=%d", gs, gs.Levels(), gs.TotalBits(), gs.Size())
+	}
+}
+
+func TestGroupSpecAccessors(t *testing.T) {
+	gs := MustGroupSpec(4, 3, 2)
+	if gs.GroupPos(1) != 0 || gs.GroupPos(2) != 4 || gs.GroupPos(3) != 7 {
+		t.Errorf("GroupPos: %d %d %d", gs.GroupPos(1), gs.GroupPos(2), gs.GroupPos(3))
+	}
+	if gs.GroupWidth(1) != 4 || gs.GroupWidth(2) != 3 || gs.GroupWidth(3) != 2 {
+		t.Errorf("GroupWidth wrong")
+	}
+	if gs.String() != "(4,3,2)" {
+		t.Errorf("String = %q", gs.String())
+	}
+}
+
+func TestSwapNeighborSmall(t *testing.T) {
+	// Spec (1,1): addresses are 2 bits; level-2 swap exchanges bit 0 and bit 1.
+	gs := MustGroupSpec(1, 1)
+	cases := map[uint64]uint64{0b00: 0b00, 0b01: 0b10, 0b10: 0b01, 0b11: 0b11}
+	for x, want := range cases {
+		if got := gs.SwapNeighbor(x, 2); got != want {
+			t.Errorf("SwapNeighbor(%#b, 2) = %#b, want %#b", x, got, want)
+		}
+	}
+}
+
+func TestSwapNeighborMatchesDefinition(t *testing.T) {
+	// For spec (3,2): level-2 neighbor of x = swap rightmost 2 bits with bits [3,5).
+	gs := MustGroupSpec(3, 2)
+	for x := uint64(0); x < gs.Size(); x++ {
+		lo := x & 3
+		grp := (x >> 3) & 3
+		want := (x &^ (3 | (3 << 3))) | (grp) | (lo << 3)
+		if got := gs.SwapNeighbor(x, 2); got != want {
+			t.Errorf("SwapNeighbor(%#b) = %#b, want %#b", x, got, want)
+		}
+	}
+}
+
+func TestSwapNeighborInvolutionProperty(t *testing.T) {
+	specs := []GroupSpec{
+		MustGroupSpec(3, 3, 3),
+		MustGroupSpec(4, 2),
+		MustGroupSpec(2, 2, 2, 2),
+		MustGroupSpec(5, 4, 3),
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, gs := range specs {
+		for trial := 0; trial < 200; trial++ {
+			x := rng.Uint64() & (gs.Size() - 1)
+			for lvl := 2; lvl <= gs.Levels(); lvl++ {
+				y := gs.SwapNeighbor(x, lvl)
+				if !gs.Valid(y) {
+					t.Fatalf("%v: SwapNeighbor(%d,%d) out of range", gs, x, lvl)
+				}
+				if gs.SwapNeighbor(y, lvl) != x {
+					t.Fatalf("%v: swap at level %d not an involution on %#b", gs, lvl, x)
+				}
+			}
+		}
+	}
+}
+
+func TestSwapNeighborLevelOnePanics(t *testing.T) {
+	gs := MustGroupSpec(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SwapNeighbor(level=1) did not panic")
+		}
+	}()
+	gs.SwapNeighbor(0, 1)
+}
+
+func TestSplitJoinGroups(t *testing.T) {
+	gs := MustGroupSpec(3, 2, 2)
+	f := func(x uint64) bool {
+		x &= gs.Size() - 1
+		return gs.JoinGroups(gs.SplitGroups(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	parts := gs.SplitGroups(0b11_01_101)
+	if parts[0] != 0b101 || parts[1] != 0b01 || parts[2] != 0b11 {
+		t.Errorf("SplitGroups = %v", parts)
+	}
+}
+
+func BenchmarkSwapNeighbor(b *testing.B) {
+	gs := MustGroupSpec(8, 8, 8)
+	x := uint64(0x123456)
+	for i := 0; i < b.N; i++ {
+		x = gs.SwapNeighbor(x, 3)
+	}
+	_ = x
+}

@@ -1,0 +1,38 @@
+package bitutil
+
+import "testing"
+
+// FuzzSwapNeighbor checks the swap involution and range invariants for
+// arbitrary specs and addresses (run with `go test -fuzz FuzzSwapNeighbor`
+// for continuous fuzzing; the seeds below run in every `go test`).
+func FuzzSwapNeighbor(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint8(2), uint64(0b101_01_110))
+	f.Add(uint8(1), uint8(1), uint8(1), uint64(5))
+	f.Add(uint8(4), uint8(4), uint8(0), uint64(0xABCD))
+	f.Fuzz(func(t *testing.T, k1, k2, k3 uint8, x uint64) {
+		widths := []int{1 + int(k1)%8}
+		if k2 > 0 {
+			widths = append(widths, 1+int(k2)%widths[0])
+		}
+		if k3 > 0 && len(widths) == 2 {
+			widths = append(widths, 1+int(k3)%widths[0])
+		}
+		spec, err := NewGroupSpec(widths...)
+		if err != nil {
+			t.Fatalf("generator produced invalid spec %v: %v", widths, err)
+		}
+		x &= spec.Size() - 1
+		if spec.JoinGroups(spec.SplitGroups(x)) != x {
+			t.Fatalf("split/join not inverse on %#x", x)
+		}
+		for lvl := 2; lvl <= spec.Levels(); lvl++ {
+			y := spec.SwapNeighbor(x, lvl)
+			if !spec.Valid(y) {
+				t.Fatalf("neighbor %#x out of range", y)
+			}
+			if spec.SwapNeighbor(y, lvl) != x {
+				t.Fatalf("swap at level %d not involutive on %#x", lvl, x)
+			}
+		}
+	})
+}

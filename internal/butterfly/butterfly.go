@@ -1,0 +1,182 @@
+// Package butterfly constructs n-dimensional butterfly networks B_n and
+// provides the ascend-algorithm semantics the paper relies on.
+//
+// An R x R butterfly with R = 2^n rows has n+1 stages (columns) numbered
+// 0..n, each with R nodes, so N = (n+1) * 2^n nodes in total. A node is
+// the pair (row, stage). Between stage s and s+1 every node (r, s) has a
+// straight link to (r, s+1) and a cross link to (r ^ 2^s, s+1): stage s
+// "resolves" address bit s, exactly the flow graph of step s+1 of an
+// ascend algorithm (paper, Section 2.2).
+package butterfly
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/graph"
+)
+
+// Butterfly describes B_n together with the (row, stage) <-> node-ID
+// mapping used to store it in a graph.
+type Butterfly struct {
+	// N is the dimension n.
+	N int
+	// Rows is 2^n.
+	Rows int
+	// Stages is n+1.
+	Stages int
+	// G is the underlying multigraph. Node IDs are ID(row, stage).
+	G *graph.Graph
+}
+
+// MaxDim bounds the butterfly dimension so node counts stay in int range
+// with room to spare; B_24 already has ~420M nodes.
+const MaxDim = 24
+
+// New constructs B_n.
+func New(n int) *Butterfly {
+	if n < 1 || n > MaxDim {
+		panic(fmt.Sprintf("butterfly: dimension %d out of range [1,%d]", n, MaxDim))
+	}
+	rows := 1 << uint(n)
+	stages := n + 1
+	b := &Butterfly{N: n, Rows: rows, Stages: stages, G: graph.New(rows * stages)}
+	for s := 0; s < n; s++ {
+		bit := 1 << uint(s)
+		for r := 0; r < rows; r++ {
+			b.G.AddEdge(b.ID(r, s), b.ID(r, s+1), graph.KindStraight)
+			b.G.AddEdge(b.ID(r, s), b.ID(r^bit, s+1), graph.KindCross)
+		}
+	}
+	return b
+}
+
+// NumNodes returns N = (n+1) * 2^n.
+func (b *Butterfly) NumNodes() int { return b.Rows * b.Stages }
+
+// ID maps (row, stage) to the dense node ID.
+func (b *Butterfly) ID(row, stage int) int {
+	if row < 0 || row >= b.Rows || stage < 0 || stage >= b.Stages {
+		panic(fmt.Sprintf("butterfly: (row=%d, stage=%d) out of range for B_%d", row, stage, b.N))
+	}
+	return stage*b.Rows + row
+}
+
+// RowStage is the inverse of ID.
+func (b *Butterfly) RowStage(id int) (row, stage int) {
+	if id < 0 || id >= b.NumNodes() {
+		panic(fmt.Sprintf("butterfly: id %d out of range", id))
+	}
+	return id % b.Rows, id / b.Rows
+}
+
+// DimensionOf returns the address bit resolved between stage s and s+1.
+func (b *Butterfly) DimensionOf(stage int) int {
+	if stage < 0 || stage >= b.N {
+		panic(fmt.Sprintf("butterfly: no dimension between stage %d and %d", stage, stage+1))
+	}
+	return stage
+}
+
+// Verify checks the defining structure of B_n: correct node count, every
+// stage-s node has exactly one straight and one cross forward link with
+// the right endpoints, first/last stages have degree 2 and interior
+// stages degree 4.
+func (b *Butterfly) Verify() error {
+	if err := b.G.HandshakeOK(); err != nil {
+		return err
+	}
+	if got, want := b.G.NumEdges(), 2*b.N*b.Rows; got != want {
+		return fmt.Errorf("butterfly: edge count %d, want %d", got, want)
+	}
+	for s := 0; s < b.Stages; s++ {
+		wantDeg := 4
+		if s == 0 || s == b.N {
+			wantDeg = 2
+		}
+		for r := 0; r < b.Rows; r++ {
+			id := b.ID(r, s)
+			if d := b.G.Degree(id); d != wantDeg {
+				return fmt.Errorf("butterfly: node (%d,%d) degree %d, want %d", r, s, d, wantDeg)
+			}
+		}
+	}
+	// Spot-check forward edges from every node.
+	for s := 0; s < b.N; s++ {
+		bit := 1 << uint(s)
+		for r := 0; r < b.Rows; r++ {
+			id := b.ID(r, s)
+			straight, cross := 0, 0
+			for _, he := range b.G.Neighbors(id) {
+				nr, ns := b.RowStage(he.To)
+				if ns != s+1 {
+					continue
+				}
+				switch {
+				case nr == r && he.Kind == graph.KindStraight:
+					straight++
+				case nr == r^bit && he.Kind == graph.KindCross:
+					cross++
+				default:
+					return fmt.Errorf("butterfly: bad forward edge (%d,%d)-(%d,%d) kind %v", r, s, nr, ns, he.Kind)
+				}
+			}
+			if straight != 1 || cross != 1 {
+				return fmt.Errorf("butterfly: node (%d,%d) forward links straight=%d cross=%d", r, s, straight, cross)
+			}
+		}
+	}
+	return nil
+}
+
+// IsButterfly reports whether g equals B_n under the identity labeling
+// (same node-ID convention as New), ignoring edge kinds.
+func IsButterfly(g *graph.Graph, n int) bool {
+	want := New(n)
+	return graph.SameEdgeMultiset(g, want.G, true)
+}
+
+// Ascend runs an ascend-style algorithm over the rows of the butterfly:
+// at step i = 0..n-1, every pair of row values whose indices differ in bit
+// i is combined by f, which receives (lowHalfValue, highHalfValue, bit)
+// and returns their replacements. This is the communication pattern whose
+// flow graph is exactly B_n; it is used by tests and by the FFT engine.
+func (b *Butterfly) Ascend(vals []complex128, f func(lo, hi complex128, bit int) (complex128, complex128)) error {
+	if len(vals) != b.Rows {
+		return fmt.Errorf("butterfly: Ascend needs %d values, got %d", b.Rows, len(vals))
+	}
+	for i := 0; i < b.N; i++ {
+		bit := 1 << uint(i)
+		for r := 0; r < b.Rows; r++ {
+			if r&bit != 0 {
+				continue
+			}
+			lo, hi := f(vals[r], vals[r|bit], i)
+			vals[r], vals[r|bit] = lo, hi
+		}
+	}
+	return nil
+}
+
+// WrapAround returns the wrapped butterfly: B_n with stage n merged into
+// stage 0 (each row's last node identified with its first). The result
+// has n * 2^n nodes; node IDs are stage*Rows + row with stages 0..n-1.
+// Wrapped butterflies are the topology used in several commercial
+// machines the paper's introduction mentions; we provide it so routing
+// experiments can use either flavor.
+func WrapAround(n int) *graph.Graph {
+	if n < 2 || n > MaxDim {
+		panic(fmt.Sprintf("butterfly: wrap-around dimension %d out of range [2,%d]", n, MaxDim))
+	}
+	rows := 1 << uint(n)
+	g := graph.New(rows * n)
+	id := func(r, s int) int { return s*rows + r }
+	for s := 0; s < n; s++ {
+		next := (s + 1) % n
+		bit := 1 << uint(s)
+		for r := 0; r < rows; r++ {
+			g.AddEdge(id(r, s), id(r, next), graph.KindStraight)
+			g.AddEdge(id(r, s), id(r^bit, next), graph.KindCross)
+		}
+	}
+	return g
+}

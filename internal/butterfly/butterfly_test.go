@@ -1,0 +1,202 @@
+package butterfly
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"bfvlsi/internal/graph"
+)
+
+func TestNewCounts(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		b := New(n)
+		if b.Rows != 1<<uint(n) || b.Stages != n+1 {
+			t.Fatalf("B_%d rows=%d stages=%d", n, b.Rows, b.Stages)
+		}
+		if b.NumNodes() != (n+1)*(1<<uint(n)) {
+			t.Fatalf("B_%d nodes = %d", n, b.NumNodes())
+		}
+		if b.G.NumEdges() != 2*n*(1<<uint(n)) {
+			t.Fatalf("B_%d edges = %d", n, b.G.NumEdges())
+		}
+	}
+}
+
+func TestVerify(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		if err := New(n).Verify(); err != nil {
+			t.Errorf("B_%d: %v", n, err)
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	b := New(3)
+	// Rebuild with one cross edge redirected to the wrong row.
+	g := graph.New(b.NumNodes())
+	corrupted := false
+	for _, e := range b.G.Edges() {
+		if !corrupted && e.Kind == graph.KindCross {
+			// Redirect the first cross edge's far endpoint to a wrong row
+			// within the same stage.
+			r, s := b.RowStage(e.V)
+			e.V = b.ID(r^(b.Rows-1), s) // complement the row bits
+			corrupted = true
+		}
+		g.AddEdge(e.U, e.V, e.Kind)
+	}
+	if !corrupted {
+		t.Fatal("no cross edge found to corrupt")
+	}
+	b2 := &Butterfly{N: b.N, Rows: b.Rows, Stages: b.Stages, G: g}
+	if err := b2.Verify(); err == nil {
+		t.Error("corrupted butterfly passed Verify")
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	b := New(5)
+	for s := 0; s < b.Stages; s++ {
+		for r := 0; r < b.Rows; r++ {
+			row, stage := b.RowStage(b.ID(r, s))
+			if row != r || stage != s {
+				t.Fatalf("round trip (%d,%d) -> (%d,%d)", r, s, row, stage)
+			}
+		}
+	}
+}
+
+func TestIDPanics(t *testing.T) {
+	b := New(3)
+	for _, c := range [][2]int{{-1, 0}, {8, 0}, {0, -1}, {0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ID(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			b.ID(c[0], c[1])
+		}()
+	}
+}
+
+func TestIsButterfly(t *testing.T) {
+	if !IsButterfly(New(4).G, 4) {
+		t.Error("B_4 not recognized")
+	}
+	if IsButterfly(New(3).G, 4) {
+		t.Error("B_3 accepted as B_4")
+	}
+}
+
+func TestDimensionOf(t *testing.T) {
+	b := New(4)
+	for s := 0; s < 4; s++ {
+		if b.DimensionOf(s) != s {
+			t.Errorf("DimensionOf(%d) = %d", s, b.DimensionOf(s))
+		}
+	}
+}
+
+func TestConnectedAndDiameter(t *testing.T) {
+	b := New(4)
+	if !b.G.Connected() {
+		t.Fatal("B_4 disconnected")
+	}
+	// Diameter of B_n is 2n (stage-0 row to stage-0 row through the far end).
+	if d := b.G.Diameter(); d != 8 {
+		t.Errorf("B_4 diameter = %d, want 8", d)
+	}
+}
+
+// Ascend with XOR-style combine must realize a bit-reversal-free butterfly
+// exchange: summing all values with +/- signs per dimension gives the
+// Walsh-Hadamard transform; WHT applied twice is N * identity.
+func TestAscendWalshHadamardInvolution(t *testing.T) {
+	b := New(5)
+	rng := rand.New(rand.NewSource(7))
+	orig := make([]complex128, b.Rows)
+	for i := range orig {
+		orig[i] = complex(rng.Float64()*2-1, 0)
+	}
+	vals := append([]complex128(nil), orig...)
+	wht := func(lo, hi complex128, _ int) (complex128, complex128) {
+		return lo + hi, lo - hi
+	}
+	if err := b.Ascend(vals, wht); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Ascend(vals, wht); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		want := orig[i] * complex(float64(b.Rows), 0)
+		if cmplx.Abs(vals[i]-want) > 1e-9 {
+			t.Fatalf("WHT involution failed at %d: got %v want %v", i, vals[i], want)
+		}
+	}
+}
+
+func TestAscendLengthCheck(t *testing.T) {
+	b := New(3)
+	if err := b.Ascend(make([]complex128, 4), func(a, c complex128, _ int) (complex128, complex128) { return a, c }); err == nil {
+		t.Error("Ascend accepted wrong-length input")
+	}
+}
+
+// Ascend's flow graph is the butterfly: value at output row r must depend
+// on all input rows (full mixing). Check by running with basis vectors.
+func TestAscendFullMixing(t *testing.T) {
+	b := New(3)
+	for src := 0; src < b.Rows; src++ {
+		vals := make([]complex128, b.Rows)
+		vals[src] = 1
+		_ = b.Ascend(vals, func(lo, hi complex128, _ int) (complex128, complex128) {
+			return lo + hi, lo + hi
+		})
+		for r, v := range vals {
+			if math.Abs(real(v)-1) > 1e-12 {
+				t.Fatalf("input %d did not reach output %d (got %v)", src, r, v)
+			}
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	n := 3
+	g := WrapAround(n)
+	rows := 1 << uint(n)
+	if g.NumNodes() != n*rows {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Every node in a wrapped butterfly has degree 4.
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", u, g.Degree(u))
+		}
+	}
+	if !g.Connected() {
+		t.Error("wrapped butterfly disconnected")
+	}
+	if g.NumEdges() != 2*n*rows {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), 2*n*rows)
+	}
+}
+
+func BenchmarkNewB10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		New(10)
+	}
+}
+
+func BenchmarkVerifyB10(b *testing.B) {
+	bf := New(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bf.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package ccc builds cube-connected cycles networks CCC(n) and lays them
+// out with the paper's grid-of-collinear-layouts technique. The paper
+// cites Chen & Lau's "Tighter layouts of the cube-connected cycles" [7]
+// among the related-network layout results its method addresses; here the
+// same block-grid scheme used for butterflies produces a fully validated
+// CCC layout: each cycle is a block of n nodes wired as a ring, the
+// cycles form the quotient hypercube Q_n, and each hypercube dimension's
+// links run in collinear track bands exactly like the butterfly's
+// inter-block wiring.
+package ccc
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/collinear"
+	"bfvlsi/internal/geom"
+	"bfvlsi/internal/graph"
+	"bfvlsi/internal/grid"
+)
+
+// CCC is a cube-connected cycles network: 2^n cycles of n nodes. Node
+// (c, p) - cycle c, position p - has ring links to (c, p±1 mod n) and one
+// cube link to (c ^ 2^p, p).
+type CCC struct {
+	N     int // cube dimension; cycles have n nodes
+	Nodes int // n * 2^n
+	G     *graph.Graph
+}
+
+// New constructs CCC(n) for n >= 3 (smaller n degenerate: the ring links
+// would duplicate).
+func New(n int) *CCC {
+	if n < 3 || n > 18 {
+		panic(fmt.Sprintf("ccc: dimension %d out of range [3,18]", n))
+	}
+	cycles := 1 << uint(n)
+	c := &CCC{N: n, Nodes: n * cycles}
+	c.G = graph.New(c.Nodes)
+	for cy := 0; cy < cycles; cy++ {
+		for p := 0; p < n; p++ {
+			u := c.ID(cy, p)
+			// ring link to the next position
+			c.G.AddEdge(u, c.ID(cy, (p+1)%n), graph.KindStraight)
+			// cube link (add once)
+			other := cy ^ (1 << uint(p))
+			if other > cy {
+				c.G.AddEdge(u, c.ID(other, p), graph.KindCube)
+			}
+		}
+	}
+	return c
+}
+
+// ID maps (cycle, position) to a node id.
+func (c *CCC) ID(cycle, pos int) int { return cycle*c.N + pos }
+
+// CyclePos is the inverse of ID.
+func (c *CCC) CyclePos(id int) (cycle, pos int) { return id / c.N, id % c.N }
+
+// Verify checks the defining structure: every node has degree exactly 3
+// (two ring + one cube), ring links close cycles of length n, and cube
+// links pair position-p nodes of Hamming-adjacent cycles.
+func (c *CCC) Verify() error {
+	if err := c.G.HandshakeOK(); err != nil {
+		return err
+	}
+	wantEdges := c.Nodes + c.Nodes/2 // n*2^n ring + n*2^n/2 cube
+	if c.G.NumEdges() != wantEdges {
+		return fmt.Errorf("ccc: %d edges, want %d", c.G.NumEdges(), wantEdges)
+	}
+	for id := 0; id < c.Nodes; id++ {
+		if d := c.G.Degree(id); d != 3 {
+			return fmt.Errorf("ccc: node %d degree %d, want 3", id, d)
+		}
+		cy, p := c.CyclePos(id)
+		ring, cube := 0, 0
+		for _, he := range c.G.Neighbors(id) {
+			oc, op := c.CyclePos(he.To)
+			switch he.Kind {
+			case graph.KindStraight:
+				if oc != cy || (op != (p+1)%c.N && op != (p+c.N-1)%c.N) {
+					return fmt.Errorf("ccc: bad ring link (%d,%d)-(%d,%d)", cy, p, oc, op)
+				}
+				ring++
+			case graph.KindCube:
+				if op != p || oc != cy^(1<<uint(p)) {
+					return fmt.Errorf("ccc: bad cube link (%d,%d)-(%d,%d)", cy, p, oc, op)
+				}
+				cube++
+			default:
+				return fmt.Errorf("ccc: unexpected kind %v", he.Kind)
+			}
+		}
+		if ring != 2 || cube != 1 {
+			return fmt.Errorf("ccc: node (%d,%d) has %d ring / %d cube links", cy, p, ring, cube)
+		}
+	}
+	return nil
+}
+
+// CyclePartition assigns each cycle to its own module: the natural CCC
+// packaging. Every module has n nodes and exactly n off-module (cube)
+// links: 1 per node, already constant - the reason the paper's
+// O(1/log N) butterfly result is the harder one.
+func (c *CCC) CyclePartition() *graph.Graph {
+	super := make([]int, c.Nodes)
+	for id := range super {
+		super[id], _ = c.CyclePos(id)
+	}
+	return c.G.Contract(super)
+}
+
+// LayoutResult is a built CCC layout.
+type LayoutResult struct {
+	N         int
+	GridRows  int
+	GridCols  int
+	BlockW    int
+	BlockH    int
+	RowTracks int
+	ColTracks int
+	L         *grid.Layout
+}
+
+const nodeSide = 3 // CCC nodes have degree 3
+
+// Layout places the 2^n cycles as a 2^ky x 2^kx grid of blocks
+// (kx = ceil(n/2)); each block holds its cycle's n nodes in a row with
+// the ring wired locally (chain plus one return track), and the cube
+// links of the kx low dimensions run in collinear track bands above each
+// block row while the remaining dimensions use vertical regions right of
+// each block column - the same scheme as the butterfly and hypercube
+// layouts. Area is Theta(4^n), bisection-optimal order for CCC.
+func (c *CCC) Layout() (*LayoutResult, error) {
+	n := c.N
+	kx := (n + 1) / 2
+	ky := n - kx
+	cols := 1 << uint(kx)
+	rows := 1 << uint(ky)
+
+	// Inter-block links per grid row: one track bank per low dimension
+	// d < kx. Each dimension's links form a perfect matching over the
+	// block columns (never chained in a track), so every wire has a
+	// private terminal; banks stack to form the band.
+	rowBanks, rowTracks, err := dimensionBanks(cols, kx)
+	if err != nil {
+		return nil, err
+	}
+	colBanks, colTracks, err := dimensionBanks(rows, ky)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &LayoutResult{
+		N: n, GridRows: rows, GridCols: cols,
+		RowTracks: rowTracks, ColTracks: colTracks,
+	}
+	// Block geometry: n node boxes side by side, one ring-return track
+	// above them, and per-node top terminals for the cube links going up
+	// (low dims) plus right-edge terminals (high dims).
+	pitch := nodeSide + 1
+	res.BlockW = n * pitch
+	res.BlockH = nodeSide + 1 + ky // node row + ring return + right-exit runs
+	blockX := func(gc int) int { return gc * (res.BlockW + res.ColTracks) }
+	blockY := func(gr int) int { return gr * (res.BlockH + res.RowTracks) }
+
+	l := grid.NewLayout(grid.Thompson, 2)
+	res.L = l
+	nodeRect := func(cy, p int) geom.Rect {
+		gc := cy & (cols - 1)
+		gr := cy >> uint(kx)
+		x0 := blockX(gc) + p*pitch
+		y0 := blockY(gr)
+		return geom.NewRect(x0, y0, x0+nodeSide-1, y0+nodeSide-1)
+	}
+	cycles := 1 << uint(n)
+	for cy := 0; cy < cycles; cy++ {
+		for p := 0; p < n; p++ {
+			l.AddNode(fmt.Sprintf("c%d.%d", cy, p), nodeRect(cy, p))
+		}
+	}
+	// Ring wiring inside each block: chain links between neighbors at
+	// slot y+1 and the closing link over the return track at y+nodeSide.
+	for cy := 0; cy < cycles; cy++ {
+		for p := 0; p+1 < n; p++ {
+			a, b := nodeRect(cy, p), nodeRect(cy, p+1)
+			if err := l.AddWireHV(fmt.Sprintf("r%d.%d", cy, p),
+				geom.Point{X: a.X1, Y: a.Y0 + 1},
+				geom.Point{X: b.X0, Y: b.Y0 + 1}); err != nil {
+				return nil, err
+			}
+		}
+		// closing link: up from node n-1, across the return track, down
+		// into node 0.
+		first, last := nodeRect(cy, 0), nodeRect(cy, n-1)
+		ry := first.Y1 + 1
+		if err := l.AddWireHV(fmt.Sprintf("r%d.w", cy),
+			geom.Point{X: last.X0 + 1, Y: last.Y1},
+			geom.Point{X: last.X0 + 1, Y: ry},
+			geom.Point{X: first.X0 + 1, Y: ry},
+			geom.Point{X: first.X0 + 1, Y: first.Y1},
+		); err != nil {
+			return nil, err
+		}
+	}
+	// Cube links, low dimensions d < kx: horizontal bands above each
+	// block row; position-d nodes exit through their own top column.
+	for cy := 0; cy < cycles; cy++ {
+		for d := 0; d < kx; d++ {
+			other := cy ^ (1 << uint(d))
+			if other < cy {
+				continue
+			}
+			gr := cy >> uint(kx)
+			a, b := cy&(cols-1), other&(cols-1)
+			track := rowBanks[d].offset + trackOf(rowBanks[d].ta, a, b)
+			ty := blockY(gr) + res.BlockH + track
+			na, nb := nodeRect(cy, d), nodeRect(other, d)
+			if err := l.AddWireHV(fmt.Sprintf("q%d.%d", cy, d),
+				geom.Point{X: na.X0 + 2, Y: na.Y1},
+				geom.Point{X: na.X0 + 2, Y: ty},
+				geom.Point{X: nb.X0 + 2, Y: ty},
+				geom.Point{X: nb.X0 + 2, Y: nb.Y1},
+			); err != nil {
+				return nil, err
+			}
+		}
+		// High dimensions d >= kx: vertical regions right of the column;
+		// the node's run goes right along its block's exit row.
+		for d := kx; d < n; d++ {
+			other := cy ^ (1 << uint(d))
+			if other < cy {
+				continue
+			}
+			gc := cy & (cols - 1)
+			ga, gb := cy>>uint(kx), other>>uint(kx)
+			bank := colBanks[d-kx]
+			track := bank.offset + trackOf(bank.ta, ga, gb)
+			tx := blockX(gc) + res.BlockW + track
+			na, nb := nodeRect(cy, d), nodeRect(other, d)
+			// exit run rows: one per high dimension, above the ring track
+			ya := blockY(ga) + nodeSide + 1 + (d - kx)
+			yb := blockY(gb) + nodeSide + 1 + (d - kx)
+			if err := l.AddWireHV(fmt.Sprintf("q%d.%d", cy, d),
+				geom.Point{X: na.X1, Y: na.Y0 + 2},
+				geom.Point{X: na.X1 + 1, Y: na.Y0 + 2},
+				geom.Point{X: na.X1 + 1, Y: ya},
+				geom.Point{X: tx, Y: ya},
+				geom.Point{X: tx, Y: yb},
+				geom.Point{X: nb.X1 + 1, Y: yb},
+				geom.Point{X: nb.X1 + 1, Y: nb.Y0 + 2},
+				geom.Point{X: nb.X1, Y: nb.Y0 + 2},
+			); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// bank is one dimension's private collinear track range.
+type bank struct {
+	ta     *collinear.TrackAssignment
+	offset int
+}
+
+// dimensionBanks builds, for each of k dimensions over m line positions,
+// the track assignment of that dimension's matching, stacked into
+// consecutive offsets.
+func dimensionBanks(m, k int) ([]bank, int, error) {
+	banks := make([]bank, k)
+	offset := 0
+	for d := 0; d < k; d++ {
+		var links []collinear.Link
+		for a := 0; a < m; a++ {
+			b := a ^ (1 << uint(d))
+			if b > a {
+				links = append(links, collinear.Link{A: a, B: b})
+			}
+		}
+		ta, err := collinear.FromLinks(m, links)
+		if err != nil {
+			return nil, 0, err
+		}
+		banks[d] = bank{ta: ta, offset: offset}
+		offset += ta.NumTracks
+	}
+	return banks, offset, nil
+}
+
+func trackOf(ta *collinear.TrackAssignment, a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	for _, lk := range ta.Links {
+		if lk.A == a && lk.B == b {
+			return lk.Track
+		}
+	}
+	return 0
+}
+
+// Stats measures the layout.
+func (r *LayoutResult) Stats() grid.Stats { return r.L.Stats() }
+
+// Validate runs the full Thompson-rule check.
+func (r *LayoutResult) Validate() error {
+	return r.L.Validate(grid.ValidateOptions{
+		CheckNodeInteriors:      true,
+		RequireTerminalsOnNodes: true,
+	})
+}

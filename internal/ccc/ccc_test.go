@@ -1,0 +1,149 @@
+package ccc
+
+import (
+	"testing"
+)
+
+func TestNewAndVerify(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		c := New(n)
+		if c.Nodes != n*(1<<uint(n)) {
+			t.Fatalf("CCC(%d) nodes = %d", n, c.Nodes)
+		}
+		if err := c.Verify(); err != nil {
+			t.Errorf("CCC(%d): %v", n, err)
+		}
+		if !c.G.Connected() {
+			t.Errorf("CCC(%d) disconnected", n)
+		}
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	c := New(4)
+	for cy := 0; cy < 16; cy++ {
+		for p := 0; p < 4; p++ {
+			gc, gp := c.CyclePos(c.ID(cy, p))
+			if gc != cy || gp != p {
+				t.Fatalf("round trip (%d,%d) -> (%d,%d)", cy, p, gc, gp)
+			}
+		}
+	}
+}
+
+func TestCyclePartition(t *testing.T) {
+	// Each cycle has exactly n off-module (cube) links: one per node.
+	c := New(5)
+	q := c.CyclePartition()
+	if q.NumNodes() != 32 {
+		t.Fatalf("cycles = %d", q.NumNodes())
+	}
+	for cy := 0; cy < q.NumNodes(); cy++ {
+		if d := q.Degree(cy); d != 5 {
+			t.Errorf("cycle %d has %d off-module links, want 5", cy, d)
+		}
+	}
+	// The quotient is exactly Q_n (simple).
+	for _, e := range q.Simple().Edges() {
+		diff := e.U ^ e.V
+		if diff&(diff-1) != 0 {
+			t.Errorf("quotient edge %d-%d not a hypercube link", e.U, e.V)
+		}
+	}
+}
+
+func TestLayoutValidates(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		c := New(n)
+		res, err := c.Layout()
+		if err != nil {
+			t.Fatalf("CCC(%d): %v", n, err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Errorf("CCC(%d): %v", n, err)
+		}
+		// Wires: ring chains (n-1 per cycle) + ring closers (1 per
+		// cycle) + cube links (n*2^n/2).
+		cycles := 1 << uint(n)
+		want := cycles*n + n*cycles/2
+		if got := len(res.L.Wires); got != want {
+			t.Errorf("CCC(%d): %d wires, want %d", n, got, want)
+		}
+		if got := len(res.L.Nodes); got != c.Nodes {
+			t.Errorf("CCC(%d): %d node boxes", n, got)
+		}
+	}
+}
+
+func TestLayoutAreaOrder(t *testing.T) {
+	// CCC(n) has bisection Theta(2^n); area should be Theta(4^n) with a
+	// modest constant under this scheme.
+	for _, n := range []int{4, 6, 8} {
+		res, err := New(n).Layout()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Stats()
+		lead := int64(1) << uint(2*n)
+		if st.Area < lead/4 {
+			t.Errorf("CCC(%d) area %d below bisection order %d", n, st.Area, lead/4)
+		}
+		if st.Area > 64*lead {
+			t.Errorf("CCC(%d) area %d far above Theta(4^n)", n, st.Area)
+		}
+	}
+}
+
+func TestDimensionBanksDisjoint(t *testing.T) {
+	banks, total, err := dimensionBanks(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(banks) != 3 {
+		t.Fatalf("banks = %d", len(banks))
+	}
+	// Offsets partition [0, total).
+	covered := 0
+	for _, b := range banks {
+		if b.offset != covered {
+			t.Errorf("bank offset %d, want %d", b.offset, covered)
+		}
+		covered += b.ta.NumTracks
+		if err := b.ta.ValidateLoose(); err != nil {
+			t.Error(err)
+		}
+	}
+	if covered != total {
+		t.Errorf("total %d != covered %d", total, covered)
+	}
+	// Dim-d matching needs max(1, 2^d)... measured: cuts 1, 2, 4.
+	wants := []int{1, 2, 4}
+	for d, b := range banks {
+		if b.ta.NumTracks != wants[d] {
+			t.Errorf("dim %d tracks = %d, want %d", d, b.ta.NumTracks, wants[d])
+		}
+	}
+}
+
+func TestNewPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{2, 19} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CCC(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func BenchmarkLayoutCCC6(b *testing.B) {
+	c := New(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Layout(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

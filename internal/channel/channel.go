@@ -1,0 +1,193 @@
+// Package channel provides a simple channel router for the stage-to-stage
+// wiring inside butterfly blocks. A channel is the vertical strip between
+// two columns of ports; each net connects a port on the left wall to a
+// port on the right wall. A net whose ports share a y coordinate runs
+// straight across; every other net uses one vertical track: left stub,
+// vertical run, right stub.
+//
+// Track assignment is the left-edge algorithm on the nets' y intervals
+// with strict separation (two nets in one track may not even touch, which
+// keeps their bends distinct and the realized geometry free of
+// knock-knees). The number of tracks therefore equals the maximum strict
+// overlap depth of the intervals, which for a butterfly cross step of
+// span 2^b is at most 2^{b+1}.
+package channel
+
+import (
+	"fmt"
+	"sort"
+
+	"bfvlsi/internal/geom"
+	"bfvlsi/internal/grid"
+)
+
+// Net is one connection through the channel.
+type Net struct {
+	Label  string
+	LeftY  int
+	RightY int
+}
+
+// Plan is a track assignment for a set of nets.
+type Plan struct {
+	// Tracks is the number of vertical tracks used.
+	Tracks int
+	// TrackOf[i] is the track of nets[i], or -1 for straight nets.
+	TrackOf []int
+}
+
+// straight reports whether the net needs no vertical track.
+func straight(n Net) bool { return n.LeftY == n.RightY }
+
+// Route assigns tracks to the nets. It fails if two nets share a port y
+// on the same wall, or if one net's left port y equals a different net's
+// right port y: their horizontal stubs would run on the same grid line
+// and could overlap. (A straight net trivially uses the same y on both
+// walls; that is allowed.) Builders satisfy this by giving left-wall and
+// right-wall ports distinct slot offsets inside each node box.
+func Route(nets []Net) (*Plan, error) {
+	left := make(map[int]string, len(nets))
+	right := make(map[int]string, len(nets))
+	for _, n := range nets {
+		if prev, ok := left[n.LeftY]; ok {
+			return nil, fmt.Errorf("channel: nets %q and %q share left port y=%d", prev, n.Label, n.LeftY)
+		}
+		left[n.LeftY] = n.Label
+		if prev, ok := right[n.RightY]; ok {
+			return nil, fmt.Errorf("channel: nets %q and %q share right port y=%d", prev, n.Label, n.RightY)
+		}
+		right[n.RightY] = n.Label
+	}
+	for _, n := range nets {
+		if straight(n) {
+			continue
+		}
+		if other, ok := right[n.LeftY]; ok {
+			return nil, fmt.Errorf("channel: net %q left port y=%d collides with right port of %q", n.Label, n.LeftY, other)
+		}
+		if other, ok := left[n.RightY]; ok {
+			return nil, fmt.Errorf("channel: net %q right port y=%d collides with left port of %q", n.Label, n.RightY, other)
+		}
+	}
+	plan := &Plan{TrackOf: make([]int, len(nets))}
+	type iv struct {
+		lo, hi, idx int
+	}
+	var ivs []iv
+	for i, n := range nets {
+		if straight(n) {
+			plan.TrackOf[i] = -1
+			continue
+		}
+		v := iv{lo: n.LeftY, hi: n.RightY, idx: i}
+		if v.lo > v.hi {
+			v.lo, v.hi = v.hi, v.lo
+		}
+		ivs = append(ivs, v)
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		return ivs[i].hi < ivs[j].hi
+	})
+	// Left-edge with strict separation: reuse the track whose last hi is
+	// strictly below the new lo.
+	type trk struct{ hi, id int }
+	var tracks []trk // sorted by hi ascending
+	insert := func(t trk) {
+		pos := sort.Search(len(tracks), func(i int) bool { return tracks[i].hi > t.hi })
+		tracks = append(tracks, trk{})
+		copy(tracks[pos+1:], tracks[pos:len(tracks)-1])
+		tracks[pos] = t
+	}
+	next := 0
+	for _, v := range ivs {
+		pos := sort.Search(len(tracks), func(i int) bool { return tracks[i].hi >= v.lo })
+		var t trk
+		if pos == 0 {
+			t = trk{id: next}
+			next++
+		} else {
+			t = tracks[pos-1]
+			tracks = append(tracks[:pos-1], tracks[pos:]...)
+		}
+		t.hi = v.hi
+		insert(t)
+		plan.TrackOf[v.idx] = t.id
+	}
+	plan.Tracks = next
+	return plan, nil
+}
+
+// Realize emits the planned nets into the layout as Thompson-style wires
+// (horizontal on layer 1, vertical on layer 2). xLeft and xRight are the
+// wall x coordinates (ports sit exactly on the walls); trackX maps a
+// track index to its x coordinate, which must lie strictly between the
+// walls.
+func Realize(l *grid.Layout, nets []Net, plan *Plan, xLeft, xRight int, trackX func(int) int) error {
+	return RealizeOnLayers(l, nets, plan, xLeft, xRight, trackX, 1, 2)
+}
+
+// RealizeOnLayers is Realize with explicit horizontal and vertical wiring
+// layers, for use inside multilayer layouts.
+func RealizeOnLayers(l *grid.Layout, nets []Net, plan *Plan, xLeft, xRight int, trackX func(int) int, hLayer, vLayer int) error {
+	if len(plan.TrackOf) != len(nets) {
+		return fmt.Errorf("channel: plan is for %d nets, got %d", len(plan.TrackOf), len(nets))
+	}
+	for i, n := range nets {
+		t := plan.TrackOf[i]
+		if t < 0 {
+			if err := l.AddWireOnLayers(n.Label, hLayer, vLayer,
+				geom.Point{X: xLeft, Y: n.LeftY},
+				geom.Point{X: xRight, Y: n.RightY}); err != nil {
+				return err
+			}
+			continue
+		}
+		tx := trackX(t)
+		if tx <= xLeft || tx >= xRight {
+			return fmt.Errorf("channel: track %d x=%d outside channel (%d,%d)", t, tx, xLeft, xRight)
+		}
+		if err := l.AddWireOnLayers(n.Label, hLayer, vLayer,
+			geom.Point{X: xLeft, Y: n.LeftY},
+			geom.Point{X: tx, Y: n.LeftY},
+			geom.Point{X: tx, Y: n.RightY},
+			geom.Point{X: xRight, Y: n.RightY}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxCut returns the maximum strict overlap depth of the non-straight
+// nets' y intervals: a lower bound on (and with left-edge, exactly) the
+// track count.
+func MaxCut(nets []Net) int {
+	type ev struct{ y, d int }
+	var evs []ev
+	for _, n := range nets {
+		if straight(n) {
+			continue
+		}
+		lo, hi := n.LeftY, n.RightY
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		evs = append(evs, ev{lo, +1}, ev{hi + 1, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].y != evs[j].y {
+			return evs[i].y < evs[j].y
+		}
+		return evs[i].d < evs[j].d // process -1 first? no: strict separation counts touching as overlap
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.d
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}

@@ -1,0 +1,166 @@
+package channel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bfvlsi/internal/grid"
+)
+
+func TestRouteStraightNets(t *testing.T) {
+	nets := []Net{{"a", 0, 0}, {"b", 3, 3}, {"c", 7, 7}}
+	p, err := Route(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tracks != 0 {
+		t.Errorf("tracks = %d, want 0", p.Tracks)
+	}
+	for i := range nets {
+		if p.TrackOf[i] != -1 {
+			t.Errorf("net %d got track %d", i, p.TrackOf[i])
+		}
+	}
+}
+
+func TestRouteCrossPair(t *testing.T) {
+	// A butterfly cross pair with slotted ports: left ports at slot 1,
+	// right ports at slot 2 of each node (pitch 4).
+	nets := []Net{{"up", 1, 4*1 + 2}, {"down", 4*1 + 1, 2}}
+	p, err := Route(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tracks != 2 {
+		t.Errorf("tracks = %d, want 2 (overlapping intervals)", p.Tracks)
+	}
+}
+
+func TestRouteSeparatedIntervalsShareTrack(t *testing.T) {
+	nets := []Net{{"a", 0, 3}, {"b", 5, 8}}
+	p, err := Route(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tracks != 1 {
+		t.Errorf("separated intervals use %d tracks, want 1", p.Tracks)
+	}
+}
+
+func TestRouteDuplicatePortsRejected(t *testing.T) {
+	if _, err := Route([]Net{{"a", 1, 2}, {"b", 1, 3}}); err == nil {
+		t.Error("shared left port accepted")
+	}
+	if _, err := Route([]Net{{"a", 1, 2}, {"b", 3, 2}}); err == nil {
+		t.Error("shared right port accepted")
+	}
+}
+
+func TestRouteCrossWallCollisionRejected(t *testing.T) {
+	// One net's left port y equals another's right port y: their stubs
+	// would run on the same grid line.
+	if _, err := Route([]Net{{"a", 1, 5}, {"b", 5, 9}}); err == nil {
+		t.Error("cross-wall port collision accepted")
+	}
+	// A straight net reusing its own y on both walls is fine.
+	if _, err := Route([]Net{{"s", 4, 4}, {"a", 1, 5}}); err != nil {
+		t.Errorf("straight net rejected: %v", err)
+	}
+}
+
+func TestTrackCountEqualsMaxCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		perm := rng.Perm(64)
+		perm2 := rng.Perm(64)
+		var nets []Net
+		for i := 0; i < n; i++ {
+			// even ys on the left wall, odd on the right: no collisions
+			nets = append(nets, Net{fmt.Sprintf("n%d", i), 2 * perm[i], 2*perm2[i] + 1})
+		}
+		p, err := Route(nets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Tracks != MaxCut(nets) {
+			t.Fatalf("trial %d: tracks=%d maxcut=%d (left-edge should be optimal)", trial, p.Tracks, MaxCut(nets))
+		}
+	}
+}
+
+func TestRealizeValidGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(20)
+		perm := rng.Perm(50)
+		perm2 := rng.Perm(50)
+		var nets []Net
+		for i := 0; i < n; i++ {
+			nets = append(nets, Net{fmt.Sprintf("n%d", i), 2 * perm[i], 2*perm2[i] + 1})
+		}
+		p, err := Route(nets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := grid.NewLayout(grid.Thompson, 2)
+		xLeft, xRight := 0, p.Tracks+1
+		if err := Realize(l, nets, p, xLeft, xRight, func(tk int) int { return 1 + tk }); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Validate(grid.ValidateOptions{}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRealizeTrackOutsideChannel(t *testing.T) {
+	nets := []Net{{"a", 0, 5}}
+	p, err := Route(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := grid.NewLayout(grid.Thompson, 2)
+	if err := Realize(l, nets, p, 0, 1, func(int) int { return 5 }); err == nil {
+		t.Error("out-of-channel track accepted")
+	}
+}
+
+func TestButterflyCrossStepTrackBound(t *testing.T) {
+	// A full butterfly cross step of span 2^b over 2^k rows with row
+	// pitch p needs at most 2^{b+1} tracks.
+	for k := 1; k <= 6; k++ {
+		for b := 0; b < k; b++ {
+			pitch := 8
+			var nets []Net
+			for r := 0; r < 1<<uint(k); r++ {
+				w := r ^ (1 << uint(b))
+				nets = append(nets, Net{fmt.Sprintf("x%d", r), r*pitch + 1, w*pitch + 2})
+			}
+			p, err := Route(nets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Tracks > 1<<uint(b+1) {
+				t.Errorf("k=%d b=%d: %d tracks > bound %d", k, b, p.Tracks, 1<<uint(b+1))
+			}
+		}
+	}
+}
+
+func BenchmarkRoute1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(4096)
+	perm2 := rng.Perm(4096)
+	var nets []Net
+	for i := 0; i < 1024; i++ {
+		nets = append(nets, Net{"", 2 * perm[i], 2*perm2[i] + 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Route(nets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package collinear implements the strictly optimal collinear layout of
+// complete graphs from Appendix B of the paper, plus two baselines.
+//
+// A collinear layout places the N nodes of K_N along a row and routes
+// every one of the N(N-1)/2 links in horizontal tracks above them. The
+// paper's scheme classifies a link joining nodes a < b as "type i" with
+// i = b - a and assigns:
+//
+//   - type-i links, i <= N/2: to i tracks, one per residue class of the
+//     node address modulo i (links in a class chain end-to-end);
+//   - type-i links, i > N/2: each of the N-i links gets its own track.
+//
+// The total is sum_i min(i, N-i) = floor(N^2/4) tracks, exactly matching
+// the bisection lower bound, 25% below the 4(4^(log2 N - 1) - 1)/3 bound
+// of Chen & Agrawal that the paper improves on.
+package collinear
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bfvlsi/internal/geom"
+	"bfvlsi/internal/grid"
+)
+
+// AssignedLink is a K_N link placed in a track.
+type AssignedLink struct {
+	A, B  int // 0-based node indices, A < B
+	Track int
+}
+
+// TrackAssignment maps every link of K_N to a track such that links
+// sharing a track do not overlap in their interiors.
+type TrackAssignment struct {
+	N         int
+	NumTracks int
+	Links     []AssignedLink
+}
+
+// OptimalTracks returns floor(N^2/4), the paper's strictly optimal track
+// count (and the bisection-width lower bound for even N).
+func OptimalTracks(n int) int { return n * n / 4 }
+
+// ChenAgrawalTracks returns the prior best bound the paper improves on:
+// 4*(4^(ceil(log2 N)-1) - 1)/3 tracks (Chen & Agrawal, dBCube). Defined
+// for N >= 2; N is rounded up to a power of two as in the original
+// recursive construction.
+func ChenAgrawalTracks(n int) int {
+	if n < 2 {
+		return 0
+	}
+	lg := 0
+	for (1 << uint(lg)) < n {
+		lg++
+	}
+	// 4*(4^(lg-1)-1)/3
+	p := 1
+	for i := 0; i < lg-1; i++ {
+		p *= 4
+	}
+	return 4 * (p - 1) / 3
+}
+
+// Optimal constructs the paper's assignment for K_n (Appendix B).
+func Optimal(n int) *TrackAssignment {
+	if n < 2 {
+		panic(fmt.Sprintf("collinear: K_%d has no links", n))
+	}
+	ta := &TrackAssignment{N: n}
+	// Track base offset for each type: types laid out in order 1..n-1.
+	base := 0
+	for i := 1; i < n; i++ {
+		cnt := i
+		if n-i < cnt {
+			cnt = n - i
+		}
+		if i <= n/2 {
+			// one track per residue class modulo i
+			for a := 0; a+i < n; a++ {
+				ta.Links = append(ta.Links, AssignedLink{A: a, B: a + i, Track: base + a%i})
+			}
+		} else {
+			// each link its own track
+			t := 0
+			for a := 0; a+i < n; a++ {
+				ta.Links = append(ta.Links, AssignedLink{A: a, B: a + i, Track: base + t})
+				t++
+			}
+		}
+		base += cnt
+	}
+	ta.NumTracks = base
+	return ta
+}
+
+// Greedy constructs an assignment with the classical left-edge algorithm
+// (sort links by left endpoint; place each in the lowest track whose
+// last-used right endpoint is <= the link's left endpoint). It serves as
+// an independent constructive baseline: for K_n it also achieves the
+// maximum cut, floor(n^2/4) tracks, corroborating the optimality of the
+// paper's closed-form scheme.
+func Greedy(n int) *TrackAssignment {
+	if n < 2 {
+		panic(fmt.Sprintf("collinear: K_%d has no links", n))
+	}
+	type link struct{ a, b int }
+	var links []link
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			links = append(links, link{a, b})
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].a != links[j].a {
+			return links[i].a < links[j].a
+		}
+		return links[i].b < links[j].b
+	})
+	// Tracks kept sorted ascending by their rightmost used endpoint; for
+	// each link reuse the track with the largest end <= its left endpoint
+	// (best-fit left-edge), else open a new track.
+	type trk struct{ end, id int }
+	var tracks []trk
+	insert := func(t trk) {
+		pos := sort.Search(len(tracks), func(i int) bool { return tracks[i].end > t.end })
+		tracks = append(tracks, trk{})
+		copy(tracks[pos+1:], tracks[pos:len(tracks)-1])
+		tracks[pos] = t
+	}
+	ta := &TrackAssignment{N: n}
+	nextID := 0
+	for _, lk := range links {
+		idx := sort.Search(len(tracks), func(i int) bool { return tracks[i].end > lk.a })
+		var t trk
+		if idx == 0 {
+			t = trk{id: nextID}
+			nextID++
+		} else {
+			t = tracks[idx-1]
+			tracks = append(tracks[:idx-1], tracks[idx:]...)
+		}
+		t.end = lk.b
+		insert(t)
+		ta.Links = append(ta.Links, AssignedLink{A: lk.a, B: lk.b, Track: t.id})
+	}
+	ta.NumTracks = nextID
+	return ta
+}
+
+// Validate checks that the assignment covers every link of K_N exactly
+// once, track indices are within range, and no two links in the same
+// track overlap in more than an endpoint.
+func (ta *TrackAssignment) Validate() error {
+	seen := make(map[[2]int]bool)
+	byTrack := make(map[int][]AssignedLink)
+	for _, lk := range ta.Links {
+		if lk.A < 0 || lk.B >= ta.N || lk.A >= lk.B {
+			return fmt.Errorf("collinear: bad link %+v", lk)
+		}
+		key := [2]int{lk.A, lk.B}
+		if seen[key] {
+			return fmt.Errorf("collinear: duplicate link %v", key)
+		}
+		seen[key] = true
+		if lk.Track < 0 || lk.Track >= ta.NumTracks {
+			return fmt.Errorf("collinear: link %v track %d out of range [0,%d)", key, lk.Track, ta.NumTracks)
+		}
+		byTrack[lk.Track] = append(byTrack[lk.Track], lk)
+	}
+	if want := ta.N * (ta.N - 1) / 2; len(ta.Links) != want {
+		return fmt.Errorf("collinear: %d links assigned, want %d", len(ta.Links), want)
+	}
+	for t, links := range byTrack {
+		sort.Slice(links, func(i, j int) bool { return links[i].A < links[j].A })
+		for i := 1; i < len(links); i++ {
+			if links[i].A < links[i-1].B {
+				return fmt.Errorf("collinear: track %d: links %+v and %+v overlap", t, links[i-1], links[i])
+			}
+		}
+	}
+	return nil
+}
+
+// ReorderByDescendingSpan renumbers tracks so that tracks holding longer
+// links sit closer to the node row (lower track index). This is the
+// paper's remark that reversing the track order reduces the maximum wire
+// length: the longest horizontal runs then pay the smallest vertical
+// detour.
+func (ta *TrackAssignment) ReorderByDescendingSpan() {
+	maxSpan := make([]int, ta.NumTracks)
+	for _, lk := range ta.Links {
+		if s := lk.B - lk.A; s > maxSpan[lk.Track] {
+			maxSpan[lk.Track] = s
+		}
+	}
+	order := make([]int, ta.NumTracks)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return maxSpan[order[i]] > maxSpan[order[j]] })
+	newIdx := make([]int, ta.NumTracks)
+	for rank, t := range order {
+		newIdx[t] = rank
+	}
+	for i := range ta.Links {
+		ta.Links[i].Track = newIdx[ta.Links[i].Track]
+	}
+}
+
+// LayoutOptions controls geometric realization of a track assignment.
+type LayoutOptions struct {
+	// Replication lays out each link as this many parallel copies, each
+	// in its own track bank (the paper's quadrupled collinear layouts use
+	// Replication 4). Default 1.
+	Replication int
+	// NodeHeight is the height of the node boxes (default 1).
+	NodeHeight int
+}
+
+// ToLayout realizes the assignment as a Thompson-model layout: node boxes
+// in a row (each wide enough for one terminal per incident wire), tracks
+// above, every wire an up-over-down polyline. The result validates under
+// the Thompson rules.
+func ToLayout(ta *TrackAssignment, opts LayoutOptions) (*grid.Layout, error) {
+	rep := opts.Replication
+	if rep == 0 {
+		rep = 1
+	}
+	if rep < 1 {
+		return nil, fmt.Errorf("collinear: replication %d < 1", rep)
+	}
+	nodeH := opts.NodeHeight
+	if nodeH == 0 {
+		nodeH = 1
+	}
+	n := ta.N
+	deg := (n - 1) * rep // terminals per node
+	pitch := deg + 1
+	l := grid.NewLayout(grid.Thompson, 2)
+	nodeX := func(v int) int { return v * pitch }
+	// terminal column for the link (v -> other, copy c): rank of (other,c)
+	// among v's incident wires ordered by (other, c).
+	term := func(v, other, c int) int {
+		rank := 0
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			if u < other {
+				rank += rep
+			}
+		}
+		return nodeX(v) + rank + c
+	}
+	topY := nodeH - 1 // node boxes occupy y in [0, nodeH-1]
+	for v := 0; v < n; v++ {
+		l.AddNode(fmt.Sprintf("node%d", v), geom.NewRect(nodeX(v), 0, nodeX(v)+deg-1, topY))
+	}
+	trackY := func(track, copy int) int { return topY + 1 + copy*ta.NumTracks + track }
+	for _, lk := range ta.Links {
+		for c := 0; c < rep; c++ {
+			xa := term(lk.A, lk.B, c)
+			xb := term(lk.B, lk.A, c)
+			y := trackY(lk.Track, c)
+			label := fmt.Sprintf("k%d-%d.%d", lk.A, lk.B, c)
+			if err := l.AddWireHV(label,
+				geom.Point{X: xa, Y: topY},
+				geom.Point{X: xa, Y: y},
+				geom.Point{X: xb, Y: y},
+				geom.Point{X: xb, Y: topY},
+			); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return l, nil
+}
+
+// MaxWireLength computes, without building geometry, the maximum wire
+// length of the single-copy unit-node realization: horizontal span in
+// node pitches plus twice the vertical track offset.
+func (ta *TrackAssignment) MaxWireLength() int {
+	pitch := ta.N // abstract unit pitch per node
+	max := 0
+	for _, lk := range ta.Links {
+		length := (lk.B-lk.A)*pitch + 2*(lk.Track+1)
+		if length > max {
+			max = length
+		}
+	}
+	return max
+}
+
+// Efficiency returns NumTracks / OptimalTracks, i.e. 1.0 for an optimal
+// assignment.
+func (ta *TrackAssignment) Efficiency() float64 {
+	return float64(ta.NumTracks) / float64(OptimalTracks(ta.N))
+}
+
+// TheoreticalTotal verifies the closed form of Appendix B by direct
+// summation: sum_{i=1}^{N-1} min(i, N-i), which the paper shows equals
+// floor(N^2/4).
+func TheoreticalTotal(n int) int {
+	total := 0
+	for i := 1; i < n; i++ {
+		total += int(math.Min(float64(i), float64(n-i)))
+	}
+	return total
+}

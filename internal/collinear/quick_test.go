@@ -1,0 +1,72 @@
+package collinear
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property (testing/quick): for any N in [2, 64], the paper's assignment
+// is valid and uses exactly floor(N^2/4) tracks, and reordering tracks
+// never breaks validity nor increases the abstract max wire length.
+func TestOptimalQuickProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 2 + int(raw)%63
+		ta := Optimal(n)
+		if ta.Validate() != nil || ta.NumTracks != OptimalTracks(n) {
+			return false
+		}
+		before := ta.MaxWireLength()
+		ta.ReorderByDescendingSpan()
+		return ta.Validate() == nil && ta.MaxWireLength() <= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: greedy and the closed-form scheme always agree on the track
+// count (both optimal).
+func TestGreedyEqualsOptimalQuick(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 2 + int(raw)%40
+		return Greedy(n).NumTracks == Optimal(n).NumTracks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromLinks on any random link multiset equals MaxCut and
+// validates loosely.
+func TestFromLinksQuick(t *testing.T) {
+	f := func(seed int64, nodes uint8, count uint8) bool {
+		n := 2 + int(nodes)%24
+		m := int(count) % 48
+		links := make([]Link, 0, m)
+		s := seed
+		next := func(mod int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int((s >> 33) % int64(mod))
+			if v < 0 {
+				v += mod
+			}
+			return v
+		}
+		for i := 0; i < m; i++ {
+			a := next(n)
+			b := next(n)
+			if a == b {
+				b = (b + 1) % n
+			}
+			links = append(links, Link{A: a, B: b})
+		}
+		ta, err := FromLinks(n, links)
+		if err != nil {
+			return false
+		}
+		return ta.ValidateLoose() == nil && ta.NumTracks == MaxCut(n, links)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

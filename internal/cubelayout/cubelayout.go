@@ -1,0 +1,210 @@
+// Package cubelayout lays out hypercubes and k-ary 2-cubes (2-D tori)
+// with the same grid-of-collinear-layouts scheme the paper uses for
+// butterflies, substantiating the conclusion's remark that "the layouts
+// for ... many other networks, such as hypercubes and k-ary n-cubes"
+// follow from the same technique (and the authors' companion paper [26]).
+//
+// The scheme: split the node address into a column part and a row part
+// and place the nodes as a 2-D grid. Links that vary only the column
+// part stay within a grid row and are wired in a horizontal track band
+// above that row using an optimal collinear assignment; links that vary
+// the row part stay within a grid column and use a vertical track region
+// to its right. For Q_n with an even split this gives area Theta(N^2),
+// matching the bisection lower bound up to a constant.
+package cubelayout
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/collinear"
+	"bfvlsi/internal/geom"
+	"bfvlsi/internal/grid"
+)
+
+// Result is a built layout plus its bookkeeping.
+type Result struct {
+	Rows, Cols int
+	NodeSide   int
+	RowTracks  int // horizontal tracks per row band
+	ColTracks  int // vertical tracks per column region
+	L          *grid.Layout
+}
+
+// Build lays out an arbitrary product-structured network: rows x cols
+// nodes; rowLinks is the link set applied within every grid row
+// (indices are column positions), colLinks within every grid column
+// (indices are row positions).
+func Build(rows, cols int, rowLinks, colLinks []collinear.Link) (*Result, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("cubelayout: need positive grid dimensions")
+	}
+	if rows*cols > 1<<20 {
+		return nil, fmt.Errorf("cubelayout: %dx%d too large", rows, cols)
+	}
+	rowTA, err := collinear.FromLinks(cols, rowLinks)
+	if err != nil {
+		return nil, fmt.Errorf("cubelayout: row links: %v", err)
+	}
+	colTA, err := collinear.FromLinks(rows, colLinks)
+	if err != nil {
+		return nil, fmt.Errorf("cubelayout: column links: %v", err)
+	}
+
+	// Node side: enough terminals on the top edge for the row-link
+	// degree and on the right edge for the column-link degree, and at
+	// least the Thompson degree-sized box.
+	rowDeg := degrees(cols, rowLinks)
+	colDeg := degrees(rows, colLinks)
+	maxRow, maxCol := maxOf(rowDeg), maxOf(colDeg)
+	nodeSide := maxRow + maxCol
+	if nodeSide < 1 {
+		nodeSide = 1
+	}
+
+	res := &Result{
+		Rows: rows, Cols: cols,
+		NodeSide:  nodeSide,
+		RowTracks: rowTA.NumTracks,
+		ColTracks: colTA.NumTracks,
+	}
+	l := grid.NewLayout(grid.Thompson, 2)
+	res.L = l
+
+	pitchX := nodeSide + res.ColTracks
+	pitchY := nodeSide + res.RowTracks
+	nodeX := func(c int) int { return c * pitchX }
+	nodeY := func(r int) int { return r * pitchY }
+
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			l.AddNode(fmt.Sprintf("q%d.%d", r, c),
+				geom.NewRect(nodeX(c), nodeY(r), nodeX(c)+nodeSide-1, nodeY(r)+nodeSide-1))
+		}
+	}
+
+	// Terminal offsets: for node-position v in a line with links,
+	// rank of each neighbor among v's neighbors sorted ascending.
+	rowRank := ranks(cols, rowLinks)
+	colRank := ranks(rows, colLinks)
+
+	// Row links: band above each grid row.
+	for r := 0; r < rows; r++ {
+		bandY := nodeY(r) + nodeSide
+		for _, lk := range rowTA.Links {
+			xa := nodeX(lk.A) + rowRank[lk.A][lk.B]
+			xb := nodeX(lk.B) + rowRank[lk.B][lk.A]
+			y := bandY + lk.Track
+			if err := l.AddWireHV(fmt.Sprintf("r%d.%d-%d", r, lk.A, lk.B),
+				geom.Point{X: xa, Y: nodeY(r) + nodeSide - 1},
+				geom.Point{X: xa, Y: y},
+				geom.Point{X: xb, Y: y},
+				geom.Point{X: xb, Y: nodeY(r) + nodeSide - 1},
+			); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Column links: region right of each grid column. Terminal y slots
+	// start above the row-link x-slot range cannot collide: x slots are
+	// horizontal offsets, y slots vertical; both fit because
+	// nodeSide = maxRow + maxCol and column slots begin at maxRow.
+	for c := 0; c < cols; c++ {
+		regionX := nodeX(c) + nodeSide
+		for _, lk := range colTA.Links {
+			ya := nodeY(lk.A) + maxRow + colRank[lk.A][lk.B]
+			yb := nodeY(lk.B) + maxRow + colRank[lk.B][lk.A]
+			x := regionX + lk.Track
+			if err := l.AddWireHV(fmt.Sprintf("c%d.%d-%d", c, lk.A, lk.B),
+				geom.Point{X: nodeX(c) + nodeSide - 1, Y: ya},
+				geom.Point{X: x, Y: ya},
+				geom.Point{X: x, Y: yb},
+				geom.Point{X: nodeX(c) + nodeSide - 1, Y: yb},
+			); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+func degrees(n int, links []collinear.Link) []int {
+	deg := make([]int, n)
+	for _, lk := range links {
+		deg[lk.A]++
+		deg[lk.B]++
+	}
+	return deg
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ranks[v][u] = index of u among v's neighbors in ascending order.
+func ranks(n int, links []collinear.Link) []map[int]int {
+	neigh := make([][]int, n)
+	for _, lk := range links {
+		neigh[lk.A] = append(neigh[lk.A], lk.B)
+		neigh[lk.B] = append(neigh[lk.B], lk.A)
+	}
+	out := make([]map[int]int, n)
+	for v := range neigh {
+		ns := neigh[v]
+		// insertion sort; degrees are tiny
+		for i := 1; i < len(ns); i++ {
+			for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+				ns[j], ns[j-1] = ns[j-1], ns[j]
+			}
+		}
+		m := make(map[int]int, len(ns))
+		for i, u := range ns {
+			m[u] = i
+		}
+		out[v] = m
+	}
+	return out
+}
+
+// Hypercube lays out Q_n with the even address split
+// (kx = ceil(n/2) column bits, ky = n - kx row bits).
+func Hypercube(n int) (*Result, error) {
+	if n < 1 || n > 16 {
+		return nil, fmt.Errorf("cubelayout: dimension %d out of range [1,16]", n)
+	}
+	kx := (n + 1) / 2
+	ky := n - kx
+	cols := 1 << uint(kx)
+	rows := 1 << uint(ky)
+	var colLinks []collinear.Link
+	if ky > 0 {
+		colLinks = collinear.HypercubeLinks(ky)
+	}
+	return Build(rows, cols, collinear.HypercubeLinks(kx), colLinks)
+}
+
+// Torus lays out the k-ary 2-cube (k x k torus): every grid row and
+// column is a k-node ring.
+func Torus(k int) (*Result, error) {
+	if k < 2 || k > 1024 {
+		return nil, fmt.Errorf("cubelayout: torus radix %d out of range [2,1024]", k)
+	}
+	return Build(k, k, collinear.RingLinks(k), collinear.RingLinks(k))
+}
+
+// Stats measures the built layout.
+func (r *Result) Stats() grid.Stats { return r.L.Stats() }
+
+// Validate runs the full Thompson-rule check.
+func (r *Result) Validate() error {
+	return r.L.Validate(grid.ValidateOptions{
+		CheckNodeInteriors:      true,
+		RequireTerminalsOnNodes: true,
+	})
+}

@@ -1,0 +1,156 @@
+package cubelayout
+
+import (
+	"testing"
+
+	"bfvlsi/internal/collinear"
+)
+
+func TestHypercubeValidates(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		res, err := Hypercube(n)
+		if err != nil {
+			t.Fatalf("Q_%d: %v", n, err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Errorf("Q_%d: %v", n, err)
+		}
+		wantWires := n * (1 << uint(n)) / 2
+		if got := len(res.L.Wires); got != wantWires {
+			t.Errorf("Q_%d: %d wires, want %d", n, got, wantWires)
+		}
+		if got := len(res.L.Nodes); got != 1<<uint(n) {
+			t.Errorf("Q_%d: %d nodes", n, got)
+		}
+	}
+}
+
+func TestHypercubeAreaOrderNSquared(t *testing.T) {
+	// Area must be Theta(N^2): N^2/4 (bisection bound, up to node size)
+	// <= area <= c * N^2 for a modest c.
+	for _, n := range []int{4, 6, 8, 10} {
+		res, err := Hypercube(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Stats()
+		nn := int64(1) << uint(n)
+		if st.Area < nn*nn/8 {
+			t.Errorf("Q_%d: area %d below bisection order %d", n, st.Area, nn*nn/8)
+		}
+		if st.Area > 64*nn*nn {
+			t.Errorf("Q_%d: area %d far above Theta(N^2)", n, st.Area)
+		}
+	}
+}
+
+func TestHypercubeAreaRatioStabilizes(t *testing.T) {
+	// area / N^2 should approach a constant (the scheme's leading
+	// coefficient), i.e. consecutive ratios get closer.
+	var ratios []float64
+	for _, n := range []int{6, 8, 10} {
+		res, err := Hypercube(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nn := float64(int64(1) << uint(n))
+		ratios = append(ratios, float64(res.Stats().Area)/(nn*nn))
+	}
+	d1 := ratios[1]/ratios[0] - 1
+	d2 := ratios[2]/ratios[1] - 1
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	if abs(d2) > abs(d1)+0.05 {
+		t.Errorf("ratios diverging: %v", ratios)
+	}
+}
+
+func TestTorusValidates(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8, 16} {
+		res, err := Torus(k)
+		if err != nil {
+			t.Fatalf("torus %d: %v", k, err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Errorf("torus %d: %v", k, err)
+		}
+		wantWires := 2 * k * k
+		if k == 2 {
+			wantWires = 2 * 2 // single edge per 2-ring, per row/col
+		}
+		if got := len(res.L.Wires); got != wantWires {
+			t.Errorf("torus %d: %d wires, want %d", k, got, wantWires)
+		}
+	}
+}
+
+func TestTorusTrackCounts(t *testing.T) {
+	// A k-ring in natural order needs exactly 2 tracks (adjacent chain +
+	// the wrap link) for k >= 3.
+	res, err := Torus(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowTracks != 2 || res.ColTracks != 2 {
+		t.Errorf("tracks = %d/%d, want 2/2", res.RowTracks, res.ColTracks)
+	}
+	// Torus area therefore ~ (k*(nodeSide+2))^2: very compact.
+	st := res.Stats()
+	want := int64(5*(res.NodeSide+2)) * int64(5*(res.NodeSide+2))
+	if st.Area > want {
+		t.Errorf("area %d exceeds %d", st.Area, want)
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(0, 4, nil, nil); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := Build(2, 2, []collinear.Link{{A: 0, B: 5}}, nil); err == nil {
+		t.Error("out-of-range row link accepted")
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("Q_0 accepted")
+	}
+	if _, err := Torus(1); err == nil {
+		t.Error("1-ary torus accepted")
+	}
+}
+
+func TestBuildCustomNetwork(t *testing.T) {
+	// A 3x4 mesh (no wraparound): rows are 4-node paths, columns 3-node
+	// paths.
+	rowLinks := []collinear.Link{{A: 0, B: 1}, {A: 1, B: 2}, {A: 2, B: 3}}
+	colLinks := []collinear.Link{{A: 0, B: 1}, {A: 1, B: 2}}
+	res, err := Build(3, 4, rowLinks, colLinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Paths chain in one track each.
+	if res.RowTracks != 1 || res.ColTracks != 1 {
+		t.Errorf("mesh tracks = %d/%d, want 1/1", res.RowTracks, res.ColTracks)
+	}
+}
+
+func BenchmarkHypercubeQ10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Hypercube(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTorus32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Torus(32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package experiments implements the reproduction harness: one function
+// per experiment of the DESIGN.md index (E1-E12 from the paper, E13-E18
+// extensions), each regenerating its table or figure from the live
+// implementation. The cmd/bftables binary is a thin shell over this
+// package, which keeps every experiment under test.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Config carries the output sink and effort level into an experiment.
+type Config struct {
+	// W receives the experiment's report.
+	W io.Writer
+	// Quick shrinks the slowest sweeps for smoke runs.
+	Quick bool
+}
+
+func (c *Config) tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(c.W, 2, 4, 2, ' ', 0)
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(c *Config) error
+}
+
+// All returns the experiments in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"e1", "Fig. 1: 4x4 ISN -> butterfly transformation", e1},
+		{"e2", "Fig. 2: 8x8 / 16x16 swap-butterflies", e2},
+		{"e3", "Fig. 3: recursive grid layout structure", e3},
+		{"e4", "Fig. 4: collinear layouts of K_N", e4},
+		{"e5", "Sec. 2.3: off-module links vs baseline", e5},
+		{"e6", "Thm. 2.1: nucleus packaging bounds", e6},
+		{"e7", "Sec. 3: Thompson-model area and wire length", e7},
+		{"e8", "Thm. 4.1: multilayer area, wire length, volume", e8},
+		{"e9", "Sec. 5.2: hierarchical chip/board example", e9},
+		{"e10", "Sec. 2.3: injection-rate lower bound (simulated)", e10},
+		{"e11", "Sec. 3.3/4.2: node-size scalability", e11},
+		{"e12", "Sec. 2.2: FFT along ISN stages", e12},
+		{"e13", "extension: hypercube & torus layouts (conclusion)", e13},
+		{"e14", "extension: Benes rearrangeability (introduction)", e14},
+		{"e15", "extension: adversarial traffic patterns", e15},
+		{"e16", "extension: 3-level packaging & cost model", e16},
+		{"e17", "extension: Batcher bitonic sorter layout", e17},
+		{"e18", "extension: wire-length distribution & layer usage", e18},
+		{"e19", "extension: 3-D stacked layouts & bisection bounds", e19},
+		{"e20", "extension: finite buffers, deadlock, virtual channels", e20},
+	}
+}
+
+// Run executes the named experiment into c.W.
+func Run(name string, c *Config) error {
+	for _, ex := range All() {
+		if ex.Name == name {
+			return ex.Run(c)
+		}
+	}
+	return fmt.Errorf("experiments: unknown experiment %q", name)
+}

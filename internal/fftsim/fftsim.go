@@ -1,0 +1,163 @@
+// Package fftsim executes a fast Fourier transform along the stages of an
+// indirect swap network, demonstrating the claim that underpins the
+// paper's ISN -> butterfly transformation (Section 2.2): an ISN's flow
+// graph performs an ascend (FFT) computation, with swap steps merely
+// forwarding data between clusters.
+//
+// Mechanics: the R inputs are loaded in bit-reversed order at stage 0.
+// At every cross step the engine performs decimation-in-time radix-2
+// butterflies between the rows the ISN physically connects; at every swap
+// step the data moves along the swap links. The in-place array index of
+// each datum is tracked through the permutations; the structural theorem
+// that rows joined by a cross step always hold indices differing in
+// exactly the next FFT dimension is asserted at every step - if the ISN
+// wiring were wrong, the assertion (not just the output) would fail.
+package fftsim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/isn"
+)
+
+// DFT is the O(R^2) reference discrete Fourier transform:
+// X[k] = sum_j x[j] exp(-2*pi*i*j*k/R).
+func DFT(x []complex128) []complex128 {
+	r := len(x)
+	out := make([]complex128, r)
+	for k := 0; k < r; k++ {
+		var sum complex128
+		for j := 0; j < r; j++ {
+			angle := -2 * math.Pi * float64(j) * float64(k) / float64(r)
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Result reports an ISN FFT execution.
+type Result struct {
+	// Output is the DFT of the input, in natural order.
+	Output []complex128
+	// CommSteps is the number of inter-stage communication steps used:
+	// n_l + l - 1 for an l-level ISN (Appendix A.2).
+	CommSteps int
+	// SwapSteps counts the forwarding-only steps among them.
+	SwapSteps int
+}
+
+// OnISN runs the FFT of x along the stages of the ISN. len(x) must equal
+// the ISN's row count.
+func OnISN(in *isn.ISN, x []complex128) (*Result, error) {
+	r := in.Rows
+	if len(x) != r {
+		return nil, fmt.Errorf("fftsim: input length %d, ISN has %d rows", len(x), r)
+	}
+	n := in.Spec.TotalBits()
+	// Load bit-reversed: row p holds in-place index p whose initial value
+	// is x[rev(p)].
+	cur := make([]complex128, r)
+	nat := make([]int, r)
+	for p := 0; p < r; p++ {
+		cur[p] = x[reverseBits(p, n)]
+		nat[p] = p
+	}
+	res := &Result{CommSteps: len(in.Steps)}
+	for _, st := range in.Steps {
+		switch st.Kind {
+		case isn.SwapStep:
+			res.SwapSteps++
+			nextCur := make([]complex128, r)
+			nextNat := make([]int, r)
+			for row := 0; row < r; row++ {
+				to := int(in.Spec.SwapNeighbor(uint64(row), st.Level))
+				nextCur[to] = cur[row]
+				nextNat[to] = nat[row]
+			}
+			cur, nat = nextCur, nextNat
+		case isn.CrossStep:
+			bit := 1 << uint(st.Bit)
+			dimBit := 1 << uint(st.Dim)
+			for row := 0; row < r; row++ {
+				if row&bit != 0 {
+					continue
+				}
+				u, v := row, row^bit
+				pu, pv := nat[u], nat[v]
+				if pu^pv != dimBit {
+					return nil, fmt.Errorf("fftsim: step %v pairs indices %d and %d; expected to differ in bit %d",
+						st, pu, pv, st.Dim)
+				}
+				lo, hi := u, v
+				if pu&dimBit != 0 {
+					lo, hi = v, u
+				}
+				j := nat[lo] & (dimBit - 1)
+				angle := -2 * math.Pi * float64(j) / float64(2*dimBit)
+				w := cmplx.Exp(complex(0, angle))
+				t := w * cur[hi]
+				a := cur[lo]
+				cur[lo] = a + t
+				cur[hi] = a - t
+			}
+		}
+	}
+	out := make([]complex128, r)
+	for row := 0; row < r; row++ {
+		out[nat[row]] = cur[row]
+	}
+	res.Output = out
+	return res, nil
+}
+
+// OnButterfly runs the FFT along a plain butterfly network: the l = 1
+// special case of OnISN (no swap steps, n communication steps).
+func OnButterfly(n int, x []complex128) (*Result, error) {
+	spec, err := bitutil.NewGroupSpec(n)
+	if err != nil {
+		return nil, err
+	}
+	return OnISN(isn.New(spec), x)
+}
+
+// Inverse computes the inverse DFT of X using the same ISN dataflow
+// (conjugate trick: IDFT(X) = conj(DFT(conj(X))) / R).
+func Inverse(in *isn.ISN, x []complex128) ([]complex128, error) {
+	conj := make([]complex128, len(x))
+	for i, v := range x {
+		conj[i] = cmplx.Conj(v)
+	}
+	res, err := OnISN(in, conj)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x))
+	scale := complex(float64(len(x)), 0)
+	for i, v := range res.Output {
+		out[i] = cmplx.Conj(v) / scale
+	}
+	return out, nil
+}
+
+// MaxError returns the largest magnitude difference between two vectors.
+func MaxError(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func reverseBits(v, width int) int {
+	return int(bits.Reverse64(uint64(v)) >> uint(64-width))
+}

@@ -1,0 +1,180 @@
+package fftsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/isn"
+)
+
+func randVec(r *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(r.Float64()*2-1, r.Float64()*2-1)
+	}
+	return out
+}
+
+func TestDFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	for k, v := range DFT(x) {
+		if math.Abs(real(v)-1) > 1e-12 || math.Abs(imag(v)) > 1e-12 {
+			t.Fatalf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestDFTConstant(t *testing.T) {
+	// DFT of a constant is an impulse of height R at k=0.
+	x := []complex128{1, 1, 1, 1}
+	X := DFT(x)
+	if math.Abs(real(X[0])-4) > 1e-12 {
+		t.Errorf("X[0] = %v", X[0])
+	}
+	for k := 1; k < 4; k++ {
+		if math.Abs(real(X[k])) > 1e-12 || math.Abs(imag(X[k])) > 1e-12 {
+			t.Errorf("X[%d] = %v, want 0", k, X[k])
+		}
+	}
+}
+
+// The headline claim: the FFT computed along any ISN's stages equals the
+// reference DFT, over a sweep of group specs including unequal widths.
+func TestFFTOnISNMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	specs := []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(1),
+		bitutil.MustGroupSpec(3),
+		bitutil.MustGroupSpec(1, 1),
+		bitutil.MustGroupSpec(2, 2),
+		bitutil.MustGroupSpec(3, 2),
+		bitutil.MustGroupSpec(1, 1, 1),
+		bitutil.MustGroupSpec(2, 2, 2),
+		bitutil.MustGroupSpec(3, 2, 1),
+		bitutil.MustGroupSpec(2, 2, 2, 2),
+		bitutil.MustGroupSpec(3, 3, 3),
+	}
+	for _, spec := range specs {
+		in := isn.New(spec)
+		x := randVec(rng, in.Rows)
+		res, err := OnISN(in, x)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		want := DFT(x)
+		if e := MaxError(res.Output, want); e > 1e-9*float64(in.Rows) {
+			t.Errorf("%v: max error %v", spec, e)
+		}
+	}
+}
+
+func TestCommStepsCount(t *testing.T) {
+	// Appendix A.2: an l-level ISN has n_l + l - 1 steps, of which l - 1
+	// are swap (forwarding) steps.
+	for _, spec := range []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(4),
+		bitutil.MustGroupSpec(2, 2),
+		bitutil.MustGroupSpec(2, 2, 2),
+		bitutil.MustGroupSpec(3, 2, 1),
+	} {
+		in := isn.New(spec)
+		res, err := OnISN(in, make([]complex128, in.Rows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSteps := spec.TotalBits() + spec.Levels() - 1
+		if res.CommSteps != wantSteps {
+			t.Errorf("%v: %d steps, want %d", spec, res.CommSteps, wantSteps)
+		}
+		if res.SwapSteps != spec.Levels()-1 {
+			t.Errorf("%v: %d swap steps, want %d", spec, res.SwapSteps, spec.Levels()-1)
+		}
+	}
+}
+
+func TestOnButterflyMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 2, 4, 6} {
+		x := randVec(rng, 1<<uint(n))
+		res, err := OnButterfly(n, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := MaxError(res.Output, DFT(x)); e > 1e-9*float64(len(x)) {
+			t.Errorf("n=%d: max error %v", n, e)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	spec := bitutil.MustGroupSpec(2, 2)
+	in := isn.New(spec)
+	x := randVec(rng, in.Rows)
+	fwd, err := OnISN(in, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Inverse(in, fwd.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxError(back, x); e > 1e-9 {
+		t.Errorf("round trip error %v", e)
+	}
+}
+
+func TestOnISNLengthMismatch(t *testing.T) {
+	in := isn.New(bitutil.MustGroupSpec(2, 2))
+	if _, err := OnISN(in, make([]complex128, 3)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Energy conservation: sum |X[k]|^2 = R * sum |x[j]|^2.
+	rng := rand.New(rand.NewSource(23))
+	in := isn.New(bitutil.MustGroupSpec(2, 2, 1))
+	x := randVec(rng, in.Rows)
+	res, err := OnISN(in, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex, eX float64
+	for i := range x {
+		ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		eX += real(res.Output[i])*real(res.Output[i]) + imag(res.Output[i])*imag(res.Output[i])
+	}
+	if math.Abs(eX-float64(in.Rows)*ex) > 1e-9*eX {
+		t.Errorf("Parseval violated: %v vs %v", eX, float64(in.Rows)*ex)
+	}
+}
+
+func TestMaxErrorLengthMismatch(t *testing.T) {
+	if !math.IsInf(MaxError(make([]complex128, 2), make([]complex128, 3)), 1) {
+		t.Error("length mismatch should give +Inf")
+	}
+}
+
+func BenchmarkFFTOnISN512(b *testing.B) {
+	in := isn.New(bitutil.MustGroupSpec(3, 3, 3))
+	x := randVec(rand.New(rand.NewSource(1)), in.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OnISN(in, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDFT512(b *testing.B) {
+	x := randVec(rand.New(rand.NewSource(1)), 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DFT(x)
+	}
+}

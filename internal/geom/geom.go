@@ -1,0 +1,175 @@
+// Package geom provides the small integer geometry toolkit used by the
+// layout packages: points, axis-aligned segments, rectangles, and
+// intervals on grid coordinates.
+package geom
+
+import "fmt"
+
+// Point is a grid point.
+type Point struct {
+	X, Y int
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy int) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Interval is a closed integer interval [Lo, Hi], Lo <= Hi.
+type Interval struct {
+	Lo, Hi int
+}
+
+// NewInterval returns the interval covering both a and b.
+func NewInterval(a, b int) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{a, b}
+}
+
+// Len returns Hi - Lo.
+func (iv Interval) Len() int { return iv.Hi - iv.Lo }
+
+// Contains reports whether x is inside the closed interval.
+func (iv Interval) Contains(x int) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// Overlaps reports whether the closed intervals share at least one point.
+func (iv Interval) Overlaps(o Interval) bool { return iv.Lo <= o.Hi && o.Lo <= iv.Hi }
+
+// OverlapsInterior reports whether the intervals share a segment of
+// positive length (endpoint touching does not count).
+func (iv Interval) OverlapsInterior(o Interval) bool {
+	lo := max(iv.Lo, o.Lo)
+	hi := min(iv.Hi, o.Hi)
+	return lo < hi
+}
+
+// Segment is an axis-aligned closed segment between two grid points.
+type Segment struct {
+	A, B Point
+}
+
+// NewSegment validates axis alignment.
+func NewSegment(a, b Point) (Segment, error) {
+	if a.X != b.X && a.Y != b.Y {
+		return Segment{}, fmt.Errorf("geom: segment %v-%v not axis-aligned", a, b)
+	}
+	return Segment{a, b}, nil
+}
+
+// Horizontal reports whether the segment is horizontal. A zero-length
+// segment counts as horizontal.
+func (s Segment) Horizontal() bool { return s.A.Y == s.B.Y }
+
+// Vertical reports whether the segment is vertical (and has length > 0 or
+// is a point, in which case Horizontal is preferred).
+func (s Segment) Vertical() bool { return s.A.X == s.B.X && s.A.Y != s.B.Y }
+
+// Len returns the L1 length of the segment.
+func (s Segment) Len() int {
+	return abs(s.A.X-s.B.X) + abs(s.A.Y-s.B.Y)
+}
+
+// XSpan returns the x interval covered.
+func (s Segment) XSpan() Interval { return NewInterval(s.A.X, s.B.X) }
+
+// YSpan returns the y interval covered.
+func (s Segment) YSpan() Interval { return NewInterval(s.A.Y, s.B.Y) }
+
+// Translate returns the segment moved by (dx, dy).
+func (s Segment) Translate(dx, dy int) Segment {
+	return Segment{s.A.Add(dx, dy), s.B.Add(dx, dy)}
+}
+
+func (s Segment) String() string { return fmt.Sprintf("%v-%v", s.A, s.B) }
+
+// Rect is an axis-aligned rectangle with inclusive corner coordinates
+// [X0,X1] x [Y0,Y1].
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// NewRect normalizes corner order.
+func NewRect(x0, y0, x1, y1 int) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{x0, y0, x1, y1}
+}
+
+// Width returns X1 - X0 + 1 (grid cells spanned horizontally).
+func (r Rect) Width() int { return r.X1 - r.X0 + 1 }
+
+// Height returns Y1 - Y0 + 1.
+func (r Rect) Height() int { return r.Y1 - r.Y0 + 1 }
+
+// Area returns Width * Height.
+func (r Rect) Area() int64 { return int64(r.Width()) * int64(r.Height()) }
+
+// Contains reports whether p lies in the closed rectangle.
+func (r Rect) Contains(p Point) bool {
+	return r.X0 <= p.X && p.X <= r.X1 && r.Y0 <= p.Y && p.Y <= r.Y1
+}
+
+// ContainsInterior reports whether p lies strictly inside.
+func (r Rect) ContainsInterior(p Point) bool {
+	return r.X0 < p.X && p.X < r.X1 && r.Y0 < p.Y && p.Y < r.Y1
+}
+
+// Intersects reports whether the closed rectangles share a point.
+func (r Rect) Intersects(o Rect) bool {
+	return r.X0 <= o.X1 && o.X0 <= r.X1 && r.Y0 <= o.Y1 && o.Y0 <= r.Y1
+}
+
+// IntersectsInterior reports whether the rectangles share interior area.
+func (r Rect) IntersectsInterior(o Rect) bool {
+	return r.X0 < o.X1 && o.X0 < r.X1 && r.Y0 < o.Y1 && o.Y0 < r.Y1
+}
+
+// Union returns the smallest rectangle containing both.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{min(r.X0, o.X0), min(r.Y0, o.Y0), max(r.X1, o.X1), max(r.Y1, o.Y1)}
+}
+
+// Translate returns the rectangle moved by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect {
+	return Rect{r.X0 + dx, r.Y0 + dy, r.X1 + dx, r.Y1 + dy}
+}
+
+// SegmentIntersectsRectInterior reports whether any point of s lies
+// strictly inside r.
+func SegmentIntersectsRectInterior(s Segment, r Rect) bool {
+	if s.Horizontal() {
+		return s.A.Y > r.Y0 && s.A.Y < r.Y1 && s.XSpan().Overlaps(Interval{r.X0 + 1, r.X1 - 1}) && r.X1-r.X0 >= 2
+	}
+	return s.A.X > r.X0 && s.A.X < r.X1 && s.YSpan().Overlaps(Interval{r.Y0 + 1, r.Y1 - 1}) && r.Y1-r.Y0 >= 2
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d]x[%d,%d]", r.X0, r.X1, r.Y0, r.Y1)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

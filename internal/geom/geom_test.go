@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInterval(t *testing.T) {
+	iv := NewInterval(7, 3)
+	if iv.Lo != 3 || iv.Hi != 7 {
+		t.Fatalf("NewInterval did not normalize: %+v", iv)
+	}
+	if iv.Len() != 4 {
+		t.Errorf("Len = %d", iv.Len())
+	}
+	if !iv.Contains(3) || !iv.Contains(7) || iv.Contains(8) {
+		t.Error("Contains wrong")
+	}
+	if !iv.Overlaps(Interval{7, 9}) || iv.Overlaps(Interval{8, 9}) {
+		t.Error("Overlaps wrong")
+	}
+	if iv.OverlapsInterior(Interval{7, 9}) {
+		t.Error("endpoint touch counted as interior overlap")
+	}
+	if !iv.OverlapsInterior(Interval{6, 9}) {
+		t.Error("interior overlap missed")
+	}
+}
+
+func TestSegment(t *testing.T) {
+	if _, err := NewSegment(Point{0, 0}, Point{1, 1}); err == nil {
+		t.Error("diagonal segment accepted")
+	}
+	s, err := NewSegment(Point{2, 3}, Point{9, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Horizontal() || s.Vertical() {
+		t.Error("orientation wrong")
+	}
+	if s.Len() != 7 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.XSpan() != (Interval{2, 9}) || s.YSpan() != (Interval{3, 3}) {
+		t.Error("spans wrong")
+	}
+	v, _ := NewSegment(Point{1, 1}, Point{1, 5})
+	if !v.Vertical() || v.Horizontal() {
+		t.Error("vertical orientation wrong")
+	}
+	tr := s.Translate(1, -1)
+	if tr.A != (Point{3, 2}) || tr.B != (Point{10, 2}) {
+		t.Errorf("Translate = %v", tr)
+	}
+}
+
+func TestZeroLengthSegmentIsHorizontal(t *testing.T) {
+	s, _ := NewSegment(Point{4, 4}, Point{4, 4})
+	if !s.Horizontal() || s.Vertical() || s.Len() != 0 {
+		t.Error("degenerate segment misclassified")
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(5, 8, 1, 2)
+	if r != (Rect{1, 2, 5, 8}) {
+		t.Fatalf("normalize failed: %+v", r)
+	}
+	if r.Width() != 5 || r.Height() != 7 || r.Area() != 35 {
+		t.Errorf("dims: %d %d %d", r.Width(), r.Height(), r.Area())
+	}
+	if !r.Contains(Point{1, 2}) || !r.Contains(Point{5, 8}) || r.Contains(Point{6, 2}) {
+		t.Error("Contains wrong")
+	}
+	if r.ContainsInterior(Point{1, 3}) || !r.ContainsInterior(Point{2, 3}) {
+		t.Error("ContainsInterior wrong")
+	}
+	if !r.Intersects(Rect{5, 8, 9, 9}) || r.Intersects(Rect{6, 0, 9, 9}) {
+		t.Error("Intersects wrong")
+	}
+	if r.IntersectsInterior(Rect{5, 8, 9, 9}) {
+		t.Error("touching rects reported as interior intersection")
+	}
+	u := r.Union(Rect{10, 10, 12, 12})
+	if u != (Rect{1, 2, 12, 12}) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestSegmentIntersectsRectInterior(t *testing.T) {
+	r := NewRect(2, 2, 8, 8)
+	h, _ := NewSegment(Point{0, 5}, Point{10, 5})
+	if !SegmentIntersectsRectInterior(h, r) {
+		t.Error("through-segment missed")
+	}
+	edge, _ := NewSegment(Point{0, 2}, Point{10, 2})
+	if SegmentIntersectsRectInterior(edge, r) {
+		t.Error("boundary segment flagged")
+	}
+	v, _ := NewSegment(Point{5, 0}, Point{5, 10})
+	if !SegmentIntersectsRectInterior(v, r) {
+		t.Error("vertical through-segment missed")
+	}
+	vEdge, _ := NewSegment(Point{8, 0}, Point{8, 10})
+	if SegmentIntersectsRectInterior(vEdge, r) {
+		t.Error("vertical boundary segment flagged")
+	}
+	outside, _ := NewSegment(Point{0, 9}, Point{10, 9})
+	if SegmentIntersectsRectInterior(outside, r) {
+		t.Error("outside segment flagged")
+	}
+	// Degenerate rect (a line) has no interior.
+	thin := NewRect(2, 2, 2, 8)
+	if SegmentIntersectsRectInterior(h, thin) {
+		t.Error("thin rect has no interior")
+	}
+}
+
+func TestUnionCommutativeProperty(t *testing.T) {
+	f := func(a, b [4]int8) bool {
+		r1 := NewRect(int(a[0]), int(a[1]), int(a[2]), int(a[3]))
+		r2 := NewRect(int(b[0]), int(b[1]), int(b[2]), int(b[3]))
+		return r1.Union(r2) == r2.Union(r1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapSymmetryProperty(t *testing.T) {
+	f := func(a, b [2]int8) bool {
+		i1 := NewInterval(int(a[0]), int(a[1]))
+		i2 := NewInterval(int(b[0]), int(b[1]))
+		return i1.Overlaps(i2) == i2.Overlaps(i1) &&
+			i1.OverlapsInterior(i2) == i2.OverlapsInterior(i1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,442 @@
+// Package graph provides a compact undirected multigraph used as the
+// common substrate for every interconnection network in this repository
+// (butterflies, hypercubes, swap networks, indirect swap networks).
+//
+// Nodes are dense integer IDs 0..N-1; the network packages define the
+// mapping between structured addresses (row, stage, bit groups) and IDs.
+// Edges carry a small integer Kind so that straight, cross, and swap links
+// can be distinguished, counted, and filtered.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EdgeKind tags the role of a link in the network it came from.
+type EdgeKind uint8
+
+// Edge kinds used across the repository. Packages may define additional
+// kinds starting from KindUser.
+const (
+	KindAny      EdgeKind = 0 // wildcard in queries; never stored
+	KindStraight EdgeKind = 1
+	KindCross    EdgeKind = 2
+	KindSwap     EdgeKind = 3
+	KindCube     EdgeKind = 4 // hypercube dimension link
+	KindUser     EdgeKind = 8
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case KindAny:
+		return "any"
+	case KindStraight:
+		return "straight"
+	case KindCross:
+		return "cross"
+	case KindSwap:
+		return "swap"
+	case KindCube:
+		return "cube"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// HalfEdge is one direction of an undirected edge as stored in an
+// adjacency list.
+type HalfEdge struct {
+	To   int
+	Kind EdgeKind
+}
+
+// Edge is an undirected edge in canonical form (U <= V).
+type Edge struct {
+	U, V int
+	Kind EdgeKind
+}
+
+// Graph is an undirected multigraph. The zero value is an empty graph with
+// no nodes; use New to create one with a fixed node count.
+type Graph struct {
+	adj   [][]HalfEdge
+	edges int
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{adj: make([][]HalfEdge, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges (multi-edges counted
+// with multiplicity).
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddEdge inserts an undirected edge of the given kind between u and v.
+// Self-loops and parallel edges are permitted (the paper's swap-butterfly
+// doubles links, and swap steps may have fixed points).
+func (g *Graph) AddEdge(u, v int, kind EdgeKind) {
+	g.check(u)
+	g.check(v)
+	if kind == KindAny {
+		panic("graph: KindAny cannot be stored")
+	}
+	g.adj[u] = append(g.adj[u], HalfEdge{To: v, Kind: kind})
+	if u != v {
+		g.adj[v] = append(g.adj[v], HalfEdge{To: u, Kind: kind})
+	}
+	g.edges++
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, len(g.adj)))
+	}
+}
+
+// Neighbors returns the adjacency list of u. The returned slice must not
+// be modified. A self-loop appears once.
+func (g *Graph) Neighbors(u int) []HalfEdge {
+	g.check(u)
+	return g.adj[u]
+}
+
+// Degree returns the degree of u; a self-loop contributes 1 (it is a
+// single port in the layout models of the paper).
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// MaxDegree returns the maximum node degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := range g.adj {
+		if d := len(g.adj[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DegreeHistogram maps degree -> number of nodes with that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for u := range g.adj {
+		h[len(g.adj[u])]++
+	}
+	return h
+}
+
+// Edges returns all undirected edges in canonical sorted order
+// (by U, then V, then Kind). Multi-edges appear with multiplicity.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			if he.To > u || (he.To == u) {
+				e := Edge{U: u, V: he.To, Kind: he.Kind}
+				if he.To == u {
+					// self-loop stored once
+					out = append(out, e)
+					continue
+				}
+				out = append(out, e)
+			}
+		}
+	}
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		if es[i].V != es[j].V {
+			return es[i].V < es[j].V
+		}
+		return es[i].Kind < es[j].Kind
+	})
+}
+
+// CountEdges returns the number of edges of the given kind
+// (KindAny counts all).
+func (g *Graph) CountEdges(kind EdgeKind) int {
+	if kind == KindAny {
+		return g.edges
+	}
+	n := 0
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			if he.Kind == kind && (he.To >= u) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HandshakeOK verifies the handshake lemma: the sum of adjacency entries
+// equals 2*edges - selfloops. It returns an error describing any
+// inconsistency in the internal representation.
+func (g *Graph) HandshakeOK() error {
+	half := 0
+	loops := 0
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			half++
+			if he.To == u {
+				loops++
+			}
+			if he.To < 0 || he.To >= len(g.adj) {
+				return fmt.Errorf("graph: dangling edge %d->%d", u, he.To)
+			}
+		}
+	}
+	if half != 2*g.edges-loops {
+		return fmt.Errorf("graph: handshake violated: half-edges=%d edges=%d loops=%d", half, g.edges, loops)
+	}
+	return nil
+}
+
+// Relabel returns a new graph in which node u of g becomes node perm[u].
+// perm must be a permutation of 0..N-1; Relabel panics otherwise.
+func (g *Graph) Relabel(perm []int) *Graph {
+	n := len(g.adj)
+	if len(perm) != n {
+		panic("graph: Relabel permutation length mismatch")
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			panic("graph: Relabel argument is not a permutation")
+		}
+		seen[p] = true
+	}
+	h := New(n)
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			if he.To > u || he.To == u {
+				h.AddEdge(perm[u], perm[he.To], he.Kind)
+			}
+		}
+	}
+	return h
+}
+
+// SameEdgeMultiset reports whether g and h have identical node counts and
+// identical multisets of undirected edges. When ignoreKind is true, edge
+// kinds are not compared (two networks can be the same graph even if their
+// links are classified differently, e.g. a swap-butterfly's doubled swap
+// links vs. a butterfly's straight/cross links).
+func SameEdgeMultiset(g, h *Graph, ignoreKind bool) bool {
+	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	eg, eh := g.Edges(), h.Edges()
+	if ignoreKind {
+		strip := func(es []Edge) {
+			for i := range es {
+				es[i].Kind = 0
+			}
+			sortEdges(es)
+		}
+		strip(eg)
+		strip(eh)
+	}
+	for i := range eg {
+		if eg[i] != eh[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as a slice of node slices,
+// and an array mapping node -> component index.
+func (g *Graph) Components() ([][]int, []int) {
+	n := len(g.adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(comps)
+		comp[s] = id
+		queue = queue[:0]
+		queue = append(queue, s)
+		members := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, he := range g.adj[u] {
+				if comp[he.To] < 0 {
+					comp[he.To] = id
+					queue = append(queue, he.To)
+					members = append(members, he.To)
+				}
+			}
+		}
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	return comps, comp
+}
+
+// Connected reports whether the graph is connected (true for the empty
+// graph and single-node graph).
+func (g *Graph) Connected() bool {
+	comps, _ := g.Components()
+	return len(comps) <= 1
+}
+
+// BFS returns the distance (in hops) from src to every node; unreachable
+// nodes get -1.
+func (g *Graph) BFS(src int) []int {
+	g.check(src)
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, he := range g.adj[u] {
+			if dist[he.To] < 0 {
+				dist[he.To] = dist[u] + 1
+				queue = append(queue, he.To)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the largest finite BFS distance over all source nodes.
+// It is O(N * (N + E)) and intended for the small networks used in tests.
+// Returns -1 for a disconnected graph.
+func (g *Graph) Diameter() int {
+	if !g.Connected() {
+		return -1
+	}
+	d := 0
+	for u := range g.adj {
+		for _, x := range g.BFS(u) {
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// AverageDistance returns the mean BFS distance over ordered pairs of
+// distinct nodes. Returns -1 for a disconnected or trivial graph.
+func (g *Graph) AverageDistance() float64 {
+	n := len(g.adj)
+	if n < 2 || !g.Connected() {
+		return -1
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		for _, x := range g.BFS(u) {
+			total += x
+		}
+	}
+	return float64(total) / float64(n*(n-1))
+}
+
+// CutEdges counts edges whose endpoints lie in different parts under the
+// given node -> part assignment. Self-loops never cross. The second result
+// is per-part external edge counts (each crossing edge counted once for
+// each of its two parts).
+func (g *Graph) CutEdges(part []int) (int, map[int]int) {
+	if len(part) != len(g.adj) {
+		panic("graph: CutEdges partition length mismatch")
+	}
+	cut := 0
+	per := make(map[int]int)
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			if he.To < u {
+				continue // count each undirected edge once
+			}
+			if he.To == u {
+				continue
+			}
+			if part[u] != part[he.To] {
+				cut++
+				per[part[u]]++
+				per[part[he.To]]++
+			}
+		}
+	}
+	return cut, per
+}
+
+// Contract returns the quotient multigraph under the node -> supernode
+// assignment super (values must be dense in 0..max). Edges inside a
+// supernode are dropped; crossing edges become (multi-)edges between
+// supernodes, retaining their kind.
+func (g *Graph) Contract(super []int) *Graph {
+	if len(super) != len(g.adj) {
+		panic("graph: Contract assignment length mismatch")
+	}
+	max := -1
+	for _, s := range super {
+		if s < 0 {
+			panic("graph: Contract negative supernode")
+		}
+		if s > max {
+			max = s
+		}
+	}
+	h := New(max + 1)
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			if he.To < u || he.To == u {
+				continue
+			}
+			if super[u] != super[he.To] {
+				h.AddEdge(super[u], super[he.To], he.Kind)
+			}
+		}
+	}
+	return h
+}
+
+// Simple returns a copy of g with parallel edges merged (keeping the kind
+// of the first occurrence) and self-loops removed.
+func (g *Graph) Simple() *Graph {
+	h := New(len(g.adj))
+	seen := make(map[[2]int]bool)
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			if he.To <= u {
+				continue
+			}
+			key := [2]int{u, he.To}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			h.AddEdge(u, he.To, he.Kind)
+		}
+	}
+	return h
+}

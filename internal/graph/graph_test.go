@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ring(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, KindStraight)
+	}
+	return g
+}
+
+func TestNewEmpty(t *testing.T) {
+	g := New(0)
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	if !g.Connected() {
+		t.Error("empty graph should be connected by convention")
+	}
+}
+
+func TestAddEdgeAndDegrees(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, KindStraight)
+	g.AddEdge(1, 2, KindCross)
+	g.AddEdge(1, 2, KindCross) // parallel
+	g.AddEdge(3, 3, KindSwap)  // loop
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	wantDeg := []int{1, 3, 2, 1}
+	for u, w := range wantDeg {
+		if g.Degree(u) != w {
+			t.Errorf("Degree(%d) = %d, want %d", u, g.Degree(u), w)
+		}
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 2 || h[2] != 1 || h[3] != 1 {
+		t.Errorf("DegreeHistogram = %v", h)
+	}
+	if err := g.HandshakeOK(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(-1, 0, KindStraight) },
+		func() { g.AddEdge(0, 2, KindStraight) },
+		func() { g.AddEdge(0, 1, KindAny) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	g := New(3)
+	g.AddEdge(2, 0, KindCross)
+	g.AddEdge(1, 0, KindStraight)
+	g.AddEdge(2, 2, KindSwap)
+	es := g.Edges()
+	want := []Edge{{0, 1, KindStraight}, {0, 2, KindCross}, {2, 2, KindSwap}}
+	if len(es) != len(want) {
+		t.Fatalf("Edges = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Errorf("Edges[%d] = %v, want %v", i, es[i], want[i])
+		}
+	}
+}
+
+func TestCountEdges(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, KindStraight)
+	g.AddEdge(1, 2, KindCross)
+	g.AddEdge(0, 2, KindCross)
+	if g.CountEdges(KindCross) != 2 || g.CountEdges(KindStraight) != 1 || g.CountEdges(KindAny) != 3 {
+		t.Errorf("CountEdges wrong: cross=%d straight=%d any=%d",
+			g.CountEdges(KindCross), g.CountEdges(KindStraight), g.CountEdges(KindAny))
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := ring(5)
+	perm := []int{4, 3, 2, 1, 0}
+	h := g.Relabel(perm)
+	if !SameEdgeMultiset(g, h, true) {
+		t.Error("ring reversed should be the same edge multiset")
+	}
+}
+
+func TestRelabelRejectsNonPermutation(t *testing.T) {
+	g := ring(3)
+	for _, perm := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Relabel(%v) did not panic", perm)
+				}
+			}()
+			g.Relabel(perm)
+		}()
+	}
+}
+
+func TestSameEdgeMultisetKindSensitivity(t *testing.T) {
+	a := New(2)
+	a.AddEdge(0, 1, KindStraight)
+	b := New(2)
+	b.AddEdge(0, 1, KindCross)
+	if SameEdgeMultiset(a, b, false) {
+		t.Error("kinds differ; should not match with ignoreKind=false")
+	}
+	if !SameEdgeMultiset(a, b, true) {
+		t.Error("should match with ignoreKind=true")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, KindStraight)
+	g.AddEdge(1, 2, KindStraight)
+	g.AddEdge(3, 4, KindStraight)
+	comps, assign := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if assign[0] != assign[2] || assign[3] != assign[4] || assign[0] == assign[3] || assign[5] == assign[0] {
+		t.Errorf("assignment = %v", assign)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	g := ring(6)
+	d := g.BFS(0)
+	want := []int{0, 1, 2, 3, 2, 1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("BFS[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+	if g.Diameter() != 3 {
+		t.Errorf("Diameter = %d, want 3", g.Diameter())
+	}
+	g2 := New(3)
+	if g2.Diameter() != -1 {
+		t.Error("disconnected diameter should be -1")
+	}
+}
+
+func TestAverageDistanceRing(t *testing.T) {
+	g := ring(4)
+	// distances from any node: 1,2,1 -> avg = 4/3
+	got := g.AverageDistance()
+	if got < 1.333 || got > 1.334 {
+		t.Errorf("AverageDistance = %v", got)
+	}
+}
+
+func TestCutEdges(t *testing.T) {
+	g := ring(6)
+	part := []int{0, 0, 0, 1, 1, 1}
+	cut, per := g.CutEdges(part)
+	if cut != 2 {
+		t.Errorf("cut = %d, want 2", cut)
+	}
+	if per[0] != 2 || per[1] != 2 {
+		t.Errorf("per-part = %v", per)
+	}
+}
+
+func TestContract(t *testing.T) {
+	g := ring(6)
+	super := []int{0, 0, 1, 1, 2, 2}
+	h := g.Contract(super)
+	if h.NumNodes() != 3 || h.NumEdges() != 3 {
+		t.Fatalf("contract nodes=%d edges=%d", h.NumNodes(), h.NumEdges())
+	}
+	// quotient of a 6-ring by 3 pairs is a triangle (simple here).
+	if !SameEdgeMultiset(h.Simple(), ring(3), true) {
+		t.Error("quotient is not a triangle")
+	}
+}
+
+func TestSimple(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, KindStraight)
+	g.AddEdge(0, 1, KindCross)
+	g.AddEdge(1, 1, KindSwap)
+	s := g.Simple()
+	if s.NumEdges() != 1 {
+		t.Errorf("Simple edges = %d, want 1", s.NumEdges())
+	}
+}
+
+// Property: for random graphs, Relabel by a random permutation preserves
+// the degree histogram and edge count, and double relabel by inverse is
+// identity.
+func TestRelabelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), KindStraight)
+		}
+		perm := rng.Perm(n)
+		h := g.Relabel(perm)
+		if h.NumEdges() != g.NumEdges() {
+			return false
+		}
+		dg, dh := g.DegreeHistogram(), h.DegreeHistogram()
+		if len(dg) != len(dh) {
+			return false
+		}
+		for k, v := range dg {
+			if dh[k] != v {
+				return false
+			}
+		}
+		inv := make([]int, n)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		return SameEdgeMultiset(g, h.Relabel(inv), false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBFSRing(b *testing.B) {
+	g := ring(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(i % 4096)
+	}
+}
+
+func BenchmarkEdges(b *testing.B) {
+	g := ring(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Edges()
+	}
+}

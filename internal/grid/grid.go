@@ -1,0 +1,306 @@
+// Package grid implements the layout models of the paper as concrete
+// geometric objects:
+//
+//   - the Thompson model (Section 3.1): wires of unit width run on grid
+//     lines in two layers (one for horizontal, one for vertical segments);
+//     wires may cross at a grid point but may not overlap, and two wires
+//     may not bend at the same grid point (no knock-knees);
+//   - the multilayer 2-D grid model (Section 4.1): wires are embedded in
+//     an L-layer 3-D grid and must be edge- AND node-disjoint; nodes live
+//     on a single active layer.
+//
+// A Layout holds node boxes and wires (rectilinear polylines whose
+// segments carry explicit layer numbers). Metrics — bounding box, area,
+// maximum/total wire length, via count, volume — are measured from the
+// geometry. Validate checks the model rules; it is O(total wire length)
+// in memory and intended for the small-to-medium instances used in tests
+// and experiments.
+package grid
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/geom"
+)
+
+// Model selects which rule set Validate applies.
+type Model int
+
+const (
+	// Thompson: two implicit layers (horizontal/vertical); wires may cross
+	// at points but not overlap; no two wires bend at the same point.
+	Thompson Model = iota
+	// Multilayer: explicit layers; wire paths must be node-disjoint in the
+	// 3-D grid (crossings within a layer are forbidden).
+	Multilayer
+	// KnockKnee: the model of Brady-Sarrafzadeh / Muthukrishnan et al.
+	// ([5], [16] in the paper): wires may not overlap on a grid edge, but
+	// two wires MAY bend at the same grid point (a knock-knee). Such
+	// layouts are denser on paper but "usually require more than two
+	// layers of wires for actual wiring within the same area" (Sec. 1).
+	KnockKnee
+)
+
+// WireSeg is one axis-aligned piece of a wire on a specific layer.
+// Layers are numbered from 1.
+type WireSeg struct {
+	Seg   geom.Segment
+	Layer int
+}
+
+// Wire is a rectilinear polyline: consecutive segments share endpoints.
+// Where consecutive segments differ in layer, an inter-layer via is
+// implied at the shared endpoint.
+type Wire struct {
+	Label string
+	Segs  []WireSeg
+}
+
+// Endpoints returns the first and last points of the wire.
+func (w *Wire) Endpoints() (geom.Point, geom.Point) {
+	if len(w.Segs) == 0 {
+		panic("grid: empty wire")
+	}
+	return w.Segs[0].Seg.A, w.Segs[len(w.Segs)-1].Seg.B
+}
+
+// Length returns the total L1 length of the wire (vias not counted,
+// matching the paper's in-plane wire-length accounting).
+func (w *Wire) Length() int {
+	total := 0
+	for _, s := range w.Segs {
+		total += s.Seg.Len()
+	}
+	return total
+}
+
+// Vias returns the implied inter-layer connector count.
+func (w *Wire) Vias() int {
+	n := 0
+	for i := 1; i < len(w.Segs); i++ {
+		if w.Segs[i].Layer != w.Segs[i-1].Layer {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeBox is a placed network node (or an opaque block/module) occupying
+// a rectangle. Wires may terminate on its boundary but may not pass
+// through its interior.
+type NodeBox struct {
+	Label string
+	Rect  geom.Rect
+}
+
+// Layout is a set of node boxes and wires under a given model.
+type Layout struct {
+	Model  Model
+	Layers int // number of wiring layers (Thompson: 2)
+	Nodes  []NodeBox
+	Wires  []Wire
+}
+
+// NewLayout returns an empty layout.
+func NewLayout(model Model, layers int) *Layout {
+	if layers < 1 {
+		panic("grid: layouts need at least one layer")
+	}
+	return &Layout{Model: model, Layers: layers}
+}
+
+// AddNode places a node box.
+func (l *Layout) AddNode(label string, r geom.Rect) {
+	l.Nodes = append(l.Nodes, NodeBox{Label: label, Rect: r})
+}
+
+// AddWire validates and appends a wire built from the given points and
+// per-segment layers (len(layers) == len(points)-1). Each consecutive
+// point pair must be axis-aligned.
+func (l *Layout) AddWire(label string, points []geom.Point, layers []int) error {
+	if len(points) < 2 {
+		return fmt.Errorf("grid: wire %q needs at least 2 points", label)
+	}
+	if len(layers) != len(points)-1 {
+		return fmt.Errorf("grid: wire %q has %d layers for %d segments", label, len(layers), len(points)-1)
+	}
+	w := Wire{Label: label}
+	for i := 0; i+1 < len(points); i++ {
+		seg, err := geom.NewSegment(points[i], points[i+1])
+		if err != nil {
+			return fmt.Errorf("grid: wire %q: %v", label, err)
+		}
+		if layers[i] < 1 || layers[i] > l.Layers {
+			return fmt.Errorf("grid: wire %q segment %d layer %d out of range [1,%d]", label, i, layers[i], l.Layers)
+		}
+		w.Segs = append(w.Segs, WireSeg{Seg: seg, Layer: layers[i]})
+	}
+	l.Wires = append(l.Wires, w)
+	return nil
+}
+
+// AddWireHV appends a wire under the Thompson convention: horizontal
+// segments on layer 1, vertical segments on layer 2. Zero-length segments
+// are dropped.
+func (l *Layout) AddWireHV(label string, points ...geom.Point) error {
+	return l.AddWireOnLayers(label, 1, 2, points...)
+}
+
+// AddWireOnLayers appends a rectilinear wire whose horizontal segments go
+// on hLayer and vertical segments on vLayer. Zero-length segments are
+// dropped.
+func (l *Layout) AddWireOnLayers(label string, hLayer, vLayer int, points ...geom.Point) error {
+	var ps []geom.Point
+	var layers []int
+	prev := points[0]
+	ps = append(ps, prev)
+	for _, p := range points[1:] {
+		if p == prev {
+			continue
+		}
+		layer := hLayer
+		if p.X == prev.X && p.Y != prev.Y {
+			layer = vLayer
+		}
+		ps = append(ps, p)
+		layers = append(layers, layer)
+		prev = p
+	}
+	if len(ps) < 2 {
+		return fmt.Errorf("grid: wire %q is degenerate", label)
+	}
+	return l.AddWire(label, ps, layers)
+}
+
+// BoundingBox returns the smallest upright rectangle containing all nodes
+// and wires (the paper's area convention).
+func (l *Layout) BoundingBox() geom.Rect {
+	first := true
+	var bb geom.Rect
+	add := func(r geom.Rect) {
+		if first {
+			bb = r
+			first = false
+		} else {
+			bb = bb.Union(r)
+		}
+	}
+	for _, n := range l.Nodes {
+		add(n.Rect)
+	}
+	for _, w := range l.Wires {
+		for _, s := range w.Segs {
+			add(geom.NewRect(s.Seg.A.X, s.Seg.A.Y, s.Seg.B.X, s.Seg.B.Y))
+		}
+	}
+	if first {
+		return geom.Rect{}
+	}
+	return bb
+}
+
+// Area returns the bounding-box area. For an empty layout it is 0.
+func (l *Layout) Area() int64 {
+	if len(l.Nodes) == 0 && len(l.Wires) == 0 {
+		return 0
+	}
+	return l.BoundingBox().Area()
+}
+
+// Volume returns Layers * Area (Section 4.1).
+func (l *Layout) Volume() int64 { return int64(l.Layers) * l.Area() }
+
+// MaxWireLength returns the length of the longest wire (0 if none).
+func (l *Layout) MaxWireLength() int {
+	max := 0
+	for i := range l.Wires {
+		if n := l.Wires[i].Length(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// TotalWireLength sums all wire lengths.
+func (l *Layout) TotalWireLength() int64 {
+	var total int64
+	for i := range l.Wires {
+		total += int64(l.Wires[i].Length())
+	}
+	return total
+}
+
+// ViaCount sums implied vias over all wires.
+func (l *Layout) ViaCount() int {
+	n := 0
+	for i := range l.Wires {
+		n += l.Wires[i].Vias()
+	}
+	return n
+}
+
+// Translate moves the entire layout by (dx, dy).
+func (l *Layout) Translate(dx, dy int) {
+	for i := range l.Nodes {
+		l.Nodes[i].Rect = l.Nodes[i].Rect.Translate(dx, dy)
+	}
+	for i := range l.Wires {
+		for j := range l.Wires[i].Segs {
+			l.Wires[i].Segs[j].Seg = l.Wires[i].Segs[j].Seg.Translate(dx, dy)
+		}
+	}
+}
+
+// Merge appends a translated copy of other into l. Models and layer
+// counts must match.
+func (l *Layout) Merge(other *Layout, dx, dy int) error {
+	if other.Model != l.Model || other.Layers != l.Layers {
+		return fmt.Errorf("grid: Merge model/layer mismatch")
+	}
+	for _, n := range other.Nodes {
+		l.Nodes = append(l.Nodes, NodeBox{Label: n.Label, Rect: n.Rect.Translate(dx, dy)})
+	}
+	for _, w := range other.Wires {
+		nw := Wire{Label: w.Label, Segs: make([]WireSeg, len(w.Segs))}
+		for j, s := range w.Segs {
+			nw.Segs[j] = WireSeg{Seg: s.Seg.Translate(dx, dy), Layer: s.Layer}
+		}
+		l.Wires = append(l.Wires, nw)
+	}
+	return nil
+}
+
+// Stats is a summary of the measured layout metrics.
+type Stats struct {
+	Width, Height   int
+	Area            int64
+	Volume          int64
+	Layers          int
+	MaxWireLength   int
+	TotalWireLength int64
+	Wires           int
+	Nodes           int
+	Vias            int
+}
+
+// Stats measures the layout.
+func (l *Layout) Stats() Stats {
+	bb := l.BoundingBox()
+	return Stats{
+		Width:           bb.Width(),
+		Height:          bb.Height(),
+		Area:            l.Area(),
+		Volume:          l.Volume(),
+		Layers:          l.Layers,
+		MaxWireLength:   l.MaxWireLength(),
+		TotalWireLength: l.TotalWireLength(),
+		Wires:           len(l.Wires),
+		Nodes:           len(l.Nodes),
+		Vias:            l.ViaCount(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%dx%d area=%d volume=%d layers=%d maxwire=%d wires=%d nodes=%d vias=%d",
+		s.Width, s.Height, s.Area, s.Volume, s.Layers, s.MaxWireLength, s.Wires, s.Nodes, s.Vias)
+}

@@ -1,0 +1,314 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bfvlsi/internal/geom"
+)
+
+func pt(x, y int) geom.Point { return geom.Point{X: x, Y: y} }
+
+func TestAddWireHVAndMetrics(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	if err := l.AddWireHV("w1", pt(0, 0), pt(5, 0), pt(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Wires) != 1 {
+		t.Fatal("wire not added")
+	}
+	w := &l.Wires[0]
+	if w.Length() != 8 {
+		t.Errorf("length = %d, want 8", w.Length())
+	}
+	if w.Vias() != 1 {
+		t.Errorf("vias = %d, want 1", w.Vias())
+	}
+	a, b := w.Endpoints()
+	if a != pt(0, 0) || b != pt(5, 3) {
+		t.Errorf("endpoints %v %v", a, b)
+	}
+	st := l.Stats()
+	if st.Width != 6 || st.Height != 4 || st.Area != 24 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Volume != 48 {
+		t.Errorf("volume = %d", st.Volume)
+	}
+}
+
+func TestAddWireHVDropsZeroSegments(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	if err := l.AddWireHV("w", pt(0, 0), pt(0, 0), pt(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Wires[0].Segs) != 1 {
+		t.Errorf("segments = %d, want 1", len(l.Wires[0].Segs))
+	}
+}
+
+func TestAddWireErrors(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	if err := l.AddWire("short", []geom.Point{pt(0, 0)}, nil); err == nil {
+		t.Error("single-point wire accepted")
+	}
+	if err := l.AddWire("diag", []geom.Point{pt(0, 0), pt(1, 1)}, []int{1}); err == nil {
+		t.Error("diagonal wire accepted")
+	}
+	if err := l.AddWire("layer", []geom.Point{pt(0, 0), pt(1, 0)}, []int{3}); err == nil {
+		t.Error("out-of-range layer accepted")
+	}
+	if err := l.AddWire("arity", []geom.Point{pt(0, 0), pt(1, 0)}, []int{1, 2}); err == nil {
+		t.Error("layer arity mismatch accepted")
+	}
+}
+
+func TestValidateOverlapDetection(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	mustWire(t, l, "a", pt(0, 0), pt(10, 0))
+	mustWire(t, l, "b", pt(5, 0), pt(15, 0))
+	err := l.Validate(ValidateOptions{})
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("overlap not detected: %v", err)
+	}
+}
+
+func TestValidateCrossingAllowedInThompson(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	mustWire(t, l, "h", pt(0, 5), pt(10, 5))
+	mustWire(t, l, "v", pt(5, 0), pt(5, 10))
+	if err := l.Validate(ValidateOptions{}); err != nil {
+		t.Errorf("crossing rejected: %v", err)
+	}
+}
+
+func TestValidateTouchingEndpointsAllowed(t *testing.T) {
+	// Two collinear wires sharing only an endpoint (chained track
+	// intervals, as in the collinear K_N layout) are legal.
+	l := NewLayout(Thompson, 2)
+	mustWire(t, l, "a", pt(0, 0), pt(5, 0))
+	mustWire(t, l, "b", pt(5, 0), pt(9, 0))
+	if err := l.Validate(ValidateOptions{}); err != nil {
+		t.Errorf("touching endpoints rejected: %v", err)
+	}
+}
+
+func TestValidateKnockKnee(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	// Both wires bend at (5,5).
+	mustWire(t, l, "a", pt(0, 5), pt(5, 5), pt(5, 10))
+	mustWire(t, l, "b", pt(5, 0), pt(5, 5), pt(10, 5))
+	err := l.Validate(ValidateOptions{})
+	if err == nil || !strings.Contains(err.Error(), "knock-knee") {
+		t.Errorf("knock-knee not detected: %v", err)
+	}
+}
+
+func TestValidateSelfOverlap(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	mustWire(t, l, "a", pt(0, 0), pt(10, 0), pt(10, 5), pt(3, 5), pt(3, 0), pt(8, 0))
+	err := l.Validate(ValidateOptions{})
+	if err == nil {
+		t.Error("self-overlap not detected")
+	}
+}
+
+func TestValidateDiscontinuity(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	l.Wires = append(l.Wires, Wire{
+		Label: "broken",
+		Segs: []WireSeg{
+			{Seg: geom.Segment{A: pt(0, 0), B: pt(5, 0)}, Layer: 1},
+			{Seg: geom.Segment{A: pt(6, 0), B: pt(9, 0)}, Layer: 1},
+		},
+	})
+	err := l.Validate(ValidateOptions{})
+	if err == nil || !strings.Contains(err.Error(), "discontinuous") {
+		t.Errorf("discontinuity not detected: %v", err)
+	}
+}
+
+func TestValidateMultilayerCrossingSameLayerRejected(t *testing.T) {
+	l := NewLayout(Multilayer, 4)
+	if err := l.AddWire("h", []geom.Point{pt(0, 5), pt(10, 5)}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddWire("v", []geom.Point{pt(5, 0), pt(5, 10)}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	err := l.Validate(ValidateOptions{})
+	if err == nil || !strings.Contains(err.Error(), "share 3-D grid point") {
+		t.Errorf("same-layer crossing not detected: %v", err)
+	}
+}
+
+func TestValidateMultilayerCrossingDifferentLayersAllowed(t *testing.T) {
+	l := NewLayout(Multilayer, 4)
+	if err := l.AddWire("h", []geom.Point{pt(0, 5), pt(10, 5)}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddWire("v", []geom.Point{pt(5, 0), pt(5, 10)}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(ValidateOptions{}); err != nil {
+		t.Errorf("different-layer crossing rejected: %v", err)
+	}
+}
+
+func TestValidateMultilayerViaColumnConflict(t *testing.T) {
+	l := NewLayout(Multilayer, 4)
+	// Wire a transitions from layer 1 to layer 4 at (5,5): via column
+	// occupies layers 2 and 3 there too.
+	if err := l.AddWire("a", []geom.Point{pt(0, 5), pt(5, 5), pt(5, 10)}, []int{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Wire b runs on layer 2 through (5,5).
+	if err := l.AddWire("b", []geom.Point{pt(0, 5), pt(10, 5)}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	err := l.Validate(ValidateOptions{})
+	if err == nil {
+		t.Error("via column conflict not detected")
+	}
+}
+
+func TestValidateMultilayerSharedTerminalAtNode(t *testing.T) {
+	l := NewLayout(Multilayer, 2)
+	l.AddNode("n", geom.NewRect(5, 5, 8, 8))
+	if err := l.AddWire("a", []geom.Point{pt(0, 5), pt(5, 5)}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddWire("b", []geom.Point{pt(5, 0), pt(5, 5)}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(ValidateOptions{}); err != nil {
+		t.Errorf("shared terminal at node rejected: %v", err)
+	}
+}
+
+func TestValidateNodeInterior(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	l.AddNode("n", geom.NewRect(2, 2, 8, 8))
+	mustWire(t, l, "through", pt(0, 5), pt(10, 5))
+	err := l.Validate(ValidateOptions{CheckNodeInteriors: true})
+	if err == nil || !strings.Contains(err.Error(), "interior") {
+		t.Errorf("node interior violation not detected: %v", err)
+	}
+	// Along the boundary is fine.
+	l2 := NewLayout(Thompson, 2)
+	l2.AddNode("n", geom.NewRect(2, 2, 8, 8))
+	mustWire(t, l2, "edge", pt(0, 2), pt(10, 2))
+	if err := l2.Validate(ValidateOptions{CheckNodeInteriors: true}); err != nil {
+		t.Errorf("boundary wire rejected: %v", err)
+	}
+}
+
+func TestValidateTerminals(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	l.AddNode("n1", geom.NewRect(0, 0, 2, 2))
+	l.AddNode("n2", geom.NewRect(10, 0, 12, 2))
+	mustWire(t, l, "ok", pt(2, 1), pt(10, 1))
+	if err := l.Validate(ValidateOptions{RequireTerminalsOnNodes: true}); err != nil {
+		t.Errorf("attached wire rejected: %v", err)
+	}
+	mustWire(t, l, "floating", pt(4, 5), pt(6, 5))
+	if err := l.Validate(ValidateOptions{RequireTerminalsOnNodes: true}); err == nil {
+		t.Error("floating wire accepted")
+	}
+}
+
+func TestValidateMaxCells(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	mustWire(t, l, "long", pt(0, 0), pt(1000, 0))
+	err := l.Validate(ValidateOptions{MaxCells: 10})
+	if err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Errorf("cell cap not enforced: %v", err)
+	}
+}
+
+func TestTranslateAndMerge(t *testing.T) {
+	a := NewLayout(Thompson, 2)
+	a.AddNode("n", geom.NewRect(0, 0, 1, 1))
+	mustWire(t, a, "w", pt(0, 0), pt(4, 0))
+	b := NewLayout(Thompson, 2)
+	mustWire(t, b, "w2", pt(0, 0), pt(0, 4))
+	if err := a.Merge(b, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	bb := a.BoundingBox()
+	if bb.X1 != 10 || bb.Y1 != 14 {
+		t.Errorf("merged bounding box = %v", bb)
+	}
+	a.Translate(1, 2)
+	bb = a.BoundingBox()
+	if bb.X0 != 1 || bb.Y0 != 2 {
+		t.Errorf("translated bounding box = %v", bb)
+	}
+	c := NewLayout(Multilayer, 4)
+	if err := a.Merge(c, 0, 0); err == nil {
+		t.Error("model mismatch merge accepted")
+	}
+}
+
+func TestEmptyLayoutMetrics(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	if l.Area() != 0 || l.MaxWireLength() != 0 || l.ViaCount() != 0 {
+		t.Error("empty layout has nonzero metrics")
+	}
+	if err := l.Validate(ValidateOptions{}); err != nil {
+		t.Errorf("empty layout invalid: %v", err)
+	}
+}
+
+func mustWire(t *testing.T, l *Layout, label string, ps ...geom.Point) {
+	t.Helper()
+	if err := l.AddWireHV(label, ps...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkValidateThompson(b *testing.B) {
+	l := NewLayout(Thompson, 2)
+	for i := 0; i < 100; i++ {
+		// Distinct track x per wire so the geometry is actually legal.
+		_ = l.AddWireHV("w", pt(0, i), pt(200+i, i), pt(200+i, i+200))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Validate(ValidateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestKnockKneeModelAllowsSharedBends(t *testing.T) {
+	// The exact geometry Thompson rejects (two wires bending at (5,5))
+	// is legal in the knock-knee model, while edge overlap still is not.
+	l := NewLayout(KnockKnee, 2)
+	mustWire(t, l, "a", pt(0, 5), pt(5, 5), pt(5, 10))
+	mustWire(t, l, "b", pt(5, 0), pt(5, 5), pt(10, 5))
+	if err := l.Validate(ValidateOptions{}); err != nil {
+		t.Errorf("knock-knee rejected: %v", err)
+	}
+	mustWire(t, l, "overlap", pt(0, 5), pt(3, 5))
+	if err := l.Validate(ValidateOptions{}); err == nil {
+		t.Error("edge overlap accepted under knock-knee model")
+	}
+}
+
+func TestKnockKneeJSONRoundTrip(t *testing.T) {
+	l := NewLayout(KnockKnee, 2)
+	mustWire(t, l, "a", pt(0, 0), pt(4, 0))
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != KnockKnee {
+		t.Errorf("model = %v", back.Model)
+	}
+}

@@ -1,0 +1,130 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bfvlsi/internal/geom"
+)
+
+// The JSON form of a layout, for interchange with external tooling
+// (viewers, DRC scripts, downstream CAD steps). Wires serialize as their
+// polyline points plus per-segment layers, which is lossless.
+
+type layoutJSON struct {
+	Model  string     `json:"model"`
+	Layers int        `json:"layers"`
+	Nodes  []nodeJSON `json:"nodes"`
+	Wires  []wireJSON `json:"wires"`
+}
+
+type nodeJSON struct {
+	Label string `json:"label"`
+	Rect  [4]int `json:"rect"` // x0, y0, x1, y1
+}
+
+type wireJSON struct {
+	Label     string   `json:"label"`
+	Points    [][2]int `json:"points"`
+	SegLayers []int    `json:"layers"`
+}
+
+func modelName(m Model) string {
+	switch m {
+	case Thompson:
+		return "thompson"
+	case Multilayer:
+		return "multilayer"
+	case KnockKnee:
+		return "knock-knee"
+	default:
+		return fmt.Sprintf("model-%d", int(m))
+	}
+}
+
+func modelFromName(s string) (Model, error) {
+	switch s {
+	case "thompson":
+		return Thompson, nil
+	case "multilayer":
+		return Multilayer, nil
+	case "knock-knee":
+		return KnockKnee, nil
+	default:
+		return 0, fmt.Errorf("grid: unknown model %q", s)
+	}
+}
+
+// MarshalJSON implements json.Marshaler.
+func (l *Layout) MarshalJSON() ([]byte, error) {
+	out := layoutJSON{
+		Model:  modelName(l.Model),
+		Layers: l.Layers,
+		Nodes:  make([]nodeJSON, len(l.Nodes)),
+		Wires:  make([]wireJSON, len(l.Wires)),
+	}
+	for i, n := range l.Nodes {
+		out.Nodes[i] = nodeJSON{Label: n.Label, Rect: [4]int{n.Rect.X0, n.Rect.Y0, n.Rect.X1, n.Rect.Y1}}
+	}
+	for i := range l.Wires {
+		w := &l.Wires[i]
+		wj := wireJSON{Label: w.Label}
+		if len(w.Segs) > 0 {
+			wj.Points = append(wj.Points, [2]int{w.Segs[0].Seg.A.X, w.Segs[0].Seg.A.Y})
+			for _, s := range w.Segs {
+				wj.Points = append(wj.Points, [2]int{s.Seg.B.X, s.Seg.B.Y})
+				wj.SegLayers = append(wj.SegLayers, s.Layer)
+			}
+		}
+		out.Wires[i] = wj
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded layout is
+// re-validated structurally (axis alignment, layer ranges) via AddWire.
+func (l *Layout) UnmarshalJSON(data []byte) error {
+	var in layoutJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	model, err := modelFromName(in.Model)
+	if err != nil {
+		return err
+	}
+	if in.Layers < 1 {
+		return fmt.Errorf("grid: layout has %d layers", in.Layers)
+	}
+	nl := NewLayout(model, in.Layers)
+	for _, n := range in.Nodes {
+		nl.AddNode(n.Label, geom.NewRect(n.Rect[0], n.Rect[1], n.Rect[2], n.Rect[3]))
+	}
+	for _, w := range in.Wires {
+		pts := make([]geom.Point, len(w.Points))
+		for i, p := range w.Points {
+			pts[i] = geom.Point{X: p[0], Y: p[1]}
+		}
+		if err := nl.AddWire(w.Label, pts, w.SegLayers); err != nil {
+			return err
+		}
+	}
+	*l = *nl
+	return nil
+}
+
+// WriteJSON streams the layout to w.
+func (l *Layout) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(l)
+}
+
+// ReadJSON decodes a layout from r.
+func ReadJSON(r io.Reader) (*Layout, error) {
+	var l Layout
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&l); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}

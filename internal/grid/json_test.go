@@ -1,0 +1,100 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bfvlsi/internal/geom"
+)
+
+func roundTrip(t *testing.T, l *Layout) *Layout {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := NewLayout(Multilayer, 4)
+	l.AddNode("n0", geom.NewRect(0, 0, 3, 3))
+	l.AddNode("n1", geom.NewRect(10, 10, 13, 13))
+	if err := l.AddWire("w0",
+		[]geom.Point{{X: 3, Y: 1}, {X: 8, Y: 1}, {X: 8, Y: 10}, {X: 10, Y: 10}},
+		[]int{2, 1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, l)
+	if back.Model != l.Model || back.Layers != l.Layers {
+		t.Errorf("model/layers lost: %v/%d", back.Model, back.Layers)
+	}
+	if len(back.Nodes) != 2 || len(back.Wires) != 1 {
+		t.Fatalf("contents lost: %d nodes %d wires", len(back.Nodes), len(back.Wires))
+	}
+	if back.Nodes[1].Rect != l.Nodes[1].Rect || back.Nodes[1].Label != "n1" {
+		t.Errorf("node mismatch: %+v", back.Nodes[1])
+	}
+	w, bw := &l.Wires[0], &back.Wires[0]
+	if len(bw.Segs) != len(w.Segs) {
+		t.Fatalf("segment count mismatch")
+	}
+	for i := range w.Segs {
+		if w.Segs[i] != bw.Segs[i] {
+			t.Errorf("segment %d mismatch: %+v vs %+v", i, w.Segs[i], bw.Segs[i])
+		}
+	}
+	// Metrics identical.
+	if l.Stats() != back.Stats() {
+		t.Errorf("stats changed: %v vs %v", l.Stats(), back.Stats())
+	}
+}
+
+func TestJSONRejectsCorruptInput(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"model":"nope","layers":2,"nodes":[],"wires":[]}`,
+		`{"model":"thompson","layers":0,"nodes":[],"wires":[]}`,
+		// diagonal wire
+		`{"model":"thompson","layers":2,"nodes":[],"wires":[{"label":"d","points":[[0,0],[1,1]],"layers":[1]}]}`,
+		// layer out of range
+		`{"model":"thompson","layers":2,"nodes":[],"wires":[{"label":"d","points":[[0,0],[1,0]],"layers":[3]}]}`,
+	}
+	for i, c := range cases {
+		var l Layout
+		if err := json.Unmarshal([]byte(c), &l); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestJSONStableFields(t *testing.T) {
+	l := NewLayout(Thompson, 2)
+	l.AddNode("a", geom.NewRect(0, 0, 1, 1))
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, field := range []string{`"model":"thompson"`, `"layers":2`, `"nodes"`, `"wires"`} {
+		if !strings.Contains(s, field) {
+			t.Errorf("field %s missing from %s", field, s)
+		}
+	}
+}
+
+func TestJSONValidatedAfterDecode(t *testing.T) {
+	// A decoded layout still validates (rules run on real structures).
+	l := NewLayout(Thompson, 2)
+	mustWire(t, l, "a", pt(0, 0), pt(5, 0), pt(5, 5))
+	back := roundTrip(t, l)
+	if err := back.Validate(ValidateOptions{}); err != nil {
+		t.Error(err)
+	}
+}

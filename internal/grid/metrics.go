@@ -1,0 +1,68 @@
+package grid
+
+import "sort"
+
+// WireLengthHistogram buckets wire lengths by powers of two: the key is
+// the smallest power of two >= the wire's length (key 0 holds zero-length
+// wires, which AddWire prevents but decoded layouts could contain).
+func (l *Layout) WireLengthHistogram() map[int]int {
+	h := make(map[int]int)
+	for i := range l.Wires {
+		n := l.Wires[i].Length()
+		b := 1
+		for b < n {
+			b <<= 1
+		}
+		if n == 0 {
+			b = 0
+		}
+		h[b]++
+	}
+	return h
+}
+
+// LayerUsage returns, per wiring layer (index layer-1), the total wire
+// length routed on it. Uneven usage signals a poorly balanced multilayer
+// partition.
+func (l *Layout) LayerUsage() []int64 {
+	out := make([]int64, l.Layers)
+	for i := range l.Wires {
+		for _, s := range l.Wires[i].Segs {
+			out[s.Layer-1] += int64(s.Seg.Len())
+		}
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of wire lengths, or 0
+// for an empty layout.
+func (l *Layout) Percentile(p float64) int {
+	if len(l.Wires) == 0 {
+		return 0
+	}
+	lens := make([]int, len(l.Wires))
+	for i := range l.Wires {
+		lens[i] = l.Wires[i].Length()
+	}
+	sort.Ints(lens)
+	idx := int(p / 100 * float64(len(lens)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lens) {
+		idx = len(lens) - 1
+	}
+	return lens[idx]
+}
+
+// WiringDensity returns total wire length divided by the bounding-box
+// area: the fraction of the die the wires occupy (per layer pair under
+// the Thompson convention). The paper's optimal layouts are wire-
+// dominated, so density close to its maximum signals little wasted area.
+func (l *Layout) WiringDensity() float64 {
+	a := l.Area()
+	if a == 0 {
+		return 0
+	}
+	return float64(l.TotalWireLength()) / float64(a)
+}

@@ -1,0 +1,61 @@
+package grid
+
+import (
+	"testing"
+)
+
+func metricLayout(t *testing.T) *Layout {
+	t.Helper()
+	l := NewLayout(Thompson, 2)
+	mustWire(t, l, "short", pt(0, 0), pt(3, 0))            // len 3 -> bucket 4
+	mustWire(t, l, "mid", pt(0, 2), pt(8, 2))              // len 8 -> bucket 8
+	mustWire(t, l, "long", pt(0, 4), pt(20, 4), pt(20, 9)) // len 25 -> bucket 32
+	return l
+}
+
+func TestWireLengthHistogram(t *testing.T) {
+	h := metricLayout(t).WireLengthHistogram()
+	if h[4] != 1 || h[8] != 1 || h[32] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestLayerUsage(t *testing.T) {
+	u := metricLayout(t).LayerUsage()
+	if len(u) != 2 {
+		t.Fatalf("layers = %d", len(u))
+	}
+	// Horizontal on layer 1: 3 + 8 + 20 = 31; vertical on layer 2: 5.
+	if u[0] != 31 || u[1] != 5 {
+		t.Errorf("usage = %v, want [31 5]", u)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	l := metricLayout(t)
+	if got := l.Percentile(0); got != 3 {
+		t.Errorf("p0 = %d", got)
+	}
+	if got := l.Percentile(100); got != 25 {
+		t.Errorf("p100 = %d", got)
+	}
+	if got := l.Percentile(50); got != 8 {
+		t.Errorf("p50 = %d", got)
+	}
+	empty := NewLayout(Thompson, 2)
+	if empty.Percentile(50) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+}
+
+func TestWiringDensity(t *testing.T) {
+	l := metricLayout(t)
+	d := l.WiringDensity()
+	if d <= 0 || d > 2 {
+		t.Errorf("density = %v", d)
+	}
+	empty := NewLayout(Thompson, 2)
+	if empty.WiringDensity() != 0 {
+		t.Error("empty density nonzero")
+	}
+}

@@ -1,0 +1,253 @@
+package grid
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/geom"
+)
+
+// ValidateOptions tunes the geometric rule checker.
+type ValidateOptions struct {
+	// CheckNodeInteriors enables the "wires may not pass through node
+	// boxes" rule. It costs O(wires * nodes) segment/box tests.
+	CheckNodeInteriors bool
+	// RequireTerminalsOnNodes additionally demands every wire start and
+	// end on (the boundary or interior of) some node box.
+	RequireTerminalsOnNodes bool
+	// MaxCells bounds the occupancy map size (roughly total wire length in
+	// grid units). Validation fails fast when exceeded so huge layouts are
+	// not validated by accident. 0 means the default of 50M.
+	MaxCells int
+}
+
+const defaultMaxCells = 50_000_000
+
+type edgeKey struct {
+	x, y  int32
+	layer int16
+	horiz bool
+}
+
+type pointKey struct {
+	x, y  int32
+	layer int16
+}
+
+// Validate checks the layout against its model's rules:
+//
+// Both models: wires are contiguous rectilinear polylines; optionally no
+// wire crosses a node-box interior.
+//
+// Thompson: no two wires (nor a wire with itself) may share a unit grid
+// edge, and no two distinct wires may bend at the same grid point
+// (knock-knee rule). Crossings at grid points are allowed.
+//
+// Multilayer: wire paths, including via columns, must be node-disjoint in
+// the L-layer 3-D grid; two wires may share a 3-D grid point only where a
+// node box contains that point in the plane.
+func (l *Layout) Validate(opts ValidateOptions) error {
+	maxCells := opts.MaxCells
+	if maxCells == 0 {
+		maxCells = defaultMaxCells
+	}
+	var totalLen int64
+	for i := range l.Wires {
+		totalLen += int64(l.Wires[i].Length())
+	}
+	if totalLen > int64(maxCells) {
+		return fmt.Errorf("grid: layout too large to validate (%d wire units > %d)", totalLen, maxCells)
+	}
+	if err := l.validateContiguity(); err != nil {
+		return err
+	}
+	var err error
+	switch l.Model {
+	case Thompson:
+		err = l.validateThompson(false)
+	case KnockKnee:
+		err = l.validateThompson(true)
+	case Multilayer:
+		err = l.validateMultilayer()
+	default:
+		return fmt.Errorf("grid: unknown model %d", l.Model)
+	}
+	if err != nil {
+		return err
+	}
+	if opts.CheckNodeInteriors {
+		if err := l.validateNodeInteriors(); err != nil {
+			return err
+		}
+	}
+	if opts.RequireTerminalsOnNodes {
+		if err := l.validateTerminals(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Layout) validateContiguity() error {
+	for i := range l.Wires {
+		w := &l.Wires[i]
+		if len(w.Segs) == 0 {
+			return fmt.Errorf("grid: wire %q has no segments", w.Label)
+		}
+		for j := 1; j < len(w.Segs); j++ {
+			if w.Segs[j].Seg.A != w.Segs[j-1].Seg.B {
+				return fmt.Errorf("grid: wire %q discontinuous at segment %d (%v != %v)",
+					w.Label, j, w.Segs[j-1].Seg.B, w.Segs[j].Seg.A)
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Layout) validateThompson(allowKnockKnees bool) error {
+	edges := make(map[edgeKey]int)
+	for i := range l.Wires {
+		w := &l.Wires[i]
+		for _, ws := range w.Segs {
+			s := ws.Seg
+			if s.Horizontal() {
+				span := s.XSpan()
+				for x := span.Lo; x < span.Hi; x++ {
+					k := edgeKey{x: int32(x), y: int32(s.A.Y), horiz: true}
+					if prev, ok := edges[k]; ok {
+						return fmt.Errorf("grid: wires %q and %q overlap on edge (%d,%d)-(%d,%d)",
+							l.Wires[prev].Label, w.Label, x, s.A.Y, x+1, s.A.Y)
+					}
+					edges[k] = i
+				}
+			} else {
+				span := s.YSpan()
+				for y := span.Lo; y < span.Hi; y++ {
+					k := edgeKey{x: int32(s.A.X), y: int32(y), horiz: false}
+					if prev, ok := edges[k]; ok {
+						return fmt.Errorf("grid: wires %q and %q overlap on edge (%d,%d)-(%d,%d)",
+							l.Wires[prev].Label, w.Label, s.A.X, y, s.A.X, y+1)
+					}
+					edges[k] = i
+				}
+			}
+		}
+	}
+	if allowKnockKnees {
+		return nil
+	}
+	// Knock-knee rule: bends of different wires must not coincide.
+	bends := make(map[pointKey]int)
+	for i := range l.Wires {
+		w := &l.Wires[i]
+		for j := 1; j < len(w.Segs); j++ {
+			a, b := w.Segs[j-1].Seg, w.Segs[j].Seg
+			if a.Len() == 0 || b.Len() == 0 {
+				continue
+			}
+			if a.Horizontal() == b.Horizontal() {
+				continue
+			}
+			p := b.A
+			k := pointKey{x: int32(p.X), y: int32(p.Y)}
+			if prev, ok := bends[k]; ok && prev != i {
+				return fmt.Errorf("grid: knock-knee: wires %q and %q both bend at %v",
+					l.Wires[prev].Label, w.Label, p)
+			}
+			bends[k] = i
+		}
+	}
+	return nil
+}
+
+func (l *Layout) validateMultilayer() error {
+	points := make(map[pointKey]int)
+	claim := func(x, y, layer, wire int) error {
+		k := pointKey{x: int32(x), y: int32(y), layer: int16(layer)}
+		if prev, ok := points[k]; ok && prev != wire {
+			p := geom.Point{X: x, Y: y}
+			if l.pointOnSomeNode(p) {
+				return nil // shared only at a node box: a common terminal
+			}
+			return fmt.Errorf("grid: wires %q and %q share 3-D grid point (%d,%d,layer %d)",
+				l.Wires[prev].Label, l.Wires[wire].Label, x, y, layer)
+		}
+		points[k] = wire
+		return nil
+	}
+	for i := range l.Wires {
+		w := &l.Wires[i]
+		for _, ws := range w.Segs {
+			s := ws.Seg
+			if s.Horizontal() {
+				span := s.XSpan()
+				for x := span.Lo; x <= span.Hi; x++ {
+					if err := claim(x, s.A.Y, ws.Layer, i); err != nil {
+						return err
+					}
+				}
+			} else {
+				span := s.YSpan()
+				for y := span.Lo; y <= span.Hi; y++ {
+					if err := claim(s.A.X, y, ws.Layer, i); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		// Via columns: claim the intermediate layers at each transition.
+		for j := 1; j < len(w.Segs); j++ {
+			la, lb := w.Segs[j-1].Layer, w.Segs[j].Layer
+			if la == lb {
+				continue
+			}
+			if la > lb {
+				la, lb = lb, la
+			}
+			p := w.Segs[j].Seg.A
+			for z := la + 1; z < lb; z++ {
+				if err := claim(p.X, p.Y, z, i); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Layout) pointOnSomeNode(p geom.Point) bool {
+	for i := range l.Nodes {
+		if l.Nodes[i].Rect.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Layout) validateNodeInteriors() error {
+	for i := range l.Wires {
+		w := &l.Wires[i]
+		for _, ws := range w.Segs {
+			for j := range l.Nodes {
+				if geom.SegmentIntersectsRectInterior(ws.Seg, l.Nodes[j].Rect) {
+					return fmt.Errorf("grid: wire %q passes through node %q interior",
+						w.Label, l.Nodes[j].Label)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Layout) validateTerminals() error {
+	for i := range l.Wires {
+		w := &l.Wires[i]
+		a, b := w.Endpoints()
+		if !l.pointOnSomeNode(a) {
+			return fmt.Errorf("grid: wire %q start %v not on any node", w.Label, a)
+		}
+		if !l.pointOnSomeNode(b) {
+			return fmt.Errorf("grid: wire %q end %v not on any node", w.Label, b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+// Package hierarchy implements the hierarchical layout model of
+// Section 5 of the paper: multiple packaging levels (chips on a board,
+// boards in a cabinet), each with pin, area, and wire-width constraints,
+// and the Section 5.2 design engine that reproduces the paper's worked
+// example: a 9-dimensional butterfly packaged onto 64 chips of 80 nodes
+// with 56 (<= 64) off-chip links per chip, on a board of area 409.6K with
+// two wiring layers, 160K with four, and 78.4K with eight; the naive
+// consecutive-row partition needs 171 chips.
+package hierarchy
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/isn"
+	"bfvlsi/internal/packaging"
+)
+
+// Level describes one level of the packaging hierarchy.
+type Level struct {
+	Name      string
+	MaxPins   int // maximum off-module links per module at this level
+	Side      int // module side length (level-specific length units)
+	WireWidth int // minimum wire width at this level (1 = unit)
+}
+
+// Hierarchy is an ordered list of levels, innermost (chip) first.
+type Hierarchy struct {
+	Levels []Level
+}
+
+// Validate checks basic sanity of the hierarchy description.
+func (h *Hierarchy) Validate() error {
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("hierarchy: no levels")
+	}
+	for i, lv := range h.Levels {
+		if lv.MaxPins < 0 || lv.Side <= 0 || lv.WireWidth <= 0 {
+			return fmt.Errorf("hierarchy: level %d (%s) has invalid parameters", i, lv.Name)
+		}
+	}
+	return nil
+}
+
+// BoardDesign is a two-level (chip + board) design for an n-dimensional
+// butterfly produced by Design, mirroring Section 5.2.
+type BoardDesign struct {
+	N        int
+	Spec     bitutil.GroupSpec
+	ChipSide int
+	MaxPins  int
+
+	RowsPerChip  int
+	NodesPerChip int
+	NumChips     int
+	// OffChipLinks is the maximum number of off-chip links of any chip,
+	// measured from the actual partition (not the formula).
+	OffChipLinks int
+
+	GridRows, GridCols int
+	// RawHTracks / RawVTracks are the two-layer track counts per
+	// horizontal/vertical inter-chip gap from the quadrupled collinear
+	// layouts (c * floor(m^2/4)).
+	RawHTracks, RawVTracks int
+	// Optimized*Tracks apply the paper's neighboring-block improvement,
+	// which saves 4 tracks per gap.
+	OptimizedHTracks, OptimizedVTracks int
+}
+
+// neighborSaving is the Section 5.2 optimization: links between
+// neighboring blocks move onto the tracks directly between those blocks,
+// reducing each gap by 4 tracks.
+const neighborSaving = 4
+
+// Design searches the l <= 3 group specs of an n-dimensional butterfly
+// for the row partition that fits within maxPins off-chip links per chip
+// while minimizing the number of chips (then pins). chipSide is carried
+// into the board geometry.
+func Design(n, maxPins, chipSide int) (*BoardDesign, error) {
+	if n < 2 || n > 12 {
+		return nil, fmt.Errorf("hierarchy: dimension %d out of supported range [2,12]", n)
+	}
+	var best *BoardDesign
+	for k1 := 1; k1 < n; k1++ {
+		for _, widths := range specCandidates(n, k1) {
+			spec, err := bitutil.NewGroupSpec(widths...)
+			if err != nil {
+				continue
+			}
+			sb := isn.Transform(spec)
+			part := packaging.RowPartition(sb)
+			st := part.Stats()
+			if st.MaxOffLinksPerModu > maxPins {
+				continue
+			}
+			d := &BoardDesign{
+				N:            n,
+				Spec:         spec,
+				ChipSide:     chipSide,
+				MaxPins:      maxPins,
+				RowsPerChip:  1 << uint(k1),
+				NodesPerChip: st.MaxNodesPerModule,
+				NumChips:     st.NumModules,
+				OffChipLinks: st.MaxOffLinksPerModu,
+			}
+			d.fillBoardGeometry()
+			if best == nil || d.NumChips < best.NumChips ||
+				(d.NumChips == best.NumChips && d.OffChipLinks < best.OffChipLinks) {
+				best = d
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("hierarchy: no l<=3 partition of B_%d fits %d pins", n, maxPins)
+	}
+	return best, nil
+}
+
+// specCandidates enumerates (k1, k2, k3) with k1 fixed, k1 >= k2 >= k3,
+// summing to n, with 2 or 3 levels.
+func specCandidates(n, k1 int) [][]int {
+	var out [][]int
+	if k1 == n {
+		out = append(out, []int{k1})
+	}
+	for k2 := 1; k2 <= k1; k2++ {
+		if k1+k2 == n {
+			out = append(out, []int{k1, k2})
+		}
+		k3 := n - k1 - k2
+		if k3 >= 1 && k3 <= k2 {
+			out = append(out, []int{k1, k2, k3})
+		}
+	}
+	return out
+}
+
+func (d *BoardDesign) fillBoardGeometry() {
+	spec := d.Spec
+	k1 := spec.GroupWidth(1)
+	m2, m3 := 1, 1
+	if spec.Levels() >= 2 {
+		m2 = 1 << uint(spec.GroupWidth(2))
+		c2 := 1 << uint(2+k1-spec.GroupWidth(2))
+		d.RawHTracks = c2 * (m2 * m2 / 4)
+		d.OptimizedHTracks = d.RawHTracks - neighborSaving
+	}
+	if spec.Levels() == 3 {
+		m3 = 1 << uint(spec.GroupWidth(3))
+		c3 := 1 << uint(2+k1-spec.GroupWidth(3))
+		d.RawVTracks = c3 * (m3 * m3 / 4)
+		d.OptimizedVTracks = d.RawVTracks - neighborSaving
+	}
+	d.GridCols = m2
+	d.GridRows = m3
+}
+
+// HTracksPerGap returns the horizontal tracks per inter-chip-row gap with
+// L wiring layers (L/2 groups for even L, (L+1)/2 for odd L, Section 4).
+func (d *BoardDesign) HTracksPerGap(L int) int {
+	return compress(d.OptimizedHTracks, hGroups(L))
+}
+
+// VTracksPerGap is the vertical analogue ((L-1)/2 groups for odd L).
+func (d *BoardDesign) VTracksPerGap(L int) int {
+	return compress(d.OptimizedVTracks, vGroups(L))
+}
+
+func hGroups(L int) int {
+	if L%2 == 0 {
+		return L / 2
+	}
+	return (L + 1) / 2
+}
+
+func vGroups(L int) int {
+	if L%2 == 0 {
+		return L / 2
+	}
+	return (L - 1) / 2
+}
+
+func compress(tracks, groups int) int {
+	if tracks == 0 {
+		return 0
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return (tracks + groups - 1) / groups
+}
+
+// BoardDims returns the board width and height with L wiring layers:
+// each chip column contributes ChipSide + vertical gap tracks, each chip
+// row ChipSide + horizontal gap tracks (Fig. 3 arrangement).
+func (d *BoardDesign) BoardDims(L int) (w, h int) {
+	w = d.GridCols * (d.ChipSide + d.VTracksPerGap(L))
+	h = d.GridRows * (d.ChipSide + d.HTracksPerGap(L))
+	return w, h
+}
+
+// BoardArea returns the total board area with L wiring layers.
+func (d *BoardDesign) BoardArea(L int) int64 {
+	w, h := d.BoardDims(L)
+	return int64(w) * int64(h)
+}
+
+// NaiveChipsPaperEstimate reproduces the paper's Section 5.2 baseline
+// accounting: the naive partition pays approximately 2 off-module links
+// per node, so a chip of q rows needs about 2*q*(n+1) pins. For B_9 with
+// 64 pins this gives 3 rows per chip and 171 chips, the paper's numbers.
+func NaiveChipsPaperEstimate(n, maxPins int) (rowsPerChip, numChips int) {
+	rows := 1 << uint(n)
+	q := maxPins / (2 * (n + 1))
+	if q < 1 {
+		return 0, 0
+	}
+	return q, (rows + q - 1) / q
+}
+
+// NaiveChips measures the baseline exactly: the largest number of
+// consecutive plain-butterfly rows per chip whose measured off-chip link
+// count stays within maxPins, and the resulting chip count. Exact
+// counting is slightly kinder to the baseline than the paper's estimate
+// (aligned power-of-two modules keep their low dimensions internal): for
+// B_9 with 64 pins it allows 4 rows per chip (56 links) and 128 chips
+// instead of the paper's 3 rows / 171 chips.
+func NaiveChips(n, maxPins int) (rowsPerChip, numChips int) {
+	bf := butterfly.New(n)
+	rowsPerChip = 0
+	for q := 1; q <= bf.Rows; q++ {
+		st := packaging.NaiveRowPartition(bf, q).Stats()
+		if st.MaxOffLinksPerModu <= maxPins {
+			rowsPerChip = q
+		} else if rowsPerChip > 0 {
+			break
+		}
+	}
+	if rowsPerChip == 0 {
+		return 0, 0
+	}
+	numChips = (bf.Rows + rowsPerChip - 1) / rowsPerChip
+	return rowsPerChip, numChips
+}
+
+// MinChipSide returns the smallest chip side that can expose all
+// off-chip links when terminals are distributed around the four sides of
+// the chip perimeter - the Section 5.2 remark that splitting wires "to
+// opposite sides of the chip" makes "a block of side at least 16"
+// sufficient for the 64-link example.
+func (d *BoardDesign) MinChipSide() int {
+	return (d.OffChipLinks + 3) / 4
+}

@@ -1,0 +1,199 @@
+package hierarchy
+
+import "testing"
+
+// The full Section 5.2 worked example, end to end.
+func TestSection52Example(t *testing.T) {
+	d, err := Design(9, 64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spec.String() != "(3,3,3)" {
+		t.Errorf("spec = %v, want (3,3,3)", d.Spec)
+	}
+	if d.RowsPerChip != 8 {
+		t.Errorf("rows per chip = %d, want 8", d.RowsPerChip)
+	}
+	if d.NodesPerChip != 80 {
+		t.Errorf("nodes per chip = %d, want 80 (paper)", d.NodesPerChip)
+	}
+	if d.NumChips != 64 {
+		t.Errorf("chips = %d, want 64 (paper)", d.NumChips)
+	}
+	if d.OffChipLinks != 56 || d.OffChipLinks > 64 {
+		t.Errorf("off-chip links = %d, want 56 (within the 64-pin budget)", d.OffChipLinks)
+	}
+	if d.GridRows != 8 || d.GridCols != 8 {
+		t.Errorf("grid = %dx%d, want 8x8", d.GridRows, d.GridCols)
+	}
+	if d.RawHTracks != 64 || d.OptimizedHTracks != 60 {
+		t.Errorf("h tracks = %d/%d, want 64/60", d.RawHTracks, d.OptimizedHTracks)
+	}
+	// Paper's board areas: 409.6K (L=2), 160K (L=4), 78.4K (L=8).
+	for _, c := range []struct {
+		L    int
+		side int
+		area int64
+	}{
+		{2, 640, 409600},
+		{4, 400, 160000},
+		{8, 280, 78400},
+	} {
+		w, h := d.BoardDims(c.L)
+		if w != c.side || h != c.side {
+			t.Errorf("L=%d: board %dx%d, want %dx%d", c.L, w, h, c.side, c.side)
+		}
+		if got := d.BoardArea(c.L); got != c.area {
+			t.Errorf("L=%d: area = %d, want %d (paper)", c.L, got, c.area)
+		}
+	}
+	// Paper: at L=8 the inter-chip wire space (15) is somewhat smaller
+	// than the chip side (20).
+	if d.HTracksPerGap(8) != 15 {
+		t.Errorf("L=8 gap tracks = %d, want 15 (paper remark)", d.HTracksPerGap(8))
+	}
+}
+
+func TestSection52NaiveBaseline(t *testing.T) {
+	// The paper's own accounting (~2 links/node): 3 rows, 171 chips.
+	rows, chips := NaiveChipsPaperEstimate(9, 64)
+	if rows != 3 {
+		t.Errorf("paper-estimate rows per chip = %d, want 3", rows)
+	}
+	if chips != 171 {
+		t.Errorf("paper-estimate chips = %d, want 171", chips)
+	}
+	// Exact measurement is kinder to the baseline (aligned modules keep
+	// dimensions 0-1 internal): 4 rows at 56 links, 128 chips - still
+	// double the scheme's 64 chips.
+	mrows, mchips := NaiveChips(9, 64)
+	if mrows != 4 || mchips != 128 {
+		t.Errorf("measured naive = %d rows / %d chips, want 4 / 128", mrows, mchips)
+	}
+	d, err := Design(9, 64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mchips < 2*d.NumChips {
+		t.Errorf("measured naive chips %d not at least 2x scheme's %d", mchips, d.NumChips)
+	}
+}
+
+func TestDiminishingReturns(t *testing.T) {
+	// Section 5.2: the relative saving diminishes as L grows because the
+	// chips start to dominate. Area(2)/Area(4) ~ 2.56 but
+	// Area(4)/Area(8) ~ 2.04 only.
+	d, err := Design(9, 64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r24 := float64(d.BoardArea(2)) / float64(d.BoardArea(4))
+	r48 := float64(d.BoardArea(4)) / float64(d.BoardArea(8))
+	if r24 <= r48 {
+		t.Errorf("saving did not diminish: %v then %v", r24, r48)
+	}
+	if r24 < 2.5 || r24 > 2.6 {
+		t.Errorf("area(2)/area(4) = %v, want ~2.56", r24)
+	}
+}
+
+func TestOddLayerBoards(t *testing.T) {
+	d, err := Design(9, 64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L=3: horizontal gaps use 2 groups (30 tracks), vertical 1 (60).
+	if d.HTracksPerGap(3) != 30 || d.VTracksPerGap(3) != 60 {
+		t.Errorf("L=3 gaps = %d/%d, want 30/60", d.HTracksPerGap(3), d.VTracksPerGap(3))
+	}
+	w, h := d.BoardDims(3)
+	if w != 8*(20+60) || h != 8*(20+30) {
+		t.Errorf("L=3 board = %dx%d", w, h)
+	}
+}
+
+func TestDesignRespectsPinBudget(t *testing.T) {
+	for _, pins := range []int{8, 16, 32, 64, 128} {
+		d, err := Design(9, pins, 20)
+		if err != nil {
+			// Very small budgets may be infeasible for l<=3; that is fine.
+			continue
+		}
+		if d.OffChipLinks > pins {
+			t.Errorf("pins=%d: design uses %d off-chip links", pins, d.OffChipLinks)
+		}
+	}
+}
+
+func TestDesignPinBudgetBoundary(t *testing.T) {
+	// 56 pins is exactly the (3,3,3) requirement; anything lower is
+	// infeasible for l <= 3 on B_9 (deeper hierarchies would be needed).
+	d, err := Design(9, 56, 20)
+	if err != nil {
+		t.Fatalf("56-pin design should be feasible: %v", err)
+	}
+	if d.OffChipLinks != 56 {
+		t.Errorf("off-chip links = %d, want 56", d.OffChipLinks)
+	}
+	if _, err := Design(9, 55, 20); err == nil {
+		t.Error("55-pin design should be infeasible for l<=3")
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	h := &Hierarchy{Levels: []Level{
+		{Name: "chip", MaxPins: 64, Side: 20, WireWidth: 1},
+		{Name: "board", MaxPins: 1024, Side: 640, WireWidth: 1},
+	}}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := &Hierarchy{Levels: []Level{{Name: "x", MaxPins: -1, Side: 0, WireWidth: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid hierarchy accepted")
+	}
+	empty := &Hierarchy{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+}
+
+func TestNaiveChipsDegenerate(t *testing.T) {
+	// With 0 pins the only feasible "partition" is the whole network on
+	// one chip (no links cut).
+	rows, chips := NaiveChips(4, 0)
+	if rows != 16 || chips != 1 {
+		t.Errorf("got rows=%d chips=%d, want the single-chip degenerate 16/1", rows, chips)
+	}
+	if r, c := NaiveChipsPaperEstimate(4, 4); r != 0 || c != 0 {
+		t.Errorf("paper estimate with tiny budget should be infeasible, got %d/%d", r, c)
+	}
+}
+
+func BenchmarkDesign9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Design(9, 64, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMinChipSideRemark(t *testing.T) {
+	// Section 5.2: with the 64-link budget (56 used), distributing the
+	// terminals around the perimeter means a chip of side >= 14 would do;
+	// the paper's "side at least 16" corresponds to the full 64-link
+	// budget: 64/4 = 16.
+	d, err := Design(9, 64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.MinChipSide(); got != 14 {
+		t.Errorf("min chip side = %d, want 14 (56 links over 4 sides)", got)
+	}
+	if (d.MaxPins+3)/4 != 16 {
+		t.Errorf("full-budget side = %d, want 16 (paper)", (d.MaxPins+3)/4)
+	}
+	if d.MinChipSide() > d.ChipSide {
+		t.Error("configured chip side below the terminal minimum")
+	}
+}

@@ -1,0 +1,111 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/isn"
+	"bfvlsi/internal/packaging"
+)
+
+// MultiLevelDesign is a three-level packaging of a butterfly network
+// (chips on boards in a cabinet), per the paper's remark that the
+// partitioning scheme "can be extended to the case where there are more
+// than two levels in the packaging hierarchy" (Sections 2.3 and 5.2).
+//
+// Chips are the row partition of the swap-butterfly (2^k1 consecutive
+// rows); boards group the chips of one block-grid row, so that level-2
+// swap links stay on-board and only level-3 swap links cross boards. The
+// improvement compounds: chip pins are O(1/log N) per node, and board
+// connectors carry only the level-3 traffic.
+type MultiLevelDesign struct {
+	N    int
+	Spec bitutil.GroupSpec
+
+	NumChips      int
+	NodesPerChip  int
+	ChipPins      int // measured max off-chip links per chip
+	NumBoards     int
+	ChipsPerBoard int
+	NodesPerBoard int
+	BoardPins     int // measured max off-board links per board
+}
+
+// DesignMultiLevel builds the three-level design for a 3-level group
+// spec.
+func DesignMultiLevel(spec bitutil.GroupSpec) (*MultiLevelDesign, error) {
+	if spec.Levels() != 3 {
+		return nil, fmt.Errorf("hierarchy: multi-level design needs a 3-level spec, got %v", spec)
+	}
+	sb := isn.Transform(spec)
+	k2 := spec.GroupWidth(2)
+	chipsPerBoard := 1 << uint(k2) // one block-grid row of chips
+
+	chips := packaging.RowPartition(sb)
+	chipStats := chips.Stats()
+
+	// Board of a node: its chip's grid row = chip / chipsPerBoard.
+	boardOf := make([]int, sb.G.NumNodes())
+	for i, c := range chips.ModuleOf {
+		boardOf[i] = c / chipsPerBoard
+	}
+	numBoards := chipStats.NumModules / chipsPerBoard
+	boards := &packaging.Partition{
+		Desc:       fmt.Sprintf("boards of %v (%d chips each)", spec, chipsPerBoard),
+		G:          sb.G,
+		ModuleOf:   boardOf,
+		NumModules: numBoards,
+	}
+	boardStats := boards.Stats()
+
+	return &MultiLevelDesign{
+		N:             spec.TotalBits(),
+		Spec:          spec,
+		NumChips:      chipStats.NumModules,
+		NodesPerChip:  chipStats.MaxNodesPerModule,
+		ChipPins:      chipStats.MaxOffLinksPerModu,
+		NumBoards:     numBoards,
+		ChipsPerBoard: chipsPerBoard,
+		NodesPerBoard: boardStats.MaxNodesPerModule,
+		BoardPins:     boardStats.MaxOffLinksPerModu,
+	}, nil
+}
+
+// BoardPinEfficiency compares the per-node board connector count with the
+// naive scheme's ~2: the level-3-only cut means boards pay
+// 2 * (1 - 2^-k3) / (n+1) per node.
+func (d *MultiLevelDesign) BoardPinEfficiency() float64 {
+	return float64(d.BoardPins) / float64(d.NodesPerBoard)
+}
+
+// CostParams weight the components of a layout's implementation cost
+// (Section 4.2: "we can minimize the cost for implementation, which will
+// be a function of area A, the number L of layers, ...").
+type CostParams struct {
+	// AreaUnit is the cost per unit of board area.
+	AreaUnit float64
+	// LayerFixed is the additive cost of each wiring layer (masks,
+	// lamination).
+	LayerFixed float64
+	// LayerAreaUnit is the per-layer, per-area cost (processing scales
+	// with both).
+	LayerAreaUnit float64
+}
+
+// Cost evaluates a board design at a layer count.
+func (d *BoardDesign) Cost(L int, p CostParams) float64 {
+	area := float64(d.BoardArea(L))
+	return p.AreaUnit*area + p.LayerFixed*float64(L) + p.LayerAreaUnit*float64(L)*area
+}
+
+// OptimalLayers returns the layer count in [2, maxL] minimizing Cost,
+// and the minimal cost.
+func (d *BoardDesign) OptimalLayers(maxL int, p CostParams) (int, float64) {
+	bestL, bestC := 2, d.Cost(2, p)
+	for L := 3; L <= maxL; L++ {
+		if c := d.Cost(L, p); c < bestC {
+			bestL, bestC = L, c
+		}
+	}
+	return bestL, bestC
+}

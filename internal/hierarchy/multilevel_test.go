@@ -1,0 +1,98 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+)
+
+func TestDesignMultiLevel333(t *testing.T) {
+	d, err := DesignMultiLevel(bitutil.MustGroupSpec(3, 3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumChips != 64 || d.NodesPerChip != 80 || d.ChipPins != 56 {
+		t.Errorf("chip level: %d chips x %d nodes, %d pins", d.NumChips, d.NodesPerChip, d.ChipPins)
+	}
+	if d.NumBoards != 8 || d.ChipsPerBoard != 8 {
+		t.Errorf("board level: %d boards x %d chips", d.NumBoards, d.ChipsPerBoard)
+	}
+	if d.NodesPerBoard != 640 {
+		t.Errorf("nodes per board = %d, want 640", d.NodesPerBoard)
+	}
+	// Only level-3 links cross boards: each board's rows have 4 level-3
+	// incidences each, 7/8 of which leave: 64 rows/board * 4 * 7/8 = 224.
+	if d.BoardPins != 224 {
+		t.Errorf("board pins = %d, want 224", d.BoardPins)
+	}
+	// Per node that is 0.35: a further ~2x improvement over the chip
+	// level's per-node rate (0.7) because only one swap level crosses.
+	if eff := d.BoardPinEfficiency(); eff < 0.34 || eff > 0.36 {
+		t.Errorf("board pin efficiency = %v", eff)
+	}
+}
+
+func TestDesignMultiLevelRejectsNon3Level(t *testing.T) {
+	if _, err := DesignMultiLevel(bitutil.MustGroupSpec(3, 3)); err == nil {
+		t.Error("2-level spec accepted")
+	}
+}
+
+func TestDesignMultiLevelUnequalWidths(t *testing.T) {
+	d, err := DesignMultiLevel(bitutil.MustGroupSpec(3, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumChips*d.NodesPerChip < (d.N+1)*(1<<uint(d.N)) {
+		t.Errorf("chips do not cover the network: %d x %d", d.NumChips, d.NodesPerChip)
+	}
+	if d.BoardPins >= d.NumChips/d.NumBoards*d.ChipPins {
+		t.Errorf("board pins %d not better than sum of chip pins", d.BoardPins)
+	}
+}
+
+func TestCostModelTradesAreaAgainstLayers(t *testing.T) {
+	d, err := Design(9, 64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free layers: more layers always win until area stops shrinking.
+	l1, _ := d.OptimalLayers(16, CostParams{AreaUnit: 1})
+	if l1 < 8 {
+		t.Errorf("free layers: optimum %d, want deep", l1)
+	}
+	// Expensive layers: stay at 2.
+	l2, _ := d.OptimalLayers(16, CostParams{AreaUnit: 1, LayerFixed: 1e9})
+	if l2 != 2 {
+		t.Errorf("expensive layers: optimum %d, want 2", l2)
+	}
+	// Balanced: an interior optimum should appear (not 2, not max).
+	l3, c3 := d.OptimalLayers(16, CostParams{AreaUnit: 1, LayerFixed: 40000})
+	if l3 <= 2 || l3 >= 16 {
+		t.Errorf("balanced optimum at boundary: L=%d cost=%v", l3, c3)
+	}
+	// Cost at the optimum is no worse than the endpoints.
+	if c3 > d.Cost(2, CostParams{AreaUnit: 1, LayerFixed: 40000}) ||
+		c3 > d.Cost(16, CostParams{AreaUnit: 1, LayerFixed: 40000}) {
+		t.Error("optimum not optimal")
+	}
+}
+
+func TestCostPerLayerAreaTerm(t *testing.T) {
+	d, err := Design(9, 64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With per-layer-area cost (volume) dominating, the optimum is
+	// interior: wiring area initially shrinks ~quadratically in L
+	// (L*A falls), then the chip floor dominates and L*A rises again.
+	// For the Section 5.2 numbers: L*A = 819200 (L=2), 640000 (L=4),
+	// 614400 (L=6), 627200 (L=8): minimum at L=6.
+	l, c := d.OptimalLayers(16, CostParams{LayerAreaUnit: 1})
+	if l != 6 {
+		t.Errorf("volume-dominated optimum %d (cost %v), want 6", l, c)
+	}
+	if c != 614400 {
+		t.Errorf("optimal volume cost = %v, want 614400", c)
+	}
+}

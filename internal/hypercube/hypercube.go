@@ -1,0 +1,81 @@
+// Package hypercube builds binary hypercubes Q_k and generalized
+// hypercubes (Bhuyan & Agrawal). Q_k is the nucleus of the paper's swap
+// networks; the 2-dimensional radix-r generalized hypercube is the
+// quotient graph that appears when the blocks of the recursive grid layout
+// are contracted to supernodes (Section 3.2).
+package hypercube
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/graph"
+)
+
+// Q returns the k-dimensional binary hypercube as a graph on 2^k nodes.
+// Node IDs are the k-bit addresses; two nodes are adjacent iff their
+// addresses differ in exactly one bit.
+func Q(k int) *graph.Graph {
+	if k < 0 || k > 30 {
+		panic(fmt.Sprintf("hypercube: dimension %d out of range", k))
+	}
+	n := 1 << uint(k)
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for d := 0; d < k; d++ {
+			v := u ^ (1 << uint(d))
+			if v > u {
+				g.AddEdge(u, v, graph.KindCube)
+			}
+		}
+	}
+	return g
+}
+
+// Generalized returns the d-dimensional radix-r generalized hypercube
+// GHC(d, r): nodes are length-d vectors over [0, r); two nodes are
+// adjacent iff they differ in exactly one coordinate. For d=2 this is the
+// "rows and columns are cliques" graph of Section 3.2.
+func Generalized(d, r int) *graph.Graph {
+	if d < 1 || r < 1 {
+		panic("hypercube: Generalized needs d >= 1, r >= 1")
+	}
+	n := 1
+	for i := 0; i < d; i++ {
+		n *= r
+		if n > 1<<24 {
+			panic("hypercube: Generalized too large")
+		}
+	}
+	g := graph.New(n)
+	// stride of coordinate i is r^i
+	stride := make([]int, d)
+	s := 1
+	for i := 0; i < d; i++ {
+		stride[i] = s
+		s *= r
+	}
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			ci := (u / stride[i]) % r
+			for c := ci + 1; c < r; c++ {
+				v := u + (c-ci)*stride[i]
+				g.AddEdge(u, v, graph.KindCube)
+			}
+		}
+	}
+	return g
+}
+
+// IsHypercube verifies that g is exactly Q_k under the identity labeling:
+// node u adjacent to precisely the k addresses u ^ 2^d. It returns a
+// descriptive error on the first violation.
+func IsHypercube(g *graph.Graph, k int) error {
+	want := Q(k)
+	if g.NumNodes() != want.NumNodes() {
+		return fmt.Errorf("hypercube: node count %d, want %d", g.NumNodes(), want.NumNodes())
+	}
+	if !graph.SameEdgeMultiset(g.Simple(), want, true) {
+		return fmt.Errorf("hypercube: edge set differs from Q_%d", k)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package hypercube
+
+import (
+	"math/bits"
+	"testing"
+
+	"bfvlsi/internal/graph"
+)
+
+func TestQCounts(t *testing.T) {
+	for k := 0; k <= 8; k++ {
+		g := Q(k)
+		if g.NumNodes() != 1<<uint(k) {
+			t.Errorf("Q(%d) nodes = %d", k, g.NumNodes())
+		}
+		wantEdges := k * (1 << uint(k)) / 2
+		if g.NumEdges() != wantEdges {
+			t.Errorf("Q(%d) edges = %d, want %d", k, g.NumEdges(), wantEdges)
+		}
+		if k > 0 && !g.Connected() {
+			t.Errorf("Q(%d) disconnected", k)
+		}
+	}
+}
+
+func TestQAdjacencyIsHamming(t *testing.T) {
+	g := Q(5)
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, he := range g.Neighbors(u) {
+			if bits.OnesCount(uint(u^he.To)) != 1 {
+				t.Fatalf("Q(5): edge %d-%d not Hamming distance 1", u, he.To)
+			}
+		}
+	}
+}
+
+func TestQDiameter(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		if d := Q(k).Diameter(); d != k {
+			t.Errorf("Q(%d) diameter = %d, want %d", k, d, k)
+		}
+	}
+}
+
+func TestIsHypercube(t *testing.T) {
+	if err := IsHypercube(Q(4), 4); err != nil {
+		t.Errorf("Q(4) not recognized: %v", err)
+	}
+	// remove an edge: must fail
+	g := graph.New(16)
+	first := true
+	for _, e := range Q(4).Edges() {
+		if first {
+			first = false
+			continue
+		}
+		g.AddEdge(e.U, e.V, e.Kind)
+	}
+	if err := IsHypercube(g, 4); err == nil {
+		t.Error("damaged hypercube accepted")
+	}
+	if err := IsHypercube(Q(3), 4); err == nil {
+		t.Error("Q(3) accepted as Q(4)")
+	}
+}
+
+func TestGeneralizedDegenerate(t *testing.T) {
+	g := Generalized(1, 5) // K_5
+	if g.NumNodes() != 5 || g.NumEdges() != 10 {
+		t.Errorf("GHC(1,5) nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	g2 := Generalized(3, 2) // Q_3
+	if err := IsHypercube(g2, 3); err != nil {
+		t.Errorf("GHC(3,2) is not Q_3: %v", err)
+	}
+}
+
+func TestGeneralized2D(t *testing.T) {
+	// GHC(2, r): r^2 nodes, each of degree 2(r-1); rows and columns are cliques.
+	r := 4
+	g := Generalized(2, r)
+	if g.NumNodes() != r*r {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Degree(u) != 2*(r-1) {
+			t.Fatalf("degree(%d) = %d, want %d", u, g.Degree(u), 2*(r-1))
+		}
+	}
+	// total edges = r^2 * 2(r-1) / 2
+	if g.NumEdges() != r*r*(r-1) {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), r*r*(r-1))
+	}
+	// same row => adjacent
+	for a := 0; a < r; a++ {
+		for b := a + 1; b < r; b++ {
+			adj := false
+			for _, he := range g.Neighbors(2*r + a) { // row 2 (stride of coord 0 is 1)
+				if he.To == 2*r+b {
+					adj = true
+				}
+			}
+			if !adj {
+				t.Fatalf("row clique missing edge %d-%d", a, b)
+			}
+		}
+	}
+}
+
+func TestGeneralizedDiameterIsD(t *testing.T) {
+	if d := Generalized(2, 3).Diameter(); d != 2 {
+		t.Errorf("GHC(2,3) diameter = %d, want 2", d)
+	}
+}
+
+func BenchmarkQ10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Q(10)
+	}
+}

@@ -1,0 +1,150 @@
+package isn
+
+// Section 3.2's structural claims, verified exactly by contraction:
+//
+//   "if we merge each row of an ISN(3, B_{n/3}) into a super node, it
+//    becomes the HSN(3, Q_{n/3}) it was derived from, where each
+//    inter-cluster link is duplicated; if we continue to merge each
+//    nucleus hypercube into a supernode, it becomes a 2-dimensional
+//    radix-2^{n/3} generalized hypercube."
+
+import (
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/graph"
+	"bfvlsi/internal/hypercube"
+	"bfvlsi/internal/swapnet"
+)
+
+// Contracting each row of the ISN yields the swap network it was derived
+// from (as a simple graph), for arbitrary specs. (The contraction is
+// stated for the ISN: the swap-butterfly's doubled links additionally
+// contain swap-then-cross composites, which only merge at block level.)
+func TestRowContractionYieldsSwapNetwork(t *testing.T) {
+	for _, spec := range []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(2, 2),
+		bitutil.MustGroupSpec(2, 2, 2),
+		bitutil.MustGroupSpec(3, 3, 3),
+		bitutil.MustGroupSpec(3, 2, 2),
+	} {
+		in := New(spec)
+		super := make([]int, in.G.NumNodes())
+		for id := range super {
+			r, _ := in.RowStage(id)
+			super[id] = r
+		}
+		contracted := in.G.Contract(super).Simple()
+		want := swapnet.New(spec).G.Simple()
+		if !graph.SameEdgeMultiset(contracted, want, true) {
+			t.Errorf("%v: row contraction of the ISN is not SN%v", spec, spec)
+		}
+	}
+}
+
+// In the row contraction of the ISN, every inter-cluster (swap) link of
+// the swap network appears exactly twice - the paper's "each
+// inter-cluster link is duplicated (corresponding to two swap links)" -
+// and every nucleus dimension-b link appears 2 * #{levels i : k_i > b}
+// times (two directed cross links per level whose FFT phase crosses b).
+func TestRowContractionMultiplicities(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	in := New(spec)
+	super := make([]int, in.G.NumNodes())
+	for id := range super {
+		r, _ := in.RowStage(id)
+		super[id] = r
+	}
+	contracted := in.G.Contract(super)
+	mult := make(map[[2]int]int)
+	for _, e := range contracted.Edges() {
+		mult[[2]int{e.U, e.V}]++
+	}
+	sn := swapnet.New(spec)
+	levelsCrossing := func(b int) int {
+		c := 0
+		for i := 1; i <= spec.Levels(); i++ {
+			if spec.GroupWidth(i) > b {
+				c++
+			}
+		}
+		return c
+	}
+	for _, e := range sn.G.Edges() {
+		key := [2]int{e.U, e.V}
+		m := mult[key]
+		switch e.Kind {
+		case graph.KindSwap:
+			if m != 2 {
+				t.Errorf("swap pair (%d,%d): multiplicity %d, want 2", e.U, e.V, m)
+			}
+		case graph.KindCube:
+			diff := e.U ^ e.V
+			b := 0
+			for diff>>uint(b+1) != 0 {
+				b++
+			}
+			if want := 2 * levelsCrossing(b); m != want {
+				t.Errorf("nucleus pair (%d,%d) dim %d: multiplicity %d, want %d", e.U, e.V, b, m, want)
+			}
+		}
+	}
+}
+
+// Contracting the nucleus blocks (2^k1 consecutive rows) of the
+// swap-butterfly gives the 2-D generalized hypercube of Section 3.2 when
+// k2 == k3: every pair of blocks in the same grid row or column is
+// adjacent.
+func TestBlockContractionYieldsGeneralizedHypercube(t *testing.T) {
+	for _, spec := range []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(1, 1, 1),
+		bitutil.MustGroupSpec(2, 2, 2),
+		bitutil.MustGroupSpec(3, 2, 2),
+	} {
+		k1 := spec.GroupWidth(1)
+		k2 := spec.GroupWidth(2)
+		sb := Transform(spec)
+		super := make([]int, sb.G.NumNodes())
+		for id := range super {
+			r, _ := sb.RowStage(id)
+			super[id] = r >> uint(k1)
+		}
+		contracted := sb.G.Contract(super).Simple()
+		// Node b of GHC(2, 2^k2): coordinates (b mod 2^k2, b div 2^k2);
+		// hypercube.Generalized uses coordinate 0 as the fastest stride,
+		// matching the block index convention (gc = low bits).
+		want := hypercube.Generalized(2, 1<<uint(k2))
+		if !graph.SameEdgeMultiset(contracted, want, true) {
+			t.Errorf("%v: block contraction is not GHC(2, %d)", spec, 1<<uint(k2))
+		}
+	}
+}
+
+// Per Section 3.2: each pair of blocks in the same grid row or column is
+// connected by exactly 2^{2+k1-k2} links (4 when k1 == k2).
+func TestBlockPairLinkCounts(t *testing.T) {
+	for _, spec := range []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(2, 2, 2),
+		bitutil.MustGroupSpec(3, 2, 2),
+	} {
+		k1 := spec.GroupWidth(1)
+		k2 := spec.GroupWidth(2)
+		want := 1 << uint(2+k1-k2)
+		sb := Transform(spec)
+		super := make([]int, sb.G.NumNodes())
+		for id := range super {
+			r, _ := sb.RowStage(id)
+			super[id] = r >> uint(k1)
+		}
+		contracted := sb.G.Contract(super)
+		mult := make(map[[2]int]int)
+		for _, e := range contracted.Edges() {
+			mult[[2]int{e.U, e.V}]++
+		}
+		for pair, m := range mult {
+			if m != want {
+				t.Errorf("%v: block pair %v has %d links, want %d", spec, pair, m, want)
+			}
+		}
+	}
+}

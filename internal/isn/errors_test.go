@@ -1,0 +1,103 @@
+package isn
+
+import (
+	"strings"
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/graph"
+)
+
+func TestStepStrings(t *testing.T) {
+	steps := Schedule(bitutil.MustGroupSpec(1, 1))
+	if got := steps[0].String(); !strings.Contains(got, "cross(bit=0,dim=0)") {
+		t.Errorf("cross step string = %q", got)
+	}
+	if got := steps[1].String(); !strings.Contains(got, "swap(level=2)") {
+		t.Errorf("swap step string = %q", got)
+	}
+	eff := EffectiveSchedule(bitutil.MustGroupSpec(1, 1))
+	if got := eff[1].String(); !strings.Contains(got, "merged(level=2") {
+		t.Errorf("merged step string = %q", got)
+	}
+	if got := eff[0].String(); !strings.Contains(got, "plain(bit=0") {
+		t.Errorf("plain step string = %q", got)
+	}
+}
+
+func TestIDPanics(t *testing.T) {
+	in := New(bitutil.MustGroupSpec(1, 1))
+	sb := Transform(bitutil.MustGroupSpec(1, 1))
+	cases := []func(){
+		func() { in.ID(-1, 0) },
+		func() { in.ID(0, in.Stages) },
+		func() { in.RowStage(-1) },
+		func() { in.RowStage(in.NumNodes()) },
+		func() { sb.ID(4, 0) },
+		func() { sb.ID(0, 3) },
+		func() { sb.RowStage(-1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVerifyCatchesCorruptISN(t *testing.T) {
+	in := New(bitutil.MustGroupSpec(2, 1))
+	// Rebuild with one cross edge pointing at the wrong row.
+	g := graph.New(in.NumNodes())
+	corrupted := false
+	for _, e := range in.G.Edges() {
+		if !corrupted && e.Kind == graph.KindCross {
+			r, s := in.RowStage(e.V)
+			e.V = in.ID(r^(in.Rows-1), s)
+			corrupted = true
+		}
+		g.AddEdge(e.U, e.V, e.Kind)
+	}
+	bad := &ISN{Spec: in.Spec, Steps: in.Steps, Rows: in.Rows, Stages: in.Stages, G: g}
+	if err := bad.Verify(); err == nil {
+		t.Error("corrupted ISN passed Verify")
+	}
+}
+
+func TestVerifyCatchesWrongStepCount(t *testing.T) {
+	in := New(bitutil.MustGroupSpec(2, 1))
+	bad := &ISN{Spec: in.Spec, Steps: in.Steps[:len(in.Steps)-1], Rows: in.Rows, Stages: in.Stages, G: in.G}
+	if err := bad.Verify(); err == nil {
+		t.Error("truncated schedule passed Verify")
+	}
+}
+
+func TestVerifyAutomorphismCatchesBadLabels(t *testing.T) {
+	sb := Transform(bitutil.MustGroupSpec(1, 1))
+	sb.RowLabel[sb.ID(0, 2)] = sb.RowLabel[sb.ID(1, 2)] // duplicate label
+	if err := sb.VerifyAutomorphism(); err == nil {
+		t.Error("non-permutation labels accepted")
+	}
+}
+
+func TestTransformPanicsOnHugeSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized Transform did not panic")
+		}
+	}()
+	Transform(bitutil.MustGroupSpec(20, 12))
+}
+
+func TestNewPanicsOnHugeSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized New did not panic")
+		}
+	}()
+	New(bitutil.MustGroupSpec(20, 12))
+}

@@ -1,0 +1,221 @@
+// Package isn builds indirect swap networks (ISNs) and the swap-butterfly
+// transformation of Section 2.2 of the paper, which turns an ISN into an
+// automorphism of a butterfly network.
+//
+// An ISN is the flow graph of the FFT (ascend) algorithm on a swap network
+// SN(l, Q_k1) with group spec (k_1, ..., k_l) (Appendix A.2). It has
+// R = 2^{n_l} rows and m+1 stages, where m = n_l + l - 1 steps:
+//
+//	k_1 cross steps resolving bits 0..k_1-1, then, for each level
+//	i = 2..l: one swap step (exchange the rightmost k_i bits with group
+//	i) followed by k_i cross steps resolving bits 0..k_i-1 of the
+//	swapped address.
+//
+// In a cross step every node has a straight link and a cross link to the
+// next stage; in a swap step every node has a single swap link (data is
+// forwarded, not exchanged).
+package isn
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/graph"
+)
+
+// StepKind distinguishes the two kinds of inter-stage steps in an ISN.
+type StepKind uint8
+
+const (
+	// CrossStep is an exchange step: straight + cross links flipping Bit.
+	CrossStep StepKind = iota
+	// SwapStep is a forwarding step over level-Level swap links.
+	SwapStep
+)
+
+// Step describes the connection pattern between two consecutive stages.
+type Step struct {
+	Kind StepKind
+	// Bit is the address bit flipped by the cross links (cross steps).
+	Bit int
+	// Level is the swap level in [2, l] (swap steps).
+	Level int
+	// Dim is the butterfly dimension this step resolves (0-based, strictly
+	// increasing across cross steps); -1 for swap steps.
+	Dim int
+}
+
+func (s Step) String() string {
+	if s.Kind == SwapStep {
+		return fmt.Sprintf("swap(level=%d)", s.Level)
+	}
+	return fmt.Sprintf("cross(bit=%d,dim=%d)", s.Bit, s.Dim)
+}
+
+// Schedule returns the step sequence of the ISN derived from the swap
+// network with the given spec, per the bottom-up FFT algorithm of
+// Appendix A.2. The number of steps is n_l + l - 1.
+func Schedule(spec bitutil.GroupSpec) []Step {
+	var steps []Step
+	dim := 0
+	for b := 0; b < spec.GroupWidth(1); b++ {
+		steps = append(steps, Step{Kind: CrossStep, Bit: b, Dim: dim})
+		dim++
+	}
+	for lvl := 2; lvl <= spec.Levels(); lvl++ {
+		steps = append(steps, Step{Kind: SwapStep, Level: lvl, Dim: -1})
+		for b := 0; b < spec.GroupWidth(lvl); b++ {
+			steps = append(steps, Step{Kind: CrossStep, Bit: b, Dim: dim})
+			dim++
+		}
+	}
+	return steps
+}
+
+// ISN is a materialized indirect swap network.
+type ISN struct {
+	Spec   bitutil.GroupSpec
+	Steps  []Step
+	Rows   int // R = 2^{n_l}
+	Stages int // len(Steps) + 1
+	G      *graph.Graph
+}
+
+// New constructs the ISN for the given group spec. Node (row, stage) has
+// ID stage*Rows + row.
+func New(spec bitutil.GroupSpec) *ISN {
+	if spec.Size() > 1<<22 {
+		panic(fmt.Sprintf("isn: %v too large to materialize", spec))
+	}
+	steps := Schedule(spec)
+	rows := int(spec.Size())
+	in := &ISN{
+		Spec:   spec,
+		Steps:  steps,
+		Rows:   rows,
+		Stages: len(steps) + 1,
+	}
+	in.G = graph.New(rows * in.Stages)
+	for j, st := range steps {
+		switch st.Kind {
+		case CrossStep:
+			bit := 1 << uint(st.Bit)
+			for r := 0; r < rows; r++ {
+				in.G.AddEdge(in.ID(r, j), in.ID(r, j+1), graph.KindStraight)
+				in.G.AddEdge(in.ID(r, j), in.ID(r^bit, j+1), graph.KindCross)
+			}
+		case SwapStep:
+			for r := 0; r < rows; r++ {
+				v := int(spec.SwapNeighbor(uint64(r), st.Level))
+				in.G.AddEdge(in.ID(r, j), in.ID(v, j+1), graph.KindSwap)
+			}
+		}
+	}
+	return in
+}
+
+// NumNodes returns Rows * Stages.
+func (in *ISN) NumNodes() int { return in.Rows * in.Stages }
+
+// ID maps (row, stage) to the node ID.
+func (in *ISN) ID(row, stage int) int {
+	if row < 0 || row >= in.Rows || stage < 0 || stage >= in.Stages {
+		panic(fmt.Sprintf("isn: (row=%d, stage=%d) out of range", row, stage))
+	}
+	return stage*in.Rows + row
+}
+
+// RowStage is the inverse of ID.
+func (in *ISN) RowStage(id int) (row, stage int) {
+	if id < 0 || id >= in.NumNodes() {
+		panic(fmt.Sprintf("isn: id %d out of range", id))
+	}
+	return id % in.Rows, id / in.Rows
+}
+
+// Verify checks stage counts and per-step link structure against the ISN
+// definition.
+func (in *ISN) Verify() error {
+	if err := in.G.HandshakeOK(); err != nil {
+		return err
+	}
+	wantSteps := in.Spec.TotalBits() + in.Spec.Levels() - 1
+	if len(in.Steps) != wantSteps {
+		return fmt.Errorf("isn: %d steps, want n_l + l - 1 = %d", len(in.Steps), wantSteps)
+	}
+	for j, st := range in.Steps {
+		for r := 0; r < in.Rows; r++ {
+			id := in.ID(r, j)
+			var fwd []graph.HalfEdge
+			for _, he := range in.G.Neighbors(id) {
+				if _, s := in.RowStage(he.To); s == j+1 {
+					fwd = append(fwd, he)
+				} else if he.To == id {
+					// a swap fixed point: self-loops cannot occur since
+					// stages differ; defensive only
+					return fmt.Errorf("isn: self loop at (%d,%d)", r, j)
+				}
+			}
+			switch st.Kind {
+			case CrossStep:
+				if len(fwd) != 2 {
+					return fmt.Errorf("isn: (%d,%d) has %d forward links in cross step", r, j, len(fwd))
+				}
+				straight, cross := false, false
+				for _, he := range fwd {
+					nr, _ := in.RowStage(he.To)
+					switch {
+					case nr == r && he.Kind == graph.KindStraight:
+						straight = true
+					case nr == r^(1<<uint(st.Bit)) && he.Kind == graph.KindCross:
+						cross = true
+					default:
+						return fmt.Errorf("isn: bad cross-step link (%d,%d)->(%d,%d)", r, j, nr, j+1)
+					}
+				}
+				if !straight || !cross {
+					return fmt.Errorf("isn: (%d,%d) missing straight or cross link", r, j)
+				}
+			case SwapStep:
+				if len(fwd) != 1 {
+					return fmt.Errorf("isn: (%d,%d) has %d forward links in swap step", r, j, len(fwd))
+				}
+				nr, _ := in.RowStage(fwd[0].To)
+				if uint64(nr) != in.Spec.SwapNeighbor(uint64(r), st.Level) || fwd[0].Kind != graph.KindSwap {
+					return fmt.Errorf("isn: bad swap-step link (%d,%d)->(%d,%d)", r, j, nr, j+1)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// StagePermutation returns, for each stage boundary crossed so far, the
+// cumulative permutation applied to row indices by the swap steps up to
+// (and excluding) stage s: perm[s][u] is the current row holding the data
+// that started step 0 in row u... (identity across cross steps).
+// It is used by the FFT dataflow engine.
+func (in *ISN) StagePermutation() [][]int {
+	perms := make([][]int, in.Stages)
+	cur := make([]int, in.Rows)
+	for i := range cur {
+		cur[i] = i
+	}
+	cp := func() []int {
+		out := make([]int, len(cur))
+		copy(out, cur)
+		return out
+	}
+	perms[0] = cp()
+	for j, st := range in.Steps {
+		if st.Kind == SwapStep {
+			next := make([]int, in.Rows)
+			for u := 0; u < in.Rows; u++ {
+				next[u] = int(in.Spec.SwapNeighbor(uint64(cur[u]), st.Level))
+			}
+			cur = next
+		}
+		perms[j+1] = cp()
+	}
+	return perms
+}

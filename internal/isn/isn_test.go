@@ -1,0 +1,173 @@
+package isn
+
+import (
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/graph"
+)
+
+func TestScheduleShape(t *testing.T) {
+	spec := bitutil.MustGroupSpec(3, 2, 2)
+	steps := Schedule(spec)
+	if len(steps) != spec.TotalBits()+spec.Levels()-1 { // 7 + 2 = 9
+		t.Fatalf("steps = %d, want %d", len(steps), spec.TotalBits()+spec.Levels()-1)
+	}
+	// First k1 steps are cross on bits 0..k1-1.
+	for b := 0; b < 3; b++ {
+		if steps[b].Kind != CrossStep || steps[b].Bit != b || steps[b].Dim != b {
+			t.Errorf("step %d = %v", b, steps[b])
+		}
+	}
+	if steps[3].Kind != SwapStep || steps[3].Level != 2 {
+		t.Errorf("step 3 = %v", steps[3])
+	}
+	if steps[4].Kind != CrossStep || steps[4].Bit != 0 || steps[4].Dim != 3 {
+		t.Errorf("step 4 = %v", steps[4])
+	}
+	if steps[6].Kind != SwapStep || steps[6].Level != 3 {
+		t.Errorf("step 6 = %v", steps[6])
+	}
+	if steps[8].Kind != CrossStep || steps[8].Bit != 1 || steps[8].Dim != 6 {
+		t.Errorf("step 8 = %v", steps[8])
+	}
+}
+
+func TestScheduleDimsAreSequential(t *testing.T) {
+	for _, spec := range testSpecs() {
+		dim := 0
+		for _, st := range Schedule(spec) {
+			if st.Kind == CrossStep {
+				if st.Dim != dim {
+					t.Fatalf("%v: dims not sequential: %v at position %d", spec, st, dim)
+				}
+				dim++
+			} else if st.Dim != -1 {
+				t.Fatalf("%v: swap step has dim %d", spec, st.Dim)
+			}
+		}
+		if dim != spec.TotalBits() {
+			t.Fatalf("%v: resolved %d dims, want %d", spec, dim, spec.TotalBits())
+		}
+	}
+}
+
+func testSpecs() []bitutil.GroupSpec {
+	return []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(1, 1),
+		bitutil.MustGroupSpec(2, 1),
+		bitutil.MustGroupSpec(2, 2),
+		bitutil.MustGroupSpec(1, 1, 1),
+		bitutil.MustGroupSpec(3, 3, 3),
+		bitutil.MustGroupSpec(3, 2),
+		bitutil.MustGroupSpec(4, 4, 1),
+		bitutil.MustGroupSpec(3, 3, 2),
+		bitutil.MustGroupSpec(2, 2, 2, 2),
+		bitutil.MustGroupSpec(4, 3),
+	}
+}
+
+func TestNewAndVerify(t *testing.T) {
+	for _, spec := range testSpecs() {
+		in := New(spec)
+		if err := in.Verify(); err != nil {
+			t.Errorf("%v: %v", spec, err)
+		}
+	}
+}
+
+// Figure 1 of the paper: the 4x4 ISN with k1 = k2 = 1 has 4 stages; the
+// middle step is the swap step exchanging bits 0 and 1.
+func TestFig1ISNStructure(t *testing.T) {
+	in := New(bitutil.MustGroupSpec(1, 1))
+	if in.Rows != 4 || in.Stages != 4 {
+		t.Fatalf("rows=%d stages=%d, want 4x4", in.Rows, in.Stages)
+	}
+	// Swap step is between stages 1 and 2: row 1 -> row 2 and vice versa,
+	// rows 0 and 3 forward straight ahead.
+	wantSwap := map[int]int{0: 0, 1: 2, 2: 1, 3: 3}
+	for r, w := range wantSwap {
+		found := false
+		for _, he := range in.G.Neighbors(in.ID(r, 1)) {
+			nr, ns := in.RowStage(he.To)
+			if ns == 2 {
+				if nr != w || he.Kind != graph.KindSwap {
+					t.Errorf("swap step sends row %d to %d (kind %v), want %d", r, nr, he.Kind, w)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("row %d has no forward link at swap step", r)
+		}
+	}
+	// Total edges: 2 cross steps x 2R + 1 swap step x R = 4*4 + 4 = 20.
+	if in.G.NumEdges() != 20 {
+		t.Errorf("edges = %d, want 20", in.G.NumEdges())
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	in := New(bitutil.MustGroupSpec(2, 2))
+	for s := 0; s < in.Stages; s++ {
+		for r := 0; r < in.Rows; r++ {
+			row, stage := in.RowStage(in.ID(r, s))
+			if row != r || stage != s {
+				t.Fatalf("round trip failed at (%d,%d)", r, s)
+			}
+		}
+	}
+}
+
+func TestStagePermutation(t *testing.T) {
+	in := New(bitutil.MustGroupSpec(1, 1))
+	perms := in.StagePermutation()
+	if len(perms) != in.Stages {
+		t.Fatalf("perms = %d stages", len(perms))
+	}
+	// Identity through the first cross step.
+	for u := 0; u < 4; u++ {
+		if perms[0][u] != u || perms[1][u] != u {
+			t.Errorf("early perms not identity")
+		}
+	}
+	// After the swap step (stage 2 onward): 1<->2 swapped.
+	want := []int{0, 2, 1, 3}
+	for u := 0; u < 4; u++ {
+		if perms[2][u] != want[u] || perms[3][u] != want[u] {
+			t.Errorf("perm after swap = %v/%v, want %v", perms[2], perms[3], want)
+		}
+	}
+}
+
+func TestISNDegreeProfile(t *testing.T) {
+	// Interior cross-step nodes have degree 4 (two straight + two cross);
+	// nodes adjacent to a swap step have 3 (straight + cross + swap);
+	// first/last stages have 2 or fewer. Check aggregate counts for (3,3).
+	in := New(bitutil.MustGroupSpec(3, 3))
+	hist := in.G.DegreeHistogram()
+	// stages: 0..7 (7 steps: 3 cross, swap, 3 cross)
+	// stage 0: deg 2 (64 nodes); stages 1,2: deg 4; stage 3: cross-behind + swap-ahead = 3
+	// stage 4: swap-behind + cross-ahead = 3; stages 5,6: 4; stage 7: 2.
+	if hist[2] != 2*64 || hist[3] != 2*64 || hist[4] != 4*64 {
+		t.Errorf("degree histogram = %v", hist)
+	}
+}
+
+func BenchmarkNewISN(b *testing.B) {
+	spec := bitutil.MustGroupSpec(3, 3, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		New(spec)
+	}
+}
+
+func BenchmarkVerifyISN(b *testing.B) {
+	in := New(bitutil.MustGroupSpec(3, 3, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := in.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

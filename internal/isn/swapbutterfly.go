@@ -1,0 +1,219 @@
+package isn
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/graph"
+)
+
+// EffectiveStep is one inter-stage step of a swap-butterfly. A plain step
+// is a cross step inherited from the ISN. A merged step is a swap step
+// fused with the cross step that followed it: the swap links were doubled,
+// the swap stage bypassed, and each doubled link reconnected to one of the
+// straight/cross links of the removed stage (Section 2.2).
+type EffectiveStep struct {
+	// Merged is true when this step absorbs a swap step.
+	Merged bool
+	// Level is the swap level for merged steps; 0 otherwise.
+	Level int
+	// Bit is the address bit flipped by the cross part of the step.
+	Bit int
+	// Dim is the butterfly dimension this step resolves.
+	Dim int
+}
+
+func (e EffectiveStep) String() string {
+	if e.Merged {
+		return fmt.Sprintf("merged(level=%d,bit=%d,dim=%d)", e.Level, e.Bit, e.Dim)
+	}
+	return fmt.Sprintf("plain(bit=%d,dim=%d)", e.Bit, e.Dim)
+}
+
+// SwapButterfly is the graph obtained from an ISN by the Section 2.2
+// transformation. It is an automorphism (relabeling) of B_{n_l}: same
+// rows, n_l + 1 stages. Links contributed by merged steps carry
+// graph.KindSwap (they are the doubled swap links of the ISN and become
+// the inter-module links of the packaging scheme); links of plain steps
+// keep KindStraight / KindCross.
+type SwapButterfly struct {
+	Spec   bitutil.GroupSpec
+	Steps  []EffectiveStep
+	Rows   int
+	Stages int // n_l + 1
+	G      *graph.Graph
+
+	// RowLabel[stage*Rows + row] is the row number of the node in the
+	// butterfly network it maps to (per the mapping rules of Section 2.2:
+	// stage-0 rows map identically; row-preserving links are straight
+	// links and swap-followed-by-straight pairs).
+	RowLabel []int
+}
+
+// EffectiveSchedule fuses each swap step of the ISN schedule with the
+// cross step immediately following it.
+func EffectiveSchedule(spec bitutil.GroupSpec) []EffectiveStep {
+	raw := Schedule(spec)
+	var out []EffectiveStep
+	for i := 0; i < len(raw); i++ {
+		st := raw[i]
+		if st.Kind == SwapStep {
+			if i+1 >= len(raw) || raw[i+1].Kind != SwapStep {
+				next := raw[i+1]
+				out = append(out, EffectiveStep{Merged: true, Level: st.Level, Bit: next.Bit, Dim: next.Dim})
+				i++
+				continue
+			}
+			panic("isn: schedule has consecutive swap steps") // impossible: k_i >= 1
+		}
+		out = append(out, EffectiveStep{Bit: st.Bit, Dim: st.Dim})
+	}
+	return out
+}
+
+// Transform builds the swap-butterfly of the given group spec directly
+// from the effective schedule (equivalently: build the ISN, double its
+// swap links, bypass the swap stages, and reconnect).
+func Transform(spec bitutil.GroupSpec) *SwapButterfly {
+	if spec.Size() > 1<<22 {
+		panic(fmt.Sprintf("isn: %v too large to materialize", spec))
+	}
+	steps := EffectiveSchedule(spec)
+	rows := int(spec.Size())
+	sb := &SwapButterfly{
+		Spec:   spec,
+		Steps:  steps,
+		Rows:   rows,
+		Stages: len(steps) + 1,
+	}
+	if sb.Stages != spec.TotalBits()+1 {
+		panic("isn: effective schedule length mismatch")
+	}
+	sb.G = graph.New(rows * sb.Stages)
+	for j, st := range steps {
+		bit := 1 << uint(st.Bit)
+		for r := 0; r < rows; r++ {
+			u := sb.ID(r, j)
+			if st.Merged {
+				// Doubled swap link endpoints: the bypassed node was
+				// swap(r); its straight link went to swap(r), its cross
+				// link to swap(r) ^ bit.
+				w := int(spec.SwapNeighbor(uint64(r), st.Level))
+				sb.G.AddEdge(u, sb.ID(w, j+1), graph.KindSwap)
+				sb.G.AddEdge(u, sb.ID(w^bit, j+1), graph.KindSwap)
+			} else {
+				sb.G.AddEdge(u, sb.ID(r, j+1), graph.KindStraight)
+				sb.G.AddEdge(u, sb.ID(r^bit, j+1), graph.KindCross)
+			}
+		}
+	}
+	sb.computeRowLabels()
+	return sb
+}
+
+// ID maps (row, stage) to the node ID.
+func (sb *SwapButterfly) ID(row, stage int) int {
+	if row < 0 || row >= sb.Rows || stage < 0 || stage >= sb.Stages {
+		panic(fmt.Sprintf("isn: swap-butterfly (row=%d, stage=%d) out of range", row, stage))
+	}
+	return stage*sb.Rows + row
+}
+
+// RowStage is the inverse of ID.
+func (sb *SwapButterfly) RowStage(id int) (row, stage int) {
+	if id < 0 || id >= sb.Rows*sb.Stages {
+		panic(fmt.Sprintf("isn: id %d out of range", id))
+	}
+	return id % sb.Rows, id / sb.Rows
+}
+
+// computeRowLabels propagates butterfly row numbers stage by stage along
+// row-preserving links: identity at stage 0; across a plain step the
+// straight link preserves the row; across a merged step the
+// swap-then-straight link (r -> swap(r)) preserves the row.
+func (sb *SwapButterfly) computeRowLabels() {
+	sb.RowLabel = make([]int, sb.Rows*sb.Stages)
+	for r := 0; r < sb.Rows; r++ {
+		sb.RowLabel[sb.ID(r, 0)] = r
+	}
+	for j, st := range sb.Steps {
+		for r := 0; r < sb.Rows; r++ {
+			label := sb.RowLabel[sb.ID(r, j)]
+			if st.Merged {
+				w := int(sb.Spec.SwapNeighbor(uint64(r), st.Level))
+				sb.RowLabel[sb.ID(w, j+1)] = label
+			} else {
+				sb.RowLabel[sb.ID(r, j+1)] = label
+			}
+		}
+	}
+}
+
+// ButterflyDim returns n_l, the dimension of the butterfly this
+// swap-butterfly is an automorphism of.
+func (sb *SwapButterfly) ButterflyDim() int { return sb.Spec.TotalBits() }
+
+// AsButterfly relabels the swap-butterfly with its butterfly row numbers
+// and returns the resulting graph, whose node IDs follow the
+// butterfly.Butterfly convention (stage*Rows + butterflyRow).
+func (sb *SwapButterfly) AsButterfly() *graph.Graph {
+	perm := make([]int, sb.Rows*sb.Stages)
+	for s := 0; s < sb.Stages; s++ {
+		for r := 0; r < sb.Rows; r++ {
+			id := sb.ID(r, s)
+			perm[id] = s*sb.Rows + sb.RowLabel[id]
+		}
+	}
+	return sb.G.Relabel(perm)
+}
+
+// VerifyAutomorphism checks, exactly, that the swap-butterfly relabeled by
+// its row labels is the butterfly network B_{n_l}: the row labels at every
+// stage form a permutation, and the relabeled edge multiset equals B_n's
+// (kinds ignored: the doubled swap links become ordinary butterfly links).
+func (sb *SwapButterfly) VerifyAutomorphism() error {
+	// Row labels must be a permutation at each stage.
+	for s := 0; s < sb.Stages; s++ {
+		seen := make([]bool, sb.Rows)
+		for r := 0; r < sb.Rows; r++ {
+			l := sb.RowLabel[sb.ID(r, s)]
+			if l < 0 || l >= sb.Rows || seen[l] {
+				return fmt.Errorf("isn: stage %d row labels are not a permutation (row %d label %d)", s, r, l)
+			}
+			seen[l] = true
+		}
+	}
+	n := sb.ButterflyDim()
+	want := butterfly.New(n)
+	if !graph.SameEdgeMultiset(sb.AsButterfly(), want.G, true) {
+		return fmt.Errorf("isn: relabeled swap-butterfly %v is not B_%d", sb.Spec, n)
+	}
+	return nil
+}
+
+// SwapLinksPerRow returns the number of swap-link incidences per row of
+// the swap-butterfly: each row touches 4 doubled swap links per merged
+// step, so 4(l-1) in total (Section 2.3). Computed from the graph, not
+// the formula.
+func (sb *SwapButterfly) SwapLinksPerRow() float64 {
+	count := 0
+	for _, e := range sb.G.Edges() {
+		if e.Kind == graph.KindSwap {
+			count += 2 // one incidence per endpoint, even within one row
+		}
+	}
+	return float64(count) / float64(sb.Rows)
+}
+
+// MergedBoundaries returns the stage indices s such that the step from
+// stage s to s+1 is a merged (inter-module) step.
+func (sb *SwapButterfly) MergedBoundaries() []int {
+	var out []int
+	for j, st := range sb.Steps {
+		if st.Merged {
+			out = append(out, j)
+		}
+	}
+	return out
+}

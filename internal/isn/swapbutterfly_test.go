@@ -1,0 +1,196 @@
+package isn
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/graph"
+)
+
+func TestEffectiveScheduleShape(t *testing.T) {
+	spec := bitutil.MustGroupSpec(3, 2, 2)
+	eff := EffectiveSchedule(spec)
+	if len(eff) != spec.TotalBits() {
+		t.Fatalf("effective steps = %d, want %d", len(eff), spec.TotalBits())
+	}
+	// Steps 0..2 plain (bits 0..2), step 3 merged level 2 bit 0, step 4
+	// plain bit 1, step 5 merged level 3 bit 0, step 6 plain bit 1.
+	wantMerged := map[int]int{3: 2, 5: 3}
+	for j, st := range eff {
+		lvl, merged := wantMerged[j]
+		if st.Merged != merged {
+			t.Errorf("step %d merged = %v", j, st.Merged)
+		}
+		if merged && st.Level != lvl {
+			t.Errorf("step %d level = %d, want %d", j, st.Level, lvl)
+		}
+		if st.Dim != j {
+			t.Errorf("step %d dim = %d", j, st.Dim)
+		}
+	}
+}
+
+// The headline structural claim of Section 2.2, over a parameter sweep:
+// the transformed ISN is an automorphism of B_{n_l}, verified by exact
+// relabeled-edge-multiset equality.
+func TestTransformIsButterflyAutomorphism(t *testing.T) {
+	for _, spec := range testSpecs() {
+		sb := Transform(spec)
+		if err := sb.VerifyAutomorphism(); err != nil {
+			t.Errorf("%v: %v", spec, err)
+		}
+	}
+}
+
+// Figure 1: the 4x4 swap-butterfly. Node (1,2) of the swap-butterfly must
+// map to row 2 of the butterfly (stated explicitly in Section 2.2).
+func TestFig1RowRelabeling(t *testing.T) {
+	sb := Transform(bitutil.MustGroupSpec(1, 1))
+	if sb.Rows != 4 || sb.Stages != 3 {
+		t.Fatalf("rows=%d stages=%d, want 4 rows x 3 stages", sb.Rows, sb.Stages)
+	}
+	if got := sb.RowLabel[sb.ID(1, 2)]; got != 2 {
+		t.Errorf("row label of (1,2) = %d, want 2 (paper, Sec. 2.2)", got)
+	}
+	// Stage 0 and 1 labels are identities (no merged step yet).
+	for r := 0; r < 4; r++ {
+		if sb.RowLabel[sb.ID(r, 0)] != r || sb.RowLabel[sb.ID(r, 1)] != r {
+			t.Errorf("early-stage labels not identity at row %d", r)
+		}
+	}
+	if err := sb.VerifyAutomorphism(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 2a: the 8x8 swap-butterfly from spec (2,1)... the paper's figure
+// uses a 3-dimensional butterfly built with one swap level. Its row-label
+// column for stages past the merge must be a non-identity permutation.
+func TestFig2SwapButterflies(t *testing.T) {
+	for _, spec := range []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(2, 1),    // 8x8
+		bitutil.MustGroupSpec(1, 1, 1), // 8x8, two merges
+		bitutil.MustGroupSpec(2, 2),    // 16x16 (Fig 2b)
+		bitutil.MustGroupSpec(2, 1, 1), // 16x16 alternative
+	} {
+		sb := Transform(spec)
+		if err := sb.VerifyAutomorphism(); err != nil {
+			t.Errorf("%v: %v", spec, err)
+			continue
+		}
+		// Past the last merged boundary, labels must differ from identity
+		// for at least one row (the automorphism is non-trivial).
+		last := sb.Stages - 1
+		identity := true
+		for r := 0; r < sb.Rows; r++ {
+			if sb.RowLabel[sb.ID(r, last)] != r {
+				identity = false
+			}
+		}
+		if identity {
+			t.Errorf("%v: final-stage relabeling is identity; transformation had no effect", spec)
+		}
+	}
+}
+
+func TestSwapLinkCounts(t *testing.T) {
+	// Merged steps contribute 2R swap links each; per-row incidence is
+	// 4(l-1) (Section 2.3).
+	for _, spec := range testSpecs() {
+		sb := Transform(spec)
+		l := spec.Levels()
+		wantLinks := 2 * sb.Rows * (l - 1)
+		if got := sb.G.CountEdges(graph.KindSwap); got != wantLinks {
+			t.Errorf("%v: swap links = %d, want %d", spec, got, wantLinks)
+		}
+		if got, want := sb.SwapLinksPerRow(), float64(4*(l-1)); got != want {
+			t.Errorf("%v: swap links per row = %v, want %v", spec, got, want)
+		}
+	}
+}
+
+func TestMergedBoundaries(t *testing.T) {
+	sb := Transform(bitutil.MustGroupSpec(3, 2, 2))
+	got := sb.MergedBoundaries()
+	want := []int{3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("boundaries = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("boundaries = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTransformEdgeCountMatchesButterfly(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	sb := Transform(spec)
+	want := butterfly.New(6)
+	if sb.G.NumEdges() != want.G.NumEdges() {
+		t.Errorf("edges = %d, want %d", sb.G.NumEdges(), want.G.NumEdges())
+	}
+	if sb.G.NumNodes() != want.NumNodes() {
+		t.Errorf("nodes = %d, want %d", sb.G.NumNodes(), want.NumNodes())
+	}
+}
+
+// Property: for random valid specs, the transformation always yields a
+// butterfly automorphism. This is the repository's core invariant.
+func TestTransformRandomSpecsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		l := 1 + rng.Intn(4)
+		k1 := 1 + rng.Intn(3)
+		widths := []int{k1}
+		for i := 1; i < l; i++ {
+			widths = append(widths, 1+rng.Intn(k1))
+		}
+		spec, err := bitutil.NewGroupSpec(widths...)
+		if err != nil {
+			t.Fatalf("generator produced invalid spec %v: %v", widths, err)
+		}
+		if spec.TotalBits() > 10 {
+			continue
+		}
+		sb := Transform(spec)
+		if err := sb.VerifyAutomorphism(); err != nil {
+			t.Errorf("%v: %v", spec, err)
+		}
+	}
+}
+
+func TestSingleLevelTransformIsIdentity(t *testing.T) {
+	// With l = 1 there are no swap steps; the swap-butterfly IS B_{k1}
+	// under the identity labeling.
+	sb := Transform(bitutil.MustGroupSpec(3))
+	for id, l := range sb.RowLabel {
+		r, _ := sb.RowStage(id)
+		if l != r {
+			t.Fatalf("identity labeling violated at id %d", id)
+		}
+	}
+	if !butterfly.IsButterfly(sb.G, 3) {
+		t.Error("l=1 swap-butterfly is not literally B_3")
+	}
+}
+
+func BenchmarkTransform333(b *testing.B) {
+	spec := bitutil.MustGroupSpec(3, 3, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transform(spec)
+	}
+}
+
+func BenchmarkVerifyAutomorphism333(b *testing.B) {
+	sb := Transform(bitutil.MustGroupSpec(3, 3, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sb.VerifyAutomorphism(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package packaging implements the butterfly partitioning and packaging
+// scheme of Section 2.3 of the paper, its naive baseline, and the
+// injection-rate lower bound that makes the scheme asymptotically optimal
+// (Theorem 2.1).
+//
+// The scheme partitions a swap-butterfly (package isn) so that straight
+// and cross links stay inside modules and only (doubled) swap links cross
+// module boundaries:
+//
+//   - RowPartition (variant a): every 2^k1 consecutive rows, all stages,
+//     form one module; average off-module links per node is
+//     4(l-1)(2^k1 - 1) / ((n+1) 2^k1).
+//   - NucleusPartition (variant b): modules are (row block, stage
+//     segment) pairs, one nucleus butterfly per module; at most 2^{k1+2}
+//     off-module links per module.
+//
+// The baseline places consecutive rows of a plain butterfly into equal
+// modules and pays ~2 off-module links per node, a Theta(log N) penalty.
+package packaging
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/graph"
+	"bfvlsi/internal/isn"
+)
+
+// Partition assigns every node of a network to a module.
+type Partition struct {
+	Desc       string
+	G          *graph.Graph
+	ModuleOf   []int
+	NumModules int
+}
+
+// Stats summarizes a partition's packaging quality.
+type Stats struct {
+	NumModules         int
+	MinNodesPerModule  int
+	MaxNodesPerModule  int
+	MaxOffLinksPerModu int
+	TotalCutLinks      int
+	// AvgOffLinksPerNode is the average, over nodes, of the number of
+	// incident links that leave the node's module (each cut link
+	// contributes to both of its endpoints).
+	AvgOffLinksPerNode float64
+}
+
+// Stats measures the partition.
+func (p *Partition) Stats() Stats {
+	nodes := make(map[int]int)
+	for _, m := range p.ModuleOf {
+		nodes[m]++
+	}
+	cut, per := p.G.CutEdges(p.ModuleOf)
+	st := Stats{NumModules: p.NumModules, TotalCutLinks: cut}
+	st.MinNodesPerModule = 1 << 30
+	for m := 0; m < p.NumModules; m++ {
+		c := nodes[m]
+		if c < st.MinNodesPerModule {
+			st.MinNodesPerModule = c
+		}
+		if c > st.MaxNodesPerModule {
+			st.MaxNodesPerModule = c
+		}
+		if per[m] > st.MaxOffLinksPerModu {
+			st.MaxOffLinksPerModu = per[m]
+		}
+	}
+	st.AvgOffLinksPerNode = 2 * float64(cut) / float64(p.G.NumNodes())
+	return st
+}
+
+// RowPartition builds variant (a): module m holds rows
+// [m*2^k1, (m+1)*2^k1), all stages.
+func RowPartition(sb *isn.SwapButterfly) *Partition {
+	k1 := sb.Spec.GroupWidth(1)
+	rowsPer := 1 << uint(k1)
+	numModules := sb.Rows / rowsPer
+	moduleOf := make([]int, sb.Rows*sb.Stages)
+	for s := 0; s < sb.Stages; s++ {
+		for r := 0; r < sb.Rows; r++ {
+			moduleOf[sb.ID(r, s)] = r / rowsPer
+		}
+	}
+	return &Partition{
+		Desc:       fmt.Sprintf("row partition %v (%d rows/module)", sb.Spec, rowsPer),
+		G:          sb.G,
+		ModuleOf:   moduleOf,
+		NumModules: numModules,
+	}
+}
+
+// NucleusPartition builds variant (b): stages are cut at the merged
+// (swap) boundaries, so each module is one nucleus butterfly block: row
+// block x stage segment. Segment i >= 1 spans stages
+// (boundary_{i-1}, boundary_i]; segment 0 spans [0, boundary_0].
+func NucleusPartition(sb *isn.SwapButterfly) *Partition {
+	k1 := sb.Spec.GroupWidth(1)
+	rowsPer := 1 << uint(k1)
+	rowBlocks := sb.Rows / rowsPer
+	bounds := sb.MergedBoundaries()
+	segOf := make([]int, sb.Stages)
+	seg := 0
+	bi := 0
+	for s := 0; s < sb.Stages; s++ {
+		segOf[s] = seg
+		if bi < len(bounds) && s == bounds[bi] {
+			seg++
+			bi++
+		}
+	}
+	numSegs := seg + 1
+	moduleOf := make([]int, sb.Rows*sb.Stages)
+	for s := 0; s < sb.Stages; s++ {
+		for r := 0; r < sb.Rows; r++ {
+			moduleOf[sb.ID(r, s)] = segOf[s]*rowBlocks + r/rowsPer
+		}
+	}
+	return &Partition{
+		Desc:       fmt.Sprintf("nucleus partition %v (%d segments x %d row blocks)", sb.Spec, numSegs, rowBlocks),
+		G:          sb.G,
+		ModuleOf:   moduleOf,
+		NumModules: numSegs * rowBlocks,
+	}
+}
+
+// NaiveRowPartition is the baseline the paper compares against: place
+// rowsPerModule consecutive rows of a plain butterfly B_n into each
+// module. rowsPerModule need not divide the row count; the last module
+// may be smaller.
+func NaiveRowPartition(bf *butterfly.Butterfly, rowsPerModule int) *Partition {
+	if rowsPerModule < 1 {
+		panic("packaging: rowsPerModule must be positive")
+	}
+	numModules := (bf.Rows + rowsPerModule - 1) / rowsPerModule
+	moduleOf := make([]int, bf.NumNodes())
+	for s := 0; s < bf.Stages; s++ {
+		for r := 0; r < bf.Rows; r++ {
+			moduleOf[bf.ID(r, s)] = r / rowsPerModule
+		}
+	}
+	return &Partition{
+		Desc:       fmt.Sprintf("naive row partition of B_%d (%d rows/module)", bf.N, rowsPerModule),
+		G:          bf.G,
+		ModuleOf:   moduleOf,
+		NumModules: numModules,
+	}
+}
+
+// PaperAvgOffLinks returns the Section 2.3 closed form for variant (a)
+// on an HSN-derived swap-butterfly: 4(l-1)(2^k1 - 1) / ((n+1) 2^k1).
+func PaperAvgOffLinks(l, k1, n int) float64 {
+	return 4 * float64(l-1) * float64(int(1)<<uint(k1)-1) /
+		(float64(n+1) * float64(int(1)<<uint(k1)))
+}
+
+// GeneralAvgOffLinks is the same quantity for arbitrary group widths:
+// each level-i merged step cuts 2R(1 - 2^-k_i) links, and the average per
+// node is 2*cut/N.
+func GeneralAvgOffLinks(widths []int) float64 {
+	n := 0
+	for _, k := range widths {
+		n += k
+	}
+	cutPerR := 0.0
+	for i := 1; i < len(widths); i++ {
+		cutPerR += 2 * (1 - 1/float64(int64(1)<<uint(widths[i])))
+	}
+	return 2 * cutPerR / float64(n+1)
+}
+
+// NaiveAvgOffLinks is the baseline closed form: with modules of 2^m
+// consecutive rows of B_n, the average is 2(n-m)/(n+1), approximately 2.
+func NaiveAvgOffLinks(n, m int) float64 {
+	return 2 * float64(n-m) / float64(n+1)
+}
+
+// InjectionLowerBound returns the Omega(M / log R) lower bound on
+// off-module links required for an M-node module of an R-row butterfly to
+// sustain uniform random routing at the network's saturation injection
+// rate (Section 2.3). The constant is normalized to 1.
+func InjectionLowerBound(moduleNodes int, rows int) float64 {
+	lg := 0
+	for (1 << uint(lg)) < rows {
+		lg++
+	}
+	if lg == 0 {
+		return float64(moduleNodes)
+	}
+	return float64(moduleNodes) / float64(lg)
+}
+
+// Theorem21 verifies the Theorem 2.1 guarantees on the nucleus partition
+// of the given swap-butterfly: every module has at most 2^k1 (k1+1) nodes
+// (the paper states 2^k1 k1, counting shared boundary stages once) and at
+// most 2^{k1+2} off-module links.
+func Theorem21(sb *isn.SwapButterfly) error {
+	p := NucleusPartition(sb)
+	st := p.Stats()
+	k1 := sb.Spec.GroupWidth(1)
+	maxNodes := (1 << uint(k1)) * (k1 + 1)
+	maxLinks := 1 << uint(k1+2)
+	if st.MaxNodesPerModule > maxNodes {
+		return fmt.Errorf("packaging: module has %d nodes > 2^k1(k1+1) = %d", st.MaxNodesPerModule, maxNodes)
+	}
+	if st.MaxOffLinksPerModu > maxLinks {
+		return fmt.Errorf("packaging: module has %d off-module links > 2^{k1+2} = %d", st.MaxOffLinksPerModu, maxLinks)
+	}
+	return nil
+}
+
+// ModuleGraph returns the quotient multigraph of the partition: one node
+// per module, one edge per cut link. Its structure drives backplane
+// design: the maximum module degree (in the simple reduction) is the
+// number of distinct neighbor modules a module must reach.
+func (p *Partition) ModuleGraph() *graph.Graph {
+	return p.G.Contract(p.ModuleOf)
+}
+
+// MaxNeighborModules returns the largest number of distinct other
+// modules any module is wired to.
+func (p *Partition) MaxNeighborModules() int {
+	return p.ModuleGraph().Simple().MaxDegree()
+}
+
+// VariantGap quantifies the Section 2.3 remark comparing the two
+// partitioning variants: the difference between variant (b)'s average
+// off-module links per node, 4(l-1)/(n+1), and variant (a)'s,
+// 4(l-1)(1 - 2^-k1)/(n+1), is avg_b / 2^k1 - "smaller than
+// 1/(2^k1 - 1) of the average". It returns (gap, gapOverAvg).
+func VariantGap(l, k1, n int) (gap, fraction float64) {
+	avgB := 4 * float64(l-1) / float64(n+1)
+	avgA := PaperAvgOffLinks(l, k1, n)
+	gap = avgB - avgA
+	return gap, gap / avgB
+}
+
+// HierarchicalPartitions returns, for an l-level swap-butterfly, the
+// partition at every packaging level j = 1..l-1: a level-j module holds
+// 2^{k1+...+kj} consecutive rows (all stages), so level-1 modules are
+// chips, level-2 boards, level-3 cabinets, and so on - the paper's
+// "more than two levels in the packaging hierarchy" (Section 2.3).
+// Only swap links of levels above j cross level-j modules.
+func HierarchicalPartitions(sb *isn.SwapButterfly) []*Partition {
+	l := sb.Spec.Levels()
+	out := make([]*Partition, 0, l-1)
+	shift := 0
+	for j := 1; j < l; j++ {
+		shift += sb.Spec.GroupWidth(j)
+		rowsPer := 1 << uint(shift)
+		moduleOf := make([]int, sb.Rows*sb.Stages)
+		for s := 0; s < sb.Stages; s++ {
+			for r := 0; r < sb.Rows; r++ {
+				moduleOf[sb.ID(r, s)] = r / rowsPer
+			}
+		}
+		out = append(out, &Partition{
+			Desc:       fmt.Sprintf("level-%d partition %v (%d rows/module)", j, sb.Spec, rowsPer),
+			G:          sb.G,
+			ModuleOf:   moduleOf,
+			NumModules: sb.Rows / rowsPer,
+		})
+	}
+	return out
+}
+
+// HierarchicalCutFormula returns the expected cut link count of the
+// level-j partition (1-based): sum over swap levels i > j of
+// 2(R - 2^{n-k_i}).
+func HierarchicalCutFormula(widths []int, j int) int {
+	n := 0
+	for _, k := range widths {
+		n += k
+	}
+	rows := 1 << uint(n)
+	cut := 0
+	for i := j + 1; i <= len(widths); i++ {
+		cut += 2 * (rows - rows>>uint(widths[i-1]))
+	}
+	return cut
+}

@@ -1,0 +1,294 @@
+package packaging
+
+import (
+	"math"
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/isn"
+)
+
+func TestRowPartitionAvgMatchesPaperFormula(t *testing.T) {
+	// For HSN-derived swap-butterflies the measured average off-module
+	// links per node must equal the Section 2.3 formula exactly.
+	cases := [][]int{
+		{2, 2},
+		{3, 3},
+		{2, 2, 2},
+		{3, 3, 3},
+		{1, 1, 1, 1},
+		{2, 2, 2, 2},
+	}
+	for _, widths := range cases {
+		spec := bitutil.MustGroupSpec(widths...)
+		sb := isn.Transform(spec)
+		st := RowPartition(sb).Stats()
+		want := PaperAvgOffLinks(spec.Levels(), spec.GroupWidth(1), spec.TotalBits())
+		if math.Abs(st.AvgOffLinksPerNode-want) > 1e-12 {
+			t.Errorf("%v: avg off links = %v, formula %v", spec, st.AvgOffLinksPerNode, want)
+		}
+	}
+}
+
+func TestGeneralAvgOffLinksMatchesMeasurement(t *testing.T) {
+	for _, widths := range [][]int{{3, 2}, {3, 2, 2}, {4, 3, 1}, {3, 3, 2}} {
+		spec := bitutil.MustGroupSpec(widths...)
+		sb := isn.Transform(spec)
+		st := RowPartition(sb).Stats()
+		want := GeneralAvgOffLinks(widths)
+		if math.Abs(st.AvgOffLinksPerNode-want) > 1e-12 {
+			t.Errorf("%v: avg off links = %v, formula %v", spec, st.AvgOffLinksPerNode, want)
+		}
+	}
+}
+
+func TestRowPartitionOnlySwapLinksCut(t *testing.T) {
+	// The whole point of the scheme: straight and cross links never leave
+	// a module, so the cut is at most the number of swap links.
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	sb := isn.Transform(spec)
+	p := RowPartition(sb)
+	st := p.Stats()
+	swapLinks := 2 * sb.Rows * (spec.Levels() - 1)
+	if st.TotalCutLinks > swapLinks {
+		t.Errorf("cut %d exceeds swap link count %d", st.TotalCutLinks, swapLinks)
+	}
+	if st.TotalCutLinks == 0 {
+		t.Error("no links cut; partition degenerate")
+	}
+	// Modules hold full rows: 2^k1 rows x (n+1) stages each.
+	if st.MaxNodesPerModule != st.MinNodesPerModule || st.MaxNodesPerModule != 4*7 {
+		t.Errorf("module sizes = [%d, %d], want uniform 28", st.MinNodesPerModule, st.MaxNodesPerModule)
+	}
+}
+
+func TestNaiveBaselineIsApproximatelyTwo(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{6, 2}, {8, 3}, {9, 3}} {
+		bf := butterfly.New(c.n)
+		p := NaiveRowPartition(bf, 1<<uint(c.m))
+		st := p.Stats()
+		want := NaiveAvgOffLinks(c.n, c.m)
+		if math.Abs(st.AvgOffLinksPerNode-want) > 1e-12 {
+			t.Errorf("n=%d m=%d: avg = %v, formula %v", c.n, c.m, st.AvgOffLinksPerNode, want)
+		}
+		if st.AvgOffLinksPerNode < 1.0 {
+			t.Errorf("baseline suspiciously good: %v", st.AvgOffLinksPerNode)
+		}
+	}
+}
+
+func TestSchemeBeatsBaselineByLogFactor(t *testing.T) {
+	// Section 2.3: the scheme outperforms the naive partition by a factor
+	// of Theta(log N), already visible at k1 = 3 (paper's remark).
+	spec := bitutil.MustGroupSpec(3, 3, 3)
+	sb := isn.Transform(spec)
+	scheme := RowPartition(sb).Stats().AvgOffLinksPerNode
+	bf := butterfly.New(9)
+	naive := NaiveRowPartition(bf, 8).Stats().AvgOffLinksPerNode
+	ratio := naive / scheme
+	// At n=9 the asymptotic Theta(log N) factor shows up as ~1.7x
+	// (0.7 vs 1.2 off-module links per node); it grows with n (next test).
+	if ratio < 1.5 {
+		t.Errorf("improvement ratio only %.2f (scheme %.3f vs naive %.3f)", ratio, scheme, naive)
+	}
+}
+
+func TestImprovementGrowsWithN(t *testing.T) {
+	// The improvement factor must grow with n (it is Theta(log N)).
+	prev := 0.0
+	for _, k := range []int{1, 2, 3} {
+		spec := bitutil.MustGroupSpec(k, k, k)
+		sb := isn.Transform(spec)
+		scheme := RowPartition(sb).Stats().AvgOffLinksPerNode
+		naive := NaiveRowPartition(butterfly.New(3*k), 1<<uint(k)).Stats().AvgOffLinksPerNode
+		ratio := naive / scheme
+		if ratio <= prev {
+			t.Errorf("k=%d: ratio %.3f did not grow (prev %.3f)", k, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+func TestNucleusPartitionTheorem21(t *testing.T) {
+	for _, widths := range [][]int{{2, 2}, {3, 3}, {2, 2, 2}, {3, 3, 3}, {3, 3, 2}, {3, 2, 2}} {
+		spec := bitutil.MustGroupSpec(widths...)
+		sb := isn.Transform(spec)
+		if err := Theorem21(sb); err != nil {
+			t.Errorf("%v: %v", spec, err)
+		}
+	}
+}
+
+func TestNucleusPartitionStructure(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	sb := isn.Transform(spec)
+	p := NucleusPartition(sb)
+	// 3 segments x 16 row blocks = 48 modules.
+	if p.NumModules != 48 {
+		t.Fatalf("modules = %d, want 48", p.NumModules)
+	}
+	st := p.Stats()
+	// Segment 0 has k1+1=3 stages, others k_i=2: nodes per module 12 or 8.
+	if st.MaxNodesPerModule != 12 || st.MinNodesPerModule != 8 {
+		t.Errorf("module sizes [%d, %d], want [8, 12]", st.MinNodesPerModule, st.MaxNodesPerModule)
+	}
+	// Every module's off-links bounded by 2^{k1+2} = 16.
+	if st.MaxOffLinksPerModu > 16 {
+		t.Errorf("max off links %d > 16", st.MaxOffLinksPerModu)
+	}
+	// Nucleus partition cuts ALL swap links (every merged link crosses a
+	// segment boundary).
+	if want := 2 * sb.Rows * 2; st.TotalCutLinks != want {
+		t.Errorf("cut = %d, want all %d swap links", st.TotalCutLinks, want)
+	}
+}
+
+func TestNucleusAvgApproximately4OverK1(t *testing.T) {
+	// Section 2.3: variant (b) average off-module links per node ~ 4/k1
+	// for HSN specs with moderate l.
+	spec := bitutil.MustGroupSpec(3, 3, 3)
+	sb := isn.Transform(spec)
+	st := NucleusPartition(sb).Stats()
+	// exact: 2*cut/N = 2*(l-1)*2R / ((n+1) R) = 4(l-1)/(n+1) = 8/10
+	want := 4.0 * float64(spec.Levels()-1) / float64(spec.TotalBits()+1)
+	if math.Abs(st.AvgOffLinksPerNode-want) > 1e-12 {
+		t.Errorf("avg = %v, want %v", st.AvgOffLinksPerNode, want)
+	}
+	if st.AvgOffLinksPerNode > 4.0/float64(spec.GroupWidth(1))+1e-9 {
+		t.Errorf("avg %v exceeds 4/k1 = %v", st.AvgOffLinksPerNode, 4.0/3.0)
+	}
+}
+
+func TestInjectionLowerBound(t *testing.T) {
+	if got := InjectionLowerBound(80, 512); math.Abs(got-80.0/9.0) > 1e-12 {
+		t.Errorf("lower bound = %v, want %v", got, 80.0/9.0)
+	}
+	if got := InjectionLowerBound(5, 1); got != 5 {
+		t.Errorf("degenerate bound = %v", got)
+	}
+	// The scheme's off-module links stay within a constant factor of the
+	// lower bound: optimality within a constant (Theorem 2.1).
+	spec := bitutil.MustGroupSpec(3, 3, 3)
+	sb := isn.Transform(spec)
+	st := NucleusPartition(sb).Stats()
+	lb := InjectionLowerBound(st.MaxNodesPerModule, sb.Rows)
+	if float64(st.MaxOffLinksPerModu) < lb {
+		t.Errorf("off-links %d below the lower bound %v: impossible", st.MaxOffLinksPerModu, lb)
+	}
+	if float64(st.MaxOffLinksPerModu) > 16*lb {
+		t.Errorf("off-links %d not within constant factor of bound %v", st.MaxOffLinksPerModu, lb)
+	}
+}
+
+func TestNaivePartitionUnevenModules(t *testing.T) {
+	bf := butterfly.New(4)
+	p := NaiveRowPartition(bf, 3) // 16 rows -> 6 modules, last with 1 row
+	if p.NumModules != 6 {
+		t.Fatalf("modules = %d", p.NumModules)
+	}
+	st := p.Stats()
+	if st.MinNodesPerModule != 5 || st.MaxNodesPerModule != 15 {
+		t.Errorf("sizes [%d,%d], want [5,15]", st.MinNodesPerModule, st.MaxNodesPerModule)
+	}
+}
+
+func BenchmarkRowPartitionStats(b *testing.B) {
+	sb := isn.Transform(bitutil.MustGroupSpec(3, 3, 3))
+	p := RowPartition(sb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Stats()
+	}
+}
+
+func TestModuleGraphStructure(t *testing.T) {
+	// Row partition of an HSN-derived swap-butterfly: the module quotient
+	// is the swap network's cluster structure - every module pair in the
+	// same "row" of the level structure is adjacent. For (2,2,2), the
+	// blocks form GHC(2,4): each module has 2*(4-1) = 6 neighbors.
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	sb := isn.Transform(spec)
+	p := RowPartition(sb)
+	mg := p.ModuleGraph()
+	if mg.NumNodes() != 16 {
+		t.Fatalf("modules = %d", mg.NumNodes())
+	}
+	// Total quotient edges = total cut links.
+	if mg.NumEdges() != p.Stats().TotalCutLinks {
+		t.Errorf("quotient edges %d != cut %d", mg.NumEdges(), p.Stats().TotalCutLinks)
+	}
+	if got := p.MaxNeighborModules(); got != 6 {
+		t.Errorf("max neighbor modules = %d, want 6 (GHC(2,4) degree)", got)
+	}
+}
+
+func TestSchemeTradesNeighborsForBandwidth(t *testing.T) {
+	// The two partitions make opposite trades. The naive one touches few
+	// distinct neighbor modules (one per crossed dimension: n - m) but
+	// cuts a link per node per crossed dimension; the scheme's modules
+	// sit in complete cluster graphs (more neighbors) yet cut far fewer
+	// total links - and pins are priced by links, not neighbors.
+	bf := butterfly.New(6)
+	naive := NaiveRowPartition(bf, 4)
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	scheme := RowPartition(isn.Transform(spec))
+	if got := naive.MaxNeighborModules(); got != 4 { // dims 2..5 crossed
+		t.Errorf("naive neighbors = %d, want 4", got)
+	}
+	if got := scheme.MaxNeighborModules(); got != 6 { // GHC(2,4) degree
+		t.Errorf("scheme neighbors = %d, want 6", got)
+	}
+	if scheme.Stats().TotalCutLinks >= naive.Stats().TotalCutLinks {
+		t.Errorf("scheme cut %d not below naive %d",
+			scheme.Stats().TotalCutLinks, naive.Stats().TotalCutLinks)
+	}
+}
+
+func TestVariantGapRemark(t *testing.T) {
+	// Section 2.3: the two variants' averages differ by less than
+	// 1/(2^k1 - 1) of the average.
+	for _, c := range []struct{ l, k1, n int }{{3, 3, 9}, {2, 2, 4}, {4, 3, 12}} {
+		gap, frac := VariantGap(c.l, c.k1, c.n)
+		if gap <= 0 {
+			t.Errorf("l=%d k1=%d: variant (b) not above variant (a): gap %v", c.l, c.k1, gap)
+		}
+		bound := 1.0 / float64(int(1)<<uint(c.k1)-1)
+		if frac >= bound {
+			t.Errorf("l=%d k1=%d: gap fraction %v not below 1/(2^k1-1) = %v", c.l, c.k1, frac, bound)
+		}
+		// And the gap equals avg_b / 2^k1 exactly.
+		avgB := 4 * float64(c.l-1) / float64(c.n+1)
+		if math.Abs(gap-avgB/float64(int(1)<<uint(c.k1))) > 1e-12 {
+			t.Errorf("gap %v != avg_b/2^k1", gap)
+		}
+	}
+}
+
+func TestHierarchicalPartitions(t *testing.T) {
+	for _, widths := range [][]int{{2, 2, 2}, {3, 3, 3}, {2, 2, 2, 2}, {3, 2, 2, 1}} {
+		spec := bitutil.MustGroupSpec(widths...)
+		sb := isn.Transform(spec)
+		parts := HierarchicalPartitions(sb)
+		if len(parts) != spec.Levels()-1 {
+			t.Fatalf("%v: %d levels, want %d", spec, len(parts), spec.Levels()-1)
+		}
+		prevCut := 1 << 30
+		for j, p := range parts {
+			st := p.Stats()
+			want := HierarchicalCutFormula(widths, j+1)
+			if st.TotalCutLinks != want {
+				t.Errorf("%v level %d: cut %d, formula %d", spec, j+1, st.TotalCutLinks, want)
+			}
+			// Coarser levels cut strictly fewer links.
+			if st.TotalCutLinks >= prevCut {
+				t.Errorf("%v level %d: cut %d did not shrink (prev %d)", spec, j+1, st.TotalCutLinks, prevCut)
+			}
+			prevCut = st.TotalCutLinks
+		}
+		// Level 1 equals the row partition.
+		if parts[0].Stats() != RowPartition(sb).Stats() {
+			t.Errorf("%v: level-1 partition differs from RowPartition", spec)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bfvlsi/internal/grid"
+)
+
+// ASCII draws small layouts as text, one character per grid cell - handy
+// for terminal inspection and golden tests. Cells: '#' node boundary,
+// '-' horizontal wire, '|' vertical wire, '+' wire bend or crossing,
+// '.' empty. Layouts wider or taller than maxDim are refused (the output
+// would be unreadable anyway).
+func ASCII(w io.Writer, l *grid.Layout, maxDim int) error {
+	if maxDim <= 0 {
+		maxDim = 120
+	}
+	bb := l.BoundingBox()
+	if bb.Width() > maxDim || bb.Height() > maxDim {
+		return fmt.Errorf("render: layout %dx%d exceeds ASCII limit %d", bb.Width(), bb.Height(), maxDim)
+	}
+	width, height := bb.Width(), bb.Height()
+	cells := make([][]byte, height)
+	for i := range cells {
+		cells[i] = []byte(strings.Repeat(".", width))
+	}
+	put := func(x, y int, c byte) {
+		cx, cy := x-bb.X0, y-bb.Y0
+		if cx < 0 || cx >= width || cy < 0 || cy >= height {
+			return
+		}
+		row := height - 1 - cy // y grows upward
+		prev := cells[row][cx]
+		switch {
+		case prev == '.':
+			cells[row][cx] = c
+		case prev == c:
+		case prev == '#' || c == '#':
+			cells[row][cx] = '#'
+		default:
+			cells[row][cx] = '+'
+		}
+	}
+	for _, n := range l.Nodes {
+		r := n.Rect
+		for x := r.X0; x <= r.X1; x++ {
+			for y := r.Y0; y <= r.Y1; y++ {
+				put(x, y, '#')
+			}
+		}
+	}
+	for i := range l.Wires {
+		for _, s := range l.Wires[i].Segs {
+			if s.Seg.Horizontal() {
+				span := s.Seg.XSpan()
+				for x := span.Lo; x <= span.Hi; x++ {
+					put(x, s.Seg.A.Y, '-')
+				}
+			} else {
+				span := s.Seg.YSpan()
+				for y := span.Lo; y <= span.Hi; y++ {
+					put(s.Seg.A.X, y, '|')
+				}
+			}
+		}
+	}
+	for _, row := range cells {
+		if _, err := fmt.Fprintf(w, "%s\n", row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

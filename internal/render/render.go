@@ -1,0 +1,116 @@
+// Package render draws grid layouts as SVG, making the constructions
+// inspectable: Figure 3's block grid and track bands, Figure 4's
+// collinear tracks, and the multilayer wiring (one color per layer) can
+// all be regenerated as images from the actual built geometry.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"bfvlsi/internal/grid"
+)
+
+// Options controls the SVG output.
+type Options struct {
+	// Scale multiplies grid units into SVG user units (default 2).
+	Scale int
+	// Margin in grid units around the bounding box (default 4).
+	Margin int
+	// OnlyLayer, if positive, draws wires of that layer alone.
+	OnlyLayer int
+	// NodeFill overrides the node box color.
+	NodeFill string
+	// Labels adds wire labels as <title> children (hover text); large
+	// layouts are better without.
+	Labels bool
+}
+
+// layerPalette cycles for wire layers 1, 2, 3, ...
+var layerPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#bcbd22",
+	"#e377c2", "#7f7f7f", "#aec7e8", "#ffbb78",
+	"#98df8a", "#ff9896", "#c5b0d5", "#c49c94",
+}
+
+// LayerColor returns the palette color of a 1-based wiring layer.
+func LayerColor(layer int) string {
+	return layerPalette[(layer-1)%len(layerPalette)]
+}
+
+// SVG writes the layout as an SVG document.
+func SVG(w io.Writer, l *grid.Layout, opts Options) error {
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 2
+	}
+	if scale < 1 {
+		return fmt.Errorf("render: scale %d < 1", scale)
+	}
+	margin := opts.Margin
+	if margin == 0 {
+		margin = 4
+	}
+	nodeFill := opts.NodeFill
+	if nodeFill == "" {
+		nodeFill = "#e8e8e8"
+	}
+	bb := l.BoundingBox()
+	ox, oy := bb.X0-margin, bb.Y0-margin
+	width := (bb.Width() + 2*margin) * scale
+	height := (bb.Height() + 2*margin) * scale
+	// SVG y grows downward; flip so higher grid y draws higher.
+	tx := func(x int) int { return (x - ox) * scale }
+	ty := func(y int) int { return height - (y-oy)*scale }
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(bw, `<rect x="0" y="0" width="%d" height="%d" fill="white"/>`+"\n", width, height)
+
+	fmt.Fprintln(bw, `<g stroke="#777" stroke-width="0.5">`)
+	for i := range l.Nodes {
+		r := l.Nodes[i].Rect
+		fmt.Fprintf(bw, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			tx(r.X0), ty(r.Y1)-scale, (r.Width())*scale, (r.Height())*scale, nodeFill)
+	}
+	fmt.Fprintln(bw, `</g>`)
+
+	for i := range l.Wires {
+		wire := &l.Wires[i]
+		for _, seg := range wire.Segs {
+			if opts.OnlyLayer > 0 && seg.Layer != opts.OnlyLayer {
+				continue
+			}
+			fmt.Fprintf(bw, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"`,
+				tx(seg.Seg.A.X), ty(seg.Seg.A.Y), tx(seg.Seg.B.X), ty(seg.Seg.B.Y),
+				LayerColor(seg.Layer))
+			if opts.Labels {
+				fmt.Fprintf(bw, `><title>%s (layer %d)</title></line>`+"\n", escape(wire.Label), seg.Layer)
+			} else {
+				fmt.Fprintln(bw, `/>`)
+			}
+		}
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+func escape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

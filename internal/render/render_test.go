@@ -1,0 +1,221 @@
+package render
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/collinear"
+	"bfvlsi/internal/geom"
+	"bfvlsi/internal/grid"
+	"bfvlsi/internal/thompson"
+)
+
+func smallLayout(t *testing.T) *grid.Layout {
+	t.Helper()
+	l := grid.NewLayout(grid.Thompson, 2)
+	l.AddNode("a", geom.NewRect(0, 0, 3, 3))
+	l.AddNode("b", geom.NewRect(10, 0, 13, 3))
+	if err := l.AddWireHV("w", geom.Point{X: 3, Y: 1}, geom.Point{X: 7, Y: 1}, geom.Point{X: 7, Y: 2}, geom.Point{X: 10, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, smallLayout(t), Options{Labels: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	elems := 0
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			break
+		}
+		if err != nil {
+			t.Fatalf("invalid XML: %v", err)
+		}
+		if _, ok := tok.(xml.StartElement); ok {
+			elems++
+		}
+	}
+	if elems < 5 {
+		t.Errorf("suspiciously few elements: %d", elems)
+	}
+	s := buf.String()
+	if c := strings.Count(s, "<rect"); c != 3 { // background + 2 nodes
+		t.Errorf("rects = %d, want 3", c)
+	}
+	if c := strings.Count(s, "<line"); c != 3 { // 3 wire segments
+		t.Errorf("lines = %d, want 3", c)
+	}
+	if !strings.Contains(s, "<title>w (layer") {
+		t.Error("label title missing")
+	}
+}
+
+func TestSVGLayerFilter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, smallLayout(t), Options{OnlyLayer: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Only the single vertical segment is on layer 2.
+	if c := strings.Count(buf.String(), "<line"); c != 1 {
+		t.Errorf("layer-2 lines = %d, want 1", c)
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	l := grid.NewLayout(grid.Thompson, 2)
+	if err := l.AddWireHV("a<&>b", geom.Point{X: 0, Y: 0}, geom.Point{X: 5, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, l, Options{Labels: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "a<&>b") {
+		t.Error("unescaped label in output")
+	}
+	if !strings.Contains(buf.String(), "a&lt;&amp;&gt;b") {
+		t.Error("escaped label missing")
+	}
+}
+
+func TestSVGRejectsBadScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, smallLayout(t), Options{Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestLayerColorCycles(t *testing.T) {
+	if LayerColor(1) == LayerColor(2) {
+		t.Error("adjacent layers share a color")
+	}
+	if LayerColor(1) != LayerColor(1+len(layerPalette)) {
+		t.Error("palette does not cycle")
+	}
+}
+
+func TestSVGButterflyLayout(t *testing.T) {
+	res, err := thompson.Build(thompson.Params{Spec: bitutil.MustGroupSpec(1, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, res.L, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// 8 rows x 4 stages of nodes + background.
+	if c := strings.Count(s, "<rect"); c != 1+32 {
+		t.Errorf("rects = %d, want 33", c)
+	}
+	// Every butterfly link contributes at least one segment.
+	if c := strings.Count(s, "<line"); c < 2*3*8 {
+		t.Errorf("lines = %d, want >= 48", c)
+	}
+}
+
+func TestSVGCollinearFigure4(t *testing.T) {
+	ta := collinear.Optimal(9)
+	l, err := collinear.ToLayout(ta, collinear.LayoutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, l, Options{Scale: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1000 {
+		t.Error("suspiciously small SVG")
+	}
+}
+
+func BenchmarkSVGMedium(b *testing.B) {
+	res, err := thompson.Build(thompson.Params{Spec: bitutil.MustGroupSpec(2, 2, 2)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := SVG(&buf, res.L, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestASCIISmallLayout(t *testing.T) {
+	l := grid.NewLayout(grid.Thompson, 2)
+	l.AddNode("a", geom.NewRect(0, 0, 1, 1))
+	l.AddNode("b", geom.NewRect(6, 0, 7, 1))
+	if err := l.AddWireHV("w", geom.Point{X: 1, Y: 1}, geom.Point{X: 6, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ASCII(&buf, l, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "##----##\n##....##\n"
+	if got != want {
+		t.Errorf("ascii:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestASCIIBendsAndCrossings(t *testing.T) {
+	l := grid.NewLayout(grid.Thompson, 2)
+	// An L-shaped wire and a crossing wire.
+	if err := l.AddWireHV("a", geom.Point{X: 0, Y: 0}, geom.Point{X: 4, Y: 0}, geom.Point{X: 4, Y: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddWireHV("b", geom.Point{X: 0, Y: 2}, geom.Point{X: 8, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ASCII(&buf, l, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "+") {
+		t.Errorf("no bend/cross marker:\n%s", s)
+	}
+	if !strings.Contains(s, "|") || !strings.Contains(s, "-") {
+		t.Errorf("wire characters missing:\n%s", s)
+	}
+}
+
+func TestASCIIRefusesHuge(t *testing.T) {
+	l := grid.NewLayout(grid.Thompson, 2)
+	if err := l.AddWireHV("long", geom.Point{X: 0, Y: 0}, geom.Point{X: 500, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ASCII(&buf, l, 120); err == nil {
+		t.Error("oversized layout accepted")
+	}
+}
+
+func TestASCIICollinearK4(t *testing.T) {
+	ta := collinear.Optimal(4)
+	l, err := collinear.ToLayout(ta, collinear.LayoutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ASCII(&buf, l, 120); err != nil {
+		t.Fatal(err)
+	}
+	// 4 tracks above the node row.
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 5 {
+		t.Errorf("K_4 ascii has %d lines, want 5:\n%s", lines, buf.String())
+	}
+}

@@ -1,0 +1,74 @@
+package routing
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Pattern selects the destination distribution of injected packets.
+type Pattern int
+
+const (
+	// Uniform sends every packet to an independently uniform node.
+	Uniform Pattern = iota
+	// BitReverse sends (row, col) to (reverse(row), col): the classic
+	// butterfly adversary - all bit-reversal paths collide in the middle.
+	BitReverse
+	// Transpose sends row r to row with halves swapped (r_hi r_lo ->
+	// r_lo r_hi), same column; another standard permutation stressor.
+	Transpose
+	// Complement sends row r to ^r (all bits flipped), same column.
+	Complement
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case BitReverse:
+		return "bit-reverse"
+	case Transpose:
+		return "transpose"
+	case Complement:
+		return "complement"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// destFor returns the destination of a packet injected at (row, col).
+func destFor(p Pattern, n, rows, row, col int, rng *rand.Rand) (dr, dc int, err error) {
+	switch p {
+	case Uniform:
+		return rng.Intn(rows), rng.Intn(n), nil
+	case BitReverse:
+		return int(bits.Reverse64(uint64(row)) >> uint(64-n)), col, nil
+	case Transpose:
+		h := n / 2
+		lo := row & ((1 << uint(h)) - 1)
+		hi := row >> uint(h)
+		// For odd n the middle bit stays put.
+		mid := 0
+		if n%2 == 1 {
+			mid = (row >> uint(h)) & 1
+			hi = row >> uint(h+1)
+			return lo<<uint(h+1) | mid<<uint(h) | hi, col, nil
+		}
+		return lo<<uint(h) | hi, col, nil
+	case Complement:
+		return row ^ (rows - 1), col, nil
+	default:
+		return 0, 0, fmt.Errorf("routing: unknown pattern %v", p)
+	}
+}
+
+// SimulatePattern runs the simulation with a non-uniform destination
+// pattern. It shares all mechanics with Simulate; Params.Lambda etc.
+// apply unchanged.
+func SimulatePattern(p Params, pattern Pattern) (*Result, error) {
+	if pattern == Uniform {
+		return Simulate(p)
+	}
+	return simulate(p, pattern)
+}

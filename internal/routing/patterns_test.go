@@ -1,0 +1,109 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDestForPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 6
+	rows := 1 << uint(n)
+	for _, p := range []Pattern{BitReverse, Transpose, Complement} {
+		seen := make([]bool, rows)
+		for r := 0; r < rows; r++ {
+			dr, dc, err := destFor(p, n, rows, r, 3, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dc != 3 {
+				t.Fatalf("%v: column changed to %d", p, dc)
+			}
+			if dr < 0 || dr >= rows || seen[dr] {
+				t.Fatalf("%v: destination %d invalid or repeated", p, dr)
+			}
+			seen[dr] = true
+		}
+	}
+}
+
+func TestDestForInvolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{4, 5, 6, 7} {
+		rows := 1 << uint(n)
+		for _, p := range []Pattern{BitReverse, Transpose, Complement} {
+			for r := 0; r < rows; r++ {
+				d1, _, _ := destFor(p, n, rows, r, 0, rng)
+				d2, _, _ := destFor(p, n, rows, d1, 0, rng)
+				if d2 != r {
+					t.Fatalf("%v n=%d: not an involution at %d (%d -> %d)", p, n, r, d1, d2)
+				}
+			}
+		}
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	if Uniform.String() != "uniform" || BitReverse.String() != "bit-reverse" {
+		t.Error("pattern names wrong")
+	}
+	if Pattern(99).String() == "" {
+		t.Error("unknown pattern empty string")
+	}
+}
+
+func TestSimulatePatternConservation(t *testing.T) {
+	for _, p := range []Pattern{Uniform, BitReverse, Transpose, Complement} {
+		r, err := SimulatePattern(Params{
+			N: 4, Lambda: 0.05, Warmup: 100, Cycles: 800, Seed: 3,
+		}, p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if r.Delivered == 0 {
+			t.Errorf("%v: nothing delivered", p)
+		}
+		if r.Throughput > 0.06 {
+			t.Errorf("%v: throughput %v exceeds offered load", p, r.Throughput)
+		}
+	}
+}
+
+// Bit-reversal is the classic butterfly adversary: at a load the uniform
+// pattern absorbs comfortably, bit-reversal saturates (backlog piles up).
+func TestBitReverseIsAdversarial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversary comparison skipped in -short mode")
+	}
+	n := 7
+	lambda := 0.9 * TheoreticalSaturation(n)
+	uni, err := SimulatePattern(Params{N: n, Lambda: lambda, Warmup: 300, Cycles: 900, Seed: 7}, Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := SimulatePattern(Params{N: n, Lambda: lambda, Warmup: 300, Cycles: 900, Seed: 7}, BitReverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Backlog <= 2*uni.Backlog {
+		t.Errorf("bit-reverse backlog %d not clearly worse than uniform %d", rev.Backlog, uni.Backlog)
+	}
+	if rev.Throughput >= uni.Throughput {
+		t.Errorf("bit-reverse throughput %v not worse than uniform %v", rev.Throughput, uni.Throughput)
+	}
+}
+
+func TestComplementHopsExactlyN(t *testing.T) {
+	// Complement traffic keeps the column and flips every row bit: the
+	// deterministic route takes exactly n hops for every packet (one
+	// full wrap of the stages, correcting one bit each), so the measured
+	// mean must be exactly n at low load.
+	n := 5
+	comp, err := SimulatePattern(Params{N: n, Lambda: 0.02, Warmup: 200, Cycles: 2000, Seed: 11}, Complement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.AvgHops != float64(n) {
+		t.Errorf("complement hops %v, want exactly %d", comp.AvgHops, n)
+	}
+}

@@ -1,0 +1,341 @@
+// Package routing is a synchronous packet-routing simulator for wrapped
+// butterfly networks. It provides the empirical counterpart of the
+// Section 2.3 lower-bound argument: with uniform random traffic the
+// maximum sustainable injection rate of an R-row butterfly is
+// Theta(1/log R) (average distance Theta(log R), balanced link loads), so
+// an M-node module must expose Omega(M/log R) off-module links.
+//
+// The model: every node of the n-dimensional wrapped butterfly (R = 2^n
+// rows, n stage columns) injects a packet per cycle with probability
+// lambda, addressed to a uniformly random node. Routing is deterministic
+// and stateless: at column s the packet takes the cross link if address
+// bit s of its current row disagrees with its destination row, else the
+// straight link; once the row matches it continues straight to the
+// destination column. Every directed link moves at most one packet per
+// cycle; per-link FIFO queues are unbounded.
+package routing
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Params configures one simulation run.
+type Params struct {
+	// N is the butterfly dimension (R = 2^N rows, N columns).
+	N int
+	// Lambda is the per-node injection probability per cycle.
+	Lambda float64
+	// Warmup cycles are simulated but excluded from measurements.
+	Warmup int
+	// Cycles is the number of measured cycles after warmup.
+	Cycles int
+	// Seed drives the run's randomness (same seed, same run).
+	Seed int64
+	// ModuleOf, if non-nil, maps node id (col*R + row) to a module;
+	// boundary-crossing traffic is then measured.
+	ModuleOf []int
+	// BufferLimit caps the per-virtual-channel FIFO of every link
+	// (0 = unbounded single FIFO). Finite buffers switch the simulator to
+	// credit-based backpressure with three dateline virtual channels -
+	// without them the wrapped column ring deadlocks (see vc.go).
+	BufferLimit int
+	// Trace, if non-nil, receives one CSV line per measured cycle:
+	// cycle,injected,delivered,backlog (cumulative counts, end-of-cycle
+	// backlog). A header line is written first.
+	Trace io.Writer
+}
+
+// Result summarizes a run.
+type Result struct {
+	Nodes     int
+	Injected  int
+	Delivered int
+	// Throughput is delivered packets per node per measured cycle.
+	Throughput float64
+	// AvgLatency is the mean injection-to-delivery time of packets
+	// delivered during the measurement window.
+	AvgLatency float64
+	// AvgHops is the mean hop count of delivered packets.
+	AvgHops float64
+	// MaxQueue is the largest per-link queue observed at the end.
+	MaxQueue int
+	// Backlog is the number of packets still queued at the end.
+	Backlog int
+	// BoundaryCrossingsPerCycle is the mean number of packets crossing a
+	// module boundary per measured cycle (0 unless ModuleOf is set).
+	BoundaryCrossingsPerCycle float64
+	// InjectionDrops counts injections refused because the entry queue
+	// was full (finite buffers only).
+	InjectionDrops int
+	// Stalls counts link-cycles where a packet could not advance because
+	// its next queue was full (finite buffers only).
+	Stalls int
+}
+
+type packet struct {
+	dstRow, dstCol int
+	born           int
+	hops           int
+}
+
+// Simulate runs the synchronous simulation with uniform random traffic.
+func Simulate(p Params) (*Result, error) {
+	return simulate(p, Uniform)
+}
+
+func simulate(p Params, pattern Pattern) (*Result, error) {
+	if p.BufferLimit > 0 {
+		return simulateVC(p, pattern)
+	}
+	if p.N < 1 || p.N > 14 {
+		return nil, fmt.Errorf("routing: dimension %d out of range [1,14]", p.N)
+	}
+	if p.Lambda < 0 || p.Lambda > 1 {
+		return nil, fmt.Errorf("routing: lambda %v out of [0,1]", p.Lambda)
+	}
+	if p.Cycles <= 0 {
+		return nil, fmt.Errorf("routing: need positive measured cycles")
+	}
+	n := p.N
+	rows := 1 << uint(n)
+	nodes := n * rows
+	if p.ModuleOf != nil && len(p.ModuleOf) != nodes {
+		return nil, fmt.Errorf("routing: ModuleOf has %d entries, want %d", len(p.ModuleOf), nodes)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// queues[node*2 + 0] straight, +1 cross; each a FIFO slice.
+	queues := make([][]packet, nodes*2)
+	id := func(row, col int) int { return col*rows + row }
+
+	res := &Result{Nodes: nodes}
+	var latSum, hopSum float64
+	var latCount int
+	var crossings int64
+
+	total := p.Warmup + p.Cycles
+	if p.Trace != nil {
+		if _, err := fmt.Fprintln(p.Trace, "cycle,injected,delivered,backlog"); err != nil {
+			return nil, err
+		}
+	}
+	// route decides the output queue (0 straight, 1 cross) at (row, col).
+	route := func(pk packet, row, col int) int {
+		bit := 1 << uint(col)
+		if pk.dstRow&bit != row&bit {
+			return 1
+		}
+		return 0
+	}
+	for cycle := 0; cycle < total; cycle++ {
+		measured := cycle >= p.Warmup
+		// Phase 1: injections.
+		for row := 0; row < rows; row++ {
+			for col := 0; col < n; col++ {
+				if rng.Float64() >= p.Lambda {
+					continue
+				}
+				dr, dc, derr := destFor(pattern, n, rows, row, col, rng)
+				if derr != nil {
+					return nil, derr
+				}
+				pk := packet{
+					dstRow: dr,
+					dstCol: dc,
+					born:   cycle,
+				}
+				if measured {
+					res.Injected++
+				}
+				if pk.dstRow == row && pk.dstCol == col {
+					// Delivered in place.
+					if measured {
+						res.Delivered++
+					}
+					continue
+				}
+				q := id(row, col)*2 + route(pk, row, col)
+				queues[q] = append(queues[q], pk)
+			}
+		}
+		// Phase 2: every directed link moves one packet; arrivals are
+		// buffered and enqueued after all moves (synchronous step).
+		type arrival struct {
+			pk       packet
+			row, col int
+		}
+		var arrivals []arrival
+		for row := 0; row < rows; row++ {
+			for col := 0; col < n; col++ {
+				base := id(row, col) * 2
+				nextCol := (col + 1) % n
+				for out := 0; out < 2; out++ {
+					q := base + out
+					if len(queues[q]) == 0 {
+						continue
+					}
+					pk := queues[q][0]
+					nr := row
+					if out == 1 {
+						nr = row ^ (1 << uint(col))
+					}
+					queues[q] = queues[q][1:]
+					pk.hops++
+					if p.ModuleOf != nil && measured {
+						if p.ModuleOf[id(row, col)] != p.ModuleOf[id(nr, nextCol)] {
+							crossings++
+						}
+					}
+					arrivals = append(arrivals, arrival{pk: pk, row: nr, col: nextCol})
+				}
+			}
+		}
+		for _, a := range arrivals {
+			if a.pk.dstRow == a.row && a.pk.dstCol == a.col {
+				if measured {
+					res.Delivered++
+					if a.pk.born >= p.Warmup {
+						latSum += float64(cycle - a.pk.born + 1)
+						hopSum += float64(a.pk.hops)
+						latCount++
+					}
+				}
+				continue
+			}
+			q := id(a.row, a.col)*2 + route(a.pk, a.row, a.col)
+			queues[q] = append(queues[q], a.pk)
+		}
+		if p.Trace != nil && measured {
+			backlog := 0
+			for _, q := range queues {
+				backlog += len(q)
+			}
+			if _, err := fmt.Fprintf(p.Trace, "%d,%d,%d,%d\n",
+				cycle-p.Warmup, res.Injected, res.Delivered, backlog); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, q := range queues {
+		res.Backlog += len(q)
+		if len(q) > res.MaxQueue {
+			res.MaxQueue = len(q)
+		}
+	}
+	res.Throughput = float64(res.Delivered) / float64(res.Nodes) / float64(p.Cycles)
+	if latCount > 0 {
+		res.AvgLatency = latSum / float64(latCount)
+		res.AvgHops = hopSum / float64(latCount)
+	}
+	res.BoundaryCrossingsPerCycle = float64(crossings) / float64(p.Cycles)
+	return res, nil
+}
+
+// SaturationOptions tunes the saturation search.
+type SaturationOptions struct {
+	Warmup, Cycles int
+	Seed           int64
+	// Efficiency is the delivered/injected ratio that still counts as
+	// stable (default 0.95).
+	Efficiency float64
+	// Steps is the number of bisection steps (default 7).
+	Steps int
+}
+
+// SaturationRate estimates, by bisection over lambda, the maximum stable
+// injection rate of the n-dimensional wrapped butterfly under uniform
+// random traffic. Theory: Theta(1/n).
+func SaturationRate(n int, opts SaturationOptions) (float64, error) {
+	if opts.Warmup == 0 {
+		opts.Warmup = 300
+	}
+	if opts.Cycles == 0 {
+		opts.Cycles = 700
+	}
+	if opts.Efficiency == 0 {
+		opts.Efficiency = 0.95
+	}
+	if opts.Steps == 0 {
+		opts.Steps = 7
+	}
+	stable := func(lambda float64) (bool, error) {
+		r, err := Simulate(Params{
+			N: n, Lambda: lambda,
+			Warmup: opts.Warmup, Cycles: opts.Cycles, Seed: opts.Seed + 1,
+		})
+		if err != nil {
+			return false, err
+		}
+		return r.Throughput >= opts.Efficiency*lambda, nil
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < opts.Steps; i++ {
+		mid := (lo + hi) / 2
+		ok, err := stable(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// TheoreticalSaturation returns the analytic fluid-limit saturation rate:
+// each of the nR nodes injects lambda packets per cycle travelling
+// E[hops] links on average over 2nR directed links of unit capacity, so
+// lambda* = 2nR / (nR * E[hops]) = 2 / E[hops], with E[hops] ~ 3n/2
+// (n/2... the row-fixing prefix averages, plus the column alignment).
+// The exact expectation is computed by enumeration.
+func TheoreticalSaturation(n int) float64 {
+	return 2 / ExpectedHops(n)
+}
+
+// ExpectedHops computes the exact mean path length of the deterministic
+// route over uniform random source/destination pairs, by symmetry
+// averaging over destinations from a fixed source column.
+func ExpectedHops(n int) float64 {
+	rows := 1 << uint(n)
+	// By vertex-transitivity fix source (row 0, col 0). For destination
+	// (dr, dc): the route fixes differing bits as their columns pass,
+	// then runs straight to dc. Hop count: let f = the last column index
+	// (in visiting order starting at col 0) whose bit differs; the walk
+	// must pass through all columns up to f, then continue to dc.
+	total := 0.0
+	for dr := 0; dr < rows; dr++ {
+		for dc := 0; dc < n; dc++ {
+			total += float64(pathLen(n, 0, 0, dr, dc))
+		}
+	}
+	return total / float64(rows*n)
+}
+
+// pathLen returns the deterministic route length from (sr, sc) to
+// (dr, dc).
+func pathLen(n, sr, sc, dr, dc int) int {
+	if sr == dr && sc == dc {
+		return 0
+	}
+	row, col := sr, sc
+	hops := 0
+	for {
+		if row == dr && col == dc {
+			return hops
+		}
+		// one hop forward (straight or cross chosen by bit col)
+		bit := 1 << uint(col)
+		if dr&bit != row&bit {
+			row ^= bit
+		}
+		col = (col + 1) % n
+		hops++
+		if hops > 3*n {
+			panic("routing: path did not terminate")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParallelSweepDeterministic(t *testing.T) {
+	base := Params{N: 4, Warmup: 100, Cycles: 300, Seed: 31}
+	lambdas := []float64{0.05, 0.1, 0.2, 0.3, 0.4}
+	a := ParallelSweep(base, lambdas, Uniform)
+	b := ParallelSweep(base, lambdas, Uniform)
+	if len(a) != len(lambdas) {
+		t.Fatalf("points = %d", len(a))
+	}
+	for i := range a {
+		if a[i].Err != nil || b[i].Err != nil {
+			t.Fatalf("point %d errored: %v / %v", i, a[i].Err, b[i].Err)
+		}
+		if !reflect.DeepEqual(*a[i].Result, *b[i].Result) {
+			t.Errorf("point %d differs across runs: scheduling leaked into results", i)
+		}
+		if a[i].Lambda != lambdas[i] {
+			t.Errorf("point %d out of order", i)
+		}
+	}
+}
+
+func TestParallelSweepThroughputMonotoneAtLowLoad(t *testing.T) {
+	base := Params{N: 4, Warmup: 100, Cycles: 600, Seed: 37}
+	lambdas := []float64{0.02, 0.05, 0.1, 0.15}
+	pts := ParallelSweep(base, lambdas, Uniform)
+	prev := -1.0
+	for _, pt := range pts {
+		if pt.Err != nil {
+			t.Fatal(pt.Err)
+		}
+		if pt.Result.Throughput <= prev {
+			t.Errorf("throughput not increasing below saturation: %v", pt.Result.Throughput)
+		}
+		prev = pt.Result.Throughput
+	}
+}
+
+func TestSaturationFromSweep(t *testing.T) {
+	base := Params{N: 4, Warmup: 150, Cycles: 500, Seed: 41}
+	theory := TheoreticalSaturation(4)
+	lambdas := []float64{theory * 0.4, theory * 0.8, theory * 1.2, theory * 1.6}
+	pts := ParallelSweep(base, lambdas, Uniform)
+	sat := SaturationFromSweep(pts, 0.95)
+	if sat < theory*0.4 || sat > theory*1.3 {
+		t.Errorf("sweep saturation %v implausible vs theory %v", sat, theory)
+	}
+	// Propagated errors are skipped, not fatal.
+	bad := []SweepPoint{{Lambda: 0.5, Err: errFake{}}}
+	if SaturationFromSweep(bad, 0.95) != 0 {
+		t.Error("error points should not contribute")
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }
+
+func BenchmarkParallelSweep(b *testing.B) {
+	base := Params{N: 5, Warmup: 50, Cycles: 150, Seed: 1}
+	lambdas := []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3}
+	for i := 0; i < b.N; i++ {
+		ParallelSweep(base, lambdas, Uniform)
+	}
+}

@@ -1,0 +1,121 @@
+// Package stack3d models the multilayer 3-D grid layouts sketched at the
+// end of Section 4.2 of the paper: with L_A > 1 active layers available,
+// an n-dimensional butterfly with spec (k1, k2, k3, k4) is built as
+// 2^{k4} stacked copies of a multilayer 2-D layout of its
+// (k1 + k2 + k3)-dimensional sub-butterflies, with the level-4 swap links
+// running vertically between copies "in a way similar to a collinear
+// layout of a 2^{k4}-node complete graph".
+//
+// The in-plane slice is built and measured by package thompson (real
+// geometry); the vertical dimension is modeled combinatorially: each
+// inter-copy link occupies one z-column (a unit footprint punched through
+// every slice it passes), and the z-columns are counted by the collinear
+// analysis - c4 * floor(m4^2/4) columns, c4 = 2^{n - 2 k4 + 2} links per
+// copy pair, which works out to exactly 2^n columns for any k4 >= 1.
+//
+// Minimizing total volume over the per-slice layer count reproduces the
+// classic Theta((N / log N)^{3/2}) three-dimensional butterfly volume,
+// with the paper's prescription L = Theta(sqrt(N)/log N).
+package stack3d
+
+import (
+	"fmt"
+	"math"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/thompson"
+)
+
+// Stack is a stacked 3-D butterfly layout.
+type Stack struct {
+	// Spec has exactly four groups (k1, k2, k3, k4).
+	Spec bitutil.GroupSpec
+	// Copies = 2^{k4} active layers of slices.
+	Copies int
+	// SliceLayers is the wiring layer count of each 2-D slice.
+	SliceLayers int
+	// Slice is the built (k1,k2,k3) multilayer layout of one copy's
+	// sub-butterfly; all copies are congruent.
+	Slice *thompson.Result
+	// ZColumns is the number of vertical inter-copy wire columns.
+	ZColumns int
+	// InterCopyLinks is the number of doubled level-4 swap links that
+	// cross between copies.
+	InterCopyLinks int
+}
+
+// Build constructs the stack. spec must have four groups; sliceLayers is
+// the wiring layer count used inside each slice (>= 2).
+func Build(spec bitutil.GroupSpec, sliceLayers int) (*Stack, error) {
+	if spec.Levels() != 4 {
+		return nil, fmt.Errorf("stack3d: need a 4-level spec, got %v", spec)
+	}
+	k4 := spec.GroupWidth(4)
+	sub, err := bitutil.NewGroupSpec(spec.Widths[0], spec.Widths[1], spec.Widths[2])
+	if err != nil {
+		return nil, err
+	}
+	params := thompson.Params{Spec: sub}
+	if sliceLayers != 2 {
+		params.Layers = sliceLayers
+		params.Multilayer = true
+	}
+	slice, err := thompson.Build(params)
+	if err != nil {
+		return nil, err
+	}
+	n := spec.TotalBits()
+	m4 := 1 << uint(k4)
+	// Links per unordered copy pair: 2^{n - 2 k4 + 2}; z-columns by the
+	// collinear assignment: perPair * floor(m4^2 / 4) = 2^n (k4 >= 1).
+	perPair := 1 << uint(n-2*k4+2)
+	zCols := perPair * (m4 * m4 / 4)
+	// Inter-copy links: 2R(1 - 2^{-k4}).
+	rows := 1 << uint(n)
+	inter := 2 * (rows - rows>>uint(k4))
+	return &Stack{
+		Spec:           spec,
+		Copies:         m4,
+		SliceLayers:    slice.Layers,
+		Slice:          slice,
+		ZColumns:       zCols,
+		InterCopyLinks: inter,
+	}, nil
+}
+
+// FootprintArea returns the in-plane area of the stack: the measured
+// slice area plus one unit per z-column (the columns puncture every
+// slice, so they enlarge the common footprint).
+func (s *Stack) FootprintArea() int64 {
+	return s.Slice.Stats().Area + int64(s.ZColumns)
+}
+
+// Volume returns layers x footprint: copies x sliceLayers wiring layers,
+// all sharing the footprint.
+func (s *Stack) Volume() int64 {
+	return int64(s.Copies) * int64(s.SliceLayers) * s.FootprintArea()
+}
+
+// ModelVolume is the closed-form volume of the stack model for an
+// n-dimensional butterfly split as (n-k4, k4) with per-slice layer count
+// L: 2^{k4} * L * (4 * 2^{2(n-k4)} / L^2 + 2^n).
+func ModelVolume(n, k4 int, L float64) float64 {
+	slice := 4 * math.Exp2(float64(2*(n-k4))) / (L * L)
+	z := math.Exp2(float64(n))
+	return math.Exp2(float64(k4)) * L * (slice + z)
+}
+
+// OptimalSliceLayers returns the L minimizing ModelVolume for the given
+// split: setting dV/dL = 0 in V = 2^{k4}(4*2^{2(n-k4)}/L + L*2^n) gives
+// L* = 2 * 2^{(n - 2 k4)/2} - the paper's L = Theta(sqrt(N)/log N) for
+// constant k4.
+func OptimalSliceLayers(n, k4 int) float64 {
+	return 2 * math.Exp2(float64(n-2*k4)/2)
+}
+
+// OptimalModelVolume returns the volume at the optimal L: evaluating the
+// model there yields 2^{k4+2} * 2^{(3n - 2 k4)/2}, i.e. Theta(2^{3n/2})
+// = Theta((N / log N)^{3/2}).
+func OptimalModelVolume(n, k4 int) float64 {
+	return ModelVolume(n, k4, OptimalSliceLayers(n, k4))
+}

@@ -1,0 +1,138 @@
+package stack3d
+
+import (
+	"math"
+	"testing"
+
+	"bfvlsi/internal/analysis"
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/thompson"
+)
+
+func TestBuildBasics(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 2, 2)
+	s, err := Build(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Copies != 4 {
+		t.Errorf("copies = %d, want 4", s.Copies)
+	}
+	// Z-columns: perPair = 2^{8-4+2} = 64; floor(16/4) = 4 -> 256 = 2^n.
+	if s.ZColumns != 256 {
+		t.Errorf("z-columns = %d, want 256 = 2^n", s.ZColumns)
+	}
+	// Inter-copy links: 2R(1 - 1/4) = 2*256*3/4 = 384.
+	if s.InterCopyLinks != 384 {
+		t.Errorf("inter-copy links = %d, want 384", s.InterCopyLinks)
+	}
+	if s.FootprintArea() <= s.Slice.Stats().Area {
+		t.Error("footprint did not grow for z-columns")
+	}
+	if s.Volume() != int64(s.Copies)*int64(s.SliceLayers)*s.FootprintArea() {
+		t.Error("volume identity broken")
+	}
+}
+
+func TestBuildRejectsNon4Level(t *testing.T) {
+	if _, err := Build(bitutil.MustGroupSpec(2, 2, 2), 2); err == nil {
+		t.Error("3-level spec accepted")
+	}
+}
+
+func TestZColumnsAlways2ToN(t *testing.T) {
+	for _, widths := range [][]int{{2, 2, 2, 2}, {3, 2, 2, 1}, {2, 2, 1, 1}, {3, 3, 2, 2}} {
+		spec := bitutil.MustGroupSpec(widths...)
+		s, err := Build(spec, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.ZColumns != 1<<uint(spec.TotalBits()) {
+			t.Errorf("%v: z-columns %d, want 2^n = %d", spec, s.ZColumns, 1<<uint(spec.TotalBits()))
+		}
+	}
+}
+
+// Stacking beats the flat 2-D layout in volume once n is large enough
+// relative to the available layer counts - the Section 4.2 motivation.
+func TestStackBeatsFlatInModelVolume(t *testing.T) {
+	// Model comparison at n = 20 (beyond buildable size: closed forms).
+	n := 20
+	flat := analysis.MultilayerVolume(n, 8) // 2-D with 8 layers
+	stacked := OptimalModelVolume(n, 3)     // 8 active layers of slices
+	if stacked >= flat {
+		t.Errorf("stacked volume %.3g not below flat %.3g at n=%d", stacked, flat, n)
+	}
+}
+
+func TestOptimalSliceLayersScaling(t *testing.T) {
+	// L* = 2 * 2^{(n-3k4)/2}: doubling n by 2 quadruples... increases by
+	// 2x per +2 in n. And the paper's Theta(sqrt(N)/log N): ratio to
+	// 2^{n/2} is constant in n for fixed k4.
+	r1 := OptimalSliceLayers(10, 1) / math.Exp2(5)
+	r2 := OptimalSliceLayers(16, 1) / math.Exp2(8)
+	if math.Abs(r1-r2) > 1e-9 {
+		t.Errorf("L* not proportional to 2^{n/2}: %v vs %v", r1, r2)
+	}
+	// The optimum is a true minimum of the model.
+	n, k4 := 14, 2
+	opt := OptimalSliceLayers(n, k4)
+	vOpt := ModelVolume(n, k4, opt)
+	for _, f := range []float64{0.5, 0.8, 1.25, 2} {
+		if v := ModelVolume(n, k4, opt*f); v < vOpt {
+			t.Errorf("L=%v gives volume %v below optimum %v", opt*f, v, vOpt)
+		}
+	}
+}
+
+// The measured stack volume tracks the model within the block-floor
+// effects already quantified for 2-D layouts.
+func TestMeasuredVsModelVolume(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 2, 2)
+	s, err := Build(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := ModelVolume(spec.TotalBits(), 2, 4)
+	ratio := float64(s.Volume()) / model
+	if ratio < 1 || ratio > 40 {
+		t.Errorf("measured/model volume ratio %v out of plausible band", ratio)
+	}
+}
+
+// Multilayer slices reduce stack volume until the slice's block floor
+// dominates, mirroring the 2-D behavior.
+func TestSliceLayerSweep(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 2, 1)
+	v2, err := Build(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v8, err := Build(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footprint shrinks with more slice layers...
+	if v8.FootprintArea() >= v2.FootprintArea() {
+		t.Errorf("footprint did not shrink: %d vs %d", v8.FootprintArea(), v2.FootprintArea())
+	}
+	// ...but volume grows once the floor dominates at this small n.
+	if v8.Volume() < v2.Volume()/2 {
+		t.Errorf("volume shrank implausibly: %d vs %d", v8.Volume(), v2.Volume())
+	}
+}
+
+func TestBuildSliceIsValidated(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 1, 1)
+	s, err := Build(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Slice.Validate(); err != nil {
+		t.Errorf("slice geometry invalid: %v", err)
+	}
+	if s.Slice.Spec.TotalBits() != 5 {
+		t.Errorf("slice covers %d dims, want 5", s.Slice.Spec.TotalBits())
+	}
+	_ = thompson.NodeSide // document the dependency
+}

@@ -1,0 +1,145 @@
+package swapnet
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFTResult reports a direct-network FFT execution (Appendix A.2).
+type FFTResult struct {
+	// Output is the DFT of the input in natural order.
+	Output []complex128
+	// CommSteps counts communication steps: k_1 nucleus exchanges, then
+	// for each level i >= 2 one inter-cluster forwarding step plus k_i
+	// nucleus exchanges: n_l + l - 1 in total.
+	CommSteps int
+	// LinkUses counts how many communication steps used each undirected
+	// link (keyed by canonical node pair). Every step uses each involved
+	// link exactly once, so values bound the per-link bandwidth needed.
+	LinkUses map[[2]int]int
+}
+
+// FFT executes the recursive FFT algorithm of Appendix A.2 on the swap
+// network itself: nucleus steps exchange data over dimension links,
+// inter-cluster steps forward data over level-i swap links. Every
+// communication is checked against the network's actual adjacency - the
+// algorithm cannot cheat by using links the topology does not have.
+func (s *SwapNet) FFT(x []complex128) (*FFTResult, error) {
+	n := s.Spec.TotalBits()
+	size := int(s.Spec.Size())
+	if len(x) != size {
+		return nil, fmt.Errorf("swapnet: input length %d, network has %d nodes", len(x), size)
+	}
+	adj := s.adjacencySet()
+	res := &FFTResult{LinkUses: make(map[[2]int]int)}
+
+	// Load bit-reversed; track in-place indices through forwarding.
+	cur := make([]complex128, size)
+	nat := make([]int, size)
+	for p := 0; p < size; p++ {
+		cur[p] = x[reverse(p, n)]
+		nat[p] = p
+	}
+	useLink := func(a, b int) error {
+		if a == b {
+			return nil // a swap fixed point forwards to itself: no link
+		}
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if !adj[key] {
+			return fmt.Errorf("swapnet: FFT would use non-existent link %d-%d", a, b)
+		}
+		res.LinkUses[key]++
+		return nil
+	}
+	dim := 0
+	nucleusPhase := func(k int) error {
+		for b := 0; b < k; b++ {
+			bit := 1 << uint(b)
+			dimBit := 1 << uint(dim)
+			for u := 0; u < size; u++ {
+				if u&bit != 0 {
+					continue
+				}
+				v := u ^ bit
+				if err := useLink(u, v); err != nil {
+					return err
+				}
+				pu, pv := nat[u], nat[v]
+				if pu^pv != dimBit {
+					return fmt.Errorf("swapnet: phase pairs indices %d,%d; want bit %d", pu, pv, dim)
+				}
+				lo, hi := u, v
+				if pu&dimBit != 0 {
+					lo, hi = v, u
+				}
+				j := nat[lo] & (dimBit - 1)
+				w := cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(2*dimBit)))
+				tv := w * cur[hi]
+				a := cur[lo]
+				cur[lo], cur[hi] = a+tv, a-tv
+			}
+			dim++
+			res.CommSteps++
+		}
+		return nil
+	}
+	if err := nucleusPhase(s.Spec.GroupWidth(1)); err != nil {
+		return nil, err
+	}
+	for lvl := 2; lvl <= s.Spec.Levels(); lvl++ {
+		// Inter-cluster forwarding: x -> swap(x) for every node, over
+		// level-lvl links (an involution, so it is a pairwise exchange).
+		nextCur := make([]complex128, size)
+		nextNat := make([]int, size)
+		for u := 0; u < size; u++ {
+			v := int(s.Spec.SwapNeighbor(uint64(u), lvl))
+			if u <= v {
+				if err := useLink(u, v); err != nil {
+					return nil, err
+				}
+			}
+			nextCur[v] = cur[u]
+			nextNat[v] = nat[u]
+		}
+		cur, nat = nextCur, nextNat
+		res.CommSteps++
+		if err := nucleusPhase(s.Spec.GroupWidth(lvl)); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]complex128, size)
+	for u := 0; u < size; u++ {
+		out[nat[u]] = cur[u]
+	}
+	res.Output = out
+	return res, nil
+}
+
+func (s *SwapNet) adjacencySet() map[[2]int]bool {
+	adj := make(map[[2]int]bool, s.G.NumEdges())
+	for _, e := range s.G.Edges() {
+		adj[[2]int{e.U, e.V}] = true
+	}
+	return adj
+}
+
+// MaxLinkUses returns the largest per-link use count of an FFT run: the
+// bandwidth a single link needs across the whole transform.
+func (r *FFTResult) MaxLinkUses() int {
+	max := 0
+	for _, c := range r.LinkUses {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+func reverse(v, width int) int {
+	return int(bits.Reverse64(uint64(v)) >> uint(64-width))
+}

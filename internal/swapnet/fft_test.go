@@ -1,0 +1,128 @@
+package swapnet
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+)
+
+func dft(x []complex128) []complex128 {
+	r := len(x)
+	out := make([]complex128, r)
+	for k := 0; k < r; k++ {
+		var sum complex128
+		for j := 0; j < r; j++ {
+			angle := -2 * math.Pi * float64(j) * float64(k) / float64(r)
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Appendix A.2: the recursive FFT algorithm executes on the swap network
+// itself, using only existing links, and computes the DFT.
+func TestDirectNetworkFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, spec := range []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(3),
+		bitutil.MustGroupSpec(2, 2),
+		bitutil.MustGroupSpec(3, 2),
+		bitutil.MustGroupSpec(2, 2, 2),
+		bitutil.MustGroupSpec(3, 3, 3),
+		bitutil.MustGroupSpec(2, 2, 1, 1),
+	} {
+		s := New(spec)
+		x := make([]complex128, s.NumNodes())
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		res, err := s.FFT(x)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		if e := maxErr(res.Output, dft(x)); e > 1e-9*float64(s.NumNodes()) {
+			t.Errorf("%v: max error %v", spec, e)
+		}
+		wantSteps := spec.TotalBits() + spec.Levels() - 1
+		if res.CommSteps != wantSteps {
+			t.Errorf("%v: %d comm steps, want %d", spec, res.CommSteps, wantSteps)
+		}
+	}
+}
+
+func TestFFTLinkUsage(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2)
+	s := New(spec)
+	res, err := s.FFT(make([]complex128, s.NumNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every used link exists (by construction of useLink) and is used a
+	// bounded number of times: nucleus dimension b is used once per
+	// level whose group covers it; swap links once.
+	for key, uses := range res.LinkUses {
+		diff := key[0] ^ key[1]
+		if diff&(diff-1) == 0 && diff < 4 {
+			// nucleus link: dims 0..1 used once per level = 2
+			if uses != 2 {
+				t.Errorf("nucleus link %v used %d times, want 2", key, uses)
+			}
+		} else if uses != 1 {
+			t.Errorf("swap link %v used %d times, want 1", key, uses)
+		}
+	}
+	if res.MaxLinkUses() != 2 {
+		t.Errorf("max link uses = %d, want 2", res.MaxLinkUses())
+	}
+}
+
+func TestFFTLengthMismatch(t *testing.T) {
+	s := New(bitutil.MustGroupSpec(2, 2))
+	if _, err := s.FFT(make([]complex128, 3)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	s := New(bitutil.MustGroupSpec(2, 1))
+	x := make([]complex128, s.NumNodes())
+	x[0] = 1
+	res, err := s.FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range res.Output {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func BenchmarkDirectFFT333(b *testing.B) {
+	s := New(bitutil.MustGroupSpec(3, 3, 3))
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, s.NumNodes())
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

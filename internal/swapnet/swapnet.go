@@ -1,0 +1,147 @@
+// Package swapnet builds the swap networks SN(l, Q_k1) of Yeh and Parhami
+// (paper, Appendix A.1). A swap network on the group spec (k_1, ..., k_l)
+// has 2^{n_l} nodes, n_l = k_1 + ... + k_l. Two nodes are adjacent iff
+//
+//	(a) their addresses differ in exactly one bit of the first group
+//	    (a dimension-i nucleus link), or
+//	(b) one address is obtained from the other by exchanging the i-th
+//	    group with the rightmost k_i bits, for some level i in [2, l]
+//	    (a level-i inter-cluster link).
+//
+// Hierarchical swap networks (HSNs) are the special case k_i = k_1 for all
+// i; "incomplete" HSNs have k_l < k_1. Unfolding a swap network along its
+// FFT algorithm yields the indirect swap networks of package isn.
+package swapnet
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/graph"
+)
+
+// SwapNet is a swap network SN(l, Q_k1) over a group spec.
+type SwapNet struct {
+	Spec bitutil.GroupSpec
+	G    *graph.Graph
+}
+
+// New constructs the swap network for the given spec. Node IDs are the
+// addresses themselves. Addresses that are fixed points of a level-i swap
+// (group i equals the rightmost k_i bits) have no level-i link, matching
+// the usual swapped-network convention.
+func New(spec bitutil.GroupSpec) *SwapNet {
+	size := spec.Size()
+	if size > 1<<22 {
+		panic(fmt.Sprintf("swapnet: %v too large to materialize", spec))
+	}
+	g := graph.New(int(size))
+	k1 := spec.GroupWidth(1)
+	for x := uint64(0); x < size; x++ {
+		for d := 0; d < k1; d++ {
+			y := x ^ (1 << uint(d))
+			if y > x {
+				g.AddEdge(int(x), int(y), graph.KindCube)
+			}
+		}
+		for lvl := 2; lvl <= spec.Levels(); lvl++ {
+			y := spec.SwapNeighbor(x, lvl)
+			if y > x {
+				g.AddEdge(int(x), int(y), graph.KindSwap)
+			}
+		}
+	}
+	return &SwapNet{Spec: spec, G: g}
+}
+
+// NewHSN constructs the hierarchical swap network HSN(l, Q_k): the swap
+// network with l equal groups of width k.
+func NewHSN(l, k int) *SwapNet {
+	widths := make([]int, l)
+	for i := range widths {
+		widths[i] = k
+	}
+	return New(bitutil.MustGroupSpec(widths...))
+}
+
+// Levels returns l.
+func (s *SwapNet) Levels() int { return s.Spec.Levels() }
+
+// NumNodes returns 2^{n_l}.
+func (s *SwapNet) NumNodes() int { return s.G.NumNodes() }
+
+// IsHSN reports whether all groups have equal width.
+func (s *SwapNet) IsHSN() bool {
+	k := s.Spec.GroupWidth(1)
+	for i := 2; i <= s.Spec.Levels(); i++ {
+		if s.Spec.GroupWidth(i) != k {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDegree of a swap network: k_1 nucleus links plus at most one link per
+// level 2..l.
+func (s *SwapNet) MaxDegreeBound() int {
+	return s.Spec.GroupWidth(1) + s.Spec.Levels() - 1
+}
+
+// Verify checks node/edge counts and the degree structure against the
+// definition. Each node must have exactly k1 nucleus links, and exactly
+// one level-i link for every level i where it is not a fixed point of the
+// level-i swap.
+func (s *SwapNet) Verify() error {
+	if err := s.G.HandshakeOK(); err != nil {
+		return err
+	}
+	spec := s.Spec
+	k1 := spec.GroupWidth(1)
+	for x := uint64(0); x < spec.Size(); x++ {
+		cube, swap := 0, 0
+		for _, he := range s.G.Neighbors(int(x)) {
+			switch he.Kind {
+			case graph.KindCube:
+				diff := x ^ uint64(he.To)
+				if diff == 0 || diff&(diff-1) != 0 || diff >= 1<<uint(k1) {
+					return fmt.Errorf("swapnet: bad nucleus link %d-%d", x, he.To)
+				}
+				cube++
+			case graph.KindSwap:
+				ok := false
+				for lvl := 2; lvl <= spec.Levels(); lvl++ {
+					if spec.SwapNeighbor(x, lvl) == uint64(he.To) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return fmt.Errorf("swapnet: bad swap link %d-%d", x, he.To)
+				}
+				swap++
+			default:
+				return fmt.Errorf("swapnet: unexpected kind %v", he.Kind)
+			}
+		}
+		if cube != k1 {
+			return fmt.Errorf("swapnet: node %d has %d nucleus links, want %d", x, cube, k1)
+		}
+		wantSwap := 0
+		for lvl := 2; lvl <= spec.Levels(); lvl++ {
+			if spec.SwapNeighbor(x, lvl) != x {
+				wantSwap++
+			}
+		}
+		if swap != wantSwap {
+			return fmt.Errorf("swapnet: node %d has %d swap links, want %d", x, swap, wantSwap)
+		}
+	}
+	return nil
+}
+
+// ClusterOf returns the level-lvl cluster address of node x: the bits of
+// groups lvl..l (cluster = the copy of SN(lvl-1, ...) containing x).
+func (s *SwapNet) ClusterOf(x uint64, lvl int) uint64 {
+	pos := s.Spec.GroupPos(lvl)
+	return x >> uint(pos)
+}

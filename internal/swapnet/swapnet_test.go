@@ -1,0 +1,144 @@
+package swapnet
+
+import (
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/graph"
+	"bfvlsi/internal/hypercube"
+)
+
+func TestSingleLevelIsHypercube(t *testing.T) {
+	s := New(bitutil.MustGroupSpec(4))
+	if err := hypercube.IsHypercube(s.G, 4); err != nil {
+		t.Errorf("SN(1,Q_4) is not Q_4: %v", err)
+	}
+}
+
+func TestVerifySweep(t *testing.T) {
+	specs := []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(1, 1),
+		bitutil.MustGroupSpec(2, 2),
+		bitutil.MustGroupSpec(3, 3),
+		bitutil.MustGroupSpec(3, 2),
+		bitutil.MustGroupSpec(3, 3, 3),
+		bitutil.MustGroupSpec(2, 2, 2, 2),
+		bitutil.MustGroupSpec(4, 3, 2),
+	}
+	for _, spec := range specs {
+		s := New(spec)
+		if err := s.Verify(); err != nil {
+			t.Errorf("%v: %v", spec, err)
+		}
+		if !s.G.Connected() {
+			t.Errorf("%v: disconnected", spec)
+		}
+	}
+}
+
+func TestHSNProperties(t *testing.T) {
+	s := NewHSN(3, 2)
+	if !s.IsHSN() {
+		t.Error("HSN(3,Q_2) not recognized as HSN")
+	}
+	if s.NumNodes() != 64 {
+		t.Errorf("HSN(3,Q_2) nodes = %d", s.NumNodes())
+	}
+	if s.Levels() != 3 {
+		t.Errorf("Levels = %d", s.Levels())
+	}
+	if New(bitutil.MustGroupSpec(3, 2)).IsHSN() {
+		t.Error("(3,2) wrongly recognized as HSN")
+	}
+	if s.G.MaxDegree() > s.MaxDegreeBound() {
+		t.Errorf("max degree %d exceeds bound %d", s.G.MaxDegree(), s.MaxDegreeBound())
+	}
+}
+
+func TestFixedPointsHaveNoSwapLink(t *testing.T) {
+	// Spec (1,1): nodes 00 and 11 are fixed under the level-2 swap, so they
+	// have only the single nucleus link; 01 and 10 additionally link to
+	// each other.
+	s := New(bitutil.MustGroupSpec(1, 1))
+	if s.G.Degree(0b00) != 1 || s.G.Degree(0b11) != 1 {
+		t.Errorf("fixed points degrees: %d %d, want 1 1", s.G.Degree(0), s.G.Degree(3))
+	}
+	if s.G.Degree(0b01) != 2 || s.G.Degree(0b10) != 2 {
+		t.Errorf("swap endpoints degrees: %d %d, want 2 2", s.G.Degree(1), s.G.Degree(2))
+	}
+	// And the swap edge is exactly 01-10.
+	found := false
+	for _, e := range s.G.Edges() {
+		if e.Kind == graph.KindSwap {
+			if e.U != 0b01 || e.V != 0b10 {
+				t.Errorf("swap edge %v", e)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no swap edge in SN(2,Q_1)")
+	}
+}
+
+func TestEdgeCountFormula(t *testing.T) {
+	// Nucleus edges: 2^{n} * k1 / 2. Level-i edges: (2^{n} - fixed_i)/2
+	// where fixed_i = #addresses whose group i equals their low k_i bits
+	// = 2^{n - k_i}.
+	specs := []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(2, 2),
+		bitutil.MustGroupSpec(3, 3, 3),
+		bitutil.MustGroupSpec(3, 2),
+		bitutil.MustGroupSpec(4, 3, 2),
+	}
+	for _, spec := range specs {
+		s := New(spec)
+		n := spec.TotalBits()
+		want := (1 << uint(n)) * spec.GroupWidth(1) / 2
+		for lvl := 2; lvl <= spec.Levels(); lvl++ {
+			ki := spec.GroupWidth(lvl)
+			fixed := 1 << uint(n-ki)
+			want += ((1 << uint(n)) - fixed) / 2
+		}
+		if got := s.G.NumEdges(); got != want {
+			t.Errorf("%v: edges = %d, want %d", spec, got, want)
+		}
+	}
+}
+
+func TestClusterOf(t *testing.T) {
+	s := New(bitutil.MustGroupSpec(2, 2, 2))
+	// level-3 cluster of x is its top 2 bits; level-2 cluster the top 4.
+	x := uint64(0b10_01_11)
+	if s.ClusterOf(x, 3) != 0b10 {
+		t.Errorf("level-3 cluster = %b", s.ClusterOf(x, 3))
+	}
+	if s.ClusterOf(x, 2) != 0b1001 {
+		t.Errorf("level-2 cluster = %b", s.ClusterOf(x, 2))
+	}
+}
+
+func TestSwapLinksConnectClusters(t *testing.T) {
+	// Contract each level-l cluster of an HSN to a supernode: the result
+	// must be a complete graph on 2^{k_l} supernodes (each pair of
+	// clusters joined by at least one swap link), per Appendix A.1.
+	s := NewHSN(2, 3)
+	super := make([]int, s.NumNodes())
+	for x := 0; x < s.NumNodes(); x++ {
+		super[x] = int(s.ClusterOf(uint64(x), 2))
+	}
+	q := s.G.Contract(super).Simple()
+	want := 1 << 3
+	if q.NumNodes() != want {
+		t.Fatalf("clusters = %d", q.NumNodes())
+	}
+	if q.NumEdges() != want*(want-1)/2 {
+		t.Errorf("cluster quotient edges = %d, want complete graph %d", q.NumEdges(), want*(want-1)/2)
+	}
+}
+
+func BenchmarkNewHSN3x3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewHSN(3, 3)
+	}
+}

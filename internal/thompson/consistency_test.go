@@ -1,0 +1,149 @@
+package thompson
+
+import (
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/geom"
+	"bfvlsi/internal/grid"
+)
+
+// The measured bounding box must match the closed-form footprint up to
+// the unused slack of the outermost band and column region.
+func TestMeasuredDimsMatchPrediction(t *testing.T) {
+	for _, spec := range []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(1, 1, 1),
+		bitutil.MustGroupSpec(2, 2, 2),
+		bitutil.MustGroupSpec(2, 2, 1),
+		bitutil.MustGroupSpec(2, 2),
+	} {
+		res := buildOrDie(t, spec)
+		pw, ph := res.PredictedDims()
+		st := res.L.Stats()
+		if st.Width > pw || st.Height > ph {
+			t.Errorf("%v: measured %dx%d exceeds prediction %dx%d", spec, st.Width, st.Height, pw, ph)
+		}
+		if st.Width < pw-res.ColW || st.Height < ph-res.BandH {
+			t.Errorf("%v: measured %dx%d below prediction %dx%d minus outer slack",
+				spec, st.Width, st.Height, pw, ph)
+		}
+		if res.BlockFloorArea() > st.Area {
+			t.Errorf("%v: block floor %d exceeds total area %d", spec, res.BlockFloorArea(), st.Area)
+		}
+	}
+}
+
+// Failure injection: the validator must catch deliberate corruption of a
+// real layout - evidence that passing validation is meaningful.
+func TestValidatorCatchesInjectedFaults(t *testing.T) {
+	build := func() *Result { return buildOrDie(t, bitutil.MustGroupSpec(1, 1, 1)) }
+
+	t.Run("duplicated wire overlaps itself", func(t *testing.T) {
+		res := build()
+		res.L.Wires = append(res.L.Wires, res.L.Wires[0])
+		if err := res.Validate(); err == nil {
+			t.Error("duplicate wire accepted")
+		}
+	})
+
+	t.Run("wire shifted into a node box", func(t *testing.T) {
+		res := build()
+		// Move one inter-block wire's long segment down into the block
+		// rows; some segment will cross a node interior or another wire.
+		for i := range res.L.Wires {
+			w := &res.L.Wires[i]
+			if len(w.Segs) >= 5 { // an inter-block polyline
+				for j := range w.Segs {
+					w.Segs[j].Seg = w.Segs[j].Seg.Translate(0, -1)
+				}
+				break
+			}
+		}
+		if err := res.Validate(); err == nil {
+			t.Error("shifted wire accepted")
+		}
+	})
+
+	t.Run("node grown over a channel", func(t *testing.T) {
+		res := build()
+		r0 := res.L.Nodes[0].Rect
+		res.L.Nodes[0].Rect = geom.NewRect(r0.X0, r0.Y0, r0.X1+40, r0.Y1+2)
+		if err := res.Validate(); err == nil {
+			t.Error("grown node accepted")
+		}
+	})
+
+	t.Run("wire endpoint detached", func(t *testing.T) {
+		res := build()
+		w := &res.L.Wires[0]
+		first := &w.Segs[0]
+		// Move the start point off the node into free space far above.
+		first.Seg.A = geom.Point{X: first.Seg.A.X, Y: first.Seg.A.Y + 100000}
+		// Re-validate with terminal checking: must fail (either
+		// discontinuity or terminal rule).
+		if err := res.L.Validate(grid.ValidateOptions{RequireTerminalsOnNodes: true}); err == nil {
+			t.Error("detached wire accepted")
+		}
+	})
+}
+
+// Multilayer fault injection: moving a segment to a clashing layer must
+// trip the 3-D validator.
+func TestMultilayerValidatorCatchesLayerFault(t *testing.T) {
+	res := buildML(t, bitutil.MustGroupSpec(2, 2, 1), 4)
+	// Force every segment of one group-1 wire onto group-0 layers: its
+	// band track now collides with a group-0 track at the same y.
+	moved := false
+	for i := range res.L.Wires {
+		w := &res.L.Wires[i]
+		hasHigh := false
+		for _, s := range w.Segs {
+			if s.Layer > 2 {
+				hasHigh = true
+			}
+		}
+		if !hasHigh {
+			continue
+		}
+		for j := range w.Segs {
+			if w.Segs[j].Layer == 3 {
+				w.Segs[j].Layer = 1
+			}
+			if w.Segs[j].Layer == 4 {
+				w.Segs[j].Layer = 2
+			}
+		}
+		moved = true
+		break
+	}
+	if !moved {
+		t.Skip("no multi-group wire found")
+	}
+	if err := res.Validate(); err == nil {
+		t.Error("layer collision accepted")
+	}
+}
+
+// Ablation: disabling the Appendix B track reordering leaves area
+// untouched but may lengthen the longest wire; the optimized build is
+// never worse.
+func TestTrackReorderAblation(t *testing.T) {
+	for _, widths := range [][]int{{2, 2, 2}, {3, 3, 2}} {
+		spec := bitutil.MustGroupSpec(widths...)
+		opt := buildOrDie(t, spec)
+		plain, err := Build(Params{Spec: spec, NoTrackReorder: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Validate(); err != nil {
+			t.Fatalf("%v unordered: %v", spec, err)
+		}
+		so, sp := opt.L.Stats(), plain.L.Stats()
+		if so.Area != sp.Area {
+			t.Errorf("%v: reorder changed area %d -> %d", spec, sp.Area, so.Area)
+		}
+		if so.MaxWireLength > sp.MaxWireLength {
+			t.Errorf("%v: reorder worsened max wire %d -> %d", spec, sp.MaxWireLength, so.MaxWireLength)
+		}
+	}
+}

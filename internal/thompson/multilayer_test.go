@@ -1,0 +1,143 @@
+package thompson
+
+import (
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+)
+
+func buildML(t testing.TB, spec bitutil.GroupSpec, layers int) *Result {
+	t.Helper()
+	res, err := Build(Params{Spec: spec, Layers: layers, Multilayer: true})
+	if err != nil {
+		t.Fatalf("%v L=%d: %v", spec, layers, err)
+	}
+	return res
+}
+
+// The multilayer construction must satisfy the strict 3-D grid rules:
+// wire paths node-disjoint per layer, via columns conflict-free.
+func TestMultilayerValidates(t *testing.T) {
+	specs := []bitutil.GroupSpec{
+		bitutil.MustGroupSpec(1, 1),
+		bitutil.MustGroupSpec(1, 1, 1),
+		bitutil.MustGroupSpec(2, 1, 1),
+		bitutil.MustGroupSpec(2, 2, 1),
+		bitutil.MustGroupSpec(2, 2, 2),
+	}
+	for _, spec := range specs {
+		for _, L := range []int{2, 3, 4, 5, 8} {
+			res := buildML(t, spec, L)
+			if err := res.Validate(); err != nil {
+				t.Errorf("%v L=%d: %v", spec, L, err)
+			}
+		}
+	}
+}
+
+func TestMultilayerMediumValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium multilayer builds skipped in -short mode")
+	}
+	for _, L := range []int{4, 7, 16} {
+		res := buildML(t, bitutil.MustGroupSpec(3, 3, 3), L)
+		if err := res.Validate(); err != nil {
+			t.Errorf("(3,3,3) L=%d: %v", L, err)
+		}
+	}
+}
+
+// Section 4.2: with L layers the band height shrinks to ceil(2T/L) for
+// even L (T = 2^{k1+k2} tracks), and area shrinks accordingly.
+func TestMultilayerBandCompression(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	full := 1 << 4 // 2^{k1+k2}
+	for _, c := range []struct{ L, wantBand, wantCol int }{
+		{2, full, full},
+		{4, full / 2, full / 2},
+		{8, full / 4, full / 4},
+		{3, (full + 1) / 2, full}, // odd: H into (L+1)/2=2 groups, V into 1
+		{5, (full + 2) / 3, full / 2},
+	} {
+		res := buildML(t, spec, c.L)
+		if res.BandH != c.wantBand {
+			t.Errorf("L=%d: BandH = %d, want %d", c.L, res.BandH, c.wantBand)
+		}
+		if res.ColW != c.wantCol {
+			t.Errorf("L=%d: ColW = %d, want %d", c.L, res.ColW, c.wantCol)
+		}
+		if res.FullBandTracks != full || res.FullColTracks != full {
+			t.Errorf("L=%d: full track counts %d/%d, want %d", c.L, res.FullBandTracks, res.FullColTracks, full)
+		}
+	}
+}
+
+func TestMultilayerL2MatchesThompsonArea(t *testing.T) {
+	// The Thompson model is the L=2 special case of the multilayer model
+	// (Section 4.1): identical geometry, stricter validation.
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	th := buildOrDie(t, spec)
+	ml := buildML(t, spec, 2)
+	if th.L.Stats().Area != ml.L.Stats().Area {
+		t.Errorf("Thompson area %d != multilayer L=2 area %d", th.L.Stats().Area, ml.L.Stats().Area)
+	}
+	if th.L.Stats().MaxWireLength != ml.L.Stats().MaxWireLength {
+		t.Errorf("max wire mismatch: %d vs %d", th.L.Stats().MaxWireLength, ml.L.Stats().MaxWireLength)
+	}
+}
+
+func TestMultilayerAreaDecreasesWithL(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	prev := int64(1) << 62
+	for _, L := range []int{2, 4, 8} {
+		res := buildML(t, spec, L)
+		a := res.L.Stats().Area
+		if a >= prev {
+			t.Errorf("L=%d: area %d did not decrease (prev %d)", L, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestMultilayerMaxWireDecreasesWithL(t *testing.T) {
+	// Theorem 4.1: max wire length ~ 2N/(L log N); doubling L should
+	// shrink the longest wire (dominated by band/column runs).
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	w2 := buildML(t, spec, 2).L.Stats().MaxWireLength
+	w8 := buildML(t, spec, 8).L.Stats().MaxWireLength
+	if w8 >= w2 {
+		t.Errorf("max wire did not shrink: L=2 %d, L=8 %d", w2, w8)
+	}
+}
+
+func TestMultilayerVolumeSweet(t *testing.T) {
+	// Volume = L * area ~ 4N^2/(L log^2 N): grows sublinearly... i.e.
+	// at fixed n, increasing L must not increase the wiring-dominated
+	// volume by more than the block floor. Check volume at L=8 is below
+	// volume at L=2 times 4 (it would be equal under the exact formula,
+	// smaller in practice only until blocks dominate).
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	v2 := buildML(t, spec, 2).L.Stats().Volume
+	v8 := buildML(t, spec, 8).L.Stats().Volume
+	if v8 > 4*v2 {
+		t.Errorf("volume blew up: L=2 %d, L=8 %d", v2, v8)
+	}
+}
+
+func TestMultilayerRejectsBadLayers(t *testing.T) {
+	if _, err := Build(Params{Spec: bitutil.MustGroupSpec(1, 1), Layers: 1, Multilayer: true}); err == nil {
+		t.Error("L=1 accepted")
+	}
+	if _, err := Build(Params{Spec: bitutil.MustGroupSpec(1, 1), Layers: 6}); err == nil {
+		t.Error("Layers=6 without Multilayer accepted")
+	}
+}
+
+func BenchmarkBuildMultilayer222L8(b *testing.B) {
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(Params{Spec: spec, Layers: 8, Multilayer: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package thompson
+
+import (
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+)
+
+// Section 3.3 / Theorem 4.1 scalability: enlarging the node boxes leaves
+// the inter-block wiring (the leading area term) untouched; only the
+// block footprints grow. We verify (a) larger-node layouts remain valid,
+// (b) the band/region track counts are unchanged, and (c) the area grows
+// by strictly less than the node-area ratio (wiring dominance).
+func TestNodeSizeScalability(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 2)
+	base, err := Build(Params{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevArea := base.L.Stats().Area
+	for _, side := range []int{6, 8, 12} {
+		res, err := Build(Params{Spec: spec, NodeSide: side})
+		if err != nil {
+			t.Fatalf("side %d: %v", side, err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatalf("side %d: %v", side, err)
+		}
+		if res.BandH != base.BandH || res.ColW != base.ColW {
+			t.Errorf("side %d: band/region changed: %d/%d vs %d/%d",
+				side, res.BandH, res.ColW, base.BandH, base.ColW)
+		}
+		area := res.L.Stats().Area
+		if area <= prevArea {
+			t.Errorf("side %d: area %d did not grow (prev %d)", side, area, prevArea)
+		}
+		// Node area grew by (side/4)^2; layout area must grow strictly
+		// slower because wiring area is node-size independent.
+		nodeRatio := float64(side*side) / 16.0
+		areaRatio := float64(area) / float64(base.L.Stats().Area)
+		if areaRatio >= nodeRatio {
+			t.Errorf("side %d: area ratio %.2f not below node ratio %.2f", side, areaRatio, nodeRatio)
+		}
+		prevArea = area
+	}
+}
+
+func TestNodeSizeScalabilityMultilayer(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2, 1)
+	res, err := Build(Params{Spec: spec, Layers: 4, Multilayer: true, NodeSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeSideTooSmallRejected(t *testing.T) {
+	if _, err := Build(Params{Spec: bitutil.MustGroupSpec(1, 1), NodeSide: 2}); err == nil {
+		t.Error("node side below degree accepted")
+	}
+}
+
+func TestNodeRectReflectsNodeSide(t *testing.T) {
+	res, err := Build(Params{Spec: bitutil.MustGroupSpec(1, 1), NodeSide: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.NodeRect(0, 0)
+	if r.Width() != 7 || r.Height() != 7 {
+		t.Errorf("node rect %v, want 7x7", r)
+	}
+}
