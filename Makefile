@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt tables cover
+.PHONY: all build test test-short race bench vet fmt tables cover fault-sweep
 
 all: build vet test
 
@@ -19,6 +19,9 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+race:
+	$(GO) test -race -short ./...
+
 bench:
 	$(GO) test -bench . -benchmem ./...
 
@@ -27,3 +30,7 @@ tables:
 
 cover:
 	$(GO) test -cover ./...
+
+fault-sweep:
+	$(GO) run ./cmd/bffault -n 6 -lambda 0.1 -sweep 0,0.01,0.02,0.05,0.1
+	$(GO) run ./cmd/bffault -n 6 -lambda 0.1 -compare -kills 0,1,2,4

@@ -16,6 +16,7 @@ import (
 	"bfvlsi/internal/butterfly"
 	"bfvlsi/internal/collinear"
 	"bfvlsi/internal/cubelayout"
+	"bfvlsi/internal/faults"
 	"bfvlsi/internal/fftsim"
 	"bfvlsi/internal/hierarchy"
 	"bfvlsi/internal/isn"
@@ -237,4 +238,28 @@ func BenchmarkE16MultiLevel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// E21: extension - fault-tolerant routing, misrouting around 5% dead
+// links with exact packet accounting.
+func BenchmarkE21FaultRouting(b *testing.B) {
+	plan := faults.MustPlan(5)
+	if _, err := plan.AddRandomLinkFaults(0.05, 3); err != nil {
+		b.Fatal(err)
+	}
+	var misroutes int
+	for i := 0; i < b.N; i++ {
+		r, err := routing.Simulate(routing.Params{
+			N: 5, Lambda: 0.15, Warmup: 50, Cycles: 200, Seed: 3,
+			Faults: plan, TTL: faults.DefaultTTL(5),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.CheckConservation(); err != nil {
+			b.Fatal(err)
+		}
+		misroutes = r.Misroutes
+	}
+	b.ReportMetric(float64(misroutes), "misroutes")
 }

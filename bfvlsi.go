@@ -10,6 +10,7 @@ import (
 	"bfvlsi/internal/ccc"
 	"bfvlsi/internal/collinear"
 	"bfvlsi/internal/cubelayout"
+	"bfvlsi/internal/faults"
 	"bfvlsi/internal/fftsim"
 	"bfvlsi/internal/grid"
 	"bfvlsi/internal/hierarchy"
@@ -117,6 +118,55 @@ type RoutingParams = routing.Params
 // wrapped B_n (Theta(1/log R), the packaging lower-bound scaling).
 func SaturationRate(n int, opts routing.SaturationOptions) (float64, error) {
 	return routing.SaturationRate(n, opts)
+}
+
+// FaultPlan is a deterministic, seeded fault schedule for the wrapped
+// butterfly: link faults, node faults, module-correlated faults, transient
+// faults with repair. Attach one via RoutingParams.Faults.
+type FaultPlan = faults.Plan
+
+// NewFaultPlan returns an empty fault plan for dimension n.
+func NewFaultPlan(n int) (*FaultPlan, error) { return faults.NewPlan(n) }
+
+// RoutingPolicy selects the router's reaction to a dead planned link:
+// Misroute (fault-aware fallback, the zero value) or DropDead (naive
+// baseline).
+type RoutingPolicy = routing.Policy
+
+// Re-exported routing policies.
+const (
+	Misroute = routing.Misroute
+	DropDead = routing.DropDead
+)
+
+// DefaultPacketTTL is the packet lifetime the fault sweeps use when the
+// caller sets none (16n cycles).
+func DefaultPacketTTL(n int) int { return faults.DefaultTTL(n) }
+
+// FaultSweep measures throughput and latency degradation over a list of
+// random link fault rates.
+func FaultSweep(base RoutingParams, rates []float64) []faults.Point {
+	return faults.Sweep(base, rates)
+}
+
+// FaultScheme is a packaging variant viewed as a set of failure domains.
+type FaultScheme = faults.Scheme
+
+// StandardFaultSchemes returns the row, nucleus, and naive packagings of
+// B_n as failure-domain schemes.
+func StandardFaultSchemes(n int) ([]FaultScheme, error) { return faults.StandardSchemes(n) }
+
+// ModuleKillSweep fails whole modules under each scheme and measures the
+// degradation - the packaging comparison of the fault subsystem.
+func ModuleKillSweep(base RoutingParams, schemes []FaultScheme, kills []int) []faults.SchemePoint {
+	return faults.ModuleKillSweep(base, schemes, kills)
+}
+
+// RoutingModules projects a partition onto the wrapped butterfly the
+// routing simulator runs on (pass nil sb for plain-butterfly partitions),
+// for use with FaultPlan.AddModuleFault.
+func RoutingModules(p *Partition, sb *SwapButterfly) ([]int, error) {
+	return packaging.RoutingModuleOf(p, sb)
 }
 
 // FFTOnISN executes a DFT along the stages of an ISN and returns the

@@ -186,3 +186,41 @@ func TestFacadeButterflyAndSpecForDim(t *testing.T) {
 		t.Errorf("SpecForDim(9) = %v", SpecForDim(9))
 	}
 }
+
+func TestFacadeFaultPlan(t *testing.T) {
+	plan, err := NewFaultPlan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.AddRandomLinkFaults(0.05, 9); err != nil {
+		t.Fatal(err)
+	}
+	r, err := SimulateRouting(RoutingParams{
+		N: 4, Lambda: 0.1, Warmup: 50, Cycles: 300, Seed: 9,
+		Faults: plan, Policy: Misroute, TTL: DefaultPacketTTL(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	if r.Misroutes == 0 {
+		t.Error("no misroutes around 5% dead links")
+	}
+	schemes, err := StandardFaultSchemes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemes) != 3 {
+		t.Errorf("got %d standard schemes, want 3", len(schemes))
+	}
+	sb := Transform(SpecForDim(4))
+	moduleOf, err := RoutingModules(PackageNuclei(sb), sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moduleOf) != 4*16 {
+		t.Errorf("RoutingModules length %d, want 64", len(moduleOf))
+	}
+}

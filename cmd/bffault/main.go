@@ -1,0 +1,297 @@
+// Command bffault drives the fault-injection subsystem: single runs under
+// random or module-correlated faults, link-fault-rate degradation sweeps,
+// and the packaging comparison (row vs nucleus vs naive modules as
+// failure domains).
+//
+// Usage:
+//
+//	bffault -n 6 -lambda 0.1 -linkrate 0.02            # 2% of links dead
+//	bffault -n 6 -lambda 0.1 -noderate 0.01 -policy drop
+//	bffault -n 6 -lambda 0.1 -transient 40 -repair 50  # transient faults
+//	bffault -n 6 -lambda 0.1 -killmodules 2 -scheme nucleus
+//	bffault -n 6 -lambda 0.1 -sweep 0,0.01,0.02,0.05,0.1
+//	bffault -n 6 -lambda 0.1 -compare -kills 0,1,2,4   # packaging schemes
+//	bffault ... -csv                                   # CSV instead of table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"bfvlsi/internal/faults"
+	"bfvlsi/internal/routing"
+)
+
+var (
+	dim     = flag.Int("n", 6, "butterfly dimension")
+	lambda  = flag.Float64("lambda", 0.1, "per-node injection probability")
+	warmup  = flag.Int("warmup", 300, "warmup cycles")
+	cycles  = flag.Int("cycles", 1000, "measured cycles")
+	seed    = flag.Int64("seed", 1, "random seed (faults and traffic)")
+	buffers = flag.Int("buffers", 0, "per-link buffer limit (0 = unbounded)")
+	ttl     = flag.Int("ttl", 0, "packet lifetime in cycles (0 = 16n when faults are present)")
+	policy  = flag.String("policy", "misroute", "dead-link policy: misroute | drop")
+
+	linkRate  = flag.Float64("linkrate", 0, "fraction of links to fail permanently")
+	nodeRate  = flag.Float64("noderate", 0, "fraction of nodes to fail permanently")
+	transient = flag.Int("transient", 0, "number of random transient link faults")
+	repair    = flag.Int("repair", 100, "repair delay for transient faults, cycles")
+
+	killModules = flag.Int("killmodules", 0, "number of whole modules to fail")
+	scheme      = flag.String("scheme", "nucleus", "module scheme for -killmodules: row | nucleus | naive")
+
+	sweepRates = flag.String("sweep", "", "comma-separated link fault rates to sweep")
+	compare    = flag.Bool("compare", false, "module-kill comparison across packaging schemes")
+	kills      = flag.String("kills", "0,1,2,4", "comma-separated module kill counts for -compare")
+	csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+)
+
+func usageError(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bffault: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bffault:", err)
+	os.Exit(1)
+}
+
+func validateFlags() {
+	if *dim < 1 || *dim > 14 {
+		usageError("-n %d out of range [1,14]", *dim)
+	}
+	if *lambda <= 0 || *lambda > 1 {
+		usageError("-lambda %v outside (0,1]", *lambda)
+	}
+	if *warmup < 0 {
+		usageError("-warmup %d is negative", *warmup)
+	}
+	if *cycles <= 0 {
+		usageError("-cycles %d must be positive", *cycles)
+	}
+	if *buffers < 0 {
+		usageError("-buffers %d is negative", *buffers)
+	}
+	if *ttl < 0 {
+		usageError("-ttl %d is negative", *ttl)
+	}
+	if *linkRate < 0 || *linkRate > 1 {
+		usageError("-linkrate %v outside [0,1]", *linkRate)
+	}
+	if *nodeRate < 0 || *nodeRate > 1 {
+		usageError("-noderate %v outside [0,1]", *nodeRate)
+	}
+	if *transient < 0 {
+		usageError("-transient %d is negative", *transient)
+	}
+	if *repair <= 0 {
+		usageError("-repair %d must be positive", *repair)
+	}
+	if *killModules < 0 {
+		usageError("-killmodules %d is negative", *killModules)
+	}
+}
+
+func parsePolicy(s string) routing.Policy {
+	switch s {
+	case "misroute":
+		return routing.Misroute
+	case "drop", "dropdead":
+		return routing.DropDead
+	default:
+		usageError("unknown policy %q (want misroute or drop)", s)
+		panic("unreachable")
+	}
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			usageError("bad rate %q in list", f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			usageError("bad count %q in list", f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func baseParams() routing.Params {
+	return routing.Params{
+		N: *dim, Lambda: *lambda, Warmup: *warmup, Cycles: *cycles,
+		Seed: *seed, BufferLimit: *buffers,
+		Policy: parsePolicy(*policy), TTL: *ttl,
+	}
+}
+
+func main() {
+	flag.Parse()
+	validateFlags()
+	switch {
+	case *sweepRates != "":
+		runSweep()
+	case *compare:
+		runCompare()
+	default:
+		runOnce()
+	}
+}
+
+// findScheme returns the named packaging scheme for the current dimension.
+func findScheme(name string) faults.Scheme {
+	schemes, err := faults.StandardSchemes(*dim)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sc := range schemes {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	usageError("unknown scheme %q (want row, nucleus, or naive)", name)
+	panic("unreachable")
+}
+
+func runOnce() {
+	plan, err := faults.NewPlan(*dim)
+	if err != nil {
+		fatal(err)
+	}
+	horizon := *warmup + *cycles
+	if *linkRate > 0 {
+		if _, err := plan.AddRandomLinkFaults(*linkRate, *seed+101); err != nil {
+			fatal(err)
+		}
+	}
+	if *nodeRate > 0 {
+		if _, err := plan.AddRandomNodeFaults(*nodeRate, *seed+202); err != nil {
+			fatal(err)
+		}
+	}
+	if *transient > 0 {
+		if err := plan.AddRandomTransientLinkFaults(*transient, horizon, *repair, *seed+303); err != nil {
+			fatal(err)
+		}
+	}
+	deadModuleNodes := 0
+	if *killModules > 0 {
+		sc := findScheme(*scheme)
+		if *killModules > sc.NumModules {
+			usageError("-killmodules %d exceeds the %d %s modules", *killModules, sc.NumModules, sc.Name)
+		}
+		for _, m := range faults.PickModules(sc.NumModules, *killModules, *seed+404) {
+			killed, err := plan.AddModuleFault(sc.ModuleOf, m, 0, 0)
+			if err != nil {
+				fatal(err)
+			}
+			deadModuleNodes += killed
+		}
+	}
+	p := baseParams()
+	p.Faults = plan
+	if p.TTL == 0 && plan.NumEvents() > 0 {
+		p.TTL = faults.DefaultTTL(*dim)
+	}
+	r, err := routing.Simulate(p)
+	if err != nil {
+		fatal(err)
+	}
+	plan.BeginCycle(0)
+	fmt.Printf("B_%d wrapped, lambda=%.4f, policy=%v, ttl=%d, %d fault events:\n",
+		*dim, *lambda, p.Policy, p.TTL, plan.NumEvents())
+	fmt.Printf("  at cycle 0:   %d dead nodes, %d dead links (of %d / %d)\n",
+		plan.DeadNodes(), plan.DeadLinks(), plan.Nodes(), 2*plan.Nodes())
+	if deadModuleNodes > 0 {
+		fmt.Printf("  module kill:  %d modules of the %s scheme (%d nodes)\n",
+			*killModules, *scheme, deadModuleNodes)
+	}
+	fmt.Printf("  throughput:   %.4f pkts/node/cycle (%.1f%% of offered)\n",
+		r.Throughput, 100*r.Throughput / *lambda)
+	fmt.Printf("  avg latency:  %.2f cycles (avg hops %.2f)\n", r.AvgLatency, r.AvgHops)
+	fmt.Printf("  accounting:   %d injected = %d delivered + %d dropped + %d unreachable + %d backlog\n",
+		r.TotalInjected, r.TotalDelivered, r.Dropped, r.Unreachable, r.Backlog)
+	fmt.Printf("  misroutes:    %d (stalls %d)\n", r.Misroutes, r.Stalls)
+	if err := r.CheckConservation(); err != nil {
+		fatal(err)
+	}
+}
+
+func runSweep() {
+	pts := faults.Sweep(baseParams(), parseFloats(*sweepRates))
+	if *csv {
+		fmt.Println("rate,dead_links,throughput,efficiency,latency,dropped,unreachable,misroutes,backlog")
+		for _, pt := range pts {
+			if pt.Err != nil {
+				fatal(pt.Err)
+			}
+			r := pt.Result
+			fmt.Printf("%g,%d,%.4f,%.4f,%.2f,%d,%d,%d,%d\n",
+				pt.Rate, pt.DeadLinks, r.Throughput, r.Throughput / *lambda,
+				r.AvgLatency, r.Dropped, r.Unreachable, r.Misroutes, r.Backlog)
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "rate\tdead\tthroughput\tefficiency\tlatency\tdropped\tunreach\tmisroutes\tbacklog\n")
+	for _, pt := range pts {
+		if pt.Err != nil {
+			fatal(pt.Err)
+		}
+		r := pt.Result
+		fmt.Fprintf(w, "%g\t%d\t%.4f\t%.1f%%\t%.1f\t%d\t%d\t%d\t%d\n",
+			pt.Rate, pt.DeadLinks, r.Throughput, 100*r.Throughput / *lambda,
+			r.AvgLatency, r.Dropped, r.Unreachable, r.Misroutes, r.Backlog)
+	}
+	w.Flush()
+}
+
+func runCompare() {
+	schemes, err := faults.StandardSchemes(*dim)
+	if err != nil {
+		fatal(err)
+	}
+	pts := faults.ModuleKillSweep(baseParams(), schemes, parseInts(*kills))
+	if *csv {
+		fmt.Println("scheme,killed,dead_nodes,dead_frac,throughput,latency,dropped,unreachable,backlog")
+		for _, pt := range pts {
+			if pt.Err != nil {
+				fatal(pt.Err)
+			}
+			r := pt.Result
+			fmt.Printf("%s,%d,%d,%.4f,%.4f,%.2f,%d,%d,%d\n",
+				pt.Scheme, pt.Killed, pt.DeadNodes, pt.DeadNodeFrac,
+				r.Throughput, r.AvgLatency, r.Dropped, r.Unreachable, r.Backlog)
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "scheme\tkilled\tdead nodes\tdead frac\tthroughput\tlatency\tdropped\tunreach\tbacklog\n")
+	for _, pt := range pts {
+		if pt.Err != nil {
+			fatal(pt.Err)
+		}
+		r := pt.Result
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f%%\t%.4f\t%.1f\t%d\t%d\t%d\n",
+			pt.Scheme, pt.Killed, pt.DeadNodes, 100*pt.DeadNodeFrac,
+			r.Throughput, r.AvgLatency, r.Dropped, r.Unreachable, r.Backlog)
+	}
+	w.Flush()
+	fmt.Println("(same seeded module draw per kill count; schemes differ only in what a module is)")
+}

@@ -35,12 +35,41 @@ var (
 	tracePth = flag.String("trace", "", "write a per-cycle CSV trace to this file")
 )
 
+// usageError reports a bad flag value, prints the usage, and exits 2, so
+// misuse never reaches the simulator as a panic.
+func usageError(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bfroute: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func validateFlags() {
+	if *dim < 1 || *dim > 14 {
+		usageError("-n %d out of range [1,14]", *dim)
+	}
+	if *lambda <= 0 || *lambda > 1 {
+		usageError("-lambda %v outside (0,1]", *lambda)
+	}
+	if *warmup < 0 {
+		usageError("-warmup %d is negative", *warmup)
+	}
+	if *cycles <= 0 {
+		usageError("-cycles %d must be positive", *cycles)
+	}
+	if *modRows < 0 {
+		usageError("-modrows %d is negative", *modRows)
+	}
+	if *buffers < 0 {
+		usageError("-buffers %d is negative", *buffers)
+	}
+}
+
 func main() {
 	flag.Parse()
+	validateFlags()
 	pat, err := parsePattern(*pattern)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		usageError("%v", err)
 	}
 	switch {
 	case *saturate:

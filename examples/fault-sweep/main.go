@@ -1,0 +1,45 @@
+// Quickstart for the fault-injection subsystem: degrade a wrapped B_6
+// under growing link fault rates, then compare the paper's packagings as
+// failure domains by killing whole modules.
+//
+//	go run ./examples/fault-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfvlsi"
+)
+
+func main() {
+	base := bfvlsi.RoutingParams{
+		N: 6, Lambda: 0.1, Warmup: 200, Cycles: 600, Seed: 1,
+	}
+
+	// Random permanent link faults, misrouted around with a TTL.
+	fmt.Println("link fault rate sweep (throughput = pkts/node/cycle):")
+	for _, pt := range bfvlsi.FaultSweep(base, []float64{0, 0.01, 0.02, 0.05, 0.1}) {
+		if pt.Err != nil {
+			log.Fatal(pt.Err)
+		}
+		fmt.Printf("  rate %-5g dead links %-3d throughput %.4f  dropped %d\n",
+			pt.Rate, pt.DeadLinks, pt.Result.Throughput, pt.Result.Dropped)
+	}
+
+	// Whole-module failures: the nucleus packaging (Theorem 2.1) has
+	// smaller failure domains than row packaging, so the same number of
+	// dead modules costs less of the machine.
+	schemes, err := bfvlsi.StandardFaultSchemes(base.N)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmodule-kill comparison:")
+	for _, pt := range bfvlsi.ModuleKillSweep(base, schemes, []int{0, 1, 2, 4}) {
+		if pt.Err != nil {
+			log.Fatal(pt.Err)
+		}
+		fmt.Printf("  %-8s killed %d  dead nodes %-3d (%.1f%%)  throughput %.4f\n",
+			pt.Scheme, pt.Killed, pt.DeadNodes, 100*pt.DeadNodeFrac, pt.Result.Throughput)
+	}
+}

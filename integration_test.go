@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/faults"
 	"bfvlsi/internal/graph"
 	"bfvlsi/internal/isn"
 	"bfvlsi/internal/packaging"
@@ -166,5 +167,118 @@ func TestEndToEndPipeline(t *testing.T) {
 	want := packaging.GeneralAvgOffLinks([]int{2, 2, 1})
 	if diff := st.AvgOffLinksPerNode - want; diff > 1e-12 || diff < -1e-12 {
 		t.Errorf("avg off links %v != formula %v", st.AvgOffLinksPerNode, want)
+	}
+}
+
+// A fault plan with no faults attached must be invisible: same seed, same
+// Result as the plain simulation, in both simulator modes. This is the
+// zero-fault equivalence guarantee of the fault subsystem.
+func TestFaultFreePlanReproducesBaseline(t *testing.T) {
+	for _, buffers := range []int{0, 3} {
+		p := routing.Params{N: 5, Lambda: 0.12, Warmup: 80, Cycles: 400, Seed: 29, BufferLimit: buffers}
+		base, err := routing.Simulate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := p
+		q.Faults = faults.MustPlan(p.N)
+		wrapped, err := routing.Simulate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *base != *wrapped {
+			t.Errorf("buffers=%d: empty fault plan changed the run:\n%+v\nvs\n%+v", buffers, base, wrapped)
+		}
+	}
+}
+
+// Mixed fault load - permanent links, permanent nodes, transients, and a
+// module kill projected from a real nucleus partition - with exact
+// accounting under both policies and both simulator modes.
+func TestFaultAccountingExact(t *testing.T) {
+	n := 5
+	sb := isn.Transform(thompson.SpecForDim(n))
+	moduleOf, err := packaging.RoutingModuleOf(packaging.NucleusPartition(sb), sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, buffers := range []int{0, 3} {
+		for _, policy := range []routing.Policy{routing.Misroute, routing.DropDead} {
+			plan := faults.MustPlan(n)
+			if _, err := plan.AddRandomLinkFaults(0.02, 31); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := plan.AddRandomNodeFaults(0.01, 32); err != nil {
+				t.Fatal(err)
+			}
+			if err := plan.AddRandomTransientLinkFaults(12, 300, 60, 33); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := plan.AddModuleFault(moduleOf, 0, 50, 200); err != nil {
+				t.Fatal(err)
+			}
+			r, err := routing.Simulate(routing.Params{
+				N: n, Lambda: 0.1, Warmup: 60, Cycles: 400, Seed: 37,
+				BufferLimit: buffers, Faults: plan, Policy: policy,
+				TTL: faults.DefaultTTL(n),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.CheckConservation(); err != nil {
+				t.Errorf("buffers=%d policy=%v: %v", buffers, policy, err)
+			}
+			if r.TotalDelivered == 0 {
+				t.Errorf("buffers=%d policy=%v: nothing delivered", buffers, policy)
+			}
+			if r.Unreachable == 0 {
+				t.Errorf("buffers=%d policy=%v: no unreachable despite dead nodes", buffers, policy)
+			}
+		}
+	}
+}
+
+// The packaging pipeline feeds the fault model end to end: partition a
+// swap-butterfly, project it onto the routing machine, kill one module,
+// and the simulated network degrades but keeps routing around the hole.
+func TestModuleKillEndToEnd(t *testing.T) {
+	n := 6
+	base := routing.Params{N: n, Lambda: 0.1, Warmup: 60, Cycles: 300, Seed: 41}
+	baseline, err := routing.Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := isn.Transform(thompson.SpecForDim(n))
+	moduleOf, err := packaging.RoutingModuleOf(packaging.NucleusPartition(sb), sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.MustPlan(n)
+	killed, err := plan.AddModuleFault(moduleOf, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed == 0 {
+		t.Fatal("module 0 killed no nodes")
+	}
+	p := base
+	p.Faults = plan
+	p.TTL = faults.DefaultTTL(n)
+	r, err := routing.Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	if r.Throughput >= baseline.Throughput {
+		t.Errorf("killing a module did not reduce throughput: %v -> %v",
+			baseline.Throughput, r.Throughput)
+	}
+	if r.Unreachable == 0 {
+		t.Error("no traffic addressed the dead module")
+	}
+	if r.Delivered == 0 {
+		t.Error("the surviving network stopped delivering")
 	}
 }

@@ -1,0 +1,321 @@
+// Package faults injects deterministic, seeded failures into the wrapped
+// butterfly routing simulator and measures how routing degrades under
+// them. It is the failure-domain counterpart of the Section 2.3 packaging
+// result: a module (chip/board) is not just a layout unit but the thing
+// that dies as a whole in a real machine - its nodes and its few
+// off-module links go down together - so a Plan can correlate faults by
+// module via a packaging.Partition as well as fail individual links and
+// nodes, permanently or transiently with repair after a fixed number of
+// cycles.
+//
+// A Plan implements routing.FaultModel. The simulator calls BeginCycle
+// once per cycle; the plan replays its event schedule (activations and
+// repairs) up to that cycle, so fault state is a pure function of the
+// plan - same plan, same run. Reusing a plan for a second run resets the
+// replay automatically; a single plan must not be shared by concurrently
+// running simulations.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bfvlsi/internal/routing"
+)
+
+// Plan implements routing.FaultModel.
+var _ routing.FaultModel = (*Plan)(nil)
+
+// Plan is a deterministic fault schedule for the n-dimensional wrapped
+// butterfly (R = 2^n rows, n columns, node id = col*R + row; each node
+// has directed output links 0 = straight, 1 = cross).
+type Plan struct {
+	n, rows, nodes int
+
+	events []event
+	sorted bool
+
+	// Reference counts: an entity is dead while its count is positive,
+	// so overlapping faults compose correctly.
+	nodeRef []int
+	linkRef []int
+	// target[l] is the head node of directed link l = node*2 + out.
+	target []int
+
+	next  int // next event to apply
+	cycle int // last cycle passed to BeginCycle (-1 before the run)
+}
+
+type event struct {
+	cycle int
+	delta int // +1 fault onset, -1 repair
+	node  int // node id for node events, -1 otherwise
+	link  int // directed link id for link events, -1 otherwise
+	seq   int // insertion order, to make the replay order total
+}
+
+// NewPlan returns an empty plan for the n-dimensional wrapped butterfly.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n > 14 {
+		return nil, fmt.Errorf("faults: dimension %d out of range [1,14]", n)
+	}
+	rows := 1 << uint(n)
+	nodes := n * rows
+	p := &Plan{
+		n: n, rows: rows, nodes: nodes,
+		nodeRef: make([]int, nodes),
+		linkRef: make([]int, 2*nodes),
+		target:  make([]int, 2*nodes),
+		cycle:   -1,
+	}
+	for col := 0; col < n; col++ {
+		nextCol := (col + 1) % n
+		for row := 0; row < rows; row++ {
+			node := col*rows + row
+			p.target[node*2] = nextCol*rows + row
+			p.target[node*2+1] = nextCol*rows + (row ^ (1 << uint(col)))
+		}
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan for known-good dimensions; it panics on error.
+func MustPlan(n int) *Plan {
+	p, err := NewPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// N returns the butterfly dimension the plan targets.
+func (p *Plan) N() int { return p.n }
+
+// Nodes returns the node count n * 2^n.
+func (p *Plan) Nodes() int { return p.nodes }
+
+// NumEvents returns the number of scheduled onset/repair events.
+func (p *Plan) NumEvents() int { return len(p.events) }
+
+func (p *Plan) add(cycle, delta, node, link int) {
+	p.events = append(p.events, event{cycle: cycle, delta: delta, node: node, link: link, seq: len(p.events)})
+	p.sorted = false
+}
+
+// schedule records an onset at start and, for repairAfter > 0, a repair
+// at start+repairAfter. repairAfter == 0 means permanent.
+func (p *Plan) schedule(node, link, start, repairAfter int) error {
+	if start < 0 {
+		return fmt.Errorf("faults: negative start cycle %d", start)
+	}
+	if repairAfter < 0 {
+		return fmt.Errorf("faults: negative repair delay %d", repairAfter)
+	}
+	p.add(start, +1, node, link)
+	if repairAfter > 0 {
+		p.add(start+repairAfter, -1, node, link)
+	}
+	return nil
+}
+
+// AddLinkFault kills the directed link out of node on output out (0 =
+// straight, 1 = cross) from cycle start on; repairAfter > 0 restores it
+// repairAfter cycles later, repairAfter == 0 makes the fault permanent.
+// Cycles are absolute simulation cycles, warmup included.
+func (p *Plan) AddLinkFault(node, out, start, repairAfter int) error {
+	if node < 0 || node >= p.nodes {
+		return fmt.Errorf("faults: node %d out of range [0,%d)", node, p.nodes)
+	}
+	if out != 0 && out != 1 {
+		return fmt.Errorf("faults: output %d is not 0 (straight) or 1 (cross)", out)
+	}
+	return p.schedule(-1, node*2+out, start, repairAfter)
+}
+
+// AddNodeFault kills the node from cycle start on: it stops injecting and
+// every link into or out of it goes down with it. repairAfter as in
+// AddLinkFault.
+func (p *Plan) AddNodeFault(node, start, repairAfter int) error {
+	if node < 0 || node >= p.nodes {
+		return fmt.Errorf("faults: node %d out of range [0,%d)", node, p.nodes)
+	}
+	return p.schedule(node, -1, start, repairAfter)
+}
+
+// AddModuleFault kills module m of the wrapped module assignment moduleOf
+// (see packaging.RoutingModuleOf): every node of the module dies, and
+// with them every boundary link of the module - the failure-domain
+// semantics of a packaged chip or board. Returns the number of nodes
+// killed.
+func (p *Plan) AddModuleFault(moduleOf []int, m, start, repairAfter int) (int, error) {
+	if len(moduleOf) != p.nodes {
+		return 0, fmt.Errorf("faults: moduleOf has %d entries, want %d", len(moduleOf), p.nodes)
+	}
+	killed := 0
+	for node, mod := range moduleOf {
+		if mod != m {
+			continue
+		}
+		if err := p.AddNodeFault(node, start, repairAfter); err != nil {
+			return killed, err
+		}
+		killed++
+	}
+	if killed == 0 {
+		return 0, fmt.Errorf("faults: module %d owns no nodes", m)
+	}
+	return killed, nil
+}
+
+// AddRandomLinkFaults kills each directed link independently with
+// probability rate, permanently from cycle 0, drawing from a private
+// seeded source. It returns the number of links killed.
+func (p *Plan) AddRandomLinkFaults(rate float64, seed int64) (int, error) {
+	if rate < 0 || rate > 1 {
+		return 0, fmt.Errorf("faults: link fault rate %v outside [0,1]", rate)
+	}
+	rng := newRand(seed)
+	killed := 0
+	for l := 0; l < 2*p.nodes; l++ {
+		if rng.Float64() < rate {
+			if err := p.AddLinkFault(l/2, l%2, 0, 0); err != nil {
+				return killed, err
+			}
+			killed++
+		}
+	}
+	return killed, nil
+}
+
+// AddRandomNodeFaults kills each node independently with probability
+// rate, permanently from cycle 0. It returns the number of nodes killed.
+func (p *Plan) AddRandomNodeFaults(rate float64, seed int64) (int, error) {
+	if rate < 0 || rate > 1 {
+		return 0, fmt.Errorf("faults: node fault rate %v outside [0,1]", rate)
+	}
+	rng := newRand(seed)
+	killed := 0
+	for node := 0; node < p.nodes; node++ {
+		if rng.Float64() < rate {
+			if err := p.AddNodeFault(node, 0, 0); err != nil {
+				return killed, err
+			}
+			killed++
+		}
+	}
+	return killed, nil
+}
+
+// AddRandomTransientLinkFaults schedules count transient link faults:
+// each picks a uniformly random directed link and a uniformly random
+// onset cycle in [0, horizon), and repairs itself repairAfter cycles
+// later. Faults may overlap; reference counting keeps the state exact.
+func (p *Plan) AddRandomTransientLinkFaults(count, horizon, repairAfter int, seed int64) error {
+	if count < 0 {
+		return fmt.Errorf("faults: negative transient fault count %d", count)
+	}
+	if horizon <= 0 {
+		return fmt.Errorf("faults: transient fault horizon %d must be positive", horizon)
+	}
+	if repairAfter <= 0 {
+		return fmt.Errorf("faults: transient faults need a positive repair delay, got %d", repairAfter)
+	}
+	rng := newRand(seed)
+	for i := 0; i < count; i++ {
+		l := rng.Intn(2 * p.nodes)
+		if err := p.AddLinkFault(l/2, l%2, rng.Intn(horizon), repairAfter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reset rewinds the replay so the plan can drive another run.
+func (p *Plan) reset() {
+	for i := range p.nodeRef {
+		p.nodeRef[i] = 0
+	}
+	for i := range p.linkRef {
+		p.linkRef[i] = 0
+	}
+	p.next = 0
+	p.cycle = -1
+}
+
+// BeginCycle implements routing.FaultModel: it advances the replay to the
+// given absolute cycle. Rewinding (a new run starting over at an earlier
+// cycle) resets and replays from scratch.
+func (p *Plan) BeginCycle(cycle int) {
+	if !p.sorted {
+		sort.Slice(p.events, func(i, j int) bool {
+			if p.events[i].cycle != p.events[j].cycle {
+				return p.events[i].cycle < p.events[j].cycle
+			}
+			return p.events[i].seq < p.events[j].seq
+		})
+		p.sorted = true
+	}
+	if cycle < p.cycle {
+		p.reset()
+	}
+	for p.next < len(p.events) && p.events[p.next].cycle <= cycle {
+		e := p.events[p.next]
+		if e.node >= 0 {
+			p.nodeRef[e.node] += e.delta
+		}
+		if e.link >= 0 {
+			p.linkRef[e.link] += e.delta
+		}
+		p.next++
+	}
+	p.cycle = cycle
+}
+
+// NodeDown implements routing.FaultModel.
+func (p *Plan) NodeDown(node int) bool { return p.nodeRef[node] > 0 }
+
+// LinkDown implements routing.FaultModel: a directed link is down if it
+// was failed itself or either endpoint node is down.
+func (p *Plan) LinkDown(node, out int) bool {
+	l := node*2 + out
+	return p.linkRef[l] > 0 || p.nodeRef[node] > 0 || p.nodeRef[p.target[l]] > 0
+}
+
+// DeadNodes returns the number of nodes currently down (after the last
+// BeginCycle).
+func (p *Plan) DeadNodes() int {
+	dead := 0
+	for _, c := range p.nodeRef {
+		if c > 0 {
+			dead++
+		}
+	}
+	return dead
+}
+
+// DeadLinks returns the number of directed links currently down,
+// including links killed by endpoint node deaths.
+func (p *Plan) DeadLinks() int {
+	dead := 0
+	for node := 0; node < p.nodes; node++ {
+		for out := 0; out < 2; out++ {
+			if p.LinkDown(node, out) {
+				dead++
+			}
+		}
+	}
+	return dead
+}
+
+// newRand is the package's single source of randomness: always an
+// explicitly seeded private source, never the global math/rand one, so
+// every plan and sweep is reproducible from its seed.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// DefaultTTL is the packet lifetime used by the sweeps when the caller
+// does not set one: generous next to the fault-free worst-case path
+// (under 2n hops) so misrouted packets get many wrap-around retries, but
+// finite so packets trapped by permanent faults are eventually dropped
+// and accounted.
+func DefaultTTL(n int) int { return 16 * n }

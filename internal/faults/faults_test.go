@@ -1,0 +1,217 @@
+package faults
+
+import (
+	"testing"
+)
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := NewPlan(0); err == nil {
+		t.Error("dimension 0 accepted")
+	}
+	if _, err := NewPlan(15); err == nil {
+		t.Error("dimension 15 accepted")
+	}
+	p := MustPlan(3)
+	if err := p.AddLinkFault(-1, 0, 0, 0); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := p.AddLinkFault(p.Nodes(), 0, 0, 0); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := p.AddLinkFault(0, 2, 0, 0); err == nil {
+		t.Error("output 2 accepted")
+	}
+	if err := p.AddLinkFault(0, 0, -1, 0); err == nil {
+		t.Error("negative start cycle accepted")
+	}
+	if err := p.AddNodeFault(0, 0, -1); err == nil {
+		t.Error("negative repair delay accepted")
+	}
+	if _, err := p.AddRandomLinkFaults(1.5, 1); err == nil {
+		t.Error("link fault rate 1.5 accepted")
+	}
+	if _, err := p.AddRandomNodeFaults(-0.1, 1); err == nil {
+		t.Error("node fault rate -0.1 accepted")
+	}
+	if err := p.AddRandomTransientLinkFaults(-1, 100, 10, 1); err == nil {
+		t.Error("negative transient count accepted")
+	}
+	if err := p.AddRandomTransientLinkFaults(1, 0, 10, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if err := p.AddRandomTransientLinkFaults(1, 100, 0, 1); err == nil {
+		t.Error("transient fault without repair accepted")
+	}
+	if _, err := p.AddModuleFault(make([]int, 5), 0, 0, 0); err == nil {
+		t.Error("wrong-length moduleOf accepted")
+	}
+	if _, err := p.AddModuleFault(make([]int, p.Nodes()), 1, 0, 0); err == nil {
+		t.Error("empty module accepted")
+	}
+	if p.NumEvents() != 0 {
+		t.Errorf("rejected faults left %d events behind", p.NumEvents())
+	}
+}
+
+// A transient link fault is down exactly on cycles [start, start+repair),
+// and overlapping faults on the same link compose by reference counting.
+func TestTransientLinkLifecycle(t *testing.T) {
+	p := MustPlan(3)
+	if err := p.AddLinkFault(5, 1, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle <= 12; cycle++ {
+		p.BeginCycle(cycle)
+		want := cycle >= 5 && cycle < 8
+		if got := p.LinkDown(5, 1); got != want {
+			t.Errorf("single fault, cycle %d: LinkDown = %v, want %v", cycle, got, want)
+		}
+	}
+
+	q := MustPlan(3)
+	if err := q.AddLinkFault(5, 1, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddLinkFault(5, 1, 6, 10); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle <= 20; cycle++ {
+		q.BeginCycle(cycle)
+		want := cycle >= 5 && cycle < 16
+		if got := q.LinkDown(5, 1); got != want {
+			t.Errorf("overlapping faults, cycle %d: LinkDown = %v, want %v", cycle, got, want)
+		}
+	}
+}
+
+// A node fault takes down the node and every link into or out of it,
+// and nothing else.
+func TestNodeFaultKillsIncidentLinks(t *testing.T) {
+	p := MustPlan(3)
+	rows := 8
+	dead := 1*rows + 2 // (row 2, col 1)
+	if err := p.AddNodeFault(dead, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p.BeginCycle(0)
+	if !p.NodeDown(dead) {
+		t.Fatal("faulted node reported up")
+	}
+	if p.NodeDown(0) {
+		t.Error("unrelated node reported down")
+	}
+	for out := 0; out < 2; out++ {
+		if !p.LinkDown(dead, out) {
+			t.Errorf("output %d of the dead node reported up", out)
+		}
+	}
+	// In-links: the straight link from (row 2, col 0) and the cross link
+	// from (row 3, col 0) both target (row 2, col 1).
+	if !p.LinkDown(2, 0) {
+		t.Error("straight link into the dead node reported up")
+	}
+	if !p.LinkDown(3, 1) {
+		t.Error("cross link into the dead node reported up")
+	}
+	if p.LinkDown(0, 0) {
+		t.Error("unrelated link reported down")
+	}
+	if got := p.DeadNodes(); got != 1 {
+		t.Errorf("DeadNodes = %d, want 1", got)
+	}
+	if got := p.DeadLinks(); got != 4 {
+		t.Errorf("DeadLinks = %d, want 4 (2 out, 2 in)", got)
+	}
+}
+
+// A module fault kills exactly the module's nodes, and with them every
+// link touching the module (internal and boundary alike).
+func TestModuleFaultSemantics(t *testing.T) {
+	n, rows := 3, 8
+	p := MustPlan(n)
+	moduleOf := make([]int, p.Nodes())
+	for i := range moduleOf {
+		moduleOf[i] = i / 6 // 4 modules of 6 nodes
+	}
+	killed, err := p.AddModuleFault(moduleOf, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed != 6 {
+		t.Errorf("killed %d nodes, want 6", killed)
+	}
+	p.BeginCycle(0)
+	deadNode := func(id int) bool { return moduleOf[id] == 1 }
+	for id := 0; id < p.Nodes(); id++ {
+		if p.NodeDown(id) != deadNode(id) {
+			t.Errorf("node %d: NodeDown = %v, want %v", id, p.NodeDown(id), deadNode(id))
+		}
+	}
+	// Every directed link is down iff it touches the dead module.
+	for id := 0; id < p.Nodes(); id++ {
+		col, row := id/rows, id%rows
+		for out := 0; out < 2; out++ {
+			nr := row
+			if out == 1 {
+				nr = row ^ (1 << uint(col))
+			}
+			target := ((col+1)%n)*rows + nr
+			want := deadNode(id) || deadNode(target)
+			if got := p.LinkDown(id, out); got != want {
+				t.Errorf("link (%d,%d): LinkDown = %v, want %v", id, out, got, want)
+			}
+		}
+	}
+}
+
+// Reusing a plan for a second run (BeginCycle rewinding to an earlier
+// cycle) replays the schedule from scratch.
+func TestPlanReuseResets(t *testing.T) {
+	p := MustPlan(2)
+	if err := p.AddLinkFault(1, 0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		p.BeginCycle(0)
+		if p.LinkDown(1, 0) {
+			t.Fatalf("run %d: link down before onset", run)
+		}
+		p.BeginCycle(3)
+		if !p.LinkDown(1, 0) {
+			t.Fatalf("run %d: link up inside the fault window", run)
+		}
+		p.BeginCycle(10)
+		if p.LinkDown(1, 0) {
+			t.Fatalf("run %d: link down after repair", run)
+		}
+	}
+}
+
+// Random fault generators are pure functions of their seed.
+func TestRandomFaultsDeterministic(t *testing.T) {
+	build := func() *Plan {
+		p := MustPlan(4)
+		if _, err := p.AddRandomLinkFaults(0.1, 42); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.AddRandomNodeFaults(0.05, 43); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddRandomTransientLinkFaults(10, 200, 30, 44); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := build(), build()
+	if a.NumEvents() != b.NumEvents() {
+		t.Fatalf("same seeds, different event counts: %d vs %d", a.NumEvents(), b.NumEvents())
+	}
+	for _, cycle := range []int{0, 50, 100, 150, 250} {
+		a.BeginCycle(cycle)
+		b.BeginCycle(cycle)
+		if a.DeadNodes() != b.DeadNodes() || a.DeadLinks() != b.DeadLinks() {
+			t.Errorf("cycle %d: state diverged: %d/%d dead nodes, %d/%d dead links",
+				cycle, a.DeadNodes(), b.DeadNodes(), a.DeadLinks(), b.DeadLinks())
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package packaging
+
+import (
+	"fmt"
+	"sort"
+
+	"bfvlsi/internal/graph"
+	"bfvlsi/internal/isn"
+)
+
+// Module-as-failure-domain helpers. A packaging module (chip, board) is
+// also the unit that fails in a real machine: when it dies, all of its
+// nodes and all of its boundary links die together. These helpers expose
+// a partition's module contents and project partitions onto the wrapped
+// butterfly used by internal/routing, so internal/faults can turn a
+// Partition into module-correlated fault plans.
+
+// ModuleNodes returns the ids of the nodes assigned to module m, in
+// increasing order. The result is empty for an unused module id.
+func (p *Partition) ModuleNodes(m int) []int {
+	var out []int
+	for id, mod := range p.ModuleOf {
+		if mod == m {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ModuleLinks returns the links of module m split into internal links
+// (both endpoints inside m) and boundary links (exactly one endpoint
+// inside m) - the failure-domain view: when module m dies, both lists die
+// with it, and len(boundary) is the off-module link count Stats reports
+// per module. Self-loops count as internal. Edges are in the canonical
+// sorted order of graph.Edges.
+func (p *Partition) ModuleLinks(m int) (internal, boundary []graph.Edge) {
+	for _, e := range p.G.Edges() {
+		inU := p.ModuleOf[e.U] == m
+		inV := p.ModuleOf[e.V] == m
+		switch {
+		case inU && inV:
+			internal = append(internal, e)
+		case inU || inV:
+			boundary = append(boundary, e)
+		}
+	}
+	return internal, boundary
+}
+
+// RoutingModuleOf projects the partition onto the n-column wrapped
+// butterfly simulated by internal/routing (node id = col*2^n + row,
+// col < n): wrapped column c inherits the module of stage c, and stage n
+// - identified with stage 0 by the wrap - is dropped.
+//
+// For partitions of a swap-butterfly (RowPartition, NucleusPartition)
+// pass the swap-butterfly: its automorphism row labels translate each
+// (row, stage) to the butterfly coordinates the simulator routes on. For
+// partitions of a plain butterfly (NaiveRowPartition) pass nil; node ids
+// already follow the butterfly convention.
+func RoutingModuleOf(p *Partition, sb *isn.SwapButterfly) ([]int, error) {
+	var rows, stages int
+	if sb != nil {
+		rows, stages = sb.Rows, sb.Stages
+		if len(p.ModuleOf) != rows*stages {
+			return nil, fmt.Errorf("packaging: partition has %d nodes, swap-butterfly %v has %d",
+				len(p.ModuleOf), sb.Spec, rows*stages)
+		}
+	} else {
+		var err error
+		rows, stages, err = butterflyShape(len(p.ModuleOf))
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := stages - 1
+	wrapped := make([]int, n*rows)
+	for s := 0; s < n; s++ {
+		for r := 0; r < rows; r++ {
+			if sb != nil {
+				wrapped[s*rows+sb.RowLabel[sb.ID(r, s)]] = p.ModuleOf[sb.ID(r, s)]
+			} else {
+				wrapped[s*rows+r] = p.ModuleOf[s*rows+r]
+			}
+		}
+	}
+	return wrapped, nil
+}
+
+// butterflyShape solves nodes = (n+1) * 2^n for the unique butterfly
+// dimension n, returning (rows, stages).
+func butterflyShape(nodes int) (rows, stages int, err error) {
+	for n := 1; n <= 24; n++ {
+		if (n+1)<<uint(n) == nodes {
+			return 1 << uint(n), n + 1, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("packaging: %d nodes is not a butterfly (n+1)*2^n shape", nodes)
+}
+
+// ValidateAssignment checks the structural invariants of a partition:
+// every node carries exactly one module id in [0, NumModules), and every
+// module id owns at least one node.
+func (p *Partition) ValidateAssignment() error {
+	if len(p.ModuleOf) != p.G.NumNodes() {
+		return fmt.Errorf("packaging: %d assignments for %d nodes", len(p.ModuleOf), p.G.NumNodes())
+	}
+	seen := make([]bool, p.NumModules)
+	for id, m := range p.ModuleOf {
+		if m < 0 || m >= p.NumModules {
+			return fmt.Errorf("packaging: node %d assigned to module %d outside [0,%d)", id, m, p.NumModules)
+		}
+		seen[m] = true
+	}
+	for m, ok := range seen {
+		if !ok {
+			return fmt.Errorf("packaging: module %d owns no nodes", m)
+		}
+	}
+	return nil
+}
+
+// Modules returns the list of module ids that own at least one node, in
+// increasing order. For a valid partition it is exactly 0..NumModules-1.
+func (p *Partition) Modules() []int {
+	set := make(map[int]bool)
+	for _, m := range p.ModuleOf {
+		set[m] = true
+	}
+	out := make([]int, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}

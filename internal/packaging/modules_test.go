@@ -1,0 +1,162 @@
+package packaging
+
+import (
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/isn"
+)
+
+// bruteCutCounts recounts, straight off the graph, the total number of
+// cut links and the per-module boundary link counts of a partition.
+func bruteCutCounts(p *Partition) (total int, per map[int]int) {
+	per = make(map[int]int)
+	for _, e := range p.G.Edges() {
+		if e.U == e.V {
+			continue
+		}
+		mu, mv := p.ModuleOf[e.U], p.ModuleOf[e.V]
+		if mu != mv {
+			total++
+			per[mu]++
+			per[mv]++
+		}
+	}
+	return total, per
+}
+
+// Invariant sweep over a grid of (n, k1) shapes: every node is assigned
+// exactly one module, and the reported off-module link counts match a
+// brute-force recount over the graph - for the row partition, the nucleus
+// partition, and the naive baseline (including non-dividing module sizes).
+func TestPartitionInvariantsGrid(t *testing.T) {
+	var parts []*Partition
+	for _, widths := range [][]int{
+		{1, 1}, {2, 1}, {1, 1, 1}, {2, 2}, {2, 2, 1}, {2, 2, 2}, {3, 3}, {3, 2, 2},
+	} {
+		sb := isn.Transform(bitutil.MustGroupSpec(widths...))
+		parts = append(parts, RowPartition(sb), NucleusPartition(sb))
+	}
+	for n := 3; n <= 6; n++ {
+		for _, rowsPer := range []int{1, 2, 3, 4} {
+			parts = append(parts, NaiveRowPartition(butterfly.New(n), rowsPer))
+		}
+	}
+	for _, p := range parts {
+		if err := p.ValidateAssignment(); err != nil {
+			t.Errorf("%s: %v", p.Desc, err)
+			continue
+		}
+		st := p.Stats()
+		total, per := bruteCutCounts(p)
+		if st.TotalCutLinks != total {
+			t.Errorf("%s: Stats cut links %d, brute force %d", p.Desc, st.TotalCutLinks, total)
+		}
+		maxOff := 0
+		for _, m := range p.Modules() {
+			_, boundary := p.ModuleLinks(m)
+			if len(boundary) != per[m] {
+				t.Errorf("%s: module %d boundary links %d, brute force %d",
+					p.Desc, m, len(boundary), per[m])
+			}
+			if len(boundary) > maxOff {
+				maxOff = len(boundary)
+			}
+		}
+		if st.MaxOffLinksPerModu != maxOff {
+			t.Errorf("%s: Stats max off links %d, brute force %d", p.Desc, st.MaxOffLinksPerModu, maxOff)
+		}
+	}
+}
+
+// ModuleNodes must partition the node set: every node in exactly one
+// module's list, and internal+boundary links cover each module's edges.
+func TestModuleNodesPartitionNodeSet(t *testing.T) {
+	sb := isn.Transform(bitutil.MustGroupSpec(2, 2))
+	p := NucleusPartition(sb)
+	owned := make([]int, p.G.NumNodes())
+	for i := range owned {
+		owned[i] = -1
+	}
+	for _, m := range p.Modules() {
+		for _, id := range p.ModuleNodes(m) {
+			if owned[id] != -1 {
+				t.Fatalf("node %d owned by modules %d and %d", id, owned[id], m)
+			}
+			owned[id] = m
+		}
+	}
+	for id, m := range owned {
+		if m != p.ModuleOf[id] {
+			t.Errorf("node %d: ModuleNodes says %d, ModuleOf says %d", id, m, p.ModuleOf[id])
+		}
+	}
+	// Internal link endpoints are both in the module; boundary exactly one.
+	for _, m := range p.Modules() {
+		internal, boundary := p.ModuleLinks(m)
+		for _, e := range internal {
+			if p.ModuleOf[e.U] != m || p.ModuleOf[e.V] != m {
+				t.Errorf("module %d internal link %v leaves the module", m, e)
+			}
+		}
+		for _, e := range boundary {
+			if (p.ModuleOf[e.U] == m) == (p.ModuleOf[e.V] == m) {
+				t.Errorf("module %d boundary link %v is not a boundary link", m, e)
+			}
+		}
+	}
+}
+
+// RoutingModuleOf projects onto the wrapped butterfly: right shape, and
+// per-column module multisets preserved under the automorphism labels.
+func TestRoutingModuleOfProjection(t *testing.T) {
+	spec := bitutil.MustGroupSpec(2, 2)
+	sb := isn.Transform(spec)
+	n := sb.ButterflyDim()
+	for _, p := range []*Partition{RowPartition(sb), NucleusPartition(sb)} {
+		wrapped, err := RoutingModuleOf(p, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wrapped) != n*sb.Rows {
+			t.Fatalf("%s: wrapped length %d, want %d", p.Desc, len(wrapped), n*sb.Rows)
+		}
+		for s := 0; s < n; s++ {
+			want := make(map[int]int)
+			got := make(map[int]int)
+			for r := 0; r < sb.Rows; r++ {
+				want[p.ModuleOf[sb.ID(r, s)]]++
+				got[wrapped[s*sb.Rows+r]]++
+			}
+			for m, c := range want {
+				if got[m] != c {
+					t.Errorf("%s: column %d module %d count %d, want %d", p.Desc, s, m, got[m], c)
+				}
+			}
+		}
+	}
+	// Plain-butterfly projection is direct indexing with stage n dropped.
+	bf := butterfly.New(n)
+	naive := NaiveRowPartition(bf, 4)
+	wrapped, err := RoutingModuleOf(naive, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < n; s++ {
+		for r := 0; r < bf.Rows; r++ {
+			if wrapped[s*bf.Rows+r] != naive.ModuleOf[bf.ID(r, s)] {
+				t.Fatalf("naive projection differs at (row %d, col %d)", r, s)
+			}
+		}
+	}
+	// Shape errors are reported, not panicked.
+	bad := &Partition{G: bf.G, ModuleOf: make([]int, 7), NumModules: 1}
+	if _, err := RoutingModuleOf(bad, sb); err == nil {
+		t.Error("mismatched swap-butterfly accepted")
+	}
+	bad2 := &Partition{G: bf.G, ModuleOf: make([]int, 7), NumModules: 1}
+	if _, err := RoutingModuleOf(bad2, nil); err == nil {
+		t.Error("non-butterfly node count accepted")
+	}
+}

@@ -45,6 +45,22 @@ type Params struct {
 	// cycle,injected,delivered,backlog (cumulative counts, end-of-cycle
 	// backlog). A header line is written first.
 	Trace io.Writer
+	// Faults, if non-nil, supplies per-cycle node and link fault state
+	// (see internal/faults for implementations). With a nil Faults - or
+	// one that never reports a fault - the run is identical to the
+	// fault-free simulation, packet for packet.
+	Faults FaultModel
+	// Policy selects the router's reaction to dead planned links. The
+	// zero value is Misroute (the fault-aware policy); DropDead is the
+	// naive baseline. Ignored when Faults is nil.
+	Policy Policy
+	// TTL, if positive, drops any packet that has been in the network
+	// for TTL cycles without being delivered (age = cycle - injection
+	// cycle; expired packets are discarded when they reach the head of
+	// a queue). 0 disables the check. A TTL bounds the lifetime of
+	// packets trapped by permanent faults - without one they sit in
+	// Backlog forever.
+	TTL int
 }
 
 // Result summarizes a run.
@@ -70,8 +86,37 @@ type Result struct {
 	// was full (finite buffers only).
 	InjectionDrops int
 	// Stalls counts link-cycles where a packet could not advance because
-	// its next queue was full (finite buffers only).
+	// its next queue was full (finite buffers) or its link was dead
+	// (fault injection). Measured cycles only.
 	Stalls int
+	// Dropped counts packets discarded in flight - TTL expiry, or a
+	// dead planned link under the DropDead policy - over the whole run,
+	// warmup included (like Backlog, so conservation is exact).
+	Dropped int
+	// Unreachable counts packets that were addressed to a node that was
+	// dead at injection time, over the whole run. They never enter the
+	// network. A destination that dies while a packet is in flight is
+	// not detected; such packets wander until their TTL drops them.
+	Unreachable int
+	// Misroutes counts fallback hops taken because the planned output
+	// link was dead (Misroute policy), over the whole run.
+	Misroutes int
+	// TotalInjected and TotalDelivered count over the whole run, warmup
+	// included (Injected and Delivered remain measurement-window
+	// counts). Exactly: TotalInjected = TotalDelivered + Dropped +
+	// Unreachable + Backlog. Result.CheckConservation verifies it.
+	TotalInjected, TotalDelivered int
+}
+
+// CheckConservation verifies that no packet was lost by the simulator:
+// every injection over the whole run was delivered, dropped, refused as
+// unreachable, or is still queued.
+func (r *Result) CheckConservation() error {
+	if got := r.TotalDelivered + r.Dropped + r.Unreachable + r.Backlog; got != r.TotalInjected {
+		return fmt.Errorf("routing: conservation violated: injected %d != delivered %d + dropped %d + unreachable %d + backlog %d",
+			r.TotalInjected, r.TotalDelivered, r.Dropped, r.Unreachable, r.Backlog)
+	}
+	return nil
 }
 
 type packet struct {
@@ -121,19 +166,17 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 			return nil, err
 		}
 	}
-	// route decides the output queue (0 straight, 1 cross) at (row, col).
-	route := func(pk packet, row, col int) int {
-		bit := 1 << uint(col)
-		if pk.dstRow&bit != row&bit {
-			return 1
-		}
-		return 0
-	}
 	for cycle := 0; cycle < total; cycle++ {
 		measured := cycle >= p.Warmup
+		if p.Faults != nil {
+			p.Faults.BeginCycle(cycle)
+		}
 		// Phase 1: injections.
 		for row := 0; row < rows; row++ {
 			for col := 0; col < n; col++ {
+				if p.Faults != nil && p.Faults.NodeDown(id(row, col)) {
+					continue // dead nodes do not inject
+				}
 				if rng.Float64() >= p.Lambda {
 					continue
 				}
@@ -149,14 +192,28 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 				if measured {
 					res.Injected++
 				}
+				res.TotalInjected++
+				if p.Faults != nil && p.Faults.NodeDown(id(dr, dc)) {
+					res.Unreachable++
+					continue
+				}
 				if pk.dstRow == row && pk.dstCol == col {
 					// Delivered in place.
+					res.TotalDelivered++
 					if measured {
 						res.Delivered++
 					}
 					continue
 				}
-				q := id(row, col)*2 + route(pk, row, col)
+				out, drop, mis := chooseOut(pk, row, col, rows, p.Faults, p.Policy)
+				if drop {
+					res.Dropped++
+					continue
+				}
+				if mis {
+					res.Misroutes++
+				}
+				q := id(row, col)*2 + out
 				queues[q] = append(queues[q], pk)
 			}
 		}
@@ -169,11 +226,24 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 		var arrivals []arrival
 		for row := 0; row < rows; row++ {
 			for col := 0; col < n; col++ {
-				base := id(row, col) * 2
+				node := id(row, col)
+				base := node * 2
 				nextCol := (col + 1) % n
 				for out := 0; out < 2; out++ {
 					q := base + out
+					if p.TTL > 0 {
+						for len(queues[q]) > 0 && cycle-queues[q][0].born >= p.TTL {
+							queues[q] = queues[q][1:]
+							res.Dropped++
+						}
+					}
 					if len(queues[q]) == 0 {
+						continue
+					}
+					if p.Faults != nil && p.Faults.LinkDown(node, out) {
+						if measured {
+							res.Stalls++
+						}
 						continue
 					}
 					pk := queues[q][0]
@@ -194,6 +264,7 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 		}
 		for _, a := range arrivals {
 			if a.pk.dstRow == a.row && a.pk.dstCol == a.col {
+				res.TotalDelivered++
 				if measured {
 					res.Delivered++
 					if a.pk.born >= p.Warmup {
@@ -204,7 +275,15 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 				}
 				continue
 			}
-			q := id(a.row, a.col)*2 + route(a.pk, a.row, a.col)
+			out, drop, mis := chooseOut(a.pk, a.row, a.col, rows, p.Faults, p.Policy)
+			if drop {
+				res.Dropped++
+				continue
+			}
+			if mis {
+				res.Misroutes++
+			}
+			q := id(a.row, a.col)*2 + out
 			queues[q] = append(queues[q], a.pk)
 		}
 		if p.Trace != nil && measured {

@@ -54,13 +54,6 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 	var latCount int
 	var crossings int64
 
-	route := func(pk packet, row, col int) int {
-		bit := 1 << uint(col)
-		if pk.dstRow&bit != row&bit {
-			return 1
-		}
-		return 0
-	}
 	total := p.Warmup + p.Cycles
 	if p.Trace != nil {
 		if _, err := fmt.Fprintln(p.Trace, "cycle,injected,delivered,backlog"); err != nil {
@@ -69,9 +62,15 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 	}
 	for cycle := 0; cycle < total; cycle++ {
 		measured := cycle >= p.Warmup
+		if p.Faults != nil {
+			p.Faults.BeginCycle(cycle)
+		}
 		// Injections (VC 0).
 		for row := 0; row < rows; row++ {
 			for col := 0; col < n; col++ {
+				if p.Faults != nil && p.Faults.NodeDown(id(row, col)) {
+					continue // dead nodes do not inject
+				}
 				if rng.Float64() >= p.Lambda {
 					continue
 				}
@@ -80,24 +79,57 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					return nil, derr
 				}
 				pk := vcPacket{packet: packet{dstRow: dr, dstCol: dc, born: cycle}}
+				if p.Faults != nil && p.Faults.NodeDown(id(dr, dc)) {
+					res.TotalInjected++
+					res.Unreachable++
+					if measured {
+						res.Injected++
+					}
+					continue
+				}
 				if dr == row && dc == col {
+					res.TotalInjected++
+					res.TotalDelivered++
 					if measured {
 						res.Injected++
 						res.Delivered++
 					}
 					continue
 				}
-				q := qIdx(row, col, route(pk.packet, row, col), 0)
+				out, drop, mis := chooseOut(pk.packet, row, col, rows, p.Faults, p.Policy)
+				if drop {
+					res.TotalInjected++
+					res.Dropped++
+					if measured {
+						res.Injected++
+					}
+					continue
+				}
+				q := qIdx(row, col, out, 0)
 				if len(queues[q]) >= p.BufferLimit {
 					if measured {
 						res.InjectionDrops++
 					}
 					continue
 				}
+				if mis {
+					res.Misroutes++
+				}
+				res.TotalInjected++
 				if measured {
 					res.Injected++
 				}
 				queues[q] = append(queues[q], pk)
+			}
+		}
+		// TTL expiry: drop expired packets as they reach queue heads,
+		// before credits are computed so the freed slots are usable.
+		if p.TTL > 0 {
+			for qi := range queues {
+				for len(queues[qi]) > 0 && cycle-queues[qi][0].born >= p.TTL {
+					queues[qi] = queues[qi][1:]
+					res.Dropped++
+				}
 			}
 		}
 		// Link traversal: one packet per physical link per cycle, with
@@ -120,6 +152,18 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					if out == 1 {
 						nr = row ^ (1 << uint(col))
 					}
+					if p.Faults != nil && p.Faults.LinkDown(id(row, col), out) {
+						// Dead link: nothing moves, no credits consumed.
+						if measured {
+							for vc := 0; vc < numVC; vc++ {
+								if len(queues[qIdx(row, col, out, vc)]) > 0 {
+									res.Stalls++
+									break
+								}
+							}
+						}
+						continue
+					}
 					moved := false
 					for vc := numVC - 1; vc >= 0 && !moved; vc-- {
 						q := qIdx(row, col, out, vc)
@@ -133,14 +177,20 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 						}
 						delivered := pk.dstRow == nr && pk.dstCol == nextCol
 						if !delivered {
-							nq := qIdx(nr, nextCol, route(pk.packet, nr, nextCol), nvc)
-							if room[nq] <= 0 {
-								if measured {
-									res.Stalls++
+							nout, ndrop, _ := chooseOut(pk.packet, nr, nextCol, rows, p.Faults, p.Policy)
+							if !ndrop {
+								// Packets dropped on arrival consume no
+								// credit; everything else needs a slot in
+								// its chosen next queue.
+								nq := qIdx(nr, nextCol, nout, nvc)
+								if room[nq] <= 0 {
+									if measured {
+										res.Stalls++
+									}
+									continue
 								}
-								continue
+								room[nq]--
 							}
-							room[nq]--
 						}
 						queues[q] = queues[q][1:]
 						pk.hops++
@@ -158,6 +208,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 		}
 		for _, a := range arrivals {
 			if a.pk.dstRow == a.row && a.pk.dstCol == a.col {
+				res.TotalDelivered++
 				if measured {
 					res.Delivered++
 					if a.pk.born >= p.Warmup {
@@ -168,7 +219,15 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				}
 				continue
 			}
-			q := qIdx(a.row, a.col, route(a.pk.packet, a.row, a.col), a.pk.vc)
+			out, drop, mis := chooseOut(a.pk.packet, a.row, a.col, rows, p.Faults, p.Policy)
+			if drop {
+				res.Dropped++
+				continue
+			}
+			if mis {
+				res.Misroutes++
+			}
+			q := qIdx(a.row, a.col, out, a.pk.vc)
 			queues[q] = append(queues[q], a.pk)
 		}
 		if p.Trace != nil && measured {
