@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench vet fmt tables cover fault-sweep
+.PHONY: all build test test-short race bench vet fmt tables cover fault-sweep reliable-sweep fuzz
 
 all: build vet test
 
@@ -34,3 +34,10 @@ cover:
 fault-sweep:
 	$(GO) run ./cmd/bffault -n 6 -lambda 0.1 -sweep 0,0.01,0.02,0.05,0.1
 	$(GO) run ./cmd/bffault -n 6 -lambda 0.1 -compare -kills 0,1,2,4
+
+reliable-sweep:
+	$(GO) run ./cmd/bffault -n 6 -lambda 0.1 -reliable -sweep 0,0.05,0.1 -outage 50
+	$(GO) run ./cmd/bffault -n 6 -lambda 0.1 -reliable -compare -kills 0,1,2
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzPlanComposition -fuzztime=30s ./internal/faults

@@ -21,6 +21,7 @@ import (
 	"bfvlsi/internal/hierarchy"
 	"bfvlsi/internal/isn"
 	"bfvlsi/internal/packaging"
+	"bfvlsi/internal/reliable"
 	"bfvlsi/internal/routing"
 	"bfvlsi/internal/thompson"
 )
@@ -262,4 +263,39 @@ func BenchmarkE21FaultRouting(b *testing.B) {
 		misroutes = r.Misroutes
 	}
 	b.ReportMetric(float64(misroutes), "misroutes")
+}
+
+// E22: extension - cycle cost of the end-to-end reliability layer:
+// fault-free baseline vs retransmission under rolling link outages, with
+// exact copy conservation on every run.
+func BenchmarkE22ReliableDelivery(b *testing.B) {
+	run := func(b *testing.B, outages bool) {
+		var retx int
+		for i := 0; i < b.N; i++ {
+			tr := reliable.MustNew(reliable.Config{Timeout: 20, MaxRetries: 3, Jitter: 3, Seed: 5})
+			p := routing.Params{
+				N: 5, Lambda: 0.1, Warmup: 50, Cycles: 200, Seed: 3,
+				Policy: routing.DropDead, Reliable: tr,
+			}
+			if outages {
+				plan := faults.MustPlan(5)
+				if err := plan.AddRandomTransientLinkFaults(60, 250, 40, 7); err != nil {
+					b.Fatal(err)
+				}
+				p.Faults = plan
+				p.TTL = faults.DefaultTTL(5)
+			}
+			r, err := routing.Simulate(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.CheckConservation(); err != nil {
+				b.Fatal(err)
+			}
+			retx = r.Retransmitted
+		}
+		b.ReportMetric(float64(retx), "retx")
+	}
+	b.Run("fault-free", func(b *testing.B) { run(b, false) })
+	b.Run("outages", func(b *testing.B) { run(b, true) })
 }

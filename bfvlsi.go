@@ -16,6 +16,7 @@ import (
 	"bfvlsi/internal/hierarchy"
 	"bfvlsi/internal/isn"
 	"bfvlsi/internal/packaging"
+	"bfvlsi/internal/reliable"
 	"bfvlsi/internal/render"
 	"bfvlsi/internal/routing"
 	"bfvlsi/internal/thompson"
@@ -160,6 +161,52 @@ func StandardFaultSchemes(n int) ([]FaultScheme, error) { return faults.Standard
 // degradation - the packaging comparison of the fault subsystem.
 func ModuleKillSweep(base RoutingParams, schemes []FaultScheme, kills []int) []faults.SchemePoint {
 	return faults.ModuleKillSweep(base, schemes, kills)
+}
+
+// ReliableConfig tunes the end-to-end retransmission transport: base
+// timeout, retry budget, backoff cap, and seeded jitter.
+type ReliableConfig = reliable.Config
+
+// DefaultReliableConfig returns a retransmission schedule suited to
+// dimension n under moderate load.
+func DefaultReliableConfig(n int) ReliableConfig { return reliable.DefaultConfig(n) }
+
+// ReliableTransport is the end-to-end reliable delivery layer: per-flow
+// sequence numbers, timeout/backoff retransmission, duplicate
+// suppression. Attach one via RoutingParams.Reliable.
+type ReliableTransport = reliable.Transport
+
+// NewReliableTransport returns a transport with the given schedule.
+func NewReliableTransport(cfg ReliableConfig) (*ReliableTransport, error) {
+	return reliable.New(cfg)
+}
+
+// ReliableMode is one recovery strategy (policy x retransmission) of a
+// reliability sweep.
+type ReliableMode = reliable.Mode
+
+// StandardReliableModes returns the four strategies the degradation
+// sweeps compare: drop, misroute, and each with retransmission.
+func StandardReliableModes() []ReliableMode { return reliable.StandardModes() }
+
+// ReliableSweep measures goodput, p99 delivery latency, and
+// retransmission overhead against permanent link faults.
+func ReliableSweep(base RoutingParams, cfg ReliableConfig, modes []ReliableMode, rates []float64) []reliable.Point {
+	return reliable.Sweep(base, cfg, modes, rates)
+}
+
+// ReliableOutageSweep is the transient-fault reliability sweep: random
+// link outages of the given duration, the regime where retransmission
+// genuinely recovers goodput.
+func ReliableOutageSweep(base RoutingParams, cfg ReliableConfig, modes []ReliableMode, rates []float64, outage int) []reliable.Point {
+	return reliable.OutageSweep(base, cfg, modes, rates, outage)
+}
+
+// ReliableModuleKillSweep is the packaging comparison with recovery in
+// the loop: whole modules die under each scheme, every recovery mode is
+// measured on the same wreckage.
+func ReliableModuleKillSweep(base RoutingParams, cfg ReliableConfig, modes []ReliableMode, schemes []FaultScheme, kills []int) []reliable.SchemePoint {
+	return reliable.ModuleKillSweep(base, cfg, modes, schemes, kills)
 }
 
 // RoutingModules projects a partition onto the wrapped butterfly the

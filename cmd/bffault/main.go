@@ -12,6 +12,14 @@
 //	bffault -n 6 -lambda 0.1 -sweep 0,0.01,0.02,0.05,0.1
 //	bffault -n 6 -lambda 0.1 -compare -kills 0,1,2,4   # packaging schemes
 //	bffault ... -csv                                   # CSV instead of table
+//
+// With -reliable the end-to-end retransmission transport rides along:
+//
+//	bffault -n 6 -lambda 0.1 -linkrate 0.05 -reliable  # single run + payload stats
+//	bffault -n 6 -lambda 0.1 -reliable -sweep 0,0.05,0.1
+//	bffault -n 6 -lambda 0.1 -reliable -sweep 0,0.05,0.1 -outage 50
+//	bffault -n 6 -lambda 0.1 -reliable -compare -kills 0,1,2
+//	bffault ... -reliable -timeout 40 -retries 5 -jitter 4
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"text/tabwriter"
 
 	"bfvlsi/internal/faults"
+	"bfvlsi/internal/reliable"
 	"bfvlsi/internal/routing"
 )
 
@@ -48,6 +57,13 @@ var (
 	compare    = flag.Bool("compare", false, "module-kill comparison across packaging schemes")
 	kills      = flag.String("kills", "0,1,2,4", "comma-separated module kill counts for -compare")
 	csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+
+	reliableOn = flag.Bool("reliable", false, "attach the end-to-end retransmission transport")
+	rtoBase    = flag.Int("timeout", 0, "base retransmission timeout in cycles (0 = 8n)")
+	retries    = flag.Int("retries", 3, "retry budget per payload")
+	jitter     = flag.Int("jitter", -1, "retry jitter in cycles (-1 = n)")
+	maxRTO     = flag.Int("maxtimeout", 0, "cap on the exponential backoff (0 = uncapped)")
+	outage     = flag.Int("outage", 0, "reliability sweep: transient outages of this many cycles instead of permanent faults")
 )
 
 func usageError(format string, args ...interface{}) {
@@ -95,6 +111,65 @@ func validateFlags() {
 	if *killModules < 0 {
 		usageError("-killmodules %d is negative", *killModules)
 	}
+	validateReliableFlags()
+}
+
+// validateReliableFlags rejects nonsense reliability settings upfront: a
+// reliability flag set without -reliable is a mistake the run would
+// silently ignore, and a schedule the run horizon can never exercise is
+// a mistake the run would silently report as perfect delivery.
+func validateReliableFlags() {
+	reliability := map[string]bool{
+		"timeout": true, "retries": true, "jitter": true,
+		"maxtimeout": true, "outage": true,
+	}
+	var stray []string
+	flag.Visit(func(f *flag.Flag) {
+		if reliability[f.Name] && !*reliableOn {
+			stray = append(stray, "-"+f.Name)
+		}
+	})
+	if len(stray) > 0 {
+		usageError("%s set without -reliable", strings.Join(stray, ", "))
+	}
+	if !*reliableOn {
+		return
+	}
+	if *rtoBase < 0 {
+		usageError("-timeout %d is negative", *rtoBase)
+	}
+	if *jitter < -1 {
+		usageError("-jitter %d is negative (use -1 for the default)", *jitter)
+	}
+	if *outage < 0 {
+		usageError("-outage %d is negative", *outage)
+	}
+	if *outage > 0 && *sweepRates == "" {
+		usageError("-outage only applies to a reliability sweep (add -sweep)")
+	}
+	cfg := reliableConfig()
+	if err := cfg.Validate(); err != nil {
+		usageError("%v", err)
+	}
+	if horizon := *warmup + *cycles; cfg.Timeout >= horizon {
+		usageError("-timeout %d never fires within the %d-cycle run", cfg.Timeout, horizon)
+	}
+}
+
+// reliableConfig builds the transport schedule from the flags, filling
+// auto values from DefaultConfig for the chosen dimension.
+func reliableConfig() reliable.Config {
+	c := reliable.DefaultConfig(*dim)
+	c.Seed = *seed + 505
+	c.MaxRetries = *retries
+	c.MaxTimeout = *maxRTO
+	if *rtoBase > 0 {
+		c.Timeout = *rtoBase
+	}
+	if *jitter >= 0 {
+		c.Jitter = *jitter
+	}
+	return c
 }
 
 func parsePolicy(s string) routing.Policy {
@@ -145,8 +220,12 @@ func main() {
 	flag.Parse()
 	validateFlags()
 	switch {
+	case *sweepRates != "" && *reliableOn:
+		runReliableSweep()
 	case *sweepRates != "":
 		runSweep()
+	case *compare && *reliableOn:
+		runReliableCompare()
 	case *compare:
 		runCompare()
 	default:
@@ -209,6 +288,15 @@ func runOnce() {
 	if p.TTL == 0 && plan.NumEvents() > 0 {
 		p.TTL = faults.DefaultTTL(*dim)
 	}
+	var tr *reliable.Transport
+	if *reliableOn {
+		tr, err = reliable.New(reliableConfig())
+		if err != nil {
+			fatal(err)
+		}
+		tr.MeasureFrom = *warmup
+		p.Reliable = tr
+	}
 	r, err := routing.Simulate(p)
 	if err != nil {
 		fatal(err)
@@ -225,8 +313,22 @@ func runOnce() {
 	fmt.Printf("  throughput:   %.4f pkts/node/cycle (%.1f%% of offered)\n",
 		r.Throughput, 100*r.Throughput / *lambda)
 	fmt.Printf("  avg latency:  %.2f cycles (avg hops %.2f)\n", r.AvgLatency, r.AvgHops)
-	fmt.Printf("  accounting:   %d injected = %d delivered + %d dropped + %d unreachable + %d backlog\n",
-		r.TotalInjected, r.TotalDelivered, r.Dropped, r.Unreachable, r.Backlog)
+	if tr != nil {
+		cfg := tr.Config()
+		s := tr.Stats()
+		fmt.Printf("  reliability:  timeout %d, retries %d, jitter %d\n",
+			cfg.Timeout, cfg.MaxRetries, cfg.Jitter)
+		fmt.Printf("  accounting:   %d injected + %d retransmitted = %d delivered + %d duplicates + %d dropped + %d gave up + %d unreachable + %d backlog\n",
+			r.TotalInjected, r.Retransmitted, r.TotalDelivered, r.DuplicatesDropped,
+			r.Dropped, r.GaveUp, r.Unreachable, r.Backlog)
+		fmt.Printf("  payloads:     %d registered = %d accepted + %d abandoned + %d pending\n",
+			s.Registered, s.Accepted, s.Abandoned, s.Pending)
+		fmt.Printf("  delivery lat: avg %.2f, p99 %.0f, max %d cycles (%d samples)\n",
+			s.AvgLatency, tr.LatencyPercentile(0.99), s.MaxLatency, s.LatencySamples)
+	} else {
+		fmt.Printf("  accounting:   %d injected = %d delivered + %d dropped + %d unreachable + %d backlog\n",
+			r.TotalInjected, r.TotalDelivered, r.Dropped, r.Unreachable, r.Backlog)
+	}
 	fmt.Printf("  misroutes:    %d (stalls %d)\n", r.Misroutes, r.Stalls)
 	if err := r.CheckConservation(); err != nil {
 		fatal(err)
@@ -260,6 +362,88 @@ func runSweep() {
 			r.AvgLatency, r.Dropped, r.Unreachable, r.Misroutes, r.Backlog)
 	}
 	w.Flush()
+}
+
+// runReliableSweep compares the recovery modes (policy x retransmission)
+// across fault rates: permanent link faults by default, repairable
+// outages of -outage cycles when set. Every point is conservation-checked
+// by the sweep itself; any inconsistency aborts before a row is printed.
+func runReliableSweep() {
+	cfg := reliableConfig()
+	modes := reliable.StandardModes()
+	rates := parseFloats(*sweepRates)
+	var pts []reliable.Point
+	if *outage > 0 {
+		pts = reliable.OutageSweep(baseParams(), cfg, modes, rates, *outage)
+	} else {
+		pts = reliable.Sweep(baseParams(), cfg, modes, rates)
+	}
+	for _, pt := range pts {
+		if pt.Err != nil {
+			fatal(pt.Err)
+		}
+	}
+	if *csv {
+		fmt.Println("mode,rate,dead_links,outages,goodput,efficiency,p99_latency,retransmitted,overhead,duplicates,gaveup,abandoned,pending")
+		for _, pt := range pts {
+			r := pt.Result
+			fmt.Printf("%s,%g,%d,%d,%.4f,%.4f,%.0f,%d,%.4f,%d,%d,%d,%d\n",
+				pt.Mode, pt.Rate, pt.DeadLinks, pt.Outages, pt.Goodput, pt.Goodput / *lambda,
+				pt.P99Latency, r.Retransmitted, pt.Overhead,
+				r.DuplicatesDropped, r.GaveUp, pt.Stats.Abandoned, pt.Stats.Pending)
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "mode\trate\tdead\toutages\tgoodput\tefficiency\tp99 lat\tretx\toverhead\tdups\tgaveup\n")
+	for _, pt := range pts {
+		r := pt.Result
+		fmt.Fprintf(w, "%s\t%g\t%d\t%d\t%.4f\t%.1f%%\t%.0f\t%d\t%.1f%%\t%d\t%d\n",
+			pt.Mode, pt.Rate, pt.DeadLinks, pt.Outages, pt.Goodput, 100*pt.Goodput / *lambda,
+			pt.P99Latency, r.Retransmitted, 100*pt.Overhead, r.DuplicatesDropped, r.GaveUp)
+	}
+	w.Flush()
+	if *outage == 0 {
+		fmt.Println("(permanent faults: deterministic retries retrace the same path, so retx modes mostly pay overhead; add -outage for the repairable regime)")
+	}
+}
+
+// runReliableCompare is the packaging comparison with recovery in the
+// loop: modules die whole under each scheme, and every recovery mode is
+// measured on the same wreckage.
+func runReliableCompare() {
+	schemes, err := faults.StandardSchemes(*dim)
+	if err != nil {
+		fatal(err)
+	}
+	pts := reliable.ModuleKillSweep(baseParams(), reliableConfig(), reliable.StandardModes(), schemes, parseInts(*kills))
+	for _, pt := range pts {
+		if pt.Err != nil {
+			fatal(pt.Err)
+		}
+	}
+	if *csv {
+		fmt.Println("mode,scheme,killed,dead_nodes,dead_frac,goodput,p99_latency,retransmitted,overhead,duplicates,abandoned")
+		for _, pt := range pts {
+			r := pt.Result
+			fmt.Printf("%s,%s,%d,%d,%.4f,%.4f,%.0f,%d,%.4f,%d,%d\n",
+				pt.Mode, pt.Scheme, pt.Killed, pt.DeadNodes, pt.DeadNodeFrac,
+				pt.Goodput, pt.P99Latency, r.Retransmitted, pt.Overhead,
+				r.DuplicatesDropped, pt.Stats.Abandoned)
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "mode\tscheme\tkilled\tdead nodes\tgoodput\tp99 lat\tretx\toverhead\tdups\tabandoned\n")
+	for _, pt := range pts {
+		r := pt.Result
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.4f\t%.0f\t%d\t%.1f%%\t%d\t%d\n",
+			pt.Mode, pt.Scheme, pt.Killed, pt.DeadNodes, pt.Goodput,
+			pt.P99Latency, r.Retransmitted, 100*pt.Overhead,
+			r.DuplicatesDropped, pt.Stats.Abandoned)
+	}
+	w.Flush()
+	fmt.Println("(same seeded module draw per kill count, shared across schemes and modes)")
 }
 
 func runCompare() {

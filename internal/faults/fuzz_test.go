@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"testing"
+)
+
+// interval is the brute-force oracle's view of one scheduled fault: the
+// entity is dead for cycles in [start, end).
+type interval struct {
+	node, link int // exactly one is >= 0
+	start, end int
+}
+
+func (iv interval) covers(cycle int) bool { return iv.start <= cycle && cycle < iv.end }
+
+// FuzzPlanComposition throws arbitrary overlapping link, node, module,
+// and random-transient faults at a Plan and checks, against a brute-force
+// interval replay, that:
+//
+//   - reference counts never go negative at any cycle,
+//   - NodeDown and LinkDown agree with the oracle exactly,
+//   - rewinding (BeginCycle at an earlier cycle) and plan reuse replay
+//     identically.
+//
+// Each 5-byte chunk of data encodes one fault op; dimension is kept in
+// [1,3] so the whole state space is checked every cycle.
+func FuzzPlanComposition(f *testing.F) {
+	f.Add(byte(1), []byte{})
+	f.Add(byte(2), []byte{0, 0, 3, 5, 4})
+	f.Add(byte(3), []byte{
+		0, 0, 7, 0, 0, // permanent link fault
+		1, 0, 2, 3, 6, // transient node fault
+		2, 0, 1, 4, 0, // permanent module (column) fault
+		3, 0, 9, 2, 5, // random transient link faults
+		1, 0, 2, 8, 4, // same node again, overlapping
+	})
+	f.Fuzz(func(t *testing.T, nRaw byte, data []byte) {
+		n := int(nRaw)%3 + 1
+		plan := MustPlan(n)
+		nodes := plan.Nodes()
+		rows := 1 << uint(n)
+		const horizon = 64
+
+		// moduleOf assigns each column to its own module: a legitimate
+		// wrapped-partition shape with boundary links between modules.
+		moduleOf := make([]int, nodes)
+		for node := range moduleOf {
+			moduleOf[node] = node / rows
+		}
+
+		var ivs []interval
+		permanent := func(repair, start int) int {
+			if repair == 0 {
+				return horizon * 2 // beyond every replayed cycle
+			}
+			return start + repair
+		}
+		ops := 0
+		for i := 0; i+5 <= len(data) && ops < 24; i, ops = i+5, ops+1 {
+			kind := data[i] % 4
+			x := int(data[i+1])<<8 | int(data[i+2])
+			start := int(data[i+3]) % horizon
+			repair := int(data[i+4]) % 24
+			switch kind {
+			case 0:
+				l := x % (2 * nodes)
+				if err := plan.AddLinkFault(l/2, l%2, start, repair); err != nil {
+					t.Fatal(err)
+				}
+				ivs = append(ivs, interval{node: -1, link: l, start: start, end: permanent(repair, start)})
+			case 1:
+				node := x % nodes
+				if err := plan.AddNodeFault(node, start, repair); err != nil {
+					t.Fatal(err)
+				}
+				ivs = append(ivs, interval{node: node, link: -1, start: start, end: permanent(repair, start)})
+			case 2:
+				m := x % n
+				if _, err := plan.AddModuleFault(moduleOf, m, start, repair); err != nil {
+					t.Fatal(err)
+				}
+				for node := range moduleOf {
+					if moduleOf[node] == m {
+						ivs = append(ivs, interval{node: node, link: -1, start: start, end: permanent(repair, start)})
+					}
+				}
+			case 3:
+				count := x % 6
+				if repair == 0 {
+					repair = 1
+				}
+				seed := int64(x)*31 + int64(start)
+				if err := plan.AddRandomTransientLinkFaults(count, horizon, repair, seed); err != nil {
+					t.Fatal(err)
+				}
+				// Replicate the seeded draws exactly as the plan makes them.
+				rng := newRand(seed)
+				for j := 0; j < count; j++ {
+					l := rng.Intn(2 * nodes)
+					s := rng.Intn(horizon)
+					ivs = append(ivs, interval{node: -1, link: l, start: s, end: s + repair})
+				}
+			}
+		}
+
+		nodeDead := func(node, cycle int) bool {
+			for _, iv := range ivs {
+				if iv.node == node && iv.covers(cycle) {
+					return true
+				}
+			}
+			return false
+		}
+		linkDead := func(l, cycle int) bool {
+			for _, iv := range ivs {
+				if iv.link == l && iv.covers(cycle) {
+					return true
+				}
+			}
+			return nodeDead(l/2, cycle) || nodeDead(plan.target[l], cycle)
+		}
+
+		check := func(cycle int, pass string) {
+			for node, c := range plan.nodeRef {
+				if c < 0 {
+					t.Fatalf("%s cycle %d: node %d refcount %d went negative", pass, cycle, node, c)
+				}
+			}
+			for l, c := range plan.linkRef {
+				if c < 0 {
+					t.Fatalf("%s cycle %d: link %d refcount %d went negative", pass, cycle, l, c)
+				}
+			}
+			for node := 0; node < nodes; node++ {
+				if got, want := plan.NodeDown(node), nodeDead(node, cycle); got != want {
+					t.Fatalf("%s cycle %d: NodeDown(%d) = %v, oracle says %v", pass, cycle, node, got, want)
+				}
+				for out := 0; out < 2; out++ {
+					if got, want := plan.LinkDown(node, out), linkDead(node*2+out, cycle); got != want {
+						t.Fatalf("%s cycle %d: LinkDown(%d,%d) = %v, oracle says %v", pass, cycle, node, out, got, want)
+					}
+				}
+			}
+		}
+
+		last := horizon + 32 // past every repair of interest
+		for cycle := 0; cycle <= last; cycle++ {
+			plan.BeginCycle(cycle)
+			check(cycle, "forward")
+		}
+		// Rewind mid-schedule: the plan must reset and replay from scratch.
+		mid := horizon / 2
+		if len(data) > 0 {
+			mid = int(data[0]) % horizon
+		}
+		plan.BeginCycle(mid)
+		check(mid, "rewind")
+		// Jump forward with a gap, then reuse from cycle 0 like a second run.
+		plan.BeginCycle(last)
+		check(last, "jump")
+		plan.BeginCycle(0)
+		check(0, "reuse")
+	})
+}

@@ -58,6 +58,11 @@ func Sweep(base routing.Params, rates []float64) []Point {
 		if pt.Err == nil {
 			pt.Err = pt.Result.CheckConservation()
 		}
+		if pt.Err != nil {
+			// Fail loudly with the cell's coordinates: a sweep must never
+			// hand an inconsistent row downstream without saying which.
+			pt.Err = fmt.Errorf("faults: sweep rate %g (%d dead links): %w", pt.Rate, pt.DeadLinks, pt.Err)
+		}
 	}
 	forEach(len(rates), run)
 	return out
@@ -187,6 +192,9 @@ func ModuleKillSweep(base routing.Params, schemes []Scheme, kills []int) []Schem
 		pt.Result, pt.Err = routing.Simulate(p)
 		if pt.Err == nil {
 			pt.Err = pt.Result.CheckConservation()
+		}
+		if pt.Err != nil {
+			pt.Err = fmt.Errorf("faults: scheme %s kills %d: %w", pt.Scheme, pt.Killed, pt.Err)
 		}
 	}
 	forEach(len(out), run)

@@ -1,0 +1,84 @@
+package reliable
+
+import (
+	"bytes"
+	"testing"
+
+	"bfvlsi/internal/faults"
+	"bfvlsi/internal/routing"
+)
+
+// The acceptance golden: with a zero-fault plan and a timeout no payload
+// ever reaches, a Retransmit run is packet-for-packet identical to the
+// fault-free baseline - same Result, same per-cycle trace - in both the
+// unbounded-FIFO and the virtual-channel simulator.
+func TestGoldenZeroFaultIdentity(t *testing.T) {
+	for _, buffers := range []int{0, 8} {
+		base := routing.Params{
+			N: 6, Lambda: 0.1, Warmup: 100, Cycles: 400, Seed: 7,
+			BufferLimit: buffers,
+		}
+		var baseTrace bytes.Buffer
+		pb := base
+		pb.Trace = &baseTrace
+		baseline, err := routing.Simulate(pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline.InjectionDrops != 0 {
+			t.Fatalf("buffers=%d: baseline refused %d injections; pick gentler params",
+				buffers, baseline.InjectionDrops)
+		}
+
+		tr := MustNew(Config{Timeout: 10 * (base.Warmup + base.Cycles), MaxRetries: 3, Jitter: 5, Seed: 99})
+		var retxTrace bytes.Buffer
+		pr := base
+		pr.Trace = &retxTrace
+		pr.Faults = faults.MustPlan(6) // empty plan: the zero-fault schedule
+		pr.Reliable = tr
+		got, err := routing.Simulate(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if *got != *baseline {
+			t.Errorf("buffers=%d: reliable zero-fault run diverged from baseline:\n%+v\nvs\n%+v",
+				buffers, got, baseline)
+		}
+		if !bytes.Equal(baseTrace.Bytes(), retxTrace.Bytes()) {
+			t.Errorf("buffers=%d: per-cycle traces differ under zero faults", buffers)
+		}
+		if got.Retransmitted != 0 || got.DuplicatesDropped != 0 || got.GaveUp != 0 {
+			t.Errorf("buffers=%d: spurious transport activity: retx=%d dup=%d gaveup=%d",
+				buffers, got.Retransmitted, got.DuplicatesDropped, got.GaveUp)
+		}
+		if err := got.CheckConservation(); err != nil {
+			t.Error(err)
+		}
+		// The observer still measured every payload.
+		s := tr.Stats()
+		if s.Accepted == 0 || s.Abandoned != 0 {
+			t.Errorf("buffers=%d: observer stats off: %+v", buffers, s)
+		}
+	}
+}
+
+// A realistic finite timeout on a fault-free sub-saturation run must also
+// stay silent: DefaultConfig's base timeout comfortably exceeds the
+// fault-free latency tail at moderate load.
+func TestDefaultConfigQuietWhenHealthy(t *testing.T) {
+	tr := MustNew(DefaultConfig(6))
+	r, err := routing.Simulate(routing.Params{
+		N: 6, Lambda: 0.1, Warmup: 100, Cycles: 400, Seed: 7, Reliable: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retransmitted != 0 {
+		t.Errorf("default timeout fired %d retransmissions on a healthy run (p99 latency %v)",
+			r.Retransmitted, tr.LatencyPercentile(0.99))
+	}
+	if err := r.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}

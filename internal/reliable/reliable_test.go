@@ -1,0 +1,273 @@
+package reliable
+
+import (
+	"testing"
+
+	"bfvlsi/internal/faults"
+	"bfvlsi/internal/routing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Timeout: 0},
+		{Timeout: -3},
+		{Timeout: 5, MaxRetries: -1},
+		{Timeout: 5, Jitter: -2},
+		{Timeout: 5, MaxTimeout: -1},
+		{Timeout: 5, MaxTimeout: 4},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %+v accepted, want error", c)
+		}
+	}
+	good := []Config{
+		{Timeout: 1},
+		{Timeout: 5, MaxRetries: 0, Jitter: 0},
+		{Timeout: 5, MaxTimeout: 5},
+		DefaultConfig(6),
+	}
+	for _, c := range good {
+		if _, err := New(c); err != nil {
+			t.Errorf("config %+v rejected: %v", c, err)
+		}
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	c := Config{Timeout: 10, MaxTimeout: 35}
+	want := []int{10, 20, 35, 35}
+	for i, w := range want {
+		if got := c.RTO(i + 1); got != w {
+			t.Errorf("RTO(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	u := Config{Timeout: 3}
+	if got := u.RTO(4); got != 24 {
+		t.Errorf("uncapped RTO(4) = %d, want 24", got)
+	}
+	// Huge attempt counts must not overflow into negative delays.
+	if got := u.RTO(80); got <= 0 {
+		t.Errorf("RTO(80) = %d, want positive", got)
+	}
+}
+
+// statsConsistent asserts the payload partition and the cross-layer
+// relation between transport stats and simulator counters.
+func statsConsistent(t *testing.T, r *routing.Result, s Stats) {
+	t.Helper()
+	if err := r.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	if s.Registered != s.Accepted+s.Abandoned+s.Pending {
+		t.Errorf("payload partition broken: registered %d != accepted %d + abandoned %d + pending %d",
+			s.Registered, s.Accepted, s.Abandoned, s.Pending)
+	}
+}
+
+// With faults dropping packets, the transport retransmits and recovers
+// payloads in both simulator modes, with exact copy conservation.
+func TestRetransmissionRecoversUnderFaults(t *testing.T) {
+	for _, buffers := range []int{0, 4} {
+		for _, pol := range []routing.Policy{routing.Misroute, routing.DropDead} {
+			plan := faults.MustPlan(5)
+			if _, err := plan.AddRandomLinkFaults(0.06, 11); err != nil {
+				t.Fatal(err)
+			}
+			tr := MustNew(Config{Timeout: 25, MaxRetries: 4, Jitter: 3, Seed: 5})
+			p := routing.Params{
+				N: 5, Lambda: 0.1, Warmup: 100, Cycles: 500, Seed: 9,
+				BufferLimit: buffers, Policy: pol,
+				Faults: plan, TTL: faults.DefaultTTL(5), Reliable: tr,
+			}
+			r, err := routing.Simulate(p)
+			if err != nil {
+				t.Fatalf("buffers=%d policy=%v: %v", buffers, pol, err)
+			}
+			statsConsistent(t, r, tr.Stats())
+			if r.Retransmitted == 0 {
+				t.Errorf("buffers=%d policy=%v: no retransmissions under 6%% link faults", buffers, pol)
+			}
+			if r.Dropped == 0 {
+				t.Errorf("buffers=%d policy=%v: no drops under faults?", buffers, pol)
+			}
+		}
+	}
+}
+
+// Against repairable outages, retransmission must strictly improve
+// goodput over the bare DropDead policy on the identical outage schedule:
+// a retry that fires after the repair goes through.
+func TestRetransmissionImprovesGoodput(t *testing.T) {
+	mk := func(withRetx bool) *routing.Result {
+		plan := faults.MustPlan(5)
+		// ~200 outages of 40 cycles over 700: heavy rolling damage.
+		if err := plan.AddRandomTransientLinkFaults(200, 700, 40, 23); err != nil {
+			t.Fatal(err)
+		}
+		p := routing.Params{
+			N: 5, Lambda: 0.1, Warmup: 100, Cycles: 600, Seed: 3,
+			Policy: routing.DropDead, Faults: plan, TTL: faults.DefaultTTL(5),
+		}
+		if withRetx {
+			p.Reliable = MustNew(Config{Timeout: 20, MaxRetries: 5, Jitter: 2, Seed: 7})
+		}
+		r, err := routing.Simulate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	bare, retx := mk(false), mk(true)
+	if retx.Throughput <= bare.Throughput {
+		t.Errorf("retransmission did not improve goodput: %.4f with vs %.4f without",
+			retx.Throughput, bare.Throughput)
+	}
+	if retx.Retransmitted == 0 {
+		t.Error("no retransmissions under rolling outages")
+	}
+}
+
+// An aggressive timeout under congestion (no faults) produces spurious
+// retransmissions: duplicates must be suppressed, abandoned payloads'
+// copies written off, and the identity must stay exact - in both modes.
+func TestDuplicateSuppressionAndGiveUpUnderCongestion(t *testing.T) {
+	for _, buffers := range []int{0, 2} {
+		tr := MustNew(Config{Timeout: 4, MaxRetries: 1, Jitter: 1, Seed: 2})
+		p := routing.Params{
+			N: 5, Lambda: 0.35, Warmup: 0, Cycles: 400, Seed: 13,
+			BufferLimit: buffers, Reliable: tr,
+		}
+		r, err := routing.Simulate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsConsistent(t, r, tr.Stats())
+		if r.Retransmitted == 0 {
+			t.Errorf("buffers=%d: timeout 4 under saturation produced no retransmissions", buffers)
+		}
+		if r.DuplicatesDropped == 0 {
+			t.Errorf("buffers=%d: no duplicates suppressed despite spurious retransmissions", buffers)
+		}
+		s := tr.Stats()
+		if s.Abandoned == 0 {
+			t.Errorf("buffers=%d: budget 1 under saturation abandoned no payloads", buffers)
+		}
+		if buffers == 0 && r.GaveUp == 0 {
+			t.Errorf("no gave-up write-offs despite %d abandoned payloads", s.Abandoned)
+		}
+		// Goodput counts payloads once: accepted payloads can never
+		// exceed registered ones.
+		if s.Accepted > s.Registered {
+			t.Errorf("accepted %d > registered %d", s.Accepted, s.Registered)
+		}
+	}
+}
+
+// Payloads addressed to a dead node burn their retry budget against the
+// void: every copy counts Unreachable and the payload is abandoned
+// without any physical copy to write off.
+func TestUnreachableRetriesBurnBudget(t *testing.T) {
+	plan := faults.MustPlan(3)
+	if err := plan.AddNodeFault(5, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	tr := MustNew(Config{Timeout: 6, MaxRetries: 2, Seed: 4})
+	p := routing.Params{
+		N: 3, Lambda: 0.4, Warmup: 0, Cycles: 300, Seed: 17,
+		Faults: plan, TTL: faults.DefaultTTL(3), Reliable: tr,
+	}
+	r, err := routing.Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsConsistent(t, r, tr.Stats())
+	if r.Unreachable == 0 {
+		t.Fatal("no unreachable injections with a dead node")
+	}
+	if r.Retransmitted == 0 {
+		t.Error("no retransmissions toward the dead node")
+	}
+	if tr.Stats().Abandoned == 0 {
+		t.Error("no payloads abandoned despite a permanently dead destination")
+	}
+}
+
+// Same seed, same run: the transport's jitter and timer state are a pure
+// function of the configuration and the simulator's call sequence.
+func TestReliableDeterminism(t *testing.T) {
+	run := func() (*routing.Result, Stats) {
+		plan := faults.MustPlan(4)
+		if _, err := plan.AddRandomLinkFaults(0.05, 31); err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.AddRandomTransientLinkFaults(10, 300, 40, 32); err != nil {
+			t.Fatal(err)
+		}
+		tr := MustNew(Config{Timeout: 15, MaxRetries: 3, Jitter: 4, Seed: 6})
+		p := routing.Params{
+			N: 4, Lambda: 0.12, Warmup: 50, Cycles: 400, Seed: 19,
+			Faults: plan, TTL: faults.DefaultTTL(4), Reliable: tr,
+		}
+		r, err := routing.Simulate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, tr.Stats()
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if *r1 != *r2 {
+		t.Errorf("results diverged across identical runs:\n%+v\nvs\n%+v", r1, r2)
+	}
+	if s1 != s2 {
+		t.Errorf("stats diverged across identical runs:\n%+v\nvs\n%+v", s1, s2)
+	}
+}
+
+// A transport reused for a second run resets automatically and replays
+// identically.
+func TestTransportReuseResets(t *testing.T) {
+	tr := MustNew(Config{Timeout: 5, MaxRetries: 2, Jitter: 2, Seed: 8})
+	p := routing.Params{N: 4, Lambda: 0.3, Warmup: 0, Cycles: 200, Seed: 23, Reliable: tr}
+	r1, err := routing.Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := tr.Stats()
+	r2, err := routing.Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *r1 != *r2 || s1 != tr.Stats() {
+		t.Errorf("reused transport diverged: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestLatencyPercentile(t *testing.T) {
+	tr := MustNew(Config{Timeout: 1000, Seed: 1})
+	tr.Reset(4)
+	for i, lat := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		id := tr.Register(0, 0, 1)
+		_ = i
+		if v, _ := tr.Arrive(lat-1, id); v != routing.DeliverAccept {
+			t.Fatalf("verdict %v, want accept", v)
+		}
+	}
+	if got := tr.LatencyPercentile(0.5); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := tr.LatencyPercentile(1); got != 10 {
+		t.Errorf("p100 = %v, want 10", got)
+	}
+	if got := tr.LatencyPercentile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	empty := MustNew(Config{Timeout: 10})
+	if got := empty.LatencyPercentile(0.99); got != 0 {
+		t.Errorf("empty p99 = %v, want 0", got)
+	}
+}

@@ -1,0 +1,188 @@
+package reliable
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"bfvlsi/internal/faults"
+	"bfvlsi/internal/routing"
+)
+
+// Observer modes (no retransmission) must reproduce faults.Sweep exactly:
+// same plans, same runs, new counters zero - the reliability sweep is a
+// strict superset of the PR-1 degradation sweep.
+func TestSweepObserverMatchesFaultsSweep(t *testing.T) {
+	base := routing.Params{N: 4, Lambda: 0.1, Warmup: 50, Cycles: 300, Seed: 21}
+	rates := []float64{0, 0.08}
+	plain := faults.Sweep(base, rates)
+	rel := Sweep(base, DefaultConfig(4), []Mode{{Name: "drop", Policy: routing.DropDead}, {Name: "misroute", Policy: routing.Misroute}}, rates)
+	if len(rel) != 4 {
+		t.Fatalf("got %d points, want 4", len(rel))
+	}
+	for _, pt := range rel {
+		if pt.Err != nil {
+			t.Fatal(pt.Err)
+		}
+	}
+	// plain ran with the zero-value policy (Misroute); compare against
+	// the misroute observer row.
+	for i, pt := range rel[2:] {
+		want := plain[i]
+		if pt.DeadLinks != want.DeadLinks {
+			t.Errorf("rate %v: dead links %d vs %d", pt.Rate, pt.DeadLinks, want.DeadLinks)
+		}
+		if *pt.Result != *want.Result {
+			t.Errorf("rate %v: observer diverged from faults.Sweep:\n%+v\nvs\n%+v",
+				pt.Rate, pt.Result, want.Result)
+		}
+		if pt.Goodput != want.Result.Throughput {
+			t.Errorf("rate %v: goodput %v != throughput %v", pt.Rate, pt.Goodput, want.Result.Throughput)
+		}
+		if pt.P99Latency == 0 {
+			t.Errorf("rate %v: observer recorded no latency percentile", pt.Rate)
+		}
+	}
+}
+
+// The full four-mode permanent-fault sweep: every cell conserves copies,
+// zero-rate retx cells stay silent, and on faulted cells the retransmit
+// modes pay a visible overhead. (Goodput recovery is NOT asserted here:
+// with deterministic routing a retry retraces its predecessor's path
+// into the same permanent hole - see TestOutageSweepRecovery for the
+// regime where retransmission actually wins.)
+func TestSweepModes(t *testing.T) {
+	base := routing.Params{N: 5, Lambda: 0.1, Warmup: 80, Cycles: 400, Seed: 5}
+	rates := []float64{0, 0.05}
+	// Timeout 25 clears the fault-free latency tail (rate-0 cells stay
+	// silent) while the 2-retry budget exhausts ~175 cycles after
+	// injection, well inside the 480-cycle horizon, so abandonment is
+	// observable.
+	cfg := Config{Timeout: 25, MaxRetries: 2, Jitter: 3, Seed: 1}
+	pts := Sweep(base, cfg, StandardModes(), rates)
+	if len(pts) != 8 {
+		t.Fatalf("got %d points, want 8", len(pts))
+	}
+	byCell := map[string]Point{}
+	for _, pt := range pts {
+		if pt.Err != nil {
+			t.Fatal(pt.Err)
+		}
+		byCell[fmt.Sprintf("%s@%g", pt.Mode, pt.Rate)] = pt
+	}
+	for _, mode := range []string{"drop+retx", "misroute+retx"} {
+		clean := byCell[mode+"@0"]
+		if clean.Result.Retransmitted != 0 {
+			t.Errorf("%s at rate 0 retransmitted %d copies", mode, clean.Result.Retransmitted)
+		}
+		if clean.Outages != 0 || clean.DeadLinks != 0 {
+			t.Errorf("%s at rate 0 reported damage: %d dead links, %d outages",
+				mode, clean.DeadLinks, clean.Outages)
+		}
+	}
+	if dr := byCell["drop+retx@0.05"]; dr.Overhead == 0 {
+		t.Error("drop+retx at 5% permanent faults reported zero retransmission overhead")
+	} else if dr.Stats.Abandoned == 0 {
+		t.Error("drop+retx at 5% permanent faults abandoned no payloads")
+	}
+	if d, dr := byCell["drop@0.05"], byCell["drop+retx@0.05"]; dr.DeadLinks != d.DeadLinks {
+		t.Errorf("modes saw different wreckage at the same rate: %d vs %d dead links",
+			dr.DeadLinks, d.DeadLinks)
+	}
+}
+
+// Against repairable outages the retransmit mode must beat its bare
+// policy on goodput: the retry fires after the repair and gets through.
+func TestOutageSweepRecovery(t *testing.T) {
+	base := routing.Params{N: 5, Lambda: 0.1, Warmup: 80, Cycles: 500, Seed: 5}
+	modes := []Mode{
+		{Name: "drop", Policy: routing.DropDead},
+		{Name: "drop+retx", Policy: routing.DropDead, Retransmit: true},
+	}
+	cfg := Config{Timeout: 20, MaxRetries: 5, Jitter: 3, Seed: 1}
+	pts := OutageSweep(base, cfg, modes, []float64{0.08}, 40)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Err != nil {
+			t.Fatal(pt.Err)
+		}
+		if pt.Outages == 0 {
+			t.Fatalf("%s: no outages scheduled at rate %g", pt.Mode, pt.Rate)
+		}
+		if pt.DeadLinks != 0 {
+			t.Errorf("%s: outage sweep reported %d permanent dead links", pt.Mode, pt.DeadLinks)
+		}
+	}
+	bare, retx := pts[0], pts[1]
+	if retx.Goodput <= bare.Goodput {
+		t.Errorf("drop+retx goodput %.4f not above drop %.4f under repairable outages",
+			retx.Goodput, bare.Goodput)
+	}
+	if retx.Overhead == 0 {
+		t.Error("drop+retx recovered without any retransmissions?")
+	}
+	// OutageSweep rejects a negative duration loudly.
+	bad := OutageSweep(base, cfg, modes[:1], []float64{0.05}, -1)
+	if bad[0].Err == nil {
+		t.Error("negative outage duration accepted")
+	}
+}
+
+// The module-kill comparison runs all modes x schemes x kills with exact
+// conservation and the shared module draw.
+func TestModuleKillSweepReliability(t *testing.T) {
+	base := routing.Params{N: 6, Lambda: 0.08, Warmup: 60, Cycles: 250, Seed: 2}
+	schemes, err := faults.StandardSchemes(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []Mode{
+		{Name: "drop", Policy: routing.DropDead},
+		{Name: "drop+retx", Policy: routing.DropDead, Retransmit: true},
+	}
+	kills := []int{0, 2}
+	pts := ModuleKillSweep(base, Config{Timeout: 40, MaxRetries: 3, Jitter: 4, Seed: 3}, modes, schemes, kills)
+	if want := len(modes) * len(schemes) * len(kills); len(pts) != want {
+		t.Fatalf("got %d points, want %d", len(pts), want)
+	}
+	deadBy := map[string]int{}
+	for _, pt := range pts {
+		if pt.Err != nil {
+			t.Fatal(pt.Err)
+		}
+		if pt.Killed == 0 && pt.DeadNodes != 0 {
+			t.Errorf("%s/%s: 0 kills but %d dead nodes", pt.Mode, pt.Scheme, pt.DeadNodes)
+		}
+		// The module draw is shared across modes: dead node counts per
+		// (scheme, kills) must agree.
+		key := pt.Scheme + "#" + strconv.Itoa(pt.Killed)
+		if prev, ok := deadBy[key]; ok && prev != pt.DeadNodes {
+			t.Errorf("%s: dead nodes differ across modes: %d vs %d", key, prev, pt.DeadNodes)
+		}
+		deadBy[key] = pt.DeadNodes
+	}
+}
+
+// Sweeps refuse base params that already carry a fault model or
+// transport instead of silently double-attaching.
+func TestSweepRejectsPreloadedBase(t *testing.T) {
+	base := routing.Params{N: 4, Lambda: 0.1, Cycles: 100, Seed: 1}
+	base.Reliable = MustNew(DefaultConfig(4))
+	pts := Sweep(base, DefaultConfig(4), StandardModes()[:1], []float64{0})
+	if pts[0].Err == nil {
+		t.Error("sweep accepted base params with a preloaded transport")
+	}
+	base2 := routing.Params{N: 4, Lambda: 0.1, Cycles: 100, Seed: 1, Faults: faults.MustPlan(4)}
+	pts2 := ModuleKillSweep(base2, DefaultConfig(4), StandardModes()[:1], nil, nil)
+	_ = pts2 // empty cells: nothing to run, but the guard lives per cell
+	schemes, err := faults.StandardSchemes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts3 := ModuleKillSweep(base2, DefaultConfig(4), StandardModes()[:1], schemes, []int{0})
+	if pts3[0].Err == nil {
+		t.Error("module-kill sweep accepted base params with a preloaded fault plan")
+	}
+}

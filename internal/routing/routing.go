@@ -59,8 +59,16 @@ type Params struct {
 	// cycle; expired packets are discarded when they reach the head of
 	// a queue). 0 disables the check. A TTL bounds the lifetime of
 	// packets trapped by permanent faults - without one they sit in
-	// Backlog forever.
+	// Backlog forever. Retransmitted copies age from their own emission
+	// cycle.
 	TTL int
+	// Reliable, if non-nil, layers an end-to-end reliable transport over
+	// the run (see internal/reliable): sources retransmit undelivered
+	// payloads on timeout, destinations suppress duplicates, and the
+	// Retransmitted / DuplicatesDropped / GaveUp counters become live.
+	// With a nil Transport - or one whose timers never fire - the run is
+	// identical to the plain simulation, packet for packet.
+	Reliable Transport
 }
 
 // Result summarizes a run.
@@ -101,20 +109,37 @@ type Result struct {
 	// Misroutes counts fallback hops taken because the planned output
 	// link was dead (Misroute policy), over the whole run.
 	Misroutes int
+	// Retransmitted counts copies re-injected by the reliable transport
+	// (Params.Reliable), over the whole run. Zero without a transport.
+	Retransmitted int
+	// DuplicatesDropped counts copies that arrived at their destination
+	// after the payload had already been accepted; the destination
+	// suppresses them so goodput counts each payload once.
+	DuplicatesDropped int
+	// GaveUp counts copies written off after the source abandoned their
+	// payload (retry budget exhausted): discarded at a queue head or on
+	// arrival at the destination.
+	GaveUp int
 	// TotalInjected and TotalDelivered count over the whole run, warmup
 	// included (Injected and Delivered remain measurement-window
-	// counts). Exactly: TotalInjected = TotalDelivered + Dropped +
-	// Unreachable + Backlog. Result.CheckConservation verifies it.
+	// counts). Exactly: TotalInjected + Retransmitted = TotalDelivered +
+	// DuplicatesDropped + Dropped + GaveUp + Unreachable + Backlog.
+	// Result.CheckConservation verifies it. Under a reliable transport
+	// TotalDelivered counts accepted payloads (first copies only).
 	TotalInjected, TotalDelivered int
 }
 
-// CheckConservation verifies that no packet was lost by the simulator:
-// every injection over the whole run was delivered, dropped, refused as
-// unreachable, or is still queued.
+// CheckConservation verifies that no copy was lost by the simulator:
+// every copy that entered the system over the whole run - fresh injection
+// or retransmission - was accepted, suppressed as a duplicate, dropped,
+// written off after the source gave up, refused as unreachable, or is
+// still queued. Without a reliable transport the extra terms are zero and
+// the identity reduces to the classic TotalInjected = TotalDelivered +
+// Dropped + Unreachable + Backlog.
 func (r *Result) CheckConservation() error {
-	if got := r.TotalDelivered + r.Dropped + r.Unreachable + r.Backlog; got != r.TotalInjected {
-		return fmt.Errorf("routing: conservation violated: injected %d != delivered %d + dropped %d + unreachable %d + backlog %d",
-			r.TotalInjected, r.TotalDelivered, r.Dropped, r.Unreachable, r.Backlog)
+	if got := r.TotalDelivered + r.DuplicatesDropped + r.Dropped + r.GaveUp + r.Unreachable + r.Backlog; got != r.TotalInjected+r.Retransmitted {
+		return fmt.Errorf("routing: conservation violated: injected %d + retransmitted %d != delivered %d + duplicates %d + dropped %d + gaveup %d + unreachable %d + backlog %d",
+			r.TotalInjected, r.Retransmitted, r.TotalDelivered, r.DuplicatesDropped, r.Dropped, r.GaveUp, r.Unreachable, r.Backlog)
 	}
 	return nil
 }
@@ -123,6 +148,9 @@ type packet struct {
 	dstRow, dstCol int
 	born           int
 	hops           int
+	// rid is the reliable-transport payload id (0 when no transport is
+	// attached; see Params.Reliable).
+	rid uint64
 }
 
 // Simulate runs the synchronous simulation with uniform random traffic.
@@ -154,6 +182,9 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 	// queues[node*2 + 0] straight, +1 cross; each a FIFO slice.
 	queues := make([][]packet, nodes*2)
 	id := func(row, col int) int { return col*rows + row }
+	if p.Reliable != nil {
+		p.Reliable.Reset(nodes)
+	}
 
 	res := &Result{Nodes: nodes}
 	var latSum, hopSum float64
@@ -170,6 +201,9 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 		measured := cycle >= p.Warmup
 		if p.Faults != nil {
 			p.Faults.BeginCycle(cycle)
+		}
+		if p.Reliable != nil {
+			p.Reliable.BeginCycle(cycle)
 		}
 		// Phase 1: injections.
 		for row := 0; row < rows; row++ {
@@ -194,16 +228,27 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 				}
 				res.TotalInjected++
 				if p.Faults != nil && p.Faults.NodeDown(id(dr, dc)) {
+					if p.Reliable != nil {
+						// The source cannot know the destination is dead:
+						// the payload is registered and its retries burn
+						// budget against the void until it is abandoned.
+						p.Reliable.Register(cycle, id(row, col), id(dr, dc))
+					}
 					res.Unreachable++
 					continue
 				}
 				if pk.dstRow == row && pk.dstCol == col {
-					// Delivered in place.
+					// Delivered in place: no copy enters the network, so
+					// no duplicate can ever exist and the payload needs
+					// no reliable-transport state.
 					res.TotalDelivered++
 					if measured {
 						res.Delivered++
 					}
 					continue
+				}
+				if p.Reliable != nil {
+					pk.rid = p.Reliable.Register(cycle, id(row, col), id(dr, dc))
 				}
 				out, drop, mis := chooseOut(pk, row, col, rows, p.Faults, p.Policy)
 				if drop {
@@ -214,6 +259,34 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 					res.Misroutes++
 				}
 				q := id(row, col)*2 + out
+				queues[q] = append(queues[q], pk)
+			}
+		}
+		// Phase 1b: retransmissions due this cycle re-enter at their
+		// source, after fresh traffic (fresh injections keep priority).
+		if p.Reliable != nil {
+			for _, c := range p.Reliable.Retransmissions(cycle) {
+				srcRow, srcCol := c.Src%rows, c.Src/rows
+				if p.Faults != nil && p.Faults.NodeDown(c.Src) {
+					p.Reliable.Deferred(c.ID) // dead sources cannot resend
+					continue
+				}
+				p.Reliable.Emitted(c.ID, cycle)
+				res.Retransmitted++
+				if p.Faults != nil && p.Faults.NodeDown(c.Dst) {
+					res.Unreachable++
+					continue
+				}
+				pk := packet{dstRow: c.Dst % rows, dstCol: c.Dst / rows, born: cycle, rid: c.ID}
+				out, drop, mis := chooseOut(pk, srcRow, srcCol, rows, p.Faults, p.Policy)
+				if drop {
+					res.Dropped++
+					continue
+				}
+				if mis {
+					res.Misroutes++
+				}
+				q := c.Src*2 + out
 				queues[q] = append(queues[q], pk)
 			}
 		}
@@ -231,10 +304,20 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 				nextCol := (col + 1) % n
 				for out := 0; out < 2; out++ {
 					q := base + out
-					if p.TTL > 0 {
-						for len(queues[q]) > 0 && cycle-queues[q][0].born >= p.TTL {
-							queues[q] = queues[q][1:]
-							res.Dropped++
+					if p.TTL > 0 || p.Reliable != nil {
+						for len(queues[q]) > 0 {
+							head := queues[q][0]
+							if p.Reliable != nil && p.Reliable.Abandoned(head.rid) {
+								queues[q] = queues[q][1:]
+								res.GaveUp++
+								continue
+							}
+							if p.TTL > 0 && cycle-head.born >= p.TTL {
+								queues[q] = queues[q][1:]
+								res.Dropped++
+								continue
+							}
+							break
 						}
 					}
 					if len(queues[q]) == 0 {
@@ -264,11 +347,26 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 		}
 		for _, a := range arrivals {
 			if a.pk.dstRow == a.row && a.pk.dstCol == a.col {
+				born := a.pk.born
+				if p.Reliable != nil {
+					v, born0 := p.Reliable.Arrive(cycle, a.pk.rid)
+					switch v {
+					case DeliverDuplicate:
+						res.DuplicatesDropped++
+						continue
+					case DeliverGaveUp:
+						res.GaveUp++
+						continue
+					}
+					// End-to-end latency runs from the payload's first
+					// injection, not this copy's emission.
+					born = born0
+				}
 				res.TotalDelivered++
 				if measured {
 					res.Delivered++
-					if a.pk.born >= p.Warmup {
-						latSum += float64(cycle - a.pk.born + 1)
+					if born >= p.Warmup {
+						latSum += float64(cycle - born + 1)
 						hopSum += float64(a.pk.hops)
 						latCount++
 					}

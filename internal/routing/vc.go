@@ -48,6 +48,9 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 	queues := make([][]vcPacket, nodes*2*numVC)
 	id := func(row, col int) int { return col*rows + row }
 	qIdx := func(row, col, out, vc int) int { return (id(row, col)*2+out)*numVC + vc }
+	if p.Reliable != nil {
+		p.Reliable.Reset(nodes)
+	}
 
 	res := &Result{Nodes: nodes}
 	var latSum, hopSum float64
@@ -65,6 +68,9 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 		if p.Faults != nil {
 			p.Faults.BeginCycle(cycle)
 		}
+		if p.Reliable != nil {
+			p.Reliable.BeginCycle(cycle)
+		}
 		// Injections (VC 0).
 		for row := 0; row < rows; row++ {
 			for col := 0; col < n; col++ {
@@ -80,6 +86,11 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				}
 				pk := vcPacket{packet: packet{dstRow: dr, dstCol: dc, born: cycle}}
 				if p.Faults != nil && p.Faults.NodeDown(id(dr, dc)) {
+					if p.Reliable != nil {
+						// Sources cannot see dead destinations: register
+						// and let the retries burn budget into the void.
+						p.Reliable.Register(cycle, id(row, col), id(dr, dc))
+					}
 					res.TotalInjected++
 					res.Unreachable++
 					if measured {
@@ -88,6 +99,8 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					continue
 				}
 				if dr == row && dc == col {
+					// In place: no copy enters the network, so no
+					// duplicate can exist and no transport state is kept.
 					res.TotalInjected++
 					res.TotalDelivered++
 					if measured {
@@ -95,6 +108,12 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 						res.Delivered++
 					}
 					continue
+				}
+				if p.Reliable != nil {
+					// Registered before the buffer check: a refused
+					// injection leaves no copy in the network but stays
+					// pending, so the transport's timer recovers it.
+					pk.rid = p.Reliable.Register(cycle, id(row, col), id(dr, dc))
 				}
 				out, drop, mis := chooseOut(pk.packet, row, col, rows, p.Faults, p.Policy)
 				if drop {
@@ -122,13 +141,60 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				queues[q] = append(queues[q], pk)
 			}
 		}
-		// TTL expiry: drop expired packets as they reach queue heads,
-		// before credits are computed so the freed slots are usable.
-		if p.TTL > 0 {
-			for qi := range queues {
-				for len(queues[qi]) > 0 && cycle-queues[qi][0].born >= p.TTL {
-					queues[qi] = queues[qi][1:]
+		// Retransmissions due this cycle re-enter at their source on VC 0,
+		// after fresh traffic; a full entry queue defers to next cycle
+		// without consuming a retry.
+		if p.Reliable != nil {
+			for _, c := range p.Reliable.Retransmissions(cycle) {
+				srcRow, srcCol := c.Src%rows, c.Src/rows
+				if p.Faults != nil && p.Faults.NodeDown(c.Src) {
+					p.Reliable.Deferred(c.ID) // dead sources cannot resend
+					continue
+				}
+				if p.Faults != nil && p.Faults.NodeDown(c.Dst) {
+					p.Reliable.Emitted(c.ID, cycle)
+					res.Retransmitted++
+					res.Unreachable++
+					continue
+				}
+				pk := vcPacket{packet: packet{dstRow: c.Dst % rows, dstCol: c.Dst / rows, born: cycle, rid: c.ID}}
+				out, drop, mis := chooseOut(pk.packet, srcRow, srcCol, rows, p.Faults, p.Policy)
+				if drop {
+					p.Reliable.Emitted(c.ID, cycle)
+					res.Retransmitted++
 					res.Dropped++
+					continue
+				}
+				q := qIdx(srcRow, srcCol, out, 0)
+				if len(queues[q]) >= p.BufferLimit {
+					p.Reliable.Deferred(c.ID)
+					continue
+				}
+				p.Reliable.Emitted(c.ID, cycle)
+				res.Retransmitted++
+				if mis {
+					res.Misroutes++
+				}
+				queues[q] = append(queues[q], pk)
+			}
+		}
+		// TTL expiry and give-up write-offs: discard dead queue heads
+		// before credits are computed so the freed slots are usable.
+		if p.TTL > 0 || p.Reliable != nil {
+			for qi := range queues {
+				for len(queues[qi]) > 0 {
+					head := queues[qi][0]
+					if p.Reliable != nil && p.Reliable.Abandoned(head.rid) {
+						queues[qi] = queues[qi][1:]
+						res.GaveUp++
+						continue
+					}
+					if p.TTL > 0 && cycle-head.born >= p.TTL {
+						queues[qi] = queues[qi][1:]
+						res.Dropped++
+						continue
+					}
+					break
 				}
 			}
 		}
@@ -208,11 +274,26 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 		}
 		for _, a := range arrivals {
 			if a.pk.dstRow == a.row && a.pk.dstCol == a.col {
+				born := a.pk.born
+				if p.Reliable != nil {
+					v, born0 := p.Reliable.Arrive(cycle, a.pk.rid)
+					switch v {
+					case DeliverDuplicate:
+						res.DuplicatesDropped++
+						continue
+					case DeliverGaveUp:
+						res.GaveUp++
+						continue
+					}
+					// End-to-end latency runs from the payload's first
+					// injection, not this copy's emission.
+					born = born0
+				}
 				res.TotalDelivered++
 				if measured {
 					res.Delivered++
-					if a.pk.born >= p.Warmup {
-						latSum += float64(cycle - a.pk.born + 1)
+					if born >= p.Warmup {
+						latSum += float64(cycle - born + 1)
 						hopSum += float64(a.pk.hops)
 						latCount++
 					}
