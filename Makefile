@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench vet fmt tables cover fault-sweep reliable-sweep fuzz
+.PHONY: all build test test-short race bench vet fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz
 
 all: build vet test
 
@@ -39,5 +39,10 @@ reliable-sweep:
 	$(GO) run ./cmd/bffault -n 6 -lambda 0.1 -reliable -sweep 0,0.05,0.1 -outage 50
 	$(GO) run ./cmd/bffault -n 6 -lambda 0.1 -reliable -compare -kills 0,1,2
 
+adaptive-sweep:
+	$(GO) run ./cmd/bffault -n 6 -lambda 0.06 -adaptive -sweep 0,0.02,0.05,0.1
+	$(GO) run ./cmd/bffault -n 6 -lambda 0.06 -adaptive -compare -kills 0,2,4
+
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPlanComposition -fuzztime=30s ./internal/faults
+	$(GO) test -run='^$$' -fuzz=FuzzAdaptiveConservation -fuzztime=30s ./internal/adaptive

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"bfvlsi/internal/adaptive"
 	"bfvlsi/internal/analysis"
 	"bfvlsi/internal/benes"
 	"bfvlsi/internal/bitutil"
@@ -298,4 +299,54 @@ func BenchmarkE22ReliableDelivery(b *testing.B) {
 	}
 	b.Run("fault-free", func(b *testing.B) { run(b, false) })
 	b.Run("outages", func(b *testing.B) { run(b, true) })
+}
+
+// E23: extension - recovery under permanent module-kill: the static
+// misroute policy vs the adaptive router (breakers + detours + epoch
+// maps) on the same nucleus-module wreckage, with exact copy
+// conservation on every run. The headline metric is delivered packets;
+// adaptive's dimension-shift detours recover traffic misroute loses.
+func BenchmarkE23AdaptiveRecovery(b *testing.B) {
+	makePlan := func() *faults.Plan {
+		plan := faults.MustPlan(5)
+		schemes, err := faults.StandardSchemes(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := schemes[1] // nucleus
+		for _, m := range faults.PickModules(sc.NumModules, 2, 7) {
+			if _, err := plan.AddModuleFault(sc.ModuleOf, m, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return plan
+	}
+	run := func(b *testing.B, adapt bool) {
+		var delivered, detours int
+		for i := 0; i < b.N; i++ {
+			p := routing.Params{
+				N: 5, Lambda: 0.06, Warmup: 100, Cycles: 400, Seed: 3,
+				Faults: makePlan(), TTL: faults.DefaultTTL(5),
+			}
+			if adapt {
+				rt, err := adaptive.New(adaptive.DefaultConfig(5))
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Adaptive = rt
+			}
+			r, err := routing.Simulate(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.CheckConservation(); err != nil {
+				b.Fatal(err)
+			}
+			delivered, detours = r.Delivered, r.Detours
+		}
+		b.ReportMetric(float64(delivered), "delivered")
+		b.ReportMetric(float64(detours), "detours")
+	}
+	b.Run("misroute", func(b *testing.B) { run(b, false) })
+	b.Run("adaptive", func(b *testing.B) { run(b, true) })
 }

@@ -3,6 +3,7 @@ package bfvlsi
 import (
 	"io"
 
+	"bfvlsi/internal/adaptive"
 	"bfvlsi/internal/analysis"
 	"bfvlsi/internal/benes"
 	"bfvlsi/internal/bitutil"
@@ -207,6 +208,46 @@ func ReliableOutageSweep(base RoutingParams, cfg ReliableConfig, modes []Reliabl
 // measured on the same wreckage.
 func ReliableModuleKillSweep(base RoutingParams, cfg ReliableConfig, modes []ReliableMode, schemes []FaultScheme, kills []int) []reliable.SchemePoint {
 	return reliable.ModuleKillSweep(base, cfg, modes, schemes, kills)
+}
+
+// AdaptiveConfig tunes the fault-aware adaptive router: breaker
+// threshold, probe interval, detour budget, and epoch dissemination
+// period.
+type AdaptiveConfig = adaptive.Config
+
+// DefaultAdaptiveConfig returns router tuning suited to dimension n.
+func DefaultAdaptiveConfig(n int) AdaptiveConfig { return adaptive.DefaultConfig(n) }
+
+// AdaptiveRouter is the online fault-aware router: per-link circuit
+// breakers with seeded probing, bounded dimension-shift detours, and
+// epoch link-state dissemination. Attach one via RoutingParams.Adaptive.
+type AdaptiveRouter = adaptive.Router
+
+// NewAdaptiveRouter returns a router with the given tuning.
+func NewAdaptiveRouter(cfg AdaptiveConfig) (*AdaptiveRouter, error) { return adaptive.New(cfg) }
+
+// AdaptiveStats summarizes what a router learned during a run.
+type AdaptiveStats = adaptive.Stats
+
+// AdaptiveMode is one recovery strategy of an adaptive sweep (static
+// policy, adaptive router, or adaptive plus retransmission).
+type AdaptiveMode = adaptive.Mode
+
+// StandardAdaptiveModes returns the four strategies the E23 sweeps
+// compare: drop, misroute, adaptive, and adaptive with retransmission.
+func StandardAdaptiveModes() []AdaptiveMode { return adaptive.StandardModes() }
+
+// AdaptiveSweep measures goodput degradation over permanent link fault
+// rates for every recovery mode, conservation-checked per cell.
+func AdaptiveSweep(base RoutingParams, cfg AdaptiveConfig, rcfg ReliableConfig, modes []AdaptiveMode, rates []float64) []adaptive.Point {
+	return adaptive.Sweep(base, cfg, rcfg, modes, rates)
+}
+
+// AdaptiveModuleKillSweep is experiment E23: whole modules die under
+// each packaging scheme, and the full recovery ladder (drop / misroute /
+// adaptive / adaptive+retx) is measured on the same wreckage.
+func AdaptiveModuleKillSweep(base RoutingParams, cfg AdaptiveConfig, rcfg ReliableConfig, modes []AdaptiveMode, schemes []FaultScheme, kills []int) []adaptive.SchemePoint {
+	return adaptive.ModuleKillSweep(base, cfg, rcfg, modes, schemes, kills)
 }
 
 // RoutingModules projects a partition onto the wrapped butterfly the

@@ -20,6 +20,18 @@
 //	bffault -n 6 -lambda 0.1 -reliable -sweep 0,0.05,0.1 -outage 50
 //	bffault -n 6 -lambda 0.1 -reliable -compare -kills 0,1,2
 //	bffault ... -reliable -timeout 40 -retries 5 -jitter 4
+//
+// With -adaptive the online fault-aware router replaces the static
+// policy: link health is learned through circuit breakers, packets take
+// bounded dimension-shift detours around permanent holes, and epoch
+// link-state dissemination excises dead destinations. Sweeps and
+// comparisons then measure the E23 recovery modes (drop / misroute /
+// adaptive / adaptive+retx):
+//
+//	bffault -n 6 -lambda 0.06 -killmodules 2 -adaptive # single adaptive run
+//	bffault -n 6 -lambda 0.06 -adaptive -sweep 0,0.02,0.05
+//	bffault -n 6 -lambda 0.06 -adaptive -compare -kills 0,2,4
+//	bffault ... -adaptive -threshold 3 -probe 12 -maxdetours 4 -epoch 24
 package main
 
 import (
@@ -30,45 +42,319 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"bfvlsi/internal/adaptive"
 	"bfvlsi/internal/faults"
 	"bfvlsi/internal/reliable"
 	"bfvlsi/internal/routing"
 )
 
-var (
-	dim     = flag.Int("n", 6, "butterfly dimension")
-	lambda  = flag.Float64("lambda", 0.1, "per-node injection probability")
-	warmup  = flag.Int("warmup", 300, "warmup cycles")
-	cycles  = flag.Int("cycles", 1000, "measured cycles")
-	seed    = flag.Int64("seed", 1, "random seed (faults and traffic)")
-	buffers = flag.Int("buffers", 0, "per-link buffer limit (0 = unbounded)")
-	ttl     = flag.Int("ttl", 0, "packet lifetime in cycles (0 = 16n when faults are present)")
-	policy  = flag.String("policy", "misroute", "dead-link policy: misroute | drop")
+// options carries every flag value plus the FlagSet they were parsed
+// from, so validation can distinguish explicitly-set flags from
+// defaults. Parsing and validation are pure (no exits, no prints): main
+// turns a validation error into the exit-2 usage path, and the tests
+// drive the same code with table argv lists.
+type options struct {
+	set *flag.FlagSet
 
-	linkRate  = flag.Float64("linkrate", 0, "fraction of links to fail permanently")
-	nodeRate  = flag.Float64("noderate", 0, "fraction of nodes to fail permanently")
-	transient = flag.Int("transient", 0, "number of random transient link faults")
-	repair    = flag.Int("repair", 100, "repair delay for transient faults, cycles")
+	dim     int
+	lambda  float64
+	warmup  int
+	cycles  int
+	seed    int64
+	buffers int
+	ttl     int
+	policy  string
 
-	killModules = flag.Int("killmodules", 0, "number of whole modules to fail")
-	scheme      = flag.String("scheme", "nucleus", "module scheme for -killmodules: row | nucleus | naive")
+	linkRate  float64
+	nodeRate  float64
+	transient int
+	repair    int
 
-	sweepRates = flag.String("sweep", "", "comma-separated link fault rates to sweep")
-	compare    = flag.Bool("compare", false, "module-kill comparison across packaging schemes")
-	kills      = flag.String("kills", "0,1,2,4", "comma-separated module kill counts for -compare")
-	csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	killModules int
+	scheme      string
 
-	reliableOn = flag.Bool("reliable", false, "attach the end-to-end retransmission transport")
-	rtoBase    = flag.Int("timeout", 0, "base retransmission timeout in cycles (0 = 8n)")
-	retries    = flag.Int("retries", 3, "retry budget per payload")
-	jitter     = flag.Int("jitter", -1, "retry jitter in cycles (-1 = n)")
-	maxRTO     = flag.Int("maxtimeout", 0, "cap on the exponential backoff (0 = uncapped)")
-	outage     = flag.Int("outage", 0, "reliability sweep: transient outages of this many cycles instead of permanent faults")
-)
+	sweepRates string
+	compare    bool
+	kills      string
+	csv        bool
 
-func usageError(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "bffault: "+format+"\n", args...)
-	flag.Usage()
+	reliableOn bool
+	rtoBase    int
+	retries    int
+	jitter     int
+	maxRTO     int
+	outage     int
+
+	adaptiveOn bool
+	threshold  int
+	probeIval  int
+	maxDetours int
+	epoch      int
+}
+
+// newOptions registers every flag on the given set.
+func newOptions(set *flag.FlagSet) *options {
+	o := &options{set: set}
+	set.IntVar(&o.dim, "n", 6, "butterfly dimension")
+	set.Float64Var(&o.lambda, "lambda", 0.1, "per-node injection probability")
+	set.IntVar(&o.warmup, "warmup", 300, "warmup cycles")
+	set.IntVar(&o.cycles, "cycles", 1000, "measured cycles")
+	set.Int64Var(&o.seed, "seed", 1, "random seed (faults and traffic)")
+	set.IntVar(&o.buffers, "buffers", 0, "per-link buffer limit (0 = unbounded)")
+	set.IntVar(&o.ttl, "ttl", 0, "packet lifetime in cycles (0 = 16n when faults are present)")
+	set.StringVar(&o.policy, "policy", "misroute", "dead-link policy: misroute | drop")
+
+	set.Float64Var(&o.linkRate, "linkrate", 0, "fraction of links to fail permanently")
+	set.Float64Var(&o.nodeRate, "noderate", 0, "fraction of nodes to fail permanently")
+	set.IntVar(&o.transient, "transient", 0, "number of random transient link faults")
+	set.IntVar(&o.repair, "repair", 100, "repair delay for transient faults, cycles")
+
+	set.IntVar(&o.killModules, "killmodules", 0, "number of whole modules to fail")
+	set.StringVar(&o.scheme, "scheme", "nucleus", "module scheme for -killmodules: row | nucleus | naive")
+
+	set.StringVar(&o.sweepRates, "sweep", "", "comma-separated link fault rates to sweep")
+	set.BoolVar(&o.compare, "compare", false, "module-kill comparison across packaging schemes")
+	set.StringVar(&o.kills, "kills", "0,1,2,4", "comma-separated module kill counts for -compare")
+	set.BoolVar(&o.csv, "csv", false, "emit CSV instead of an aligned table")
+
+	set.BoolVar(&o.reliableOn, "reliable", false, "attach the end-to-end retransmission transport")
+	set.IntVar(&o.rtoBase, "timeout", 0, "base retransmission timeout in cycles (0 = 8n)")
+	set.IntVar(&o.retries, "retries", 3, "retry budget per payload")
+	set.IntVar(&o.jitter, "jitter", -1, "retry jitter in cycles (-1 = n)")
+	set.IntVar(&o.maxRTO, "maxtimeout", 0, "cap on the exponential backoff (0 = uncapped)")
+	set.IntVar(&o.outage, "outage", 0, "reliability sweep: transient outages of this many cycles instead of permanent faults")
+
+	set.BoolVar(&o.adaptiveOn, "adaptive", false, "replace the static policy with the online fault-aware adaptive router")
+	set.IntVar(&o.threshold, "threshold", 0, "consecutive failures that open a link breaker (0 = 2)")
+	set.IntVar(&o.probeIval, "probe", 0, "probe interval for open breakers, cycles (0 = 2n)")
+	set.IntVar(&o.maxDetours, "maxdetours", 0, "deliberate detour budget per packet (0 = 3)")
+	set.IntVar(&o.epoch, "epoch", -1, "link-state dissemination period, cycles (-1 = 4n, 0 = off)")
+	return o
+}
+
+// parseOptions parses argv and validates the combination. It never exits
+// or prints beyond the FlagSet's own output.
+func parseOptions(args []string) (*options, error) {
+	set := flag.NewFlagSet("bffault", flag.ContinueOnError)
+	o := newOptions(set)
+	if err := set.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// explicit returns the set of flag names the command line actually
+// mentioned.
+func (o *options) explicit() map[string]bool {
+	seen := make(map[string]bool)
+	o.set.Visit(func(f *flag.Flag) { seen[f.Name] = true })
+	return seen
+}
+
+// validate audits ranges and mutually exclusive mode/flag combinations.
+// Every rejected combination here exits 2 via main: a flag the selected
+// mode would silently ignore is a mistake, not a preference.
+func (o *options) validate() error {
+	if o.dim < 1 || o.dim > 14 {
+		return fmt.Errorf("-n %d out of range [1,14]", o.dim)
+	}
+	if o.lambda <= 0 || o.lambda > 1 {
+		return fmt.Errorf("-lambda %v outside (0,1]", o.lambda)
+	}
+	if o.warmup < 0 {
+		return fmt.Errorf("-warmup %d is negative", o.warmup)
+	}
+	if o.cycles <= 0 {
+		return fmt.Errorf("-cycles %d must be positive", o.cycles)
+	}
+	if o.buffers < 0 {
+		return fmt.Errorf("-buffers %d is negative", o.buffers)
+	}
+	if o.ttl < 0 {
+		return fmt.Errorf("-ttl %d is negative", o.ttl)
+	}
+	if o.linkRate < 0 || o.linkRate > 1 {
+		return fmt.Errorf("-linkrate %v outside [0,1]", o.linkRate)
+	}
+	if o.nodeRate < 0 || o.nodeRate > 1 {
+		return fmt.Errorf("-noderate %v outside [0,1]", o.nodeRate)
+	}
+	if o.transient < 0 {
+		return fmt.Errorf("-transient %d is negative", o.transient)
+	}
+	if o.repair <= 0 {
+		return fmt.Errorf("-repair %d must be positive", o.repair)
+	}
+	if o.killModules < 0 {
+		return fmt.Errorf("-killmodules %d is negative", o.killModules)
+	}
+	if _, err := parsePolicy(o.policy); err != nil {
+		return err
+	}
+	switch o.scheme {
+	case "row", "nucleus", "naive":
+	default:
+		return fmt.Errorf("unknown scheme %q (want row, nucleus, or naive)", o.scheme)
+	}
+	seen := o.explicit()
+	if o.sweepRates != "" && o.compare {
+		return fmt.Errorf("-sweep and -compare are mutually exclusive")
+	}
+	if seen["kills"] && !o.compare {
+		return fmt.Errorf("-kills set without -compare")
+	}
+	if o.sweepRates != "" || o.compare {
+		// Sweeps and comparisons build their own fault plans: a
+		// single-run fault flag would be silently ignored.
+		var stray []string
+		for _, f := range []string{"linkrate", "noderate", "transient", "repair", "killmodules", "scheme"} {
+			if seen[f] {
+				stray = append(stray, "-"+f)
+			}
+		}
+		if len(stray) > 0 {
+			mode := "-sweep"
+			if o.compare {
+				mode = "-compare"
+			}
+			return fmt.Errorf("%s set with %s (single-run fault flags are ignored by sweeps)", strings.Join(stray, ", "), mode)
+		}
+	}
+	if err := o.validateReliable(seen); err != nil {
+		return err
+	}
+	return o.validateAdaptive(seen)
+}
+
+// validateReliable rejects nonsense reliability settings upfront: a
+// reliability flag set without -reliable is a mistake the run would
+// silently ignore, and a schedule the run horizon can never exercise is
+// a mistake the run would silently report as perfect delivery.
+func (o *options) validateReliable(seen map[string]bool) error {
+	var stray []string
+	for _, f := range []string{"timeout", "retries", "jitter", "maxtimeout", "outage"} {
+		if seen[f] && !o.reliableOn {
+			stray = append(stray, "-"+f)
+		}
+	}
+	if len(stray) > 0 {
+		return fmt.Errorf("%s set without -reliable", strings.Join(stray, ", "))
+	}
+	if !o.reliableOn {
+		return nil
+	}
+	if o.rtoBase < 0 {
+		return fmt.Errorf("-timeout %d is negative", o.rtoBase)
+	}
+	if o.jitter < -1 {
+		return fmt.Errorf("-jitter %d is negative (use -1 for the default)", o.jitter)
+	}
+	if o.outage < 0 {
+		return fmt.Errorf("-outage %d is negative", o.outage)
+	}
+	if o.outage > 0 && o.sweepRates == "" {
+		return fmt.Errorf("-outage only applies to a reliability sweep (add -sweep)")
+	}
+	if o.outage > 0 && o.adaptiveOn {
+		return fmt.Errorf("-outage and -adaptive are mutually exclusive (the adaptive sweep measures permanent faults)")
+	}
+	cfg := o.reliableConfig()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if horizon := o.warmup + o.cycles; cfg.Timeout >= horizon {
+		return fmt.Errorf("-timeout %d never fires within the %d-cycle run", cfg.Timeout, horizon)
+	}
+	return nil
+}
+
+// validateAdaptive rejects adaptive tuning without -adaptive and
+// combinations the adaptive mode would silently override.
+func (o *options) validateAdaptive(seen map[string]bool) error {
+	var stray []string
+	for _, f := range []string{"threshold", "probe", "maxdetours", "epoch"} {
+		if seen[f] && !o.adaptiveOn {
+			stray = append(stray, "-"+f)
+		}
+	}
+	if len(stray) > 0 {
+		return fmt.Errorf("%s set without -adaptive", strings.Join(stray, ", "))
+	}
+	if !o.adaptiveOn {
+		return nil
+	}
+	if seen["policy"] {
+		return fmt.Errorf("-policy is ignored under -adaptive (the router replaces the static policy)")
+	}
+	if o.threshold < 0 {
+		return fmt.Errorf("-threshold %d is negative", o.threshold)
+	}
+	if o.probeIval < 0 {
+		return fmt.Errorf("-probe %d is negative", o.probeIval)
+	}
+	if o.maxDetours < 0 {
+		return fmt.Errorf("-maxdetours %d is negative", o.maxDetours)
+	}
+	if o.epoch < -1 {
+		return fmt.Errorf("-epoch %d is negative (use -1 for the default, 0 to disable)", o.epoch)
+	}
+	return nil
+}
+
+// reliableConfig builds the transport schedule from the flags, filling
+// auto values from DefaultConfig for the chosen dimension.
+func (o *options) reliableConfig() reliable.Config {
+	c := reliable.DefaultConfig(o.dim)
+	c.Seed = o.seed + 505
+	c.MaxRetries = o.retries
+	c.MaxTimeout = o.maxRTO
+	if o.rtoBase > 0 {
+		c.Timeout = o.rtoBase
+	}
+	if o.jitter >= 0 {
+		c.Jitter = o.jitter
+	}
+	return c
+}
+
+// adaptiveConfig builds the router tuning from the flags, filling auto
+// values from adaptive.DefaultConfig for the chosen dimension.
+func (o *options) adaptiveConfig() adaptive.Config {
+	c := adaptive.DefaultConfig(o.dim)
+	c.Seed = o.seed + 606
+	if o.threshold > 0 {
+		c.Threshold = o.threshold
+	}
+	if o.probeIval > 0 {
+		c.ProbeInterval = o.probeIval
+	}
+	if o.maxDetours > 0 {
+		c.MaxDetours = o.maxDetours
+	}
+	if o.epoch >= 0 {
+		c.Epoch = o.epoch
+	}
+	return c
+}
+
+func (o *options) baseParams() routing.Params {
+	pol, err := parsePolicy(o.policy)
+	if err != nil {
+		fatal(err)
+	}
+	return routing.Params{
+		N: o.dim, Lambda: o.lambda, Warmup: o.warmup, Cycles: o.cycles,
+		Seed: o.seed, BufferLimit: o.buffers,
+		Policy: pol, TTL: o.ttl,
+	}
+}
+
+func usageError(set *flag.FlagSet, err error) {
+	fmt.Fprintln(os.Stderr, "bffault:", err)
+	set.Usage()
 	os.Exit(2)
 }
 
@@ -77,205 +363,109 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func validateFlags() {
-	if *dim < 1 || *dim > 14 {
-		usageError("-n %d out of range [1,14]", *dim)
-	}
-	if *lambda <= 0 || *lambda > 1 {
-		usageError("-lambda %v outside (0,1]", *lambda)
-	}
-	if *warmup < 0 {
-		usageError("-warmup %d is negative", *warmup)
-	}
-	if *cycles <= 0 {
-		usageError("-cycles %d must be positive", *cycles)
-	}
-	if *buffers < 0 {
-		usageError("-buffers %d is negative", *buffers)
-	}
-	if *ttl < 0 {
-		usageError("-ttl %d is negative", *ttl)
-	}
-	if *linkRate < 0 || *linkRate > 1 {
-		usageError("-linkrate %v outside [0,1]", *linkRate)
-	}
-	if *nodeRate < 0 || *nodeRate > 1 {
-		usageError("-noderate %v outside [0,1]", *nodeRate)
-	}
-	if *transient < 0 {
-		usageError("-transient %d is negative", *transient)
-	}
-	if *repair <= 0 {
-		usageError("-repair %d must be positive", *repair)
-	}
-	if *killModules < 0 {
-		usageError("-killmodules %d is negative", *killModules)
-	}
-	validateReliableFlags()
-}
-
-// validateReliableFlags rejects nonsense reliability settings upfront: a
-// reliability flag set without -reliable is a mistake the run would
-// silently ignore, and a schedule the run horizon can never exercise is
-// a mistake the run would silently report as perfect delivery.
-func validateReliableFlags() {
-	reliability := map[string]bool{
-		"timeout": true, "retries": true, "jitter": true,
-		"maxtimeout": true, "outage": true,
-	}
-	var stray []string
-	flag.Visit(func(f *flag.Flag) {
-		if reliability[f.Name] && !*reliableOn {
-			stray = append(stray, "-"+f.Name)
-		}
-	})
-	if len(stray) > 0 {
-		usageError("%s set without -reliable", strings.Join(stray, ", "))
-	}
-	if !*reliableOn {
-		return
-	}
-	if *rtoBase < 0 {
-		usageError("-timeout %d is negative", *rtoBase)
-	}
-	if *jitter < -1 {
-		usageError("-jitter %d is negative (use -1 for the default)", *jitter)
-	}
-	if *outage < 0 {
-		usageError("-outage %d is negative", *outage)
-	}
-	if *outage > 0 && *sweepRates == "" {
-		usageError("-outage only applies to a reliability sweep (add -sweep)")
-	}
-	cfg := reliableConfig()
-	if err := cfg.Validate(); err != nil {
-		usageError("%v", err)
-	}
-	if horizon := *warmup + *cycles; cfg.Timeout >= horizon {
-		usageError("-timeout %d never fires within the %d-cycle run", cfg.Timeout, horizon)
-	}
-}
-
-// reliableConfig builds the transport schedule from the flags, filling
-// auto values from DefaultConfig for the chosen dimension.
-func reliableConfig() reliable.Config {
-	c := reliable.DefaultConfig(*dim)
-	c.Seed = *seed + 505
-	c.MaxRetries = *retries
-	c.MaxTimeout = *maxRTO
-	if *rtoBase > 0 {
-		c.Timeout = *rtoBase
-	}
-	if *jitter >= 0 {
-		c.Jitter = *jitter
-	}
-	return c
-}
-
-func parsePolicy(s string) routing.Policy {
+func parsePolicy(s string) (routing.Policy, error) {
 	switch s {
 	case "misroute":
-		return routing.Misroute
+		return routing.Misroute, nil
 	case "drop", "dropdead":
-		return routing.DropDead
+		return routing.DropDead, nil
 	default:
-		usageError("unknown policy %q (want misroute or drop)", s)
-		panic("unreachable")
+		return 0, fmt.Errorf("unknown policy %q (want misroute or drop)", s)
 	}
 }
 
-func parseFloats(s string) []float64 {
+func parseFloats(s string) ([]float64, error) {
 	var out []float64
 	for _, f := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil {
-			usageError("bad rate %q in list", f)
+			return nil, fmt.Errorf("bad rate %q in list", f)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
-func parseInts(s string) []int {
+func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			usageError("bad count %q in list", f)
+			return nil, fmt.Errorf("bad count %q in list", f)
 		}
 		out = append(out, v)
 	}
-	return out
-}
-
-func baseParams() routing.Params {
-	return routing.Params{
-		N: *dim, Lambda: *lambda, Warmup: *warmup, Cycles: *cycles,
-		Seed: *seed, BufferLimit: *buffers,
-		Policy: parsePolicy(*policy), TTL: *ttl,
-	}
+	return out, nil
 }
 
 func main() {
-	flag.Parse()
-	validateFlags()
+	set := flag.NewFlagSet("bffault", flag.ExitOnError)
+	o := newOptions(set)
+	set.Parse(os.Args[1:])
+	if err := o.validate(); err != nil {
+		usageError(set, err)
+	}
 	switch {
-	case *sweepRates != "" && *reliableOn:
-		runReliableSweep()
-	case *sweepRates != "":
-		runSweep()
-	case *compare && *reliableOn:
-		runReliableCompare()
-	case *compare:
-		runCompare()
+	case o.sweepRates != "" && o.adaptiveOn:
+		runAdaptiveSweep(o)
+	case o.sweepRates != "" && o.reliableOn:
+		runReliableSweep(o)
+	case o.sweepRates != "":
+		runSweep(o)
+	case o.compare && o.adaptiveOn:
+		runAdaptiveCompare(o)
+	case o.compare && o.reliableOn:
+		runReliableCompare(o)
+	case o.compare:
+		runCompare(o)
 	default:
-		runOnce()
+		runOnce(o)
 	}
 }
 
 // findScheme returns the named packaging scheme for the current dimension.
-func findScheme(name string) faults.Scheme {
-	schemes, err := faults.StandardSchemes(*dim)
+func findScheme(o *options) faults.Scheme {
+	schemes, err := faults.StandardSchemes(o.dim)
 	if err != nil {
 		fatal(err)
 	}
 	for _, sc := range schemes {
-		if sc.Name == name {
+		if sc.Name == o.scheme {
 			return sc
 		}
 	}
-	usageError("unknown scheme %q (want row, nucleus, or naive)", name)
+	fatal(fmt.Errorf("unknown scheme %q", o.scheme))
 	panic("unreachable")
 }
 
-func runOnce() {
-	plan, err := faults.NewPlan(*dim)
+func runOnce(o *options) {
+	plan, err := faults.NewPlan(o.dim)
 	if err != nil {
 		fatal(err)
 	}
-	horizon := *warmup + *cycles
-	if *linkRate > 0 {
-		if _, err := plan.AddRandomLinkFaults(*linkRate, *seed+101); err != nil {
+	horizon := o.warmup + o.cycles
+	if o.linkRate > 0 {
+		if _, err := plan.AddRandomLinkFaults(o.linkRate, o.seed+101); err != nil {
 			fatal(err)
 		}
 	}
-	if *nodeRate > 0 {
-		if _, err := plan.AddRandomNodeFaults(*nodeRate, *seed+202); err != nil {
+	if o.nodeRate > 0 {
+		if _, err := plan.AddRandomNodeFaults(o.nodeRate, o.seed+202); err != nil {
 			fatal(err)
 		}
 	}
-	if *transient > 0 {
-		if err := plan.AddRandomTransientLinkFaults(*transient, horizon, *repair, *seed+303); err != nil {
+	if o.transient > 0 {
+		if err := plan.AddRandomTransientLinkFaults(o.transient, horizon, o.repair, o.seed+303); err != nil {
 			fatal(err)
 		}
 	}
 	deadModuleNodes := 0
-	if *killModules > 0 {
-		sc := findScheme(*scheme)
-		if *killModules > sc.NumModules {
-			usageError("-killmodules %d exceeds the %d %s modules", *killModules, sc.NumModules, sc.Name)
+	if o.killModules > 0 {
+		sc := findScheme(o)
+		if o.killModules > sc.NumModules {
+			fatal(fmt.Errorf("-killmodules %d exceeds the %d %s modules", o.killModules, sc.NumModules, sc.Name))
 		}
-		for _, m := range faults.PickModules(sc.NumModules, *killModules, *seed+404) {
+		for _, m := range faults.PickModules(sc.NumModules, o.killModules, o.seed+404) {
 			killed, err := plan.AddModuleFault(sc.ModuleOf, m, 0, 0)
 			if err != nil {
 				fatal(err)
@@ -283,18 +473,26 @@ func runOnce() {
 			deadModuleNodes += killed
 		}
 	}
-	p := baseParams()
+	p := o.baseParams()
 	p.Faults = plan
 	if p.TTL == 0 && plan.NumEvents() > 0 {
-		p.TTL = faults.DefaultTTL(*dim)
+		p.TTL = faults.DefaultTTL(o.dim)
 	}
-	var tr *reliable.Transport
-	if *reliableOn {
-		tr, err = reliable.New(reliableConfig())
+	var rt *adaptive.Router
+	if o.adaptiveOn {
+		rt, err = adaptive.New(o.adaptiveConfig())
 		if err != nil {
 			fatal(err)
 		}
-		tr.MeasureFrom = *warmup
+		p.Adaptive = rt
+	}
+	var tr *reliable.Transport
+	if o.reliableOn {
+		tr, err = reliable.New(o.reliableConfig())
+		if err != nil {
+			fatal(err)
+		}
+		tr.MeasureFrom = o.warmup
 		p.Reliable = tr
 	}
 	r, err := routing.Simulate(p)
@@ -302,16 +500,20 @@ func runOnce() {
 		fatal(err)
 	}
 	plan.BeginCycle(0)
-	fmt.Printf("B_%d wrapped, lambda=%.4f, policy=%v, ttl=%d, %d fault events:\n",
-		*dim, *lambda, p.Policy, p.TTL, plan.NumEvents())
+	router := "policy " + o.policy
+	if o.adaptiveOn {
+		router = "adaptive router"
+	}
+	fmt.Printf("B_%d wrapped, lambda=%.4f, %s, ttl=%d, %d fault events:\n",
+		o.dim, o.lambda, router, p.TTL, plan.NumEvents())
 	fmt.Printf("  at cycle 0:   %d dead nodes, %d dead links (of %d / %d)\n",
 		plan.DeadNodes(), plan.DeadLinks(), plan.Nodes(), 2*plan.Nodes())
 	if deadModuleNodes > 0 {
 		fmt.Printf("  module kill:  %d modules of the %s scheme (%d nodes)\n",
-			*killModules, *scheme, deadModuleNodes)
+			o.killModules, o.scheme, deadModuleNodes)
 	}
 	fmt.Printf("  throughput:   %.4f pkts/node/cycle (%.1f%% of offered)\n",
-		r.Throughput, 100*r.Throughput / *lambda)
+		r.Throughput, 100*r.Throughput/o.lambda)
 	fmt.Printf("  avg latency:  %.2f cycles (avg hops %.2f)\n", r.AvgLatency, r.AvgHops)
 	if tr != nil {
 		cfg := tr.Config()
@@ -329,15 +531,28 @@ func runOnce() {
 		fmt.Printf("  accounting:   %d injected = %d delivered + %d dropped + %d unreachable + %d backlog\n",
 			r.TotalInjected, r.TotalDelivered, r.Dropped, r.Unreachable, r.Backlog)
 	}
-	fmt.Printf("  misroutes:    %d (stalls %d)\n", r.Misroutes, r.Stalls)
+	if rt != nil {
+		s := rt.Stats()
+		fmt.Printf("  detection:    %d breakers opened, %d re-closed, %d probes (%d alive), %d epochs, %d open at end\n",
+			s.Opened, s.Reclosed, s.Probes, s.ProbesAlive, s.Epochs, s.OpenAtEnd)
+		fmt.Printf("  rerouting:    %d detours, %d queue re-plans\n", r.Detours, r.Reroutes)
+		fmt.Printf("  unreachable:  %d dead dest + %d cut dest + %d detected by epoch map\n",
+			r.UnreachableDead, r.UnreachableCut, r.UnreachableDetected)
+	} else {
+		fmt.Printf("  misroutes:    %d (stalls %d)\n", r.Misroutes, r.Stalls)
+	}
 	if err := r.CheckConservation(); err != nil {
 		fatal(err)
 	}
 }
 
-func runSweep() {
-	pts := faults.Sweep(baseParams(), parseFloats(*sweepRates))
-	if *csv {
+func runSweep(o *options) {
+	rates, err := parseFloats(o.sweepRates)
+	if err != nil {
+		fatal(err)
+	}
+	pts := faults.Sweep(o.baseParams(), rates)
+	if o.csv {
 		fmt.Println("rate,dead_links,throughput,efficiency,latency,dropped,unreachable,misroutes,backlog")
 		for _, pt := range pts {
 			if pt.Err != nil {
@@ -345,7 +560,7 @@ func runSweep() {
 			}
 			r := pt.Result
 			fmt.Printf("%g,%d,%.4f,%.4f,%.2f,%d,%d,%d,%d\n",
-				pt.Rate, pt.DeadLinks, r.Throughput, r.Throughput / *lambda,
+				pt.Rate, pt.DeadLinks, r.Throughput, r.Throughput/o.lambda,
 				r.AvgLatency, r.Dropped, r.Unreachable, r.Misroutes, r.Backlog)
 		}
 		return
@@ -358,7 +573,7 @@ func runSweep() {
 		}
 		r := pt.Result
 		fmt.Fprintf(w, "%g\t%d\t%.4f\t%.1f%%\t%.1f\t%d\t%d\t%d\t%d\n",
-			pt.Rate, pt.DeadLinks, r.Throughput, 100*r.Throughput / *lambda,
+			pt.Rate, pt.DeadLinks, r.Throughput, 100*r.Throughput/o.lambda,
 			r.AvgLatency, r.Dropped, r.Unreachable, r.Misroutes, r.Backlog)
 	}
 	w.Flush()
@@ -368,27 +583,30 @@ func runSweep() {
 // across fault rates: permanent link faults by default, repairable
 // outages of -outage cycles when set. Every point is conservation-checked
 // by the sweep itself; any inconsistency aborts before a row is printed.
-func runReliableSweep() {
-	cfg := reliableConfig()
+func runReliableSweep(o *options) {
+	cfg := o.reliableConfig()
 	modes := reliable.StandardModes()
-	rates := parseFloats(*sweepRates)
+	rates, err := parseFloats(o.sweepRates)
+	if err != nil {
+		fatal(err)
+	}
 	var pts []reliable.Point
-	if *outage > 0 {
-		pts = reliable.OutageSweep(baseParams(), cfg, modes, rates, *outage)
+	if o.outage > 0 {
+		pts = reliable.OutageSweep(o.baseParams(), cfg, modes, rates, o.outage)
 	} else {
-		pts = reliable.Sweep(baseParams(), cfg, modes, rates)
+		pts = reliable.Sweep(o.baseParams(), cfg, modes, rates)
 	}
 	for _, pt := range pts {
 		if pt.Err != nil {
 			fatal(pt.Err)
 		}
 	}
-	if *csv {
+	if o.csv {
 		fmt.Println("mode,rate,dead_links,outages,goodput,efficiency,p99_latency,retransmitted,overhead,duplicates,gaveup,abandoned,pending")
 		for _, pt := range pts {
 			r := pt.Result
 			fmt.Printf("%s,%g,%d,%d,%.4f,%.4f,%.0f,%d,%.4f,%d,%d,%d,%d\n",
-				pt.Mode, pt.Rate, pt.DeadLinks, pt.Outages, pt.Goodput, pt.Goodput / *lambda,
+				pt.Mode, pt.Rate, pt.DeadLinks, pt.Outages, pt.Goodput, pt.Goodput/o.lambda,
 				pt.P99Latency, r.Retransmitted, pt.Overhead,
 				r.DuplicatesDropped, r.GaveUp, pt.Stats.Abandoned, pt.Stats.Pending)
 		}
@@ -399,30 +617,34 @@ func runReliableSweep() {
 	for _, pt := range pts {
 		r := pt.Result
 		fmt.Fprintf(w, "%s\t%g\t%d\t%d\t%.4f\t%.1f%%\t%.0f\t%d\t%.1f%%\t%d\t%d\n",
-			pt.Mode, pt.Rate, pt.DeadLinks, pt.Outages, pt.Goodput, 100*pt.Goodput / *lambda,
+			pt.Mode, pt.Rate, pt.DeadLinks, pt.Outages, pt.Goodput, 100*pt.Goodput/o.lambda,
 			pt.P99Latency, r.Retransmitted, 100*pt.Overhead, r.DuplicatesDropped, r.GaveUp)
 	}
 	w.Flush()
-	if *outage == 0 {
-		fmt.Println("(permanent faults: deterministic retries retrace the same path, so retx modes mostly pay overhead; add -outage for the repairable regime)")
+	if o.outage == 0 {
+		fmt.Println("(permanent faults: deterministic retries retrace the same path, so retx modes mostly pay overhead; add -outage for the repairable regime, or -adaptive for routes that change)")
 	}
 }
 
 // runReliableCompare is the packaging comparison with recovery in the
 // loop: modules die whole under each scheme, and every recovery mode is
 // measured on the same wreckage.
-func runReliableCompare() {
-	schemes, err := faults.StandardSchemes(*dim)
+func runReliableCompare(o *options) {
+	schemes, err := faults.StandardSchemes(o.dim)
 	if err != nil {
 		fatal(err)
 	}
-	pts := reliable.ModuleKillSweep(baseParams(), reliableConfig(), reliable.StandardModes(), schemes, parseInts(*kills))
+	killCounts, err := parseInts(o.kills)
+	if err != nil {
+		fatal(err)
+	}
+	pts := reliable.ModuleKillSweep(o.baseParams(), o.reliableConfig(), reliable.StandardModes(), schemes, killCounts)
 	for _, pt := range pts {
 		if pt.Err != nil {
 			fatal(pt.Err)
 		}
 	}
-	if *csv {
+	if o.csv {
 		fmt.Println("mode,scheme,killed,dead_nodes,dead_frac,goodput,p99_latency,retransmitted,overhead,duplicates,abandoned")
 		for _, pt := range pts {
 			r := pt.Result
@@ -446,13 +668,17 @@ func runReliableCompare() {
 	fmt.Println("(same seeded module draw per kill count, shared across schemes and modes)")
 }
 
-func runCompare() {
-	schemes, err := faults.StandardSchemes(*dim)
+func runCompare(o *options) {
+	schemes, err := faults.StandardSchemes(o.dim)
 	if err != nil {
 		fatal(err)
 	}
-	pts := faults.ModuleKillSweep(baseParams(), schemes, parseInts(*kills))
-	if *csv {
+	killCounts, err := parseInts(o.kills)
+	if err != nil {
+		fatal(err)
+	}
+	pts := faults.ModuleKillSweep(o.baseParams(), schemes, killCounts)
+	if o.csv {
 		fmt.Println("scheme,killed,dead_nodes,dead_frac,throughput,latency,dropped,unreachable,backlog")
 		for _, pt := range pts {
 			if pt.Err != nil {
@@ -478,4 +704,80 @@ func runCompare() {
 	}
 	w.Flush()
 	fmt.Println("(same seeded module draw per kill count; schemes differ only in what a module is)")
+}
+
+// runAdaptiveSweep compares the E23 recovery modes (drop / misroute /
+// adaptive / adaptive+retx) across permanent link fault rates.
+func runAdaptiveSweep(o *options) {
+	rates, err := parseFloats(o.sweepRates)
+	if err != nil {
+		fatal(err)
+	}
+	pts := adaptive.Sweep(o.baseParams(), o.adaptiveConfig(), o.reliableConfig(), adaptive.StandardModes(), rates)
+	for _, pt := range pts {
+		if pt.Err != nil {
+			fatal(pt.Err)
+		}
+	}
+	if o.csv {
+		fmt.Println("mode,rate,dead_links,goodput,efficiency,detours,reroutes,unreachable_detected,overhead,opened,reclosed")
+		for _, pt := range pts {
+			r := pt.Result
+			fmt.Printf("%s,%g,%d,%.4f,%.4f,%d,%d,%d,%.4f,%d,%d\n",
+				pt.Mode, pt.Rate, pt.DeadLinks, pt.Goodput, pt.Goodput/o.lambda,
+				r.Detours, r.Reroutes, r.UnreachableDetected, pt.Overhead,
+				pt.Router.Opened, pt.Router.Reclosed)
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "mode\trate\tdead\tgoodput\tefficiency\tdetours\treplans\tdetected\toverhead\tbreakers\n")
+	for _, pt := range pts {
+		r := pt.Result
+		fmt.Fprintf(w, "%s\t%g\t%d\t%.4f\t%.1f%%\t%d\t%d\t%d\t%.1f%%\t%d\n",
+			pt.Mode, pt.Rate, pt.DeadLinks, pt.Goodput, 100*pt.Goodput/o.lambda,
+			r.Detours, r.Reroutes, r.UnreachableDetected, 100*pt.Overhead, pt.Router.Opened)
+	}
+	w.Flush()
+	fmt.Println("(adaptive detours change the physical path each wrap-around pass - the recovery retries alone cannot buy)")
+}
+
+// runAdaptiveCompare is experiment E23: the packaging comparison with
+// the full recovery ladder on the same module wreckage.
+func runAdaptiveCompare(o *options) {
+	schemes, err := faults.StandardSchemes(o.dim)
+	if err != nil {
+		fatal(err)
+	}
+	killCounts, err := parseInts(o.kills)
+	if err != nil {
+		fatal(err)
+	}
+	pts := adaptive.ModuleKillSweep(o.baseParams(), o.adaptiveConfig(), o.reliableConfig(), adaptive.StandardModes(), schemes, killCounts)
+	for _, pt := range pts {
+		if pt.Err != nil {
+			fatal(pt.Err)
+		}
+	}
+	if o.csv {
+		fmt.Println("mode,scheme,killed,dead_nodes,dead_frac,goodput,detours,reroutes,unreachable_detected,overhead,opened")
+		for _, pt := range pts {
+			r := pt.Result
+			fmt.Printf("%s,%s,%d,%d,%.4f,%.4f,%d,%d,%d,%.4f,%d\n",
+				pt.Mode, pt.Scheme, pt.Killed, pt.DeadNodes, pt.DeadNodeFrac,
+				pt.Goodput, r.Detours, r.Reroutes, r.UnreachableDetected,
+				pt.Overhead, pt.Router.Opened)
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "mode\tscheme\tkilled\tdead nodes\tgoodput\tdetours\treplans\tdetected\toverhead\tbreakers\n")
+	for _, pt := range pts {
+		r := pt.Result
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.4f\t%d\t%d\t%d\t%.1f%%\t%d\n",
+			pt.Mode, pt.Scheme, pt.Killed, pt.DeadNodes, pt.Goodput,
+			r.Detours, r.Reroutes, r.UnreachableDetected, 100*pt.Overhead, pt.Router.Opened)
+	}
+	w.Flush()
+	fmt.Println("(E23: same seeded module draw per kill count, shared across schemes and modes)")
 }

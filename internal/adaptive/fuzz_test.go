@@ -1,0 +1,75 @@
+package adaptive
+
+import (
+	"testing"
+
+	"bfvlsi/internal/faults"
+	"bfvlsi/internal/reliable"
+	"bfvlsi/internal/routing"
+)
+
+// FuzzAdaptiveConservation throws arbitrary fault plans, router tunings,
+// and simulator modes at the adaptive stack and asserts the copy-exact
+// conservation identity - including the Unreachable partition - never
+// breaks. This is the adaptive counterpart of FuzzPlanComposition: the
+// oracle is the accounting itself.
+func FuzzAdaptiveConservation(f *testing.F) {
+	f.Add(uint8(3), uint16(100), int64(1), uint8(10), uint8(2), uint8(0), uint8(2), uint8(12), false)
+	f.Add(uint8(4), uint16(200), int64(9), uint8(30), uint8(0), uint8(3), uint8(1), uint8(0), true)
+	f.Add(uint8(2), uint16(50), int64(42), uint8(0), uint8(5), uint8(2), uint8(3), uint8(7), false)
+	f.Fuzz(func(t *testing.T, nRaw uint8, lamRaw uint16, seed int64,
+		linkPct, deadNodes, bufferLimit, threshold, epoch uint8, retx bool) {
+		n := 2 + int(nRaw%4) // 2..5
+		rows := 1 << uint(n)
+		nodes := n * rows
+		lambda := float64(lamRaw%300) / 1000
+		plan, err := faults.NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plan.AddRandomLinkFaults(float64(linkPct%40)/100, seed+1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < int(deadNodes%8); i++ {
+			node := int((seed + int64(i)*7919) % int64(nodes))
+			if node < 0 {
+				node += nodes
+			}
+			if err := plan.AddNodeFault(node, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rt, err := New(Config{
+			Threshold: 1 + int(threshold%4),
+			Epoch:     int(epoch % 30), // 0 disables dissemination
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := routing.Params{
+			N: n, Lambda: lambda, Warmup: 20, Cycles: 120, Seed: seed,
+			BufferLimit: int(bufferLimit % 5), // 0 = unbounded mode
+			Faults:      plan,
+			Adaptive:    rt,
+			TTL:         faults.DefaultTTL(n),
+		}
+		if retx {
+			tr, err := reliable.New(reliable.Config{Timeout: 3 * n, MaxRetries: 2, Seed: seed + 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Reliable = tr
+		}
+		res, err := routing.Simulate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConservation(); err != nil {
+			t.Fatalf("n=%d lambda=%g buffers=%d retx=%v: %v", n, lambda, p.BufferLimit, retx, err)
+		}
+		if res.Detours < 0 || res.Reroutes < 0 {
+			t.Fatalf("negative adaptive counters: %+v", res)
+		}
+	})
+}

@@ -69,6 +69,16 @@ type Params struct {
 	// With a nil Transport - or one whose timers never fire - the run is
 	// identical to the plain simulation, packet for packet.
 	Reliable Transport
+	// Adaptive, if non-nil, replaces the static Policy with an online
+	// fault-aware adaptive router (see internal/adaptive): link health is
+	// learned from failed attempts and control-plane probes, packets take
+	// bounded detours around condemned links, queued packets are
+	// re-planned after their link is condemned, and injections to
+	// destinations the disseminated link-state map calls unreachable are
+	// refused upfront. Policy is ignored while Adaptive is set. A router
+	// that has learned nothing (zero faults) leaves the run identical to
+	// the plain simulation, packet for packet.
+	Adaptive AdaptiveRouter
 }
 
 // Result summarizes a run.
@@ -109,6 +119,22 @@ type Result struct {
 	// Misroutes counts fallback hops taken because the planned output
 	// link was dead (Misroute policy), over the whole run.
 	Misroutes int
+	// Detours counts hops where the adaptive router (Params.Adaptive)
+	// chose a non-planned output - forced fallbacks around condemned
+	// links plus deliberate dimension-shifts - over the whole run. Zero
+	// without a router.
+	Detours int
+	// Reroutes counts queued packets the adaptive router moved to their
+	// node's other output queue after condemning the link they waited on.
+	Reroutes int
+	// UnreachableDead, UnreachableCut, and UnreachableDetected partition
+	// Unreachable by cause: destination node dead at injection (oracle),
+	// every link into the destination dead at injection (oracle), or the
+	// adaptive router's disseminated link-state map condemning the
+	// destination (learned). Exactly: Unreachable = UnreachableDead +
+	// UnreachableCut + UnreachableDetected; CheckConservation verifies
+	// it.
+	UnreachableDead, UnreachableCut, UnreachableDetected int
 	// Retransmitted counts copies re-injected by the reliable transport
 	// (Params.Reliable), over the whole run. Zero without a transport.
 	Retransmitted int
@@ -141,6 +167,10 @@ func (r *Result) CheckConservation() error {
 		return fmt.Errorf("routing: conservation violated: injected %d + retransmitted %d != delivered %d + duplicates %d + dropped %d + gaveup %d + unreachable %d + backlog %d",
 			r.TotalInjected, r.Retransmitted, r.TotalDelivered, r.DuplicatesDropped, r.Dropped, r.GaveUp, r.Unreachable, r.Backlog)
 	}
+	if got := r.UnreachableDead + r.UnreachableCut + r.UnreachableDetected; got != r.Unreachable {
+		return fmt.Errorf("routing: unreachable accounting violated: dead %d + cut %d + detected %d != unreachable %d",
+			r.UnreachableDead, r.UnreachableCut, r.UnreachableDetected, r.Unreachable)
+	}
 	return nil
 }
 
@@ -151,6 +181,12 @@ type packet struct {
 	// rid is the reliable-transport payload id (0 when no transport is
 	// attached; see Params.Reliable).
 	rid uint64
+	// detours is the deliberate-detour budget the packet has spent, and
+	// blocked the column whose bit a condemned cross link kept it from
+	// fixing (-1 when none) - adaptive-router state (see adaptive.go),
+	// untouched without a router.
+	detours int
+	blocked int
 }
 
 // Simulate runs the synchronous simulation with uniform random traffic.
@@ -185,6 +221,9 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 	if p.Reliable != nil {
 		p.Reliable.Reset(nodes)
 	}
+	if p.Adaptive != nil {
+		p.Adaptive.Reset(n, rows)
+	}
 
 	res := &Result{Nodes: nodes}
 	var latSum, hopSum float64
@@ -205,6 +244,10 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 		if p.Reliable != nil {
 			p.Reliable.BeginCycle(cycle)
 		}
+		if p.Adaptive != nil {
+			p.Adaptive.BeginCycle(cycle)
+			runProbes(p.Adaptive, p.Faults)
+		}
 		// Phase 1: injections.
 		for row := 0; row < rows; row++ {
 			for col := 0; col < n; col++ {
@@ -219,24 +262,15 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 					return nil, derr
 				}
 				pk := packet{
-					dstRow: dr,
-					dstCol: dc,
-					born:   cycle,
+					dstRow:  dr,
+					dstCol:  dc,
+					born:    cycle,
+					blocked: -1,
 				}
 				if measured {
 					res.Injected++
 				}
 				res.TotalInjected++
-				if p.Faults != nil && p.Faults.NodeDown(id(dr, dc)) {
-					if p.Reliable != nil {
-						// The source cannot know the destination is dead:
-						// the payload is registered and its retries burn
-						// budget against the void until it is abandoned.
-						p.Reliable.Register(cycle, id(row, col), id(dr, dc))
-					}
-					res.Unreachable++
-					continue
-				}
 				if pk.dstRow == row && pk.dstCol == col {
 					// Delivered in place: no copy enters the network, so
 					// no duplicate can ever exist and the payload needs
@@ -247,16 +281,51 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 					}
 					continue
 				}
+				if p.Adaptive != nil && p.Adaptive.RejectDest(id(dr, dc)) {
+					// The source's own disseminated link-state map calls
+					// the destination unreachable: refuse locally, before
+					// any transport state exists - no retries to burn.
+					res.Unreachable++
+					res.UnreachableDetected++
+					continue
+				}
+				if p.Faults != nil && p.Faults.NodeDown(id(dr, dc)) {
+					if p.Reliable != nil {
+						// The source cannot know the destination is dead:
+						// the payload is registered and its retries burn
+						// budget against the void until it is abandoned.
+						p.Reliable.Register(cycle, id(row, col), id(dr, dc))
+					}
+					res.Unreachable++
+					res.UnreachableDead++
+					continue
+				}
+				if destCut(p.Faults, n, rows, dr, dc) {
+					// Every link into the destination is dead: the packet
+					// could only wander until its TTL - or, with TTL 0,
+					// forever. Refuse it at injection instead; as with a
+					// dead node the source cannot know, so the payload is
+					// still registered and its retries burn budget.
+					if p.Reliable != nil {
+						p.Reliable.Register(cycle, id(row, col), id(dr, dc))
+					}
+					res.Unreachable++
+					res.UnreachableCut++
+					continue
+				}
 				if p.Reliable != nil {
 					pk.rid = p.Reliable.Register(cycle, id(row, col), id(dr, dc))
 				}
-				out, drop, mis := chooseOut(pk, row, col, rows, p.Faults, p.Policy)
+				out, drop, mis, det := route(&pk, row, col, rows, &p)
 				if drop {
 					res.Dropped++
 					continue
 				}
 				if mis {
 					res.Misroutes++
+				}
+				if det {
+					res.Detours++
 				}
 				q := id(row, col)*2 + out
 				queues[q] = append(queues[q], pk)
@@ -273,12 +342,23 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 				}
 				p.Reliable.Emitted(c.ID, cycle)
 				res.Retransmitted++
-				if p.Faults != nil && p.Faults.NodeDown(c.Dst) {
+				if p.Adaptive != nil && p.Adaptive.RejectDest(c.Dst) {
 					res.Unreachable++
+					res.UnreachableDetected++
 					continue
 				}
-				pk := packet{dstRow: c.Dst % rows, dstCol: c.Dst / rows, born: cycle, rid: c.ID}
-				out, drop, mis := chooseOut(pk, srcRow, srcCol, rows, p.Faults, p.Policy)
+				if p.Faults != nil && p.Faults.NodeDown(c.Dst) {
+					res.Unreachable++
+					res.UnreachableDead++
+					continue
+				}
+				if destCut(p.Faults, n, rows, c.Dst%rows, c.Dst/rows) {
+					res.Unreachable++
+					res.UnreachableCut++
+					continue
+				}
+				pk := packet{dstRow: c.Dst % rows, dstCol: c.Dst / rows, born: cycle, rid: c.ID, blocked: -1}
+				out, drop, mis, det := route(&pk, srcRow, srcCol, rows, &p)
 				if drop {
 					res.Dropped++
 					continue
@@ -286,8 +366,51 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 				if mis {
 					res.Misroutes++
 				}
+				if det {
+					res.Detours++
+				}
 				q := c.Src*2 + out
 				queues[q] = append(queues[q], pk)
+			}
+		}
+		// Phase 1c: re-planning. The adaptive router re-examines the head of
+		// every queue; a head whose link the router has since condemned is
+		// moved to the node's other output queue instead of stalling until
+		// the breaker re-closes. Only heads move: packets behind them follow
+		// on later cycles if the condemnation persists. Choose is
+		// deterministic within a cycle, so a moved head re-examined at its
+		// new queue re-chooses the same output - no ping-pong.
+		if p.Adaptive != nil {
+			for node := 0; node < nodes; node++ {
+				row, col := node%rows, node/rows
+				for out := 0; out < 2; out++ {
+					q := node*2 + out
+					if len(queues[q]) == 0 {
+						continue
+					}
+					pk := queues[q][0]
+					d := p.Adaptive.Choose(Hop{
+						Node:    node,
+						Want:    plannedOut(pk, row, col),
+						Dst:     pk.dstCol*rows + pk.dstRow,
+						Detours: pk.detours,
+						Blocked: pk.blocked,
+					})
+					if d.Out == out {
+						continue
+					}
+					pk.blocked = d.Blocked
+					if d.Deliberate {
+						pk.detours++
+					}
+					if d.Detour {
+						res.Detours++
+					}
+					res.Reroutes++
+					queues[q] = queues[q][1:]
+					nq := node*2 + d.Out
+					queues[nq] = append(queues[nq], pk)
+				}
 			}
 		}
 		// Phase 2: every directed link moves one packet; arrivals are
@@ -327,6 +450,9 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 						if measured {
 							res.Stalls++
 						}
+						if p.Adaptive != nil {
+							p.Adaptive.ObserveFailure(q)
+						}
 						continue
 					}
 					pk := queues[q][0]
@@ -336,6 +462,9 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 					}
 					queues[q] = queues[q][1:]
 					pk.hops++
+					if p.Adaptive != nil {
+						p.Adaptive.ObserveSuccess(q)
+					}
 					if p.ModuleOf != nil && measured {
 						if p.ModuleOf[id(row, col)] != p.ModuleOf[id(nr, nextCol)] {
 							crossings++
@@ -373,13 +502,16 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 				}
 				continue
 			}
-			out, drop, mis := chooseOut(a.pk, a.row, a.col, rows, p.Faults, p.Policy)
+			out, drop, mis, det := route(&a.pk, a.row, a.col, rows, &p)
 			if drop {
 				res.Dropped++
 				continue
 			}
 			if mis {
 				res.Misroutes++
+			}
+			if det {
+				res.Detours++
 			}
 			q := id(a.row, a.col)*2 + out
 			queues[q] = append(queues[q], a.pk)

@@ -51,6 +51,9 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 	if p.Reliable != nil {
 		p.Reliable.Reset(nodes)
 	}
+	if p.Adaptive != nil {
+		p.Adaptive.Reset(n, rows)
+	}
 
 	res := &Result{Nodes: nodes}
 	var latSum, hopSum float64
@@ -71,6 +74,10 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 		if p.Reliable != nil {
 			p.Reliable.BeginCycle(cycle)
 		}
+		if p.Adaptive != nil {
+			p.Adaptive.BeginCycle(cycle)
+			runProbes(p.Adaptive, p.Faults)
+		}
 		// Injections (VC 0).
 		for row := 0; row < rows; row++ {
 			for col := 0; col < n; col++ {
@@ -84,20 +91,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				if derr != nil {
 					return nil, derr
 				}
-				pk := vcPacket{packet: packet{dstRow: dr, dstCol: dc, born: cycle}}
-				if p.Faults != nil && p.Faults.NodeDown(id(dr, dc)) {
-					if p.Reliable != nil {
-						// Sources cannot see dead destinations: register
-						// and let the retries burn budget into the void.
-						p.Reliable.Register(cycle, id(row, col), id(dr, dc))
-					}
-					res.TotalInjected++
-					res.Unreachable++
-					if measured {
-						res.Injected++
-					}
-					continue
-				}
+				pk := vcPacket{packet: packet{dstRow: dr, dstCol: dc, born: cycle, blocked: -1}}
 				if dr == row && dc == col {
 					// In place: no copy enters the network, so no
 					// duplicate can exist and no transport state is kept.
@@ -109,13 +103,55 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					}
 					continue
 				}
+				if p.Adaptive != nil && p.Adaptive.RejectDest(id(dr, dc)) {
+					// The source's disseminated link-state map condemns the
+					// destination: refuse before any transport state exists,
+					// so no retries burn budget.
+					res.TotalInjected++
+					res.Unreachable++
+					res.UnreachableDetected++
+					if measured {
+						res.Injected++
+					}
+					continue
+				}
+				if p.Faults != nil && p.Faults.NodeDown(id(dr, dc)) {
+					if p.Reliable != nil {
+						// Sources cannot see dead destinations: register
+						// and let the retries burn budget into the void.
+						p.Reliable.Register(cycle, id(row, col), id(dr, dc))
+					}
+					res.TotalInjected++
+					res.Unreachable++
+					res.UnreachableDead++
+					if measured {
+						res.Injected++
+					}
+					continue
+				}
+				if destCut(p.Faults, n, rows, dr, dc) {
+					// Every link into the destination is dead: refuse the
+					// packet here rather than let it wander to TTL death
+					// (or, with TTL 0, forever). The source cannot know, so
+					// the payload is still registered and retries burn.
+					if p.Reliable != nil {
+						p.Reliable.Register(cycle, id(row, col), id(dr, dc))
+					}
+					res.TotalInjected++
+					res.Unreachable++
+					res.UnreachableCut++
+					if measured {
+						res.Injected++
+					}
+					continue
+				}
 				if p.Reliable != nil {
 					// Registered before the buffer check: a refused
 					// injection leaves no copy in the network but stays
 					// pending, so the transport's timer recovers it.
 					pk.rid = p.Reliable.Register(cycle, id(row, col), id(dr, dc))
 				}
-				out, drop, mis := chooseOut(pk.packet, row, col, rows, p.Faults, p.Policy)
+				out, drop, mis, det := route(&pk.packet, row, col, rows, &p)
 				if drop {
 					res.TotalInjected++
 					res.Dropped++
@@ -134,6 +170,9 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				if mis {
 					res.Misroutes++
 				}
+				if det {
+					res.Detours++
+				}
 				res.TotalInjected++
 				if measured {
 					res.Injected++
@@ -151,14 +190,29 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					p.Reliable.Deferred(c.ID) // dead sources cannot resend
 					continue
 				}
+				if p.Adaptive != nil && p.Adaptive.RejectDest(c.Dst) {
+					p.Reliable.Emitted(c.ID, cycle)
+					res.Retransmitted++
+					res.Unreachable++
+					res.UnreachableDetected++
+					continue
+				}
 				if p.Faults != nil && p.Faults.NodeDown(c.Dst) {
 					p.Reliable.Emitted(c.ID, cycle)
 					res.Retransmitted++
 					res.Unreachable++
+					res.UnreachableDead++
 					continue
 				}
-				pk := vcPacket{packet: packet{dstRow: c.Dst % rows, dstCol: c.Dst / rows, born: cycle, rid: c.ID}}
-				out, drop, mis := chooseOut(pk.packet, srcRow, srcCol, rows, p.Faults, p.Policy)
+				if destCut(p.Faults, n, rows, c.Dst%rows, c.Dst/rows) {
+					p.Reliable.Emitted(c.ID, cycle)
+					res.Retransmitted++
+					res.Unreachable++
+					res.UnreachableCut++
+					continue
+				}
+				pk := vcPacket{packet: packet{dstRow: c.Dst % rows, dstCol: c.Dst / rows, born: cycle, rid: c.ID, blocked: -1}}
+				out, drop, mis, det := route(&pk.packet, srcRow, srcCol, rows, &p)
 				if drop {
 					p.Reliable.Emitted(c.ID, cycle)
 					res.Retransmitted++
@@ -174,6 +228,9 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				res.Retransmitted++
 				if mis {
 					res.Misroutes++
+				}
+				if det {
+					res.Detours++
 				}
 				queues[q] = append(queues[q], pk)
 			}
@@ -198,6 +255,49 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				}
 			}
 		}
+		// Re-planning: the adaptive router re-examines every queue head and
+		// moves those whose link it has since condemned to the node's other
+		// output - same VC, so the dateline ordering is untouched - when
+		// that queue has a free slot. Runs before credits are computed so
+		// `room` sees the post-move occupancy.
+		if p.Adaptive != nil {
+			for node := 0; node < nodes; node++ {
+				row, col := node%rows, node/rows
+				for out := 0; out < 2; out++ {
+					for vc := 0; vc < numVC; vc++ {
+						q := qIdx(row, col, out, vc)
+						if len(queues[q]) == 0 {
+							continue
+						}
+						pk := queues[q][0]
+						d := p.Adaptive.Choose(Hop{
+							Node:    node,
+							Want:    plannedOut(pk.packet, row, col),
+							Dst:     pk.dstCol*rows + pk.dstRow,
+							Detours: pk.detours,
+							Blocked: pk.blocked,
+						})
+						if d.Out == out {
+							continue
+						}
+						nq := qIdx(row, col, d.Out, vc)
+						if len(queues[nq]) >= p.BufferLimit {
+							continue // no slot: stay and retry next cycle
+						}
+						pk.blocked = d.Blocked
+						if d.Deliberate {
+							pk.detours++
+						}
+						if d.Detour {
+							res.Detours++
+						}
+						res.Reroutes++
+						queues[q] = queues[q][1:]
+						queues[nq] = append(queues[nq], pk)
+					}
+				}
+			}
+		}
 		// Link traversal: one packet per physical link per cycle, with
 		// per-VC credits. Credits are computed from start-of-phase
 		// occupancy (conservative) and consumed as moves are granted.
@@ -206,8 +306,12 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 			room[i] = p.BufferLimit - len(queues[i])
 		}
 		type arrival struct {
-			pk       vcPacket
-			row, col int
+			pk        vcPacket
+			row, col  int
+			out       int
+			drop, mis bool
+			det       bool
+			delivered bool
 		}
 		var arrivals []arrival
 		for row := 0; row < rows; row++ {
@@ -220,12 +324,19 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					}
 					if p.Faults != nil && p.Faults.LinkDown(id(row, col), out) {
 						// Dead link: nothing moves, no credits consumed.
-						if measured {
-							for vc := 0; vc < numVC; vc++ {
-								if len(queues[qIdx(row, col, out, vc)]) > 0 {
-									res.Stalls++
-									break
-								}
+						occupied := false
+						for vc := 0; vc < numVC; vc++ {
+							if len(queues[qIdx(row, col, out, vc)]) > 0 {
+								occupied = true
+								break
+							}
+						}
+						if occupied {
+							if measured {
+								res.Stalls++
+							}
+							if p.Adaptive != nil {
+								p.Adaptive.ObserveFailure(id(row, col)*2 + out)
 							}
 						}
 						continue
@@ -236,14 +347,23 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 						if len(queues[q]) == 0 {
 							continue
 						}
-						pk := queues[q][0]
-						nvc := pk.vc
+						// The routing decision for the next hop is made
+						// once, here, on a scratch copy: if the credit
+						// check below denies the move the decision is
+						// discarded whole (Choose is a pure read, so the
+						// discarded call left no state behind), and the
+						// arrival loop reuses the stored flags instead of
+						// deciding again.
+						npk := queues[q][0]
+						nvc := npk.vc
 						if nextCol == 0 && nvc < numVC-1 {
 							nvc++ // dateline crossing
 						}
-						delivered := pk.dstRow == nr && pk.dstCol == nextCol
+						delivered := npk.dstRow == nr && npk.dstCol == nextCol
+						var nout int
+						var ndrop, nmis, ndet bool
 						if !delivered {
-							nout, ndrop, _ := chooseOut(pk.packet, nr, nextCol, rows, p.Faults, p.Policy)
+							nout, ndrop, nmis, ndet = route(&npk.packet, nr, nextCol, rows, &p)
 							if !ndrop {
 								// Packets dropped on arrival consume no
 								// credit; everything else needs a slot in
@@ -259,21 +379,28 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 							}
 						}
 						queues[q] = queues[q][1:]
-						pk.hops++
-						pk.vc = nvc
+						npk.hops++
+						npk.vc = nvc
+						if p.Adaptive != nil {
+							p.Adaptive.ObserveSuccess(id(row, col)*2 + out)
+						}
 						if p.ModuleOf != nil && measured {
 							if p.ModuleOf[id(row, col)] != p.ModuleOf[id(nr, nextCol)] {
 								crossings++
 							}
 						}
-						arrivals = append(arrivals, arrival{pk: pk, row: nr, col: nextCol})
+						arrivals = append(arrivals, arrival{
+							pk: npk, row: nr, col: nextCol,
+							out: nout, drop: ndrop, mis: nmis, det: ndet,
+							delivered: delivered,
+						})
 						moved = true
 					}
 				}
 			}
 		}
 		for _, a := range arrivals {
-			if a.pk.dstRow == a.row && a.pk.dstCol == a.col {
+			if a.delivered {
 				born := a.pk.born
 				if p.Reliable != nil {
 					v, born0 := p.Reliable.Arrive(cycle, a.pk.rid)
@@ -300,15 +427,17 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				}
 				continue
 			}
-			out, drop, mis := chooseOut(a.pk.packet, a.row, a.col, rows, p.Faults, p.Policy)
-			if drop {
+			if a.drop {
 				res.Dropped++
 				continue
 			}
-			if mis {
+			if a.mis {
 				res.Misroutes++
 			}
-			q := qIdx(a.row, a.col, out, a.pk.vc)
+			if a.det {
+				res.Detours++
+			}
+			q := qIdx(a.row, a.col, a.out, a.pk.vc)
 			queues[q] = append(queues[q], a.pk)
 		}
 		if p.Trace != nil && measured {
