@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench vet fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz
+.PHONY: all build test test-short race bench vet lint fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# bflint is the repo's own analyzer suite (determinism, conservation,
+# facade, flush/close contracts). It runs standalone here; CI also
+# exercises the `go vet -vettool` path.
+lint:
+	$(GO) build -o bin/bflint ./cmd/bflint
+	bin/bflint ./...
 
 fmt:
 	gofmt -l .

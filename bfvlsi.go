@@ -250,6 +250,102 @@ func AdaptiveModuleKillSweep(base RoutingParams, cfg AdaptiveConfig, rcfg Reliab
 	return adaptive.ModuleKillSweep(base, cfg, rcfg, modes, schemes, kills)
 }
 
+// Pattern selects the destination distribution of injected packets.
+type Pattern = routing.Pattern
+
+// Re-exported traffic patterns for SimulateRoutingPattern.
+const (
+	Uniform    = routing.Uniform
+	BitReverse = routing.BitReverse
+	Transpose  = routing.Transpose
+	Complement = routing.Complement
+)
+
+// SimulateRoutingPattern runs the routing simulation under a
+// non-uniform destination pattern (bit-reverse, transpose, complement).
+func SimulateRoutingPattern(p RoutingParams, pattern Pattern) (*routing.Result, error) {
+	return routing.SimulatePattern(p, pattern)
+}
+
+// RoutingSweepPoint is one (load, throughput, latency) measurement of a
+// load sweep.
+type RoutingSweepPoint = routing.SweepPoint
+
+// RoutingSweep simulates the given loads concurrently and returns the
+// measurements in input order, deterministically seeded per cell.
+func RoutingSweep(base RoutingParams, lambdas []float64, pattern Pattern) []RoutingSweepPoint {
+	return routing.ParallelSweep(base, lambdas, pattern)
+}
+
+// SaturationFromSweep estimates the saturation rate from a load sweep:
+// the largest load whose delivered throughput is at least eff times the
+// offered load.
+func SaturationFromSweep(points []RoutingSweepPoint, eff float64) float64 {
+	return routing.SaturationFromSweep(points, eff)
+}
+
+// TheoreticalSaturation returns the analytic saturation estimate for
+// the wrapped B_n under uniform traffic.
+func TheoreticalSaturation(n int) float64 { return routing.TheoreticalSaturation(n) }
+
+// ExpectedHops computes the exact mean deterministic-route path length
+// of the wrapped B_n under uniform random pairs.
+func ExpectedHops(n int) float64 { return routing.ExpectedHops(n) }
+
+// Hop is one step of a recorded packet trace.
+type Hop = routing.Hop
+
+// Decision is the adaptive router's per-hop routing decision.
+type Decision = routing.Decision
+
+// DeliveryVerdict classifies a copy arriving at its destination under a
+// reliable transport.
+type DeliveryVerdict = routing.DeliveryVerdict
+
+// Re-exported delivery verdicts.
+const (
+	DeliverAccept    = routing.DeliverAccept
+	DeliverDuplicate = routing.DeliverDuplicate
+	DeliverGaveUp    = routing.DeliverGaveUp
+)
+
+// FaultModel is the simulator's fault-injection hook; FaultPlan
+// implements it. Attach one via RoutingParams.Faults.
+type FaultModel = routing.FaultModel
+
+// TransportHook is the simulator's end-to-end delivery hook;
+// ReliableTransport implements it. Attach one via RoutingParams.Reliable.
+type TransportHook = routing.Transport
+
+// AdaptiveHook is the simulator's online fault-aware routing hook;
+// AdaptiveRouter implements it. Attach one via RoutingParams.Adaptive.
+type AdaptiveHook = routing.AdaptiveRouter
+
+// RetransmitCopy is one retransmission a TransportHook asks the
+// simulator to inject.
+type RetransmitCopy = routing.RetransmitCopy
+
+// PickFaultModules deterministically selects k distinct module ids for
+// a module-kill experiment.
+func PickFaultModules(numModules, k int, seed int64) []int {
+	return faults.PickModules(numModules, k, seed)
+}
+
+// FaultSchemeFromPartition wraps any packaging partition into a
+// failure-domain scheme (pass nil sb for plain-butterfly partitions).
+func FaultSchemeFromPartition(name string, part *Partition, sb *SwapButterfly) (FaultScheme, error) {
+	return faults.PartitionScheme(name, part, sb)
+}
+
+// ReliableStats summarizes what a reliable transport did during a run.
+type ReliableStats = reliable.Stats
+
+// The panicking constructor conveniences stay internal: the facade
+// exposes only the error-returning forms.
+//
+//facade:exempt faults.MustPlan panicking convenience for internal sweeps and tests
+//facade:exempt reliable.MustNew panicking convenience for internal sweeps and tests
+
 // RoutingModules projects a partition onto the wrapped butterfly the
 // routing simulator runs on (pass nil sb for plain-butterfly partitions),
 // for use with FaultPlan.AddModuleFault.

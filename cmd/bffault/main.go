@@ -576,7 +576,9 @@ func runSweep(o *options) {
 			pt.Rate, pt.DeadLinks, r.Throughput, 100*r.Throughput/o.lambda,
 			r.AvgLatency, r.Dropped, r.Unreachable, r.Misroutes, r.Backlog)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
 }
 
 // runReliableSweep compares the recovery modes (policy x retransmission)
@@ -620,7 +622,9 @@ func runReliableSweep(o *options) {
 			pt.Mode, pt.Rate, pt.DeadLinks, pt.Outages, pt.Goodput, 100*pt.Goodput/o.lambda,
 			pt.P99Latency, r.Retransmitted, 100*pt.Overhead, r.DuplicatesDropped, r.GaveUp)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
 	if o.outage == 0 {
 		fmt.Println("(permanent faults: deterministic retries retrace the same path, so retx modes mostly pay overhead; add -outage for the repairable regime, or -adaptive for routes that change)")
 	}
@@ -664,7 +668,9 @@ func runReliableCompare(o *options) {
 			pt.P99Latency, r.Retransmitted, 100*pt.Overhead,
 			r.DuplicatesDropped, pt.Stats.Abandoned)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
 	fmt.Println("(same seeded module draw per kill count, shared across schemes and modes)")
 }
 
@@ -702,7 +708,9 @@ func runCompare(o *options) {
 			pt.Scheme, pt.Killed, pt.DeadNodes, 100*pt.DeadNodeFrac,
 			r.Throughput, r.AvgLatency, r.Dropped, r.Unreachable, r.Backlog)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
 	fmt.Println("(same seeded module draw per kill count; schemes differ only in what a module is)")
 }
 
@@ -738,7 +746,9 @@ func runAdaptiveSweep(o *options) {
 			pt.Mode, pt.Rate, pt.DeadLinks, pt.Goodput, 100*pt.Goodput/o.lambda,
 			r.Detours, r.Reroutes, r.UnreachableDetected, 100*pt.Overhead, pt.Router.Opened)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
 	fmt.Println("(adaptive detours change the physical path each wrap-around pass - the recovery retries alone cannot buy)")
 }
 
@@ -778,6 +788,8 @@ func runAdaptiveCompare(o *options) {
 			pt.Mode, pt.Scheme, pt.Killed, pt.DeadNodes, pt.Goodput,
 			r.Detours, r.Reroutes, r.UnreachableDetected, 100*pt.Overhead, pt.Router.Opened)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
 	fmt.Println("(E23: same seeded module draw per kill count, shared across schemes and modes)")
 }

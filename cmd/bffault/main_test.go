@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -146,5 +149,71 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if ac.Epoch != 0 {
 		t.Errorf("explicit epoch 0 (off) = %d, want 0", ac.Epoch)
+	}
+}
+
+// captureStdout reroutes os.Stdout through a pipe for the duration of fn
+// and returns everything fn printed. The runner functions under test
+// write through package-level tabwriters bound to os.Stdout, so this is
+// the only seam that sees their real output.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	defer func() { os.Stdout = old }()
+	fn()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done
+}
+
+// The sweep printers are the tool's public record: their tables land in
+// docs and regression baselines, so two invocations with one seed must
+// emit identical bytes. This is the cmd-level counterpart of the
+// experiments' byte-identity test and the runtime net behind the
+// maporder analyzer.
+func TestSweepPrintersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs skipped in -short mode")
+	}
+	base := []string{"-n", "4", "-warmup", "50", "-cycles", "200", "-seed", "3", "-sweep", "0,0.05"}
+	cases := []struct {
+		name string
+		args []string
+		run  func(*options)
+	}{
+		{"sweep", base, runSweep},
+		{"sweep csv", append([]string{"-csv"}, base...), runSweep},
+		{"reliable sweep", append([]string{"-reliable"}, base...), runReliableSweep},
+		{"adaptive sweep", append([]string{"-adaptive"}, base...), runAdaptiveSweep},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := parseOptions(tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := captureStdout(t, func() { tc.run(o) })
+			second := captureStdout(t, func() { tc.run(o) })
+			if len(first) == 0 {
+				t.Fatal("printer produced no output")
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("output differs between identical runs:\nrun1 %d bytes, run2 %d bytes\n--- run1 ---\n%s\n--- run2 ---\n%s",
+					len(first), len(second), first, second)
+			}
+		})
 	}
 }

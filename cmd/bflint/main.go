@@ -1,0 +1,258 @@
+// Command bflint runs the repo's custom static-analysis suite — the
+// mechanical form of the determinism, conservation, and facade
+// contracts (see internal/lint).
+//
+// Standalone mode loads packages from source:
+//
+//	go run ./cmd/bflint ./...
+//
+// It also speaks the `go vet -vettool` protocol, so the same binary
+// plugs into the build cache and test-variant coverage of the go
+// command:
+//
+//	go build -o bin/bflint ./cmd/bflint
+//	go vet -vettool=$PWD/bin/bflint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"bfvlsi/internal/lint"
+	"bfvlsi/internal/lint/analysis"
+	"bfvlsi/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("bflint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bflint [packages]\n       bflint unit.cfg   (go vet -vettool mode)\n\nanalyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flagsJSON := fs.Bool("flags", false, "describe flags in JSON (go vet protocol)")
+	if err := parseArgs(fs, args); err != nil {
+		return 2
+	}
+
+	if *flagsJSON {
+		// bflint defines no tool flags beyond the protocol ones.
+		fmt.Println("[]")
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(rest[0])
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	return runStandalone(rest)
+}
+
+// parseArgs handles -V=full before normal flag parsing: the go command
+// probes the tool with it to build a cache key, and expects the reply
+// on stdout in the objabi.AddVersionFlag format.
+func parseArgs(fs *flag.FlagSet, args []string) error {
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			printVersion()
+			os.Exit(0)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := analysis.Validate(lint.Suite()); err != nil {
+		fmt.Fprintln(os.Stderr, "bflint:", err)
+		os.Exit(2)
+	}
+	return nil
+}
+
+// printVersion emits the executable identity line `go vet` uses for
+// build caching: content-hashing the binary means any rebuild of the
+// suite invalidates cached vet results.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bflint:", err)
+		os.Exit(2)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bflint:", err)
+		os.Exit(2)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "bflint:", err)
+		os.Exit(2)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "bflint:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", exe, h.Sum(nil))
+}
+
+// runStandalone loads the patterns from source and lints each package.
+func runStandalone(patterns []string) int {
+	ld := load.New()
+	pkgs, err := ld.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bflint:", err)
+		return 2
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg.Path, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bflint: %s: %v\n", pkg.Path, err)
+			return 2
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Category)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the compilation-unit description `go vet` hands the
+// tool; field names follow the x/tools unitchecker Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes one compilation unit under the go vet protocol: types
+// come from the compiler's export data rather than source.
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bflint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bflint: decoding %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// bflint keeps no cross-package facts, but the protocol requires
+	// the facts file to exist for downstream units.
+	writeFacts := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "bflint:", err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	// Packages outside the module (stdlib deps being vetted for facts)
+	// have no bound analyzers; skip the type-check entirely.
+	if cfg.VetxOnly || len(lint.AnalyzersFor(cfg.ImportPath)) == 0 {
+		writeFacts()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeFacts()
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "bflint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeFacts()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "bflint:", err)
+		return 2
+	}
+
+	diags, err := lint.Run(cfg.ImportPath, fset, files, tpkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bflint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	writeFacts()
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Category)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

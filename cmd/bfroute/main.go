@@ -115,19 +115,28 @@ func params(l float64) routing.Params {
 
 func runOnce(pat routing.Pattern) {
 	p := params(*lambda)
+	var trace *os.File
 	if *tracePth != "" {
 		f, err := os.Create(*tracePth)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		trace = f
 		p.Trace = f
 	}
 	r, err := routing.SimulatePattern(p, pat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// The trace is complete once the simulation returns; closing here
+	// surfaces any buffered write failure before the file is advertised.
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("B_%d wrapped, %v traffic, lambda=%.4f over %d cycles:\n", *dim, pat, *lambda, *cycles)
 	fmt.Printf("  throughput:   %.4f pkts/node/cycle (%.1f%% of offered)\n",
@@ -164,7 +173,10 @@ func runSweep(pat routing.Pattern) {
 		fmt.Fprintf(w, "%.4f\t%.4f\t%.1f%%\t%.1f\t%d\n",
 			l, r.Throughput, 100*r.Throughput/l, r.AvgLatency, r.Backlog)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("(fluid-limit saturation for n=%d: %.4f)\n", *dim, theory)
 }
 

@@ -43,7 +43,9 @@ func main() {
 		fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%d\t%d\n",
 			pins, dd.Spec, dd.NumChips, dd.NodesPerChip, dd.OffChipLinks, dd.BoardArea(4))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Sanity-check the pin budget against actual traffic: simulate the
 	// network near saturation and compare per-chip crossing demand with

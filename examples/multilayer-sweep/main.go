@@ -49,7 +49,9 @@ func main() {
 		}
 		prev = st.Area
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
 	if knee > 0 {
 		fmt.Printf("\nknee at L=%d: beyond it the (layer-independent) blocks dominate -\n", knee)
 		fmt.Printf("the paper's Section 5.2 observation that 'the saving in total area\n")

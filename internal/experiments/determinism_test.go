@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The experiments are the repo's printed face: bftables regenerates
+// every table from them, and the golden markers only stay meaningful if
+// two runs of one experiment emit identical bytes. This is the
+// regression net behind the maporder analyzer — any order-sensitive
+// iteration that sneaks into an output path shows up here as a byte
+// diff between back-to-back runs.
+func TestExperimentOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.Name, func(t *testing.T) {
+			var first, second bytes.Buffer
+			if err := ex.Run(&Config{W: &first, Quick: true}); err != nil {
+				t.Fatalf("%s run 1: %v", ex.Name, err)
+			}
+			if err := ex.Run(&Config{W: &second, Quick: true}); err != nil {
+				t.Fatalf("%s run 2: %v", ex.Name, err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("%s output differs between identical runs:\nrun1 %d bytes, run2 %d bytes\nfirst divergence near byte %d",
+					ex.Name, first.Len(), second.Len(), firstDiff(first.Bytes(), second.Bytes()))
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -37,7 +37,9 @@ func e1(c *Config) error {
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n", r,
 			sb.RowLabel[sb.ID(r, 0)], sb.RowLabel[sb.ID(r, 1)], sb.RowLabel[sb.ID(r, 2)])
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintf(c.W, "paper check: node (1,2) maps to butterfly row %d (paper: 2)\n",
 		sb.RowLabel[sb.ID(1, 2)])
 	return nil
@@ -119,7 +121,9 @@ func e4(c *Config) error {
 			n, ta.NumTracks, collinear.OptimalTracks(n), g.NumTracks, ca,
 			float64(ca)/float64(ta.NumTracks))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	ta := collinear.Optimal(9)
 	before := ta.MaxWireLength()
 	ta.ReorderByDescendingSpan()
@@ -188,7 +192,9 @@ func e7(c *Config) error {
 			n, st.Area, lead, float64(st.Area)/lead, analysis.ThompsonArea(n),
 			st.MaxWireLength, wlead, float64(st.MaxWireLength)/wlead)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(c.W, "note: the area ratio decreases toward the leading constant 1 as n grows;")
 	fmt.Fprintln(c.W, "at feasible n the O(2^{n/3})-wide blocks still contribute visibly (the paper's o() terms).")
 	return nil
@@ -215,7 +221,9 @@ func e8(c *Config) error {
 			st.MaxWireLength, analysis.MultilayerMaxWire(n, L),
 			st.Volume, analysis.MultilayerVolume(n, L))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	// The measured area saturates at the "block floor": the nodes and
 	// intra-block channels, which no amount of extra layers compresses
 	// (the formula's o() terms). Show it so the trend reads correctly.
@@ -252,7 +260,9 @@ func e9(c *Config) error {
 		}
 		fmt.Fprintf(w, "%d\t%dx%d\t%d\t%s\n", L, bw, bh, d.BoardArea(L), p)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	er, ec := hierarchy.NaiveChipsPaperEstimate(9, 64)
 	mr, mc := hierarchy.NaiveChips(9, 64)
 	fmt.Fprintf(c.W, "baseline: paper estimate %d rows/chip -> %d chips (paper: 171); exact measurement %d rows -> %d chips\n",
@@ -280,7 +290,9 @@ func e10(c *Config) error {
 			n, 1<<uint(n), rate, rate*float64(n),
 			routing.TheoreticalSaturation(n), routing.ExpectedHops(n))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	// Off-module demand at saturation vs Omega(M/log R).
 	n := 6
 	rows := 1 << uint(n)
@@ -327,7 +339,9 @@ func e11(c *Config) error {
 			side, st.Area, float64(st.Area)/float64(baseArea),
 			float64(side*side)/16.0, res.BandH)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintf(c.W, "thresholds at n=%d: strict o(sqrt(N)/(L log N)) ~ %.1f (L=2); loose (boundary nodes) ~ %.1f\n",
 		n, analysis.NodeSizeThreshold(n, 2), analysis.LooseNodeSizeThreshold(n, 2))
 	fmt.Fprintln(c.W, "the layout area grows strictly slower than the node area: wiring dominates (Sec. 3.3).")

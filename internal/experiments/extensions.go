@@ -76,7 +76,9 @@ func e13(c *Config) error {
 			k, k*k, res.RowTracks, res.ColTracks, st.Width, st.Height,
 			st.Area, float64(st.Area)/(nn*nn), valid)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(c.W, "hypercube area/N^2 approaches the scheme's constant (bisection-optimal order);")
 	fmt.Fprintln(c.W, "the torus needs only 2 tracks per ring: area ~ (k(d+2))^2.")
 	return nil
@@ -129,7 +131,9 @@ func e15(c *Config) error {
 		fmt.Fprintf(w, "%v\t%.4f\t%.1f\t%.2f\t%d\n",
 			p, r.Throughput, r.AvgLatency, r.AvgHops, r.Backlog)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintf(c.W, "offered load %.4f (0.9x uniform saturation): permutation adversaries\n", lambda)
 	fmt.Fprintln(c.W, "congest the oblivious route; uniform absorbs the same load comfortably.")
 	return nil
@@ -147,7 +151,9 @@ func e16(c *Config) error {
 		fmt.Fprintf(w, "%v\t%d\t%d\t%d\t%d\t%.3f\n",
 			d.Spec, d.NumChips, d.ChipPins, d.NumBoards, d.BoardPins, d.BoardPinEfficiency())
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	d, err := hierarchy.Design(9, 64, 20)
 	if err != nil {
 		return err
@@ -204,7 +210,9 @@ func e17(c *Config) error {
 			n, net.Wires, len(net.Stages), net.NumComparators(),
 			st.Width, st.Height, st.Area, valid)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(c.W, "the sorter's stages are butterfly steps; the same channel router")
 	fmt.Fprintln(c.W, "that wires butterfly blocks lays the whole fabric out (cf. [11]).")
 	return nil
@@ -227,7 +235,9 @@ func e18(c *Config) error {
 			L, l.Percentile(50), l.Percentile(90), l.Percentile(99),
 			l.MaxWireLength(), l.WiringDensity(), l.LayerUsage())
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(c.W, "p50 stays flat (intra-block wires); the tail (p99/max) shrinks with L -")
 	fmt.Fprintln(c.W, "exactly the population of inter-block band/column wires Theorem 4.1 compresses.")
 	return nil
@@ -264,7 +274,9 @@ func e19(c *Config) error {
 			spec, s.Copies, s.SliceLayers, s.Slice.Stats().Area,
 			s.ZColumns, s.FootprintArea(), s.Volume())
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintf(c.W, "model optimum: L* = 2*2^{(n-2k4)/2} (paper: Theta(sqrt(N)/log N));\n")
 	fmt.Fprintf(c.W, "optimal volume at n=20, k4=3: %.3g vs flat 8-layer %.3g\n\n",
 		stack3d.OptimalModelVolume(20, 3), analysis.MultilayerVolume(20, 8))
@@ -280,7 +292,9 @@ func e19(c *Config) error {
 		}
 		fmt.Fprintf(w, "K_%d\t%d\t%d\n", n, b, collinear.OptimalTracks(n))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(c.W, "Appendix B: the collinear track count exactly matches the bisection bound.")
 	return nil
 }
@@ -317,7 +331,9 @@ func e20(c *Config) error {
 		fmt.Fprintf(w, "%s\t%.4f\t%.1f%%\t%d\t%d\t%d\n",
 			label, r.Throughput, 100*r.Throughput/lambda, r.Stalls, r.InjectionDrops, r.MaxQueue)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(c.W, "without virtual channels the wrap ring deadlocks under backpressure")
 	fmt.Fprintln(c.W, "(zero throughput); three dateline VCs restore most of the capacity -")
 	fmt.Fprintln(c.W, "the era's standard fix, and the buffer budget is part of the node size")

@@ -1,0 +1,83 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis core: an Analyzer is a named check
+// that runs over one type-checked package (a Pass) and reports
+// Diagnostics. The API mirrors x/tools deliberately so the bflint suite
+// can migrate to the upstream framework wholesale if the dependency
+// ever becomes available; until then the standard library's go/ast,
+// go/types, and go/importer carry the whole load.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check. Name appears in diagnostics and in
+// the driver's enable/disable machinery; Doc is the one-paragraph
+// contract the check enforces.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Run executes the check on one package and reports findings via
+	// pass.Report. The result value is unused by this driver but kept
+	// for x/tools signature compatibility.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass is one (analyzer, package) unit of work, carrying the parsed
+// and type-checked package under analysis.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Category string // analyzer name; the driver fills it in
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The suite's
+// contracts bind simulator and command code, not the tests that probe
+// them, so analyzers skip test files before reporting.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// Validate rejects duplicate or unnamed analyzers before a driver runs
+// them (mirrors x/tools analysis.Validate).
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.Name == "" {
+			return fmt.Errorf("analyzer without a name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analyzer %s has no Run function", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

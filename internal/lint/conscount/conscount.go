@@ -1,0 +1,96 @@
+// Package conscount implements the bflint analyzer that guards the
+// copy-exact conservation identity: every injected packet lands in
+// exactly one of the accounting buckets (Delivered, Dropped, GaveUp,
+// Unreachable and its Dead/Cut/Detected partition, ...). The identity
+// is only auditable because each bucket is mutated solely by the
+// accounting code of the package that owns the struct; a write from a
+// new call site in another package could double-count or skip a packet
+// without any test noticing until a sweep audit trips. This analyzer
+// makes that ownership mechanical: assignments, increments, and
+// address-taking of conservation counter fields are flagged outside the
+// declaring package.
+package conscount
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bfvlsi/internal/lint/analysis"
+)
+
+// Analyzer restricts mutation of conservation-identity counters to the
+// package that declares them.
+var Analyzer = &analysis.Analyzer{
+	Name: "conscount",
+	Doc: "restrict writes to conservation-identity counter fields (Dropped, GaveUp, " +
+		"Unreachable*, Detours, ...) to the package that declares the struct",
+	Run: run,
+}
+
+// CounterFields names the struct fields that participate in a
+// conservation identity somewhere in the repo. A field with one of
+// these names may only be written by its declaring package.
+var CounterFields = map[string]bool{
+	"Injected":            true,
+	"TotalInjected":       true,
+	"Delivered":           true,
+	"Dropped":             true,
+	"InjectionDrops":      true,
+	"GaveUp":              true,
+	"Duplicates":          true,
+	"DuplicatesDropped":   true,
+	"Unreachable":         true,
+	"UnreachableDead":     true,
+	"UnreachableCut":      true,
+	"UnreachableDetected": true,
+	"Detours":             true,
+	"Reroutes":            true,
+	"Misroutes":           true,
+	"Retransmitted":       true,
+	"Backlog":             true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, lhs, n.Pos(), "written")
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, n.X, n.Pos(), "written")
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					checkWrite(pass, n.X, n.Pos(), "aliased (address taken)")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkWrite flags expr when it selects a conservation counter field
+// declared by another package.
+func checkWrite(pass *analysis.Pass, expr ast.Expr, pos token.Pos, verb string) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || !CounterFields[sel.Sel.Name] {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field := selection.Obj()
+	if field.Pkg() == nil || field.Pkg() == pass.Pkg {
+		return
+	}
+	if pass.InTestFile(pos) {
+		return
+	}
+	pass.Reportf(pos,
+		"conservation counter %s.%s %s outside its owning package %s; only the owner's accounting code may mutate identity buckets",
+		types.TypeString(selection.Recv(), types.RelativeTo(pass.Pkg)), field.Name(), verb, field.Pkg().Path())
+}

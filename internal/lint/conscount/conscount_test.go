@@ -1,0 +1,14 @@
+package conscount_test
+
+import (
+	"testing"
+
+	"bfvlsi/internal/lint/analysistest"
+	"bfvlsi/internal/lint/conscount"
+)
+
+func TestConscount(t *testing.T) {
+	// The owner package's own accounting must stay clean; the intruder
+	// package's cross-package writes must all be flagged.
+	analysistest.Run(t, "testdata", conscount.Analyzer, "owner", "intruder")
+}

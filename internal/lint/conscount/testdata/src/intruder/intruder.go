@@ -1,0 +1,22 @@
+// Package intruder is the conscount fixture's out-of-package mutator:
+// every write or alias of an owner counter from here must be flagged.
+package intruder
+
+import "owner"
+
+// Tamper bypasses the owner's accounting from a foreign call site.
+func Tamper(r *owner.Result) {
+	r.Dropped++         // want `conservation counter .*\.Dropped written outside its owning package owner`
+	r.GaveUp += 3       // want `conservation counter .*\.GaveUp written outside its owning package owner`
+	r.Delivered = 7     // want `conservation counter .*\.Delivered written outside its owning package owner`
+	r.UnreachableDead-- // want `conservation counter .*\.UnreachableDead written outside its owning package owner`
+	p := &r.Detours     // want `conservation counter .*\.Detours aliased \(address taken\) outside its owning package owner`
+	*p = 9
+}
+
+// Observe only reads and sets non-counter fields; reading buckets and
+// naming results is always allowed.
+func Observe(r *owner.Result) int {
+	r.Name = "run-1"
+	return r.Injected + r.Dropped + r.GaveUp
+}

@@ -1,0 +1,30 @@
+// Package owner is the conscount fixture's accounting package: it
+// declares the conservation counters and is the only package allowed to
+// mutate them.
+package owner
+
+// Result carries the conservation-identity buckets.
+type Result struct {
+	Injected  int
+	Delivered int
+	Dropped   int
+	GaveUp    int
+
+	UnreachableDead int
+	Detours         int
+
+	// Name is not a counter; anyone may set it.
+	Name string
+}
+
+// Account is the owner's accounting code: in-package mutation is the
+// sanctioned path and must stay clean.
+func Account(r *Result) {
+	r.Injected++
+	r.Dropped += 2
+	r.GaveUp = 1
+	r.UnreachableDead++
+	r.Detours++
+	p := &r.Delivered
+	*p = 5
+}

@@ -1,0 +1,81 @@
+// Package detrand implements the bflint analyzer that enforces the
+// simulators' determinism contract: simulator packages must thread an
+// explicitly seeded *rand.Rand through every stochastic choice and a
+// cycle counter through every notion of time. The global math/rand
+// top-level functions draw from process-wide state, and time.Now /
+// time.Since tie behaviour to the wall clock; either one silently
+// breaks the golden zero-fault identity tests that pin two simulators
+// to bit-identical traces under one seed.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bfvlsi/internal/lint/analysis"
+)
+
+// Analyzer flags wall-clock and global-randomness escapes in simulator
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand, time.Now, and time.Since in simulator packages; " +
+		"randomness must come from an explicitly seeded *rand.Rand and time from the cycle counter",
+	Run: run,
+}
+
+// allowedRandFuncs are the constructors of seeded sources: building a
+// *rand.Rand from an explicit seed is exactly the sanctioned pattern.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an already-seeded *rand.Rand
+	"NewPCG":     true, // math/rand/v2 seeded source
+	"NewChaCha8": true,
+}
+
+// bannedTimeFuncs are the wall-clock reads that leak real time into a
+// cycle-driven simulation.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are the sanctioned path
+			}
+			if pass.InTestFile(sel.Pos()) {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global rand.%s draws from process-wide state and breaks seeded determinism; thread an explicitly seeded *rand.Rand instead",
+						fn.Name())
+				}
+			case "time":
+				if bannedTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock inside a simulator package; simulators must be functions of (params, seed) only — use the cycle counter",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

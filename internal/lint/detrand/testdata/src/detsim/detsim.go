@@ -1,0 +1,45 @@
+// Package detsim is the detrand fixture: a mock simulator exercising
+// both the forbidden wall-clock/global-rand escapes and the sanctioned
+// seeded patterns.
+package detsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: global top-level math/rand draws from process-wide state.
+func badGlobalRand() int {
+	rand.Seed(42)                      // want `global rand\.Seed`
+	x := rand.Intn(10)                 // want `global rand\.Intn`
+	f := rand.Float64()                // want `global rand\.Float64`
+	p := rand.Perm(4)                  // want `global rand\.Perm`
+	rand.Shuffle(4, func(i, j int) {}) // want `global rand\.Shuffle`
+	return x + int(f) + p[0]
+}
+
+// Bad: wall-clock reads tie the run to real time.
+func badWallClock() time.Duration {
+	t0 := time.Now()    // want `time\.Now reads the wall clock`
+	d := time.Since(t0) // want `time\.Since reads the wall clock`
+	d += time.Until(t0) // want `time\.Until reads the wall clock`
+	return d
+}
+
+// Good: an explicitly seeded private source threaded through.
+func goodSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) + rng.Perm(4)[0]
+}
+
+// Good: time constants and arithmetic are not wall-clock reads.
+func goodTimeArithmetic(d time.Duration) time.Duration {
+	return d + 3*time.Millisecond
+}
+
+// Good: a zipf distribution over an already-seeded source.
+func goodZipf(seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.5, 1, 100)
+	return z.Uint64()
+}

@@ -1,0 +1,75 @@
+// Package errflush implements the bflint analyzer behind the CLI
+// error-path audit. The repo's commands buffer all table output through
+// text/tabwriter and write artifacts through os.File, so a swallowed
+// Flush or Close error is exactly the path where a full disk or closed
+// pipe turns into silently truncated output. The analyzer flags call
+// statements that discard the error result of a Flush, Close, or Sync
+// method; callers either check the error or assign it to the blank
+// identifier to record the decision.
+package errflush
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bfvlsi/internal/lint/analysis"
+)
+
+// Analyzer flags discarded errors from Flush/Close/Sync calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "errflush",
+	Doc: "flag statements that discard the error returned by Flush, Close, or Sync; " +
+		"buffered writers surface every upstream write failure there",
+	Run: run,
+}
+
+// auditedMethods are the terminal operations whose error carries all
+// buffered write failures.
+var auditedMethods = map[string]bool{"Flush": true, "Close": true, "Sync": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !auditedMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !returnsOnlyError(sig) {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s error is discarded; buffered write failures surface here — check it or assign to _",
+				types.TypeString(sig.Recv().Type(), types.RelativeTo(pass.Pkg)), fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func returnsOnlyError(sig *types.Signature) bool {
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

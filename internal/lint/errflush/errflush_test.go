@@ -1,0 +1,12 @@
+package errflush_test
+
+import (
+	"testing"
+
+	"bfvlsi/internal/lint/analysistest"
+	"bfvlsi/internal/lint/errflush"
+)
+
+func TestErrflush(t *testing.T) {
+	analysistest.Run(t, "testdata", errflush.Analyzer, "flushfix")
+}

@@ -1,0 +1,40 @@
+// Package flushfix is the errflush fixture: discarded Flush/Close/Sync
+// errors next to the checked and explicitly-discarded forms that must
+// stay clean.
+package flushfix
+
+import (
+	"os"
+	"text/tabwriter"
+)
+
+// Bad: the statement forms that swallow the terminal error.
+func badDiscards(w *tabwriter.Writer, f *os.File) {
+	w.Flush()       // want `\*text/tabwriter\.Writer\.Flush error is discarded`
+	f.Close()       // want `\*os\.File\.Close error is discarded`
+	f.Sync()        // want `\*os\.File\.Sync error is discarded`
+	defer w.Flush() // want `\*text/tabwriter\.Writer\.Flush error is discarded`
+	defer f.Close() // want `\*os\.File\.Close error is discarded`
+}
+
+// Good: checking the error is the point.
+func goodChecked(w *tabwriter.Writer, f *os.File) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Good: assigning to the blank identifier records the decision.
+func goodExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+// Good: Close with no error result (not an audited signature).
+type quietCloser struct{}
+
+func (quietCloser) Close() {}
+
+func goodQuietClose(q quietCloser) {
+	q.Close()
+}

@@ -1,0 +1,14 @@
+package facadecheck_test
+
+import (
+	"testing"
+
+	"bfvlsi/internal/lint/analysistest"
+	"bfvlsi/internal/lint/facadecheck"
+)
+
+func TestFacadecheck(t *testing.T) {
+	defer func(prev []string) { facadecheck.Blessed = prev }(facadecheck.Blessed)
+	facadecheck.Blessed = []string{"blessed"}
+	analysistest.Run(t, "testdata", facadecheck.Analyzer, "facade")
+}

@@ -1,0 +1,24 @@
+// Package blessed is the facadecheck fixture's internal package: its
+// exported surface must be fully covered by the facade fixture.
+package blessed
+
+// Config is re-exported by the facade as a type alias.
+type Config struct{ N int }
+
+// Run is wrapped by an exported facade function.
+func Run(c Config) int { return c.N }
+
+// DefaultTTL is re-exported as a var binding.
+func DefaultTTL(n int) int { return 16 * n }
+
+// Mode is exempted by the facade with a //facade:exempt comment.
+type Mode int
+
+// Hidden is neither re-exported nor exempted: the analyzer must flag it.
+func Hidden() int { return 1 }
+
+// Orphan is a second uncovered symbol, to pin multi-report behaviour.
+type Orphan struct{}
+
+// internalHelper is unexported and of no interest to the facade.
+func internalHelper() int { return 2 }

@@ -1,0 +1,23 @@
+// Package facade is the facadecheck fixture's public surface over the
+// blessed package: aliases, wrappers, a var re-binding, and one
+// explicit exemption. blessed.Hidden and blessed.Orphan stay uncovered
+// on purpose.
+package facade
+
+import "blessed" // want `exported symbol blessed\.Hidden is not re-exported by the facade` `exported symbol blessed\.Orphan is not re-exported by the facade`
+
+// Config re-exports the blessed configuration type.
+type Config = blessed.Config
+
+// Run wraps the blessed entry point; referencing it from an exported
+// wrapper counts as coverage.
+func Run(c Config) int { return blessed.Run(c) }
+
+// DefaultTTL re-binds the blessed function as a var.
+var DefaultTTL = blessed.DefaultTTL
+
+//facade:exempt blessed.Mode internal tuning enum, deliberately unexported
+
+// unexportedUse references blessed.internalHelper's sibling but is not
+// exported, so it must NOT count as coverage for anything it touches.
+func unexportedUse() blessed.Orphan { return blessed.Orphan{} }

@@ -1,0 +1,166 @@
+// Package lint wires the bflint analyzers to the repo's package layout:
+// which analyzer binds to which package, how diagnostics are filtered
+// by //bflint:ignore comments, and the shared run loop used by both the
+// standalone cmd/bflint driver and its `go vet -vettool` mode.
+//
+// The suite enforces three repo-wide contracts that previously existed
+// only by convention:
+//
+//   - determinism: simulators are functions of (params, seed) alone
+//     (detrand forbids wall-clock and global-rand escapes; maporder
+//     forbids order-sensitive work under Go's randomized map order);
+//   - conservation: every packet lands in exactly one accounting bucket
+//     (conscount restricts counter writes to the owning package);
+//   - facade: blessed internal packages stay fully re-exported through
+//     the root bfvlsi package (facadecheck);
+//
+// plus the CLI error-path audit (errflush) for flush/close paths.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"bfvlsi/internal/lint/analysis"
+	"bfvlsi/internal/lint/conscount"
+	"bfvlsi/internal/lint/detrand"
+	"bfvlsi/internal/lint/errflush"
+	"bfvlsi/internal/lint/facadecheck"
+	"bfvlsi/internal/lint/maporder"
+)
+
+// modulePath is the import-path root of this repository.
+const modulePath = "bfvlsi"
+
+// simulatorPackages are the packages bound by the determinism
+// contract: their behaviour must be a pure function of (params, seed).
+var simulatorPackages = map[string]bool{
+	modulePath + "/internal/routing":     true,
+	modulePath + "/internal/faults":      true,
+	modulePath + "/internal/reliable":    true,
+	modulePath + "/internal/adaptive":    true,
+	modulePath + "/internal/experiments": true,
+}
+
+// Suite returns every analyzer bflint ships, for drivers and help
+// listings.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		maporder.Analyzer,
+		conscount.Analyzer,
+		facadecheck.Analyzer,
+		errflush.Analyzer,
+	}
+}
+
+// AnalyzersFor returns the suite subset that binds to the package with
+// the given import path.
+func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
+	inModule := pkgPath == modulePath || strings.HasPrefix(pkgPath, modulePath+"/")
+	if !inModule {
+		return nil
+	}
+	var out []*analysis.Analyzer
+	if simulatorPackages[pkgPath] {
+		out = append(out, detrand.Analyzer)
+	}
+	// The map-order and conservation contracts bind everywhere in the
+	// module: a golden trace is only as deterministic as its least
+	// deterministic caller.
+	out = append(out, maporder.Analyzer, conscount.Analyzer)
+	if pkgPath == modulePath {
+		out = append(out, facadecheck.Analyzer)
+	}
+	if strings.HasPrefix(pkgPath, modulePath+"/cmd/") ||
+		strings.HasPrefix(pkgPath, modulePath+"/examples/") ||
+		strings.HasPrefix(pkgPath, modulePath+"/internal/experiments") {
+		out = append(out, errflush.Analyzer)
+	}
+	return out
+}
+
+// Run applies every analyzer bound to pkgPath to one type-checked
+// package and returns the surviving diagnostics, ignore-filtered and
+// sorted by position.
+func Run(pkgPath string, fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range AnalyzersFor(pkgPath) {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			d.Category = name
+			diags = append(diags, d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	diags = filterIgnored(fset, files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// filterIgnored drops diagnostics whose source line carries a
+// `//bflint:ignore` comment naming the analyzer (or naming none, which
+// suppresses all analyzers on that line).
+func filterIgnored(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// ignores[file][line] is the set of suppressed analyzer names;
+	// an empty set suppresses everything.
+	ignores := map[string]map[int]map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "bflint:ignore") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := ignores[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					ignores[pos.Filename] = byLine
+				}
+				names := map[string]bool{}
+				for _, n := range strings.FieldsFunc(strings.TrimPrefix(text, "bflint:ignore"), func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					names[n] = true
+				}
+				byLine[pos.Line] = names
+			}
+		}
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if names, ok := ignores[pos.Filename][pos.Line]; ok {
+			if len(names) == 0 || names[d.Category] {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,123 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"strings"
+	"testing"
+
+	"bfvlsi/internal/lint"
+	"bfvlsi/internal/lint/load"
+)
+
+// The acceptance bar for the suite itself: bflint must run clean over
+// the whole repository. Any diagnostic here is either a real contract
+// violation that needs fixing or an analyzer false positive that needs
+// narrowing — both are failures of this PR, not of the code under test.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo type-check skipped in -short mode")
+	}
+	pkgs, err := load.New().Load("bfvlsi/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; expected the full module", len(pkgs))
+	}
+	checked := 0
+	var report strings.Builder
+	for _, p := range pkgs {
+		if len(lint.AnalyzersFor(p.Path)) == 0 {
+			continue
+		}
+		checked++
+		diags, err := lint.Run(p.Path, p.Fset, p.Files, p.Types, p.Info)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Path, err)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(&report, "%s: %s (%s)\n", p.Fset.Position(d.Pos), d.Message, d.Category)
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d packages had analyzers bound; binding table looks broken", checked)
+	}
+	if report.Len() > 0 {
+		t.Errorf("bflint is not clean on the repository:\n%s", report.String())
+	}
+}
+
+// The escape hatch must actually work: a //bflint:ignore comment on
+// the offending line suppresses exactly the named analyzer, an ignore
+// with no names suppresses everything on its line, and an unrelated
+// name suppresses nothing. The file is type-checked under a simulator
+// import path so detrand really binds.
+func TestIgnoreComments(t *testing.T) {
+	const src = `package experiments
+
+import "math/rand"
+
+func draws() int {
+	a := rand.Intn(3) //bflint:ignore detrand
+	b := rand.Intn(3) //bflint:ignore
+	c := rand.Intn(3) //bflint:ignore maporder
+	d := rand.Intn(3)
+	return a + b + c + d
+}
+`
+	l := load.New()
+	f, err := parser.ParseFile(l.Fset, "ignorefix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.CheckFiles("bfvlsi/internal/experiments", "", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkg.Path, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		if d.Category != "detrand" {
+			t.Errorf("unexpected %s diagnostic: %s", d.Category, d.Message)
+			continue
+		}
+		lines = append(lines, pkg.Fset.Position(d.Pos).Line)
+	}
+	// Lines 8 (ignore names a different analyzer) and 9 (no ignore)
+	// must be flagged; lines 6 and 7 must be suppressed.
+	want := []int{8, 9}
+	if fmt.Sprint(lines) != fmt.Sprint(want) {
+		t.Errorf("flagged lines = %v, want %v", lines, want)
+	}
+}
+
+// Every analyzer must bind somewhere, or it is dead weight that the
+// repo-clean test silently never exercises.
+func TestEveryAnalyzerBindsSomewhere(t *testing.T) {
+	bound := map[string]bool{}
+	for _, path := range []string{
+		"bfvlsi",
+		"bfvlsi/internal/routing",
+		"bfvlsi/internal/faults",
+		"bfvlsi/internal/reliable",
+		"bfvlsi/internal/adaptive",
+		"bfvlsi/internal/experiments",
+		"bfvlsi/internal/thompson",
+		"bfvlsi/cmd/bffault",
+		"bfvlsi/examples/chipdesign",
+	} {
+		for _, a := range lint.AnalyzersFor(path) {
+			bound[a.Name] = true
+		}
+	}
+	for _, a := range lint.Suite() {
+		if !bound[a.Name] {
+			t.Errorf("analyzer %s never binds to any package", a.Name)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package load turns Go package patterns into parsed, type-checked
+// packages for the bflint analyzers — a small stand-in for
+// golang.org/x/tools/go/packages built from the standard library only.
+// Package enumeration shells out to `go list` (the only authority on
+// pattern expansion and build-tag file selection); type information
+// comes from go/types with the source importer, so the loader needs no
+// compiled export data and works offline.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader type-checks packages against one shared FileSet and source
+// importer, so repeated loads share the transitively checked imports.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// New returns a loader backed by the source importer. The importer
+// resolves module-local import paths through the go command, so callers
+// must run with a working directory inside the module.
+func New() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Load expands the patterns with `go list` and type-checks each
+// matched package from source (non-test files only).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*Package
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := l.Check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Check parses the named files and type-checks them as one package
+// under the given import path.
+func (l *Loader) Check(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.CheckFiles(path, dir, files)
+}
+
+// CheckFiles type-checks already-parsed files as one package. The
+// importer may be overridden with SetImporter (the analysistest harness
+// layers fixture resolution over the source importer this way).
+func (l *Loader) CheckFiles(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// SetImporter replaces the loader's importer (used by the test harness
+// to resolve fixture-local imports before falling back to source).
+func (l *Loader) SetImporter(imp types.Importer) { l.imp = imp }
+
+// Importer exposes the loader's current importer so wrappers can
+// delegate to it.
+func (l *Loader) Importer() types.Importer { return l.imp }

@@ -1,0 +1,265 @@
+// Package maporder implements the bflint analyzer that hunts the
+// classic silent killer of golden-trace tests: iterating a Go map in
+// its randomized order while doing something order-sensitive with each
+// element. Emitting output, appending to a slice that is never sorted,
+// accumulating floats or strings, and handing out sequence numbers are
+// all order-sensitive; two runs of the same seeded simulation then
+// produce different bytes and the determinism contract is gone.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bfvlsi/internal/lint/analysis"
+)
+
+// Analyzer flags order-sensitive work inside iteration over a map.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive operations (output, unsorted accumulation, float/string " +
+		"reduction, counter handout) inside range-over-map loops",
+	Run: run,
+}
+
+// fmtPrinters are the fmt functions that emit in call order.
+var fmtPrinters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// writeMethods are method names that emit to a stream in call order.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Printf": true, "Print": true, "Println": true, "Logf": true, "Log": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		var funcStack []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					funcStack = append(funcStack, n.Body)
+					ast.Inspect(n.Body, walk)
+					funcStack = funcStack[:len(funcStack)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				funcStack = append(funcStack, n.Body)
+				ast.Inspect(n.Body, walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				if isMapRange(pass, n) && !pass.InTestFile(n.Pos()) && len(funcStack) > 0 {
+					checkMapRange(pass, n, funcStack[len(funcStack)-1])
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil, nil
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body for order-sensitive sinks.
+// fnBody is the innermost enclosing function body, searched for a
+// post-loop sort that launders appended slices back to determinism.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	// appends[obj] is the first append position for a loop-external
+	// slice; flagged unless a later sort touches obj.
+	appends := map[types.Object]token.Pos{}
+	// counters[obj] marks loop-external int vars incremented in the
+	// body; reads[obj] counts uses beyond the increment itself.
+	counters := map[types.Object]token.Pos{}
+	reads := map[types.Object]int{}
+
+	outer := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() > rs.End())
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := emitterCall(pass, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s emits output inside iteration over a map; map order is randomized per run — iterate sorted keys instead", name)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, n, outer, appends)
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				obj := pass.TypesInfo.ObjectOf(id)
+				if outer(obj) && isInteger(obj) {
+					counters[obj] = n.Pos()
+					reads[obj]-- // the operand itself is not a read
+				}
+			}
+		}
+		return true
+	})
+
+	// Count reads of candidate counters to separate pure tallies
+	// (order-insensitive) from sequence-number handouts.
+	if len(counters) > 0 {
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					if _, tracked := counters[obj]; tracked {
+						reads[obj]++
+					}
+				}
+			}
+			return true
+		})
+		for obj, pos := range counters {
+			if reads[obj] > 0 {
+				pass.Reportf(pos,
+					"%s hands out per-iteration values inside iteration over a map; the assignment order is randomized per run — iterate sorted keys instead", obj.Name())
+			}
+		}
+	}
+
+	for obj, pos := range appends {
+		if !sortedAfter(pass, fnBody, rs.End(), obj) {
+			pass.Reportf(pos,
+				"append to %s inside iteration over a map with no subsequent sort; the element order is randomized per run — sort %s afterwards or iterate sorted keys", obj.Name(), obj.Name())
+		}
+	}
+}
+
+// checkAssign records appends to loop-external slices and flags
+// order-sensitive accumulation (+= on floats and strings).
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, outer func(types.Object) bool, appends map[types.Object]token.Pos) {
+	if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && isAppendCall(pass, as.Rhs[0]) {
+				obj := pass.TypesInfo.ObjectOf(id)
+				if outer(obj) {
+					if _, seen := appends[obj]; !seen {
+						appends[obj] = as.Pos()
+					}
+				}
+			}
+		}
+		return
+	}
+	// Compound assignment: order matters for non-commutative element
+	// types (float rounding, string concatenation).
+	if len(as.Lhs) != 1 {
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if !outer(obj) {
+		return
+	}
+	if basic, ok := obj.Type().Underlying().(*types.Basic); ok {
+		switch {
+		case basic.Info()&types.IsFloat != 0:
+			pass.Reportf(as.Pos(),
+				"floating-point accumulation into %s inside iteration over a map; rounding makes the sum order-dependent — iterate sorted keys instead", obj.Name())
+		case basic.Info()&types.IsString != 0 && as.Tok == token.ADD_ASSIGN:
+			pass.Reportf(as.Pos(),
+				"string concatenation into %s inside iteration over a map; the byte order is randomized per run — iterate sorted keys instead", obj.Name())
+		}
+	}
+}
+
+// emitterCall reports whether the call writes to an output stream, and
+// names it for the diagnostic.
+func emitterCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtPrinters[fn.Name()] {
+			return "fmt." + fn.Name(), true
+		}
+		return "", false
+	}
+	if writeMethods[fn.Name()] {
+		return "(" + types.TypeString(sig.Recv().Type(), types.RelativeTo(pass.Pkg)) + ")." + fn.Name(), true
+	}
+	return "", false
+}
+
+func isAppendCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isInteger(obj types.Object) bool {
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// sortedAfter reports whether a sort.* or slices.* call mentioning obj
+// appears in fnBody after pos — the sanctioned collect-then-sort
+// pattern.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,119 @@
+// Package mapfix is the maporder fixture: order-sensitive work inside
+// range-over-map loops, next to the sanctioned collect-then-sort
+// patterns that must stay clean.
+package mapfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Bad: printing in map order emits different bytes every run.
+func badEmit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf emits output inside iteration over a map`
+	}
+}
+
+// Bad: stdout printing is just as order-sensitive.
+func badPrint(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println emits output inside iteration over a map`
+	}
+}
+
+// Bad: builder writes record the randomized order.
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString emits output inside iteration over a map`
+	}
+	return b.String()
+}
+
+// Bad: the slice keeps map order and is never sorted.
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside iteration over a map with no subsequent sort`
+	}
+	return keys
+}
+
+// Bad: float accumulation rounds differently in different orders.
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum inside iteration over a map`
+	}
+	return sum
+}
+
+// Bad: string concatenation keeps the randomized byte order.
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation into s inside iteration over a map`
+	}
+	return s
+}
+
+// Bad: handing out sequence numbers in map order assigns different ids
+// every run.
+func badSeqHandout(m map[string]int) map[string]int {
+	ids := make(map[string]int, len(m))
+	next := 0
+	for k := range m {
+		ids[k] = next
+		next++ // want `next hands out per-iteration values inside iteration over a map`
+	}
+	return ids
+}
+
+// Good: collect keys, sort, then emit in deterministic order.
+func goodCollectSort(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Good: an integer tally commutes, so map order cannot show.
+func goodIntTally(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Good: integer sums commute too.
+func goodIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Good: writing into another map is order-insensitive.
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Good: ranging a slice may emit freely.
+func goodSliceEmit(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
