@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench vet lint fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz
+.PHONY: all build test test-short race bench bench-alloc vet lint fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz
 
 all: build vet lint test
 
@@ -31,6 +31,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# The simulator hot-loop budget (EXPERIMENTS.md E24): ns/cycle from the
+# benchmark, and the steady-state zero-allocation guard that backs the
+# hotalloc analyzer.
+bench-alloc:
+	$(GO) test -run '^$$' -bench BenchmarkStepAllocs -benchtime 3x ./internal/routing
+	$(GO) test -run TestStepAllocsZero -count=1 ./internal/routing
 
 tables:
 	$(GO) run ./cmd/bftables

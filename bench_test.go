@@ -74,7 +74,7 @@ func BenchmarkE3ThompsonLayout(b *testing.B) {
 func BenchmarkE4Collinear(b *testing.B) {
 	var tracks int
 	for i := 0; i < b.N; i++ {
-		ta := collinear.Optimal(64)
+		ta := collinear.MustOptimal(64)
 		if err := ta.Validate(); err != nil {
 			b.Fatal(err)
 		}

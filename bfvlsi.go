@@ -86,8 +86,9 @@ type LayoutStats = grid.Stats
 
 // CollinearKN returns the paper's strictly optimal collinear track
 // assignment for the complete graph K_n: exactly floor(n^2/4) tracks
-// (Appendix B).
-func CollinearKN(n int) *collinear.TrackAssignment { return collinear.Optimal(n) }
+// (Appendix B). It returns an error when n < 2 or when the track count
+// would overflow int.
+func CollinearKN(n int) (*collinear.TrackAssignment, error) { return collinear.Optimal(n) }
 
 // Partition assigns network nodes to packaging modules.
 type Partition = packaging.Partition

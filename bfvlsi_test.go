@@ -55,9 +55,15 @@ func TestFacadeMultilayer(t *testing.T) {
 }
 
 func TestFacadeCollinear(t *testing.T) {
-	ta := CollinearKN(9)
+	ta, err := CollinearKN(9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ta.NumTracks != 20 {
 		t.Errorf("K_9 tracks = %d, want 20", ta.NumTracks)
+	}
+	if _, err := CollinearKN(1); err == nil {
+		t.Error("CollinearKN(1) should fail: K_1 has no links")
 	}
 }
 

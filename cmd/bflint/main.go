@@ -42,18 +42,20 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("bflint", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bflint [packages]\n       bflint unit.cfg   (go vet -vettool mode)\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: bflint [-json] [packages]\n       bflint unit.cfg   (go vet -vettool mode)\n\nanalyzers:\n")
 		for _, a := range lint.Suite() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flagsJSON := fs.Bool("flags", false, "describe flags in JSON (go vet protocol)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout (standalone mode only)")
 	if err := parseArgs(fs, args); err != nil {
 		return 2
 	}
 
 	if *flagsJSON {
-		// bflint defines no tool flags beyond the protocol ones.
+		// bflint defines no tool flags beyond the protocol ones; -json
+		// is standalone-only and not advertised to go vet.
 		fmt.Println("[]")
 		return 0
 	}
@@ -65,7 +67,7 @@ func run(args []string) int {
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	return runStandalone(rest)
+	return runStandalone(rest, *jsonOut)
 }
 
 // parseArgs handles -V=full before normal flag parsing: the go command
@@ -114,15 +116,37 @@ func printVersion() {
 	fmt.Printf("%s version devel comments-go-here buildID=%x\n", exe, h.Sum(nil))
 }
 
+// jsonDiagnostic is one finding in -json output. The field names are a
+// stable contract: the CI annotation step turns them into
+// `::error file=...,line=...` workflow commands with jq.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+// emitJSON writes the findings as an indented JSON array; a clean run
+// emits [] rather than null so consumers can always index the result.
+func emitJSON(w io.Writer, found []jsonDiagnostic) error {
+	if found == nil {
+		found = []jsonDiagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(found)
+}
+
 // runStandalone loads the patterns from source and lints each package.
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, jsonOut bool) int {
 	ld := load.New()
 	pkgs, err := ld.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bflint:", err)
 		return 2
 	}
-	found := false
+	var found []jsonDiagnostic
 	for _, pkg := range pkgs {
 		diags, err := lint.Run(pkg.Path, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
 		if err != nil {
@@ -130,11 +154,26 @@ func runStandalone(patterns []string) int {
 			return 2
 		}
 		for _, d := range diags {
-			found = true
-			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Category)
+			pos := pkg.Fset.Position(d.Pos)
+			found = append(found, jsonDiagnostic{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Category: d.Category,
+				Message:  d.Message,
+			})
+			if !jsonOut {
+				fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pos, d.Message, d.Category)
+			}
 		}
 	}
-	if found {
+	if jsonOut {
+		if err := emitJSON(os.Stdout, found); err != nil {
+			fmt.Fprintln(os.Stderr, "bflint:", err)
+			return 2
+		}
+	}
+	if len(found) > 0 {
 		return 1
 	}
 	return 0

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// The -json field names are load-bearing: the CI annotation step
+// addresses them by name in a jq expression. Pin the schema.
+func TestEmitJSONSchema(t *testing.T) {
+	var sb strings.Builder
+	err := emitJSON(&sb, []jsonDiagnostic{{
+		File:     "internal/routing/routing.go",
+		Line:     42,
+		Column:   7,
+		Category: "hotalloc",
+		Message:  "make inside hot-path loop",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d findings, want 1", len(decoded))
+	}
+	for _, key := range []string{"file", "line", "column", "category", "message"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Errorf("finding is missing the %q key:\n%s", key, sb.String())
+		}
+	}
+}
+
+// A clean run must emit [] — not null, not empty output — so the CI
+// step's jq indexing never faults.
+func TestEmitJSONCleanIsEmptyArray(t *testing.T) {
+	var sb strings.Builder
+	if err := emitJSON(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(sb.String()); got != "[]" {
+		t.Errorf("clean output = %q, want []", got)
+	}
+}
+
+// End to end: `bflint -json` over a clean package exits 0 and prints a
+// parseable (empty) JSON array on stdout.
+func TestRunJSONCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("package load skipped in -short mode")
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run([]string{"-json", "bfvlsi/internal/bitutil"})
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; output:\n%s", code, out)
+	}
+	var decoded []jsonDiagnostic
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out)
+	}
+	if len(decoded) != 0 {
+		t.Errorf("clean package produced %d findings: %v", len(decoded), decoded)
+	}
+}

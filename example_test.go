@@ -40,7 +40,10 @@ func ExampleTransform() {
 
 // The strictly optimal collinear layout of K_9 from Figure 4.
 func ExampleCollinearKN() {
-	ta := bfvlsi.CollinearKN(9)
+	ta, err := bfvlsi.CollinearKN(9)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("tracks:", ta.NumTracks)
 	fmt.Println("matches floor(N^2/4):", ta.NumTracks == 81/4)
 	// Output:

@@ -45,7 +45,8 @@ func main() {
 	write("fig3-butterfly-thompson.svg", bf.L, render.Options{})
 
 	// Figure 4: collinear K_9.
-	ta := collinear.Optimal(9)
+	ta, err := collinear.Optimal(9)
+	must(err)
 	ta.ReorderByDescendingSpan()
 	k9, err := collinear.ToLayout(ta, collinear.LayoutOptions{})
 	must(err)

@@ -54,6 +54,44 @@ func overlap(posA, posB, k int) bool {
 	return lo+k > hi
 }
 
+// CheckedShl returns x << s, with ok=false when the shift amount is out
+// of range or the shifted value does not fit in int. It is the
+// overflow-checked primitive behind the layout constructors' 2^n row
+// and column counts (the bflint overflowcalc analyzer flags unchecked
+// shifts whose amount it cannot bound below 63).
+func CheckedShl(x, s int) (v int, ok bool) {
+	if s < 0 || s > 62 {
+		return 0, false
+	}
+	if x == 0 {
+		return 0, true
+	}
+	v = x << uint(s)
+	if v>>uint(s) != x || (x > 0) != (v > 0) {
+		return 0, false
+	}
+	return v, true
+}
+
+// CheckedMul returns a * b, with ok=false when the product overflows
+// int. Companion of CheckedShl for the layout area/track products
+// (⌊N²/4⌋ and friends).
+func CheckedMul(a, b int) (v int, ok bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	v = a * b
+	// The division round-trip detects wrapping; MinInt/-1 overflows the
+	// check itself and is handled first.
+	if a == -1 && v == -v && v < 0 {
+		return 0, false // b == MinInt
+	}
+	if v/a != b {
+		return 0, false
+	}
+	return v, true
+}
+
 // GroupSpec describes the partition of an address into groups of widths
 // Widths[0] (least significant, k_1) through Widths[l-1] (k_l).
 type GroupSpec struct {

@@ -1,0 +1,110 @@
+package bitutil
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckedShl(t *testing.T) {
+	tests := []struct {
+		x, s   int
+		want   int
+		wantOK bool
+	}{
+		{1, 0, 1, true},
+		{1, 10, 1024, true},
+		{1, 62, 1 << 62, true},
+		{0, 200, 0, false},     // amount validated before the zero fast path
+		{3, 61, 3 << 61, true}, // 3·2^61 < 2^63: still representable
+		{3, 62, 0, false},
+		{1, 63, 0, false},
+		{1, 64, 0, false},
+		{1, -1, 0, false},
+		{-1, 5, -32, true},
+		{-2, 62, math.MinInt, true}, // exactly MinInt: representable
+		{-3, 62, 0, false},
+		{math.MaxInt, 1, 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := CheckedShl(tt.x, tt.s)
+		if ok != tt.wantOK || (ok && got != tt.want) {
+			t.Errorf("CheckedShl(%d, %d) = (%d, %v), want (%d, %v)", tt.x, tt.s, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestCheckedShlZeroRejectsBadAmount(t *testing.T) {
+	// Even a zero operand must reject out-of-range shift amounts: the
+	// amount is caller input and silently accepting it would hide the
+	// validation bug until the operand became nonzero.
+	if _, ok := CheckedShl(0, 63); ok {
+		t.Error("CheckedShl(0, 63) accepted an out-of-range amount")
+	}
+	if _, ok := CheckedShl(0, -1); ok {
+		t.Error("CheckedShl(0, -1) accepted a negative amount")
+	}
+}
+
+func TestCheckedMul(t *testing.T) {
+	tests := []struct {
+		a, b   int
+		want   int
+		wantOK bool
+	}{
+		{0, math.MaxInt, 0, true},
+		{math.MaxInt, 0, 0, true},
+		{3, 5, 15, true},
+		{-3, 5, -15, true},
+		{math.MaxInt, 1, math.MaxInt, true},
+		{math.MaxInt, 2, 0, false},
+		{math.MinInt, 1, math.MinInt, true},
+		{math.MinInt, -1, 0, false},
+		{-1, math.MinInt, 0, false},
+		{1 << 31, 1 << 31, 1 << 62, true},
+		{1 << 32, 1 << 31, 0, false},
+		{-(1 << 32), 1 << 31, -(1 << 63), true},
+		{-(1 << 32), -(1 << 31), 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := CheckedMul(tt.a, tt.b)
+		if ok != tt.wantOK || (ok && got != tt.want) {
+			t.Errorf("CheckedMul(%d, %d) = (%d, %v), want (%d, %v)", tt.a, tt.b, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+// TestCheckedMulAgainstBigInt cross-checks the overflow detection
+// against arbitrary-precision arithmetic over random operands.
+func TestCheckedMulAgainstBigInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		got, ok := CheckedMul(int(a), int(b))
+		exact := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		fits := exact.IsInt64()
+		if ok != fits {
+			return false
+		}
+		return !ok || int64(got) == exact.Int64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckedShlAgainstBigInt does the same for shifts.
+func TestCheckedShlAgainstBigInt(t *testing.T) {
+	f := func(x int64, s uint8) bool {
+		sh := int(s % 70)
+		got, ok := CheckedShl(int(x), sh)
+		exact := new(big.Int).Lsh(big.NewInt(x), uint(sh))
+		fits := sh <= 62 && exact.IsInt64()
+		if ok != fits {
+			return false
+		}
+		return !ok || int64(got) == exact.Int64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package collinear
+
+import (
+	"strings"
+	"testing"
+)
+
+// MaxN is exactly floor(sqrt(2^63 - 1)): its square is the largest
+// representable n², so OptimalTracks(MaxN) must compute and
+// OptimalTracks(MaxN+1) must refuse.
+func TestOptimalTracksAtExactMaxN(t *testing.T) {
+	got := OptimalTracks(MaxN)
+	want := MaxN * MaxN / 4
+	if got != want {
+		t.Errorf("OptimalTracks(MaxN) = %d, want %d", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("OptimalTracks(MaxN+1) did not panic")
+		}
+	}()
+	OptimalTracks(MaxN + 1)
+}
+
+func TestConstructorsRejectOutOfRangeN(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, MaxN + 1} {
+		if _, err := Optimal(n); err == nil {
+			t.Errorf("Optimal(%d) succeeded, want error", n)
+		}
+		if _, err := Greedy(n); err == nil {
+			t.Errorf("Greedy(%d) succeeded, want error", n)
+		}
+	}
+	if _, err := Optimal(MaxN + 1); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("Optimal(MaxN+1) error = %v, want overflow message", err)
+	}
+}
+
+func TestChenAgrawalTracksAtExactMax(t *testing.T) {
+	// maxChenAgrawalN = 2^31: ceil(log2 n) = 31, bound 4(4^30 - 1)/3.
+	p := 1
+	for i := 0; i < 30; i++ {
+		p *= 4
+	}
+	if got, want := ChenAgrawalTracks(maxChenAgrawalN), 4*(p-1)/3; got != want {
+		t.Errorf("ChenAgrawalTracks(2^31) = %d, want %d", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ChenAgrawalTracks(2^31+1) did not panic")
+		}
+	}()
+	ChenAgrawalTracks(maxChenAgrawalN + 1)
+}
+
+func TestHypercubeLinksDimensionGuard(t *testing.T) {
+	for _, k := range []int{-1, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HypercubeLinks(%d) did not panic", k)
+				}
+			}()
+			HypercubeLinks(k)
+		}()
+	}
+	if got := len(HypercubeLinks(3)); got != 12 {
+		t.Errorf("Q_3 has %d links, want 12", got)
+	}
+}
+
+func TestMustConstructorsPanicOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOptimal(1) did not panic")
+		}
+	}()
+	MustOptimal(1)
+}

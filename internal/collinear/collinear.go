@@ -20,9 +20,21 @@ import (
 	"math"
 	"sort"
 
+	"bfvlsi/internal/bitutil"
 	"bfvlsi/internal/geom"
 	"bfvlsi/internal/grid"
 )
+
+// MaxN is the largest complete-graph size whose N² products (track
+// counts, link counts) fit in int: floor(sqrt(2^63 - 1)). Constructors
+// reject larger N with a descriptive error instead of silently
+// overflowing.
+const MaxN = 3_037_000_499
+
+// maxChenAgrawalN is the largest n whose Chen–Agrawal track bound
+// 4(4^(ceil(log2 n)-1) - 1)/3 fits in int: ceil(log2 n) <= 31 keeps the
+// final 4(4^30 - 1)/3 product under 2^63.
+const maxChenAgrawalN = 1 << 31
 
 // AssignedLink is a K_N link placed in a track.
 type AssignedLink struct {
@@ -39,8 +51,15 @@ type TrackAssignment struct {
 }
 
 // OptimalTracks returns floor(N^2/4), the paper's strictly optimal track
-// count (and the bisection-width lower bound for even N).
-func OptimalTracks(n int) int { return n * n / 4 }
+// count (and the bisection-width lower bound for even N). It panics for
+// n beyond MaxN, where the square no longer fits in int.
+func OptimalTracks(n int) int {
+	sq, ok := bitutil.CheckedMul(n, n)
+	if !ok {
+		panic(fmt.Sprintf("collinear: floor(n²/4) overflows int for n=%d (max %d)", n, MaxN))
+	}
+	return sq / 4
+}
 
 // ChenAgrawalTracks returns the prior best bound the paper improves on:
 // 4*(4^(ceil(log2 N)-1) - 1)/3 tracks (Chen & Agrawal, dBCube). Defined
@@ -50,8 +69,11 @@ func ChenAgrawalTracks(n int) int {
 	if n < 2 {
 		return 0
 	}
+	if n > maxChenAgrawalN {
+		panic(fmt.Sprintf("collinear: Chen–Agrawal bound overflows int for n=%d (max %d)", n, maxChenAgrawalN))
+	}
 	lg := 0
-	for (1 << uint(lg)) < n {
+	for lg < 63 && (1<<uint(lg)) < n {
 		lg++
 	}
 	// 4*(4^(lg-1)-1)/3
@@ -62,10 +84,12 @@ func ChenAgrawalTracks(n int) int {
 	return 4 * (p - 1) / 3
 }
 
-// Optimal constructs the paper's assignment for K_n (Appendix B).
-func Optimal(n int) *TrackAssignment {
-	if n < 2 {
-		panic(fmt.Sprintf("collinear: K_%d has no links", n))
+// Optimal constructs the paper's assignment for K_n (Appendix B). It
+// returns an error for n < 2 (no links) and for n > MaxN (the track and
+// link counts overflow int).
+func Optimal(n int) (*TrackAssignment, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
 	}
 	ta := &TrackAssignment{N: n}
 	// Track base offset for each type: types laid out in order 1..n-1.
@@ -91,6 +115,36 @@ func Optimal(n int) *TrackAssignment {
 		base += cnt
 	}
 	ta.NumTracks = base
+	return ta, nil
+}
+
+// checkN validates a complete-graph size for the constructors.
+func checkN(n int) error {
+	if n < 2 {
+		return fmt.Errorf("collinear: K_%d has no links", n)
+	}
+	if n > MaxN {
+		return fmt.Errorf("collinear: K_%d track count floor(n²/4) overflows int (max n %d)", n, MaxN)
+	}
+	return nil
+}
+
+// MustOptimal is Optimal that panics on error; for tests and literals
+// with known-good parameters.
+func MustOptimal(n int) *TrackAssignment {
+	ta, err := Optimal(n)
+	if err != nil {
+		panic(err)
+	}
+	return ta
+}
+
+// MustGreedy is Greedy that panics on error.
+func MustGreedy(n int) *TrackAssignment {
+	ta, err := Greedy(n)
+	if err != nil {
+		panic(err)
+	}
 	return ta
 }
 
@@ -100,9 +154,9 @@ func Optimal(n int) *TrackAssignment {
 // an independent constructive baseline: for K_n it also achieves the
 // maximum cut, floor(n^2/4) tracks, corroborating the optimality of the
 // paper's closed-form scheme.
-func Greedy(n int) *TrackAssignment {
-	if n < 2 {
-		panic(fmt.Sprintf("collinear: K_%d has no links", n))
+func Greedy(n int) (*TrackAssignment, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
 	}
 	type link struct{ a, b int }
 	var links []link
@@ -145,7 +199,7 @@ func Greedy(n int) *TrackAssignment {
 		ta.Links = append(ta.Links, AssignedLink{A: lk.a, B: lk.b, Track: t.id})
 	}
 	ta.NumTracks = nextID
-	return ta
+	return ta, nil
 }
 
 // Validate checks that the assignment covers every link of K_N exactly

@@ -9,7 +9,7 @@ import (
 func TestOptimalTrackCountMatchesPaper(t *testing.T) {
 	// Appendix B: the assignment uses exactly floor(N^2/4) tracks.
 	for n := 2; n <= 40; n++ {
-		ta := Optimal(n)
+		ta := MustOptimal(n)
 		if ta.NumTracks != OptimalTracks(n) {
 			t.Errorf("K_%d: tracks = %d, want %d", n, ta.NumTracks, OptimalTracks(n))
 		}
@@ -21,7 +21,7 @@ func TestOptimalTrackCountMatchesPaper(t *testing.T) {
 
 // Figure 4 of the paper: K_9 lays out in floor(81/4) = 20 tracks.
 func TestFig4K9(t *testing.T) {
-	ta := Optimal(9)
+	ta := MustOptimal(9)
 	if ta.NumTracks != 20 {
 		t.Fatalf("K_9 tracks = %d, want 20", ta.NumTracks)
 	}
@@ -62,7 +62,7 @@ func TestGreedyMatchesOptimalCount(t *testing.T) {
 	// must also land on floor(N^2/4) - an independent corroboration of
 	// the bisection bound being achievable.
 	for n := 2; n <= 30; n++ {
-		g := Greedy(n)
+		g := MustGreedy(n)
 		if err := g.Validate(); err != nil {
 			t.Fatalf("greedy K_%d invalid: %v", n, err)
 		}
@@ -73,7 +73,7 @@ func TestGreedyMatchesOptimalCount(t *testing.T) {
 }
 
 func TestValidateCatchesBadAssignments(t *testing.T) {
-	ta := Optimal(5)
+	ta := MustOptimal(5)
 	// duplicate link
 	bad := *ta
 	bad.Links = append(append([]AssignedLink(nil), ta.Links...), AssignedLink{A: 0, B: 1, Track: 0})
@@ -101,7 +101,7 @@ func TestValidateCatchesBadAssignments(t *testing.T) {
 
 func TestReorderByDescendingSpanReducesMaxWire(t *testing.T) {
 	for _, n := range []int{8, 9, 16, 25} {
-		ta := Optimal(n)
+		ta := MustOptimal(n)
 		before := ta.MaxWireLength()
 		ta.ReorderByDescendingSpan()
 		if err := ta.Validate(); err != nil {
@@ -116,7 +116,7 @@ func TestReorderByDescendingSpanReducesMaxWire(t *testing.T) {
 
 func TestToLayoutValidatesUnderThompson(t *testing.T) {
 	for _, n := range []int{2, 3, 5, 9, 12} {
-		ta := Optimal(n)
+		ta := MustOptimal(n)
 		l, err := ToLayout(ta, LayoutOptions{})
 		if err != nil {
 			t.Fatalf("K_%d: %v", n, err)
@@ -135,7 +135,7 @@ func TestToLayoutValidatesUnderThompson(t *testing.T) {
 
 func TestToLayoutReplication(t *testing.T) {
 	// Quadrupled links, as used for the butterfly block wiring (Sec. 3.2).
-	ta := Optimal(8)
+	ta := MustOptimal(8)
 	l, err := ToLayout(ta, LayoutOptions{Replication: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -157,13 +157,13 @@ func TestToLayoutReplication(t *testing.T) {
 }
 
 func TestToLayoutRejectsBadReplication(t *testing.T) {
-	if _, err := ToLayout(Optimal(4), LayoutOptions{Replication: -1}); err == nil {
+	if _, err := ToLayout(MustOptimal(4), LayoutOptions{Replication: -1}); err == nil {
 		t.Error("negative replication accepted")
 	}
 }
 
 func TestGreedyGeometryAlsoValid(t *testing.T) {
-	ta := Greedy(9)
+	ta := MustGreedy(9)
 	l, err := ToLayout(ta, LayoutOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -174,25 +174,25 @@ func TestGreedyGeometryAlsoValid(t *testing.T) {
 }
 
 func TestEfficiency(t *testing.T) {
-	if e := Optimal(10).Efficiency(); e != 1.0 {
+	if e := MustOptimal(10).Efficiency(); e != 1.0 {
 		t.Errorf("optimal efficiency = %v", e)
 	}
 }
 
 func BenchmarkOptimalK64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		Optimal(64)
+		MustOptimal(64)
 	}
 }
 
 func BenchmarkGreedyK64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		Greedy(64)
+		MustGreedy(64)
 	}
 }
 
 func BenchmarkToLayoutK32(b *testing.B) {
-	ta := Optimal(32)
+	ta := MustOptimal(32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ToLayout(ta, LayoutOptions{}); err != nil {

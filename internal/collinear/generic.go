@@ -125,8 +125,13 @@ func (ta *TrackAssignment) ValidateLoose() error {
 }
 
 // HypercubeLinks returns the edge list of Q_k over the identity node
-// order (node = address).
+// order (node = address). It panics for k outside [0, 30]: Q_k has
+// k·2^(k-1) edges, so larger k could not be materialized anyway and
+// 2^k would no longer be safely representable.
 func HypercubeLinks(k int) []Link {
+	if k < 0 || k > 30 {
+		panic(fmt.Sprintf("collinear: hypercube dimension %d outside [0,30]", k))
+	}
 	n := 1 << uint(k)
 	var out []Link
 	for u := 0; u < n; u++ {

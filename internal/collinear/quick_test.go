@@ -11,7 +11,7 @@ import (
 func TestOptimalQuickProperty(t *testing.T) {
 	f := func(raw uint8) bool {
 		n := 2 + int(raw)%63
-		ta := Optimal(n)
+		ta := MustOptimal(n)
 		if ta.Validate() != nil || ta.NumTracks != OptimalTracks(n) {
 			return false
 		}
@@ -29,7 +29,7 @@ func TestOptimalQuickProperty(t *testing.T) {
 func TestGreedyEqualsOptimalQuick(t *testing.T) {
 	f := func(raw uint8) bool {
 		n := 2 + int(raw)%40
-		return Greedy(n).NumTracks == Optimal(n).NumTracks
+		return MustGreedy(n).NumTracks == MustOptimal(n).NumTracks
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

@@ -111,11 +111,17 @@ func e4(c *Config) error {
 	w := c.tw()
 	fmt.Fprintf(w, "N\ttracks (paper scheme)\tfloor(N^2/4)\tgreedy\tChen-Agrawal\tCA/opt\n")
 	for _, n := range []int{4, 8, 9, 16, 32, 64} {
-		ta := collinear.Optimal(n)
+		ta, err := collinear.Optimal(n)
+		if err != nil {
+			return err
+		}
 		if err := ta.Validate(); err != nil {
 			return err
 		}
-		g := collinear.Greedy(n)
+		g, err := collinear.Greedy(n)
+		if err != nil {
+			return err
+		}
 		ca := collinear.ChenAgrawalTracks(n)
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.3f\n",
 			n, ta.NumTracks, collinear.OptimalTracks(n), g.NumTracks, ca,
@@ -124,7 +130,10 @@ func e4(c *Config) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	ta := collinear.Optimal(9)
+	ta, err := collinear.Optimal(9)
+	if err != nil {
+		return err
+	}
 	before := ta.MaxWireLength()
 	ta.ReorderByDescendingSpan()
 	fmt.Fprintf(c.W, "K_9 (Fig. 4): %d tracks; max wire %d -> %d after track reversal\n",

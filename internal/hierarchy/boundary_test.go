@@ -1,0 +1,42 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+)
+
+func mustSpecLiteral(widths ...int) bitutil.GroupSpec {
+	return bitutil.GroupSpec{Widths: widths}
+}
+
+// n = 30 is the largest dimension whose 2^n row count the naive estimate
+// can represent safely; beyond it the formula declines rather than
+// overflowing.
+func TestNaiveEstimateDimensionBoundary(t *testing.T) {
+	rows, chips := NaiveChipsPaperEstimate(30, 1<<20)
+	if rows < 1 || chips < 1 {
+		t.Errorf("NaiveChipsPaperEstimate(30, 2^20) = (%d, %d), want positive", rows, chips)
+	}
+	for _, n := range []int{0, -1, 31, 62} {
+		if rows, chips := NaiveChipsPaperEstimate(n, 1<<20); rows != 0 || chips != 0 {
+			t.Errorf("NaiveChipsPaperEstimate(%d, 2^20) = (%d, %d), want (0, 0)", n, rows, chips)
+		}
+	}
+}
+
+func TestFillBoardGeometryReportsOverflow(t *testing.T) {
+	// A board design carrying a spec literal with a pathological group
+	// split: k1 = 61, k2 = 1 gives a replication exponent 2+61-1 = 62
+	// (representable) but a track product 2^62 * (2^2/4) = 2^62 that the
+	// checked multiply accepts; k1 = 62 pushes the shift to 63 and must
+	// error instead of wrapping negative.
+	d := &BoardDesign{Spec: mustSpecLiteral(62, 1)}
+	if err := d.fillBoardGeometry(); err == nil {
+		t.Error("fillBoardGeometry with k1=62 succeeded, want overflow error")
+	}
+	d = &BoardDesign{Spec: mustSpecLiteral(3, 3)}
+	if err := d.fillBoardGeometry(); err != nil {
+		t.Errorf("fillBoardGeometry with k1=k2=3 failed: %v", err)
+	}
+}

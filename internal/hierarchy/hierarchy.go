@@ -83,6 +83,7 @@ func Design(n, maxPins, chipSide int) (*BoardDesign, error) {
 	}
 	var best *BoardDesign
 	for k1 := 1; k1 < n; k1++ {
+		rowsPer := 1 << uint(k1)
 		for _, widths := range specCandidates(n, k1) {
 			spec, err := bitutil.NewGroupSpec(widths...)
 			if err != nil {
@@ -99,12 +100,14 @@ func Design(n, maxPins, chipSide int) (*BoardDesign, error) {
 				Spec:         spec,
 				ChipSide:     chipSide,
 				MaxPins:      maxPins,
-				RowsPerChip:  1 << uint(k1),
+				RowsPerChip:  rowsPer,
 				NodesPerChip: st.MaxNodesPerModule,
 				NumChips:     st.NumModules,
 				OffChipLinks: st.MaxOffLinksPerModu,
 			}
-			d.fillBoardGeometry()
+			if err := d.fillBoardGeometry(); err != nil {
+				continue
+			}
 			if best == nil || d.NumChips < best.NumChips ||
 				(d.NumChips == best.NumChips && d.OffChipLinks < best.OffChipLinks) {
 				best = d
@@ -136,24 +139,47 @@ func specCandidates(n, k1 int) [][]int {
 	return out
 }
 
-func (d *BoardDesign) fillBoardGeometry() {
+func (d *BoardDesign) fillBoardGeometry() error {
 	spec := d.Spec
 	k1 := spec.GroupWidth(1)
 	m2, m3 := 1, 1
 	if spec.Levels() >= 2 {
 		m2 = 1 << uint(spec.GroupWidth(2))
-		c2 := 1 << uint(2+k1-spec.GroupWidth(2))
-		d.RawHTracks = c2 * (m2 * m2 / 4)
+		c2, ok := bitutil.CheckedShl(1, 2+k1-spec.GroupWidth(2))
+		if !ok {
+			return fmt.Errorf("hierarchy: horizontal replication 2^(2+k1-k2) overflows int for spec %v", spec)
+		}
+		m2sq, ok := bitutil.CheckedMul(m2, m2)
+		if !ok {
+			return fmt.Errorf("hierarchy: grid width 2^(2k2) overflows int for spec %v", spec)
+		}
+		raw, ok := bitutil.CheckedMul(c2, m2sq/4)
+		if !ok {
+			return fmt.Errorf("hierarchy: horizontal track count overflows int for spec %v", spec)
+		}
+		d.RawHTracks = raw
 		d.OptimizedHTracks = d.RawHTracks - neighborSaving
 	}
 	if spec.Levels() == 3 {
 		m3 = 1 << uint(spec.GroupWidth(3))
-		c3 := 1 << uint(2+k1-spec.GroupWidth(3))
-		d.RawVTracks = c3 * (m3 * m3 / 4)
+		c3, ok := bitutil.CheckedShl(1, 2+k1-spec.GroupWidth(3))
+		if !ok {
+			return fmt.Errorf("hierarchy: vertical replication 2^(2+k1-k3) overflows int for spec %v", spec)
+		}
+		m3sq, ok := bitutil.CheckedMul(m3, m3)
+		if !ok {
+			return fmt.Errorf("hierarchy: grid height 2^(2k3) overflows int for spec %v", spec)
+		}
+		raw, ok := bitutil.CheckedMul(c3, m3sq/4)
+		if !ok {
+			return fmt.Errorf("hierarchy: vertical track count overflows int for spec %v", spec)
+		}
+		d.RawVTracks = raw
 		d.OptimizedVTracks = d.RawVTracks - neighborSaving
 	}
 	d.GridCols = m2
 	d.GridRows = m3
+	return nil
 }
 
 // HTracksPerGap returns the horizontal tracks per inter-chip-row gap with
@@ -211,6 +237,9 @@ func (d *BoardDesign) BoardArea(L int) int64 {
 // per node, so a chip of q rows needs about 2*q*(n+1) pins. For B_9 with
 // 64 pins this gives 3 rows per chip and 171 chips, the paper's numbers.
 func NaiveChipsPaperEstimate(n, maxPins int) (rowsPerChip, numChips int) {
+	if n < 1 || n > 30 {
+		return 0, 0
+	}
 	rows := 1 << uint(n)
 	q := maxPins / (2 * (n + 1))
 	if q < 1 {

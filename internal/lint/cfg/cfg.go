@@ -1,0 +1,451 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies — the substrate of the bflint dataflow analyses
+// (reaching definitions and interval abstract interpretation in
+// internal/lint/dataflow). Like the rest of the lint framework it is a
+// deliberately small, stdlib-only stand-in for the upstream
+// golang.org/x/tools/go/cfg, with the extra information those analyses
+// need: conditional edges carry their controlling expression and branch
+// sense, so a dataflow client can refine facts along each branch.
+//
+// The graph is statement-level: every block holds the ast.Stmt nodes
+// that execute unconditionally once the block is entered, in order.
+// Conditions of if/for statements do not appear as block statements;
+// they live on the out-edges. Function literals are opaque single
+// statements — a literal's body gets its own graph via Build, never
+// spliced into the enclosing function's.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks in creation order; Blocks[0] is the entry block.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single synthetic exit block: every return statement
+	// and the fall-off-the-end path lead here.
+	Exit *Block
+}
+
+// A Block is a maximal straight-line statement sequence.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// An Edge connects two blocks. Cond is nil for unconditional edges; for
+// the two edges leaving an if/for condition it is the condition
+// expression, with Taken reporting which outcome the edge represents.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Taken    bool
+}
+
+// builder carries the construction state.
+type builder struct {
+	g *Graph
+	// cur is the block under construction; nil when the current path is
+	// unreachable (after return/break/...).
+	cur *Block
+	// breakTo / continueTo map loop and switch nesting to their targets;
+	// the innermost target is the last element.
+	breakTo    []*Block
+	continueTo []*Block
+	// labels resolves labeled break/continue/goto.
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+	labelGoto     map[string]*Block
+	// pendingGotos are forward gotos waiting for their label block.
+	pendingGotos map[string][]*Block
+}
+
+// Build constructs the graph of one function body. It never fails on
+// well-typed input; the graph of an empty body is entry -> exit.
+func Build(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{
+		g:             g,
+		labelBreak:    map[string]*Block{},
+		labelContinue: map[string]*Block{},
+		labelGoto:     map[string]*Block{},
+		pendingGotos:  map[string][]*Block{},
+	}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.jump(g.Exit)
+	// Unresolved forward gotos (label never defined — ill-formed code)
+	// fall through to exit so the graph stays connected.
+	for _, blocks := range b.pendingGotos {
+		for _, blk := range blocks {
+			b.edge(blk, g.Exit, nil, false)
+		}
+	}
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, cond ast.Expr, taken bool) {
+	e := &Edge{From: from, To: to, Cond: cond, Taken: taken}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// jump ends the current block with an unconditional edge to target and
+// marks the path closed.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, target, nil, false)
+	}
+	b.cur = nil
+}
+
+// open continues construction at target (starting it as the new current
+// block).
+func (b *builder) open(target *Block) { b.cur = target }
+
+func (b *builder) add(s ast.Stmt) {
+	if b.cur == nil {
+		// Unreachable statement: park it in a fresh orphan block so its
+		// contents still appear in the graph for the analyses.
+		b.cur = b.newBlock()
+	}
+	b.cur.Stmts = append(b.cur.Stmts, s)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		condBlock := b.cur
+		if condBlock == nil {
+			condBlock = b.newBlock()
+			b.cur = condBlock
+		}
+		thenBlk := b.newBlock()
+		afterBlk := b.newBlock()
+		elseTarget := afterBlk
+		var elseBlk *Block
+		if s.Else != nil {
+			elseBlk = b.newBlock()
+			elseTarget = elseBlk
+		}
+		b.edge(condBlock, thenBlk, s.Cond, true)
+		b.edge(condBlock, elseTarget, s.Cond, false)
+		b.cur = nil
+		b.open(thenBlk)
+		b.stmtList(s.Body.List)
+		b.jump(afterBlk)
+		if elseBlk != nil {
+			b.open(elseBlk)
+			b.stmt(s.Else, "")
+			b.jump(afterBlk)
+		}
+		b.open(afterBlk)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(head)
+		b.open(head)
+		if s.Cond != nil {
+			b.edge(head, body, s.Cond, true)
+			b.edge(head, after, s.Cond, false)
+		} else {
+			b.edge(head, body, nil, false)
+		}
+		b.cur = nil
+		b.pushLoop(after, post, label)
+		b.open(body)
+		b.stmtList(s.Body.List)
+		b.jump(post)
+		if s.Post != nil {
+			b.open(post)
+			b.add(s.Post)
+			b.jump(head)
+		}
+		b.popLoop(label)
+		b.open(after)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		// The range statement itself sits in the head block: it defines
+		// the key/value variables once per iteration.
+		head.Stmts = append(head.Stmts, s)
+		b.edge(head, body, nil, false)
+		b.edge(head, after, nil, false)
+		b.pushLoop(after, head, label)
+		b.open(body)
+		b.stmtList(s.Body.List)
+		b.jump(head)
+		b.popLoop(label)
+		b.open(after)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			// Evaluate the tag in the dispatch block (as a statement, so
+			// defs inside it are seen).
+			b.add(&ast.ExprStmt{X: s.Tag})
+		}
+		b.caseDispatch(s.Body.List, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseDispatch(s.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		b.caseDispatch(s.Body.List, label, nil)
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		// A label starts a fresh block so goto/continue can target it.
+		target := b.newBlock()
+		b.jump(target)
+		b.open(target)
+		b.labelGoto[name] = target
+		for _, from := range b.pendingGotos[name] {
+			b.edge(from, target, nil, false)
+		}
+		delete(b.pendingGotos, name)
+		b.stmt(s.Stmt, name)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if t := b.labelBreak[s.Label.Name]; t != nil {
+					b.add(s)
+					b.jump(t)
+					return
+				}
+			} else if n := len(b.breakTo); n > 0 {
+				b.add(s)
+				b.jump(b.breakTo[n-1])
+				return
+			}
+			b.add(s)
+			b.jump(b.g.Exit)
+		case token.CONTINUE:
+			if s.Label != nil {
+				if t := b.labelContinue[s.Label.Name]; t != nil {
+					b.add(s)
+					b.jump(t)
+					return
+				}
+			} else if n := len(b.continueTo); n > 0 {
+				b.add(s)
+				b.jump(b.continueTo[n-1])
+				return
+			}
+			b.add(s)
+			b.jump(b.g.Exit)
+		case token.GOTO:
+			b.add(s)
+			if s.Label != nil {
+				if t := b.labelGoto[s.Label.Name]; t != nil {
+					b.jump(t)
+					return
+				}
+				from := b.cur
+				b.cur = nil
+				if from != nil {
+					b.pendingGotos[s.Label.Name] = append(b.pendingGotos[s.Label.Name], from)
+				}
+				return
+			}
+			b.jump(b.g.Exit)
+		case token.FALLTHROUGH:
+			// Handled structurally by caseDispatch; as a statement it
+			// just ends the clause.
+			b.add(s)
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		// A panic call never falls through: treat it like a return so a
+		// guard of the form `if bad { panic(...) }` leaves the refined
+		// fall-through state intact. Detection is syntactic (an ident
+		// named panic); shadowing the builtin defeats it, which is the
+		// same trade every syntax-level tool makes.
+		if isPanicCall(s.X) {
+			b.jump(b.g.Exit)
+		}
+
+	default:
+		// Assignments, declarations, sends, inc/dec, defer, go, empty:
+		// straight-line.
+		b.add(s)
+	}
+}
+
+// isPanicCall reports whether e is a direct call of the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun := call.Fun
+	for {
+		p, ok := fun.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		fun = p.X
+	}
+	id, ok := fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// caseDispatch wires a switch/type-switch/select body: every clause gets
+// its own block reachable from the dispatch point, plus an edge to the
+// after block when no default clause exists.
+func (b *builder) caseDispatch(clauses []ast.Stmt, label string, _ ast.Expr) {
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.newBlock()
+		b.cur = dispatch
+	}
+	after := b.newBlock()
+	b.pushSwitch(after, label)
+	hasDefault := false
+	type clauseBlock struct {
+		body  []ast.Stmt
+		block *Block
+	}
+	var blocks []clauseBlock
+	for _, c := range clauses {
+		blk := b.newBlock()
+		b.edge(dispatch, blk, nil, false)
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				// Case expressions are evaluated at dispatch; record them
+				// in the clause block so defs inside are visible.
+				blk.Stmts = append(blk.Stmts, &ast.ExprStmt{X: e})
+			}
+			blocks = append(blocks, clauseBlock{c.Body, blk})
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.Stmts = append(blk.Stmts, c.Comm)
+			}
+			blocks = append(blocks, clauseBlock{c.Body, blk})
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, after, nil, false)
+	}
+	b.cur = nil
+	for i, cb := range blocks {
+		b.open(cb.block)
+		b.stmtList(cb.body)
+		// A trailing fallthrough continues into the next clause body.
+		if n := len(cb.body); n > 0 {
+			if br, ok := cb.body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(blocks) {
+				b.jump(blocks[i+1].block)
+				continue
+			}
+		}
+		b.jump(after)
+	}
+	b.popSwitch(label)
+	b.open(after)
+}
+
+func (b *builder) pushLoop(brk, cont *Block, label string) {
+	b.breakTo = append(b.breakTo, brk)
+	b.continueTo = append(b.continueTo, cont)
+	if label != "" {
+		b.labelBreak[label] = brk
+		b.labelContinue[label] = cont
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	if label != "" {
+		delete(b.labelBreak, label)
+		delete(b.labelContinue, label)
+	}
+}
+
+func (b *builder) pushSwitch(brk *Block, label string) {
+	b.breakTo = append(b.breakTo, brk)
+	if label != "" {
+		b.labelBreak[label] = brk
+	}
+}
+
+func (b *builder) popSwitch(label string) {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	if label != "" {
+		delete(b.labelBreak, label)
+	}
+}
+
+// String renders the graph for tests and debugging.
+func (g *Graph) String() string {
+	s := ""
+	for _, blk := range g.Blocks {
+		s += fmt.Sprintf("b%d:", blk.Index)
+		for _, e := range blk.Succs {
+			if e.Cond != nil {
+				s += fmt.Sprintf(" ->b%d(cond=%v)", e.To.Index, e.Taken)
+			} else {
+				s += fmt.Sprintf(" ->b%d", e.To.Index)
+			}
+		}
+		s += "\n"
+	}
+	return s
+}

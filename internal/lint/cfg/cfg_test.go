@@ -1,0 +1,253 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns its graph.
+func buildGraph(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return Build(fn.Body)
+}
+
+// reachable returns the set of block indices reachable from entry.
+func reachable(g *Graph) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildGraph(t, "x := 1\ny := x + 1\n_ = y")
+	if len(g.Entry.Stmts) != 3 {
+		t.Fatalf("entry has %d stmts, want 3", len(g.Entry.Stmts))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0].To != g.Exit {
+		t.Fatalf("entry should flow straight to exit: %s", g)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := buildGraph(t, "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x")
+	// Entry must have two conditional successors with opposite Taken.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("cond block has %d succs, want 2: %s", len(g.Entry.Succs), g)
+	}
+	a, b := g.Entry.Succs[0], g.Entry.Succs[1]
+	if a.Cond == nil || b.Cond == nil || a.Taken == b.Taken {
+		t.Fatalf("if edges must carry the condition with opposite senses: %s", g)
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable: %s", g)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g := buildGraph(t, "s := 0\nfor i := 0; i < 10; i++ {\n s += i\n}\n_ = s")
+	str := g.String()
+	// The loop head must have a true edge (body) and false edge (after).
+	found := false
+	for _, blk := range g.Blocks {
+		var hasTrue, hasFalse bool
+		for _, e := range blk.Succs {
+			if e.Cond != nil && e.Taken {
+				hasTrue = true
+			}
+			if e.Cond != nil && !e.Taken {
+				hasFalse = true
+			}
+		}
+		if hasTrue && hasFalse {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no loop head with both branch edges:\n%s", str)
+	}
+	// The graph must contain a cycle (body -> post -> head).
+	if !hasCycle(g) {
+		t.Fatalf("for loop produced an acyclic graph:\n%s", str)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildGraph(t, "xs := []int{1, 2}\nt := 0\nfor _, v := range xs {\n t += v\n}\n_ = t")
+	if !hasCycle(g) {
+		t.Fatalf("range loop produced an acyclic graph:\n%s", g)
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable: %s", g)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := buildGraph(t, `for i := 0; i < 10; i++ {
+	if i == 3 {
+		continue
+	}
+	if i == 7 {
+		break
+	}
+}`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable: %s", g)
+	}
+	if !hasCycle(g) {
+		t.Fatalf("loop with break/continue lost its back edge:\n%s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildGraph(t, `outer:
+for i := 0; i < 4; i++ {
+	for j := 0; j < 4; j++ {
+		if i*j > 4 {
+			break outer
+		}
+	}
+}`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable after labeled break: %s", g)
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	g := buildGraph(t, `x := 2
+switch x {
+case 1:
+	x = 10
+case 2:
+	x = 20
+default:
+	x = 30
+}
+_ = x`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable: %s", g)
+	}
+	// With a default clause the dispatch block must NOT have a direct
+	// edge to the after block — count dispatch successors: 3 clauses.
+	var dispatch *Block
+	for _, blk := range g.Blocks {
+		if len(blk.Succs) == 3 {
+			dispatch = blk
+		}
+	}
+	if dispatch == nil {
+		t.Fatalf("no 3-way dispatch block found:\n%s", g)
+	}
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	g := buildGraph(t, `x := 2
+switch x {
+case 1:
+	x = 10
+}
+_ = x`)
+	// Dispatch: one clause edge + one fall-through-to-after edge.
+	var found bool
+	for _, blk := range g.Blocks {
+		if len(blk.Succs) == 2 && len(blk.Stmts) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("switch without default must keep a skip edge:\n%s", g)
+	}
+}
+
+func TestReturnEndsPath(t *testing.T) {
+	g := buildGraph(t, "x := 1\nif x > 0 {\n return\n}\nx = 2\n_ = x")
+	// The return statement's block must flow only to exit.
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Stmts {
+			if _, ok := s.(*ast.ReturnStmt); ok {
+				if len(blk.Succs) != 1 || blk.Succs[0].To != g.Exit {
+					t.Fatalf("return block must jump to exit: %s", g)
+				}
+			}
+		}
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := buildGraph(t, "x := 1\ngoto done\nx = 2\ndone:\n_ = x")
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable after goto: %s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := buildGraph(t, `ch := make(chan int)
+select {
+case v := <-ch:
+	_ = v
+default:
+}`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable after select: %s", g)
+	}
+}
+
+func TestFuncLitOpaque(t *testing.T) {
+	g := buildGraph(t, "f := func() {\n for {\n }\n}\n_ = f")
+	// The literal's infinite loop must not leak into the outer graph.
+	if hasCycle(g) {
+		t.Fatalf("function literal body leaked into outer graph:\n%s", g)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := buildGraph(t, "x := 1\n_ = x")
+	if !strings.Contains(g.String(), "b0:") {
+		t.Fatalf("String() should list blocks: %q", g.String())
+	}
+}
+
+func hasCycle(g *Graph) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Blocks))
+	var visit func(b *Block) bool
+	visit = func(b *Block) bool {
+		color[b.Index] = grey
+		for _, e := range b.Succs {
+			switch color[e.To.Index] {
+			case grey:
+				return true
+			case white:
+				if visit(e.To) {
+					return true
+				}
+			}
+		}
+		color[b.Index] = black
+		return false
+	}
+	return visit(g.Entry)
+}

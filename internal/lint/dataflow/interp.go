@@ -1,0 +1,704 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"bfvlsi/internal/lint/cfg"
+)
+
+// Env maps integer-typed variables to their current interval. A variable
+// absent from the env is unconstrained (Top).
+type Env map[*types.Var]Interval
+
+func (e Env) clone() Env {
+	c := make(Env, len(e))
+	for v, iv := range e {
+		c[v] = iv
+	}
+	return c
+}
+
+// Get returns the variable's interval, Top when untracked.
+func (e Env) Get(v *types.Var) Interval {
+	if iv, ok := e[v]; ok {
+		return iv
+	}
+	return Top()
+}
+
+// joinEnv joins var-wise; a variable missing from either side is Top and
+// drops out.
+func joinEnv(a, b Env) Env {
+	out := Env{}
+	for v, iv := range a {
+		if ov, ok := b[v]; ok {
+			j := iv.Join(ov)
+			if !j.IsTop() {
+				out[v] = j
+			}
+		}
+	}
+	return out
+}
+
+func envEqual(a, b Env) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, iv := range a {
+		if b[v] != iv {
+			return false
+		}
+	}
+	return true
+}
+
+// IntervalConfig parameterises the analysis for one function.
+type IntervalConfig struct {
+	Info *types.Info
+	// Params seeds the entry environment (typically the function's int
+	// parameters at Top, or caller-known ranges).
+	Params Env
+	// Call, when non-nil, supplies intervals for calls the analyzer
+	// knows are bounded (e.g. GroupSpec accessors). Returning ok=false
+	// falls back to Top.
+	Call func(call *ast.CallExpr) (Interval, bool)
+}
+
+// IntervalResult holds the fixpoint: the environment in effect at the
+// entry of every statement in the graph.
+type IntervalResult struct {
+	cfg    *IntervalConfig
+	at     map[ast.Stmt]Env
+	condAt map[ast.Expr]Env
+	exit   Env
+}
+
+// widenAfter is the number of times a block may be re-visited with
+// plain joins before widening kicks in. Two visits let a loop establish
+// simple invariants (i = 0 then i = [0, bound]) before bounds blow out.
+const widenAfter = 2
+
+// Intervals runs the abstract interpretation to fixpoint over g.
+func Intervals(g *cfg.Graph, config IntervalConfig) *IntervalResult {
+	r := &IntervalResult{cfg: &config, at: map[ast.Stmt]Env{}, condAt: map[ast.Expr]Env{}}
+	thresholds := r.collectThresholds(g)
+
+	in := make([]Env, len(g.Blocks))
+	visits := make([]int, len(g.Blocks))
+	seeded := make([]bool, len(g.Blocks))
+	entry := Env{}
+	if config.Params != nil {
+		entry = config.Params.clone()
+	}
+	in[g.Entry.Index] = entry
+	seeded[g.Entry.Index] = true
+
+	work := []*cfg.Block{g.Entry}
+	inWork := make([]bool, len(g.Blocks))
+	inWork[g.Entry.Index] = true
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+		visits[b.Index]++
+
+		env := in[b.Index].clone()
+		for _, s := range b.Stmts {
+			env = r.transfer(env, s)
+		}
+		for _, e := range b.Succs {
+			out := env
+			if e.Cond != nil {
+				out = r.Refine(env.clone(), e.Cond, e.Taken)
+			}
+			t := e.To.Index
+			if !seeded[t] {
+				seeded[t] = true
+				in[t] = out.clone()
+			} else {
+				joined := joinEnv(in[t], out)
+				if visits[t] >= widenAfter {
+					w := Env{}
+					for v, iv := range in[t] {
+						if jv, ok := joined[v]; ok {
+							wv := iv.WidenTo(jv, thresholds)
+							if !wv.IsTop() {
+								w[v] = wv
+							}
+						}
+					}
+					joined = w
+				}
+				if envEqual(in[t], joined) {
+					continue
+				}
+				in[t] = joined
+			}
+			if !inWork[t] {
+				inWork[t] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+
+	// Narrowing passes: widening above applies to every revisited block,
+	// so a loop-body state refined by the loop condition (i <= 24, say)
+	// widens back toward the head's unbounded state after a few visits.
+	// Starting from the widened post-fixpoint, re-deriving each block's
+	// in-state from its predecessors' transferred-and-refined out-states
+	// only shrinks intervals and stays sound; two passes recover the
+	// guard-bounded shapes the analyzers care about.
+	for pass := 0; pass < 2; pass++ {
+		for _, blk := range g.Blocks {
+			if blk == g.Entry || !seeded[blk.Index] {
+				continue
+			}
+			var newIn Env
+			first := true
+			for _, e := range blk.Preds {
+				if !seeded[e.From.Index] {
+					continue
+				}
+				out := in[e.From.Index].clone()
+				for _, s := range e.From.Stmts {
+					out = r.transfer(out, s)
+				}
+				if e.Cond != nil {
+					out = r.Refine(out, e.Cond, e.Taken)
+				}
+				if first {
+					newIn, first = out, false
+				} else {
+					newIn = joinEnv(newIn, out)
+				}
+			}
+			if !first {
+				in[blk.Index] = newIn
+			}
+		}
+	}
+
+	// Recording pass: with In[] stable, replay each block once to pin
+	// the env at every statement entry, and the env in which each edge
+	// condition is evaluated (loop and if conditions live on edges, not
+	// in blocks).
+	for _, b := range g.Blocks {
+		env := in[b.Index]
+		if env == nil {
+			env = Env{}
+		}
+		env = env.clone()
+		for _, s := range b.Stmts {
+			r.at[s] = env.clone()
+			env = r.transfer(env, s)
+		}
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				if prev, ok := r.condAt[e.Cond]; ok {
+					r.condAt[e.Cond] = joinEnv(prev, env)
+				} else {
+					r.condAt[e.Cond] = env.clone()
+				}
+			}
+		}
+		if b == g.Exit {
+			r.exit = env
+		}
+	}
+	return r
+}
+
+// collectThresholds gathers the integer constants mentioned anywhere in
+// the graph's statements and edge conditions (plus each constant's
+// neighbors, since refinement shifts comparison bounds by one). The
+// sorted set parameterises threshold widening: a bound climbing toward
+// a program constant lands exactly on it instead of blowing out to
+// infinity.
+func (r *IntervalResult) collectThresholds(g *cfg.Graph) []int64 {
+	set := map[int64]bool{}
+	addExpr := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sub, ok := n.(ast.Expr); ok {
+				if v, ok := r.constVal(sub); ok {
+					set[v] = true
+					if v > mathMinInt64 {
+						set[v-1] = true
+					}
+					if v < mathMaxInt64 {
+						set[v+1] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					addExpr(e)
+					return false
+				}
+				return true
+			})
+		}
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				addExpr(e.Cond)
+			}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+const (
+	mathMinInt64 = -1 << 63
+	mathMaxInt64 = 1<<63 - 1
+)
+
+// CondEnv returns the environment in which the given if/for condition is
+// evaluated. The expression must be the Cond of a statement in the
+// analyzed graph; ok is false otherwise.
+func (r *IntervalResult) CondEnv(cond ast.Expr) (Env, bool) {
+	e, ok := r.condAt[cond]
+	return e, ok
+}
+
+// RefineWithin narrows env with the short-circuit context of target
+// inside root: descending toward target, the right operand of a && is
+// only evaluated when the left was true, and of a || when the left was
+// false. Used to evaluate a sub-expression like the shift in
+// `n < 63 && v < 1<<uint(n)` under the guard to its left.
+func (r *IntervalResult) RefineWithin(env Env, root, target ast.Expr) Env {
+	for root != nil && root != target {
+		switch e := root.(type) {
+		case *ast.ParenExpr:
+			root = e.X
+		case *ast.BinaryExpr:
+			switch {
+			case e.Op == token.LAND && contains(e.Y, target):
+				env = r.Refine(env.clone(), e.X, true)
+				root = e.Y
+			case e.Op == token.LOR && contains(e.Y, target):
+				env = r.Refine(env.clone(), e.X, false)
+				root = e.Y
+			case contains(e.X, target):
+				root = e.X
+			case contains(e.Y, target):
+				root = e.Y
+			default:
+				return env
+			}
+		case *ast.UnaryExpr:
+			root = e.X
+		case *ast.CallExpr:
+			root = argContaining(e, target)
+		default:
+			return env
+		}
+	}
+	return env
+}
+
+func contains(node ast.Node, target ast.Expr) bool {
+	return node != nil && node.Pos() <= target.Pos() && target.End() <= node.End()
+}
+
+func argContaining(call *ast.CallExpr, target ast.Expr) ast.Expr {
+	for _, a := range call.Args {
+		if contains(a, target) {
+			return a
+		}
+	}
+	if contains(call.Fun, target) {
+		return call.Fun
+	}
+	return nil
+}
+
+// EnvAt returns the environment at the entry of s (the statement must
+// belong to the analyzed graph; unknown statements get an empty env).
+func (r *IntervalResult) EnvAt(s ast.Stmt) Env {
+	if e, ok := r.at[s]; ok {
+		return e
+	}
+	return Env{}
+}
+
+// Eval evaluates an expression in env. It is exposed so analyzers can
+// re-evaluate sub-expressions at a reporting site.
+func (r *IntervalResult) Eval(env Env, e ast.Expr) Interval {
+	return r.eval(env, e)
+}
+
+func (r *IntervalResult) intVar(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := r.cfg.Info.ObjectOf(id).(*types.Var)
+	if !ok {
+		return nil
+	}
+	if !isIntegerType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isUnsignedType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+func (r *IntervalResult) constVal(e ast.Expr) (int64, bool) {
+	tv, ok := r.cfg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	if tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+func (r *IntervalResult) eval(env Env, e ast.Expr) Interval {
+	if v, ok := r.constVal(e); ok {
+		return Const(v)
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return r.eval(env, e.X)
+	case *ast.Ident:
+		if v := r.intVar(e); v != nil {
+			return env.Get(v)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			return r.eval(env, e.X).Neg()
+		}
+		if e.Op == token.ADD {
+			return r.eval(env, e.X)
+		}
+	case *ast.BinaryExpr:
+		x := r.eval(env, e.X)
+		y := r.eval(env, e.Y)
+		switch e.Op {
+		case token.ADD:
+			return x.Add(y)
+		case token.SUB:
+			return x.Sub(y)
+		case token.MUL:
+			return x.Mul(y)
+		case token.QUO:
+			return x.Div(y)
+		case token.REM:
+			return x.Rem(y)
+		case token.SHL:
+			return x.Shl(y)
+		case token.SHR:
+			return x.Shr(y)
+		case token.AND:
+			return x.And(y)
+		}
+	case *ast.CallExpr:
+		return r.evalCall(env, e)
+	}
+	return Top()
+}
+
+func (r *IntervalResult) evalCall(env Env, call *ast.CallExpr) Interval {
+	// Type conversion: T(x).
+	if tv, ok := r.cfg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		arg := r.eval(env, call.Args[0])
+		if isUnsignedType(tv.Type) {
+			// uint(x) of a possibly-negative x wraps to a huge value —
+			// the exact hazard overflowcalc looks for in shift amounts.
+			return arg.ClampNonNeg()
+		}
+		if isIntegerType(tv.Type) {
+			return arg
+		}
+		return Top()
+	}
+	// Builtins len/cap: a Go slice or string length is far below 2^48
+	// on any real machine.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := r.cfg.Info.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap":
+				return Range(0, 1<<48)
+			}
+		}
+	}
+	if r.cfg.Call != nil {
+		if iv, ok := r.cfg.Call(call); ok {
+			return iv
+		}
+	}
+	return Top()
+}
+
+// transfer applies one statement to the environment.
+func (r *IntervalResult) transfer(env Env, s ast.Stmt) Env {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) == len(s.Rhs) {
+			// Evaluate all RHS in the pre-state (Go semantics), then bind.
+			vals := make([]Interval, len(s.Rhs))
+			for i, rhs := range s.Rhs {
+				if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+					vals[i] = r.eval(env, rhs)
+				} else {
+					// Compound x op= e desugars to x = x op e.
+					vals[i] = r.evalCompound(env, s.Lhs[i], rhs, s.Tok)
+				}
+			}
+			for i, lhs := range s.Lhs {
+				if v := r.intVar(lhs); v != nil {
+					setEnv(env, v, vals[i])
+				} else {
+					r.clobber(env, lhs)
+				}
+			}
+		} else {
+			// Multi-value: results unknown.
+			for _, lhs := range s.Lhs {
+				if v := r.intVar(lhs); v != nil {
+					delete(env, v)
+				} else {
+					r.clobber(env, lhs)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if v := r.intVar(s.X); v != nil {
+			one := Const(1)
+			if s.Tok == token.DEC {
+				one = Const(-1)
+			}
+			setEnv(env, v, env.Get(v).Add(one))
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					v, ok := r.cfg.Info.Defs[name].(*types.Var)
+					if !ok || !isIntegerType(v.Type()) {
+						continue
+					}
+					if i < len(vs.Values) {
+						setEnv(env, v, r.eval(env, vs.Values[i]))
+					} else {
+						setEnv(env, v, Const(0)) // zero value
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Key of a slice/map/string range is a non-negative index (or an
+		// arbitrary map key — still int-typed only for int-keyed maps,
+		// where nothing is known). Be conservative: key >= 0 only for
+		// non-map operands.
+		if s.Key != nil {
+			if v := r.intVar(s.Key); v != nil {
+				if tv, ok := r.cfg.Info.Types[s.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+						setEnv(env, v, Range(0, 1<<48))
+					} else {
+						delete(env, v)
+					}
+				} else {
+					delete(env, v)
+				}
+			}
+		}
+		if s.Value != nil {
+			if v := r.intVar(s.Value); v != nil {
+				delete(env, v)
+			}
+		}
+	case *ast.ExprStmt, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt,
+		*ast.ReturnStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+		// No integer variable bindings.
+	}
+	return env
+}
+
+func setEnv(env Env, v *types.Var, iv Interval) {
+	if iv.IsTop() {
+		delete(env, v)
+		return
+	}
+	env[v] = iv
+}
+
+// clobber handles assignment through a non-ident lvalue (*p = …,
+// s.f = …, a[i] = …): no tracked var is written directly, nothing to do
+// (tracked vars are locals/params read by value).
+func (r *IntervalResult) clobber(Env, ast.Expr) {}
+
+func (r *IntervalResult) evalCompound(env Env, lhs, rhs ast.Expr, tok token.Token) Interval {
+	x := r.eval(env, lhs)
+	y := r.eval(env, rhs)
+	switch tok {
+	case token.ADD_ASSIGN:
+		return x.Add(y)
+	case token.SUB_ASSIGN:
+		return x.Sub(y)
+	case token.MUL_ASSIGN:
+		return x.Mul(y)
+	case token.QUO_ASSIGN:
+		return x.Div(y)
+	case token.REM_ASSIGN:
+		return x.Rem(y)
+	case token.SHL_ASSIGN:
+		return x.Shl(y)
+	case token.SHR_ASSIGN:
+		return x.Shr(y)
+	case token.AND_ASSIGN:
+		return x.And(y)
+	}
+	return Top()
+}
+
+// Refine narrows env assuming cond evaluated to taken. It understands
+// negation, && / || short-circuit (on the branch where both operands'
+// values are determined), and comparisons between a tracked variable and
+// an evaluable expression.
+func (r *IntervalResult) Refine(env Env, cond ast.Expr, taken bool) Env {
+	switch cond := cond.(type) {
+	case *ast.ParenExpr:
+		return r.Refine(env, cond.X, taken)
+	case *ast.UnaryExpr:
+		if cond.Op == token.NOT {
+			return r.Refine(env, cond.X, !taken)
+		}
+	case *ast.BinaryExpr:
+		switch cond.Op {
+		case token.LAND:
+			if taken {
+				env = r.Refine(env, cond.X, true)
+				return r.Refine(env, cond.Y, true)
+			}
+			return env // either side may be false: nothing certain
+		case token.LOR:
+			if !taken {
+				env = r.Refine(env, cond.X, false)
+				return r.Refine(env, cond.Y, false)
+			}
+			return env
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			op := cond.Op
+			if !taken {
+				op = negateCmp(op)
+			}
+			r.refineCmp(env, cond.X, op, cond.Y)
+			return env
+		}
+	}
+	return env
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op // EQL / NEQ symmetric
+}
+
+// refineCmp applies "x op y" to env, constraining either side that is a
+// tracked variable against the interval of the other.
+func (r *IntervalResult) refineCmp(env Env, x ast.Expr, op token.Token, y ast.Expr) {
+	if v := r.intVar(unparen(x)); v != nil {
+		r.constrain(env, v, op, r.eval(env, y))
+	}
+	if v := r.intVar(unparen(y)); v != nil {
+		r.constrain(env, v, flipCmp(op), r.eval(env, x))
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func (r *IntervalResult) constrain(env Env, v *types.Var, op token.Token, bound Interval) {
+	cur := env.Get(v)
+	switch op {
+	case token.LSS: // v < bound  =>  v <= bound.Hi - 1
+		cur = cur.Meet(Interval{NegInf, addBound(bound.Hi, Finite(-1))})
+	case token.LEQ:
+		cur = cur.Meet(Interval{NegInf, bound.Hi})
+	case token.GTR: // v > bound  =>  v >= bound.Lo + 1
+		cur = cur.Meet(Interval{addBound(bound.Lo, Finite(1)), PosInf})
+	case token.GEQ:
+		cur = cur.Meet(Interval{bound.Lo, PosInf})
+	case token.EQL:
+		cur = cur.Meet(bound)
+	case token.NEQ:
+		// Only useful when the excluded value is an endpoint.
+		if bound.Lo == bound.Hi && bound.Lo.Inf == 0 {
+			if cur.Lo == bound.Lo {
+				cur.Lo = addBound(cur.Lo, Finite(1))
+			} else if cur.Hi == bound.Hi {
+				cur.Hi = addBound(cur.Hi, Finite(-1))
+			}
+		}
+	}
+	setEnv(env, v, cur)
+}

@@ -1,0 +1,449 @@
+// Package dataflow implements the small intraprocedural analyses the
+// bflint v2 analyzers are built on: an interval abstract-interpretation
+// domain with widening and branch refinement (used by overflowcalc) and
+// reaching definitions with carry-forward tracking (used by hotalloc).
+// Both run over the control-flow graphs built by internal/lint/cfg and
+// need nothing outside the standard library.
+package dataflow
+
+import (
+	"math"
+	"strconv"
+)
+
+// A Bound is one end of an interval: either a finite int64 or an
+// infinity. Inf < 0 means -∞, Inf > 0 means +∞, Inf == 0 means the
+// finite value V.
+type Bound struct {
+	Inf int8
+	V   int64
+}
+
+// NegInf and PosInf are the unbounded ends.
+var (
+	NegInf = Bound{Inf: -1}
+	PosInf = Bound{Inf: +1}
+)
+
+func Finite(v int64) Bound { return Bound{V: v} }
+
+func (b Bound) isNegInf() bool { return b.Inf < 0 }
+func (b Bound) isPosInf() bool { return b.Inf > 0 }
+
+// cmp orders bounds with -∞ < any finite < +∞.
+func (b Bound) cmp(o Bound) int {
+	switch {
+	case b.Inf != o.Inf:
+		if b.Inf < o.Inf {
+			return -1
+		}
+		return 1
+	case b.Inf != 0:
+		return 0
+	case b.V < o.V:
+		return -1
+	case b.V > o.V:
+		return 1
+	}
+	return 0
+}
+
+func minBound(a, b Bound) Bound {
+	if a.cmp(b) <= 0 {
+		return a
+	}
+	return b
+}
+
+func maxBound(a, b Bound) Bound {
+	if a.cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// addBound saturates: a finite sum that overflows int64 becomes the
+// infinity of the overflow direction. Mixing -∞ and +∞ never happens in
+// interval arithmetic (lo is added to lo, hi to hi); if it does, the
+// result conservatively keeps the left operand's infinity.
+func addBound(a, b Bound) Bound {
+	if a.Inf != 0 {
+		return a
+	}
+	if b.Inf != 0 {
+		return b
+	}
+	s := a.V + b.V
+	if (a.V > 0 && b.V > 0 && s < 0) || (a.V < 0 && b.V < 0 && s >= 0) {
+		if a.V > 0 {
+			return PosInf
+		}
+		return NegInf
+	}
+	return Finite(s)
+}
+
+// mulBound uses the 0·∞ = 0 convention, which is sound for computing
+// interval corner products.
+func mulBound(a, b Bound) Bound {
+	az := a.Inf == 0 && a.V == 0
+	bz := b.Inf == 0 && b.V == 0
+	if az || bz {
+		return Finite(0)
+	}
+	sign := int8(1)
+	if a.isNegInf() || (a.Inf == 0 && a.V < 0) {
+		sign = -sign
+	}
+	if b.isNegInf() || (b.Inf == 0 && b.V < 0) {
+		sign = -sign
+	}
+	if a.Inf != 0 || b.Inf != 0 {
+		return Bound{Inf: sign}
+	}
+	p := a.V * b.V
+	// Overflow check: division round-trip fails exactly when the product
+	// wrapped (a.V != 0 is known here). MinInt64 / -1 overflows the
+	// check itself, so handle it first.
+	if a.V == -1 && b.V == math.MinInt64 || b.V == -1 && a.V == math.MinInt64 {
+		return Bound{Inf: sign}
+	}
+	if p/a.V != b.V {
+		return Bound{Inf: sign}
+	}
+	return Finite(p)
+}
+
+// shlBound computes x << s for a single corner, saturating. Shift
+// amounts above 62 (or unbounded) saturate any nonzero x.
+func shlBound(x, s Bound) Bound {
+	if x.Inf == 0 && x.V == 0 {
+		return Finite(0)
+	}
+	if s.isNegInf() || (s.Inf == 0 && s.V < 0) {
+		// A negative shift amount panics at runtime; treat the corner as
+		// no-shift so it cannot mask a real overflow corner.
+		s = Finite(0)
+	}
+	sign := int8(1)
+	if x.isNegInf() || (x.Inf == 0 && x.V < 0) {
+		sign = -1
+	}
+	if x.Inf != 0 || s.isPosInf() || s.V > 62 {
+		return Bound{Inf: sign}
+	}
+	v := x.V
+	sh := uint(s.V)
+	if v > 0 && v > math.MaxInt64>>sh {
+		return PosInf
+	}
+	if v < 0 && v < math.MinInt64>>sh {
+		return NegInf
+	}
+	return Finite(v << sh)
+}
+
+// An Interval is a set of int64 values [Lo, Hi]. The zero Interval is
+// NOT meaningful; use Top/Const/Range constructors. An empty interval
+// (Lo > Hi) can arise from refinement against an impossible branch and
+// means the path is dead.
+type Interval struct {
+	Lo, Hi Bound
+}
+
+func Top() Interval               { return Interval{NegInf, PosInf} }
+func Const(v int64) Interval      { return Interval{Finite(v), Finite(v)} }
+func Range(lo, hi int64) Interval { return Interval{Finite(lo), Finite(hi)} }
+
+// IsTop reports whether no information is known.
+func (i Interval) IsTop() bool { return i.Lo.isNegInf() && i.Hi.isPosInf() }
+
+// IsEmpty reports a contradiction (unreachable refinement).
+func (i Interval) IsEmpty() bool { return i.Lo.cmp(i.Hi) > 0 }
+
+// Bounded reports whether every value fits in a finite int64 range —
+// the test overflowcalc uses: an arithmetic result that is NOT Bounded
+// can exceed int for some representable input.
+func (i Interval) Bounded() bool { return i.Lo.Inf == 0 && i.Hi.Inf == 0 }
+
+// MayBeNegative reports whether the interval admits a value < 0.
+func (i Interval) MayBeNegative() bool {
+	return i.Lo.isNegInf() || (i.Lo.Inf == 0 && i.Lo.V < 0)
+}
+
+// Join is the lattice union (smallest interval containing both).
+func (i Interval) Join(o Interval) Interval {
+	if i.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return i
+	}
+	return Interval{minBound(i.Lo, o.Lo), maxBound(i.Hi, o.Hi)}
+}
+
+// Widen jumps a growing bound straight to infinity so loops terminate.
+func (i Interval) Widen(next Interval) Interval {
+	if i.IsEmpty() {
+		return next
+	}
+	if next.IsEmpty() {
+		return i
+	}
+	w := i
+	if next.Lo.cmp(i.Lo) < 0 {
+		w.Lo = NegInf
+	}
+	if next.Hi.cmp(i.Hi) > 0 {
+		w.Hi = PosInf
+	}
+	return w
+}
+
+// WidenTo is Widen with thresholds: a growing bound jumps to the
+// nearest enclosing threshold instead of straight to infinity, so a
+// bound that merely climbs back to a program constant (a guard like
+// k <= 30 transiently over-narrowed by a loop-exit refinement) is not
+// mistaken for unbounded growth. thresholds must be sorted ascending;
+// a bound beyond every threshold still widens to infinity, keeping
+// termination (each step strictly advances along a finite set).
+func (i Interval) WidenTo(next Interval, thresholds []int64) Interval {
+	if i.IsEmpty() {
+		return next
+	}
+	if next.IsEmpty() {
+		return i
+	}
+	w := i
+	if next.Lo.cmp(i.Lo) < 0 {
+		w.Lo = NegInf
+		if !next.Lo.isNegInf() {
+			for idx := len(thresholds) - 1; idx >= 0; idx-- {
+				if thresholds[idx] <= next.Lo.V {
+					w.Lo = Finite(thresholds[idx])
+					break
+				}
+			}
+		}
+	}
+	if next.Hi.cmp(i.Hi) > 0 {
+		w.Hi = PosInf
+		if !next.Hi.isPosInf() {
+			for _, t := range thresholds {
+				if t >= next.Hi.V {
+					w.Hi = Finite(t)
+					break
+				}
+			}
+		}
+	}
+	return w
+}
+
+// Meet intersects (used by branch refinement).
+func (i Interval) Meet(o Interval) Interval {
+	return Interval{maxBound(i.Lo, o.Lo), minBound(i.Hi, o.Hi)}
+}
+
+func (i Interval) Add(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return i
+	}
+	return Interval{addBound(i.Lo, o.Lo), addBound(i.Hi, o.Hi)}
+}
+
+func (i Interval) Neg() Interval {
+	if i.IsEmpty() {
+		return i
+	}
+	neg := func(b Bound) Bound {
+		if b.Inf != 0 {
+			return Bound{Inf: -b.Inf}
+		}
+		if b.V == math.MinInt64 {
+			return PosInf
+		}
+		return Finite(-b.V)
+	}
+	return Interval{neg(i.Hi), neg(i.Lo)}
+}
+
+func (i Interval) Sub(o Interval) Interval { return i.Add(o.Neg()) }
+
+func (i Interval) Mul(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return i
+	}
+	c := [4]Bound{
+		mulBound(i.Lo, o.Lo), mulBound(i.Lo, o.Hi),
+		mulBound(i.Hi, o.Lo), mulBound(i.Hi, o.Hi),
+	}
+	lo, hi := c[0], c[0]
+	for _, b := range c[1:] {
+		lo = minBound(lo, b)
+		hi = maxBound(hi, b)
+	}
+	return Interval{lo, hi}
+}
+
+// Shl computes i << o with the shift amount clamped at 0 (negative
+// shift panics at runtime; the interval reflects the surviving paths).
+func (i Interval) Shl(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return i
+	}
+	c := [4]Bound{
+		shlBound(i.Lo, o.Lo), shlBound(i.Lo, o.Hi),
+		shlBound(i.Hi, o.Lo), shlBound(i.Hi, o.Hi),
+	}
+	lo, hi := c[0], c[0]
+	for _, b := range c[1:] {
+		lo = minBound(lo, b)
+		hi = maxBound(hi, b)
+	}
+	return Interval{lo, hi}
+}
+
+// Shr computes i >> o. Right shift never overflows; unknown operands
+// still shrink toward zero, so the result brackets the operand when the
+// shift amount is unknown.
+func (i Interval) Shr(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return i
+	}
+	shr := func(x, s Bound) Bound {
+		if x.Inf != 0 {
+			return x
+		}
+		if s.Inf != 0 || s.V < 0 || s.V > 63 {
+			if x.V >= 0 {
+				return Finite(0)
+			}
+			return Finite(-1)
+		}
+		return Finite(x.V >> uint(s.V))
+	}
+	// For x >= 0 the biggest result uses the smallest shift; for x < 0
+	// the ordering flips. Take corners and min/max to stay sound.
+	c := [4]Bound{shr(i.Lo, o.Lo), shr(i.Lo, o.Hi), shr(i.Hi, o.Lo), shr(i.Hi, o.Hi)}
+	lo, hi := c[0], c[0]
+	for _, b := range c[1:] {
+		lo = minBound(lo, b)
+		hi = maxBound(hi, b)
+	}
+	return Interval{lo, hi}
+}
+
+// Div computes i / o (Go truncated division). Division cannot overflow
+// except MinInt64 / -1, which saturates.
+func (i Interval) Div(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return i
+	}
+	// If the divisor may be zero the runtime panics on that path; the
+	// result describes the surviving paths, but with an unknown-sign
+	// divisor the quotient direction is unknown.
+	if o.MayBeNegative() && o.Hi.cmp(Finite(0)) >= 0 {
+		return Top()
+	}
+	div := func(x, y Bound) Bound {
+		if y.Inf == 0 && y.V == 0 {
+			// Excluded path; pick the adjacent divisor magnitude.
+			if o.Lo.cmp(Finite(0)) >= 0 {
+				y = Finite(1)
+			} else {
+				y = Finite(-1)
+			}
+		}
+		if x.Inf != 0 {
+			if y.Inf != 0 {
+				return Finite(0) // ∞/∞ corner: magnitude unknown, bracketed by others
+			}
+			if (x.Inf > 0) == (y.V > 0) {
+				return PosInf
+			}
+			return NegInf
+		}
+		if y.Inf != 0 {
+			return Finite(0)
+		}
+		if x.V == math.MinInt64 && y.V == -1 {
+			return PosInf
+		}
+		return Finite(x.V / y.V)
+	}
+	c := [4]Bound{div(i.Lo, o.Lo), div(i.Lo, o.Hi), div(i.Hi, o.Lo), div(i.Hi, o.Hi)}
+	lo, hi := c[0], c[0]
+	for _, b := range c[1:] {
+		lo = minBound(lo, b)
+		hi = maxBound(hi, b)
+	}
+	return Interval{lo, hi}
+}
+
+// Rem computes i % o. For a positive divisor bounded by d the result is
+// within (-d, d), and non-negative when the dividend is.
+func (i Interval) Rem(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return i
+	}
+	if !o.Bounded() {
+		return Top()
+	}
+	d := o.Hi.V
+	if -o.Lo.V > d {
+		d = -o.Lo.V
+	}
+	if d <= 0 {
+		return Top()
+	}
+	lo := int64(0)
+	if i.MayBeNegative() {
+		lo = -(d - 1)
+	}
+	return Range(lo, d-1)
+}
+
+// And computes i & o. The only precision kept is the common important
+// case: both operands non-negative means the result is within [0,
+// min(hi_i, hi_o)].
+func (i Interval) And(o Interval) Interval {
+	if i.IsEmpty() || o.IsEmpty() {
+		return i
+	}
+	if !i.MayBeNegative() && !o.MayBeNegative() {
+		return Interval{Finite(0), minBound(i.Hi, o.Hi)}
+	}
+	return Top()
+}
+
+// ClampNonNeg is the effect of a conversion to an unsigned type on a
+// value that is then only compared/shifted: a possibly-negative operand
+// becomes a huge unsigned value, so the interval explodes to [0, +∞].
+// A provably non-negative operand passes through unchanged.
+func (i Interval) ClampNonNeg() Interval {
+	if i.IsEmpty() {
+		return i
+	}
+	if i.MayBeNegative() {
+		return Interval{Finite(0), PosInf}
+	}
+	return i
+}
+
+func (b Bound) String() string {
+	switch {
+	case b.Inf < 0:
+		return "-inf"
+	case b.Inf > 0:
+		return "+inf"
+	}
+	return strconv.FormatInt(b.V, 10)
+}
+
+func (i Interval) String() string {
+	if i.IsEmpty() {
+		return "[empty]"
+	}
+	return "[" + i.Lo.String() + "," + i.Hi.String() + "]"
+}

@@ -1,0 +1,237 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bfvlsi/internal/lint/cfg"
+)
+
+// A Def is one definition of a variable: an assignment, declaration,
+// range binding, or inc/dec. SelfRef marks carry-forward definitions
+// whose right-hand side reads the same variable — s = append(s, x),
+// s = s[:0], s = s[1:], i++ — which reshape an existing value rather
+// than produce a fresh one. hotalloc uses the distinction to trace an
+// in-loop append back to the allocation that actually backs it.
+type Def struct {
+	Var     *types.Var
+	Stmt    ast.Stmt // the defining statement
+	Rhs     ast.Expr // defining expression; nil when unknown (multi-value, range, zero value)
+	SelfRef bool
+	Pos     token.Pos
+}
+
+// ReachingResult answers which definitions of a variable may reach a
+// statement.
+type ReachingResult struct {
+	info *types.Info
+	// defsAt[s] is the reaching-def set at the ENTRY of statement s.
+	defsAt map[ast.Stmt]map[*types.Var][]*Def
+}
+
+// Reaching computes may-reach definitions over g.
+func Reaching(g *cfg.Graph, info *types.Info) *ReachingResult {
+	r := &ReachingResult{info: info, defsAt: map[ast.Stmt]map[*types.Var][]*Def{}}
+
+	type defSet map[*Def]bool
+	type varDefs map[*types.Var]defSet
+
+	clone := func(m varDefs) varDefs {
+		c := make(varDefs, len(m))
+		for v, s := range m {
+			cs := make(defSet, len(s))
+			for d := range s {
+				cs[d] = true
+			}
+			c[v] = cs
+		}
+		return c
+	}
+	merge := func(dst, src varDefs) bool {
+		changed := false
+		for v, s := range src {
+			ds, ok := dst[v]
+			if !ok {
+				ds = defSet{}
+				dst[v] = ds
+			}
+			for d := range s {
+				if !ds[d] {
+					ds[d] = true
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+
+	// Cache Def objects per (stmt, var) so repeated transfer passes reuse
+	// identities and the fixpoint terminates.
+	defCache := map[ast.Stmt]map[*types.Var]*Def{}
+	defFor := func(s ast.Stmt, v *types.Var, rhs ast.Expr, selfRef bool, pos token.Pos) *Def {
+		m := defCache[s]
+		if m == nil {
+			m = map[*types.Var]*Def{}
+			defCache[s] = m
+		}
+		if d, ok := m[v]; ok {
+			return d
+		}
+		d := &Def{Var: v, Stmt: s, Rhs: rhs, SelfRef: selfRef, Pos: pos}
+		m[v] = d
+		return d
+	}
+
+	transfer := func(state varDefs, s ast.Stmt) {
+		kill := func(v *types.Var, d *Def) {
+			state[v] = defSet{d: true}
+		}
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			oneToOne := len(s.Lhs) == len(s.Rhs)
+			for i, lhs := range s.Lhs {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := info.ObjectOf(id).(*types.Var)
+				if !ok {
+					continue
+				}
+				var rhs ast.Expr
+				if oneToOne {
+					rhs = s.Rhs[i]
+				}
+				selfRef := s.Tok != token.ASSIGN && s.Tok != token.DEFINE // compound op= reads lhs
+				if !selfRef && rhs != nil {
+					selfRef = refersTo(info, rhs, v)
+				}
+				kill(v, defFor(s, v, rhs, selfRef, id.Pos()))
+			}
+		case *ast.IncDecStmt:
+			if id, ok := unparen(s.X).(*ast.Ident); ok {
+				if v, ok := info.ObjectOf(id).(*types.Var); ok {
+					kill(v, defFor(s, v, nil, true, id.Pos()))
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					var rhs ast.Expr
+					if i < len(vs.Values) && len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					}
+					kill(v, defFor(s, v, rhs, false, name.Pos()))
+				}
+			}
+		case *ast.RangeStmt:
+			for _, x := range []ast.Expr{s.Key, s.Value} {
+				if x == nil {
+					continue
+				}
+				if id, ok := unparen(x).(*ast.Ident); ok {
+					if v, ok := info.ObjectOf(id).(*types.Var); ok {
+						kill(v, defFor(s, v, nil, false, id.Pos()))
+					}
+				}
+			}
+		}
+	}
+
+	in := make([]varDefs, len(g.Blocks))
+	for i := range in {
+		in[i] = varDefs{}
+	}
+	work := []*cfg.Block{g.Entry}
+	inWork := make([]bool, len(g.Blocks))
+	inWork[g.Entry.Index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+		state := clone(in[b.Index])
+		for _, s := range b.Stmts {
+			transfer(state, s)
+		}
+		for _, e := range b.Succs {
+			if merge(in[e.To.Index], state) && !inWork[e.To.Index] {
+				inWork[e.To.Index] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+
+	// Recording pass.
+	for _, b := range g.Blocks {
+		state := clone(in[b.Index])
+		for _, s := range b.Stmts {
+			snap := map[*types.Var][]*Def{}
+			for v, ds := range state {
+				for d := range ds {
+					snap[v] = append(snap[v], d)
+				}
+			}
+			r.defsAt[s] = snap
+			transfer(state, s)
+		}
+	}
+	return r
+}
+
+// refersTo reports whether expr reads v.
+func refersTo(info *types.Info, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// DefsAt returns the definitions of v that may reach the entry of s.
+func (r *ReachingResult) DefsAt(s ast.Stmt, v *types.Var) []*Def {
+	return r.defsAt[s][v]
+}
+
+// Origins resolves carry-forward chains: starting from the defs of v
+// reaching s, every SelfRef def is expanded into the defs reaching ITS
+// statement, until only fresh (non-self-referential) definitions remain.
+// For `s = append(s, x)` inside a loop this surfaces the allocation
+// site(s) that actually back the slice.
+func (r *ReachingResult) Origins(s ast.Stmt, v *types.Var) []*Def {
+	seen := map[*Def]bool{}
+	var out []*Def
+	var expand func(d *Def)
+	expand = func(d *Def) {
+		if seen[d] {
+			return
+		}
+		seen[d] = true
+		if !d.SelfRef {
+			out = append(out, d)
+			return
+		}
+		for _, prev := range r.DefsAt(d.Stmt, v) {
+			expand(prev)
+		}
+	}
+	for _, d := range r.defsAt[s][v] {
+		expand(d)
+	}
+	return out
+}

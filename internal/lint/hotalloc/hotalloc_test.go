@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"bfvlsi/internal/lint/analysistest"
+	"bfvlsi/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "hotsim")
+}

@@ -1,0 +1,96 @@
+// Package hotsim is the hotalloc fixture: a mock per-cycle simulator
+// loop exercising every per-iteration allocation pattern the analyzer
+// flags, plus the sanctioned hoisted-buffer idioms it must accept.
+package hotsim
+
+import "fmt"
+
+type packet struct{ id, dst int }
+
+// Bad: every allocation class inside a marked loop.
+func simulateBad(cycles int) int {
+	total := 0
+	//bflint:hotpath
+	for c := 0; c < cycles; c++ {
+		buf := make([]int, 8) // want `make inside hot-path loop allocates every iteration`
+		q := new(packet)      // want `new inside hot-path loop allocates every iteration`
+		xs := []int{1, 2, 3}  // want `slice literal inside hot-path loop allocates a backing array`
+		m := map[int]int{}    // want `map literal inside hot-path loop allocates`
+		p := &packet{id: c}   // want `address of composite literal inside hot-path loop escapes`
+		f := func() int {     // want `closure created inside hot-path loop allocates its capture environment`
+			return c
+		}
+		var arrivals []packet
+		arrivals = append(arrivals, packet{c, c}) // want `append to arrivals grows an unpreallocated slice`
+		fmt.Println(c)                            // want `value of type int boxes into an interface parameter`
+		total += buf[0] + q.id + xs[0] + m[0] + p.id + f() + len(arrivals)
+	}
+	return total
+}
+
+// Bad: the append's slice is declared outside the loop but still
+// without capacity — the backing array regrows across iterations.
+func simulateBadHoistedNoCap(cycles int) int {
+	var log []packet
+	//bflint:hotpath
+	for c := 0; c < cycles; c++ {
+		log = append(log, packet{c, c}) // want `append to log grows an unpreallocated slice`
+	}
+	return len(log)
+}
+
+// Good: hoisted, capacity-preallocated buffers reused via reslicing.
+func simulateGood(cycles int) int {
+	arrivals := make([]packet, 0, 64)
+	scratch := make([]int, 16)
+	total := 0
+	//bflint:hotpath
+	for c := 0; c < cycles; c++ {
+		arrivals = arrivals[:0]
+		arrivals = append(arrivals, packet{c, c}) // carry-forward to the 3-arg make: clean
+		scratch[c%16] = c
+		total += len(arrivals) + scratch[0]
+	}
+	return total
+}
+
+// Good: a marked range loop writing through hoisted state.
+func drainGood(queues [][]packet) int {
+	total := 0
+	//bflint:hotpath
+	for qi := range queues {
+		total += len(queues[qi])
+	}
+	return total
+}
+
+// Bad: marked range loop allocating per element.
+func drainBad(queues [][]packet) [][]packet {
+	out := queues[:0]
+	//bflint:hotpath
+	for _, q := range queues {
+		tmp := make([]packet, len(q)) // want `make inside hot-path loop allocates every iteration`
+		copy(tmp, q)
+		out = append(out, tmp) // carry-forward to the queues[:0] reslice: clean
+	}
+	return out
+}
+
+// Good: unmarked loops allocate freely — setup code is not hot.
+func setupLoop(n int) [][]packet {
+	queues := make([][]packet, n)
+	for i := range queues {
+		queues[i] = make([]packet, 0, 4)
+	}
+	return queues
+}
+
+// Good: pointer and interface arguments do not box.
+func traceGood(w interface{ Write([]byte) (int, error) }, cycles int) {
+	line := make([]byte, 0, 32)
+	//bflint:hotpath
+	for c := 0; c < cycles; c++ {
+		line = append(line, byte(c))
+		w.Write(line)
+	}
+}

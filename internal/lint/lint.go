@@ -14,7 +14,18 @@
 //   - facade: blessed internal packages stay fully re-exported through
 //     the root bfvlsi package (facadecheck);
 //
-// plus the CLI error-path audit (errflush) for flush/close paths.
+// plus the CLI error-path audit (errflush) for flush/close paths, and —
+// on top of the internal/lint/cfg + internal/lint/dataflow engine — the
+// v2 contracts:
+//
+//   - hot-path allocation freedom: loops marked //bflint:hotpath (the
+//     two simulator cycle loops) must not allocate per iteration
+//     (hotalloc);
+//   - overflow-safe layout arithmetic: shifts and parameter-derived
+//     products in the layout packages must be interval-bounded below
+//     int overflow or use bitutil.CheckedShl/CheckedMul (overflowcalc);
+//   - sweep ownership: goroutine fan-outs write only goroutine-owned
+//     state (sweepshare).
 package lint
 
 import (
@@ -29,7 +40,10 @@ import (
 	"bfvlsi/internal/lint/detrand"
 	"bfvlsi/internal/lint/errflush"
 	"bfvlsi/internal/lint/facadecheck"
+	"bfvlsi/internal/lint/hotalloc"
 	"bfvlsi/internal/lint/maporder"
+	"bfvlsi/internal/lint/overflowcalc"
+	"bfvlsi/internal/lint/sweepshare"
 )
 
 // modulePath is the import-path root of this repository.
@@ -45,6 +59,17 @@ var simulatorPackages = map[string]bool{
 	modulePath + "/internal/experiments": true,
 }
 
+// layoutPackages are the closed-form arithmetic packages bound by the
+// overflow contract: their formulas (⌊N²/4⌋ tracks, area N²/log₂²N, 2ⁿ
+// rows) overflow int for unguarded inputs.
+var layoutPackages = map[string]bool{
+	modulePath + "/internal/collinear": true,
+	modulePath + "/internal/thompson":  true,
+	modulePath + "/internal/stack3d":   true,
+	modulePath + "/internal/hierarchy": true,
+	modulePath + "/internal/packaging": true,
+}
+
 // Suite returns every analyzer bflint ships, for drivers and help
 // listings.
 func Suite() []*analysis.Analyzer {
@@ -54,6 +79,9 @@ func Suite() []*analysis.Analyzer {
 		conscount.Analyzer,
 		facadecheck.Analyzer,
 		errflush.Analyzer,
+		hotalloc.Analyzer,
+		overflowcalc.Analyzer,
+		sweepshare.Analyzer,
 	}
 }
 
@@ -68,10 +96,16 @@ func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
 	if simulatorPackages[pkgPath] {
 		out = append(out, detrand.Analyzer)
 	}
-	// The map-order and conservation contracts bind everywhere in the
-	// module: a golden trace is only as deterministic as its least
-	// deterministic caller.
-	out = append(out, maporder.Analyzer, conscount.Analyzer)
+	// The map-order, conservation, hot-path, and sweep-ownership
+	// contracts bind everywhere in the module: a golden trace is only as
+	// deterministic as its least deterministic caller, any package may
+	// mark a //bflint:hotpath loop, and goroutine fan-outs race no
+	// matter which package launches them.
+	out = append(out, maporder.Analyzer, conscount.Analyzer,
+		hotalloc.Analyzer, sweepshare.Analyzer)
+	if layoutPackages[pkgPath] {
+		out = append(out, overflowcalc.Analyzer)
+	}
 	if pkgPath == modulePath {
 		out = append(out, facadecheck.Analyzer)
 	}

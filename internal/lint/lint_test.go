@@ -96,6 +96,82 @@ func draws() int {
 	}
 }
 
+// The same escape hatch must work for the dataflow-backed analyzers:
+// overflowcalc, hotalloc, and sweepshare each honour a same-line
+// //bflint:ignore naming them and stay active on unmarked lines. The
+// file type-checks under a layout-package path so overflowcalc binds.
+func TestIgnoreCommentsDataflowAnalyzers(t *testing.T) {
+	const src = `package collinear
+
+import "sync"
+
+func shifts(n int) (int, int, int) {
+	a := 1 << uint(n) //bflint:ignore overflowcalc
+	b := 1 << uint(n) //bflint:ignore
+	c := 1 << uint(n)
+	return a, b, c
+}
+
+func hot(cycles int) int {
+	total := 0
+	//bflint:hotpath
+	for i := 0; i < cycles; i++ {
+		x := make([]int, 4) //bflint:ignore hotalloc
+		y := make([]int, 4)
+		total += x[0] + y[0]
+	}
+	return total
+}
+
+func sweep(n int) int {
+	var wg sync.WaitGroup
+	hits := 0
+	misses := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hits++ //bflint:ignore sweepshare
+			misses++
+		}()
+	}
+	wg.Wait()
+	return hits + misses
+}
+`
+	l := load.New()
+	f, err := parser.ParseFile(l.Fset, "dataflowfix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.CheckFiles("bfvlsi/internal/collinear", "", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkg.Path, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]int{}
+	for _, d := range diags {
+		got[d.Category] = append(got[d.Category], pkg.Fset.Position(d.Pos).Line)
+	}
+	want := map[string][]int{
+		"overflowcalc": {8},  // a: named ignore, b: blanket ignore, c: flagged
+		"hotalloc":     {17}, // x ignored, y flagged
+		"sweepshare":   {32}, // hits ignored, misses flagged
+	}
+	for cat, lines := range want {
+		if fmt.Sprint(got[cat]) != fmt.Sprint(lines) {
+			t.Errorf("%s flagged lines = %v, want %v", cat, got[cat], lines)
+		}
+		delete(got, cat)
+	}
+	for cat, lines := range got {
+		t.Errorf("unexpected %s diagnostics on lines %v", cat, lines)
+	}
+}
+
 // Every analyzer must bind somewhere, or it is dead weight that the
 // repo-clean test silently never exercises.
 func TestEveryAnalyzerBindsSomewhere(t *testing.T) {

@@ -1,0 +1,353 @@
+// Package overflowcalc implements the bflint analyzer that checks the
+// layout arithmetic of the paper's closed forms. The track count
+// ⌊N²/4⌋, the area N²/log₂²N, and the packaging row counts 2ⁿ are all
+// computed in int; for representable inputs (n up to the parameter
+// range the constructors accept) the intermediate products and shifts
+// silently wrap. The analyzer runs the interval abstract interpretation
+// from internal/lint/dataflow over each function and flags
+//
+//   - left shifts (1<<uint(n), m<<k) whose result interval is unbounded
+//     — no dominating guard pins the shift amount below 63;
+//   - products (n*n, rows*cols, area terms) whose result interval is
+//     unbounded AND whose operands derive from function parameters,
+//     shifts, or other flagged products (the taint rule): field reads of
+//     caller-validated structs are trusted, so accessors like
+//     PredictedDims stay clean while constructors that compute the
+//     fields are checked.
+//
+// The fix for a true positive is a guard that the interval analysis can
+// see (`if n < 1 || n > 14 { return err }`) or the checked helpers
+// bitutil.CheckedShl / bitutil.CheckedMul with an error return.
+package overflowcalc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bfvlsi/internal/lint/analysis"
+	"bfvlsi/internal/lint/cfg"
+	"bfvlsi/internal/lint/dataflow"
+)
+
+// Analyzer flags potentially overflowing shifts and products in layout
+// arithmetic.
+var Analyzer = &analysis.Analyzer{
+	Name: "overflowcalc",
+	Doc: "flag left shifts and parameter-derived products in layout arithmetic whose interval " +
+		"analysis cannot bound the result below int overflow; guard the input range or use " +
+		"bitutil.CheckedShl/CheckedMul",
+	Run: run,
+}
+
+// boundedSpecMethods are accessor results the analyzer trusts: the
+// bitutil.GroupSpec constructor enforces total bits <= 62 and per-group
+// widths >= 1, so every accessor is bounded regardless of call context.
+var boundedSpecMethods = map[string]dataflow.Interval{
+	"GroupWidth": dataflow.Range(0, 62),
+	"TotalBits":  dataflow.Range(0, 62),
+	"Levels":     dataflow.Range(0, 62),
+	"Size":       dataflow.Range(0, 1<<62),
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	hook := boundedCallHook(pass.TypesInfo)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkFunc(pass, fd, hook)
+		}
+	}
+	return nil, nil
+}
+
+// boundedCallHook supplies intervals for calls with contract-bounded
+// results (len/cap are handled inside the engine).
+func boundedCallHook(info *types.Info) func(*ast.CallExpr) (dataflow.Interval, bool) {
+	return func(call *ast.CallExpr) (dataflow.Interval, bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return dataflow.Interval{}, false
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return dataflow.Interval{}, false
+		}
+		if !strings.HasSuffix(fn.Pkg().Path(), "internal/bitutil") {
+			return dataflow.Interval{}, false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return dataflow.Interval{}, false
+		}
+		rt := sig.Recv().Type()
+		if p, isPtr := rt.(*types.Pointer); isPtr {
+			rt = p.Elem()
+		}
+		named, ok := rt.(*types.Named)
+		if !ok || named.Obj().Name() != "GroupSpec" {
+			return dataflow.Interval{}, false
+		}
+		iv, ok := boundedSpecMethods[fn.Name()]
+		return iv, ok
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, hook func(*ast.CallExpr) (dataflow.Interval, bool)) {
+	g := cfg.Build(fd.Body)
+	res := dataflow.Intervals(g, dataflow.IntervalConfig{
+		Info: pass.TypesInfo,
+		Call: hook,
+	})
+	taint := taintedSet(pass.TypesInfo, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate frame: its params are not this function's
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.SHL && be.Op != token.MUL) {
+			return true
+		}
+		// Constant expressions are folded and checked by the compiler.
+		if tv, ok := pass.TypesInfo.Types[be]; ok && tv.Value != nil {
+			return true
+		}
+		if !isIntegerExpr(pass.TypesInfo, be) {
+			return true
+		}
+		stmt := enclosingStmt(fd.Body, be)
+		if stmt == nil {
+			return true
+		}
+		env := res.EnvAt(stmt)
+		// Loop and if conditions are evaluated on CFG edges, not inside
+		// blocks; fetch the edge environment for shifts in conditions.
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			if nodeContains(s.Cond, be) {
+				if e, ok := res.CondEnv(s.Cond); ok {
+					env = e
+				}
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil && nodeContains(s.Cond, be) {
+				if e, ok := res.CondEnv(s.Cond); ok {
+					env = e
+				}
+			}
+		}
+		// Apply short-circuit refinement: in `n < 63 && v < 1<<uint(n)`
+		// the shift only evaluates under the guard to its left.
+		if outer := outerExpr(stmt, be); outer != nil {
+			env = res.RefineWithin(env, outer, be)
+		}
+		iv := res.Eval(env, be)
+		if iv.Bounded() {
+			return true
+		}
+		switch be.Op {
+		case token.SHL:
+			pass.Reportf(be.Pos(),
+				"left shift may exceed int for representable inputs (result interval %s); guard the shift amount below 63 or use bitutil.CheckedShl",
+				iv)
+		case token.MUL:
+			if taint.expr(be.X) || taint.expr(be.Y) {
+				pass.Reportf(be.Pos(),
+					"product of parameter-derived operands may exceed int for representable inputs (result interval %s); guard the input range or use bitutil.CheckedMul",
+					iv)
+			}
+		}
+		return true
+	})
+}
+
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// taintSet tracks which values derive from the function's own integer
+// parameters. Variables are tracked by object; fields assigned within
+// the function are tracked by their rendered selector path (so a
+// constructor that stores a shift result in b.m2 and later multiplies
+// b.m2*b.m3 is still caught, while a method that merely READS fields its
+// caller validated is not).
+type taintSet struct {
+	info  *types.Info
+	vars  map[types.Object]bool
+	paths map[string]bool
+}
+
+func taintedSet(info *types.Info, fd *ast.FuncDecl) *taintSet {
+	t := &taintSet{info: info, vars: map[types.Object]bool{}, paths: map[string]bool{}}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok && isIntType(v.Type()) {
+					t.vars[v] = true
+				}
+			}
+		}
+	}
+	// Propagate through assignments; two passes reach a fixpoint for the
+	// straight-line constructor code this targets (no taint is ever
+	// removed, so iteration is monotone).
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if t.expr(n.Rhs[i]) {
+						t.mark(lhs)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i, name := range n.Names {
+					if t.expr(n.Values[i]) {
+						t.mark(name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return t
+}
+
+func isIntType(tt types.Type) bool {
+	b, ok := tt.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func (t *taintSet) mark(lhs ast.Expr) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		if v, ok := t.info.ObjectOf(lhs).(*types.Var); ok {
+			t.vars[v] = true
+		}
+	case *ast.SelectorExpr:
+		if p, ok := selectorPath(lhs); ok {
+			t.paths[p] = true
+		}
+	}
+}
+
+// expr reports whether e derives from a parameter, a shift, or another
+// tainted value.
+func (t *taintSet) expr(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return t.vars[t.info.ObjectOf(e)]
+	case *ast.SelectorExpr:
+		p, ok := selectorPath(e)
+		return ok && t.paths[p]
+	case *ast.UnaryExpr:
+		return t.expr(e.X)
+	case *ast.BinaryExpr:
+		if e.Op == token.SHL {
+			return true // shift-derived values carry taint by definition
+		}
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL:
+			return t.expr(e.X) || t.expr(e.Y)
+		case token.QUO, token.SHR:
+			return t.expr(e.X)
+		}
+	case *ast.CallExpr:
+		// Type conversions pass taint through; real calls launder it.
+		if tv, ok := t.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return t.expr(e.Args[0])
+		}
+	}
+	return false
+}
+
+// selectorPath renders x.f / x.f.g for ident-rooted selectors.
+func selectorPath(sel *ast.SelectorExpr) (string, bool) {
+	switch x := unparen(sel.X).(type) {
+	case *ast.Ident:
+		return x.Name + "." + sel.Sel.Name, true
+	case *ast.SelectorExpr:
+		if p, ok := selectorPath(x); ok {
+			return p + "." + sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// nodeContains reports whether node's source range covers target.
+func nodeContains(node ast.Node, target ast.Node) bool {
+	return node != nil && node.Pos() <= target.Pos() && target.End() <= node.End()
+}
+
+// outerExpr returns the outermost expression within stmt that contains
+// target (the root for short-circuit refinement).
+func outerExpr(stmt ast.Stmt, target ast.Expr) ast.Expr {
+	var outer ast.Expr
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if outer != nil || n == nil {
+			return false
+		}
+		if !nodeContains(n, target) {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			outer = e
+			return false
+		}
+		return true
+	})
+	return outer
+}
+
+// enclosingStmt returns the innermost non-block statement under root
+// containing target (needed to look up the dataflow environment).
+func enclosingStmt(root ast.Node, target ast.Node) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > target.Pos() || n.End() < target.End() {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			if _, isBlock := s.(*ast.BlockStmt); !isBlock {
+				found = s
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

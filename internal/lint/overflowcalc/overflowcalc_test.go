@@ -1,0 +1,12 @@
+package overflowcalc_test
+
+import (
+	"testing"
+
+	"bfvlsi/internal/lint/analysistest"
+	"bfvlsi/internal/lint/overflowcalc"
+)
+
+func TestOverflowcalc(t *testing.T) {
+	analysistest.Run(t, "testdata", overflowcalc.Analyzer, "overflow")
+}

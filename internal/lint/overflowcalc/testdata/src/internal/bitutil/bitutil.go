@@ -1,0 +1,45 @@
+// Package bitutil is a fixture stand-in for the real
+// bfvlsi/internal/bitutil: the overflowcalc bounded-call table keys on
+// the package-path suffix "internal/bitutil" and the GroupSpec type
+// name, so these accessors are trusted to stay within [0, 62] exactly
+// like the real ones (whose constructor enforces it).
+package bitutil
+
+// GroupSpec mirrors the real validated bit-group descriptor.
+type GroupSpec struct {
+	widths []int
+}
+
+// NewGroupSpec mirrors the validation contract: widths positive, total
+// at most 62 bits.
+func NewGroupSpec(widths []int) GroupSpec {
+	total := 0
+	for _, w := range widths {
+		if w <= 0 {
+			panic("bad width")
+		}
+		total += w
+	}
+	if total > 62 {
+		panic("too many bits")
+	}
+	return GroupSpec{widths: widths}
+}
+
+// GroupWidth returns the width of group i.
+func (s GroupSpec) GroupWidth(i int) int { return s.widths[i-1] }
+
+// TotalBits returns the summed width.
+func (s GroupSpec) TotalBits() int {
+	t := 0
+	for _, w := range s.widths {
+		t += w
+	}
+	return t
+}
+
+// Levels returns the number of groups.
+func (s GroupSpec) Levels() int { return len(s.widths) }
+
+// Size returns 2^TotalBits.
+func (s GroupSpec) Size() int { return 1 << uint(s.TotalBits()) }

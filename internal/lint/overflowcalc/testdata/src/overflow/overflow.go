@@ -1,0 +1,109 @@
+// Package overflow is the overflowcalc fixture: layout-style arithmetic
+// in every guarded and unguarded shape the analyzer distinguishes.
+package overflow
+
+import "internal/bitutil"
+
+// Bad: nothing pins n below 63 before the shift.
+func shiftUnguarded(n int) int {
+	return 1 << uint(n) // want `left shift may exceed int for representable inputs`
+}
+
+// Good: the guard's false branch bounds n to [0, 20].
+func shiftGuarded(n int) int {
+	if n < 0 || n > 20 {
+		return 0
+	}
+	return 1 << uint(n)
+}
+
+// Good: the left operand of && guards the shift that only evaluates
+// when it holds (short-circuit refinement).
+func shiftShortCircuit(v int) int {
+	n := 0
+	for n < 63 && (1<<uint(n)) < v {
+		n++
+	}
+	return n
+}
+
+// Bad: the loop condition shifts by an unbounded counter; for v near
+// MaxInt the shift wraps before the comparison terminates the loop.
+func shiftLoopUnguarded(v int) int {
+	n := 0
+	for (1 << uint(n)) < v { // want `left shift may exceed int for representable inputs`
+		n++
+	}
+	return n
+}
+
+// Bad: uint conversion of a possibly-negative amount wraps to a huge
+// shift; the upper guard alone does not help.
+func shiftWrap(n int) int {
+	if n > 5 {
+		return 0
+	}
+	return 2 << uint(n-2) // want `left shift may exceed int for representable inputs`
+}
+
+// Bad: the paper's track formula N²/4 with an unconstrained N.
+func squareUnguarded(n int) int {
+	return n * n / 4 // want `product of parameter-derived operands may exceed int`
+}
+
+// Good: the entry guard bounds the square below int overflow.
+func squareGuarded(n int) int {
+	if n < 2 || n > 1<<20 {
+		return 0
+	}
+	return n * n / 4
+}
+
+// Good: a division keeps the product of bounded halves bounded.
+func ratioGuarded(n int) int {
+	if n < 0 || n > 1000 {
+		return 0
+	}
+	return (n / 2) * (n / 2)
+}
+
+type box struct {
+	m2, m3, blocks int
+}
+
+// Bad: a constructor computing fields from its parameter — the shift
+// results are stored and their product is parameter-derived taint.
+func (b *box) build(n int) {
+	b.m2 = 1 << uint(n)    // want `left shift may exceed int for representable inputs`
+	b.m3 = 1 << uint(n/2)  // want `left shift may exceed int for representable inputs`
+	b.blocks = b.m2 * b.m3 // want `product of parameter-derived operands may exceed int`
+}
+
+// Good: an accessor multiplying fields its caller validated — field
+// reads not assigned in this function carry no taint.
+func (b *box) area() int {
+	return b.m2 * b.m3
+}
+
+// Good: GroupSpec accessors are bounded by the constructor contract.
+func specShift(spec bitutil.GroupSpec) int {
+	return 1 << uint(spec.GroupWidth(2))
+}
+
+// Good: len is bounded far below overflow and the modulo pins the
+// shift amount under 63.
+func lenShift(xs []int) int {
+	return len(xs)*4 + 1<<uint(len(xs)%40)
+}
+
+// Bad: a locally derived bound that still overflows — taint flows
+// through the local assignment chain.
+func derivedSquare(n int) int {
+	rows := 1 << uint(n) // want `left shift may exceed int for representable inputs`
+	return rows * rows   // want `product of parameter-derived operands may exceed int`
+}
+
+// Good: constant shifts are folded and checked by the compiler.
+func constShift() int {
+	return 1 << 20
+}

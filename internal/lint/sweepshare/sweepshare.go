@@ -1,0 +1,279 @@
+// Package sweepshare implements the bflint analyzer guarding the
+// parameter-sweep fan-outs: the sweep drivers launch worker goroutines
+// over shared result slices, and a write from a goroutine to a captured
+// variable without mutex or channel ownership is a data race that -race
+// only catches when the schedule cooperates. The analyzer statically
+// flags, inside every `go func() { ... }()` literal,
+//
+//   - assignments and ++/-- on variables captured from the enclosing
+//     function,
+//   - writes through captured maps,
+//   - indexed writes out[i] = ... where the INDEX is also captured
+//     (the sanctioned worker pattern indexes with a goroutine-local
+//     variable — a literal parameter or a channel-fed loop variable —
+//     so disjoint workers never touch the same element),
+//
+// while accepting mutex-guarded writes (a .Lock() call precedes the
+// write inside the literal) and channel sends (ownership transfer).
+package sweepshare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bfvlsi/internal/lint/analysis"
+)
+
+// Analyzer flags unsynchronised writes to captured variables inside
+// goroutine literals.
+var Analyzer = &analysis.Analyzer{
+	Name: "sweepshare",
+	Doc: "forbid writes to captured variables from `go func` literals without mutex or " +
+		"channel ownership; sweep workers must write disjoint indices via goroutine-local " +
+		"indexes or hand results over a channel",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(gs.Pos()) {
+				return true
+			}
+			checkGoroutine(pass, lit)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkGoroutine inspects one goroutine literal body.
+func checkGoroutine(pass *analysis.Pass, lit *ast.FuncLit) {
+	local := localObjects(pass.TypesInfo, lit)
+	locked := lockPositions(pass.TypesInfo, lit)
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal runs on this goroutine unless launched
+			// itself; its writes count, with its own params/locals added
+			// to the local set.
+			checkNested(pass, n, local, locked)
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, lhs, local, locked)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, n.X, local, locked)
+		}
+		return true
+	})
+}
+
+// checkNested folds a nested (non-go) literal's own declarations into
+// the local set and recurses.
+func checkNested(pass *analysis.Pass, lit *ast.FuncLit, outer map[types.Object]bool, locked []token.Pos) {
+	local := localObjects(pass.TypesInfo, lit)
+	for o := range outer {
+		local[o] = true
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkNested(pass, n, local, locked)
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, lhs, local, locked)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, n.X, local, locked)
+		}
+		return true
+	})
+}
+
+// localObjects collects every object declared within the literal
+// (parameters, named results, := and var declarations, range variables).
+func localObjects(info *types.Info, lit *ast.FuncLit) map[types.Object]bool {
+	local := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+	return local
+}
+
+// lockPositions records the positions of .Lock()/.RLock() calls inside
+// the literal; a write after a lock call is treated as guarded. This is
+// a flow-insensitive approximation — good enough to accept the
+// `mu.Lock(); defer mu.Unlock()` and `mu.Lock(); ...; mu.Unlock()`
+// idioms without a full lockset analysis.
+func lockPositions(info *types.Info, lit *ast.FuncLit) []token.Pos {
+	var locks []token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Lock" && name != "RLock" {
+			return true
+		}
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				locks = append(locks, call.Pos())
+			}
+		}
+		return true
+	})
+	return locks
+}
+
+func guarded(locked []token.Pos, pos token.Pos) bool {
+	for _, l := range locked {
+		if l < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWrite classifies one lvalue inside the goroutine.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr, local map[types.Object]bool, locked []token.Pos) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(lhs)
+		if obj == nil || local[obj] {
+			return
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		if guarded(locked, lhs.Pos()) {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"goroutine writes captured variable %s without mutex or channel ownership; "+
+				"guard it with a mutex or send the result over a channel", lhs.Name)
+	case *ast.IndexExpr:
+		// out[i] = ...: fine when the index is goroutine-local (disjoint
+		// worker slots); racy when the index itself is captured. Map
+		// writes race on the map's internals regardless of key locality.
+		base, bok := unparen(lhs.X).(*ast.Ident)
+		if !bok {
+			return
+		}
+		baseObj := pass.TypesInfo.ObjectOf(base)
+		if baseObj == nil || local[baseObj] {
+			return
+		}
+		if guarded(locked, lhs.Pos()) {
+			return
+		}
+		if tv, ok := pass.TypesInfo.Types[lhs.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(lhs.Pos(),
+					"goroutine writes captured map %s; map writes race even on distinct keys — guard with a mutex or collect over a channel", base.Name)
+				return
+			}
+		}
+		if capturedIndex(pass.TypesInfo, lhs.Index, local) {
+			pass.Reportf(lhs.Pos(),
+				"goroutine writes %s[...] with a captured index; workers sharing an index variable race on the same slot — use a goroutine-local index (literal parameter or channel-fed loop variable)", base.Name)
+		}
+	case *ast.SelectorExpr:
+		base, bok := unparen(rootExpr(lhs)).(*ast.Ident)
+		if !bok {
+			return
+		}
+		baseObj := pass.TypesInfo.ObjectOf(base)
+		if baseObj == nil || local[baseObj] {
+			return
+		}
+		if guarded(locked, lhs.Pos()) {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"goroutine writes field %s of captured %s without mutex or channel ownership; guard it or hand the result over a channel",
+			lhs.Sel.Name, base.Name)
+	case *ast.StarExpr:
+		base, bok := unparen(lhs.X).(*ast.Ident)
+		if !bok {
+			return
+		}
+		baseObj := pass.TypesInfo.ObjectOf(base)
+		if baseObj == nil || local[baseObj] {
+			return
+		}
+		if guarded(locked, lhs.Pos()) {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"goroutine writes through captured pointer %s without mutex or channel ownership", base.Name)
+	}
+}
+
+// capturedIndex reports whether the index expression reads any captured
+// (non-local) variable.
+func capturedIndex(info *types.Info, idx ast.Expr, local map[types.Object]bool) bool {
+	captured := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		// Constants and functions are immutable; mutable captured vars
+		// are the hazard.
+		if _, isVar := obj.(*types.Var); !isVar || local[obj] {
+			return true
+		}
+		captured = true
+		return true
+	})
+	return captured
+}
+
+// rootExpr descends selector chains to the base expression (a.b.c -> a).
+func rootExpr(sel *ast.SelectorExpr) ast.Expr {
+	x := unparen(sel.X)
+	for {
+		s, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return x
+		}
+		x = unparen(s.X)
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package sweepshare_test
+
+import (
+	"testing"
+
+	"bfvlsi/internal/lint/analysistest"
+	"bfvlsi/internal/lint/sweepshare"
+)
+
+func TestSweepshare(t *testing.T) {
+	analysistest.Run(t, "testdata", sweepshare.Analyzer, "sweep")
+}

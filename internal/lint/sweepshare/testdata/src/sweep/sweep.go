@@ -1,0 +1,160 @@
+// Package sweep is the sweepshare fixture: goroutine fan-outs in every
+// ownership shape the analyzer distinguishes — racy captured writes,
+// disjoint indexed writes, mutex-guarded accumulation, and channel
+// hand-off.
+package sweep
+
+import "sync"
+
+type point struct{ x, y int }
+
+// Bad: unsynchronised read-modify-write of a captured scalar.
+func badScalar(n int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want `goroutine writes captured variable total`
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Bad: workers share the index variable, so they race on the same slot
+// and on the index itself.
+func badSharedIndex(n int) []point {
+	out := make([]point, n)
+	var wg sync.WaitGroup
+	idx := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[idx] = point{x: idx} // want `goroutine writes out\[\.\.\.\] with a captured index`
+			idx++                    // want `goroutine writes captured variable idx`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Bad: map writes race even on distinct keys.
+func badMap(n int) map[int]int {
+	m := map[int]int{}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m[i] = i * i // want `goroutine writes captured map m`
+		}(i)
+	}
+	wg.Wait()
+	return m
+}
+
+// Bad: field write on a captured struct pointer.
+func badField(p *point) {
+	done := make(chan struct{})
+	go func() {
+		p.x = 1 // want `goroutine writes field x of captured p`
+		close(done)
+	}()
+	<-done
+}
+
+// Good: each worker owns the slot named by its literal parameter.
+func goodParamIndex(n int) []point {
+	out := make([]point, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = point{x: i}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Good: the channel hands each index to exactly one worker, and the
+// range variable is goroutine-local.
+func goodChannelWorker(n int) []point {
+	out := make([]point, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = point{x: i}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Good: mutex-guarded shared accumulation.
+func goodMutex(n int) int {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			total += i
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// Good: results travel over a channel; the goroutine writes nothing it
+// does not own.
+func goodChannelResults(n int) int {
+	results := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			results <- i * 2
+		}(i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-results
+	}
+	return total
+}
+
+// Good: the worker-pool shape of the repo's sweep drivers — the
+// goroutine body only calls the supplied function.
+func goodForEach(n int, f func(int)) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,0 +1,46 @@
+package packaging
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAvgOffLinksFormulasRejectOutOfRange(t *testing.T) {
+	if v := PaperAvgOffLinks(0, 3, 9); !math.IsNaN(v) {
+		t.Errorf("PaperAvgOffLinks(l=0) = %v, want NaN", v)
+	}
+	if v := PaperAvgOffLinks(2, 63, 9); !math.IsNaN(v) {
+		t.Errorf("PaperAvgOffLinks(k1=63) = %v, want NaN", v)
+	}
+	// k1 = 62 is the last width whose 2^k1 fits in int.
+	if v := PaperAvgOffLinks(2, 62, 9); math.IsNaN(v) || v <= 0 {
+		t.Errorf("PaperAvgOffLinks(k1=62) = %v, want finite positive", v)
+	}
+	if v := GeneralAvgOffLinks([]int{3, 63}); !math.IsNaN(v) {
+		t.Errorf("GeneralAvgOffLinks(width 63) = %v, want NaN", v)
+	}
+	if v := GeneralAvgOffLinks([]int{3, 62}); math.IsNaN(v) {
+		t.Errorf("GeneralAvgOffLinks(width 62) = %v, want finite", v)
+	}
+}
+
+func TestHierarchicalCutFormulaWidthBoundary(t *testing.T) {
+	// Total width 55 is the largest with 2*(2^n - ...) safely in int.
+	if cut := HierarchicalCutFormula([]int{28, 27}, 1); cut <= 0 {
+		t.Errorf("HierarchicalCutFormula(n=55) = %d, want positive", cut)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("HierarchicalCutFormula(n=56) did not panic")
+		}
+	}()
+	HierarchicalCutFormula([]int{28, 28}, 1)
+}
+
+func TestInjectionLowerBoundHugeRows(t *testing.T) {
+	// rows beyond 2^62 must not spin the log search past a 63-bit shift.
+	v := InjectionLowerBound(1024, math.MaxInt64)
+	if v <= 0 || math.IsNaN(v) {
+		t.Errorf("InjectionLowerBound(1024, MaxInt64) = %v, want positive", v)
+	}
+}

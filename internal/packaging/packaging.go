@@ -20,7 +20,9 @@ package packaging
 
 import (
 	"fmt"
+	"math"
 
+	"bfvlsi/internal/bitutil"
 	"bfvlsi/internal/butterfly"
 	"bfvlsi/internal/graph"
 	"bfvlsi/internal/isn"
@@ -152,6 +154,9 @@ func NaiveRowPartition(bf *butterfly.Butterfly, rowsPerModule int) *Partition {
 // PaperAvgOffLinks returns the Section 2.3 closed form for variant (a)
 // on an HSN-derived swap-butterfly: 4(l-1)(2^k1 - 1) / ((n+1) 2^k1).
 func PaperAvgOffLinks(l, k1, n int) float64 {
+	if l < 1 || k1 < 0 || k1 > 62 {
+		return math.NaN()
+	}
 	return 4 * float64(l-1) * float64(int(1)<<uint(k1)-1) /
 		(float64(n+1) * float64(int(1)<<uint(k1)))
 }
@@ -166,7 +171,11 @@ func GeneralAvgOffLinks(widths []int) float64 {
 	}
 	cutPerR := 0.0
 	for i := 1; i < len(widths); i++ {
-		cutPerR += 2 * (1 - 1/float64(int64(1)<<uint(widths[i])))
+		k := widths[i]
+		if k < 0 || k > 62 {
+			return math.NaN()
+		}
+		cutPerR += 2 * (1 - 1/float64(int64(1)<<uint(k)))
 	}
 	return 2 * cutPerR / float64(n+1)
 }
@@ -183,7 +192,7 @@ func NaiveAvgOffLinks(n, m int) float64 {
 // rate (Section 2.3). The constant is normalized to 1.
 func InjectionLowerBound(moduleNodes int, rows int) float64 {
 	lg := 0
-	for (1 << uint(lg)) < rows {
+	for lg < 63 && (1<<uint(lg)) < rows {
 		lg++
 	}
 	if lg == 0 {
@@ -200,8 +209,18 @@ func Theorem21(sb *isn.SwapButterfly) error {
 	p := NucleusPartition(sb)
 	st := p.Stats()
 	k1 := sb.Spec.GroupWidth(1)
-	maxNodes := (1 << uint(k1)) * (k1 + 1)
-	maxLinks := 1 << uint(k1+2)
+	nucleusRows, ok := bitutil.CheckedShl(1, k1)
+	if !ok {
+		return fmt.Errorf("packaging: nucleus rows 2^k1 not representable for k1=%d", k1)
+	}
+	maxNodes, ok := bitutil.CheckedMul(nucleusRows, k1+1)
+	if !ok {
+		return fmt.Errorf("packaging: node bound 2^k1(k1+1) overflows int for k1=%d", k1)
+	}
+	maxLinks, ok := bitutil.CheckedShl(1, k1+2)
+	if !ok {
+		return fmt.Errorf("packaging: link bound 2^(k1+2) overflows int for k1=%d", k1)
+	}
 	if st.MaxNodesPerModule > maxNodes {
 		return fmt.Errorf("packaging: module has %d nodes > 2^k1(k1+1) = %d", st.MaxNodesPerModule, maxNodes)
 	}
@@ -249,6 +268,9 @@ func HierarchicalPartitions(sb *isn.SwapButterfly) []*Partition {
 	shift := 0
 	for j := 1; j < l; j++ {
 		shift += sb.Spec.GroupWidth(j)
+		if shift > 62 {
+			panic(fmt.Sprintf("packaging: cumulative group width %d exceeds 62 for spec %v", shift, sb.Spec))
+		}
 		rowsPer := 1 << uint(shift)
 		moduleOf := make([]int, sb.Rows*sb.Stages)
 		for s := 0; s < sb.Stages; s++ {
@@ -273,6 +295,9 @@ func HierarchicalCutFormula(widths []int, j int) int {
 	n := 0
 	for _, k := range widths {
 		n += k
+	}
+	if n < 0 || n > 55 {
+		panic(fmt.Sprintf("packaging: total width %d outside [0,55]", n))
 	}
 	rows := 1 << uint(n)
 	cut := 0

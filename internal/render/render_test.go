@@ -124,7 +124,7 @@ func TestSVGButterflyLayout(t *testing.T) {
 }
 
 func TestSVGCollinearFigure4(t *testing.T) {
-	ta := collinear.Optimal(9)
+	ta := collinear.MustOptimal(9)
 	l, err := collinear.ToLayout(ta, collinear.LayoutOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -204,7 +204,7 @@ func TestASCIIRefusesHuge(t *testing.T) {
 }
 
 func TestASCIICollinearK4(t *testing.T) {
-	ta := collinear.Optimal(4)
+	ta := collinear.MustOptimal(4)
 	l, err := collinear.ToLayout(ta, collinear.LayoutOptions{})
 	if err != nil {
 		t.Fatal(err)

@@ -174,6 +174,14 @@ func (r *Result) CheckConservation() error {
 	return nil
 }
 
+// arrival is the phase-2 scratch record of the plain simulator: a
+// packet that crossed a link this cycle, waiting to be enqueued (or
+// delivered) at its new node after all moves complete.
+type arrival struct {
+	pk       packet
+	row, col int
+}
+
 type packet struct {
 	dstRow, dstCol int
 	born           int
@@ -215,8 +223,10 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 
-	// queues[node*2 + 0] straight, +1 cross; each a FIFO slice.
-	queues := make([][]packet, nodes*2)
+	// queues[node*2 + 0] straight, +1 cross. 16 slots of head-start
+	// capacity per queue keeps steady-state growth (and its
+	// allocations) out of the measured hot loop at moderate loads.
+	queues := newFifos[packet](nodes*2, 16)
 	id := func(row, col int) int { return col*rows + row }
 	if p.Reliable != nil {
 		p.Reliable.Reset(nodes)
@@ -236,6 +246,10 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Phase-2 scratch, hoisted: reset to length zero each cycle, the
+	// backing array reaches its high-water capacity once and is reused.
+	arrivals := make([]arrival, 0, 2*nodes)
+	//bflint:hotpath
 	for cycle := 0; cycle < total; cycle++ {
 		measured := cycle >= p.Warmup
 		if p.Faults != nil {
@@ -328,7 +342,7 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 					res.Detours++
 				}
 				q := id(row, col)*2 + out
-				queues[q] = append(queues[q], pk)
+				queues[q].push(pk)
 			}
 		}
 		// Phase 1b: retransmissions due this cycle re-enter at their
@@ -370,7 +384,7 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 					res.Detours++
 				}
 				q := c.Src*2 + out
-				queues[q] = append(queues[q], pk)
+				queues[q].push(pk)
 			}
 		}
 		// Phase 1c: re-planning. The adaptive router re-examines the head of
@@ -385,10 +399,10 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 				row, col := node%rows, node/rows
 				for out := 0; out < 2; out++ {
 					q := node*2 + out
-					if len(queues[q]) == 0 {
+					if queues[q].len() == 0 {
 						continue
 					}
-					pk := queues[q][0]
+					pk := queues[q].front()
 					d := p.Adaptive.Choose(Hop{
 						Node:    node,
 						Want:    plannedOut(pk, row, col),
@@ -407,19 +421,15 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 						res.Detours++
 					}
 					res.Reroutes++
-					queues[q] = queues[q][1:]
+					queues[q].pop()
 					nq := node*2 + d.Out
-					queues[nq] = append(queues[nq], pk)
+					queues[nq].push(pk)
 				}
 			}
 		}
 		// Phase 2: every directed link moves one packet; arrivals are
 		// buffered and enqueued after all moves (synchronous step).
-		type arrival struct {
-			pk       packet
-			row, col int
-		}
-		var arrivals []arrival
+		arrivals = arrivals[:0]
 		for row := 0; row < rows; row++ {
 			for col := 0; col < n; col++ {
 				node := id(row, col)
@@ -428,22 +438,22 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 				for out := 0; out < 2; out++ {
 					q := base + out
 					if p.TTL > 0 || p.Reliable != nil {
-						for len(queues[q]) > 0 {
-							head := queues[q][0]
+						for queues[q].len() > 0 {
+							head := queues[q].front()
 							if p.Reliable != nil && p.Reliable.Abandoned(head.rid) {
-								queues[q] = queues[q][1:]
+								queues[q].pop()
 								res.GaveUp++
 								continue
 							}
 							if p.TTL > 0 && cycle-head.born >= p.TTL {
-								queues[q] = queues[q][1:]
+								queues[q].pop()
 								res.Dropped++
 								continue
 							}
 							break
 						}
 					}
-					if len(queues[q]) == 0 {
+					if queues[q].len() == 0 {
 						continue
 					}
 					if p.Faults != nil && p.Faults.LinkDown(node, out) {
@@ -455,12 +465,12 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 						}
 						continue
 					}
-					pk := queues[q][0]
+					pk := queues[q].front()
 					nr := row
 					if out == 1 {
 						nr = row ^ (1 << uint(col))
 					}
-					queues[q] = queues[q][1:]
+					queues[q].pop()
 					pk.hops++
 					if p.Adaptive != nil {
 						p.Adaptive.ObserveSuccess(q)
@@ -514,23 +524,24 @@ func simulate(p Params, pattern Pattern) (*Result, error) {
 				res.Detours++
 			}
 			q := id(a.row, a.col)*2 + out
-			queues[q] = append(queues[q], a.pk)
+			queues[q].push(a.pk)
 		}
 		if p.Trace != nil && measured {
 			backlog := 0
-			for _, q := range queues {
-				backlog += len(q)
+			for qi := range queues {
+				backlog += queues[qi].len()
 			}
-			if _, err := fmt.Fprintf(p.Trace, "%d,%d,%d,%d\n",
-				cycle-p.Warmup, res.Injected, res.Delivered, backlog); err != nil {
+			if _, err := fmt.Fprintf(p.Trace, "%d,%d,%d,%d\n", //bflint:ignore hotalloc trace output is off on hot runs
+				cycle-p.Warmup, res.Injected, res.Delivered, backlog); err != nil { //bflint:ignore hotalloc trace output is off on hot runs
 				return nil, err
 			}
 		}
 	}
-	for _, q := range queues {
-		res.Backlog += len(q)
-		if len(q) > res.MaxQueue {
-			res.MaxQueue = len(q)
+	for qi := range queues {
+		l := queues[qi].len()
+		res.Backlog += l
+		if l > res.MaxQueue {
+			res.MaxQueue = l
 		}
 	}
 	res.Throughput = float64(res.Delivered) / float64(res.Nodes) / float64(p.Cycles)

@@ -26,6 +26,19 @@ type vcPacket struct {
 	vc int
 }
 
+// vcArrival is the link-traversal scratch record of the VC simulator:
+// a packet that was granted a move this cycle, carrying the routing
+// decision made at grant time so the arrival drain does not decide
+// twice.
+type vcArrival struct {
+	pk        vcPacket
+	row, col  int
+	out       int
+	drop, mis bool
+	det       bool
+	delivered bool
+}
+
 func simulateVC(p Params, pattern Pattern) (*Result, error) {
 	if p.N < 1 || p.N > 14 {
 		return nil, fmt.Errorf("routing: dimension %d out of range [1,14]", p.N)
@@ -44,8 +57,11 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 
-	// queues[(node*2 + out)*numVC + vc]
-	queues := make([][]vcPacket, nodes*2*numVC)
+	// queues[(node*2 + out)*numVC + vc]. Credit backpressure bounds
+	// every VC queue at BufferLimit slots, so preallocating exactly
+	// that much means no queue ever grows - the hot loop cannot
+	// allocate through a push.
+	queues := newFifos[vcPacket](nodes*2*numVC, p.BufferLimit)
 	id := func(row, col int) int { return col*rows + row }
 	qIdx := func(row, col, out, vc int) int { return (id(row, col)*2+out)*numVC + vc }
 	if p.Reliable != nil {
@@ -66,6 +82,12 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Per-cycle scratch, hoisted: the credit table is overwritten in
+	// place each cycle and the arrival buffer is reset to length zero,
+	// so after the first cycles neither allocates again.
+	room := make([]int, len(queues))
+	arrivals := make([]vcArrival, 0, 2*nodes)
+	//bflint:hotpath
 	for cycle := 0; cycle < total; cycle++ {
 		measured := cycle >= p.Warmup
 		if p.Faults != nil {
@@ -161,7 +183,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					continue
 				}
 				q := qIdx(row, col, out, 0)
-				if len(queues[q]) >= p.BufferLimit {
+				if queues[q].len() >= p.BufferLimit {
 					if measured {
 						res.InjectionDrops++
 					}
@@ -177,7 +199,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				if measured {
 					res.Injected++
 				}
-				queues[q] = append(queues[q], pk)
+				queues[q].push(pk)
 			}
 		}
 		// Retransmissions due this cycle re-enter at their source on VC 0,
@@ -220,7 +242,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					continue
 				}
 				q := qIdx(srcRow, srcCol, out, 0)
-				if len(queues[q]) >= p.BufferLimit {
+				if queues[q].len() >= p.BufferLimit {
 					p.Reliable.Deferred(c.ID)
 					continue
 				}
@@ -232,22 +254,22 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				if det {
 					res.Detours++
 				}
-				queues[q] = append(queues[q], pk)
+				queues[q].push(pk)
 			}
 		}
 		// TTL expiry and give-up write-offs: discard dead queue heads
 		// before credits are computed so the freed slots are usable.
 		if p.TTL > 0 || p.Reliable != nil {
 			for qi := range queues {
-				for len(queues[qi]) > 0 {
-					head := queues[qi][0]
+				for queues[qi].len() > 0 {
+					head := queues[qi].front()
 					if p.Reliable != nil && p.Reliable.Abandoned(head.rid) {
-						queues[qi] = queues[qi][1:]
+						queues[qi].pop()
 						res.GaveUp++
 						continue
 					}
 					if p.TTL > 0 && cycle-head.born >= p.TTL {
-						queues[qi] = queues[qi][1:]
+						queues[qi].pop()
 						res.Dropped++
 						continue
 					}
@@ -266,10 +288,10 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				for out := 0; out < 2; out++ {
 					for vc := 0; vc < numVC; vc++ {
 						q := qIdx(row, col, out, vc)
-						if len(queues[q]) == 0 {
+						if queues[q].len() == 0 {
 							continue
 						}
-						pk := queues[q][0]
+						pk := queues[q].front()
 						d := p.Adaptive.Choose(Hop{
 							Node:    node,
 							Want:    plannedOut(pk.packet, row, col),
@@ -281,7 +303,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 							continue
 						}
 						nq := qIdx(row, col, d.Out, vc)
-						if len(queues[nq]) >= p.BufferLimit {
+						if queues[nq].len() >= p.BufferLimit {
 							continue // no slot: stay and retry next cycle
 						}
 						pk.blocked = d.Blocked
@@ -292,8 +314,8 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 							res.Detours++
 						}
 						res.Reroutes++
-						queues[q] = queues[q][1:]
-						queues[nq] = append(queues[nq], pk)
+						queues[q].pop()
+						queues[nq].push(pk)
 					}
 				}
 			}
@@ -301,19 +323,10 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 		// Link traversal: one packet per physical link per cycle, with
 		// per-VC credits. Credits are computed from start-of-phase
 		// occupancy (conservative) and consumed as moves are granted.
-		room := make([]int, len(queues))
 		for i := range queues {
-			room[i] = p.BufferLimit - len(queues[i])
+			room[i] = p.BufferLimit - queues[i].len()
 		}
-		type arrival struct {
-			pk        vcPacket
-			row, col  int
-			out       int
-			drop, mis bool
-			det       bool
-			delivered bool
-		}
-		var arrivals []arrival
+		arrivals = arrivals[:0]
 		for row := 0; row < rows; row++ {
 			for col := 0; col < n; col++ {
 				nextCol := (col + 1) % n
@@ -326,7 +339,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 						// Dead link: nothing moves, no credits consumed.
 						occupied := false
 						for vc := 0; vc < numVC; vc++ {
-							if len(queues[qIdx(row, col, out, vc)]) > 0 {
+							if queues[qIdx(row, col, out, vc)].len() > 0 {
 								occupied = true
 								break
 							}
@@ -344,7 +357,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					moved := false
 					for vc := numVC - 1; vc >= 0 && !moved; vc-- {
 						q := qIdx(row, col, out, vc)
-						if len(queues[q]) == 0 {
+						if queues[q].len() == 0 {
 							continue
 						}
 						// The routing decision for the next hop is made
@@ -354,7 +367,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 						// discarded call left no state behind), and the
 						// arrival loop reuses the stored flags instead of
 						// deciding again.
-						npk := queues[q][0]
+						npk := queues[q].front()
 						nvc := npk.vc
 						if nextCol == 0 && nvc < numVC-1 {
 							nvc++ // dateline crossing
@@ -378,7 +391,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 								room[nq]--
 							}
 						}
-						queues[q] = queues[q][1:]
+						queues[q].pop()
 						npk.hops++
 						npk.vc = nvc
 						if p.Adaptive != nil {
@@ -389,7 +402,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 								crossings++
 							}
 						}
-						arrivals = append(arrivals, arrival{
+						arrivals = append(arrivals, vcArrival{
 							pk: npk, row: nr, col: nextCol,
 							out: nout, drop: ndrop, mis: nmis, det: ndet,
 							delivered: delivered,
@@ -438,23 +451,24 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				res.Detours++
 			}
 			q := qIdx(a.row, a.col, a.out, a.pk.vc)
-			queues[q] = append(queues[q], a.pk)
+			queues[q].push(a.pk)
 		}
 		if p.Trace != nil && measured {
 			backlog := 0
-			for _, q := range queues {
-				backlog += len(q)
+			for qi := range queues {
+				backlog += queues[qi].len()
 			}
-			if _, err := fmt.Fprintf(p.Trace, "%d,%d,%d,%d\n",
-				cycle-p.Warmup, res.Injected, res.Delivered, backlog); err != nil {
+			if _, err := fmt.Fprintf(p.Trace, "%d,%d,%d,%d\n", //bflint:ignore hotalloc trace output is off on hot runs
+				cycle-p.Warmup, res.Injected, res.Delivered, backlog); err != nil { //bflint:ignore hotalloc trace output is off on hot runs
 				return nil, err
 			}
 		}
 	}
-	for _, q := range queues {
-		res.Backlog += len(q)
-		if len(q) > res.MaxQueue {
-			res.MaxQueue = len(q)
+	for qi := range queues {
+		l := queues[qi].len()
+		res.Backlog += l
+		if l > res.MaxQueue {
+			res.MaxQueue = l
 		}
 	}
 	res.Throughput = float64(res.Delivered) / float64(res.Nodes) / float64(p.Cycles)

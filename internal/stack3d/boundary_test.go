@@ -1,0 +1,41 @@
+package stack3d
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bfvlsi/internal/bitutil"
+)
+
+// A spec literal bypasses NewGroupSpec's total-width cap, so Build's own
+// checked arithmetic is what stands between a hostile spec and a silent
+// overflow.
+func TestBuildRejectsUnrepresentablePerPairCount(t *testing.T) {
+	// k4 large enough that n - 2*k4 + 2 < 0: the per-pair link count
+	// 2^(n-2k4+2) has no int representation.
+	spec := bitutil.GroupSpec{Widths: []int{2, 2, 2, 60}}
+	_, err := Build(spec, 2)
+	if err == nil {
+		t.Fatal("Build with k4=60 succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "per-pair") {
+		t.Errorf("error = %v, want per-pair link count message", err)
+	}
+}
+
+func TestModelFormulasRejectOutOfRange(t *testing.T) {
+	cases := []struct{ n, k4 int }{{-1, 0}, {63, 1}, {5, 6}, {5, -1}}
+	for _, c := range cases {
+		if v := ModelVolume(c.n, c.k4, 4); !math.IsNaN(v) {
+			t.Errorf("ModelVolume(%d,%d,4) = %v, want NaN", c.n, c.k4, v)
+		}
+		if v := OptimalSliceLayers(c.n, c.k4); !math.IsNaN(v) {
+			t.Errorf("OptimalSliceLayers(%d,%d) = %v, want NaN", c.n, c.k4, v)
+		}
+	}
+	// Exact edge of the valid range still computes.
+	if v := OptimalSliceLayers(62, 0); math.IsNaN(v) || v <= 0 {
+		t.Errorf("OptimalSliceLayers(62,0) = %v, want finite positive", v)
+	}
+}

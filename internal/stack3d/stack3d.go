@@ -68,11 +68,24 @@ func Build(spec bitutil.GroupSpec, sliceLayers int) (*Stack, error) {
 	m4 := 1 << uint(k4)
 	// Links per unordered copy pair: 2^{n - 2 k4 + 2}; z-columns by the
 	// collinear assignment: perPair * floor(m4^2 / 4) = 2^n (k4 >= 1).
-	perPair := 1 << uint(n-2*k4+2)
-	zCols := perPair * (m4 * m4 / 4)
+	perPair, ok := bitutil.CheckedShl(1, n-2*k4+2)
+	if !ok {
+		return nil, fmt.Errorf("stack3d: per-pair link count 2^(n-2k4+2) not representable for spec %v", spec)
+	}
+	m4sq, ok := bitutil.CheckedMul(m4, m4)
+	if !ok {
+		return nil, fmt.Errorf("stack3d: copy-pair count 2^(2k4) overflows int for spec %v", spec)
+	}
+	zCols, ok := bitutil.CheckedMul(perPair, m4sq/4)
+	if !ok {
+		return nil, fmt.Errorf("stack3d: z-column count overflows int for spec %v", spec)
+	}
 	// Inter-copy links: 2R(1 - 2^{-k4}).
 	rows := 1 << uint(n)
-	inter := 2 * (rows - rows>>uint(k4))
+	inter, ok := bitutil.CheckedMul(2, rows-rows>>uint(k4))
+	if !ok {
+		return nil, fmt.Errorf("stack3d: inter-copy link count overflows int for spec %v", spec)
+	}
 	return &Stack{
 		Spec:           spec,
 		Copies:         m4,
@@ -100,6 +113,9 @@ func (s *Stack) Volume() int64 {
 // n-dimensional butterfly split as (n-k4, k4) with per-slice layer count
 // L: 2^{k4} * L * (4 * 2^{2(n-k4)} / L^2 + 2^n).
 func ModelVolume(n, k4 int, L float64) float64 {
+	if n < 0 || n > 62 || k4 < 0 || k4 > n {
+		return math.NaN()
+	}
 	slice := 4 * math.Exp2(float64(2*(n-k4))) / (L * L)
 	z := math.Exp2(float64(n))
 	return math.Exp2(float64(k4)) * L * (slice + z)
@@ -110,6 +126,9 @@ func ModelVolume(n, k4 int, L float64) float64 {
 // L* = 2 * 2^{(n - 2 k4)/2} - the paper's L = Theta(sqrt(N)/log N) for
 // constant k4.
 func OptimalSliceLayers(n, k4 int) float64 {
+	if n < 0 || n > 62 || k4 < 0 || k4 > n {
+		return math.NaN()
+	}
 	return 2 * math.Exp2(float64(n-2*k4)/2)
 }
 

@@ -200,14 +200,28 @@ func Build(p Params) (*Result, error) {
 	b.m2, b.m3 = 1, 1
 	b.c2, b.c3 = 0, 0
 	if l >= 2 {
-		b.m2 = 1 << uint(spec.GroupWidth(2))
-		b.c2 = 1 << uint(2+b.k1-spec.GroupWidth(2))
+		k2 := spec.GroupWidth(2)
+		b.m2 = 1 << uint(k2)
+		c2, ok := bitutil.CheckedShl(1, 2+b.k1-k2)
+		if !ok {
+			return nil, fmt.Errorf("thompson: row replication 2^(2+k1-k2) overflows int for spec %v", spec)
+		}
+		b.c2 = c2
 	}
 	if l == 3 {
-		b.m3 = 1 << uint(spec.GroupWidth(3))
-		b.c3 = 1 << uint(2+b.k1-spec.GroupWidth(3))
+		k3 := spec.GroupWidth(3)
+		b.m3 = 1 << uint(k3)
+		c3, ok := bitutil.CheckedShl(1, 2+b.k1-k3)
+		if !ok {
+			return nil, fmt.Errorf("thompson: column replication 2^(2+k1-k3) overflows int for spec %v", spec)
+		}
+		b.c3 = c3
 	}
-	b.numBlocks = b.m2 * b.m3
+	numBlocks, ok := bitutil.CheckedMul(b.m2, b.m3)
+	if !ok {
+		return nil, fmt.Errorf("thompson: block grid 2^k2 x 2^k3 overflows int for spec %v", spec)
+	}
+	b.numBlocks = numBlocks
 
 	nodeSide := p.NodeSide
 	if nodeSide == 0 {
@@ -273,8 +287,11 @@ func (b *builder) slotIn(level, r, to int) int {
 
 // ---- geometry accessors (valid after computeFootprint) ----
 
-func (r *Result) blockX0(gc int) int { return gc * (r.BlockW + r.ColW) }
-func (r *Result) blockY0(gr int) int { return gr * (r.BlockH + r.BandH) }
+// Grid coordinates and per-block dimensions are bounded by the
+// Size() <= 2^20 guard in Build, so these products stay far below
+// overflow; the analyzer cannot see through the struct fields.
+func (r *Result) blockX0(gc int) int { return gc * (r.BlockW + r.ColW) }  //bflint:ignore overflowcalc bounded by the Build size guard
+func (r *Result) blockY0(gr int) int { return gr * (r.BlockH + r.BandH) } //bflint:ignore overflowcalc bounded by the Build size guard
 
 // NodeRect returns the box of swap-butterfly node (row, stage).
 func (r *Result) NodeRect(row, stage int) geom.Rect {
@@ -289,7 +306,7 @@ func (r *Result) NodeRect(row, stage int) geom.Rect {
 
 func trailingLog(v int) int {
 	n := 0
-	for (1 << uint(n)) < v {
+	for n < 63 && (1<<uint(n)) < v {
 		n++
 	}
 	return n
@@ -338,7 +355,11 @@ func (b *builder) planChannels() error {
 	for j, st := range steps {
 		b.intraNets[j] = make([][]channel.Net, b.numBlocks)
 		b.intraPlans[j] = make([]*channel.Plan, b.numBlocks)
-		bit := 1 << uint(st.Bit)
+		sbit := st.Bit
+		if sbit < 0 || sbit > 62 {
+			return fmt.Errorf("thompson: step %d has bit %d outside [0,62]", j, sbit)
+		}
+		bit := 1 << uint(sbit)
 		if !st.Merged {
 			for blk := 0; blk < b.numBlocks; blk++ {
 				base := blk * b.rowsPer
@@ -532,9 +553,17 @@ func (b *builder) computeFootprint() {
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
+// maxLayerGroups bounds the horizontal/vertical group indices handed to
+// the layer-pair helpers; group counts derive from the layer budget,
+// which is tiny in practice.
+const maxLayerGroups = 1 << 20
+
 // rowLinkLayers returns the (hLayer, vLayer) pair for a row link whose
 // horizontal band track falls into horizontal group g (0-based).
 func (b *builder) rowLinkLayers(g int) (hLayer, vLayer int) {
+	if g < 0 || g > maxLayerGroups {
+		panic(fmt.Sprintf("thompson: horizontal group %d outside [0,%d]", g, maxLayerGroups))
+	}
 	if b.layers%2 == 0 {
 		return 2*g + 2, 2*g + 1
 	}
@@ -549,6 +578,9 @@ func (b *builder) rowLinkLayers(g int) (hLayer, vLayer int) {
 // colLinkLayers returns the (hLayer, vLayer) pair for a column link whose
 // vertical region track falls into vertical group g (0-based).
 func (b *builder) colLinkLayers(g int) (hLayer, vLayer int) {
+	if g < 0 || g > maxLayerGroups {
+		panic(fmt.Sprintf("thompson: vertical group %d outside [0,%d]", g, maxLayerGroups))
+	}
 	if b.layers%2 == 0 {
 		return 2*g + 2, 2*g + 1
 	}
@@ -638,7 +670,11 @@ func (b *builder) realizeInter() error {
 	rowTrack := map[[2]int]int{}
 	colTrack := map[[2]int]int{}
 	if b.m2 > 1 {
-		rowTA = collinear.Optimal(b.m2)
+		var err error
+		rowTA, err = collinear.Optimal(b.m2)
+		if err != nil {
+			return fmt.Errorf("thompson: row band layout: %v", err)
+		}
 		if !b.noReorder {
 			rowTA.ReorderByDescendingSpan()
 		}
@@ -647,7 +683,11 @@ func (b *builder) realizeInter() error {
 		}
 	}
 	if b.m3 > 1 {
-		colTA = collinear.Optimal(b.m3)
+		var err error
+		colTA, err = collinear.Optimal(b.m3)
+		if err != nil {
+			return fmt.Errorf("thompson: column region layout: %v", err)
+		}
 		if !b.noReorder {
 			colTA.ReorderByDescendingSpan()
 		}
