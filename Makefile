@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-alloc vet lint fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz
+.PHONY: all build test test-short race bench bench-alloc bench-json vet lint fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz serve
 
 all: build vet lint test
 
@@ -39,6 +39,15 @@ bench-alloc:
 	$(GO) test -run '^$$' -bench BenchmarkStepAllocs -benchtime 3x ./internal/routing
 	$(GO) test -run TestStepAllocsZero -count=1 ./internal/routing
 
+# Machine-readable hot-loop snapshot (ns/cycle, allocs/cycle per
+# simulator); committed so perf regressions show up as a diff.
+bench-json:
+	$(GO) run ./cmd/bfbench -o BENCH_routing.json
+
+# The layout-and-routing query daemon (see README "bfserve").
+serve:
+	$(GO) run ./cmd/bfserve
+
 tables:
 	$(GO) run ./cmd/bftables
 
@@ -60,3 +69,6 @@ adaptive-sweep:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPlanComposition -fuzztime=30s ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzAdaptiveConservation -fuzztime=30s ./internal/adaptive
+	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=30s ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzRouteSpecRoundTrip -fuzztime=15s ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzLayoutSpecRoundTrip -fuzztime=15s ./internal/wire

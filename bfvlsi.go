@@ -260,6 +260,7 @@ const (
 	BitReverse = routing.BitReverse
 	Transpose  = routing.Transpose
 	Complement = routing.Complement
+	Shuffle    = routing.Shuffle
 )
 
 // SimulateRoutingPattern runs the routing simulation under a

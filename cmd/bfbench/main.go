@@ -1,0 +1,215 @@
+// Command bfbench measures the routing simulators' hot-loop cost and
+// writes a machine-readable snapshot: ns/cycle, allocations/cycle, and
+// bytes/cycle for the plain and virtual-channel simulators, under the
+// same mid-size configuration the in-repo allocation benchmarks use
+// (n=8, lambda=0.10, seed 42). `make bench-json` writes the snapshot to
+// BENCH_routing.json so performance regressions show up in review as a
+// diff of committed numbers.
+//
+// Usage:
+//
+//	bfbench                      # print the report to stdout
+//	bfbench -o BENCH_routing.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"bfvlsi/internal/routing"
+)
+
+// benchParams is the shared simulator configuration; it mirrors the
+// allocBenchParams of internal/routing's benchmarks so the snapshot and
+// the in-repo numbers are comparable.
+func benchParams(bufferLimit int) routing.Params {
+	return routing.Params{
+		N:           8,
+		Lambda:      0.10,
+		Warmup:      200,
+		Cycles:      800,
+		Seed:        42,
+		BufferLimit: bufferLimit,
+	}
+}
+
+// simulatorResult is one simulator's measured per-cycle cost.
+type simulatorResult struct {
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	Iterations     int     `json:"iterations"`
+}
+
+// report is the BENCH_routing.json schema. Bump the schema string when
+// fields change meaning, so downstream diff tooling can tell.
+type report struct {
+	Schema string `json:"schema"`
+	Params struct {
+		N           int     `json:"n"`
+		Lambda      float64 `json:"lambda"`
+		Warmup      int     `json:"warmup"`
+		Cycles      int     `json:"cycles"`
+		Seed        int64   `json:"seed"`
+		VCBufferCap int     `json:"vcBufferCap"`
+	} `json:"params"`
+	Simulators map[string]simulatorResult `json:"simulators"`
+}
+
+// options carries every flag value. Parsing and validation are pure:
+// main turns a validation error into the exit-2 usage path, and the
+// tests drive the same code with table argv lists.
+type options struct {
+	out       string
+	benchtime string
+}
+
+func newOptions(set *flag.FlagSet) *options {
+	o := &options{}
+	set.StringVar(&o.out, "o", "", "write the JSON report to this file (default stdout)")
+	set.StringVar(&o.benchtime, "benchtime", "1s", "measurement time per simulator (Go benchtime syntax, e.g. 2s or 100x)")
+	return o
+}
+
+func parseOptions(args []string) (*options, error) {
+	set := flag.NewFlagSet("bfbench", flag.ContinueOnError)
+	o := newOptions(set)
+	if err := set.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func (o *options) validate() error {
+	if o.benchtime == "" {
+		return fmt.Errorf("-benchtime must not be empty")
+	}
+	return nil
+}
+
+// measure runs one simulator configuration under testing.Benchmark and
+// normalizes the result to per-cycle cost.
+func measure(bufferLimit int) (simulatorResult, error) {
+	p := benchParams(bufferLimit)
+	cyclesPerRun := float64(p.Warmup + p.Cycles)
+	var simErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := routing.Simulate(p); err != nil {
+				simErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if simErr != nil {
+		return simulatorResult{}, simErr
+	}
+	runs := float64(r.N) * cyclesPerRun
+	return simulatorResult{
+		NsPerCycle:     float64(r.T.Nanoseconds()) / runs,
+		AllocsPerCycle: float64(r.MemAllocs) / runs,
+		BytesPerCycle:  float64(r.MemBytes) / runs,
+		Iterations:     r.N,
+	}, nil
+}
+
+// run executes every simulator benchmark and assembles the report.
+func run() (*report, error) {
+	const vcBufferCap = 4
+	rep := &report{
+		Schema:     "bfvlsi/bench-routing/v1",
+		Simulators: make(map[string]simulatorResult, 2),
+	}
+	p := benchParams(0)
+	rep.Params.N = p.N
+	rep.Params.Lambda = p.Lambda
+	rep.Params.Warmup = p.Warmup
+	rep.Params.Cycles = p.Cycles
+	rep.Params.Seed = p.Seed
+	rep.Params.VCBufferCap = vcBufferCap
+	for _, sim := range []struct {
+		name        string
+		bufferLimit int
+	}{
+		{"plain", 0},
+		{"vc", vcBufferCap},
+	} {
+		res, err := measure(sim.bufferLimit)
+		if err != nil {
+			return nil, fmt.Errorf("%s simulator: %w", sim.name, err)
+		}
+		rep.Simulators[sim.name] = res
+	}
+	return rep, nil
+}
+
+// write emits the report as indented JSON to the configured target.
+func (o *options) write(rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if o.out == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	f, err := os.Create(o.out)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", o.out)
+	return nil
+}
+
+// benchtimeFlag returns the testing harness's -test.benchtime flag,
+// registering the testing flags on first use.
+func benchtimeFlag() *flag.Flag {
+	if flag.CommandLine.Lookup("test.benchtime") == nil {
+		testing.Init()
+	}
+	return flag.CommandLine.Lookup("test.benchtime")
+}
+
+func usageError(set *flag.FlagSet, err error) {
+	fmt.Fprintln(os.Stderr, "bfbench:", err)
+	set.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	set := flag.NewFlagSet("bfbench", flag.ExitOnError)
+	o := newOptions(set)
+	_ = set.Parse(os.Args[1:])
+	if err := o.validate(); err != nil {
+		usageError(set, err)
+	}
+	// testing.Benchmark honors -test.benchtime; register the testing
+	// flags and set it so -benchtime reaches the harness.
+	if err := benchtimeFlag().Value.Set(o.benchtime); err != nil {
+		usageError(set, fmt.Errorf("-benchtime %q: %w", o.benchtime, err))
+	}
+	rep, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfbench:", err)
+		os.Exit(1)
+	}
+	if err := o.write(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bfbench:", err)
+		os.Exit(1)
+	}
+}

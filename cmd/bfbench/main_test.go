@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseOptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"defaults", nil, ""},
+		{"output file", []string{"-o", "out.json"}, ""},
+		{"benchtime duration", []string{"-benchtime", "2s"}, ""},
+		{"benchtime count", []string{"-benchtime", "5x"}, ""},
+		{"empty benchtime", []string{"-benchtime", ""}, "must not be empty"},
+		{"unknown flag", []string{"-cycles", "10"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseOptions(c.args)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %v does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestMeasureAndReport runs the real measurement with a minimal
+// iteration budget and checks the report invariants: both simulators
+// present, positive per-cycle times, and a stable schema string.
+func TestMeasureAndReport(t *testing.T) {
+	if err := setBenchtime(t, "1x"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "bfvlsi/bench-routing/v1" {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	for _, name := range []string{"plain", "vc"} {
+		res, ok := rep.Simulators[name]
+		if !ok {
+			t.Fatalf("report is missing the %s simulator", name)
+		}
+		if res.NsPerCycle <= 0 || res.Iterations < 1 {
+			t.Fatalf("%s: implausible result %+v", name, res)
+		}
+		if res.AllocsPerCycle < 0 || res.BytesPerCycle < 0 {
+			t.Fatalf("%s: negative memory metrics %+v", name, res)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"schema"`, `"params"`, `"simulators"`, `"ns_per_cycle"`, `"allocs_per_cycle"`} {
+		if !strings.Contains(string(data), field) {
+			t.Fatalf("JSON report is missing %s: %s", field, data)
+		}
+	}
+}
+
+// setBenchtime points testing.Benchmark at a tiny iteration budget and
+// restores the default afterwards.
+func setBenchtime(t *testing.T, v string) error {
+	t.Helper()
+	f := benchtimeFlag()
+	old := f.Value.String()
+	t.Cleanup(func() { _ = f.Value.Set(old) })
+	return f.Value.Set(v)
+}

@@ -27,7 +27,7 @@ var (
 	warmup   = flag.Int("warmup", 300, "warmup cycles")
 	cycles   = flag.Int("cycles", 1000, "measured cycles")
 	seed     = flag.Int64("seed", 1, "random seed")
-	pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform | bitrev | transpose | complement")
+	pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform | bitrev | transpose | complement | shuffle")
 	saturate = flag.Bool("saturate", false, "search for the saturation rate")
 	sweep    = flag.Bool("sweep", false, "run a load sweep")
 	modRows  = flag.Int("modrows", 0, "rows per module for boundary-traffic measurement (0 = off)")
@@ -91,6 +91,8 @@ func parsePattern(s string) (routing.Pattern, error) {
 		return routing.Transpose, nil
 	case "complement":
 		return routing.Complement, nil
+	case "shuffle":
+		return routing.Shuffle, nil
 	default:
 		return 0, fmt.Errorf("unknown pattern %q", s)
 	}

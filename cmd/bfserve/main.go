@@ -1,0 +1,116 @@
+// Command bfserve runs the layout-and-routing query daemon: an
+// HTTP/JSON front end over the repository's layout constructions,
+// packaging partitions, and routing simulations, with a
+// content-addressed artifact cache (see internal/serve).
+//
+// Usage:
+//
+//	bfserve                         # listen on :8417
+//	bfserve -addr 127.0.0.1:9000    # explicit listen address
+//	bfserve -cache 1024             # artifact cache capacity
+//	bfserve -timeout 30s            # per-request handling deadline
+//	bfserve -maxdim 10              # cap accepted butterfly dimensions
+//
+// Endpoints: POST /v1/layout, /v1/packaging, /v1/route, /v1/faultsweep;
+// GET /healthz, /statsz. Responses carry X-Bfserve-Key (the artifact's
+// content address) and X-Bfserve-Cache (hit or miss).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"bfvlsi/internal/serve"
+)
+
+// options carries every flag value. Parsing and validation are pure (no
+// exits, no prints): main turns a validation error into the exit-2
+// usage path, and the tests drive the same code with table argv lists.
+type options struct {
+	addr    string
+	cache   int
+	timeout time.Duration
+	maxDim  int
+}
+
+// newOptions registers every flag on the given set.
+func newOptions(set *flag.FlagSet) *options {
+	o := &options{}
+	set.StringVar(&o.addr, "addr", ":8417", "listen address")
+	set.IntVar(&o.cache, "cache", serve.DefaultCacheEntries, "artifact cache capacity, entries")
+	set.DurationVar(&o.timeout, "timeout", 60*time.Second, "per-request handling deadline (0 = none)")
+	set.IntVar(&o.maxDim, "maxdim", serve.DefaultMaxDim, "largest accepted butterfly dimension")
+	return o
+}
+
+// parseOptions parses argv and validates the combination. It never
+// exits or prints beyond the FlagSet's own output.
+func parseOptions(args []string) (*options, error) {
+	set := flag.NewFlagSet("bfserve", flag.ContinueOnError)
+	o := newOptions(set)
+	if err := set.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// validate audits flag ranges.
+func (o *options) validate() error {
+	if o.addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if o.cache < 1 {
+		return fmt.Errorf("-cache %d must be at least 1", o.cache)
+	}
+	if o.timeout < 0 {
+		return fmt.Errorf("-timeout %v is negative", o.timeout)
+	}
+	if o.maxDim < 1 || o.maxDim > 14 {
+		return fmt.Errorf("-maxdim %d out of range [1,14]", o.maxDim)
+	}
+	return nil
+}
+
+// server builds the configured serve.Server.
+func (o *options) server() *serve.Server {
+	return serve.New(serve.Config{
+		CacheEntries: o.cache,
+		MaxDim:       o.maxDim,
+		Timeout:      o.timeout,
+		// The daemon is where determinism ends and operations begin:
+		// this is the repo's one wall-clock injection point for the
+		// service (latency metrics on /statsz).
+		Now: time.Now, //bflint:ignore detrand
+	})
+}
+
+func usageError(set *flag.FlagSet, err error) {
+	fmt.Fprintln(os.Stderr, "bfserve:", err)
+	set.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	set := flag.NewFlagSet("bfserve", flag.ExitOnError)
+	o := newOptions(set)
+	_ = set.Parse(os.Args[1:])
+	if err := o.validate(); err != nil {
+		usageError(set, err)
+	}
+	srv := &http.Server{
+		Addr:              o.addr,
+		Handler:           o.server().Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("bfserve listening on %s (cache %d entries, maxdim %d)\n", o.addr, o.cache, o.maxDim)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "bfserve:", err)
+		os.Exit(1)
+	}
+}

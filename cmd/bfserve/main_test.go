@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"defaults", nil, ""},
+		{"explicit addr", []string{"-addr", "127.0.0.1:9000"}, ""},
+		{"cache and timeout", []string{"-cache", "16", "-timeout", "5s"}, ""},
+		{"timeout off", []string{"-timeout", "0"}, ""},
+		{"maxdim bounds", []string{"-maxdim", "14"}, ""},
+		{"empty addr", []string{"-addr", ""}, "-addr must not be empty"},
+		{"zero cache", []string{"-cache", "0"}, "must be at least 1"},
+		{"negative cache", []string{"-cache", "-3"}, "must be at least 1"},
+		{"negative timeout", []string{"-timeout", "-1s"}, "is negative"},
+		{"maxdim zero", []string{"-maxdim", "0"}, "out of range [1,14]"},
+		{"maxdim huge", []string{"-maxdim", "15"}, "out of range [1,14]"},
+		{"unknown flag", []string{"-port", "80"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o, err := parseOptions(c.args)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if o == nil {
+					t.Fatal("nil options without error")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got none", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestServerConstruction(t *testing.T) {
+	o, err := parseOptions([]string{"-cache", "8", "-maxdim", "6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.server() == nil {
+		t.Fatal("server construction returned nil")
+	}
+}

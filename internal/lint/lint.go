@@ -59,6 +59,16 @@ var simulatorPackages = map[string]bool{
 	modulePath + "/internal/experiments": true,
 }
 
+// servicePackages are the long-running daemon packages bound by the
+// determinism contract for a different reason than simulators: a
+// content-addressed cache is only sound if responses are pure functions
+// of the spec, so wall-clock reads must stay behind the injected clock
+// (the single time.Now call in cmd/bfserve carries an explicit ignore).
+var servicePackages = map[string]bool{
+	modulePath + "/internal/serve": true,
+	modulePath + "/cmd/bfserve":    true,
+}
+
 // layoutPackages are the closed-form arithmetic packages bound by the
 // overflow contract: their formulas (⌊N²/4⌋ tracks, area N²/log₂²N, 2ⁿ
 // rows) overflow int for unguarded inputs.
@@ -93,7 +103,7 @@ func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
 		return nil
 	}
 	var out []*analysis.Analyzer
-	if simulatorPackages[pkgPath] {
+	if simulatorPackages[pkgPath] || servicePackages[pkgPath] {
 		out = append(out, detrand.Analyzer)
 	}
 	// The map-order, conservation, hot-path, and sweep-ownership
@@ -111,7 +121,8 @@ func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
 	}
 	if strings.HasPrefix(pkgPath, modulePath+"/cmd/") ||
 		strings.HasPrefix(pkgPath, modulePath+"/examples/") ||
-		strings.HasPrefix(pkgPath, modulePath+"/internal/experiments") {
+		strings.HasPrefix(pkgPath, modulePath+"/internal/experiments") ||
+		pkgPath == modulePath+"/internal/serve" {
 		out = append(out, errflush.Analyzer)
 	}
 	return out

@@ -20,6 +20,13 @@ const (
 	Transpose
 	// Complement sends row r to ^r (all bits flipped), same column.
 	Complement
+	// Shuffle sends row r to its left cyclic shift (r1 r2 ... r_{n-1} r0),
+	// same column: the perfect-shuffle permutation, the third classic
+	// butterfly adversary alongside transpose and bit-reversal. Every
+	// packet must correct the single rotated bit disagreement pattern,
+	// and the shifted addresses funnel whole row halves through the
+	// same cross links.
+	Shuffle
 )
 
 func (p Pattern) String() string {
@@ -32,6 +39,8 @@ func (p Pattern) String() string {
 		return "transpose"
 	case Complement:
 		return "complement"
+	case Shuffle:
+		return "shuffle"
 	default:
 		return fmt.Sprintf("pattern(%d)", int(p))
 	}
@@ -58,6 +67,8 @@ func destFor(p Pattern, n, rows, row, col int, rng *rand.Rand) (dr, dc int, err 
 		return lo<<uint(h) | hi, col, nil
 	case Complement:
 		return row ^ (rows - 1), col, nil
+	case Shuffle:
+		return ((row << 1) | (row >> uint(n-1))) & (rows - 1), col, nil
 	default:
 		return 0, 0, fmt.Errorf("routing: unknown pattern %v", p)
 	}

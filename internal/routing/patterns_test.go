@@ -9,7 +9,7 @@ func TestDestForPermutations(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	n := 6
 	rows := 1 << uint(n)
-	for _, p := range []Pattern{BitReverse, Transpose, Complement} {
+	for _, p := range []Pattern{BitReverse, Transpose, Complement, Shuffle} {
 		seen := make([]bool, rows)
 		for r := 0; r < rows; r++ {
 			dr, dc, err := destFor(p, n, rows, r, 3, rng)
@@ -43,9 +43,42 @@ func TestDestForInvolutions(t *testing.T) {
 	}
 }
 
+// Shuffle is a cyclic rotation, not an involution: applying it n times
+// (one full rotation of the n row bits) must return every row to
+// itself, and applying it fewer times must not fix a row like 1 (a
+// single set bit keeps moving until it wraps).
+func TestShuffleHasOrderN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 3, 5, 8} {
+		rows := 1 << uint(n)
+		for r := 0; r < rows; r++ {
+			cur := r
+			for i := 0; i < n; i++ {
+				if i > 0 && r == 1 && cur == r {
+					t.Fatalf("n=%d: shuffle fixed row 1 after only %d applications", n, i)
+				}
+				d, c, err := destFor(Shuffle, n, rows, cur, 2, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c != 2 {
+					t.Fatalf("shuffle moved the column to %d", c)
+				}
+				cur = d
+			}
+			if cur != r {
+				t.Fatalf("n=%d: shuffle^%d(%d) = %d, want identity", n, n, r, cur)
+			}
+		}
+	}
+}
+
 func TestPatternStrings(t *testing.T) {
 	if Uniform.String() != "uniform" || BitReverse.String() != "bit-reverse" {
 		t.Error("pattern names wrong")
+	}
+	if Shuffle.String() != "shuffle" {
+		t.Error("shuffle name wrong")
 	}
 	if Pattern(99).String() == "" {
 		t.Error("unknown pattern empty string")
@@ -53,7 +86,7 @@ func TestPatternStrings(t *testing.T) {
 }
 
 func TestSimulatePatternConservation(t *testing.T) {
-	for _, p := range []Pattern{Uniform, BitReverse, Transpose, Complement} {
+	for _, p := range []Pattern{Uniform, BitReverse, Transpose, Complement, Shuffle} {
 		r, err := SimulatePattern(Params{
 			N: 4, Lambda: 0.05, Warmup: 100, Cycles: 800, Seed: 3,
 		}, p)
@@ -90,6 +123,34 @@ func TestBitReverseIsAdversarial(t *testing.T) {
 	}
 	if rev.Throughput >= uni.Throughput {
 		t.Errorf("bit-reverse throughput %v not worse than uniform %v", rev.Throughput, uni.Throughput)
+	}
+}
+
+// Shuffle stresses the network differently from bit-reversal: the
+// dimension-order router spreads the rotated addresses well enough that
+// aggregate backlog stays below uniform's, but the funneled row halves
+// concentrate queueing - at saturation load the deepest queue is about
+// twice as deep as under uniform traffic, and every packet needs the
+// full n hops (all n rotated bits disagree in general).
+func TestShuffleVsUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pattern comparison skipped in -short mode")
+	}
+	n := 7
+	lambda := TheoreticalSaturation(n)
+	uni, err := SimulatePattern(Params{N: n, Lambda: lambda, Warmup: 300, Cycles: 900, Seed: 7}, Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuf, err := SimulatePattern(Params{N: n, Lambda: lambda, Warmup: 300, Cycles: 900, Seed: 7}, Shuffle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shuf.MaxQueue*2 <= uni.MaxQueue*3 {
+		t.Errorf("shuffle max queue %d not clearly deeper than uniform %d", shuf.MaxQueue, uni.MaxQueue)
+	}
+	if shuf.AvgHops != float64(n) {
+		t.Errorf("shuffle hops %v, want exactly %d", shuf.AvgHops, n)
 	}
 }
 

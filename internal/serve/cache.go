@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entry is one cache slot. It is filled exactly once - ready is closed
+// after body and err are set - and immutable afterwards, so waiters read
+// body and err without holding the cache lock.
+type entry struct {
+	ready chan struct{}
+	body  []byte
+	err   error
+}
+
+// cache is a fixed-capacity LRU of content-addressed response bodies
+// with single-flight semantics: concurrent requests for the same key
+// share one computation, and every caller after the first gets the
+// first caller's bytes (so cache hits are byte-identical by
+// construction). Failed computations are not cached; a later request
+// for the same key recomputes.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are string keys
+	entries map[string]*slot
+}
+
+type slot struct {
+	elem *list.Element
+	e    *entry
+}
+
+func newCache(capacity int) *cache {
+	return &cache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*slot, capacity),
+	}
+}
+
+// do returns the cached body for key, computing it with compute on a
+// miss. hit reports whether this caller reused an existing entry;
+// joining a computation already in flight counts as a hit (the caller
+// did not pay for the work).
+func (c *cache) do(key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+	c.mu.Lock()
+	if s, ok := c.entries[key]; ok {
+		c.order.MoveToFront(s.elem)
+		e := s.e
+		c.mu.Unlock()
+		<-e.ready
+		return e.body, true, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	s := &slot{e: e}
+	s.elem = c.order.PushFront(key)
+	c.entries[key] = s
+	c.evictLocked()
+	c.mu.Unlock()
+
+	e.body, e.err = compute()
+	close(e.ready)
+	if e.err != nil {
+		// Errors are not cached: drop the entry so the next request
+		// retries. Waiters already holding e still see the error.
+		c.remove(key, s)
+	}
+	return e.body, false, e.err
+}
+
+// evictLocked drops least-recently-used entries beyond capacity. An
+// in-flight entry may be evicted; its waiters keep their pointer and
+// the computation completes normally, it just is not cached.
+func (c *cache) evictLocked() {
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		key := back.Value.(string)
+		c.order.Remove(back)
+		delete(c.entries, key)
+	}
+}
+
+// remove deletes key only if it still maps to the given slot (it may
+// have been evicted and recomputed by someone else in the meantime).
+func (c *cache) remove(key string, s *slot) {
+	c.mu.Lock()
+	if cur, ok := c.entries[key]; ok && cur == s {
+		c.order.Remove(s.elem)
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+}
+
+// len returns the current entry count.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

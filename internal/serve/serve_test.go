@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	// A ticking fake clock: deterministic, but latency metrics move.
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	srv := New(Config{
+		CacheEntries: 64,
+		MaxDim:       8,
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			now = now.Add(time.Millisecond)
+			return now
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestEndpoints drives every POST endpoint through the same table:
+// a valid spec answers 200 with a well-formed body, malformed JSON and
+// out-of-range parameters answer 400, and an unknown JSON field is a
+// client error rather than silently ignored.
+func TestEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name       string
+		path       string
+		body       string
+		wantStatus int
+		wantIn     string // substring of the response body
+	}{
+		{"layout collinear ok", "/v1/layout", `{"family":"collinear","n":8}`, 200, `"extras"`},
+		{"layout thompson ok", "/v1/layout", `{"family":"thompson","widths":[2,2,2]}`, 200, `"blockWidth"`},
+		{"layout stack3d ok", "/v1/layout", `{"family":"stack3d","widths":[2,2,2,2],"sliceLayers":2}`, 200, `"volume"`},
+		{"layout hierarchy ok", "/v1/layout", `{"family":"hierarchy","n":8,"maxPins":64,"chipSide":20}`, 200, `"numChips"`},
+		{"layout unknown family", "/v1/layout", `{"family":"benes","n":8}`, 400, "unknown layout family"},
+		{"layout malformed json", "/v1/layout", `{"family":`, 400, "error"},
+		{"layout unknown field", "/v1/layout", `{"family":"collinear","n":8,"frobnicate":1}`, 400, "frobnicate"},
+		{"layout stray field for family", "/v1/layout", `{"family":"collinear","n":8,"maxPins":4}`, 400, "must be zero"},
+		{"layout dim over cap", "/v1/layout", `{"family":"hierarchy","n":9,"maxPins":64,"chipSide":20}`, 400, "exceeds this server's cap"},
+
+		{"packaging row ok", "/v1/packaging", `{"variant":"row","n":6}`, 200, `"numModules"`},
+		{"packaging nucleus ok", "/v1/packaging", `{"variant":"nucleus","n":6}`, 200, `"stats"`},
+		{"packaging naive ok", "/v1/packaging", `{"variant":"naive","n":6,"rowsPerModule":8}`, 200, `"numModules"`},
+		{"packaging unknown variant", "/v1/packaging", `{"variant":"hex","n":6}`, 400, "unknown"},
+		{"packaging naive missing rows", "/v1/packaging", `{"variant":"naive","n":6}`, 400, "rowsPerModule"},
+		{"packaging n over cap", "/v1/packaging", `{"variant":"row","n":9}`, 400, "exceeds this server's cap"},
+		{"packaging malformed json", "/v1/packaging", `not json`, 400, "error"},
+
+		{"route ok", "/v1/route", `{"n":3,"lambda":0.05,"warmup":20,"cycles":100,"seed":1}`, 200, `"Delivered"`},
+		{"route shuffle drop ok", "/v1/route", `{"n":3,"lambda":0.05,"cycles":100,"pattern":"shuffle","policy":"drop"}`, 200, `"Throughput"`},
+		{"route faulted ok", "/v1/route", `{"n":3,"lambda":0.05,"cycles":100,"fault":{"linkRate":0.05,"seed":2}}`, 200, `"Dropped"`},
+		{"route bad pattern", "/v1/route", `{"n":3,"lambda":0.05,"cycles":100,"pattern":"zigzag"}`, 400, "unknown traffic pattern"},
+		{"route lambda out of range", "/v1/route", `{"n":3,"lambda":1.5,"cycles":100}`, 400, "lambda"},
+		{"route n over cap", "/v1/route", `{"n":9,"lambda":0.05,"cycles":100}`, 400, "exceeds this server's cap"},
+		{"route zero cycles", "/v1/route", `{"n":3,"lambda":0.05}`, 400, "cycle"},
+		{"route malformed json", "/v1/route", `{{`, 400, "error"},
+
+		{"faultsweep ok", "/v1/faultsweep", `{"n":3,"lambda":0.05,"cycles":100,"rates":[0,0.1]}`, 200, `"deadLinks"`},
+		{"faultsweep no rates", "/v1/faultsweep", `{"n":3,"lambda":0.05,"cycles":100}`, 400, "at least 1 fault rate"},
+		{"faultsweep rate out of range", "/v1/faultsweep", `{"n":3,"lambda":0.05,"cycles":100,"rates":[2]}`, 400, "out of [0,1]"},
+		{"faultsweep n over cap", "/v1/faultsweep", `{"n":9,"lambda":0.05,"cycles":100,"rates":[0]}`, 400, "exceeds this server's cap"},
+		{"faultsweep malformed json", "/v1/faultsweep", `[1,2]`, 400, "error"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := post(t, ts, c.path, c.body)
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, c.wantStatus, body)
+			}
+			if !strings.Contains(string(body), c.wantIn) {
+				t.Fatalf("body %s does not contain %q", body, c.wantIn)
+			}
+			if resp.StatusCode == 200 {
+				if got := resp.Header.Get("X-Bfserve-Key"); len(got) != 64 {
+					t.Fatalf("X-Bfserve-Key %q is not a SHA-256 hex digest", got)
+				}
+				if got := resp.Header.Get("X-Bfserve-Cache"); got != "hit" && got != "miss" {
+					t.Fatalf("X-Bfserve-Cache %q", got)
+				}
+			}
+		})
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on a POST endpoint: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Allow") != http.MethodPost {
+		t.Fatalf("Allow header %q", resp.Header.Get("Allow"))
+	}
+}
+
+// TestCacheHitByteIdentical is the caching acceptance criterion: the
+// second identical request is a hit with the exact same bytes and the
+// same content address.
+func TestCacheHitByteIdentical(t *testing.T) {
+	ts := newTestServer(t)
+	const body = `{"n":3,"lambda":0.05,"warmup":20,"cycles":200,"seed":7,"pattern":"bit-reverse"}`
+	r1, b1 := post(t, ts, "/v1/route", body)
+	r2, b2 := post(t, ts, "/v1/route", body)
+	if r1.StatusCode != 200 || r2.StatusCode != 200 {
+		t.Fatalf("statuses %d, %d", r1.StatusCode, r2.StatusCode)
+	}
+	if got := r1.Header.Get("X-Bfserve-Cache"); got != "miss" {
+		t.Fatalf("first request: cache %q, want miss", got)
+	}
+	if got := r2.Header.Get("X-Bfserve-Cache"); got != "hit" {
+		t.Fatalf("second request: cache %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cache hit is not byte-identical:\n%s\n%s", b1, b2)
+	}
+	if r1.Header.Get("X-Bfserve-Key") != r2.Header.Get("X-Bfserve-Key") {
+		t.Fatal("same spec, different content address")
+	}
+}
+
+// Two spellings of the same spec (defaults elided vs explicit) must map
+// to the same content address: the key is the canonical wire encoding,
+// not the JSON text.
+func TestKeyIsSpellingIndependent(t *testing.T) {
+	ts := newTestServer(t)
+	r1, _ := post(t, ts, "/v1/route", `{"n":3,"lambda":0.05,"cycles":100}`)
+	r2, _ := post(t, ts, "/v1/route", `{"n":3,"lambda":0.05,"cycles":100,"warmup":0,"seed":0,"pattern":"uniform","policy":"misroute"}`)
+	if r1.StatusCode != 200 || r2.StatusCode != 200 {
+		t.Fatalf("statuses %d, %d", r1.StatusCode, r2.StatusCode)
+	}
+	if r1.Header.Get("X-Bfserve-Key") != r2.Header.Get("X-Bfserve-Key") {
+		t.Fatal("equivalent specs got different content addresses")
+	}
+	if got := r2.Header.Get("X-Bfserve-Cache"); got != "hit" {
+		t.Fatalf("explicit spelling missed the cache: %q", got)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(b), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, b)
+	}
+}
+
+func TestStatszCounts(t *testing.T) {
+	ts := newTestServer(t)
+	const body = `{"variant":"row","n":5}`
+	post(t, ts, "/v1/packaging", body)
+	post(t, ts, "/v1/packaging", body)
+	post(t, ts, "/v1/packaging", `{"variant":"bogus","n":5}`)
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	ep := stats.Endpoints["packaging"]
+	if ep.Requests != 3 || ep.Hits != 1 || ep.Misses != 1 || ep.Errors != 1 {
+		t.Fatalf("packaging stats %+v, want requests=3 hits=1 misses=1 errors=1", ep)
+	}
+	if ep.AvgLatencyMicro <= 0 {
+		t.Fatalf("latency metric did not advance with the injected clock: %+v", ep)
+	}
+	if stats.CacheEntries != 1 || stats.CacheCapacity != 64 {
+		t.Fatalf("cache stats %d/%d, want 1/64", stats.CacheEntries, stats.CacheCapacity)
+	}
+}
+
+// TestLoadConcurrent is the race-detector acceptance test: >=1000
+// concurrent mixed requests, with every 200 response for the same spec
+// byte-identical. Run with -race in CI.
+func TestLoadConcurrent(t *testing.T) {
+	ts := newTestServer(t)
+	ts.Client().Timeout = 60 * time.Second
+
+	// A small pool of distinct specs so requests collide on the cache
+	// from every direction: same-key joins, evictions, and misses.
+	requests := []struct{ path, body string }{
+		{"/v1/route", `{"n":3,"lambda":0.05,"cycles":60,"seed":1}`},
+		{"/v1/route", `{"n":3,"lambda":0.05,"cycles":60,"seed":2}`},
+		{"/v1/route", `{"n":4,"lambda":0.05,"cycles":60,"seed":1,"pattern":"shuffle"}`},
+		{"/v1/route", `{"n":3,"lambda":0.05,"cycles":60,"seed":3,"fault":{"linkRate":0.05,"seed":9}}`},
+		{"/v1/layout", `{"family":"collinear","n":8}`},
+		{"/v1/layout", `{"family":"thompson","widths":[2,2]}`},
+		{"/v1/layout", `{"family":"hierarchy","n":6,"maxPins":64,"chipSide":20}`},
+		{"/v1/packaging", `{"variant":"row","n":5}`},
+		{"/v1/packaging", `{"variant":"nucleus","n":5}`},
+		{"/v1/faultsweep", `{"n":3,"lambda":0.05,"cycles":60,"rates":[0,0.1]}`},
+		{"/v1/route", `{"n":0,"lambda":0.05,"cycles":60}`}, // always 400
+	}
+	const total = 1100
+	var (
+		mu     sync.Mutex
+		bodies = make(map[string][]byte) // spec body -> first 200 response
+		oks    int
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, total)
+	for i := 0; i < total; i++ {
+		req := requests[i%len(requests)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+req.path, "application/json", strings.NewReader(req.body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode == 400 {
+				return
+			}
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("%s: status %d: %s", req.path, resp.StatusCode, b)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			oks++
+			if prev, ok := bodies[req.body]; ok {
+				if !bytes.Equal(prev, b) {
+					errs <- fmt.Errorf("%s: two 200 responses for one spec differ", req.path)
+				}
+			} else {
+				bodies[req.body] = b
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if oks < total/2 {
+		t.Fatalf("only %d/%d requests succeeded", oks, total)
+	}
+}
+
+// ---- cache unit tests ----
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := newCache(4)
+	var computes int
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([][]byte, 10)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _, err := c.do("k", func() ([]byte, error) {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				<-gate
+				return []byte("value"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = body
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1 (single flight)", computes)
+	}
+	for _, b := range results {
+		if string(b) != "value" {
+			t.Fatalf("got %q", b)
+		}
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newCache(2)
+	fill := func(k string) {
+		if _, _, err := c.do(k, func() ([]byte, error) { return []byte(k), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recompute := func(k string) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte(k + "-recomputed"), nil }
+	}
+	fill("a")
+	fill("b")
+	// Touch a so b is the LRU victim when c arrives.
+	if _, hit, _ := c.do("a", recompute("a")); !hit {
+		t.Fatal("a evicted too early")
+	}
+	fill("c")
+	if _, hit, _ := c.do("a", recompute("a")); !hit {
+		t.Fatal("recently-used a was evicted instead of b")
+	}
+	if _, hit, _ := c.do("b", recompute("b")); hit {
+		t.Fatal("b survived past capacity")
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := newCache(2)
+	wantErr := fmt.Errorf("boom")
+	if _, _, err := c.do("k", func() ([]byte, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err %v", err)
+	}
+	body, hit, err := c.do("k", func() ([]byte, error) { return []byte("fine"), nil })
+	if err != nil || hit || string(body) != "fine" {
+		t.Fatalf("after error: body=%q hit=%v err=%v, want recompute", body, hit, err)
+	}
+}

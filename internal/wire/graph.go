@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/butterfly"
+	"bfvlsi/internal/graph"
+)
+
+// Graph is the wire form of a butterfly (or any dense-ID) multigraph:
+// the node count plus the canonical sorted edge list. N records the
+// butterfly dimension the graph was built from (0 when the graph did
+// not come from a butterfly).
+type Graph struct {
+	N        int
+	NumNodes int
+	// Edges must be sorted by (U, V, Kind), U <= V, as graph.Edges()
+	// returns them; MarshalBinary rejects anything else so that equal
+	// graphs always produce equal bytes.
+	Edges []graph.Edge
+}
+
+// GraphFromButterfly captures B_n in wire form.
+func GraphFromButterfly(n int) (*Graph, error) {
+	if n < 1 || n > butterfly.MaxDim {
+		return nil, fmt.Errorf("wire: butterfly dimension %d out of range [1,%d]", n, butterfly.MaxDim)
+	}
+	b := butterfly.New(n)
+	return &Graph{N: n, NumNodes: b.NumNodes(), Edges: b.G.Edges()}, nil
+}
+
+// ToGraph materializes the adjacency structure.
+func (g *Graph) ToGraph() *graph.Graph {
+	out := graph.New(g.NumNodes)
+	for _, e := range g.Edges {
+		out.AddEdge(e.U, e.V, e.Kind)
+	}
+	return out
+}
+
+// edgeLE reports a <= b in the canonical (U, V, Kind) order. Parallel
+// edges with identical endpoints and kind are legal in a multigraph, so
+// the order is non-strict.
+func edgeLE(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	return a.Kind <= b.Kind
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Edges are
+// delta-encoded on U, which the sort order makes non-negative.
+func (g *Graph) MarshalBinary() ([]byte, error) {
+	if g.N < 0 || g.NumNodes < 0 {
+		return nil, fmt.Errorf("wire: graph has negative dimension or node count")
+	}
+	e := newEnc(TypeGraph, VersionGraph)
+	e.uint(g.N)
+	e.uint(g.NumNodes)
+	e.uint(len(g.Edges))
+	prevU := 0
+	for i, ed := range g.Edges {
+		if ed.U < 0 || ed.V < ed.U || ed.V >= g.NumNodes {
+			return nil, fmt.Errorf("wire: edge %d (%d,%d) outside canonical range for %d nodes", i, ed.U, ed.V, g.NumNodes)
+		}
+		if i > 0 && !edgeLE(g.Edges[i-1], ed) {
+			return nil, fmt.Errorf("wire: edge %d out of (U,V,Kind) order", i)
+		}
+		e.uint(ed.U - prevU)
+		e.uint(ed.V)
+		e.uvarint(uint64(ed.Kind))
+		prevU = ed.U
+	}
+	return e.buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. It accepts
+// exactly the canonical encodings MarshalBinary produces.
+func (g *Graph) UnmarshalBinary(data []byte) error {
+	d := newDec(data, TypeGraph, VersionGraph)
+	n := d.uint()
+	nodes := d.uint()
+	count := d.listLen(3)
+	edges := make([]graph.Edge, 0, count)
+	prevU := 0
+	for i := 0; i < count && d.err == nil; i++ {
+		du := d.uint()
+		v := d.uint()
+		kind := d.uvarint()
+		if d.err != nil {
+			break
+		}
+		u := prevU + du
+		ed := graph.Edge{U: u, V: v, Kind: graph.EdgeKind(byte(kind))}
+		if kind > 255 {
+			d.fail(fmt.Errorf("%w: edge kind %d exceeds uint8", ErrRange, kind))
+			break
+		}
+		if u < 0 || v < u || v >= nodes {
+			d.fail(fmt.Errorf("%w: edge %d (%d,%d) outside canonical range for %d nodes", ErrCanonical, i, u, v, nodes))
+			break
+		}
+		if len(edges) > 0 && !edgeLE(edges[len(edges)-1], ed) {
+			d.fail(fmt.Errorf("%w: edge %d out of (U,V,Kind) order", ErrCanonical, i))
+			break
+		}
+		edges = append(edges, ed)
+		prevU = u
+	}
+	if err := d.finish(); err != nil {
+		return err
+	}
+	g.N, g.NumNodes, g.Edges = n, nodes, edges
+	return nil
+}

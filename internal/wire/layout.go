@@ -1,0 +1,333 @@
+package wire
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/grid"
+)
+
+// Family selects one of the four layout constructions the service
+// exposes. The numeric values are part of the wire format: never
+// renumber them.
+type Family int
+
+// Layout families.
+const (
+	// FamilyCollinear is the Appendix B collinear layout of K_n.
+	FamilyCollinear Family = 0
+	// FamilyThompson is the Section 3-4 Thompson / multilayer layout
+	// of a butterfly given by a group spec.
+	FamilyThompson Family = 1
+	// FamilyStack3D is the Section 4.3 stacked 3-D layout of a 4-level
+	// group spec.
+	FamilyStack3D Family = 2
+	// FamilyHierarchy is the Section 5.2 chip+board design search.
+	FamilyHierarchy Family = 3
+)
+
+func (f Family) String() string {
+	switch f {
+	case FamilyCollinear:
+		return "collinear"
+	case FamilyThompson:
+		return "thompson"
+	case FamilyStack3D:
+		return "stack3d"
+	case FamilyHierarchy:
+		return "hierarchy"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// ParseFamily is the inverse of Family.String for the four known
+// families.
+func ParseFamily(s string) (Family, error) {
+	switch s {
+	case "collinear":
+		return FamilyCollinear, nil
+	case "thompson":
+		return FamilyThompson, nil
+	case "stack3d":
+		return FamilyStack3D, nil
+	case "hierarchy":
+		return FamilyHierarchy, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown layout family %q (want collinear, thompson, stack3d, or hierarchy)", s)
+	}
+}
+
+// LayoutSpec is the wire form of a layout request. All fields of every
+// family are always encoded; Validate requires the fields a family does
+// not use to be zero, so a spec has exactly one canonical encoding and
+// its SHA-256 is a usable content address.
+type LayoutSpec struct {
+	Family Family
+	// N is the complete-graph size (collinear) or butterfly dimension
+	// (hierarchy).
+	N int
+	// Widths is the group spec (thompson: 1-3 groups; stack3d: exactly
+	// 4 groups).
+	Widths []int
+	// Layers / Multilayer select the Section 4 multilayer model
+	// (thompson only).
+	Layers     int
+	Multilayer bool
+	// NodeSide overrides the node box side (thompson only; 0 = model
+	// minimum).
+	NodeSide int
+	// NoTrackReorder disables the Appendix B wire-length optimization
+	// (thompson only).
+	NoTrackReorder bool
+	// SliceLayers is the per-slice wiring layer count (stack3d only).
+	SliceLayers int
+	// MaxPins and ChipSide drive the board design search (hierarchy
+	// only).
+	MaxPins  int
+	ChipSide int
+}
+
+// maxSpecWidths bounds the group-spec length; the paper's direct
+// constructions use at most 4 groups.
+const maxSpecWidths = 4
+
+// Validate checks the spec's family-specific invariants, including that
+// every field the family does not use is zero (canonicality: two specs
+// that build the same artifact must have the same encoding).
+func (s *LayoutSpec) Validate() error {
+	zeroUnless := func(cond bool, name string, nonzero bool) error {
+		if !cond && nonzero {
+			return fmt.Errorf("wire: layout spec field %s is not used by family %v and must be zero", name, s.Family)
+		}
+		return nil
+	}
+	th := s.Family == FamilyThompson
+	st := s.Family == FamilyStack3D
+	hi := s.Family == FamilyHierarchy
+	co := s.Family == FamilyCollinear
+	if !th && !st && !hi && !co {
+		return fmt.Errorf("wire: unknown layout family %d", int(s.Family))
+	}
+	// Every numeric field is a count or a side length; negatives can
+	// never encode (the wire format is unsigned here), so reject them up
+	// front with a clearer error than marshal would give.
+	if s.N < 0 || s.Layers < 0 || s.NodeSide < 0 || s.SliceLayers < 0 ||
+		s.MaxPins < 0 || s.ChipSide < 0 {
+		return fmt.Errorf("wire: layout spec has negative fields")
+	}
+	for _, c := range []struct {
+		used    bool
+		name    string
+		nonzero bool
+	}{
+		{co || hi, "n", s.N != 0},
+		{th || st, "widths", len(s.Widths) != 0},
+		{th, "layers", s.Layers != 0},
+		{th, "multilayer", s.Multilayer},
+		{th, "nodeSide", s.NodeSide != 0},
+		{th, "noTrackReorder", s.NoTrackReorder},
+		{st, "sliceLayers", s.SliceLayers != 0},
+		{hi, "maxPins", s.MaxPins != 0},
+		{hi, "chipSide", s.ChipSide != 0},
+	} {
+		if err := zeroUnless(c.used, c.name, c.nonzero); err != nil {
+			return err
+		}
+	}
+	switch s.Family {
+	case FamilyCollinear:
+		if s.N < 2 {
+			return fmt.Errorf("wire: collinear layout needs n >= 2, got %d", s.N)
+		}
+	case FamilyThompson:
+		if len(s.Widths) < 1 || len(s.Widths) > 3 {
+			return fmt.Errorf("wire: thompson layout needs 1-3 group widths, got %d", len(s.Widths))
+		}
+		if s.Multilayer && s.Layers < 2 {
+			return fmt.Errorf("wire: multilayer layout needs layers >= 2, got %d", s.Layers)
+		}
+		if !s.Multilayer && s.Layers != 0 && s.Layers != 2 {
+			return fmt.Errorf("wire: the Thompson model has exactly 2 layers; set multilayer for layers=%d", s.Layers)
+		}
+	case FamilyStack3D:
+		if len(s.Widths) != 4 {
+			return fmt.Errorf("wire: stack3d layout needs exactly 4 group widths, got %d", len(s.Widths))
+		}
+		if s.SliceLayers < 2 {
+			return fmt.Errorf("wire: stack3d layout needs sliceLayers >= 2, got %d", s.SliceLayers)
+		}
+	case FamilyHierarchy:
+		if s.N < 1 {
+			return fmt.Errorf("wire: hierarchy design needs n >= 1, got %d", s.N)
+		}
+		if s.MaxPins < 1 {
+			return fmt.Errorf("wire: hierarchy design needs maxPins >= 1, got %d", s.MaxPins)
+		}
+		if s.ChipSide < 0 {
+			return fmt.Errorf("wire: hierarchy chipSide must be non-negative, got %d", s.ChipSide)
+		}
+	}
+	for i, w := range s.Widths {
+		if w < 1 || w > 62 {
+			return fmt.Errorf("wire: group width %d (index %d) outside [1,62]", w, i)
+		}
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *LayoutSpec) MarshalBinary() ([]byte, error) {
+	if s.Family < 0 || s.N < 0 || s.Layers < 0 || s.NodeSide < 0 ||
+		s.SliceLayers < 0 || s.MaxPins < 0 || s.ChipSide < 0 {
+		return nil, fmt.Errorf("wire: layout spec has negative fields")
+	}
+	if len(s.Widths) > maxSpecWidths {
+		return nil, fmt.Errorf("wire: layout spec has %d group widths, cap is %d", len(s.Widths), maxSpecWidths)
+	}
+	e := newEnc(TypeLayoutSpec, VersionLayoutSpec)
+	e.uint(int(s.Family))
+	e.uint(s.N)
+	e.uint(len(s.Widths))
+	for _, w := range s.Widths {
+		if w < 0 {
+			return nil, fmt.Errorf("wire: negative group width %d", w)
+		}
+		e.uint(w)
+	}
+	e.uint(s.Layers)
+	e.bool(s.Multilayer)
+	e.uint(s.NodeSide)
+	e.bool(s.NoTrackReorder)
+	e.uint(s.SliceLayers)
+	e.uint(s.MaxPins)
+	e.uint(s.ChipSide)
+	return e.buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *LayoutSpec) UnmarshalBinary(data []byte) error {
+	d := newDec(data, TypeLayoutSpec, VersionLayoutSpec)
+	var out LayoutSpec
+	out.Family = Family(d.uint())
+	out.N = d.uint()
+	count := d.listLen(1)
+	if d.err == nil && count > maxSpecWidths {
+		d.fail(fmt.Errorf("%w: %d group widths, cap is %d", ErrRange, count, maxSpecWidths))
+	}
+	for i := 0; i < count && d.err == nil; i++ {
+		out.Widths = append(out.Widths, d.uint())
+	}
+	out.Layers = d.uint()
+	out.Multilayer = d.bool()
+	out.NodeSide = d.uint()
+	out.NoTrackReorder = d.bool()
+	out.SliceLayers = d.uint()
+	out.MaxPins = d.uint()
+	out.ChipSide = d.uint()
+	if err := d.finish(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+// Extra is one named family-specific metric of a layout result.
+type Extra struct {
+	Name  string
+	Value int64
+}
+
+// LayoutResult is the wire form of a built layout: the measured
+// grid-model statistics plus family-specific extras (track counts,
+// block geometry, chip counts), sorted by name.
+type LayoutResult struct {
+	Family Family
+	Stats  grid.Stats
+	Extras []Extra
+}
+
+// Extra returns the named metric and whether it is present.
+func (r *LayoutResult) Extra(name string) (int64, bool) {
+	for _, x := range r.Extras {
+		if x.Name == name {
+			return x.Value, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Extras must be
+// strictly sorted by name.
+func (r *LayoutResult) MarshalBinary() ([]byte, error) {
+	if r.Family < 0 {
+		return nil, fmt.Errorf("wire: negative layout family")
+	}
+	st := r.Stats
+	for _, v := range []int{st.Width, st.Height, st.Layers, st.MaxWireLength, st.Wires, st.Nodes, st.Vias} {
+		if v < 0 {
+			return nil, fmt.Errorf("wire: negative layout stat")
+		}
+	}
+	if st.Area < 0 || st.Volume < 0 || st.TotalWireLength < 0 {
+		return nil, fmt.Errorf("wire: negative layout stat")
+	}
+	e := newEnc(TypeLayoutResult, VersionLayoutResult)
+	e.uint(int(r.Family))
+	e.uint(st.Width)
+	e.uint(st.Height)
+	e.uvarint(uint64(st.Area))
+	e.uvarint(uint64(st.Volume))
+	e.uint(st.Layers)
+	e.uint(st.MaxWireLength)
+	e.uvarint(uint64(st.TotalWireLength))
+	e.uint(st.Wires)
+	e.uint(st.Nodes)
+	e.uint(st.Vias)
+	e.uint(len(r.Extras))
+	for i, x := range r.Extras {
+		if i > 0 && r.Extras[i-1].Name >= x.Name {
+			return nil, fmt.Errorf("wire: layout extras not strictly sorted at %q", x.Name)
+		}
+		e.string(x.Name)
+		e.varint(x.Value)
+	}
+	return e.buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (r *LayoutResult) UnmarshalBinary(data []byte) error {
+	d := newDec(data, TypeLayoutResult, VersionLayoutResult)
+	var out LayoutResult
+	out.Family = Family(d.uint())
+	out.Stats.Width = d.uint()
+	out.Stats.Height = d.uint()
+	out.Stats.Area = int64(d.uvarint())
+	out.Stats.Volume = int64(d.uvarint())
+	out.Stats.Layers = d.uint()
+	out.Stats.MaxWireLength = d.uint()
+	out.Stats.TotalWireLength = int64(d.uvarint())
+	out.Stats.Wires = d.uint()
+	out.Stats.Nodes = d.uint()
+	out.Stats.Vias = d.uint()
+	if d.err == nil && (out.Stats.Area < 0 || out.Stats.Volume < 0 || out.Stats.TotalWireLength < 0) {
+		d.fail(fmt.Errorf("%w: layout stat overflows int64", ErrRange))
+	}
+	count := d.listLen(2)
+	for i := 0; i < count && d.err == nil; i++ {
+		name := d.string()
+		val := d.varint()
+		if d.err != nil {
+			break
+		}
+		if len(out.Extras) > 0 && out.Extras[len(out.Extras)-1].Name >= name {
+			d.fail(fmt.Errorf("%w: layout extras not strictly sorted at %q", ErrCanonical, name))
+			break
+		}
+		out.Extras = append(out.Extras, Extra{Name: name, Value: val})
+	}
+	if err := d.finish(); err != nil {
+		return err
+	}
+	*r = out
+	return nil
+}

@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"fmt"
+
+	"bfvlsi/internal/packaging"
+)
+
+// Variant selects a packaging construction. The numeric values are part
+// of the wire format: never renumber them.
+type Variant int
+
+// Packaging variants.
+const (
+	// VariantRow packages 2^k1 consecutive swap-butterfly rows per
+	// module (Section 2.3 variant a).
+	VariantRow Variant = 0
+	// VariantNucleus packages nucleus butterflies per module
+	// (Section 2.3 variant b, Theorem 2.1).
+	VariantNucleus Variant = 1
+	// VariantNaive packages consecutive plain-butterfly rows per
+	// module, the baseline the paper improves on.
+	VariantNaive Variant = 2
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantRow:
+		return "row"
+	case VariantNucleus:
+		return "nucleus"
+	case VariantNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// ParseVariant is the inverse of Variant.String.
+func ParseVariant(s string) (Variant, error) {
+	switch s {
+	case "row":
+		return VariantRow, nil
+	case "nucleus":
+		return VariantNucleus, nil
+	case "naive":
+		return VariantNaive, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown packaging variant %q (want row, nucleus, or naive)", s)
+	}
+}
+
+// PackagingSpec is the wire form of a packaging request: which variant
+// to apply to B_n. RowsPerModule is used only by the naive variant and
+// must be zero elsewhere.
+type PackagingSpec struct {
+	N             int
+	Variant       Variant
+	RowsPerModule int
+}
+
+// Validate checks the spec's invariants.
+func (s *PackagingSpec) Validate() error {
+	if s.N < 1 || s.N > 20 {
+		return fmt.Errorf("wire: packaging dimension %d out of range [1,20]", s.N)
+	}
+	switch s.Variant {
+	case VariantRow, VariantNucleus:
+		if s.RowsPerModule != 0 {
+			return fmt.Errorf("wire: rowsPerModule is not used by variant %v and must be zero", s.Variant)
+		}
+	case VariantNaive:
+		if s.RowsPerModule < 1 {
+			return fmt.Errorf("wire: naive packaging needs rowsPerModule >= 1, got %d", s.RowsPerModule)
+		}
+	default:
+		return fmt.Errorf("wire: unknown packaging variant %d", int(s.Variant))
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *PackagingSpec) MarshalBinary() ([]byte, error) {
+	if s.N < 0 || s.Variant < 0 || s.RowsPerModule < 0 {
+		return nil, fmt.Errorf("wire: packaging spec has negative fields")
+	}
+	e := newEnc(TypePackagingSpec, VersionPackagingSpec)
+	e.uint(s.N)
+	e.uint(int(s.Variant))
+	e.uint(s.RowsPerModule)
+	return e.buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *PackagingSpec) UnmarshalBinary(data []byte) error {
+	d := newDec(data, TypePackagingSpec, VersionPackagingSpec)
+	var out PackagingSpec
+	out.N = d.uint()
+	out.Variant = Variant(d.uint())
+	out.RowsPerModule = d.uint()
+	if err := d.finish(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+// PackagingPlan is the wire form of a computed partition: the module
+// assignment of every node plus the measured packaging statistics.
+type PackagingPlan struct {
+	Desc       string
+	NumModules int
+	ModuleOf   []int
+	Stats      packaging.Stats
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *PackagingPlan) MarshalBinary() ([]byte, error) {
+	if p.NumModules < 0 {
+		return nil, fmt.Errorf("wire: negative module count")
+	}
+	st := p.Stats
+	for _, v := range []int{st.NumModules, st.MinNodesPerModule, st.MaxNodesPerModule, st.MaxOffLinksPerModu, st.TotalCutLinks} {
+		if v < 0 {
+			return nil, fmt.Errorf("wire: negative packaging stat")
+		}
+	}
+	e := newEnc(TypePackagingPlan, VersionPackagingPlan)
+	e.string(p.Desc)
+	e.uint(p.NumModules)
+	e.uint(len(p.ModuleOf))
+	for i, m := range p.ModuleOf {
+		if m < 0 || m >= p.NumModules {
+			return nil, fmt.Errorf("wire: node %d assigned to module %d outside [0,%d)", i, m, p.NumModules)
+		}
+		e.uint(m)
+	}
+	e.uint(st.NumModules)
+	e.uint(st.MinNodesPerModule)
+	e.uint(st.MaxNodesPerModule)
+	e.uint(st.MaxOffLinksPerModu)
+	e.uint(st.TotalCutLinks)
+	e.float64(st.AvgOffLinksPerNode)
+	return e.buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *PackagingPlan) UnmarshalBinary(data []byte) error {
+	d := newDec(data, TypePackagingPlan, VersionPackagingPlan)
+	var out PackagingPlan
+	out.Desc = d.string()
+	out.NumModules = d.uint()
+	count := d.listLen(1)
+	if count > 0 {
+		out.ModuleOf = make([]int, 0, count)
+	}
+	for i := 0; i < count && d.err == nil; i++ {
+		m := d.uint()
+		if d.err != nil {
+			break
+		}
+		if m >= out.NumModules {
+			d.fail(fmt.Errorf("%w: node %d assigned to module %d outside [0,%d)", ErrCanonical, i, m, out.NumModules))
+			break
+		}
+		out.ModuleOf = append(out.ModuleOf, m)
+	}
+	out.Stats.NumModules = d.uint()
+	out.Stats.MinNodesPerModule = d.uint()
+	out.Stats.MaxNodesPerModule = d.uint()
+	out.Stats.MaxOffLinksPerModu = d.uint()
+	out.Stats.TotalCutLinks = d.uint()
+	out.Stats.AvgOffLinksPerNode = d.float64()
+	if err := d.finish(); err != nil {
+		return err
+	}
+	*p = out
+	return nil
+}

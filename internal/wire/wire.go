@@ -1,0 +1,318 @@
+// Package wire is the compact, versioned binary serialization layer for
+// the repository's reusable artifacts: butterfly graphs, layout specs
+// and results (collinear / thompson / stack3d / hierarchy), packaging
+// plans, fault plans, and routing results.
+//
+// Every message is framed as
+//
+//	byte 0-1  magic "BF"
+//	byte 2    type tag (one per marshalable type; see the Type constants)
+//	byte 3    format version of that type (currently 1 everywhere)
+//	byte 4-   body
+//
+// and the body is built from four primitives: minimal-length unsigned
+// varints, minimal-length zigzag varints, big-endian IEEE-754 float64s,
+// and length-prefixed byte strings. The encoding is canonical: a value
+// has exactly one valid byte representation. Decoders reject
+// non-minimal varints, NaN floats, out-of-order edge or extra lists,
+// trailing bytes, and over-long length prefixes, so for every type
+//
+//	Unmarshal(b) == nil  =>  Marshal(Unmarshal(b)) == b
+//
+// byte for byte. This is what makes the encoding safe to use as a
+// content address: internal/serve keys its artifact cache by the
+// SHA-256 of a spec's canonical encoding.
+//
+// Versioning and compatibility rules (see DESIGN.md section 9):
+//
+//   - The version byte is per type, not global. Adding a new field to a
+//     type bumps that type's version; all other types keep theirs.
+//   - Decoders accept exactly the versions they know and reject newer
+//     ones with ErrVersion - a v1 decoder never silently misreads v2
+//     bytes.
+//   - Type tags are never reused or renumbered; retired types leave a
+//     hole in the tag space.
+//   - Corrupt input must produce an error, never a panic; the fuzzers
+//     in fuzz_test.go enforce this.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Type tags. Never renumber or reuse these: the tag is part of every
+// persisted encoding.
+const (
+	TypeGraph         byte = 1
+	TypeLayoutSpec    byte = 2
+	TypeLayoutResult  byte = 3
+	TypePackagingSpec byte = 4
+	TypePackagingPlan byte = 5
+	TypeFaultSpec     byte = 6
+	TypeRouteSpec     byte = 7
+	TypeRouteResult   byte = 8
+	TypeSweepSpec     byte = 9
+)
+
+// Current format versions, one per type tag.
+const (
+	VersionGraph         byte = 1
+	VersionLayoutSpec    byte = 1
+	VersionLayoutResult  byte = 1
+	VersionPackagingSpec byte = 1
+	VersionPackagingPlan byte = 1
+	VersionFaultSpec     byte = 1
+	VersionRouteSpec     byte = 1
+	VersionRouteResult   byte = 1
+	VersionSweepSpec     byte = 1
+)
+
+// magic is the two-byte frame prefix of every wire message.
+var magic = [2]byte{'B', 'F'}
+
+// Sentinel decode errors; all decode failures wrap one of these.
+var (
+	// ErrTruncated marks input that ends before the structure does.
+	ErrTruncated = errors.New("wire: truncated input")
+	// ErrMagic marks input that does not start with the "BF" frame.
+	ErrMagic = errors.New("wire: bad magic")
+	// ErrType marks a frame whose type tag is not the decoder's.
+	ErrType = errors.New("wire: wrong type tag")
+	// ErrVersion marks a frame version this decoder does not know.
+	ErrVersion = errors.New("wire: unsupported version")
+	// ErrCanonical marks structurally readable input that is not the
+	// canonical encoding of any value (non-minimal varint, NaN float,
+	// unsorted list, trailing bytes, over-long length prefix).
+	ErrCanonical = errors.New("wire: non-canonical encoding")
+	// ErrRange marks a field whose decoded value is outside its
+	// representable range (e.g. an int field that overflows int).
+	ErrRange = errors.New("wire: value out of range")
+)
+
+// maxStringLen bounds every length-prefixed string; real descriptions
+// are tens of bytes.
+const maxStringLen = 1 << 16
+
+// ---- encoder ----
+
+// enc accumulates a canonical encoding. The zero value is ready to use
+// after header.
+type enc struct {
+	buf []byte
+}
+
+func newEnc(typ, version byte) *enc {
+	return &enc{buf: []byte{magic[0], magic[1], typ, version}}
+}
+
+func (e *enc) uvarint(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) varint(v int64)    { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) uint(v int)        { e.uvarint(uint64(v)) }
+func (e *enc) int(v int)         { e.varint(int64(v)) }
+func (e *enc) bool(v bool)       { e.buf = append(e.buf, boolByte(v)) }
+func (e *enc) float64(v float64) { e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(v)) }
+
+func (e *enc) string(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// ---- decoder ----
+
+// dec consumes a canonical encoding. The first error sticks; callers
+// check d.err once at the end (every getter returns a zero value after
+// an error).
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// header validates the frame and positions the decoder at the body.
+func newDec(data []byte, typ, version byte) *dec {
+	d := &dec{buf: data}
+	if len(data) < 4 {
+		d.err = fmt.Errorf("%w: %d-byte input is shorter than the 4-byte header", ErrTruncated, len(data))
+		return d
+	}
+	if data[0] != magic[0] || data[1] != magic[1] {
+		d.err = fmt.Errorf("%w: got %q", ErrMagic, data[:2])
+		return d
+	}
+	if data[2] != typ {
+		d.err = fmt.Errorf("%w: got tag %d, want %d", ErrType, data[2], typ)
+		return d
+	}
+	if data[3] != version {
+		d.err = fmt.Errorf("%w: got version %d, this decoder knows only %d", ErrVersion, data[3], version)
+		return d
+	}
+	d.off = 4
+	return d
+}
+
+func (d *dec) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *dec) rem() int { return len(d.buf) - d.off }
+
+// uvarint reads a minimal-length unsigned varint.
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("%w: unterminated or oversized uvarint at offset %d", ErrTruncated, d.off))
+		return 0
+	}
+	if n != uvarintLen(v) {
+		d.fail(fmt.Errorf("%w: non-minimal uvarint at offset %d", ErrCanonical, d.off))
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// varint reads a minimal-length zigzag varint.
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("%w: unterminated or oversized varint at offset %d", ErrTruncated, d.off))
+		return 0
+	}
+	zig := uint64(v) << 1
+	if v < 0 {
+		zig = ^zig
+	}
+	if n != uvarintLen(zig) {
+		d.fail(fmt.Errorf("%w: non-minimal varint at offset %d", ErrCanonical, d.off))
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// uint reads a non-negative value that must fit in int.
+func (d *dec) uint() int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(math.MaxInt) {
+		d.fail(fmt.Errorf("%w: %d overflows int", ErrRange, v))
+		return 0
+	}
+	return int(v)
+}
+
+// int reads a signed value that must fit in int.
+func (d *dec) int() int {
+	v := d.varint()
+	if d.err == nil && (v > math.MaxInt || v < math.MinInt) {
+		d.fail(fmt.Errorf("%w: %d overflows int", ErrRange, v))
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.rem() < 1 {
+		d.fail(fmt.Errorf("%w: missing bool at offset %d", ErrTruncated, d.off))
+		return false
+	}
+	b := d.buf[d.off]
+	if b > 1 {
+		d.fail(fmt.Errorf("%w: bool byte %d at offset %d", ErrCanonical, b, d.off))
+		return false
+	}
+	d.off++
+	return b == 1
+}
+
+func (d *dec) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.rem() < 8 {
+		d.fail(fmt.Errorf("%w: missing float64 at offset %d", ErrTruncated, d.off))
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.off:]))
+	if math.IsNaN(v) {
+		d.fail(fmt.Errorf("%w: NaN float64 at offset %d", ErrCanonical, d.off))
+		return 0
+	}
+	d.off += 8
+	return v
+}
+
+func (d *dec) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		d.fail(fmt.Errorf("%w: string length %d exceeds cap %d", ErrRange, n, maxStringLen))
+		return ""
+	}
+	if uint64(d.rem()) < n {
+		d.fail(fmt.Errorf("%w: string of %d bytes with only %d remaining", ErrTruncated, n, d.rem()))
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// listLen reads an element count and rejects counts that cannot fit in
+// the remaining bytes (every element occupies at least minBytes), so a
+// corrupt length prefix cannot force a huge allocation.
+func (d *dec) listLen(minBytes int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.rem()/minBytes) {
+		d.fail(fmt.Errorf("%w: list of %d elements cannot fit in %d remaining bytes", ErrTruncated, n, d.rem()))
+		return 0
+	}
+	return int(n)
+}
+
+// finish rejects trailing bytes and returns the sticky error.
+func (d *dec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.rem() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after the structure", ErrCanonical, d.rem())
+	}
+	return nil
+}
+
+// uvarintLen returns the minimal encoded length of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
