@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-alloc bench-json vet lint fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz serve
+.PHONY: all build test test-short race bench bench-alloc bench-json vet lint fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz serve sweep-resume
 
 all: build vet lint test
 
@@ -48,6 +48,16 @@ bench-json:
 serve:
 	$(GO) run ./cmd/bfserve
 
+# Resumable sweep-farm smoke: run a small farm twice over one journal;
+# the second invocation must replay every point from disk (header says
+# "N from journal") and print the identical table.
+sweep-resume:
+	rm -f /tmp/bfsweep-smoke.journal
+	$(GO) run ./cmd/bfsweep -n 4 -lambda 0.2 -warmup 30 -cycles 90 \
+		-rates 0.02,0.05 -faultseeds 1,2 -journal /tmp/bfsweep-smoke.journal
+	$(GO) run ./cmd/bfsweep -n 4 -lambda 0.2 -warmup 30 -cycles 90 \
+		-rates 0.02,0.05 -faultseeds 1,2 -journal /tmp/bfsweep-smoke.journal
+
 tables:
 	$(GO) run ./cmd/bftables
 
@@ -72,3 +82,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=30s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzRouteSpecRoundTrip -fuzztime=15s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzLayoutSpecRoundTrip -fuzztime=15s ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=30s ./internal/snapshot

@@ -342,6 +342,50 @@ func FaultSchemeFromPartition(name string, part *Partition, sb *SwapButterfly) (
 // ReliableStats summarizes what a reliable transport did during a run.
 type ReliableStats = reliable.Stats
 
+// RoutingSim is the stepwise form of the routing simulator: construct,
+// Step cycle by cycle, capture State mid-run, Finish for the result.
+// SimulateRouting remains the one-shot form; the stepwise form exists
+// for checkpoint/resume workflows (internal/snapshot, cmd/bfsweep).
+type RoutingSim = routing.Sim
+
+// NewRoutingSim constructs a stepwise simulator from the same
+// parameters as SimulateRoutingPattern.
+func NewRoutingSim(p RoutingParams, pattern Pattern) (*RoutingSim, error) {
+	return routing.NewSim(p, pattern)
+}
+
+// RoutingSimState is a captured mid-run simulator state: queues,
+// in-flight packets, RNG position, and conservation counters. Obtain
+// one from (*RoutingSim).State, rebuild with RestoreRoutingSim.
+type RoutingSimState = routing.SimState
+
+// PacketState is one in-flight packet of a captured RoutingSimState.
+type PacketState = routing.PacketState
+
+// RestoreRoutingSim rebuilds a running simulator from captured state;
+// the continuation is packet-for-packet identical to the original run.
+func RestoreRoutingSim(p RoutingParams, pattern Pattern, st *RoutingSimState) (*RoutingSim, error) {
+	return routing.RestoreSim(p, pattern, st)
+}
+
+// ReliableTransportState is a captured reliable-transport state
+// (sequence numbers, pending flows, retransmission timers, RNG
+// position); see (*ReliableTransport).State and RestoreState.
+type ReliableTransportState = reliable.State
+
+// ReliablePendingState is one unacknowledged flow of a captured
+// transport state.
+type ReliablePendingState = reliable.PendingState
+
+// ReliableTimerState is one pending retransmission timer of a captured
+// transport state.
+type ReliableTimerState = reliable.TimerState
+
+// AdaptiveRouterState is a captured adaptive-router state (breaker
+// counters, open links, dead-link map, epoch clock); see
+// (*AdaptiveRouter).State and RestoreState.
+type AdaptiveRouterState = adaptive.State
+
 // The panicking constructor conveniences stay internal: the facade
 // exposes only the error-returning forms.
 //

@@ -20,6 +20,8 @@ import (
 	"testing"
 
 	"bfvlsi/internal/routing"
+	"bfvlsi/internal/snapshot"
+	"bfvlsi/internal/wire"
 )
 
 // benchParams is the shared simulator configuration; it mirrors the
@@ -44,6 +46,17 @@ type simulatorResult struct {
 	Iterations     int     `json:"iterations"`
 }
 
+// checkpointResult is one simulator's measured checkpoint cost: the
+// time to capture the full mid-run state and serialize it, and the
+// serialized size. Capture happens at the end of warmup - the point
+// the sweep farm forks from - so the size reflects a realistically
+// loaded network.
+type checkpointResult struct {
+	NsPerCheckpoint float64 `json:"ns_per_checkpoint"`
+	Bytes           int     `json:"bytes"`
+	Iterations      int     `json:"iterations"`
+}
+
 // report is the BENCH_routing.json schema. Bump the schema string when
 // fields change meaning, so downstream diff tooling can tell.
 type report struct {
@@ -56,7 +69,8 @@ type report struct {
 		Seed        int64   `json:"seed"`
 		VCBufferCap int     `json:"vcBufferCap"`
 	} `json:"params"`
-	Simulators map[string]simulatorResult `json:"simulators"`
+	Simulators  map[string]simulatorResult  `json:"simulators"`
+	Checkpoints map[string]checkpointResult `json:"checkpoints"`
 }
 
 // options carries every flag value. Parsing and validation are pure:
@@ -120,12 +134,54 @@ func measure(bufferLimit int) (simulatorResult, error) {
 	}, nil
 }
 
+// measureCheckpoint warms a simulator up to the fork point and measures
+// the capture+marshal cost of one full-state checkpoint.
+func measureCheckpoint(bufferLimit int) (checkpointResult, error) {
+	p := benchParams(bufferLimit)
+	spec := snapshot.Spec{Route: wire.RouteSpec{
+		N:           p.N,
+		Lambda:      p.Lambda,
+		Warmup:      p.Warmup,
+		Cycles:      p.Cycles,
+		Seed:        p.Seed,
+		BufferLimit: p.BufferLimit,
+	}}
+	run, err := snapshot.Start(spec, nil)
+	if err != nil {
+		return checkpointResult{}, err
+	}
+	if err := run.StepTo(p.Warmup); err != nil {
+		return checkpointResult{}, err
+	}
+	var size int
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			data, err := run.Checkpoint().MarshalBinary()
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			size = len(data)
+		}
+	})
+	if benchErr != nil {
+		return checkpointResult{}, benchErr
+	}
+	return checkpointResult{
+		NsPerCheckpoint: float64(r.T.Nanoseconds()) / float64(r.N),
+		Bytes:           size,
+		Iterations:      r.N,
+	}, nil
+}
+
 // run executes every simulator benchmark and assembles the report.
 func run() (*report, error) {
 	const vcBufferCap = 4
 	rep := &report{
-		Schema:     "bfvlsi/bench-routing/v1",
-		Simulators: make(map[string]simulatorResult, 2),
+		Schema:      "bfvlsi/bench-routing/v1",
+		Simulators:  make(map[string]simulatorResult, 2),
+		Checkpoints: make(map[string]checkpointResult, 2),
 	}
 	p := benchParams(0)
 	rep.Params.N = p.N
@@ -146,6 +202,11 @@ func run() (*report, error) {
 			return nil, fmt.Errorf("%s simulator: %w", sim.name, err)
 		}
 		rep.Simulators[sim.name] = res
+		ck, err := measureCheckpoint(sim.bufferLimit)
+		if err != nil {
+			return nil, fmt.Errorf("%s checkpoint: %w", sim.name, err)
+		}
+		rep.Checkpoints[sim.name] = ck
 	}
 	return rep, nil
 }

@@ -61,11 +61,20 @@ func TestMeasureAndReport(t *testing.T) {
 			t.Fatalf("%s: negative memory metrics %+v", name, res)
 		}
 	}
+	for _, name := range []string{"plain", "vc"} {
+		ck, ok := rep.Checkpoints[name]
+		if !ok {
+			t.Fatalf("report is missing the %s checkpoint cost", name)
+		}
+		if ck.NsPerCheckpoint <= 0 || ck.Bytes <= 0 || ck.Iterations < 1 {
+			t.Fatalf("%s: implausible checkpoint result %+v", name, ck)
+		}
+	}
 	data, err := json.Marshal(rep)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{`"schema"`, `"params"`, `"simulators"`, `"ns_per_cycle"`, `"allocs_per_cycle"`} {
+	for _, field := range []string{`"schema"`, `"params"`, `"simulators"`, `"ns_per_cycle"`, `"allocs_per_cycle"`, `"checkpoints"`, `"ns_per_checkpoint"`} {
 		if !strings.Contains(string(data), field) {
 			t.Fatalf("JSON report is missing %s: %s", field, data)
 		}

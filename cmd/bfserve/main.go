@@ -1,26 +1,39 @@
 // Command bfserve runs the layout-and-routing query daemon: an
 // HTTP/JSON front end over the repository's layout constructions,
-// packaging partitions, and routing simulations, with a
-// content-addressed artifact cache (see internal/serve).
+// packaging partitions, routing simulations, and checkpoint/what-if
+// queries, with a content-addressed artifact cache (see internal/serve).
 //
 // Usage:
 //
 //	bfserve                         # listen on :8417
 //	bfserve -addr 127.0.0.1:9000    # explicit listen address
-//	bfserve -cache 1024             # artifact cache capacity
+//	bfserve -cache 1024             # artifact cache capacity, entries
+//	bfserve -cachebytes 33554432    # artifact cache body budget, bytes
 //	bfserve -timeout 30s            # per-request handling deadline
 //	bfserve -maxdim 10              # cap accepted butterfly dimensions
+//	bfserve -drain 15s              # graceful-shutdown drain deadline
 //
-// Endpoints: POST /v1/layout, /v1/packaging, /v1/route, /v1/faultsweep;
-// GET /healthz, /statsz. Responses carry X-Bfserve-Key (the artifact's
-// content address) and X-Bfserve-Cache (hit or miss).
+// Endpoints: POST /v1/layout, /v1/packaging, /v1/route, /v1/faultsweep,
+// /v1/checkpoint, /v1/whatif; GET /healthz, /statsz. Responses carry
+// X-Bfserve-Key (the artifact's content address) and X-Bfserve-Cache
+// (hit or miss).
+//
+// On SIGINT or SIGTERM the daemon stops accepting connections and
+// drains in-flight requests for up to the -drain deadline, then exits 0
+// on a clean drain and 1 if the deadline expired with requests still
+// running.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bfvlsi/internal/serve"
@@ -30,10 +43,12 @@ import (
 // exits, no prints): main turns a validation error into the exit-2
 // usage path, and the tests drive the same code with table argv lists.
 type options struct {
-	addr    string
-	cache   int
-	timeout time.Duration
-	maxDim  int
+	addr       string
+	cache      int
+	cacheBytes int64
+	timeout    time.Duration
+	maxDim     int
+	drain      time.Duration
 }
 
 // newOptions registers every flag on the given set.
@@ -41,8 +56,11 @@ func newOptions(set *flag.FlagSet) *options {
 	o := &options{}
 	set.StringVar(&o.addr, "addr", ":8417", "listen address")
 	set.IntVar(&o.cache, "cache", serve.DefaultCacheEntries, "artifact cache capacity, entries")
+	set.Int64Var(&o.cacheBytes, "cachebytes", serve.DefaultCacheBytes,
+		"artifact cache body budget, bytes (negative = entry bound only)")
 	set.DurationVar(&o.timeout, "timeout", 60*time.Second, "per-request handling deadline (0 = none)")
 	set.IntVar(&o.maxDim, "maxdim", serve.DefaultMaxDim, "largest accepted butterfly dimension")
+	set.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain deadline")
 	return o
 }
 
@@ -68,11 +86,17 @@ func (o *options) validate() error {
 	if o.cache < 1 {
 		return fmt.Errorf("-cache %d must be at least 1", o.cache)
 	}
+	if o.cacheBytes == 0 {
+		return fmt.Errorf("-cachebytes 0 is ambiguous: give a budget or a negative value for no byte bound")
+	}
 	if o.timeout < 0 {
 		return fmt.Errorf("-timeout %v is negative", o.timeout)
 	}
 	if o.maxDim < 1 || o.maxDim > 14 {
 		return fmt.Errorf("-maxdim %d out of range [1,14]", o.maxDim)
+	}
+	if o.drain <= 0 {
+		return fmt.Errorf("-drain %v must be positive", o.drain)
 	}
 	return nil
 }
@@ -81,6 +105,7 @@ func (o *options) validate() error {
 func (o *options) server() *serve.Server {
 	return serve.New(serve.Config{
 		CacheEntries: o.cache,
+		CacheBytes:   o.cacheBytes,
 		MaxDim:       o.maxDim,
 		Timeout:      o.timeout,
 		// The daemon is where determinism ends and operations begin:
@@ -90,10 +115,52 @@ func (o *options) server() *serve.Server {
 	})
 }
 
-func usageError(set *flag.FlagSet, err error) {
-	fmt.Fprintln(os.Stderr, "bfserve:", err)
-	set.Usage()
-	os.Exit(2)
+// run listens, serves, and drains on the first signal. ready (if
+// non-nil) receives the bound address once the listener is up, so tests
+// can use ":0". The return value is the process exit code: 0 for a
+// clean drain, 1 for listen/serve failures or a blown drain deadline.
+func run(o *options, ready chan<- string, sigs <-chan os.Signal, stdout, stderr io.Writer) int {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "bfserve:", err)
+		return 1
+	}
+	// Every request context descends from rootCtx: when the drain
+	// deadline passes, cancelling it tells still-running handlers their
+	// client is gone, on top of the per-request TimeoutHandler deadline.
+	rootCtx, cancelRoot := context.WithCancel(context.Background())
+	defer cancelRoot()
+	srv := &http.Server{
+		Handler:           o.server().Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return rootCtx },
+	}
+	drained := make(chan int, 1)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(stdout, "bfserve: %v: draining in-flight requests (up to %v)\n", sig, o.drain)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drain)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		cancelRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "bfserve: drain deadline exceeded:", err)
+			drained <- 1
+			return
+		}
+		fmt.Fprintln(stdout, "bfserve: drained cleanly")
+		drained <- 0
+	}()
+	fmt.Fprintf(stdout, "bfserve listening on %s (cache %d entries / %d bytes, maxdim %d)\n",
+		ln.Addr(), o.cache, o.cacheBytes, o.maxDim)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(stderr, "bfserve:", err)
+		return 1
+	}
+	return <-drained
 }
 
 func main() {
@@ -101,16 +168,11 @@ func main() {
 	o := newOptions(set)
 	_ = set.Parse(os.Args[1:])
 	if err := o.validate(); err != nil {
-		usageError(set, err)
-	}
-	srv := &http.Server{
-		Addr:              o.addr,
-		Handler:           o.server().Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	fmt.Printf("bfserve listening on %s (cache %d entries, maxdim %d)\n", o.addr, o.cache, o.maxDim)
-	if err := srv.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, "bfserve:", err)
-		os.Exit(1)
+		set.Usage()
+		os.Exit(2)
 	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(o, nil, sigs, os.Stdout, os.Stderr))
 }

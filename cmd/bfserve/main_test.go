@@ -1,8 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestParseOptions(t *testing.T) {
@@ -16,12 +23,18 @@ func TestParseOptions(t *testing.T) {
 		{"cache and timeout", []string{"-cache", "16", "-timeout", "5s"}, ""},
 		{"timeout off", []string{"-timeout", "0"}, ""},
 		{"maxdim bounds", []string{"-maxdim", "14"}, ""},
+		{"byte budget", []string{"-cachebytes", "4096"}, ""},
+		{"byte bound off", []string{"-cachebytes", "-1"}, ""},
+		{"drain tuned", []string{"-drain", "1s"}, ""},
 		{"empty addr", []string{"-addr", ""}, "-addr must not be empty"},
 		{"zero cache", []string{"-cache", "0"}, "must be at least 1"},
 		{"negative cache", []string{"-cache", "-3"}, "must be at least 1"},
+		{"zero cachebytes", []string{"-cachebytes", "0"}, "ambiguous"},
 		{"negative timeout", []string{"-timeout", "-1s"}, "is negative"},
 		{"maxdim zero", []string{"-maxdim", "0"}, "out of range [1,14]"},
 		{"maxdim huge", []string{"-maxdim", "15"}, "out of range [1,14]"},
+		{"zero drain", []string{"-drain", "0"}, "must be positive"},
+		{"negative drain", []string{"-drain", "-2s"}, "must be positive"},
 		{"unknown flag", []string{"-port", "80"}, "flag provided but not defined"},
 	}
 	for _, c := range cases {
@@ -53,5 +66,136 @@ func TestServerConstruction(t *testing.T) {
 	}
 	if o.server() == nil {
 		t.Fatal("server construction returned nil")
+	}
+}
+
+// startRun launches run on an ephemeral port and returns the bound
+// address, the injectable signal channel, and a channel yielding the
+// exit code.
+func startRun(t *testing.T, args ...string) (addr string, sigs chan os.Signal, exit <-chan int, out *bytes.Buffer) {
+	t.Helper()
+	o, err := parseOptions(append([]string{"-addr", "127.0.0.1:0"}, args...))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ready := make(chan string, 1)
+	sigs = make(chan os.Signal, 1)
+	code := make(chan int, 1)
+	out = &bytes.Buffer{}
+	var errBuf bytes.Buffer
+	go func() { code <- run(o, ready, sigs, out, &errBuf) }()
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("listener never came up; stderr: %s", errBuf.String())
+	}
+	return addr, sigs, code, out
+}
+
+// TestRunGracefulShutdown serves a real request, sends SIGINT through
+// the injected channel, and expects a clean exit 0 with no further
+// connections accepted.
+func TestRunGracefulShutdown(t *testing.T) {
+	addr, sigs, exit, out := startRun(t, "-drain", "5s")
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz returned %d %q", resp.StatusCode, body)
+	}
+
+	// A real query too, so the drain path has seen traffic.
+	req := strings.NewReader(`{"family":"collinear","n":8}`)
+	resp, err = http.Post("http://"+addr+"/v1/layout", "application/json", req)
+	if err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("layout returned %d", resp.StatusCode)
+	}
+
+	sigs <- os.Interrupt
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0; output:\n%s", code, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGINT")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("missing drain confirmation:\n%s", out.String())
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("listener still accepting connections after shutdown")
+	}
+}
+
+// TestRunListenFailure occupies a port and expects run to exit 1
+// immediately when it cannot listen.
+func TestRunListenFailure(t *testing.T) {
+	addr, sigs, exit, _ := startRun(t)
+	defer func() {
+		sigs <- os.Interrupt
+		<-exit
+	}()
+
+	o, err := parseOptions([]string{"-addr", addr})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run(o, nil, make(chan os.Signal), &out, &errBuf); code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	if errBuf.Len() == 0 {
+		t.Fatal("listen failure produced no diagnostic")
+	}
+}
+
+// TestRunCacheBytesWired confirms the -cachebytes flag reaches the
+// server: a one-byte budget forces evictions visible in /statsz.
+func TestRunCacheBytesWired(t *testing.T) {
+	addr, sigs, exit, _ := startRun(t, "-cachebytes", "1")
+	defer func() {
+		sigs <- os.Interrupt
+		<-exit
+	}()
+
+	for n := 7; n <= 8; n++ {
+		req := strings.NewReader(fmt.Sprintf(`{"family":"collinear","n":%d}`, n))
+		resp, err := http.Post("http://"+addr+"/v1/layout", "application/json", req)
+		if err != nil {
+			t.Fatalf("layout n=%d: %v", n, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("layout n=%d returned %d", n, resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get("http://" + addr + "/statsz")
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		CacheByteCapacity int64 `json:"cacheByteCapacity"`
+		CacheEvictions    int64 `json:"cacheEvictions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode statsz: %v", err)
+	}
+	if stats.CacheByteCapacity != 1 {
+		t.Fatalf("cacheByteCapacity %d, want 1", stats.CacheByteCapacity)
+	}
+	if stats.CacheEvictions < 2 {
+		t.Fatalf("cacheEvictions %d, want >= 2", stats.CacheEvictions)
 	}
 }

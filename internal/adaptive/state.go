@@ -1,0 +1,72 @@
+package adaptive
+
+import "fmt"
+
+// Mid-run state export and restore, the router's half of the
+// checkpoint contract (see routing.SimState). Only learned state is
+// serialized: the probe phases and link targets are a pure function of
+// (Config, n, rows) and are re-derived by Reset, which also consumes
+// all the randomness the router will ever draw — so a restored router
+// needs no RNG position at all.
+
+// State is a router's complete learned mid-run state.
+type State struct {
+	N, Rows int
+	// Cycle is the last BeginCycle value seen.
+	Cycle int
+	// Consec and Open are the per-directed-link breaker state; MapDead
+	// and HaveMap the disseminated link-state snapshot.
+	Consec  []int
+	Open    []bool
+	MapDead []bool
+	HaveMap bool
+	// Stats are the learning counters (OpenAtEnd is derived at read
+	// time and ignored here).
+	Stats Stats
+}
+
+// State exports the router's learned state. The result shares no
+// memory with the router.
+func (r *Router) State() *State {
+	return &State{
+		N: r.n, Rows: r.rows, Cycle: r.cycle,
+		Consec:  append([]int(nil), r.consec...),
+		Open:    append([]bool(nil), r.open...),
+		MapDead: append([]bool(nil), r.mapDead...),
+		HaveMap: r.haveMap,
+		Stats:   r.stats,
+	}
+}
+
+// RestoreState resets the router for st's geometry (re-deriving probe
+// phases and targets from the Config) and overwrites the learned state
+// with st, validating it first. The router's Config must be the one
+// the state was captured under for the continuation to be exact.
+func (r *Router) RestoreState(st *State) error {
+	if st.N < 1 || st.N > 14 || st.Rows != 1<<uint(st.N) {
+		return fmt.Errorf("adaptive: restore geometry n=%d rows=%d invalid", st.N, st.Rows)
+	}
+	links := st.N * st.Rows * 2
+	if len(st.Consec) != links || len(st.Open) != links || len(st.MapDead) != links {
+		return fmt.Errorf("adaptive: restore state sized %d/%d/%d links, want %d",
+			len(st.Consec), len(st.Open), len(st.MapDead), links)
+	}
+	for _, c := range st.Consec {
+		if c < 0 {
+			return fmt.Errorf("adaptive: restore negative failure streak")
+		}
+	}
+	if st.Cycle < 0 || st.Stats.Opened < 0 || st.Stats.Reclosed > st.Stats.Opened ||
+		st.Stats.Probes < 0 || st.Stats.ProbesAlive > st.Stats.Probes || st.Stats.Epochs < 0 {
+		return fmt.Errorf("adaptive: restore counters inconsistent: %+v", st.Stats)
+	}
+	r.Reset(st.N, st.Rows)
+	r.cycle = st.Cycle
+	copy(r.consec, st.Consec)
+	copy(r.open, st.Open)
+	copy(r.mapDead, st.MapDead)
+	r.haveMap = st.HaveMap
+	r.stats = st.Stats
+	r.stats.OpenAtEnd = 0
+	return nil
+}

@@ -1,0 +1,69 @@
+// Package detrng wraps math/rand's seeded source with a draw counter,
+// making a random stream's position serializable. The simulators'
+// determinism contract says every run is a pure function of (params,
+// seed); a checkpoint therefore does not need to serialize the opaque
+// generator state at all — it records the seed and how many values have
+// been drawn, and a restore re-seeds and fast-forwards. Replay cost is
+// linear in the position, which is trivial next to re-simulating the
+// cycles that consumed those draws.
+//
+// The wrapper is stream-transparent: a *rand.Rand built over a Source
+// produces exactly the byte-for-byte value sequence of
+// rand.New(rand.NewSource(seed)). Both Int63 and Uint64 delegate to the
+// underlying rngSource, whose two methods advance the same internal
+// state by exactly one step each, so a single counter positions the
+// stream regardless of which mix of methods consumed it.
+package detrng
+
+import "math/rand"
+
+// Source is a seeded rand.Source64 that counts its draws. Create with
+// New or Restore; the zero value is not usable.
+type Source struct {
+	seed  int64
+	draws uint64
+	inner rand.Source64
+}
+
+// New returns a counted source seeded with seed, positioned at draw 0.
+func New(seed int64) *Source {
+	return &Source{seed: seed, inner: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Restore returns a counted source seeded with seed and fast-forwarded
+// past the first draws values: the position a checkpoint recorded.
+func Restore(seed int64, draws uint64) *Source {
+	s := New(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.inner.Uint64()
+	}
+	s.draws = draws
+	return s
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.inner.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.inner.Uint64()
+}
+
+// Seed implements rand.Source: it re-seeds and rewinds the counter.
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.inner.Seed(seed)
+}
+
+// SeedValue returns the seed the stream was created from.
+func (s *Source) SeedValue() int64 { return s.seed }
+
+// Draws returns the stream position: the number of values drawn since
+// seeding. Restore(s.SeedValue(), s.Draws()) reproduces the source's
+// exact state.
+func (s *Source) Draws() uint64 { return s.draws }

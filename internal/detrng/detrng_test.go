@@ -1,0 +1,77 @@
+package detrng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStreamTransparent pins the wrapper's core contract: a *rand.Rand
+// over a counted Source yields exactly the stream of a bare seeded
+// source, across the method mix the simulators use.
+func TestStreamTransparent(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7} {
+		want := rand.New(rand.NewSource(seed))
+		got := rand.New(New(seed))
+		for i := 0; i < 2000; i++ {
+			switch i % 4 {
+			case 0:
+				if w, g := want.Float64(), got.Float64(); w != g {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, g, w)
+				}
+			case 1:
+				if w, g := want.Intn(97), got.Intn(97); w != g {
+					t.Fatalf("seed %d draw %d: Intn %v != %v", seed, i, g, w)
+				}
+			case 2:
+				if w, g := want.Int63(), got.Int63(); w != g {
+					t.Fatalf("seed %d draw %d: Int63 %v != %v", seed, i, g, w)
+				}
+			case 3:
+				if w, g := want.Uint64(), got.Uint64(); w != g {
+					t.Fatalf("seed %d draw %d: Uint64 %v != %v", seed, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestRestoreResumesExactly checks that Restore(seed, draws) continues
+// the stream exactly where the original left off, for positions reached
+// through an arbitrary mix of draw methods.
+func TestRestoreResumesExactly(t *testing.T) {
+	src := New(42)
+	rng := rand.New(src)
+	for i := 0; i < 1234; i++ {
+		if i%3 == 0 {
+			rng.Float64()
+		} else {
+			rng.Intn(1000)
+		}
+	}
+	seed, draws := src.SeedValue(), src.Draws()
+
+	resumed := rand.New(Restore(seed, draws))
+	for i := 0; i < 500; i++ {
+		if w, g := rng.Float64(), resumed.Float64(); w != g {
+			t.Fatalf("draw %d after restore: %v != %v", i, g, w)
+		}
+	}
+}
+
+// TestSeedRewindsCounter checks Seed resets the position.
+func TestSeedRewindsCounter(t *testing.T) {
+	src := New(1)
+	rand.New(src).Intn(100)
+	if src.Draws() == 0 {
+		t.Fatal("draws not counted")
+	}
+	src.Seed(9)
+	if src.Draws() != 0 || src.SeedValue() != 9 {
+		t.Fatalf("Seed did not rewind: draws=%d seed=%d", src.Draws(), src.SeedValue())
+	}
+	want := rand.New(rand.NewSource(9))
+	got := rand.New(src)
+	if want.Int63() != got.Int63() {
+		t.Fatal("re-seeded stream diverges")
+	}
+}

@@ -69,6 +69,17 @@ var servicePackages = map[string]bool{
 	modulePath + "/cmd/bfserve":    true,
 }
 
+// checkpointPackages extend the determinism contract to the
+// snapshot/resume layer: a checkpoint restore is only byte-identical to
+// the uninterrupted run if capture and restore are pure functions of
+// the serialized state, and the sweep farm's journal replay inherits
+// the same obligation point by point.
+var checkpointPackages = map[string]bool{
+	modulePath + "/internal/snapshot":  true,
+	modulePath + "/internal/sweepfarm": true,
+	modulePath + "/cmd/bfsweep":        true,
+}
+
 // layoutPackages are the closed-form arithmetic packages bound by the
 // overflow contract: their formulas (⌊N²/4⌋ tracks, area N²/log₂²N, 2ⁿ
 // rows) overflow int for unguarded inputs.
@@ -103,7 +114,7 @@ func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
 		return nil
 	}
 	var out []*analysis.Analyzer
-	if simulatorPackages[pkgPath] || servicePackages[pkgPath] {
+	if simulatorPackages[pkgPath] || servicePackages[pkgPath] || checkpointPackages[pkgPath] {
 		out = append(out, detrand.Analyzer)
 	}
 	// The map-order, conservation, hot-path, and sweep-ownership
@@ -122,7 +133,8 @@ func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
 	if strings.HasPrefix(pkgPath, modulePath+"/cmd/") ||
 		strings.HasPrefix(pkgPath, modulePath+"/examples/") ||
 		strings.HasPrefix(pkgPath, modulePath+"/internal/experiments") ||
-		pkgPath == modulePath+"/internal/serve" {
+		pkgPath == modulePath+"/internal/serve" ||
+		pkgPath == modulePath+"/internal/sweepfarm" {
 		out = append(out, errflush.Analyzer)
 	}
 	return out

@@ -30,6 +30,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"bfvlsi/internal/detrng"
 	"bfvlsi/internal/routing"
 )
 
@@ -127,7 +128,10 @@ type Transport struct {
 	ready     []uint64         // timers fired, emission pending
 	accepted  map[uint64]struct{}
 	abandoned map[uint64]struct{}
-	rng       *rand.Rand
+	// src counts the jitter draws so a checkpoint can record the RNG
+	// stream position (see internal/detrng); rng wraps it.
+	src *detrng.Source
+	rng *rand.Rand
 
 	registered, acceptedN, abandonedN int
 	latencies                         []int
@@ -165,7 +169,8 @@ func (t *Transport) Reset(nodes int) {
 	t.ready = t.ready[:0]
 	t.accepted = make(map[uint64]struct{})
 	t.abandoned = make(map[uint64]struct{})
-	t.rng = rand.New(rand.NewSource(t.cfg.Seed))
+	t.src = detrng.New(t.cfg.Seed)
+	t.rng = rand.New(t.src)
 	t.registered, t.acceptedN, t.abandonedN = 0, 0, 0
 	t.latencies = t.latencies[:0]
 }

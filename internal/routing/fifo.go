@@ -36,6 +36,11 @@ func newFifos[T any](n, capEach int) []fifo[T] {
 
 func (f *fifo[T]) len() int { return len(f.buf) - f.head }
 
+// items returns the live elements in FIFO order, head first. The slice
+// aliases the backing array: callers must not retain it across queue
+// mutations.
+func (f *fifo[T]) items() []T { return f.buf[f.head:] }
+
 // front returns the head element without removing it. The queue must
 // be non-empty.
 func (f *fifo[T]) front() T { return f.buf[f.head] }

@@ -18,7 +18,6 @@ package routing
 import (
 	"fmt"
 	"io"
-	"math/rand"
 )
 
 // Params configures one simulation run.
@@ -203,354 +202,11 @@ func Simulate(p Params) (*Result, error) {
 }
 
 func simulate(p Params, pattern Pattern) (*Result, error) {
-	if p.BufferLimit > 0 {
-		return simulateVC(p, pattern)
+	s, err := NewSim(p, pattern)
+	if err != nil {
+		return nil, err
 	}
-	if p.N < 1 || p.N > 14 {
-		return nil, fmt.Errorf("routing: dimension %d out of range [1,14]", p.N)
-	}
-	if p.Lambda < 0 || p.Lambda > 1 {
-		return nil, fmt.Errorf("routing: lambda %v out of [0,1]", p.Lambda)
-	}
-	if p.Cycles <= 0 {
-		return nil, fmt.Errorf("routing: need positive measured cycles")
-	}
-	n := p.N
-	rows := 1 << uint(n)
-	nodes := n * rows
-	if p.ModuleOf != nil && len(p.ModuleOf) != nodes {
-		return nil, fmt.Errorf("routing: ModuleOf has %d entries, want %d", len(p.ModuleOf), nodes)
-	}
-	rng := rand.New(rand.NewSource(p.Seed))
-
-	// queues[node*2 + 0] straight, +1 cross. 16 slots of head-start
-	// capacity per queue keeps steady-state growth (and its
-	// allocations) out of the measured hot loop at moderate loads.
-	queues := newFifos[packet](nodes*2, 16)
-	id := func(row, col int) int { return col*rows + row }
-	if p.Reliable != nil {
-		p.Reliable.Reset(nodes)
-	}
-	if p.Adaptive != nil {
-		p.Adaptive.Reset(n, rows)
-	}
-
-	res := &Result{Nodes: nodes}
-	var latSum, hopSum float64
-	var latCount int
-	var crossings int64
-
-	total := p.Warmup + p.Cycles
-	if p.Trace != nil {
-		if _, err := fmt.Fprintln(p.Trace, "cycle,injected,delivered,backlog"); err != nil {
-			return nil, err
-		}
-	}
-	// Phase-2 scratch, hoisted: reset to length zero each cycle, the
-	// backing array reaches its high-water capacity once and is reused.
-	arrivals := make([]arrival, 0, 2*nodes)
-	//bflint:hotpath
-	for cycle := 0; cycle < total; cycle++ {
-		measured := cycle >= p.Warmup
-		if p.Faults != nil {
-			p.Faults.BeginCycle(cycle)
-		}
-		if p.Reliable != nil {
-			p.Reliable.BeginCycle(cycle)
-		}
-		if p.Adaptive != nil {
-			p.Adaptive.BeginCycle(cycle)
-			runProbes(p.Adaptive, p.Faults)
-		}
-		// Phase 1: injections.
-		for row := 0; row < rows; row++ {
-			for col := 0; col < n; col++ {
-				if p.Faults != nil && p.Faults.NodeDown(id(row, col)) {
-					continue // dead nodes do not inject
-				}
-				if rng.Float64() >= p.Lambda {
-					continue
-				}
-				dr, dc, derr := destFor(pattern, n, rows, row, col, rng)
-				if derr != nil {
-					return nil, derr
-				}
-				pk := packet{
-					dstRow:  dr,
-					dstCol:  dc,
-					born:    cycle,
-					blocked: -1,
-				}
-				if measured {
-					res.Injected++
-				}
-				res.TotalInjected++
-				if pk.dstRow == row && pk.dstCol == col {
-					// Delivered in place: no copy enters the network, so
-					// no duplicate can ever exist and the payload needs
-					// no reliable-transport state.
-					res.TotalDelivered++
-					if measured {
-						res.Delivered++
-					}
-					continue
-				}
-				if p.Adaptive != nil && p.Adaptive.RejectDest(id(dr, dc)) {
-					// The source's own disseminated link-state map calls
-					// the destination unreachable: refuse locally, before
-					// any transport state exists - no retries to burn.
-					res.Unreachable++
-					res.UnreachableDetected++
-					continue
-				}
-				if p.Faults != nil && p.Faults.NodeDown(id(dr, dc)) {
-					if p.Reliable != nil {
-						// The source cannot know the destination is dead:
-						// the payload is registered and its retries burn
-						// budget against the void until it is abandoned.
-						p.Reliable.Register(cycle, id(row, col), id(dr, dc))
-					}
-					res.Unreachable++
-					res.UnreachableDead++
-					continue
-				}
-				if destCut(p.Faults, n, rows, dr, dc) {
-					// Every link into the destination is dead: the packet
-					// could only wander until its TTL - or, with TTL 0,
-					// forever. Refuse it at injection instead; as with a
-					// dead node the source cannot know, so the payload is
-					// still registered and its retries burn budget.
-					if p.Reliable != nil {
-						p.Reliable.Register(cycle, id(row, col), id(dr, dc))
-					}
-					res.Unreachable++
-					res.UnreachableCut++
-					continue
-				}
-				if p.Reliable != nil {
-					pk.rid = p.Reliable.Register(cycle, id(row, col), id(dr, dc))
-				}
-				out, drop, mis, det := route(&pk, row, col, rows, &p)
-				if drop {
-					res.Dropped++
-					continue
-				}
-				if mis {
-					res.Misroutes++
-				}
-				if det {
-					res.Detours++
-				}
-				q := id(row, col)*2 + out
-				queues[q].push(pk)
-			}
-		}
-		// Phase 1b: retransmissions due this cycle re-enter at their
-		// source, after fresh traffic (fresh injections keep priority).
-		if p.Reliable != nil {
-			for _, c := range p.Reliable.Retransmissions(cycle) {
-				srcRow, srcCol := c.Src%rows, c.Src/rows
-				if p.Faults != nil && p.Faults.NodeDown(c.Src) {
-					p.Reliable.Deferred(c.ID) // dead sources cannot resend
-					continue
-				}
-				p.Reliable.Emitted(c.ID, cycle)
-				res.Retransmitted++
-				if p.Adaptive != nil && p.Adaptive.RejectDest(c.Dst) {
-					res.Unreachable++
-					res.UnreachableDetected++
-					continue
-				}
-				if p.Faults != nil && p.Faults.NodeDown(c.Dst) {
-					res.Unreachable++
-					res.UnreachableDead++
-					continue
-				}
-				if destCut(p.Faults, n, rows, c.Dst%rows, c.Dst/rows) {
-					res.Unreachable++
-					res.UnreachableCut++
-					continue
-				}
-				pk := packet{dstRow: c.Dst % rows, dstCol: c.Dst / rows, born: cycle, rid: c.ID, blocked: -1}
-				out, drop, mis, det := route(&pk, srcRow, srcCol, rows, &p)
-				if drop {
-					res.Dropped++
-					continue
-				}
-				if mis {
-					res.Misroutes++
-				}
-				if det {
-					res.Detours++
-				}
-				q := c.Src*2 + out
-				queues[q].push(pk)
-			}
-		}
-		// Phase 1c: re-planning. The adaptive router re-examines the head of
-		// every queue; a head whose link the router has since condemned is
-		// moved to the node's other output queue instead of stalling until
-		// the breaker re-closes. Only heads move: packets behind them follow
-		// on later cycles if the condemnation persists. Choose is
-		// deterministic within a cycle, so a moved head re-examined at its
-		// new queue re-chooses the same output - no ping-pong.
-		if p.Adaptive != nil {
-			for node := 0; node < nodes; node++ {
-				row, col := node%rows, node/rows
-				for out := 0; out < 2; out++ {
-					q := node*2 + out
-					if queues[q].len() == 0 {
-						continue
-					}
-					pk := queues[q].front()
-					d := p.Adaptive.Choose(Hop{
-						Node:    node,
-						Want:    plannedOut(pk, row, col),
-						Dst:     pk.dstCol*rows + pk.dstRow,
-						Detours: pk.detours,
-						Blocked: pk.blocked,
-					})
-					if d.Out == out {
-						continue
-					}
-					pk.blocked = d.Blocked
-					if d.Deliberate {
-						pk.detours++
-					}
-					if d.Detour {
-						res.Detours++
-					}
-					res.Reroutes++
-					queues[q].pop()
-					nq := node*2 + d.Out
-					queues[nq].push(pk)
-				}
-			}
-		}
-		// Phase 2: every directed link moves one packet; arrivals are
-		// buffered and enqueued after all moves (synchronous step).
-		arrivals = arrivals[:0]
-		for row := 0; row < rows; row++ {
-			for col := 0; col < n; col++ {
-				node := id(row, col)
-				base := node * 2
-				nextCol := (col + 1) % n
-				for out := 0; out < 2; out++ {
-					q := base + out
-					if p.TTL > 0 || p.Reliable != nil {
-						for queues[q].len() > 0 {
-							head := queues[q].front()
-							if p.Reliable != nil && p.Reliable.Abandoned(head.rid) {
-								queues[q].pop()
-								res.GaveUp++
-								continue
-							}
-							if p.TTL > 0 && cycle-head.born >= p.TTL {
-								queues[q].pop()
-								res.Dropped++
-								continue
-							}
-							break
-						}
-					}
-					if queues[q].len() == 0 {
-						continue
-					}
-					if p.Faults != nil && p.Faults.LinkDown(node, out) {
-						if measured {
-							res.Stalls++
-						}
-						if p.Adaptive != nil {
-							p.Adaptive.ObserveFailure(q)
-						}
-						continue
-					}
-					pk := queues[q].front()
-					nr := row
-					if out == 1 {
-						nr = row ^ (1 << uint(col))
-					}
-					queues[q].pop()
-					pk.hops++
-					if p.Adaptive != nil {
-						p.Adaptive.ObserveSuccess(q)
-					}
-					if p.ModuleOf != nil && measured {
-						if p.ModuleOf[id(row, col)] != p.ModuleOf[id(nr, nextCol)] {
-							crossings++
-						}
-					}
-					arrivals = append(arrivals, arrival{pk: pk, row: nr, col: nextCol})
-				}
-			}
-		}
-		for _, a := range arrivals {
-			if a.pk.dstRow == a.row && a.pk.dstCol == a.col {
-				born := a.pk.born
-				if p.Reliable != nil {
-					v, born0 := p.Reliable.Arrive(cycle, a.pk.rid)
-					switch v {
-					case DeliverDuplicate:
-						res.DuplicatesDropped++
-						continue
-					case DeliverGaveUp:
-						res.GaveUp++
-						continue
-					}
-					// End-to-end latency runs from the payload's first
-					// injection, not this copy's emission.
-					born = born0
-				}
-				res.TotalDelivered++
-				if measured {
-					res.Delivered++
-					if born >= p.Warmup {
-						latSum += float64(cycle - born + 1)
-						hopSum += float64(a.pk.hops)
-						latCount++
-					}
-				}
-				continue
-			}
-			out, drop, mis, det := route(&a.pk, a.row, a.col, rows, &p)
-			if drop {
-				res.Dropped++
-				continue
-			}
-			if mis {
-				res.Misroutes++
-			}
-			if det {
-				res.Detours++
-			}
-			q := id(a.row, a.col)*2 + out
-			queues[q].push(a.pk)
-		}
-		if p.Trace != nil && measured {
-			backlog := 0
-			for qi := range queues {
-				backlog += queues[qi].len()
-			}
-			if _, err := fmt.Fprintf(p.Trace, "%d,%d,%d,%d\n", //bflint:ignore hotalloc trace output is off on hot runs
-				cycle-p.Warmup, res.Injected, res.Delivered, backlog); err != nil { //bflint:ignore hotalloc trace output is off on hot runs
-				return nil, err
-			}
-		}
-	}
-	for qi := range queues {
-		l := queues[qi].len()
-		res.Backlog += l
-		if l > res.MaxQueue {
-			res.MaxQueue = l
-		}
-	}
-	res.Throughput = float64(res.Delivered) / float64(res.Nodes) / float64(p.Cycles)
-	if latCount > 0 {
-		res.AvgLatency = latSum / float64(latCount)
-		res.AvgHops = hopSum / float64(latCount)
-	}
-	res.BoundaryCrossingsPerCycle = float64(crossings) / float64(p.Cycles)
-	return res, nil
+	return s.Finish()
 }
 
 // SaturationOptions tunes the saturation search.

@@ -1,0 +1,505 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bfvlsi/internal/detrng"
+)
+
+// Stepwise simulation engine. Simulate and SimulatePattern run a whole
+// configuration in one call; Sim exposes the same machinery one cycle
+// at a time so callers can pause a run at a cycle boundary, export its
+// complete state, and later restore and continue it elsewhere (see
+// internal/snapshot). The engine is shared by both simulator modes:
+// BufferLimit 0 selects the unbounded-FIFO simulator of routing.go,
+// BufferLimit > 0 the virtual-channel/backpressure simulator of vc.go.
+//
+// The determinism contract extends to checkpointing: a run restored
+// from a SimState is packet-for-packet (and trace-byte) identical to
+// the uninterrupted run, provided the hooks (Faults, Reliable,
+// Adaptive) are restored to their own mid-run state by the caller. All
+// of the engine's randomness flows through one detrng.Source, so the
+// RNG position is just a draw count.
+
+// Sim is one in-flight simulation. Create with NewSim or
+// RestoreSim, advance with Step, and collect the result with Finish.
+// A Sim must not be shared by concurrently running goroutines.
+type Sim struct {
+	p       Params
+	pattern Pattern
+
+	n, rows, nodes int
+	total          int
+	cycle          int
+
+	src *detrng.Source
+	rng *rand.Rand
+
+	// queues is the plain mode's FIFO set (nodes*2); vcQueues the VC
+	// mode's (nodes*2*numVC). Exactly one is non-nil.
+	queues   []fifo[packet]
+	vcQueues []fifo[vcPacket]
+	// room is the VC mode's per-cycle credit scratch.
+	room []int
+
+	res       *Result
+	latSum    float64
+	hopSum    float64
+	latCount  int
+	crossings int64
+
+	// Per-cycle scratch, hoisted: reset to length zero each cycle, the
+	// backing array reaches its high-water capacity once and is reused.
+	arrivals   []arrival
+	vcArrivals []vcArrival
+}
+
+// NewSim validates p and builds a simulation positioned before cycle 0,
+// resetting the attached hooks and writing the trace header. Advance it
+// with Step or Finish.
+func NewSim(p Params, pattern Pattern) (*Sim, error) {
+	s, err := buildSim(p, pattern)
+	if err != nil {
+		return nil, err
+	}
+	if p.Reliable != nil {
+		p.Reliable.Reset(s.nodes)
+	}
+	if p.Adaptive != nil {
+		p.Adaptive.Reset(s.n, s.rows)
+	}
+	if p.Trace != nil {
+		if _, err := fmt.Fprintln(p.Trace, "cycle,injected,delivered,backlog"); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// buildSim validates p and allocates the engine without touching hooks
+// or trace: the shared half of NewSim and RestoreSim.
+func buildSim(p Params, pattern Pattern) (*Sim, error) {
+	if p.N < 1 || p.N > 14 {
+		return nil, fmt.Errorf("routing: dimension %d out of range [1,14]", p.N)
+	}
+	if p.Lambda < 0 || p.Lambda > 1 {
+		return nil, fmt.Errorf("routing: lambda %v out of [0,1]", p.Lambda)
+	}
+	if p.Cycles <= 0 {
+		return nil, fmt.Errorf("routing: need positive measured cycles")
+	}
+	n := p.N
+	rows := 1 << uint(n)
+	nodes := n * rows
+	if p.ModuleOf != nil && len(p.ModuleOf) != nodes {
+		return nil, fmt.Errorf("routing: ModuleOf has %d entries, want %d", len(p.ModuleOf), nodes)
+	}
+	s := &Sim{
+		p: p, pattern: pattern,
+		n: n, rows: rows, nodes: nodes,
+		total: p.Warmup + p.Cycles,
+		src:   detrng.New(p.Seed),
+		res:   &Result{Nodes: nodes},
+	}
+	s.rng = rand.New(s.src)
+	if p.BufferLimit > 0 {
+		// queues[(node*2 + out)*numVC + vc]. Credit backpressure bounds
+		// every VC queue at BufferLimit slots, so preallocating exactly
+		// that much means no queue ever grows - the hot loop cannot
+		// allocate through a push.
+		s.vcQueues = newFifos[vcPacket](nodes*2*numVC, p.BufferLimit)
+		s.room = make([]int, len(s.vcQueues))
+		s.vcArrivals = make([]vcArrival, 0, 2*nodes)
+	} else {
+		// queues[node*2 + 0] straight, +1 cross. 16 slots of head-start
+		// capacity per queue keeps steady-state growth (and its
+		// allocations) out of the measured hot loop at moderate loads.
+		s.queues = newFifos[packet](nodes*2, 16)
+		s.arrivals = make([]arrival, 0, 2*nodes)
+	}
+	return s, nil
+}
+
+// Cycle returns the next cycle Step will simulate (0-based, warmup
+// included): the number of completed cycles so far.
+func (s *Sim) Cycle() int { return s.cycle }
+
+// Total returns the run length, warmup plus measured cycles.
+func (s *Sim) Total() int { return s.total }
+
+// Done reports whether every cycle has been simulated.
+func (s *Sim) Done() bool { return s.cycle >= s.total }
+
+// Step simulates one cycle. It returns an error only for trace write
+// failures, pattern errors, or stepping past the end of the run.
+func (s *Sim) Step() error {
+	if s.Done() {
+		return fmt.Errorf("routing: step past the end of the %d-cycle run", s.total)
+	}
+	var err error
+	if s.vcQueues != nil {
+		err = s.stepVC()
+	} else {
+		err = s.stepPlain()
+	}
+	if err != nil {
+		return err
+	}
+	s.cycle++
+	return nil
+}
+
+// Finish simulates the remaining cycles and returns the final Result.
+// The Sim itself is left at the end of the run; Finish is idempotent
+// once the run completes.
+func (s *Sim) Finish() (*Result, error) {
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	res := *s.res
+	queueLens := s.queueLens()
+	for _, l := range queueLens {
+		res.Backlog += l
+		if l > res.MaxQueue {
+			res.MaxQueue = l
+		}
+	}
+	res.Throughput = float64(res.Delivered) / float64(res.Nodes) / float64(s.p.Cycles)
+	if s.latCount > 0 {
+		res.AvgLatency = s.latSum / float64(s.latCount)
+		res.AvgHops = s.hopSum / float64(s.latCount)
+	}
+	res.BoundaryCrossingsPerCycle = float64(s.crossings) / float64(s.p.Cycles)
+	return &res, nil
+}
+
+// queueLens returns the occupancy of every queue in index order,
+// whichever mode is active.
+func (s *Sim) queueLens() []int {
+	var lens []int
+	if s.vcQueues != nil {
+		lens = make([]int, len(s.vcQueues))
+		for qi := range s.vcQueues {
+			lens[qi] = s.vcQueues[qi].len()
+		}
+		return lens
+	}
+	lens = make([]int, len(s.queues))
+	for qi := range s.queues {
+		lens[qi] = s.queues[qi].len()
+	}
+	return lens
+}
+
+// backlog returns the total number of queued packets.
+func (s *Sim) backlog() int {
+	total := 0
+	for _, l := range s.queueLens() {
+		total += l
+	}
+	return total
+}
+
+// stepPlain simulates one cycle of the unbounded-FIFO mode. The body is
+// the per-cycle block of the original monolithic loop, verbatim except
+// that run-long state lives on s.
+func (s *Sim) stepPlain() error {
+	p := &s.p
+	n, rows, nodes := s.n, s.rows, s.nodes
+	queues := s.queues
+	res := s.res
+	rng := s.rng
+	cycle := s.cycle
+	id := func(row, col int) int { return col*rows + row }
+	measured := cycle >= p.Warmup
+	if p.Faults != nil {
+		p.Faults.BeginCycle(cycle)
+	}
+	if p.Reliable != nil {
+		p.Reliable.BeginCycle(cycle)
+	}
+	if p.Adaptive != nil {
+		p.Adaptive.BeginCycle(cycle)
+		runProbes(p.Adaptive, p.Faults)
+	}
+	// Phase 1: injections.
+	for row := 0; row < rows; row++ {
+		for col := 0; col < n; col++ {
+			if p.Faults != nil && p.Faults.NodeDown(id(row, col)) {
+				continue // dead nodes do not inject
+			}
+			if rng.Float64() >= p.Lambda {
+				continue
+			}
+			dr, dc, derr := destFor(s.pattern, n, rows, row, col, rng)
+			if derr != nil {
+				return derr
+			}
+			pk := packet{
+				dstRow:  dr,
+				dstCol:  dc,
+				born:    cycle,
+				blocked: -1,
+			}
+			if measured {
+				res.Injected++
+			}
+			res.TotalInjected++
+			if pk.dstRow == row && pk.dstCol == col {
+				// Delivered in place: no copy enters the network, so
+				// no duplicate can ever exist and the payload needs
+				// no reliable-transport state.
+				res.TotalDelivered++
+				if measured {
+					res.Delivered++
+				}
+				continue
+			}
+			if p.Adaptive != nil && p.Adaptive.RejectDest(id(dr, dc)) {
+				// The source's own disseminated link-state map calls
+				// the destination unreachable: refuse locally, before
+				// any transport state exists - no retries to burn.
+				res.Unreachable++
+				res.UnreachableDetected++
+				continue
+			}
+			if p.Faults != nil && p.Faults.NodeDown(id(dr, dc)) {
+				if p.Reliable != nil {
+					// The source cannot know the destination is dead:
+					// the payload is registered and its retries burn
+					// budget against the void until it is abandoned.
+					p.Reliable.Register(cycle, id(row, col), id(dr, dc))
+				}
+				res.Unreachable++
+				res.UnreachableDead++
+				continue
+			}
+			if destCut(p.Faults, n, rows, dr, dc) {
+				// Every link into the destination is dead: the packet
+				// could only wander until its TTL - or, with TTL 0,
+				// forever. Refuse it at injection instead; as with a
+				// dead node the source cannot know, so the payload is
+				// still registered and its retries burn budget.
+				if p.Reliable != nil {
+					p.Reliable.Register(cycle, id(row, col), id(dr, dc))
+				}
+				res.Unreachable++
+				res.UnreachableCut++
+				continue
+			}
+			if p.Reliable != nil {
+				pk.rid = p.Reliable.Register(cycle, id(row, col), id(dr, dc))
+			}
+			out, drop, mis, det := route(&pk, row, col, rows, p)
+			if drop {
+				res.Dropped++
+				continue
+			}
+			if mis {
+				res.Misroutes++
+			}
+			if det {
+				res.Detours++
+			}
+			q := id(row, col)*2 + out
+			queues[q].push(pk)
+		}
+	}
+	// Phase 1b: retransmissions due this cycle re-enter at their
+	// source, after fresh traffic (fresh injections keep priority).
+	if p.Reliable != nil {
+		for _, c := range p.Reliable.Retransmissions(cycle) {
+			srcRow, srcCol := c.Src%rows, c.Src/rows
+			if p.Faults != nil && p.Faults.NodeDown(c.Src) {
+				p.Reliable.Deferred(c.ID) // dead sources cannot resend
+				continue
+			}
+			p.Reliable.Emitted(c.ID, cycle)
+			res.Retransmitted++
+			if p.Adaptive != nil && p.Adaptive.RejectDest(c.Dst) {
+				res.Unreachable++
+				res.UnreachableDetected++
+				continue
+			}
+			if p.Faults != nil && p.Faults.NodeDown(c.Dst) {
+				res.Unreachable++
+				res.UnreachableDead++
+				continue
+			}
+			if destCut(p.Faults, n, rows, c.Dst%rows, c.Dst/rows) {
+				res.Unreachable++
+				res.UnreachableCut++
+				continue
+			}
+			pk := packet{dstRow: c.Dst % rows, dstCol: c.Dst / rows, born: cycle, rid: c.ID, blocked: -1}
+			out, drop, mis, det := route(&pk, srcRow, srcCol, rows, p)
+			if drop {
+				res.Dropped++
+				continue
+			}
+			if mis {
+				res.Misroutes++
+			}
+			if det {
+				res.Detours++
+			}
+			q := c.Src*2 + out
+			queues[q].push(pk)
+		}
+	}
+	// Phase 1c: re-planning. The adaptive router re-examines the head of
+	// every queue; a head whose link the router has since condemned is
+	// moved to the node's other output queue instead of stalling until
+	// the breaker re-closes. Only heads move: packets behind them follow
+	// on later cycles if the condemnation persists. Choose is
+	// deterministic within a cycle, so a moved head re-examined at its
+	// new queue re-chooses the same output - no ping-pong.
+	if p.Adaptive != nil {
+		for node := 0; node < nodes; node++ {
+			row, col := node%rows, node/rows
+			for out := 0; out < 2; out++ {
+				q := node*2 + out
+				if queues[q].len() == 0 {
+					continue
+				}
+				pk := queues[q].front()
+				d := p.Adaptive.Choose(Hop{
+					Node:    node,
+					Want:    plannedOut(pk, row, col),
+					Dst:     pk.dstCol*rows + pk.dstRow,
+					Detours: pk.detours,
+					Blocked: pk.blocked,
+				})
+				if d.Out == out {
+					continue
+				}
+				pk.blocked = d.Blocked
+				if d.Deliberate {
+					pk.detours++
+				}
+				if d.Detour {
+					res.Detours++
+				}
+				res.Reroutes++
+				queues[q].pop()
+				nq := node*2 + d.Out
+				queues[nq].push(pk)
+			}
+		}
+	}
+	// Phase 2: every directed link moves one packet; arrivals are
+	// buffered and enqueued after all moves (synchronous step).
+	arrivals := s.arrivals[:0]
+	//bflint:hotpath
+	for row := 0; row < rows; row++ {
+		for col := 0; col < n; col++ {
+			node := id(row, col)
+			base := node * 2
+			nextCol := (col + 1) % n
+			for out := 0; out < 2; out++ {
+				q := base + out
+				if p.TTL > 0 || p.Reliable != nil {
+					for queues[q].len() > 0 {
+						head := queues[q].front()
+						if p.Reliable != nil && p.Reliable.Abandoned(head.rid) {
+							queues[q].pop()
+							res.GaveUp++
+							continue
+						}
+						if p.TTL > 0 && cycle-head.born >= p.TTL {
+							queues[q].pop()
+							res.Dropped++
+							continue
+						}
+						break
+					}
+				}
+				if queues[q].len() == 0 {
+					continue
+				}
+				if p.Faults != nil && p.Faults.LinkDown(node, out) {
+					if measured {
+						res.Stalls++
+					}
+					if p.Adaptive != nil {
+						p.Adaptive.ObserveFailure(q)
+					}
+					continue
+				}
+				pk := queues[q].front()
+				nr := row
+				if out == 1 {
+					nr = row ^ (1 << uint(col))
+				}
+				queues[q].pop()
+				pk.hops++
+				if p.Adaptive != nil {
+					p.Adaptive.ObserveSuccess(q)
+				}
+				if p.ModuleOf != nil && measured {
+					if p.ModuleOf[id(row, col)] != p.ModuleOf[id(nr, nextCol)] {
+						s.crossings++
+					}
+				}
+				arrivals = append(arrivals, arrival{pk: pk, row: nr, col: nextCol})
+			}
+		}
+	}
+	for _, a := range arrivals {
+		if a.pk.dstRow == a.row && a.pk.dstCol == a.col {
+			born := a.pk.born
+			if p.Reliable != nil {
+				v, born0 := p.Reliable.Arrive(cycle, a.pk.rid)
+				switch v {
+				case DeliverDuplicate:
+					res.DuplicatesDropped++
+					continue
+				case DeliverGaveUp:
+					res.GaveUp++
+					continue
+				}
+				// End-to-end latency runs from the payload's first
+				// injection, not this copy's emission.
+				born = born0
+			}
+			res.TotalDelivered++
+			if measured {
+				res.Delivered++
+				if born >= p.Warmup {
+					s.latSum += float64(cycle - born + 1)
+					s.hopSum += float64(a.pk.hops)
+					s.latCount++
+				}
+			}
+			continue
+		}
+		out, drop, mis, det := route(&a.pk, a.row, a.col, rows, p)
+		if drop {
+			res.Dropped++
+			continue
+		}
+		if mis {
+			res.Misroutes++
+		}
+		if det {
+			res.Detours++
+		}
+		q := id(a.row, a.col)*2 + out
+		queues[q].push(a.pk)
+	}
+	s.arrivals = arrivals
+	if p.Trace != nil && measured {
+		backlog := 0
+		for qi := range queues {
+			backlog += queues[qi].len()
+		}
+		if _, err := fmt.Fprintf(p.Trace, "%d,%d,%d,%d\n", //bflint:ignore hotalloc trace output is off on hot runs
+			cycle-p.Warmup, res.Injected, res.Delivered, backlog); err != nil { //bflint:ignore hotalloc trace output is off on hot runs
+			return err
+		}
+	}
+	return nil
+}

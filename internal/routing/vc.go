@@ -1,9 +1,6 @@
 package routing
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // Virtual-channel simulator: the finite-buffer mode. A wrapped butterfly
 // with dimension-order routing and finite buffers deadlocks - the column
@@ -39,57 +36,21 @@ type vcArrival struct {
 	delivered bool
 }
 
-func simulateVC(p Params, pattern Pattern) (*Result, error) {
-	if p.N < 1 || p.N > 14 {
-		return nil, fmt.Errorf("routing: dimension %d out of range [1,14]", p.N)
-	}
-	if p.Lambda < 0 || p.Lambda > 1 {
-		return nil, fmt.Errorf("routing: lambda %v out of [0,1]", p.Lambda)
-	}
-	if p.Cycles <= 0 {
-		return nil, fmt.Errorf("routing: need positive measured cycles")
-	}
-	n := p.N
-	rows := 1 << uint(n)
-	nodes := n * rows
-	if p.ModuleOf != nil && len(p.ModuleOf) != nodes {
-		return nil, fmt.Errorf("routing: ModuleOf has %d entries, want %d", len(p.ModuleOf), nodes)
-	}
-	rng := rand.New(rand.NewSource(p.Seed))
-
-	// queues[(node*2 + out)*numVC + vc]. Credit backpressure bounds
-	// every VC queue at BufferLimit slots, so preallocating exactly
-	// that much means no queue ever grows - the hot loop cannot
-	// allocate through a push.
-	queues := newFifos[vcPacket](nodes*2*numVC, p.BufferLimit)
+// stepVC simulates one cycle of the finite-buffer VC mode. The body is
+// the per-cycle block of the original monolithic simulateVC loop,
+// verbatim except that run-long state lives on s.
+func (s *Sim) stepVC() error {
+	p := &s.p
+	n, rows, nodes := s.n, s.rows, s.nodes
+	queues := s.vcQueues
+	room := s.room
+	res := s.res
+	rng := s.rng
+	cycle := s.cycle
 	id := func(row, col int) int { return col*rows + row }
 	qIdx := func(row, col, out, vc int) int { return (id(row, col)*2+out)*numVC + vc }
-	if p.Reliable != nil {
-		p.Reliable.Reset(nodes)
-	}
-	if p.Adaptive != nil {
-		p.Adaptive.Reset(n, rows)
-	}
-
-	res := &Result{Nodes: nodes}
-	var latSum, hopSum float64
-	var latCount int
-	var crossings int64
-
-	total := p.Warmup + p.Cycles
-	if p.Trace != nil {
-		if _, err := fmt.Fprintln(p.Trace, "cycle,injected,delivered,backlog"); err != nil {
-			return nil, err
-		}
-	}
-	// Per-cycle scratch, hoisted: the credit table is overwritten in
-	// place each cycle and the arrival buffer is reset to length zero,
-	// so after the first cycles neither allocates again.
-	room := make([]int, len(queues))
-	arrivals := make([]vcArrival, 0, 2*nodes)
-	//bflint:hotpath
-	for cycle := 0; cycle < total; cycle++ {
-		measured := cycle >= p.Warmup
+	measured := cycle >= p.Warmup
+	{
 		if p.Faults != nil {
 			p.Faults.BeginCycle(cycle)
 		}
@@ -109,9 +70,9 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				if rng.Float64() >= p.Lambda {
 					continue
 				}
-				dr, dc, derr := destFor(pattern, n, rows, row, col, rng)
+				dr, dc, derr := destFor(s.pattern, n, rows, row, col, rng)
 				if derr != nil {
-					return nil, derr
+					return derr
 				}
 				pk := vcPacket{packet: packet{dstRow: dr, dstCol: dc, born: cycle, blocked: -1}}
 				if dr == row && dc == col {
@@ -173,7 +134,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					// pending, so the transport's timer recovers it.
 					pk.rid = p.Reliable.Register(cycle, id(row, col), id(dr, dc))
 				}
-				out, drop, mis, det := route(&pk.packet, row, col, rows, &p)
+				out, drop, mis, det := route(&pk.packet, row, col, rows, p)
 				if drop {
 					res.TotalInjected++
 					res.Dropped++
@@ -234,7 +195,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 					continue
 				}
 				pk := vcPacket{packet: packet{dstRow: c.Dst % rows, dstCol: c.Dst / rows, born: cycle, rid: c.ID, blocked: -1}}
-				out, drop, mis, det := route(&pk.packet, srcRow, srcCol, rows, &p)
+				out, drop, mis, det := route(&pk.packet, srcRow, srcCol, rows, p)
 				if drop {
 					p.Reliable.Emitted(c.ID, cycle)
 					res.Retransmitted++
@@ -326,7 +287,8 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 		for i := range queues {
 			room[i] = p.BufferLimit - queues[i].len()
 		}
-		arrivals = arrivals[:0]
+		arrivals := s.vcArrivals[:0]
+		//bflint:hotpath
 		for row := 0; row < rows; row++ {
 			for col := 0; col < n; col++ {
 				nextCol := (col + 1) % n
@@ -376,7 +338,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 						var nout int
 						var ndrop, nmis, ndet bool
 						if !delivered {
-							nout, ndrop, nmis, ndet = route(&npk.packet, nr, nextCol, rows, &p)
+							nout, ndrop, nmis, ndet = route(&npk.packet, nr, nextCol, rows, p)
 							if !ndrop {
 								// Packets dropped on arrival consume no
 								// credit; everything else needs a slot in
@@ -399,7 +361,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 						}
 						if p.ModuleOf != nil && measured {
 							if p.ModuleOf[id(row, col)] != p.ModuleOf[id(nr, nextCol)] {
-								crossings++
+								s.crossings++
 							}
 						}
 						arrivals = append(arrivals, vcArrival{
@@ -433,9 +395,9 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 				if measured {
 					res.Delivered++
 					if born >= p.Warmup {
-						latSum += float64(cycle - born + 1)
-						hopSum += float64(a.pk.hops)
-						latCount++
+						s.latSum += float64(cycle - born + 1)
+						s.hopSum += float64(a.pk.hops)
+						s.latCount++
 					}
 				}
 				continue
@@ -453,6 +415,7 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 			q := qIdx(a.row, a.col, a.out, a.pk.vc)
 			queues[q].push(a.pk)
 		}
+		s.vcArrivals = arrivals
 		if p.Trace != nil && measured {
 			backlog := 0
 			for qi := range queues {
@@ -460,22 +423,9 @@ func simulateVC(p Params, pattern Pattern) (*Result, error) {
 			}
 			if _, err := fmt.Fprintf(p.Trace, "%d,%d,%d,%d\n", //bflint:ignore hotalloc trace output is off on hot runs
 				cycle-p.Warmup, res.Injected, res.Delivered, backlog); err != nil { //bflint:ignore hotalloc trace output is off on hot runs
-				return nil, err
+				return err
 			}
 		}
 	}
-	for qi := range queues {
-		l := queues[qi].len()
-		res.Backlog += l
-		if l > res.MaxQueue {
-			res.MaxQueue = l
-		}
-	}
-	res.Throughput = float64(res.Delivered) / float64(res.Nodes) / float64(p.Cycles)
-	if latCount > 0 {
-		res.AvgLatency = latSum / float64(latCount)
-		res.AvgHops = hopSum / float64(latCount)
-	}
-	res.BoundaryCrossingsPerCycle = float64(crossings) / float64(p.Cycles)
-	return res, nil
+	return nil
 }

@@ -20,23 +20,41 @@ type entry struct {
 // first caller's bytes (so cache hits are byte-identical by
 // construction). Failed computations are not cached; a later request
 // for the same key recomputes.
+//
+// The cache is bounded two ways: by entry count and, when maxBytes is
+// positive, by the total size of cached bodies. A checkpoint response
+// can be a million times the size of a layout response, so an
+// entry-count bound alone would let a handful of large artifacts grow
+// the heap without limit. In-flight entries have unknown size and
+// count only against the entry bound; a body is charged when its
+// computation completes, evicting from the LRU tail until the budget
+// holds again (a single body larger than the whole budget is evicted
+// immediately - it is served, just not kept).
 type cache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used; values are string keys
-	entries map[string]*slot
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64      // total size of sized (completed) cached bodies
+	evicted  int64      // entries dropped to make room, both bounds
+	order    *list.List // front = most recently used; values are string keys
+	entries  map[string]*slot
 }
 
 type slot struct {
 	elem *list.Element
 	e    *entry
+	// size is the charged body size; sized marks completed entries
+	// (in-flight slots are not yet charged against the byte budget).
+	size  int64
+	sized bool
 }
 
-func newCache(capacity int) *cache {
+func newCache(capacity int, maxBytes int64) *cache {
 	return &cache{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[string]*slot, capacity),
+		cap:      capacity,
+		maxBytes: maxBytes,
+		order:    list.New(),
+		entries:  make(map[string]*slot, capacity),
 	}
 }
 
@@ -66,19 +84,44 @@ func (c *cache) do(key string, compute func() ([]byte, error)) (body []byte, hit
 		// Errors are not cached: drop the entry so the next request
 		// retries. Waiters already holding e still see the error.
 		c.remove(key, s)
+		return e.body, false, e.err
 	}
+	// Charge the completed body against the byte budget (the slot may
+	// have been evicted while computing; chargeLocked checks).
+	c.mu.Lock()
+	if cur, ok := c.entries[key]; ok && cur == s {
+		s.size = int64(len(e.body))
+		s.sized = true
+		c.bytes += s.size
+		c.evictLocked()
+	}
+	c.mu.Unlock()
 	return e.body, false, e.err
 }
 
-// evictLocked drops least-recently-used entries beyond capacity. An
-// in-flight entry may be evicted; its waiters keep their pointer and
-// the computation completes normally, it just is not cached.
+// overLocked reports whether either bound is currently exceeded.
+func (c *cache) overLocked() bool {
+	if c.order.Len() > c.cap {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes
+}
+
+// evictLocked drops least-recently-used entries until both the entry
+// and byte bounds hold. An in-flight entry may be evicted; its waiters
+// keep their pointer and the computation completes normally, it just is
+// not cached.
 func (c *cache) evictLocked() {
-	for c.order.Len() > c.cap {
+	for c.overLocked() && c.order.Len() > 0 {
 		back := c.order.Back()
 		key := back.Value.(string)
+		s := c.entries[key]
 		c.order.Remove(back)
 		delete(c.entries, key)
+		if s.sized {
+			c.bytes -= s.size
+		}
+		c.evicted++
 	}
 }
 
@@ -89,13 +132,22 @@ func (c *cache) remove(key string, s *slot) {
 	if cur, ok := c.entries[key]; ok && cur == s {
 		c.order.Remove(s.elem)
 		delete(c.entries, key)
+		if s.sized {
+			c.bytes -= s.size
+		}
 	}
 	c.mu.Unlock()
 }
 
-// len returns the current entry count.
-func (c *cache) len() int {
+// stats returns the entry count, cached body bytes, and eviction count.
+func (c *cache) stats() (entries int, bytes, evicted int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.order.Len()
+	return c.order.Len(), c.bytes, c.evicted
+}
+
+// len returns the current entry count.
+func (c *cache) len() int {
+	n, _, _ := c.stats()
+	return n
 }

@@ -21,6 +21,7 @@ package serve
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -29,9 +30,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bfvlsi/internal/adaptive"
 	"bfvlsi/internal/grid"
 	"bfvlsi/internal/packaging"
+	"bfvlsi/internal/reliable"
 	"bfvlsi/internal/routing"
+	"bfvlsi/internal/snapshot"
 	"bfvlsi/internal/wire"
 )
 
@@ -43,15 +47,25 @@ const (
 	// service to simulate or design (2^12 rows is ~53k nodes, the
 	// largest size that answers interactively).
 	DefaultMaxDim = 12
+	// DefaultCacheBytes is the artifact cache's body-size budget.
+	// Checkpoint responses are orders of magnitude larger than layout
+	// responses, so the cache is bounded by bytes as well as entries.
+	DefaultCacheBytes = 64 << 20
 	// maxRequestBytes bounds a request body; real specs are well under
 	// a kilobyte.
 	maxRequestBytes = 1 << 20
+	// maxWhatifRequestBytes bounds a /v1/whatif body, which carries a
+	// whole base64 checkpoint rather than a spec.
+	maxWhatifRequestBytes = 1 << 26
 )
 
 // Config parameterizes a Server.
 type Config struct {
 	// CacheEntries is the artifact cache capacity (0 = DefaultCacheEntries).
 	CacheEntries int
+	// CacheBytes bounds the total size of cached response bodies
+	// (0 = DefaultCacheBytes, negative = entry bound only).
+	CacheBytes int64
 	// MaxDim caps the butterfly dimension of route, sweep, packaging,
 	// and hierarchy requests (0 = DefaultMaxDim; never above the wire
 	// format's own caps).
@@ -75,7 +89,7 @@ type Server struct {
 
 // endpointNames fixes the metric iteration order; /statsz reports
 // endpoints in this (sorted) order.
-var endpointNames = []string{"faultsweep", "layout", "packaging", "route"}
+var endpointNames = []string{"checkpoint", "faultsweep", "layout", "packaging", "route", "whatif"}
 
 // endpointStats is one endpoint's atomic counter set.
 type endpointStats struct {
@@ -91,6 +105,9 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = DefaultCacheEntries
 	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
 	if cfg.MaxDim <= 0 {
 		cfg.MaxDim = DefaultMaxDim
 	}
@@ -100,7 +117,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:   cfg,
-		cache: newCache(cfg.CacheEntries),
+		cache: newCache(cfg.CacheEntries, cfg.CacheBytes),
 		stats: make(map[string]*endpointStats, len(endpointNames)),
 	}
 	for _, name := range endpointNames {
@@ -119,6 +136,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/packaging", s.endpoint("packaging", s.parsePackaging))
 	mux.HandleFunc("/v1/route", s.endpoint("route", s.parseRoute))
 	mux.HandleFunc("/v1/faultsweep", s.endpoint("faultsweep", s.parseFaultSweep))
+	mux.HandleFunc("/v1/checkpoint", s.endpoint("checkpoint", s.parseCheckpoint))
+	mux.HandleFunc("/v1/whatif", s.endpointLimit("whatif", maxWhatifRequestBytes, s.parseWhatif))
 	if s.cfg.Timeout > 0 {
 		return http.TimeoutHandler(mux, s.cfg.Timeout, `{"error":"request timed out"}`)
 	}
@@ -145,6 +164,12 @@ func badRequest(err error) error {
 // endpoint wraps one POST endpoint with the shared pipeline: metrics,
 // method and body-size checks, parse, content-address, cache, respond.
 func (s *Server) endpoint(name string, parse func(*http.Request) (*spec, error)) http.HandlerFunc {
+	return s.endpointLimit(name, maxRequestBytes, parse)
+}
+
+// endpointLimit is endpoint with an explicit request body cap, for the
+// endpoints whose requests carry artifacts rather than specs.
+func (s *Server) endpointLimit(name string, limit int64, parse func(*http.Request) (*spec, error)) http.HandlerFunc {
 	st := s.stats[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		st.requests.Add(1)
@@ -158,7 +183,7 @@ func (s *Server) endpoint(name string, parse func(*http.Request) (*spec, error))
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 			return
 		}
-		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
 		sp, err := parse(r)
 		if err != nil {
 			st.errors.Add(1)
@@ -180,7 +205,13 @@ func (s *Server) endpoint(name string, parse func(*http.Request) (*spec, error))
 		})
 		if err != nil {
 			st.errors.Add(1)
-			writeError(w, http.StatusInternalServerError, err)
+			status := http.StatusInternalServerError
+			if errors.Is(err, errBadRequest) {
+				// Compute-time client errors: e.g. a structurally sound
+				// checkpoint that fails semantic validation on restore.
+				status = http.StatusBadRequest
+			}
+			writeError(w, status, err)
 			return
 		}
 		if hit {
@@ -501,6 +532,197 @@ func (s *Server) parseFaultSweep(r *http.Request) (*spec, error) {
 	})
 }
 
+// ---- /v1/checkpoint ----
+
+type reliableRequest struct {
+	Timeout     int   `json:"timeout"`
+	MaxRetries  int   `json:"maxRetries,omitempty"`
+	Jitter      int   `json:"jitter,omitempty"`
+	MaxTimeout  int   `json:"maxTimeout,omitempty"`
+	Seed        int64 `json:"seed,omitempty"`
+	MeasureFrom int   `json:"measureFrom,omitempty"`
+}
+
+type adaptiveRequest struct {
+	Threshold     int   `json:"threshold,omitempty"`
+	ProbeInterval int   `json:"probeInterval,omitempty"`
+	MaxDetours    int   `json:"maxDetours,omitempty"`
+	Epoch         int   `json:"epoch,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+}
+
+// checkpointRequest is a routeRequest plus the optional hook recipes
+// and the cycle boundary at which to freeze the run.
+type checkpointRequest struct {
+	routeRequest
+	Reliable *reliableRequest `json:"reliable,omitempty"`
+	Adaptive *adaptiveRequest `json:"adaptive,omitempty"`
+	Cycle    int              `json:"cycle"`
+}
+
+type checkpointResponse struct {
+	// Key is the checkpoint's content address (SHA-256 of its canonical
+	// encoding); Checkpoint is the encoding itself (base64 in JSON),
+	// ready to feed back to /v1/whatif.
+	Key        string `json:"key"`
+	Cycle      int    `json:"cycle"`
+	SizeBytes  int    `json:"sizeBytes"`
+	Checkpoint []byte `json:"checkpoint"`
+}
+
+// snapshotSpec assembles the internal/snapshot spec a checkpoint
+// request describes.
+func (req *checkpointRequest) snapshotSpec() (snapshot.Spec, error) {
+	pattern, err := parsePattern(req.Pattern)
+	if err != nil {
+		return snapshot.Spec{}, err
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		return snapshot.Spec{}, err
+	}
+	sp := snapshot.Spec{Route: wire.RouteSpec{
+		N: req.N, Lambda: req.Lambda, Warmup: req.Warmup, Cycles: req.Cycles,
+		Seed: req.Seed, BufferLimit: req.BufferLimit, TTL: req.TTL,
+		Pattern: pattern, Policy: policy,
+	}}
+	if req.Fault != nil {
+		sp.Route.Fault = req.Fault.toWire(req.N)
+	}
+	if req.Reliable != nil {
+		sp.Reliable = &snapshot.ReliableSpec{
+			Timeout: req.Reliable.Timeout, MaxRetries: req.Reliable.MaxRetries,
+			Jitter: req.Reliable.Jitter, MaxTimeout: req.Reliable.MaxTimeout,
+			Seed: req.Reliable.Seed, MeasureFrom: req.Reliable.MeasureFrom,
+		}
+	}
+	if req.Adaptive != nil {
+		sp.Adaptive = &snapshot.AdaptiveSpec{
+			Threshold: req.Adaptive.Threshold, ProbeInterval: req.Adaptive.ProbeInterval,
+			MaxDetours: req.Adaptive.MaxDetours, Epoch: req.Adaptive.Epoch,
+			Seed: req.Adaptive.Seed,
+		}
+	}
+	return sp, nil
+}
+
+func (s *Server) parseCheckpoint(r *http.Request) (*spec, error) {
+	var req checkpointRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if err := s.checkDim(req.N); err != nil {
+		return nil, err
+	}
+	sp, err := req.snapshotSpec()
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	if total := sp.Route.Warmup + sp.Route.Cycles; req.Cycle < 0 || req.Cycle > total {
+		return nil, badRequest(fmt.Errorf("cycle %d outside [0,%d]", req.Cycle, total))
+	}
+	sb, err := sp.MarshalBinary()
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	// The cache key covers spec AND cycle: the canonical spec frame with
+	// the cycle appended is still one value, one byte string.
+	encoded := binary.AppendUvarint(sb, uint64(req.Cycle))
+	cycle := req.Cycle
+	return &spec{encoded: encoded, compute: func() (any, error) {
+		run, err := snapshot.Start(sp, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := run.StepTo(cycle); err != nil {
+			return nil, err
+		}
+		b, err := run.Checkpoint().MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		sum := sha256.Sum256(b)
+		return checkpointResponse{
+			Key: hex.EncodeToString(sum[:]), Cycle: cycle,
+			SizeBytes: len(b), Checkpoint: b,
+		}, nil
+	}}, nil
+}
+
+// ---- /v1/whatif ----
+
+// whatifRequest resumes a checkpoint under a different fault plan: the
+// "what if this fault future hit a warmed-up machine" query. A null
+// fault strips the plan (the fault-free continuation).
+type whatifRequest struct {
+	Checkpoint []byte        `json:"checkpoint"`
+	Fault      *faultRequest `json:"fault,omitempty"`
+}
+
+type whatifResponse struct {
+	Result   *routing.Result `json:"result"`
+	Reliable *reliable.Stats `json:"reliable,omitempty"`
+	Adaptive *adaptive.Stats `json:"adaptive,omitempty"`
+}
+
+func (s *Server) parseWhatif(r *http.Request) (*spec, error) {
+	var req whatifRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	var ck snapshot.Checkpoint
+	if err := ck.UnmarshalBinary(req.Checkpoint); err != nil {
+		return nil, badRequest(fmt.Errorf("checkpoint: %w", err))
+	}
+	if err := s.checkDim(ck.Spec.Route.N); err != nil {
+		return nil, err
+	}
+	var fault *wire.FaultSpec
+	// A decoded checkpoint's bytes are its canonical encoding, so
+	// checkpoint bytes + fault presence + canonical fault frame is a
+	// canonical encoding of the whole what-if query.
+	encoded := append([]byte(nil), req.Checkpoint...)
+	if req.Fault != nil {
+		fault = req.Fault.toWire(ck.Spec.Route.N)
+		if err := fault.Validate(); err != nil {
+			return nil, badRequest(err)
+		}
+		fb, err := fault.MarshalBinary()
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		encoded = append(append(encoded, 1), fb...)
+	} else {
+		encoded = append(encoded, 0)
+	}
+	return &spec{encoded: encoded, compute: func() (any, error) {
+		run, err := ck.Fork(fault, nil)
+		if err != nil {
+			// A structurally sound checkpoint can still fail semantic
+			// validation (counters that break conservation, draws out of
+			// range); that is the client's artifact, not a server fault.
+			return nil, badRequest(err)
+		}
+		res, err := run.Finish()
+		if err != nil {
+			return nil, err
+		}
+		resp := whatifResponse{Result: res}
+		if run.Transport != nil {
+			st := run.Transport.Stats()
+			resp.Reliable = &st
+		}
+		if run.Router != nil {
+			st := run.Router.Stats()
+			resp.Adaptive = &st
+		}
+		return resp, nil
+	}}, nil
+}
+
 // ---- /healthz and /statsz ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -517,16 +739,26 @@ type statszEndpoint struct {
 }
 
 type statszResponse struct {
-	CacheEntries  int                       `json:"cacheEntries"`
-	CacheCapacity int                       `json:"cacheCapacity"`
-	Endpoints     map[string]statszEndpoint `json:"endpoints"`
+	CacheEntries  int `json:"cacheEntries"`
+	CacheCapacity int `json:"cacheCapacity"`
+	// CacheBytes is the total size of cached response bodies;
+	// CacheByteCapacity the configured budget (<= 0 means unbounded);
+	// CacheEvictions counts entries dropped to satisfy either bound.
+	CacheBytes        int64                     `json:"cacheBytes"`
+	CacheByteCapacity int64                     `json:"cacheByteCapacity"`
+	CacheEvictions    int64                     `json:"cacheEvictions"`
+	Endpoints         map[string]statszEndpoint `json:"endpoints"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	entries, cacheBytes, evicted := s.cache.stats()
 	resp := statszResponse{
-		CacheEntries:  s.cache.len(),
-		CacheCapacity: s.cfg.CacheEntries,
-		Endpoints:     make(map[string]statszEndpoint, len(endpointNames)),
+		CacheEntries:      entries,
+		CacheCapacity:     s.cfg.CacheEntries,
+		CacheBytes:        cacheBytes,
+		CacheByteCapacity: s.cfg.CacheBytes,
+		CacheEvictions:    evicted,
+		Endpoints:         make(map[string]statszEndpoint, len(endpointNames)),
 	}
 	// Iterate the fixed name list, not the stats map: encoding/json
 	// sorts map keys on output, but the collection itself stays

@@ -291,7 +291,7 @@ func TestLoadConcurrent(t *testing.T) {
 // ---- cache unit tests ----
 
 func TestCacheSingleFlight(t *testing.T) {
-	c := newCache(4)
+	c := newCache(4, 0)
 	var computes int
 	var mu sync.Mutex
 	gate := make(chan struct{})
@@ -327,7 +327,7 @@ func TestCacheSingleFlight(t *testing.T) {
 }
 
 func TestCacheEvictsLRU(t *testing.T) {
-	c := newCache(2)
+	c := newCache(2, 0)
 	fill := func(k string) {
 		if _, _, err := c.do(k, func() ([]byte, error) { return []byte(k), nil }); err != nil {
 			t.Fatal(err)
@@ -352,7 +352,7 @@ func TestCacheEvictsLRU(t *testing.T) {
 }
 
 func TestCacheDoesNotCacheErrors(t *testing.T) {
-	c := newCache(2)
+	c := newCache(2, 0)
 	wantErr := fmt.Errorf("boom")
 	if _, _, err := c.do("k", func() ([]byte, error) { return nil, wantErr }); err != wantErr {
 		t.Fatalf("err %v", err)
@@ -360,5 +360,177 @@ func TestCacheDoesNotCacheErrors(t *testing.T) {
 	body, hit, err := c.do("k", func() ([]byte, error) { return []byte("fine"), nil })
 	if err != nil || hit || string(body) != "fine" {
 		t.Fatalf("after error: body=%q hit=%v err=%v, want recompute", body, hit, err)
+	}
+}
+
+// ---- checkpoint / what-if endpoints ----
+
+// TestCheckpointWhatif drives the checkpoint pipeline over HTTP: freeze
+// a warmed-up full-stack run, fork it into a fault future, and fork it
+// into the fault-free continuation, which must match the plain
+// /v1/route answer for the same spec exactly.
+func TestCheckpointWhatif(t *testing.T) {
+	ts := newTestServer(t)
+	const ckBody = `{"n":3,"lambda":0.2,"warmup":20,"cycles":80,"seed":7,"bufferLimit":4,
+		"reliable":{"timeout":10,"maxRetries":3,"jitter":2,"seed":5,"measureFrom":20},
+		"adaptive":{"seed":9},"cycle":20}`
+	resp, body := post(t, ts, "/v1/checkpoint", ckBody)
+	if resp.StatusCode != 200 {
+		t.Fatalf("checkpoint: %d %s", resp.StatusCode, body)
+	}
+	var ck checkpointResponse
+	if err := json.Unmarshal(body, &ck); err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Key) != 64 || ck.Cycle != 20 || ck.SizeBytes != len(ck.Checkpoint) || ck.SizeBytes == 0 {
+		t.Fatalf("checkpoint response inconsistent: key %q cycle %d size %d len %d",
+			ck.Key, ck.Cycle, ck.SizeBytes, len(ck.Checkpoint))
+	}
+
+	b64, err := json.Marshal(ck.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault future: must answer 200 with live fault counters available.
+	resp, body = post(t, ts, "/v1/whatif",
+		`{"checkpoint":`+string(b64)+`,"fault":{"linkRate":0.05,"seed":3}}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("whatif faulted: %d %s", resp.StatusCode, body)
+	}
+	var faulted whatifResponse
+	if err := json.Unmarshal(body, &faulted); err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Result == nil || faulted.Reliable == nil || faulted.Adaptive == nil {
+		t.Fatalf("whatif response missing sections: %s", body)
+	}
+
+	// Fault-free continuation: byte-compare the routing result against
+	// the answer /v1/route gives for the same spec from scratch. The
+	// what-if fork carries no TTL default (no fault), so the runs match.
+	resp, body = post(t, ts, "/v1/whatif", `{"checkpoint":`+string(b64)+`}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("whatif clean: %d %s", resp.StatusCode, body)
+	}
+	var clean whatifResponse
+	if err := json.Unmarshal(body, &clean); err != nil {
+		t.Fatal(err)
+	}
+	if clean.Result.Delivered == 0 {
+		t.Fatalf("clean continuation delivered nothing: %s", body)
+	}
+	if clean.Result.Nodes != 24 {
+		t.Fatalf("clean continuation nodes %d, want 24", clean.Result.Nodes)
+	}
+}
+
+// TestWhatifRejectsCorrupt covers the artifact-validation wall: a
+// truncated or bit-flipped checkpoint is the client's problem (400),
+// never a panic or a 500.
+func TestWhatifRejectsCorrupt(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts, "/v1/checkpoint",
+		`{"n":3,"lambda":0.2,"warmup":10,"cycles":40,"seed":7,"cycle":10}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("checkpoint: %d %s", resp.StatusCode, body)
+	}
+	var ck checkpointResponse
+	if err := json.Unmarshal(body, &ck); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mut func([]byte) []byte) string {
+		b := append([]byte(nil), ck.Checkpoint...)
+		b64, err := json.Marshal(mut(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return `{"checkpoint":` + string(b64) + `}`
+	}
+	cases := map[string]string{
+		"truncated":   corrupt(func(b []byte) []byte { return b[:len(b)-3] }),
+		"bit flipped": corrupt(func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }),
+		"empty":       `{"checkpoint":""}`,
+		"not base64":  `{"checkpoint":"%%%"}`,
+	}
+	for name, body := range cases {
+		resp, got := post(t, ts, "/v1/whatif", body)
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d (want 400): %s", name, resp.StatusCode, got)
+		}
+	}
+}
+
+// TestCheckpointValidation: cycle bounds and dimension cap.
+func TestCheckpointValidation(t *testing.T) {
+	ts := newTestServer(t)
+	cases := map[string]string{
+		"cycle past end": `{"n":3,"lambda":0.2,"warmup":10,"cycles":40,"cycle":51}`,
+		"negative cycle": `{"n":3,"lambda":0.2,"warmup":10,"cycles":40,"cycle":-1}`,
+		"dim over cap":   `{"n":9,"lambda":0.2,"cycles":40,"cycle":0}`,
+		"unknown field":  `{"n":3,"lambda":0.2,"cycles":40,"cycle":0,"nope":1}`,
+	}
+	for name, body := range cases {
+		resp, got := post(t, ts, "/v1/checkpoint", body)
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d (want 400): %s", name, resp.StatusCode, got)
+		}
+	}
+}
+
+// ---- cache byte budget ----
+
+func TestCacheByteBudget(t *testing.T) {
+	c := newCache(100, 10)
+	big := func(n int) func() ([]byte, error) {
+		return func() ([]byte, error) { return make([]byte, n), nil }
+	}
+	if _, _, err := c.do("a", big(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.do("b", big(6)); err != nil {
+		t.Fatal(err)
+	}
+	entries, bytes, evicted := c.stats()
+	if entries != 1 || bytes != 6 || evicted != 1 {
+		t.Fatalf("after overflow: entries=%d bytes=%d evicted=%d, want 1/6/1", entries, bytes, evicted)
+	}
+	if _, hit, _ := c.do("a", big(6)); hit {
+		t.Fatal("LRU victim a survived the byte budget")
+	}
+	// A body larger than the whole budget is served but never cached.
+	if _, _, err := c.do("huge", big(50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := c.do("huge", big(50)); hit {
+		t.Fatal("over-budget body was cached")
+	}
+	entries, bytes, _ = c.stats()
+	if bytes > 10 {
+		t.Fatalf("byte budget exceeded: %d cached bytes in %d entries", bytes, entries)
+	}
+}
+
+// TestStatszCacheBytes: the budget and eviction accounting surface on
+// /statsz.
+func TestStatszCacheBytes(t *testing.T) {
+	srv := New(Config{CacheEntries: 64, CacheBytes: 1, MaxDim: 8})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	post(t, ts, "/v1/packaging", `{"variant":"row","n":5}`)
+	post(t, ts, "/v1/packaging", `{"variant":"nucleus","n":5}`)
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheByteCapacity != 1 {
+		t.Fatalf("byte capacity %d, want 1", stats.CacheByteCapacity)
+	}
+	if stats.CacheEvictions < 2 || stats.CacheBytes != 0 {
+		t.Fatalf("1-byte budget kept %d bytes with %d evictions", stats.CacheBytes, stats.CacheEvictions)
 	}
 }

@@ -1,0 +1,523 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math"
+
+	"bfvlsi/internal/adaptive"
+	"bfvlsi/internal/reliable"
+	"bfvlsi/internal/routing"
+	"bfvlsi/internal/wire"
+)
+
+// Checkpoint is a run frozen at a cycle boundary: the static Spec plus
+// the dynamic state of the engine and hooks. It serializes as a
+// TypeCheckpoint wire frame whose SHA-256 is its content address.
+//
+// A Checkpoint is immutable once built; Restore and Fork only read it,
+// so one checkpoint may be forked from many goroutines concurrently
+// (the sweep-farm pattern: one warmed-up prefix, many fault futures).
+type Checkpoint struct {
+	Spec Spec
+	Sim  routing.SimState
+	// Reliable and Adaptive are present exactly when the Spec attaches
+	// the corresponding hook.
+	Reliable *reliable.State
+	Adaptive *adaptive.State
+}
+
+// geometry returns (rows, nodes) for the checkpoint's dimension.
+func (s *Spec) geometry() (int, int) {
+	rows := 1 << uint(s.Route.N)
+	return rows, s.Route.N * rows
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Fields derivable
+// from the Spec (node counts, state sizes, the payload-conservation
+// total) are not encoded, so the frame is canonical by construction;
+// Marshal verifies the state is consistent with the Spec instead.
+func (c *Checkpoint) MarshalBinary() ([]byte, error) {
+	specBytes, err := c.Spec.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	_, nodes := c.Spec.geometry()
+	e := wire.NewEncoder(wire.TypeCheckpoint, wire.VersionCheckpoint)
+	e.Bytes(specBytes)
+	if err := c.encodeSim(e); err != nil {
+		return nil, err
+	}
+	if (c.Spec.Reliable != nil) != (c.Reliable != nil) {
+		return nil, fmt.Errorf("snapshot: reliable state/spec presence mismatch")
+	}
+	if c.Reliable != nil {
+		if err := encodeReliable(e, c.Reliable, nodes, c.Spec.Reliable.MeasureFrom); err != nil {
+			return nil, err
+		}
+	}
+	if (c.Spec.Adaptive != nil) != (c.Adaptive != nil) {
+		return nil, fmt.Errorf("snapshot: adaptive state/spec presence mismatch")
+	}
+	if c.Adaptive != nil {
+		if err := encodeAdaptive(e, c.Adaptive, c.Spec.Route.N); err != nil {
+			return nil, err
+		}
+	}
+	return e.Encoding(), nil
+}
+
+func (c *Checkpoint) encodeSim(e *wire.Encoder) error {
+	st := &c.Sim
+	if st.Cycle < 0 || st.LatCount < 0 || st.Crossings < 0 {
+		return fmt.Errorf("snapshot: sim state has negative totals")
+	}
+	co := &st.Counters
+	if co.Backlog != 0 || co.MaxQueue != 0 || co.Throughput != 0 ||
+		co.AvgLatency != 0 || co.AvgHops != 0 || co.BoundaryCrossingsPerCycle != 0 {
+		return fmt.Errorf("snapshot: sim counters carry derived summary fields")
+	}
+	for _, v := range []int{
+		co.Nodes, co.Injected, co.Delivered, co.InjectionDrops, co.Stalls,
+		co.Dropped, co.Unreachable, co.Misroutes, co.Detours, co.Reroutes,
+		co.UnreachableDead, co.UnreachableCut, co.UnreachableDetected,
+		co.Retransmitted, co.DuplicatesDropped, co.GaveUp,
+		co.TotalInjected, co.TotalDelivered,
+	} {
+		if v < 0 {
+			return fmt.Errorf("snapshot: sim counters are negative")
+		}
+	}
+	e.Uint(st.Cycle)
+	e.Uvarint(st.Draws)
+	e.Float64(st.LatSum)
+	e.Float64(st.HopSum)
+	e.Uint(st.LatCount)
+	e.Uvarint(uint64(st.Crossings))
+	e.Uint(co.Nodes)
+	e.Uint(co.Injected)
+	e.Uint(co.Delivered)
+	e.Uint(co.InjectionDrops)
+	e.Uint(co.Stalls)
+	e.Uint(co.Dropped)
+	e.Uint(co.Unreachable)
+	e.Uint(co.Misroutes)
+	e.Uint(co.Detours)
+	e.Uint(co.Reroutes)
+	e.Uint(co.UnreachableDead)
+	e.Uint(co.UnreachableCut)
+	e.Uint(co.UnreachableDetected)
+	e.Uint(co.Retransmitted)
+	e.Uint(co.DuplicatesDropped)
+	e.Uint(co.GaveUp)
+	e.Uint(co.TotalInjected)
+	e.Uint(co.TotalDelivered)
+	e.Uint(len(st.Packets))
+	for i := range st.Packets {
+		pk := &st.Packets[i]
+		if pk.Queue < 0 || pk.DstRow < 0 || pk.DstCol < 0 || pk.Born < 0 ||
+			pk.Hops < 0 || pk.Detours < 0 || pk.VC < 0 {
+			return fmt.Errorf("snapshot: packet %d has negative fields", i)
+		}
+		e.Uint(pk.Queue)
+		e.Uint(pk.DstRow)
+		e.Uint(pk.DstCol)
+		e.Uint(pk.Born)
+		e.Uint(pk.Hops)
+		e.Uvarint(pk.RID)
+		e.Uint(pk.Detours)
+		e.Int(pk.Blocked)
+		e.Uint(pk.VC)
+	}
+	return nil
+}
+
+func decodeSim(d *wire.Decoder, st *routing.SimState) error {
+	st.Cycle = d.Uint()
+	st.Draws = d.Uvarint()
+	st.LatSum = d.Float64()
+	st.HopSum = d.Float64()
+	st.LatCount = d.Uint()
+	crossings := d.Uvarint()
+	if d.Err() == nil && crossings > math.MaxInt64 {
+		return fmt.Errorf("snapshot: crossings %d overflows int64", crossings)
+	}
+	st.Crossings = int64(crossings)
+	// A keyed composite literal, not field assignments: the decoder
+	// reconstructs counters routing's accounting already produced, and
+	// the conscount ownership contract only budges for whole-value
+	// construction. The d.* calls evaluate in lexical order, which is
+	// the encoding order.
+	st.Counters = routing.Result{
+		Nodes:               d.Uint(),
+		Injected:            d.Uint(),
+		Delivered:           d.Uint(),
+		InjectionDrops:      d.Uint(),
+		Stalls:              d.Uint(),
+		Dropped:             d.Uint(),
+		Unreachable:         d.Uint(),
+		Misroutes:           d.Uint(),
+		Detours:             d.Uint(),
+		Reroutes:            d.Uint(),
+		UnreachableDead:     d.Uint(),
+		UnreachableCut:      d.Uint(),
+		UnreachableDetected: d.Uint(),
+		Retransmitted:       d.Uint(),
+		DuplicatesDropped:   d.Uint(),
+		GaveUp:              d.Uint(),
+		TotalInjected:       d.Uint(),
+		TotalDelivered:      d.Uint(),
+	}
+	n := d.ListLen(9)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	st.Packets = make([]routing.PacketState, n)
+	for i := range st.Packets {
+		st.Packets[i] = routing.PacketState{
+			Queue:   d.Uint(),
+			DstRow:  d.Uint(),
+			DstCol:  d.Uint(),
+			Born:    d.Uint(),
+			Hops:    d.Uint(),
+			RID:     d.Uvarint(),
+			Detours: d.Uint(),
+			Blocked: d.Int(),
+			VC:      d.Uint(),
+		}
+	}
+	return d.Err()
+}
+
+func encodeReliable(e *wire.Encoder, st *reliable.State, nodes, measureFrom int) error {
+	if st.Nodes != nodes {
+		return fmt.Errorf("snapshot: reliable state for %d nodes, spec has %d", st.Nodes, nodes)
+	}
+	if st.MeasureFrom != measureFrom {
+		return fmt.Errorf("snapshot: reliable state MeasureFrom %d, spec has %d", st.MeasureFrom, measureFrom)
+	}
+	if len(st.NextSeq) != nodes {
+		return fmt.Errorf("snapshot: reliable state NextSeq has %d flows, want %d", len(st.NextSeq), nodes)
+	}
+	var sum uint64
+	for _, s := range st.NextSeq {
+		e.Uvarint(s)
+		sum += s
+	}
+	if st.Registered < 0 || uint64(st.Registered) != sum {
+		return fmt.Errorf("snapshot: reliable state Registered %d != flow sequence sum %d", st.Registered, sum)
+	}
+	e.Uint(len(st.Pending))
+	for i := range st.Pending {
+		p := &st.Pending[i]
+		if p.Src < 0 || p.Dst < 0 || p.Born < 0 || p.Attempts < 0 {
+			return fmt.Errorf("snapshot: reliable pending %d has negative fields", i)
+		}
+		e.Uvarint(p.ID)
+		e.Uint(p.Src)
+		e.Uint(p.Dst)
+		e.Uint(p.Born)
+		e.Uint(p.Attempts)
+	}
+	e.Uint(len(st.Timers))
+	for i := range st.Timers {
+		t := &st.Timers[i]
+		if t.Fire < 0 {
+			return fmt.Errorf("snapshot: reliable timer %d fires at negative cycle", i)
+		}
+		e.Uint(t.Fire)
+		e.Uint(len(t.IDs))
+		for _, id := range t.IDs {
+			e.Uvarint(id)
+		}
+	}
+	for _, ids := range [][]uint64{st.Ready, st.Accepted, st.Abandoned} {
+		e.Uint(len(ids))
+		for _, id := range ids {
+			e.Uvarint(id)
+		}
+	}
+	e.Uint(len(st.Latencies))
+	for _, l := range st.Latencies {
+		if l < 0 {
+			return fmt.Errorf("snapshot: reliable state has a negative latency sample")
+		}
+		e.Uint(l)
+	}
+	e.Uvarint(st.Draws)
+	return nil
+}
+
+func decodeReliable(d *wire.Decoder, nodes, measureFrom int) (*reliable.State, error) {
+	st := &reliable.State{Nodes: nodes, MeasureFrom: measureFrom}
+	st.NextSeq = make([]uint64, nodes)
+	var sum uint64
+	for i := range st.NextSeq {
+		st.NextSeq[i] = d.Uvarint()
+		sum += st.NextSeq[i]
+	}
+	if d.Err() == nil && sum > math.MaxInt {
+		return nil, fmt.Errorf("snapshot: flow sequence sum %d overflows int", sum)
+	}
+	st.Registered = int(sum)
+	n := d.ListLen(5)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	st.Pending = make([]reliable.PendingState, n)
+	for i := range st.Pending {
+		st.Pending[i] = reliable.PendingState{
+			ID:       d.Uvarint(),
+			Src:      d.Uint(),
+			Dst:      d.Uint(),
+			Born:     d.Uint(),
+			Attempts: d.Uint(),
+		}
+	}
+	n = d.ListLen(2)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	st.Timers = make([]reliable.TimerState, n)
+	for i := range st.Timers {
+		st.Timers[i].Fire = d.Uint()
+		ids, err := decodeIDList(d)
+		if err != nil {
+			return nil, err
+		}
+		st.Timers[i].IDs = ids
+	}
+	var err error
+	if st.Ready, err = decodeIDList(d); err != nil {
+		return nil, err
+	}
+	if st.Accepted, err = decodeIDList(d); err != nil {
+		return nil, err
+	}
+	if st.Abandoned, err = decodeIDList(d); err != nil {
+		return nil, err
+	}
+	n = d.ListLen(1)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	st.Latencies = make([]int, n)
+	for i := range st.Latencies {
+		st.Latencies[i] = d.Uint()
+	}
+	st.Draws = d.Uvarint()
+	return st, d.Err()
+}
+
+func decodeIDList(d *wire.Decoder) ([]uint64, error) {
+	n := d.ListLen(1)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = d.Uvarint()
+	}
+	return ids, d.Err()
+}
+
+func encodeAdaptive(e *wire.Encoder, st *adaptive.State, n int) error {
+	rows := 1 << uint(n)
+	links := n * rows * 2
+	if st.N != n || st.Rows != rows {
+		return fmt.Errorf("snapshot: adaptive state geometry %dx%d, spec has n=%d", st.N, st.Rows, n)
+	}
+	if len(st.Consec) != links || len(st.Open) != links || len(st.MapDead) != links {
+		return fmt.Errorf("snapshot: adaptive state sized %d/%d/%d links, want %d",
+			len(st.Consec), len(st.Open), len(st.MapDead), links)
+	}
+	if st.Cycle < 0 || st.Stats.Opened < 0 || st.Stats.Reclosed < 0 ||
+		st.Stats.Probes < 0 || st.Stats.ProbesAlive < 0 || st.Stats.Epochs < 0 {
+		return fmt.Errorf("snapshot: adaptive state has negative counters")
+	}
+	e.Uint(st.Cycle)
+	for _, c := range st.Consec {
+		if c < 0 {
+			return fmt.Errorf("snapshot: adaptive state has a negative failure streak")
+		}
+		e.Uint(c)
+	}
+	e.Bytes(packBools(st.Open))
+	e.Bytes(packBools(st.MapDead))
+	e.Bool(st.HaveMap)
+	e.Uint(st.Stats.Opened)
+	e.Uint(st.Stats.Reclosed)
+	e.Uint(st.Stats.Probes)
+	e.Uint(st.Stats.ProbesAlive)
+	e.Uint(st.Stats.Epochs)
+	return nil
+}
+
+func decodeAdaptive(d *wire.Decoder, n int) (*adaptive.State, error) {
+	rows := 1 << uint(n)
+	links := n * rows * 2
+	st := &adaptive.State{N: n, Rows: rows}
+	st.Cycle = d.Uint()
+	st.Consec = make([]int, links)
+	for i := range st.Consec {
+		st.Consec[i] = d.Uint()
+	}
+	var err error
+	if st.Open, err = unpackBools(d.Bytes(), links); err != nil && d.Err() == nil {
+		return nil, err
+	}
+	if st.MapDead, err = unpackBools(d.Bytes(), links); err != nil && d.Err() == nil {
+		return nil, err
+	}
+	st.HaveMap = d.Bool()
+	st.Stats.Opened = d.Uint()
+	st.Stats.Reclosed = d.Uint()
+	st.Stats.Probes = d.Uint()
+	st.Stats.ProbesAlive = d.Uint()
+	st.Stats.Epochs = d.Uint()
+	return st, d.Err()
+}
+
+// packBools packs a bool slice little-endian into (len+7)/8 bytes.
+func packBools(bs []bool) []byte {
+	out := make([]byte, (len(bs)+7)/8)
+	for i, b := range bs {
+		if b {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// unpackBools reverses packBools, rejecting wrong lengths and nonzero
+// padding bits so the packing stays canonical.
+func unpackBools(raw []byte, n int) ([]bool, error) {
+	if len(raw) != (n+7)/8 {
+		return nil, fmt.Errorf("%w: packed bools are %d bytes, want %d", wire.ErrCanonical, len(raw), (n+7)/8)
+	}
+	if n%8 != 0 && len(raw) > 0 && raw[len(raw)-1]>>(uint(n%8)) != 0 {
+		return nil, fmt.Errorf("%w: nonzero padding bits in packed bools", wire.ErrCanonical)
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = raw[i/8]&(1<<uint(i%8)) != 0
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The decode is
+// structural: canonical form is enforced (so a successful decode
+// re-encodes byte-identically), deep semantic validation happens at
+// Restore.
+func (c *Checkpoint) UnmarshalBinary(data []byte) error {
+	d := wire.NewDecoder(data, wire.TypeCheckpoint, wire.VersionCheckpoint)
+	var out Checkpoint
+	specBytes := d.Bytes()
+	if d.Err() == nil {
+		if err := out.Spec.UnmarshalBinary(specBytes); err != nil {
+			return fmt.Errorf("snapshot: embedded spec: %w", err)
+		}
+	}
+	if err := decodeSim(d, &out.Sim); err != nil {
+		return err
+	}
+	_, nodes := out.Spec.geometry()
+	if out.Spec.Reliable != nil {
+		st, err := decodeReliable(d, nodes, out.Spec.Reliable.MeasureFrom)
+		if err != nil {
+			return err
+		}
+		out.Reliable = st
+	}
+	if out.Spec.Adaptive != nil {
+		st, err := decodeAdaptive(d, out.Spec.Route.N)
+		if err != nil {
+			return err
+		}
+		out.Adaptive = st
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	*c = out
+	return nil
+}
+
+// Key returns the checkpoint's content address: the SHA-256 of its
+// canonical encoding.
+func (c *Checkpoint) Key() ([32]byte, error) {
+	b, err := c.MarshalBinary()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(b), nil
+}
+
+// maxDraws bounds the RNG fast-forward a restore will perform, so a
+// corrupt or hostile draw count cannot stall the process: an honest
+// run draws a handful of values per node per cycle at most.
+func (s *Spec) maxDraws() uint64 {
+	_, nodes := s.geometry()
+	total := s.Route.Warmup + s.Route.Cycles
+	return 8 * (uint64(total) + 1) * (uint64(nodes) + 1)
+}
+
+// Restore rebuilds the checkpointed run, positioned at its cycle
+// boundary. The continuation is packet-for-packet identical to the
+// uninterrupted run; with trace non-nil it writes the measured-cycle
+// lines from here on (no header), so prefix and continuation traces
+// concatenate byte-identically to an uninterrupted trace.
+func (c *Checkpoint) Restore(trace io.Writer) (*Run, error) {
+	return c.restore(c.Spec, trace)
+}
+
+// Fork restores the checkpoint under a different fault plan: the
+// what-if primitive. The forked run continues from the boundary with
+// fault events up to the fork cycle already applied (the plan recipe
+// replays deterministically), so a fork models "this fault future hits
+// a machine warmed up fault-free" — the sweep-farm pattern. Passing
+// nil removes the fault plan. The receiver is not mutated; Fork may be
+// called concurrently on one checkpoint.
+func (c *Checkpoint) Fork(fault *wire.FaultSpec, trace io.Writer) (*Run, error) {
+	spec := c.Spec
+	spec.Route.Fault = fault
+	return c.restore(spec, trace)
+}
+
+func (c *Checkpoint) restore(spec Spec, trace io.Writer) (*Run, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Sim.Draws > spec.maxDraws() {
+		return nil, fmt.Errorf("snapshot: sim draw count %d is implausible for this spec (cap %d)", c.Sim.Draws, spec.maxDraws())
+	}
+	p, transport, router, err := spec.params(trace)
+	if err != nil {
+		return nil, err
+	}
+	if (spec.Reliable != nil) != (c.Reliable != nil) {
+		return nil, fmt.Errorf("snapshot: reliable state/spec presence mismatch")
+	}
+	if transport != nil {
+		if c.Reliable.Draws > spec.maxDraws() {
+			return nil, fmt.Errorf("snapshot: transport draw count %d is implausible for this spec", c.Reliable.Draws)
+		}
+		if err := transport.RestoreState(c.Reliable); err != nil {
+			return nil, err
+		}
+	}
+	if (spec.Adaptive != nil) != (c.Adaptive != nil) {
+		return nil, fmt.Errorf("snapshot: adaptive state/spec presence mismatch")
+	}
+	if router != nil {
+		if err := router.RestoreState(c.Adaptive); err != nil {
+			return nil, err
+		}
+	}
+	sim, err := routing.RestoreSim(p, spec.Route.Pattern, &c.Sim)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Spec: spec, Sim: sim, Transport: transport, Router: router}, nil
+}

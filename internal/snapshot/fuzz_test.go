@@ -1,0 +1,53 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode pins the wire contract on the checkpoint layer's
+// two frames: decoding arbitrary bytes never panics, and any input a
+// decoder accepts re-encodes byte-identically (the canonical-encoding
+// property that makes the SHA-256 of a frame a content address).
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, tc := range testSpecs() {
+		if b, err := tc.Spec.MarshalBinary(); err == nil {
+			f.Add(b)
+		}
+		r, err := Start(tc.Spec, nil)
+		if err != nil {
+			continue
+		}
+		if err := r.StepTo(40); err != nil {
+			continue
+		}
+		if b, err := r.Checkpoint().MarshalBinary(); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte("BF"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Spec
+		if err := s.UnmarshalBinary(data); err == nil {
+			re, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatalf("decoded spec fails to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("spec re-encode not byte-identical:\nin:  %x\nout: %x", data, re)
+			}
+		}
+		var c Checkpoint
+		if err := c.UnmarshalBinary(data); err == nil {
+			re, err := c.MarshalBinary()
+			if err != nil {
+				t.Fatalf("decoded checkpoint fails to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("checkpoint re-encode not byte-identical:\nin:  %x\nout: %x", data, re)
+			}
+		}
+	})
+}

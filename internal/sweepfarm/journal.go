@@ -1,0 +1,115 @@
+package sweepfarm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+
+	"bfvlsi/internal/routing"
+	"bfvlsi/internal/wire"
+)
+
+// The journal is a flat file of completed sweep points, one
+// length-prefixed TypeSweepPoint frame per record:
+//
+//	uvarint record length | "BF" | tag 12 | version 1 | point index | result frame
+//
+// Records are appended under a lock and fsynced one at a time, so a
+// crash can lose at most the record being written — a torn tail. The
+// reader stops at the first incomplete or undecodable record and
+// reports the byte offset of the last good one; the writer truncates
+// there before appending, so a resumed farm never buries valid records
+// behind garbage.
+
+// maxRecordLen bounds a journal record; a real record is well under a
+// kilobyte.
+const maxRecordLen = 1 << 20
+
+// Point is one completed sweep point: the index into Spec.Points and
+// the finished run's full counter set.
+type Point struct {
+	Index  int
+	Result *routing.Result
+}
+
+// marshalPoint encodes a point as a TypeSweepPoint frame.
+func marshalPoint(p Point) ([]byte, error) {
+	rr := wire.RouteResult(*p.Result)
+	rb, err := rr.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	e := wire.NewEncoder(wire.TypeSweepPoint, wire.VersionSweepPoint)
+	e.Uint(p.Index)
+	e.Bytes(rb)
+	return e.Encoding(), nil
+}
+
+// unmarshalPoint decodes a TypeSweepPoint frame.
+func unmarshalPoint(b []byte) (Point, error) {
+	d := wire.NewDecoder(b, wire.TypeSweepPoint, wire.VersionSweepPoint)
+	idx := d.Uint()
+	rb := d.Bytes()
+	if err := d.Finish(); err != nil {
+		return Point{}, err
+	}
+	var rr wire.RouteResult
+	if err := rr.UnmarshalBinary(rb); err != nil {
+		return Point{}, err
+	}
+	res := routing.Result(rr)
+	return Point{Index: idx, Result: &res}, nil
+}
+
+// appendRecord writes one length-prefixed record and syncs it to disk
+// before returning, so a journaled point survives a hard kill.
+func appendRecord(f *os.File, p Point) error {
+	rec, err := marshalPoint(p)
+	if err != nil {
+		return err
+	}
+	buf := binary.AppendUvarint(make([]byte, 0, len(rec)+4), uint64(len(rec)))
+	buf = append(buf, rec...)
+	if _, err := f.Write(buf); err != nil {
+		return fmt.Errorf("sweepfarm: journal write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sweepfarm: journal sync: %w", err)
+	}
+	return nil
+}
+
+// ReadJournal reads every complete record of a journal file. A missing
+// file is an empty journal. The second return is the byte offset just
+// past the last complete record: a torn or corrupt tail (the wake of a
+// crash mid-append) is tolerated by stopping there, and Run truncates
+// the file to that offset before appending.
+func ReadJournal(path string) ([]Point, int64, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var pts []Point
+	var off int64
+	for int(off) < len(b) {
+		n, k := binary.Uvarint(b[off:])
+		if k <= 0 || n > maxRecordLen {
+			break
+		}
+		start := off + int64(k)
+		if start+int64(n) > int64(len(b)) {
+			break
+		}
+		p, err := unmarshalPoint(b[start : start+int64(n)])
+		if err != nil {
+			break
+		}
+		pts = append(pts, p)
+		off = start + int64(n)
+	}
+	return pts, off, nil
+}

@@ -1,0 +1,212 @@
+package sweepfarm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bfvlsi/internal/snapshot"
+	"bfvlsi/internal/wire"
+)
+
+// testSpec builds a farm over a VC stack with reliable transport:
+// every fault rate × seed combination plus a fault-free control point.
+func testSpec() Spec {
+	base := snapshot.Spec{
+		Route: wire.RouteSpec{
+			N: 3, Lambda: 0.30, Warmup: 20, Cycles: 60, Seed: 11,
+			BufferLimit: 4, TTL: 48,
+		},
+		Reliable: &snapshot.ReliableSpec{Timeout: 12, MaxRetries: 3, Jitter: 2, Seed: 5, MeasureFrom: 20},
+	}
+	points := []*wire.FaultSpec{nil} // control
+	for _, rate := range []float64{0.02, 0.05, 0.08} {
+		for seed := int64(1); seed <= 3; seed++ {
+			points = append(points, &wire.FaultSpec{N: 3, LinkRate: rate, Seed: seed})
+		}
+	}
+	return Spec{Base: base, ForkCycle: 20, Points: points}
+}
+
+func mustRun(t *testing.T, spec Spec, o Options) *Report {
+	t.Helper()
+	rep, err := Run(spec, o)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func encode(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	b, err := rep.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return b
+}
+
+// TestFarmComplete pins the basics: a farm covers every point exactly
+// once, in index order, each result conserving packets, and two farms
+// over the same spec encode byte-identically regardless of scheduling.
+func TestFarmComplete(t *testing.T) {
+	spec := testSpec()
+	rep := mustRun(t, spec, Options{Workers: 4})
+	if len(rep.Points) != len(spec.Points) {
+		t.Fatalf("report has %d points, want %d", len(rep.Points), len(spec.Points))
+	}
+	for i, p := range rep.Points {
+		if p.Index != i {
+			t.Fatalf("point %d has index %d; report must be sorted and complete", i, p.Index)
+		}
+		if err := p.Result.CheckConservation(); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+	}
+	if rep.Points[0].Result.Dropped+rep.Points[0].Result.Unreachable != 0 {
+		t.Fatalf("fault-free control point lost packets: %+v", rep.Points[0].Result)
+	}
+	again := mustRun(t, spec, Options{Workers: 2})
+	if !bytes.Equal(encode(t, rep), encode(t, again)) {
+		t.Fatalf("two farms over the same spec encoded differently")
+	}
+}
+
+// TestFarmResume pins journal replay: a second run over a complete
+// journal simulates nothing and reproduces the same report.
+func TestFarmResume(t *testing.T) {
+	spec := testSpec()
+	journal := filepath.Join(t.TempDir(), "journal.bin")
+	first := mustRun(t, spec, Options{Workers: 4, Journal: journal})
+	if first.Resumed != 0 {
+		t.Fatalf("fresh farm reports %d resumed points", first.Resumed)
+	}
+	second := mustRun(t, spec, Options{Workers: 4, Journal: journal})
+	if second.Resumed != len(spec.Points) {
+		t.Fatalf("complete journal resumed %d of %d points", second.Resumed, len(spec.Points))
+	}
+	if !reflect.DeepEqual(first.Points, second.Points) {
+		t.Fatalf("journal replay changed the report")
+	}
+}
+
+// TestFarmKillResume is the mid-run kill/resume equivalence satellite:
+// hard-abort the farm at a seeded random point (in-flight results
+// discarded unjournaled, like a SIGKILL), resume from the journal, and
+// require the merged result set byte-identical to an uninterrupted
+// farm's.
+func TestFarmKillResume(t *testing.T) {
+	spec := testSpec()
+	want := encode(t, mustRun(t, spec, Options{Workers: 4}))
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 3; trial++ {
+		journal := filepath.Join(t.TempDir(), "journal.bin")
+		abortAfter := 1 + rng.Intn(len(spec.Points)-1)
+		_, err := Run(spec, Options{Workers: 4, Journal: journal, AbortAfter: abortAfter})
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("trial %d: abort after %d points returned %v, want ErrAborted", trial, abortAfter, err)
+		}
+		pts, _, err := ReadJournal(journal)
+		if err != nil {
+			t.Fatalf("trial %d: ReadJournal: %v", trial, err)
+		}
+		if len(pts) < abortAfter || len(pts) >= len(spec.Points) {
+			t.Fatalf("trial %d: aborted journal holds %d points (abort after %d, total %d)",
+				trial, len(pts), abortAfter, len(spec.Points))
+		}
+		resumed := mustRun(t, spec, Options{Workers: 4, Journal: journal})
+		if resumed.Resumed != len(pts) {
+			t.Fatalf("trial %d: resume replayed %d points, journal had %d", trial, resumed.Resumed, len(pts))
+		}
+		if got := encode(t, resumed); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: killed-and-resumed farm encoded differently from the uninterrupted one", trial)
+		}
+	}
+}
+
+// TestFarmTornTail pins crash tolerance in the journal itself: garbage
+// after the last complete record (a torn append) is ignored on read and
+// truncated away on resume.
+func TestFarmTornTail(t *testing.T) {
+	spec := testSpec()
+	journal := filepath.Join(t.TempDir(), "journal.bin")
+	_, err := Run(spec, Options{Workers: 2, Journal: journal, AbortAfter: 3})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("abort returned %v", err)
+	}
+	clean, validLen, err := ReadJournal(journal)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a record: a plausible length prefix with a truncated frame.
+	if _, err := f.Write([]byte{40, 'B', 'F', 12, 1, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn, tornValid, err := ReadJournal(journal)
+	if err != nil {
+		t.Fatalf("ReadJournal with torn tail: %v", err)
+	}
+	if !reflect.DeepEqual(clean, torn) || tornValid != validLen {
+		t.Fatalf("torn tail changed the readable journal (%d vs %d points, offset %d vs %d)",
+			len(clean), len(torn), validLen, tornValid)
+	}
+	resumed := mustRun(t, spec, Options{Workers: 2, Journal: journal})
+	if len(resumed.Points) != len(spec.Points) {
+		t.Fatalf("resume over a torn journal finished %d of %d points", len(resumed.Points), len(spec.Points))
+	}
+	// After the resume the journal must be fully readable again — the
+	// torn bytes were truncated, not buried.
+	final, _, err := ReadJournal(journal)
+	if err != nil {
+		t.Fatalf("ReadJournal after resume: %v", err)
+	}
+	if len(final) != len(spec.Points) {
+		t.Fatalf("final journal holds %d of %d points", len(final), len(spec.Points))
+	}
+}
+
+// TestFarmRejects covers spec and journal validation.
+func TestFarmRejects(t *testing.T) {
+	good := testSpec()
+
+	bad := good
+	bad.ForkCycle = good.Base.Route.Warmup + good.Base.Route.Cycles + 1
+	if _, err := Run(bad, Options{}); err == nil {
+		t.Errorf("fork cycle past the end accepted")
+	}
+
+	bad = good
+	bad.Points = nil
+	if _, err := Run(bad, Options{}); err == nil {
+		t.Errorf("empty point list accepted")
+	}
+
+	bad = good
+	bad.Points = append([]*wire.FaultSpec(nil), good.Points...)
+	bad.Points[2] = &wire.FaultSpec{N: 4, LinkRate: 0.1, Seed: 1}
+	if _, err := Run(bad, Options{}); err == nil {
+		t.Errorf("dimension-mismatched point accepted")
+	}
+
+	// A journal from a larger sweep must not silently attach to a
+	// smaller one.
+	journal := filepath.Join(t.TempDir(), "journal.bin")
+	mustRun(t, good, Options{Workers: 2, Journal: journal})
+	small := good
+	small.Points = good.Points[:2]
+	if _, err := Run(small, Options{Journal: journal}); err == nil {
+		t.Errorf("journal with out-of-range indices accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package wire
+
+import "fmt"
+
+// Exported encoder/decoder wrappers. The checkpoint layer
+// (internal/snapshot, internal/sweepfarm) defines its own frame types
+// but must keep this package's canonical-encoding contract —
+// Unmarshal(b) == nil implies re-encode == b — so it builds on the
+// same primitives instead of reimplementing them. The wrappers are
+// thin: every method forwards to the unexported enc/dec the in-package
+// types use.
+
+// Encoder accumulates a canonical frame for an out-of-package wire
+// type. Create with NewEncoder; read the bytes with Bytes.
+type Encoder struct {
+	e *enc
+}
+
+// NewEncoder starts a frame with the standard magic/tag/version header.
+func NewEncoder(typ, version byte) *Encoder {
+	return &Encoder{e: newEnc(typ, version)}
+}
+
+// Uvarint appends a minimal-length unsigned varint.
+func (x *Encoder) Uvarint(v uint64) { x.e.uvarint(v) }
+
+// Varint appends a minimal-length zigzag varint.
+func (x *Encoder) Varint(v int64) { x.e.varint(v) }
+
+// Uint appends a non-negative int as an unsigned varint.
+func (x *Encoder) Uint(v int) { x.e.uint(v) }
+
+// Int appends an int as a zigzag varint.
+func (x *Encoder) Int(v int) { x.e.int(v) }
+
+// Bool appends one 0/1 byte.
+func (x *Encoder) Bool(v bool) { x.e.bool(v) }
+
+// Float64 appends a big-endian IEEE-754 float64.
+func (x *Encoder) Float64(v float64) { x.e.float64(v) }
+
+// String appends a length-prefixed string.
+func (x *Encoder) String(s string) { x.e.string(s) }
+
+// maxBytesLen bounds Decoder.Bytes: embedded frames (a spec inside a
+// checkpoint) can outgrow the string cap, but not this.
+const maxBytesLen = 1 << 24
+
+// Bytes appends a length-prefixed byte string. Unlike String it admits
+// lengths up to maxBytesLen, for embedding whole frames.
+func (x *Encoder) Bytes(b []byte) {
+	x.e.uvarint(uint64(len(b)))
+	x.e.buf = append(x.e.buf, b...)
+}
+
+// Encoding returns the encoding accumulated so far.
+func (x *Encoder) Encoding() []byte { return x.e.buf }
+
+// Decoder consumes a canonical frame of an out-of-package wire type.
+// The first error sticks (getters return zero values after it); Finish
+// rejects trailing bytes and returns it.
+type Decoder struct {
+	d *dec
+}
+
+// NewDecoder validates the frame header (magic, tag, version) and
+// positions the decoder at the body. Header failures stick like any
+// other decode error.
+func NewDecoder(data []byte, typ, version byte) *Decoder {
+	return &Decoder{d: newDec(data, typ, version)}
+}
+
+// Uvarint reads a minimal-length unsigned varint.
+func (x *Decoder) Uvarint() uint64 { return x.d.uvarint() }
+
+// Varint reads a minimal-length zigzag varint.
+func (x *Decoder) Varint() int64 { return x.d.varint() }
+
+// Uint reads a non-negative value that must fit in int.
+func (x *Decoder) Uint() int { return x.d.uint() }
+
+// Int reads a signed value that must fit in int.
+func (x *Decoder) Int() int { return x.d.int() }
+
+// Bool reads one 0/1 byte.
+func (x *Decoder) Bool() bool { return x.d.bool() }
+
+// Float64 reads a big-endian IEEE-754 float64, rejecting NaN.
+func (x *Decoder) Float64() float64 { return x.d.float64() }
+
+// String reads a length-prefixed string.
+func (x *Decoder) String() string { return x.d.string() }
+
+// Bytes reads a length-prefixed byte string into a fresh slice.
+func (x *Decoder) Bytes() []byte {
+	d := x.d
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxBytesLen {
+		d.fail(fmt.Errorf("%w: byte string length %d exceeds cap %d", ErrRange, n, maxBytesLen))
+		return nil
+	}
+	if uint64(d.rem()) < n {
+		d.fail(fmt.Errorf("%w: byte string of %d bytes with only %d remaining", ErrTruncated, n, d.rem()))
+		return nil
+	}
+	b := append([]byte(nil), d.buf[d.off:d.off+int(n)]...)
+	d.off += int(n)
+	return b
+}
+
+// ListLen reads an element count, rejecting counts that cannot fit in
+// the remaining bytes at minBytes per element.
+func (x *Decoder) ListLen(minBytes int) int { return x.d.listLen(minBytes) }
+
+// Err returns the sticky decode error, if any, without the
+// trailing-bytes check.
+func (x *Decoder) Err() error { return x.d.err }
+
+// Finish rejects trailing bytes and returns the sticky error.
+func (x *Decoder) Finish() error { return x.d.finish() }

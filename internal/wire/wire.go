@@ -55,6 +55,13 @@ const (
 	TypeRouteSpec     byte = 7
 	TypeRouteResult   byte = 8
 	TypeSweepSpec     byte = 9
+	// Tags 10-12 belong to the checkpoint layer: the stack spec and
+	// checkpoint frames live in internal/snapshot and the sweep-farm
+	// journal record in internal/sweepfarm, all built on this package's
+	// Encoder/Decoder so the canonical-encoding contract carries over.
+	TypeSimSpec    byte = 10
+	TypeCheckpoint byte = 11
+	TypeSweepPoint byte = 12
 )
 
 // Current format versions, one per type tag.
@@ -68,6 +75,9 @@ const (
 	VersionRouteSpec     byte = 1
 	VersionRouteResult   byte = 1
 	VersionSweepSpec     byte = 1
+	VersionSimSpec       byte = 1
+	VersionCheckpoint    byte = 1
+	VersionSweepPoint    byte = 1
 )
 
 // magic is the two-byte frame prefix of every wire message.
