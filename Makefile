@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-alloc bench-json vet lint fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz serve sweep-resume
+.PHONY: all build test test-short race bench bench-alloc bench-json vet lint fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz serve sweep-resume chaos-sweep
 
 all: build vet lint test
 
@@ -48,6 +48,14 @@ bench-json:
 serve:
 	$(GO) run ./cmd/bfserve
 
+# Distributed sweep-farm chaos smoke (EXPERIMENTS.md E26): the dispatch
+# coordinator against three in-process bfserve workers behind a mixed
+# chaos proxy (drops, delays, 500s, truncated and duplicated bodies),
+# with hedging and per-worker journals, under the race detector. The
+# test asserts the merged report is byte-identical to a serial farm.
+chaos-sweep:
+	$(GO) test -race -count=1 -run TestChaosSweepSmoke -v ./internal/dispatch
+
 # Resumable sweep-farm smoke: run a small farm twice over one journal;
 # the second invocation must replay every point from disk (header says
 # "N from journal") and print the identical table.
@@ -83,3 +91,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRouteSpecRoundTrip -fuzztime=15s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzLayoutSpecRoundTrip -fuzztime=15s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=30s ./internal/snapshot
+	$(GO) test -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=30s ./internal/sweepfarm

@@ -345,7 +345,9 @@ type ReliableStats = reliable.Stats
 // RoutingSim is the stepwise form of the routing simulator: construct,
 // Step cycle by cycle, capture State mid-run, Finish for the result.
 // SimulateRouting remains the one-shot form; the stepwise form exists
-// for checkpoint/resume workflows (internal/snapshot, cmd/bfsweep).
+// for checkpoint/resume workflows (internal/snapshot, cmd/bfsweep) and
+// their distributed fan-out (internal/dispatch, cmd/bffarm), which
+// ships checkpoints to a bfserve fleet and merges worker journals.
 type RoutingSim = routing.Sim
 
 // NewRoutingSim constructs a stepwise simulator from the same

@@ -1,0 +1,319 @@
+// Command bffarm runs a fault-scenario sweep on a fleet of bfserve
+// workers (see internal/dispatch): the base run is warmed up and
+// checkpointed locally once, then every sweep point is handed out over
+// POST /v1/whatif with leases, retries under exponential backoff,
+// per-worker circuit breakers, and optional request hedging. The merged
+// report is byte-identical to what a local bfsweep over the same spec
+// produces.
+//
+// Usage:
+//
+//	bffarm -workers http://h1:8417,http://h2:8417 -n 6 -lambda 0.2
+//	bffarm -workers http://h1:8417 -rates 0.02,0.05 -faultseeds 1,2,3
+//	bffarm -workers ... -journaldir farm.d     # killable and resumable
+//	bffarm -workers ... -hedge 200ms           # duplicate stragglers
+//
+// With -journaldir every worker lane journals finished points (fsynced
+// per record); a killed coordinator rerun merges all journals in the
+// directory and dispatches only what is missing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"bfvlsi/internal/dispatch"
+	"bfvlsi/internal/snapshot"
+	"bfvlsi/internal/sweepfarm"
+	"bfvlsi/internal/wire"
+)
+
+// options carries every flag value. Parsing and validation are pure (no
+// exits, no prints): main turns a validation error into the exit-2
+// usage path, and the tests drive the same code with table argv lists.
+type options struct {
+	// sweep shape (mirrors bfsweep)
+	dim        int
+	lambda     float64
+	warmup     int
+	cycles     int
+	seed       int64
+	buffers    int
+	ttl        int
+	reliable   bool
+	adaptive   bool
+	rates      string
+	faultSeeds string
+	control    bool
+	fork       int
+
+	// fleet and reliability knobs
+	workers    string
+	journalDir string
+	inflight   int
+	lease      time.Duration
+	timeout    time.Duration
+	attempts   int
+	backoff    time.Duration
+	backoffCap time.Duration
+	jitter     time.Duration
+	retrySeed  int64
+	hedge      time.Duration
+	breaker    int
+	cooldown   time.Duration
+
+	rateList   []float64
+	seedList   []int64
+	workerList []string
+}
+
+// newOptions registers every flag on the given set.
+func newOptions(set *flag.FlagSet) *options {
+	o := &options{}
+	set.IntVar(&o.dim, "n", 6, "butterfly dimension")
+	set.Float64Var(&o.lambda, "lambda", 0.1, "per-node injection probability")
+	set.IntVar(&o.warmup, "warmup", 200, "warmup cycles")
+	set.IntVar(&o.cycles, "cycles", 600, "measured cycles")
+	set.Int64Var(&o.seed, "seed", 1, "traffic seed")
+	set.IntVar(&o.buffers, "buffers", 4, "per-link buffer limit (0 = unbounded)")
+	set.IntVar(&o.ttl, "ttl", 0, "packet TTL (0 = default for faulted runs)")
+	set.BoolVar(&o.reliable, "reliable", false, "layer the reliable transport over every run")
+	set.BoolVar(&o.adaptive, "adaptive", false, "use the adaptive fault-aware router")
+	set.StringVar(&o.rates, "rates", "0.01,0.02,0.05", "comma-separated link fault rates")
+	set.StringVar(&o.faultSeeds, "faultseeds", "1,2,3", "comma-separated fault-plan seeds")
+	set.BoolVar(&o.control, "control", true, "include a fault-free control point")
+	set.IntVar(&o.fork, "fork", -1, "fork cycle for the warmed-up checkpoint (-1 = end of warmup)")
+
+	set.StringVar(&o.workers, "workers", "", "comma-separated bfserve worker base URLs (required)")
+	set.StringVar(&o.journalDir, "journaldir", "", "per-worker journal directory (empty = not resumable)")
+	set.IntVar(&o.inflight, "inflight", 0, "concurrently leased queries (0 = twice the worker count)")
+	set.DurationVar(&o.lease, "lease", 30*time.Second, "lease TTL: how long a point may stay assigned to a worker")
+	set.DurationVar(&o.timeout, "timeout", 0, "per-request deadline inside the lease (0 = lease TTL only)")
+	set.IntVar(&o.attempts, "attempts", 4, "per-point retry budget, first attempt included")
+	set.DurationVar(&o.backoff, "backoff", 50*time.Millisecond, "retry backoff base (doubles per attempt)")
+	set.DurationVar(&o.backoffCap, "backoffcap", 2*time.Second, "retry backoff cap")
+	set.DurationVar(&o.jitter, "jitter", 25*time.Millisecond, "max uniform jitter added to each backoff")
+	set.Int64Var(&o.retrySeed, "retryseed", 1, "seed for the backoff jitter")
+	set.DurationVar(&o.hedge, "hedge", 0, "hedge stragglers onto a second worker after this delay (0 = off)")
+	set.IntVar(&o.breaker, "breaker", 3, "consecutive failures that open a worker's circuit breaker")
+	set.DurationVar(&o.cooldown, "cooldown", 2*time.Second, "breaker cooldown before a half-open probe")
+	return o
+}
+
+// validate audits flag ranges and parses the list-valued flags.
+func (o *options) validate() error {
+	if o.dim < 1 || o.dim > 14 {
+		return fmt.Errorf("-n %d out of range [1,14]", o.dim)
+	}
+	if o.lambda <= 0 || o.lambda > 1 {
+		return fmt.Errorf("-lambda %v outside (0,1]", o.lambda)
+	}
+	if o.warmup < 0 || o.cycles <= 0 {
+		return fmt.Errorf("-warmup %d / -cycles %d invalid", o.warmup, o.cycles)
+	}
+	if o.buffers < 0 || o.ttl < 0 {
+		return fmt.Errorf("-buffers %d / -ttl %d negative", o.buffers, o.ttl)
+	}
+	if o.fork < -1 || o.fork > o.warmup+o.cycles {
+		return fmt.Errorf("-fork %d outside [0,%d]", o.fork, o.warmup+o.cycles)
+	}
+	var err error
+	if o.rateList, err = parseFloats(o.rates); err != nil {
+		return fmt.Errorf("-rates: %w", err)
+	}
+	for _, r := range o.rateList {
+		if r <= 0 || r >= 1 {
+			return fmt.Errorf("-rates: rate %v outside (0,1)", r)
+		}
+	}
+	if o.seedList, err = parseInts(o.faultSeeds); err != nil {
+		return fmt.Errorf("-faultseeds: %w", err)
+	}
+	if len(o.rateList)*len(o.seedList) == 0 && !o.control {
+		return fmt.Errorf("no sweep points: empty -rates or -faultseeds and -control=false")
+	}
+
+	for _, part := range strings.Split(o.workers, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			o.workerList = append(o.workerList, part)
+		}
+	}
+	if len(o.workerList) == 0 {
+		return fmt.Errorf("-workers is required: give at least one bfserve base URL")
+	}
+	for _, u := range o.workerList {
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return fmt.Errorf("-workers: %q is not an http(s) URL", u)
+		}
+	}
+	if o.inflight < 0 {
+		return fmt.Errorf("-inflight %d is negative (0 selects the default)", o.inflight)
+	}
+	if o.lease <= 0 {
+		return fmt.Errorf("-lease %v must be positive", o.lease)
+	}
+	if o.timeout < 0 || o.backoff < 0 || o.backoffCap < 0 || o.jitter < 0 || o.hedge < 0 || o.cooldown < 0 {
+		return fmt.Errorf("negative duration flag")
+	}
+	if o.attempts < 1 {
+		return fmt.Errorf("-attempts %d must be at least 1", o.attempts)
+	}
+	if o.breaker < 1 {
+		return fmt.Errorf("-breaker %d must be at least 1", o.breaker)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// pointLabel describes one sweep point for the report table.
+type pointLabel struct {
+	rate float64
+	seed int64
+}
+
+// farmSpec assembles the sweepfarm spec and the per-point labels,
+// identically to bfsweep — the two commands must agree on the spec for
+// their reports to agree on the bytes.
+func (o *options) farmSpec() (sweepfarm.Spec, []pointLabel) {
+	base := snapshot.Spec{
+		Route: wire.RouteSpec{
+			N: o.dim, Lambda: o.lambda, Warmup: o.warmup, Cycles: o.cycles,
+			Seed: o.seed, BufferLimit: o.buffers, TTL: o.ttl,
+		},
+	}
+	if o.reliable {
+		base.Reliable = &snapshot.ReliableSpec{
+			Timeout: 4 * o.dim, MaxRetries: 5, Jitter: 3, Seed: o.seed + 1,
+			MeasureFrom: o.warmup,
+		}
+	}
+	if o.adaptive {
+		base.Adaptive = &snapshot.AdaptiveSpec{Seed: o.seed + 2}
+	}
+	fork := o.fork
+	if fork < 0 {
+		fork = o.warmup
+	}
+	var points []*wire.FaultSpec
+	var labels []pointLabel
+	if o.control {
+		points = append(points, nil)
+		labels = append(labels, pointLabel{})
+	}
+	for _, rate := range o.rateList {
+		for _, seed := range o.seedList {
+			points = append(points, &wire.FaultSpec{N: o.dim, LinkRate: rate, Seed: seed})
+			labels = append(labels, pointLabel{rate: rate, seed: seed})
+		}
+	}
+	return sweepfarm.Spec{Base: base, ForkCycle: fork, Points: points}, labels
+}
+
+// dispatchConfig assembles the coordinator config from the flags.
+func (o *options) dispatchConfig() dispatch.Config {
+	return dispatch.Config{
+		Workers:          o.workerList,
+		JournalDir:       o.journalDir,
+		Inflight:         o.inflight,
+		LeaseTTL:         o.lease,
+		RequestTimeout:   o.timeout,
+		MaxAttempts:      o.attempts,
+		BackoffBase:      o.backoff,
+		BackoffCap:       o.backoffCap,
+		JitterMax:        o.jitter,
+		Seed:             o.retrySeed,
+		HedgeAfter:       o.hedge,
+		BreakerThreshold: o.breaker,
+		BreakerCooldown:  o.cooldown,
+		// The coordinator is where determinism ends and operations begin:
+		// this is the command's one wall-clock injection point (lease
+		// expiry and breaker cooldowns).
+		Now: time.Now, //bflint:ignore detrand
+	}
+}
+
+// run executes the distributed farm and writes the report table plus a
+// fleet summary; it returns the process exit code.
+func run(o *options, stdout, stderr io.Writer) int {
+	spec, labels := o.farmSpec()
+	rep, st, err := dispatch.Run(spec, o.dispatchConfig())
+	if err != nil {
+		fmt.Fprintln(stderr, "bffarm:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "B_%d lambda=%.4f, %d points (%d from journals), fork at cycle %d, %d workers\n",
+		o.dim, o.lambda, len(rep.Points), rep.Resumed, spec.ForkCycle, len(o.workerList))
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "point\trate\tseed\tthroughput\tdelivered\tdropped\tunreachable\tretransmit\tgaveup\n")
+	for _, p := range rep.Points {
+		l := labels[p.Index]
+		r := p.Result
+		scenario := "control"
+		seed := "-"
+		if l.rate > 0 {
+			scenario = fmt.Sprintf("%.4f", l.rate)
+			seed = strconv.FormatInt(l.seed, 10)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%.4f\t%d\t%d\t%d\t%d\t%d\n",
+			p.Index, scenario, seed, r.Throughput, r.Delivered, r.Dropped,
+			r.Unreachable, r.Retransmitted, r.GaveUp)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(stderr, "bffarm:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout,
+		"fleet: %d queries (%d deduped), %d calls, %d retries, %d hedges (%d won), %d leases (%d expired), %d shed, breakers %d opened / %d re-closed\n",
+		st.Groups, st.Deduped, st.Calls, st.Retries, st.Hedges, st.HedgeWins,
+		st.LeasesGranted, st.LeasesExpired, st.Shed, st.BreakerOpens, st.BreakerCloses)
+	return 0
+}
+
+func main() {
+	set := flag.NewFlagSet("bffarm", flag.ExitOnError)
+	o := newOptions(set)
+	_ = set.Parse(os.Args[1:])
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "bffarm:", err)
+		set.Usage()
+		os.Exit(2)
+	}
+	os.Exit(run(o, os.Stdout, os.Stderr))
+}

@@ -12,6 +12,7 @@
 //	bfserve -timeout 30s            # per-request handling deadline
 //	bfserve -maxdim 10              # cap accepted butterfly dimensions
 //	bfserve -drain 15s              # graceful-shutdown drain deadline
+//	bfserve -maxinflight 64         # shed /v1/ load beyond this concurrency
 //
 // Endpoints: POST /v1/layout, /v1/packaging, /v1/route, /v1/faultsweep,
 // /v1/checkpoint, /v1/whatif; GET /healthz, /statsz. Responses carry
@@ -43,12 +44,13 @@ import (
 // exits, no prints): main turns a validation error into the exit-2
 // usage path, and the tests drive the same code with table argv lists.
 type options struct {
-	addr       string
-	cache      int
-	cacheBytes int64
-	timeout    time.Duration
-	maxDim     int
-	drain      time.Duration
+	addr        string
+	cache       int
+	cacheBytes  int64
+	timeout     time.Duration
+	maxDim      int
+	drain       time.Duration
+	maxInflight int
 }
 
 // newOptions registers every flag on the given set.
@@ -61,6 +63,8 @@ func newOptions(set *flag.FlagSet) *options {
 	set.DurationVar(&o.timeout, "timeout", 60*time.Second, "per-request handling deadline (0 = none)")
 	set.IntVar(&o.maxDim, "maxdim", serve.DefaultMaxDim, "largest accepted butterfly dimension")
 	set.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain deadline")
+	set.IntVar(&o.maxInflight, "maxinflight", 0,
+		"cap on concurrently handled /v1/ requests; excess answered 503 with Retry-After (0 = no cap)")
 	return o
 }
 
@@ -98,6 +102,9 @@ func (o *options) validate() error {
 	if o.drain <= 0 {
 		return fmt.Errorf("-drain %v must be positive", o.drain)
 	}
+	if o.maxInflight < 0 {
+		return fmt.Errorf("-maxinflight %d is negative (0 disables the cap)", o.maxInflight)
+	}
 	return nil
 }
 
@@ -108,6 +115,7 @@ func (o *options) server() *serve.Server {
 		CacheBytes:   o.cacheBytes,
 		MaxDim:       o.maxDim,
 		Timeout:      o.timeout,
+		MaxInflight:  o.maxInflight,
 		// The daemon is where determinism ends and operations begin:
 		// this is the repo's one wall-clock injection point for the
 		// service (latency metrics on /statsz).

@@ -35,6 +35,9 @@ func TestParseOptions(t *testing.T) {
 		{"maxdim huge", []string{"-maxdim", "15"}, "out of range [1,14]"},
 		{"zero drain", []string{"-drain", "0"}, "must be positive"},
 		{"negative drain", []string{"-drain", "-2s"}, "must be positive"},
+		{"inflight cap", []string{"-maxinflight", "64"}, ""},
+		{"inflight off", []string{"-maxinflight", "0"}, ""},
+		{"negative inflight", []string{"-maxinflight", "-1"}, "is negative"},
 		{"unknown flag", []string{"-port", "80"}, "flag provided but not defined"},
 	}
 	for _, c := range cases {

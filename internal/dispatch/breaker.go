@@ -1,0 +1,102 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the coordinator's per-worker circuit breaker, the control
+// plane analogue of internal/adaptive's per-link breakers: Threshold
+// consecutive failed attempts condemn ("open") a worker, an open worker
+// is skipped by assignment for Cooldown, and after the cooldown exactly
+// one probe request is admitted (half-open). A successful probe
+// re-closes the breaker; a failed one re-opens it and re-arms the
+// cooldown. All timing flows through the coordinator's injected clock.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen // one probe in flight
+)
+
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	strikes  int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+
+	opened, reclosed int // transition counters for Stats
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether an attempt may be sent to this worker at the
+// given instant. For an open breaker past its cooldown it admits the
+// caller as the half-open probe (a reservation: concurrent callers get
+// false until the probe resolves). The second return is how long until
+// the breaker would next admit a probe — 0 when admitted, negative when
+// unknowable (probe in flight).
+func (b *breaker) allow(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerHalfOpen:
+		return false, -1
+	default: // open
+		if wait := b.openedAt.Add(b.cooldown).Sub(now); wait > 0 {
+			return false, wait
+		}
+		b.state = breakerHalfOpen
+		return true, 0
+	}
+}
+
+// success records a completed attempt: it wipes the strike count and
+// re-closes a half-open breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.reclosed++
+	}
+	b.state = breakerClosed
+	b.strikes = 0
+}
+
+// failure records a failed attempt at the given instant: a half-open
+// probe failure re-opens immediately, and Threshold consecutive
+// failures open a closed breaker.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.opened++
+	case breakerClosed:
+		b.strikes++
+		if b.strikes >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.strikes = 0
+			b.opened++
+		}
+	default: // already open: a straggling failure changes nothing
+	}
+}
+
+// counters returns the transition counts for Stats.
+func (b *breaker) counters() (opened, reclosed int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opened, b.reclosed
+}

@@ -1,0 +1,232 @@
+// Package chaos is a deterministic fault-injecting middleman for the
+// dispatch coordinator's tests: it wraps a real worker handler (a
+// bfserve serve.Server) and, per request ordinal, either passes the
+// request through or injects one of the failure modes a lossy fleet
+// produces — severed connections, long delays, HTTP 500s, truncated
+// response bodies, and duplicated response bodies.
+//
+// Faults are chosen by a Schedule, a pure function of the request
+// ordinal, so a test names its exact failure pattern ("drop every
+// third request") instead of seeding a die. The proxy holds no clock
+// and no randomness of its own.
+package chaos
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Fault is one injected failure mode.
+type Fault int
+
+const (
+	// Pass forwards the request untouched.
+	Pass Fault = iota
+	// Drop accepts the request and severs the connection without
+	// answering — the client sees an unexpected EOF mid-response.
+	Drop
+	// Delay holds the request for the proxy's Delay duration before
+	// forwarding it, manufacturing a straggler for hedging to beat.
+	Delay
+	// Error500 answers 500 without consulting the worker.
+	Error500
+	// Truncate forwards the request but cuts the response body short
+	// while declaring the full Content-Length, so the client reads a
+	// torn body.
+	Truncate
+	// Duplicate forwards the request and sends the response body twice
+	// under a doubled Content-Length — syntactically whole, semantically
+	// two documents.
+	Duplicate
+)
+
+// String names the fault for test diagnostics.
+func (f Fault) String() string {
+	switch f {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Error500:
+		return "error500"
+	case Truncate:
+		return "truncate"
+	case Duplicate:
+		return "duplicate"
+	}
+	return "unknown"
+}
+
+// Schedule maps a 0-based request ordinal to the fault injected on it.
+type Schedule func(n int) Fault
+
+// Cycle repeats the given pattern forever; an empty pattern passes
+// everything.
+func Cycle(pattern ...Fault) Schedule {
+	return func(n int) Fault {
+		if len(pattern) == 0 {
+			return Pass
+		}
+		return pattern[n%len(pattern)]
+	}
+}
+
+// FirstN injects f on the first n requests, then passes: the "worker
+// was sick, then recovered" shape breakers and retries must ride out.
+func FirstN(n int, f Fault) Schedule {
+	return func(i int) Fault {
+		if i < n {
+			return f
+		}
+		return Pass
+	}
+}
+
+// Proxy is the middleman handler. Zero value is not usable; set Next
+// and Schedule.
+type Proxy struct {
+	// Next is the real worker handler.
+	Next http.Handler
+	// Schedule picks the fault per request ordinal.
+	Schedule Schedule
+	// Delay is how long a Delay fault holds the request (default 50ms).
+	Delay time.Duration
+	// Sleep replaces time.Sleep for Delay faults; nil selects
+	// time.Sleep.
+	Sleep func(time.Duration)
+
+	mu       sync.Mutex
+	requests int
+	injected map[Fault]int
+}
+
+// Requests returns how many requests the proxy has seen.
+func (p *Proxy) Requests() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.requests
+}
+
+// Injected returns how many times the given fault fired.
+func (p *Proxy) Injected(f Fault) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected[f]
+}
+
+// next assigns the request its ordinal and fault.
+func (p *Proxy) next() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.requests
+	p.requests++
+	f := Pass
+	if p.Schedule != nil {
+		f = p.Schedule(n)
+	}
+	if p.injected == nil {
+		p.injected = make(map[Fault]int)
+	}
+	p.injected[f]++
+	return f
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch f := p.next(); f {
+	case Drop:
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			// No raw connection to sever (e.g. an in-process
+			// ResponseRecorder); a 500 is the closest observable fault.
+			http.Error(w, "chaos: drop", http.StatusInternalServerError)
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			http.Error(w, "chaos: drop", http.StatusInternalServerError)
+			return
+		}
+		_ = conn.Close()
+	case Delay:
+		d := p.Delay
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		sleep := p.Sleep
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		sleep(d)
+		p.Next.ServeHTTP(w, r)
+	case Error500:
+		http.Error(w, "chaos: injected failure", http.StatusInternalServerError)
+	case Truncate:
+		p.mangle(w, r, false)
+	case Duplicate:
+		p.mangle(w, r, true)
+	default:
+		p.Next.ServeHTTP(w, r)
+	}
+}
+
+// mangle runs the worker into a buffer and replays its answer with a
+// lying Content-Length: the full length over half the bytes (truncate)
+// or double the length over two copies (duplicate). Either way the
+// bytes on the wire are not the answer the worker gave.
+func (p *Proxy) mangle(w http.ResponseWriter, r *http.Request, duplicate bool) {
+	rec := &recorder{h: make(http.Header), status: http.StatusOK}
+	p.Next.ServeHTTP(rec, r)
+	body := rec.body.Bytes()
+	if len(body) < 2 {
+		// Nothing to meaningfully corrupt; relay verbatim.
+		relayHeaders(w.Header(), rec.h)
+		w.WriteHeader(rec.status)
+		_, _ = w.Write(body)
+		return
+	}
+	relayHeaders(w.Header(), rec.h)
+	if duplicate {
+		w.Header().Set("Content-Length", strconv.Itoa(2*len(body)))
+		w.WriteHeader(rec.status)
+		_, _ = w.Write(body)
+		_, _ = w.Write(body)
+		return
+	}
+	// Declare everything, deliver half: when the handler returns short
+	// of its declared length, net/http severs the connection and the
+	// client reads an unexpected EOF mid-body.
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(rec.status)
+	_, _ = w.Write(body[:len(body)/2])
+}
+
+// relayHeaders copies the worker's headers minus Content-Length, which
+// the mangler sets itself.
+func relayHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// recorder captures a handler's full answer so mangle can lie about it.
+type recorder struct {
+	h      http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.h }
+
+func (r *recorder) WriteHeader(status int) { r.status = status }
+
+func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }

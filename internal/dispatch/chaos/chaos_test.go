@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+const payload = `{"answer":"0123456789"}`
+
+// newProxy wraps a fixed-payload backend and returns the test server.
+func newProxy(t *testing.T, sched Schedule, sleep func(time.Duration)) (*Proxy, *httptest.Server) {
+	t.Helper()
+	backend := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, payload)
+	})
+	p := &Proxy{Next: backend, Schedule: sched, Delay: 5 * time.Millisecond, Sleep: sleep}
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+// TestFaultBehaviors pins what each fault looks like from the client
+// side: the exact wire-level symptom the dispatch client must survive.
+func TestFaultBehaviors(t *testing.T) {
+	var slept time.Duration
+	p, ts := newProxy(t,
+		Cycle(Pass, Error500, Truncate, Duplicate, Delay, Drop),
+		func(d time.Duration) { slept += d })
+
+	get := func() (*http.Response, error) { return http.Get(ts.URL) }
+
+	// Pass: the payload verbatim.
+	resp, err := get()
+	if err != nil {
+		t.Fatalf("pass: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(b) != payload {
+		t.Fatalf("pass gave %d %q", resp.StatusCode, b)
+	}
+
+	// Error500: an injected failure, backend never consulted.
+	resp, err = get()
+	if err != nil {
+		t.Fatalf("error500: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("error500 gave %d", resp.StatusCode)
+	}
+
+	// Truncate: full Content-Length, torn body, read errors out.
+	resp, err = get()
+	if err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if got := resp.ContentLength; got != int64(len(payload)) {
+		t.Fatalf("truncate declared %d bytes, want %d", got, len(payload))
+	}
+	b, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Fatalf("truncated body read cleanly: %q", b)
+	}
+
+	// Duplicate: the payload twice under a doubled Content-Length.
+	resp, err = get()
+	if err != nil {
+		t.Fatalf("duplicate: %v", err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != payload+payload {
+		t.Fatalf("duplicate gave %q", b)
+	}
+
+	// Delay: the injected sleep ran, then the payload came through.
+	resp, err = get()
+	if err != nil {
+		t.Fatalf("delay: %v", err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != payload || slept != 5*time.Millisecond {
+		t.Fatalf("delay gave %q after sleeping %v", b, slept)
+	}
+
+	// Drop: the connection dies without an answer. A fresh transport
+	// keeps Go's client from transparently retrying the severed request
+	// on a pooled connection, so the failure stays observable.
+	fresh := &http.Client{Transport: &http.Transport{}}
+	if resp, err := fresh.Get(ts.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("dropped request still answered")
+	}
+	fresh.CloseIdleConnections()
+
+	if p.Requests() != 6 {
+		t.Fatalf("proxy saw %d requests, want 6", p.Requests())
+	}
+	for _, f := range []Fault{Pass, Error500, Truncate, Duplicate, Delay, Drop} {
+		if p.Injected(f) != 1 {
+			t.Fatalf("fault %v fired %d times, want 1", f, p.Injected(f))
+		}
+	}
+}
+
+// TestSchedules pins the schedule combinators.
+func TestSchedules(t *testing.T) {
+	cyc := Cycle(Drop, Pass)
+	for n, want := range []Fault{Drop, Pass, Drop, Pass} {
+		if got := cyc(n); got != want {
+			t.Fatalf("Cycle(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if got := Cycle()(3); got != Pass {
+		t.Fatalf("empty Cycle = %v, want Pass", got)
+	}
+	first := FirstN(2, Error500)
+	for n, want := range []Fault{Error500, Error500, Pass, Pass} {
+		if got := first(n); got != want {
+			t.Fatalf("FirstN(%d) = %v, want %v", n, got, want)
+		}
+	}
+	names := map[Fault]string{Pass: "pass", Drop: "drop", Delay: "delay",
+		Error500: "error500", Truncate: "truncate", Duplicate: "duplicate", Fault(99): "unknown"}
+	for f, want := range names {
+		if f.String() != want {
+			t.Fatalf("Fault(%d).String() = %q, want %q", f, f.String(), want)
+		}
+	}
+}

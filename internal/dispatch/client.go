@@ -1,0 +1,141 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"bfvlsi/internal/routing"
+	"bfvlsi/internal/wire"
+)
+
+// errPermanent marks failures a retry cannot fix: the worker understood
+// the request and rejected it (4xx other than overload). The retry loop
+// stops on these immediately instead of burning its budget.
+var errPermanent = errors.New("request rejected")
+
+// errShed marks a 503 overload answer from a worker at its -maxinflight
+// cap: retryable, but counted separately so Stats distinguish shed load
+// from broken workers.
+var errShed = errors.New("worker shed the request")
+
+// errCorrupt marks a syntactically-200 answer whose body failed
+// validation: truncated or duplicated JSON, a missing result, or a
+// result violating copy conservation. Retryable — transport corruption
+// is transient, and a deterministic worker re-asked gives clean bytes.
+var errCorrupt = errors.New("corrupt response body")
+
+// whatifBody is the POST /v1/whatif request document, mirroring
+// internal/serve's whatifRequest (encoding/json renders []byte as
+// base64, which is what the server decodes).
+type whatifBody struct {
+	Checkpoint []byte     `json:"checkpoint"`
+	Fault      *faultBody `json:"fault,omitempty"`
+}
+
+type faultBody struct {
+	LinkRate         float64          `json:"linkRate,omitempty"`
+	NodeRate         float64          `json:"nodeRate,omitempty"`
+	Seed             int64            `json:"seed,omitempty"`
+	TransientCount   int              `json:"transientCount,omitempty"`
+	TransientHorizon int              `json:"transientHorizon,omitempty"`
+	TransientRepair  int              `json:"transientRepair,omitempty"`
+	Events           []faultEventBody `json:"events,omitempty"`
+}
+
+type faultEventBody struct {
+	Node        int `json:"node"`
+	Out         int `json:"out"`
+	Start       int `json:"start"`
+	RepairAfter int `json:"repairAfter,omitempty"`
+}
+
+// marshalWhatif renders the query for one sweep point: the base
+// checkpoint plus that point's fault recipe (nil for the fault-free
+// control). The worker re-derives N from the checkpoint, so the fault's
+// N field does not travel.
+func marshalWhatif(ck []byte, fault *wire.FaultSpec) ([]byte, error) {
+	body := whatifBody{Checkpoint: ck}
+	if fault != nil {
+		fb := &faultBody{
+			LinkRate:         fault.LinkRate,
+			NodeRate:         fault.NodeRate,
+			Seed:             fault.Seed,
+			TransientCount:   fault.TransientCount,
+			TransientHorizon: fault.TransientHorizon,
+			TransientRepair:  fault.TransientRepair,
+		}
+		for _, ev := range fault.Events {
+			fb.Events = append(fb.Events, faultEventBody{
+				Node: ev.Node, Out: ev.Out, Start: ev.Start, RepairAfter: ev.RepairAfter,
+			})
+		}
+		body.Fault = fb
+	}
+	return json.Marshal(body)
+}
+
+// whatifReply is the slice of the server's answer the coordinator
+// journals. Reliable/adaptive stats ride along untyped: the report
+// format carries routing.Result only, and tolerating extra keys keeps
+// the client compatible with servers that grow their answer.
+type whatifReply struct {
+	Result   *routing.Result `json:"result"`
+	Reliable json.RawMessage `json:"reliable,omitempty"`
+	Adaptive json.RawMessage `json:"adaptive,omitempty"`
+}
+
+// postWhatif sends one what-if attempt to a worker and validates the
+// answer hard: exactly one JSON document, a present result, and copy
+// conservation intact. Under a chaos proxy a 200 can still carry a
+// truncated or doubled body; both must read as a retryable failure, not
+// as data.
+func postWhatif(ctx context.Context, client *http.Client, workerURL string, body []byte) (*routing.Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, workerURL+"/v1/whatif", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errPermanent, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err // transport fault: retryable
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		_ = resp.Body.Close()
+	}()
+
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		switch {
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			return nil, fmt.Errorf("%w: %s", errShed, bytes.TrimSpace(msg))
+		case resp.StatusCode >= 500:
+			return nil, fmt.Errorf("worker answered %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		default:
+			return nil, fmt.Errorf("%w: worker answered %d: %s", errPermanent, resp.StatusCode, bytes.TrimSpace(msg))
+		}
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	var reply whatifReply
+	if err := dec.Decode(&reply); err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	// A duplicated body decodes cleanly and then presents a second
+	// document; only EOF after the first is a whole answer.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after the response document", errCorrupt)
+	}
+	if reply.Result == nil {
+		return nil, fmt.Errorf("%w: response carries no result", errCorrupt)
+	}
+	if err := reply.Result.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	return reply.Result, nil
+}

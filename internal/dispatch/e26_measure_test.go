@@ -1,0 +1,111 @@
+package dispatch
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"bfvlsi/internal/dispatch/chaos"
+	"bfvlsi/internal/serve"
+	"bfvlsi/internal/wire"
+)
+
+// Ad-hoc measurement harness for EXPERIMENTS.md E26. Run with
+//
+//	E26=1 go test -run TestE26Measure -v ./internal/dispatch
+//
+// Workers answer behind a chaos proxy that injects a fixed 30ms delay
+// on every request (a uniform service time), plus an Error500 on every
+// k-th request for the chaos-rate axis.
+func TestE26Measure(t *testing.T) {
+	if os.Getenv("E26") == "" {
+		t.Skip("set E26=1 to run the measurement harness")
+	}
+	spec := testSpec()
+	// Widen the sweep so there is real parallelism to expose: rates x
+	// seeds well beyond the worker counts measured (25 points).
+	spec.Points = spec.Points[:1] // keep the control
+	for _, rate := range []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06} {
+		for seed := int64(1); seed <= 4; seed++ {
+			spec.Points = append(spec.Points, &wire.FaultSpec{N: 3, LinkRate: rate, Seed: seed})
+		}
+	}
+
+	mkWorker := func(sched chaos.Schedule) *httptest.Server {
+		var mu sync.Mutex
+		now := time.Unix(1700000000, 0)
+		h := serve.New(serve.Config{
+			CacheEntries: 256,
+			MaxDim:       8,
+			Now: func() time.Time {
+				mu.Lock()
+				defer mu.Unlock()
+				now = now.Add(time.Millisecond)
+				return now
+			},
+		})
+		return httptest.NewServer(&chaos.Proxy{Next: h.Handler(), Schedule: sched, Delay: 30 * time.Millisecond})
+	}
+
+	serial := serialEncoding(t, spec)
+
+	measure := func(workers int, sched chaos.Schedule, label string) {
+		urls := make([]string, workers)
+		for i := range urls {
+			srv := mkWorker(sched)
+			defer srv.Close()
+			urls[i] = srv.URL
+		}
+		cfg := testConfig(urls...)
+		cfg.Client = &http.Client{Transport: &http.Transport{}}
+		cfg.BackoffBase = 2 * time.Millisecond
+		cfg.BackoffCap = 20 * time.Millisecond
+		start := time.Now()
+		rep, st, err := Run(spec, cfg)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if string(mustEncode(t, rep)) != string(serial) {
+			t.Fatalf("%s: bytes diverge from serial", label)
+		}
+		pts := float64(st.Points)
+		fmt.Printf("E26 %-28s workers=%d points=%d groups=%d elapsed=%7.0fms pts/s=%6.1f calls=%d retries=%d\n",
+			label, workers, st.Points, st.Groups, float64(elapsed.Milliseconds()), pts/elapsed.Seconds(), st.Calls, st.Retries)
+	}
+
+	everyKth := func(k int) chaos.Schedule {
+		return func(n int) chaos.Fault {
+			// Always keep the fixed service delay; overlay a 500 on
+			// every k-th request.
+			if k > 0 && n%k == k-1 {
+				return chaos.Error500
+			}
+			return chaos.Delay
+		}
+	}
+
+	for _, w := range []int{1, 2, 4, 8} {
+		measure(w, chaos.Cycle(chaos.Delay), fmt.Sprintf("clean w=%d", w))
+	}
+	for _, k := range []int{0, 4, 2} {
+		rate := "0%"
+		if k > 0 {
+			rate = fmt.Sprintf("%d%%", 100/k)
+		}
+		measure(4, everyKth(k), fmt.Sprintf("chaos500 rate=%s", rate))
+	}
+}
+
+func mustEncode(t *testing.T, rep interface{ Encode() ([]byte, error) }) []byte {
+	t.Helper()
+	b, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

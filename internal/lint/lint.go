@@ -65,8 +65,11 @@ var simulatorPackages = map[string]bool{
 // of the spec, so wall-clock reads must stay behind the injected clock
 // (the single time.Now call in cmd/bfserve carries an explicit ignore).
 var servicePackages = map[string]bool{
-	modulePath + "/internal/serve": true,
-	modulePath + "/cmd/bfserve":    true,
+	modulePath + "/internal/serve":          true,
+	modulePath + "/cmd/bfserve":             true,
+	modulePath + "/internal/dispatch":       true,
+	modulePath + "/internal/dispatch/chaos": true,
+	modulePath + "/cmd/bffarm":              true,
 }
 
 // checkpointPackages extend the determinism contract to the
@@ -134,7 +137,8 @@ func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
 		strings.HasPrefix(pkgPath, modulePath+"/examples/") ||
 		strings.HasPrefix(pkgPath, modulePath+"/internal/experiments") ||
 		pkgPath == modulePath+"/internal/serve" ||
-		pkgPath == modulePath+"/internal/sweepfarm" {
+		pkgPath == modulePath+"/internal/sweepfarm" ||
+		pkgPath == modulePath+"/internal/dispatch" {
 		out = append(out, errflush.Analyzer)
 	}
 	return out

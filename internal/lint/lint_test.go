@@ -184,6 +184,7 @@ func TestEveryAnalyzerBindsSomewhere(t *testing.T) {
 		"bfvlsi/internal/adaptive",
 		"bfvlsi/internal/experiments",
 		"bfvlsi/internal/thompson",
+		"bfvlsi/internal/dispatch",
 		"bfvlsi/cmd/bffault",
 		"bfvlsi/examples/chipdesign",
 	} {

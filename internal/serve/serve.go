@@ -73,6 +73,12 @@ type Config struct {
 	// Timeout, when positive, bounds each request's total handling time
 	// (http.TimeoutHandler semantics: the client gets 503 on expiry).
 	Timeout time.Duration
+	// MaxInflight, when positive, caps concurrently handled /v1/
+	// requests: excess requests are shed immediately with 503 and a
+	// Retry-After header, giving client backoff a real overload signal
+	// instead of a queue that silently grows until the timeout reaps it.
+	// 0 disables shedding. /healthz and /statsz are never shed.
+	MaxInflight int
 	// Now supplies the clock for the /statsz latency metrics. Leaving
 	// it nil freezes the clock: the service stays deterministic and the
 	// latency metrics read zero.
@@ -85,6 +91,12 @@ type Server struct {
 	cfg   Config
 	cache *cache
 	stats map[string]*endpointStats
+	// inflight tracks concurrently handled /v1/ requests for the
+	// MaxInflight overload gate; shed and oversize count the two
+	// hardening rejections (503 overload, 413 oversized body).
+	inflight atomic.Int64
+	shed     atomic.Int64
+	oversize atomic.Int64
 }
 
 // endpointNames fixes the metric iteration order; /statsz reports
@@ -183,12 +195,33 @@ func (s *Server) endpointLimit(name string, limit int64, parse func(*http.Reques
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 			return
 		}
+		// Overload gate: shed beyond-capacity requests before any work,
+		// with Retry-After so a well-behaved coordinator backs off
+		// instead of hammering a server that is already saturated.
+		n := s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if max := s.cfg.MaxInflight; max > 0 && n > int64(max) {
+			s.shed.Add(1)
+			st.errors.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("server at its in-flight cap (%d); retry after backoff", max))
+			return
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, limit)
 		sp, err := parse(r)
 		if err != nil {
 			st.errors.Add(1)
 			status := http.StatusInternalServerError
-			if errors.Is(err, errBadRequest) {
+			var mbe *http.MaxBytesError
+			switch {
+			case errors.As(err, &mbe):
+				// MaxBytesReader tripped: the body exceeds this
+				// endpoint's cap, which is the client's problem and has
+				// its own status code.
+				s.oversize.Add(1)
+				status = http.StatusRequestEntityTooLarge
+			case errors.Is(err, errBadRequest):
 				status = http.StatusBadRequest
 			}
 			writeError(w, status, err)
@@ -744,10 +777,17 @@ type statszResponse struct {
 	// CacheBytes is the total size of cached response bodies;
 	// CacheByteCapacity the configured budget (<= 0 means unbounded);
 	// CacheEvictions counts entries dropped to satisfy either bound.
-	CacheBytes        int64                     `json:"cacheBytes"`
-	CacheByteCapacity int64                     `json:"cacheByteCapacity"`
-	CacheEvictions    int64                     `json:"cacheEvictions"`
-	Endpoints         map[string]statszEndpoint `json:"endpoints"`
+	CacheBytes        int64 `json:"cacheBytes"`
+	CacheByteCapacity int64 `json:"cacheByteCapacity"`
+	CacheEvictions    int64 `json:"cacheEvictions"`
+	// Inflight is the instantaneous concurrent /v1/ request count and
+	// MaxInflight the shedding cap (0 = unlimited); ShedOverload counts
+	// 503s from the cap and RejectedOversize 413s from the body limits.
+	Inflight         int64                     `json:"inflight"`
+	MaxInflight      int                       `json:"maxInflight"`
+	ShedOverload     int64                     `json:"shedOverload"`
+	RejectedOversize int64                     `json:"rejectedOversize"`
+	Endpoints        map[string]statszEndpoint `json:"endpoints"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -758,6 +798,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		CacheBytes:        cacheBytes,
 		CacheByteCapacity: s.cfg.CacheBytes,
 		CacheEvictions:    evicted,
+		Inflight:          s.inflight.Load(),
+		MaxInflight:       s.cfg.MaxInflight,
+		ShedOverload:      s.shed.Load(),
+		RejectedOversize:  s.oversize.Load(),
 		Endpoints:         make(map[string]statszEndpoint, len(endpointNames)),
 	}
 	// Iterate the fixed name list, not the stats map: encoding/json

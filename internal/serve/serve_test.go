@@ -534,3 +534,115 @@ func TestStatszCacheBytes(t *testing.T) {
 		t.Fatalf("1-byte budget kept %d bytes with %d evictions", stats.CacheBytes, stats.CacheEvictions)
 	}
 }
+
+// ---- hardening: oversized bodies and overload shedding ----
+
+// TestOversizedBody413 pins the MaxBytesReader path: a body past the
+// endpoint's cap answers 413 (not 400 or 500), and /statsz counts it.
+func TestOversizedBody413(t *testing.T) {
+	ts := newTestServer(t)
+	big := `{"family":"` + strings.Repeat("x", maxRequestBytes+1) + `"}`
+	resp, body := post(t, ts, "/v1/layout", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body answered %d (%s), want 413", resp.StatusCode, body)
+	}
+	var stats statszResponse
+	_, sb := get(t, ts, "/statsz")
+	if err := json.Unmarshal(sb, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RejectedOversize != 1 {
+		t.Fatalf("statsz counts %d oversize rejections, want 1", stats.RejectedOversize)
+	}
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestMaxInflightShed pins the overload gate: with MaxInflight 1 and a
+// request parked inside a handler, a second request is shed with 503
+// and a Retry-After header, /statsz counts the shed, and /healthz is
+// never shed.
+func TestMaxInflightShed(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv := New(Config{MaxInflight: 1, MaxDim: 8})
+	mux := http.NewServeMux()
+	// Park the first request inside the gate via a slow body: the
+	// handler blocks reading the request body until we release it.
+	mux.Handle("/", srv.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pr, pw := io.Pipe()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/layout", pr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		entered <- struct{}{}
+		go func() {
+			<-release
+			_, _ = pw.Write([]byte(`{"family":"collinear","n":8}`))
+			pw.Close()
+		}()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+	}()
+
+	<-entered
+	// Wait until the parked request is actually inside the gate.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := post(t, ts, "/v1/packaging", `{"variant":"row","n":6}`)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("503 without Retry-After: %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("overload gate never shed (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Health and stats stay reachable while /v1/ is saturated.
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz shed with status %d", resp.StatusCode)
+	}
+	var stats statszResponse
+	_, sb := get(t, ts, "/statsz")
+	if err := json.Unmarshal(sb, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShedOverload < 1 {
+		t.Fatalf("statsz counts %d sheds, want >= 1", stats.ShedOverload)
+	}
+	if stats.MaxInflight != 1 {
+		t.Fatalf("statsz reports cap %d, want 1", stats.MaxInflight)
+	}
+
+	close(release)
+	wg.Wait()
+}

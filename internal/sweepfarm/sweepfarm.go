@@ -16,8 +16,6 @@ package sweepfarm
 import (
 	"errors"
 	"fmt"
-	"io"
-	"os"
 	"sort"
 	"sync"
 
@@ -133,34 +131,28 @@ func Run(spec Spec, o Options) (*Report, error) {
 		return nil, err
 	}
 	done := make(map[int]*routing.Result, len(spec.Points))
-	var jf *os.File
+	var jf *Journal
 	if o.Journal != "" {
-		pts, valid, err := ReadJournal(o.Journal)
+		j, raw, err := OpenJournal(o.Journal)
 		if err != nil {
+			return nil, err
+		}
+		// Duplicate records with identical bytes merge cleanly (a journal
+		// fed by hedged deliveries repeats indices); conflicting ones and
+		// out-of-range indices are a spec/journal mismatch.
+		pts, _, err := MergePoints(raw)
+		if err != nil {
+			_ = j.Close()
 			return nil, err
 		}
 		for _, p := range pts {
 			if p.Index < 0 || p.Index >= len(spec.Points) {
+				_ = j.Close()
 				return nil, fmt.Errorf("sweepfarm: journal point %d out of range for a %d-point spec", p.Index, len(spec.Points))
-			}
-			if _, dup := done[p.Index]; dup {
-				return nil, fmt.Errorf("sweepfarm: journal repeats point %d", p.Index)
 			}
 			done[p.Index] = p.Result
 		}
-		f, err := os.OpenFile(o.Journal, os.O_CREATE|os.O_RDWR, 0o644)
-		if err != nil {
-			return nil, err
-		}
-		if err := f.Truncate(valid); err != nil {
-			_ = f.Close()
-			return nil, fmt.Errorf("sweepfarm: truncating journal tail: %w", err)
-		}
-		if _, err := f.Seek(valid, io.SeekStart); err != nil {
-			_ = f.Close()
-			return nil, err
-		}
-		jf = f
+		jf = j
 	}
 	resumed := len(done)
 
@@ -185,7 +177,7 @@ func Run(spec Spec, o Options) (*Report, error) {
 // runMissing simulates every point absent from done, journaling and
 // recording each as it finishes. It returns ErrAborted when the
 // AbortAfter hook fired with points still missing.
-func runMissing(spec Spec, o Options, done map[int]*routing.Result, jf *os.File) error {
+func runMissing(spec Spec, o Options, done map[int]*routing.Result, jf *Journal) error {
 	missing := make([]int, 0, len(spec.Points))
 	for i := range spec.Points {
 		if _, ok := done[i]; !ok {
@@ -195,7 +187,7 @@ func runMissing(spec Spec, o Options, done map[int]*routing.Result, jf *os.File)
 	if len(missing) == 0 {
 		return nil
 	}
-	warm, err := warmCheckpoint(spec)
+	warm, err := WarmCheckpoint(spec)
 	if err != nil {
 		return err
 	}
@@ -233,7 +225,7 @@ func runMissing(spec Spec, o Options, done map[int]*routing.Result, jf *os.File)
 					// abort are dropped unjournaled, like a killed process.
 				default:
 					if jf != nil {
-						if werr := appendRecord(jf, Point{Index: i, Result: res}); werr != nil {
+						if werr := jf.Append(Point{Index: i, Result: res}); werr != nil {
 							if firstErr == nil {
 								firstErr = werr
 							}
@@ -271,9 +263,11 @@ func runMissing(spec Spec, o Options, done map[int]*routing.Result, jf *os.File)
 	return nil
 }
 
-// warmCheckpoint runs the base stack to the fork cycle and captures the
-// checkpoint every point forks from.
-func warmCheckpoint(spec Spec) (*snapshot.Checkpoint, error) {
+// WarmCheckpoint runs the base stack to the fork cycle and captures the
+// checkpoint every point forks from. It is the warm-up step shared by
+// the in-process farm and the distributed coordinator
+// (internal/dispatch), which ships the marshaled checkpoint to workers.
+func WarmCheckpoint(spec Spec) (*snapshot.Checkpoint, error) {
 	run, err := snapshot.Start(spec.Base, nil)
 	if err != nil {
 		return nil, err
