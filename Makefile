@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-alloc bench-json vet lint fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz serve sweep-resume chaos-sweep
+.PHONY: all build test test-short race bench bench-alloc bench-json vet lint lint-concurrency fmt tables cover fault-sweep reliable-sweep adaptive-sweep fuzz serve sweep-resume chaos-sweep
 
 all: build vet lint test
 
@@ -16,6 +16,17 @@ vet:
 lint:
 	$(GO) build -o bin/bflint ./cmd/bflint
 	bin/bflint ./...
+
+# The v3 concurrency gate: the interprocedural contract analyzers
+# (lockcheck, atomicmix, goleak, sweepshare) over the whole module,
+# alongside the race detector on the packages those contracts police.
+# The analyzers prove the //bflint:guardedby and atomic disciplines on
+# every CFG path; the race detector catches whatever slips outside the
+# annotations' reach.
+lint-concurrency:
+	$(GO) build -o bin/bflint ./cmd/bflint
+	bin/bflint ./internal/dispatch ./internal/serve ./internal/sweepfarm ./cmd/bffarm
+	$(GO) test -race -count=1 ./internal/dispatch/... ./internal/serve/...
 
 fmt:
 	gofmt -l .

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -67,6 +69,7 @@ type options struct {
 	hedge      time.Duration
 	breaker    int
 	cooldown   time.Duration
+	statsAddr  string
 
 	rateList   []float64
 	seedList   []int64
@@ -103,6 +106,7 @@ func newOptions(set *flag.FlagSet) *options {
 	set.DurationVar(&o.hedge, "hedge", 0, "hedge stragglers onto a second worker after this delay (0 = off)")
 	set.IntVar(&o.breaker, "breaker", 3, "consecutive failures that open a worker's circuit breaker")
 	set.DurationVar(&o.cooldown, "cooldown", 2*time.Second, "breaker cooldown before a half-open probe")
+	set.StringVar(&o.statsAddr, "statsaddr", "", "serve GET /statsz (live fleet counters and breaker states as JSON) on this address while the farm runs (empty = off)")
 	return o
 }
 
@@ -269,11 +273,44 @@ func (o *options) dispatchConfig() dispatch.Config {
 	}
 }
 
+// serveStats starts the /statsz endpoint on addr, returning the bound
+// address (addr may carry port 0) and a stop function that shuts the
+// listener down and joins the serve goroutine.
+func serveStats(addr string, live *dispatch.Live) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("-statsaddr: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/statsz", live.Handler())
+	srv := &http.Server{Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln) // always http.ErrServerClosed after a clean Close
+	}()
+	return ln.Addr().String(), func() {
+		_ = srv.Close()
+		<-done
+	}, nil
+}
+
 // run executes the distributed farm and writes the report table plus a
 // fleet summary; it returns the process exit code.
 func run(o *options, stdout, stderr io.Writer) int {
 	spec, labels := o.farmSpec()
-	rep, st, err := dispatch.Run(spec, o.dispatchConfig())
+	cfg := o.dispatchConfig()
+	if o.statsAddr != "" {
+		cfg.Live = dispatch.NewLive()
+		bound, stop, err := serveStats(o.statsAddr, cfg.Live)
+		if err != nil {
+			fmt.Fprintln(stderr, "bffarm:", err)
+			return 1
+		}
+		defer stop()
+		fmt.Fprintf(stderr, "bffarm: serving live stats on http://%s/statsz\n", bound)
+	}
+	rep, st, err := dispatch.Run(spec, cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "bffarm:", err)
 		return 1

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -176,6 +178,52 @@ func TestFarmResumes(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "(5 from journals)") {
 		t.Fatalf("second run did not resume:\n%s", out.String())
+	}
+}
+
+// TestStatszEndpoint drives serveStats directly: the endpoint answers
+// GET /statsz with a JSON snapshot that tracks the hooks, and stop()
+// tears the listener down.
+func TestStatszEndpoint(t *testing.T) {
+	live := dispatch.NewLive()
+	bound, stop, err := serveStats("127.0.0.1:0", live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	resp, err := http.Get("http://" + bound + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /statsz = %d", resp.StatusCode)
+	}
+	var snap dispatch.LiveStats
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/statsz body does not decode: %v", err)
+	}
+	if snap.LeasesOutstanding != 0 || snap.Breakers == nil {
+		t.Errorf("fresh snapshot = %+v, want zeroed counters and a non-null breaker list", snap)
+	}
+}
+
+// TestFarmStatsAddr runs the whole command with -statsaddr and checks
+// the farm still completes (the endpoint rides along without changing
+// the report path).
+func TestFarmStatsAddr(t *testing.T) {
+	workers := startWorker(t)
+	args := append(farmArgs(workers), "-statsaddr", "127.0.0.1:0")
+	var out, errBuf bytes.Buffer
+	if code := run(parseFor(t, args), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "/statsz") {
+		t.Fatalf("stderr does not announce the stats endpoint: %q", errBuf.String())
+	}
+	if !strings.Contains(out.String(), "fleet: 5 queries") {
+		t.Fatalf("missing fleet summary:\n%s", out.String())
 	}
 }
 

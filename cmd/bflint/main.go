@@ -48,7 +48,7 @@ func run(args []string) int {
 		}
 	}
 	flagsJSON := fs.Bool("flags", false, "describe flags in JSON (go vet protocol)")
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout (standalone mode only)")
+	jsonOut := fs.Bool("json", false, "emit findings and a per-analyzer summary as JSON on stdout (standalone mode only)")
 	if err := parseArgs(fs, args); err != nil {
 		return 2
 	}
@@ -118,24 +118,49 @@ func printVersion() {
 
 // jsonDiagnostic is one finding in -json output. The field names are a
 // stable contract: the CI annotation step turns them into
-// `::error file=...,line=...` workflow commands with jq.
+// `::error file=...,line=...` workflow commands with jq. Analyzer and
+// Category carry the same value; Category predates the per-analyzer
+// summary and stays for older consumers.
 type jsonDiagnostic struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
 	Category string `json:"category"`
 	Message  string `json:"message"`
 }
 
-// emitJSON writes the findings as an indented JSON array; a clean run
-// emits [] rather than null so consumers can always index the result.
+// jsonReport is the -json output document: the findings plus an
+// end-of-run per-analyzer count summary, so CI can gate on
+// `.summary.total` and dashboards can trend `.summary.by_analyzer`
+// without re-aggregating.
+type jsonReport struct {
+	Findings []jsonDiagnostic `json:"findings"`
+	Summary  jsonSummary      `json:"summary"`
+}
+
+type jsonSummary struct {
+	Total      int            `json:"total"`
+	ByAnalyzer map[string]int `json:"by_analyzer"`
+}
+
+// emitJSON writes the report document; a clean run emits an empty
+// findings array and zeroed summary rather than nulls so consumers can
+// always index the result.
 func emitJSON(w io.Writer, found []jsonDiagnostic) error {
 	if found == nil {
 		found = []jsonDiagnostic{}
 	}
+	report := jsonReport{
+		Findings: found,
+		Summary:  jsonSummary{Total: len(found), ByAnalyzer: map[string]int{}},
+	}
+	for _, d := range found {
+		report.Summary.ByAnalyzer[d.Analyzer]++
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(found)
+	return enc.Encode(report)
 }
 
 // runStandalone loads the patterns from source and lints each package.
@@ -159,6 +184,7 @@ func runStandalone(patterns []string, jsonOut bool) int {
 				File:     pos.Filename,
 				Line:     pos.Line,
 				Column:   pos.Column,
+				Analyzer: d.Category,
 				Category: d.Category,
 				Message:  d.Message,
 			})

@@ -25,11 +25,11 @@ type breaker struct {
 	cooldown  time.Duration
 
 	mu       sync.Mutex
-	state    breakerState
-	strikes  int       // consecutive failures while closed
-	openedAt time.Time // when the breaker last opened
+	state    breakerState //bflint:guardedby mu
+	strikes  int          //bflint:guardedby mu -- consecutive failures while closed
+	openedAt time.Time    //bflint:guardedby mu -- when the breaker last opened
 
-	opened, reclosed int // transition counters for Stats
+	opened, reclosed int //bflint:guardedby mu -- transition counters for Stats
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
@@ -91,6 +91,20 @@ func (b *breaker) failure(now time.Time) {
 			b.opened++
 		}
 	default: // already open: a straggling failure changes nothing
+	}
+}
+
+// stateName names the current state for a /statsz snapshot.
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
 	}
 }
 

@@ -104,6 +104,11 @@ type Config struct {
 	// BreakerCooldown (default 2s), then admitted one half-open probe.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Live, if non-nil, receives live counter updates (leases, retries,
+	// hedges) and a view of the worker breakers, for a /statsz endpoint
+	// served while Run is in flight. The Stats returned by Run stays the
+	// authoritative end-of-run record.
+	Live *Live
 	// Now is the coordinator clock, used for lease expiry accounting and
 	// breaker cooldowns. Required: the package reads no wall clock of
 	// its own (detrand contract); cmd/bffarm injects time.Now.
@@ -175,7 +180,7 @@ type workerState struct {
 	breaker *breaker
 
 	jmu     sync.Mutex
-	journal *sweepfarm.Journal
+	journal *sweepfarm.Journal //bflint:guardedby jmu
 }
 
 type coordinator struct {
@@ -187,17 +192,17 @@ type coordinator struct {
 	stop   context.CancelFunc
 
 	rngMu sync.Mutex
-	rng   *rand.Rand
+	rng   *rand.Rand //bflint:guardedby rngMu
 
 	fires sync.WaitGroup // every in-flight attempt, stragglers included
 
 	mu        sync.Mutex
-	rr        int // round-robin pick cursor
-	done      map[int]*routing.Result
-	delivered int // groups delivered this run (AbortAfter counter)
-	aborted   bool
-	firstErr  error
-	stats     Stats
+	rr        int                     //bflint:guardedby mu -- round-robin pick cursor
+	done      map[int]*routing.Result //bflint:guardedby mu
+	delivered int                     //bflint:guardedby mu -- groups delivered this run (AbortAfter counter)
+	aborted   bool                    //bflint:guardedby mu
+	firstErr  error                   //bflint:guardedby mu
+	stats     Stats                   //bflint:guardedby mu
 }
 
 // contentKey is the query's content address: checkpoint bytes, a fault
@@ -276,6 +281,7 @@ func Run(spec sweepfarm.Spec, cfg Config) (*sweepfarm.Report, *Stats, error) {
 		})
 	}
 	c.stats.Points = len(spec.Points)
+	cfg.Live.bind(c.lanes)
 
 	if err := c.openJournals(len(spec.Points)); err != nil {
 		return nil, nil, err
@@ -322,7 +328,9 @@ func (c *coordinator) openJournals(points int) error {
 			_ = c.closeJournals()
 			return err
 		}
+		ws.jmu.Lock()
 		ws.journal = j
+		ws.jmu.Unlock()
 		owned[path] = true
 		all = append(all, prior...)
 	}
@@ -353,8 +361,12 @@ func (c *coordinator) openJournals(points int) error {
 			_ = c.closeJournals()
 			return fmt.Errorf("dispatch: journal point %d out of range for a %d-point spec", p.Index, points)
 		}
+	}
+	c.mu.Lock()
+	for _, p := range merged {
 		c.done[p.Index] = p.Result
 	}
+	c.mu.Unlock()
 	return nil
 }
 
@@ -380,11 +392,13 @@ func (c *coordinator) closeJournals() error {
 // address, and drives the dispatch pool over the groups.
 func (c *coordinator) runMissing(spec sweepfarm.Spec) error {
 	var missing []int
+	c.mu.Lock()
 	for i := range spec.Points {
 		if _, ok := c.done[i]; !ok {
 			missing = append(missing, i)
 		}
 	}
+	c.mu.Unlock()
 	if len(missing) == 0 {
 		return nil
 	}
@@ -510,6 +524,7 @@ func (c *coordinator) runGroup(g *group) error {
 		c.mu.Lock()
 		c.stats.Retries++
 		c.mu.Unlock()
+		c.cfg.Live.retry()
 		c.cfg.Sleep(c.backoff(attempt))
 	}
 }
@@ -631,6 +646,7 @@ func (c *coordinator) attempt(g *group, primary int) error {
 			c.mu.Lock()
 			c.stats.Hedges++
 			c.mu.Unlock()
+			c.cfg.Live.hedge()
 			c.fires.Add(1)
 			go fire(spare)
 			outstanding++
@@ -658,6 +674,8 @@ func (c *coordinator) call(g *group, worker int) (*routing.Result, error) {
 	c.stats.LeasesGranted++
 	c.stats.Calls++
 	c.mu.Unlock()
+	c.cfg.Live.leaseGranted()
+	defer c.cfg.Live.leaseSettled()
 
 	bound := c.cfg.LeaseTTL
 	leaseBounds := true
@@ -732,6 +750,7 @@ func (c *coordinator) deliver(g *group, res *routing.Result, worker int) {
 		c.done[idx] = res
 	}
 	c.delivered++
+	c.cfg.Live.deliver()
 	if c.cfg.AbortAfter > 0 && c.delivered >= c.cfg.AbortAfter {
 		c.abortLocked()
 	}

@@ -1,0 +1,92 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// The hooks must be nil-safe (the coordinator calls them without
+// checking Config.Live) and the counters must add up in a snapshot.
+func TestLiveCountersAndNilSafety(t *testing.T) {
+	var nilLive *Live
+	nilLive.leaseGranted()
+	nilLive.leaseSettled()
+	nilLive.retry()
+	nilLive.hedge()
+	nilLive.deliver()
+	nilLive.bind(nil)
+
+	l := NewLive()
+	l.leaseGranted()
+	l.leaseGranted()
+	l.leaseSettled()
+	l.retry()
+	l.hedge()
+	l.deliver()
+	st := l.Snapshot()
+	if st.LeasesGranted != 2 || st.LeasesOutstanding != 1 || st.Calls != 2 {
+		t.Errorf("lease counters = granted %d outstanding %d calls %d, want 2/1/2",
+			st.LeasesGranted, st.LeasesOutstanding, st.Calls)
+	}
+	if st.Retries != 1 || st.Hedges != 1 || st.Delivered != 1 {
+		t.Errorf("retries/hedges/delivered = %d/%d/%d, want 1/1/1", st.Retries, st.Hedges, st.Delivered)
+	}
+	if len(st.Breakers) != 0 {
+		t.Errorf("unbound snapshot lists %d breakers, want 0", len(st.Breakers))
+	}
+}
+
+// The handler serves the snapshot as JSON with every worker's breaker
+// state, and a full Run through Config.Live leaves the live counters
+// agreeing with the authoritative Stats.
+func TestLiveThroughRunAndHandler(t *testing.T) {
+	u1, _ := worker(t, nil)
+	u2, _ := worker(t, nil)
+	cfg := testConfig(u1, u2)
+	live := NewLive()
+	cfg.Live = live
+
+	_, st := mustRun(t, testSpec(), cfg)
+
+	snap := live.Snapshot()
+	if snap.LeasesOutstanding != 0 {
+		t.Errorf("leases outstanding after Run = %d, want 0", snap.LeasesOutstanding)
+	}
+	if int(snap.Calls) != st.Calls || int(snap.Retries) != st.Retries || int(snap.Hedges) != st.Hedges {
+		t.Errorf("live calls/retries/hedges = %d/%d/%d, Stats says %d/%d/%d",
+			snap.Calls, snap.Retries, snap.Hedges, st.Calls, st.Retries, st.Hedges)
+	}
+	if int(snap.LeasesGranted) != st.LeasesGranted {
+		t.Errorf("live leases granted = %d, Stats says %d", snap.LeasesGranted, st.LeasesGranted)
+	}
+	if snap.Delivered == 0 {
+		t.Error("live delivered = 0 after a successful run")
+	}
+
+	rec := httptest.NewRecorder()
+	live.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/statsz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /statsz = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var decoded LiveStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("/statsz body does not decode: %v\n%s", err, rec.Body.String())
+	}
+	if len(decoded.Breakers) != 2 {
+		t.Fatalf("/statsz lists %d breakers, want 2:\n%s", len(decoded.Breakers), rec.Body.String())
+	}
+	seen := map[string]bool{}
+	for _, b := range decoded.Breakers {
+		seen[b.Worker] = true
+		if b.State != "closed" {
+			t.Errorf("healthy worker %s reports breaker state %q, want closed", b.Worker, b.State)
+		}
+	}
+	if !seen[u1] || !seen[u2] {
+		t.Errorf("breaker workers = %v, want %s and %s", decoded.Breakers, u1, u2)
+	}
+}

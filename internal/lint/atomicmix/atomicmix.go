@@ -1,0 +1,166 @@
+// Package atomicmix implements the bflint analyzer forbidding mixed
+// atomic and plain access to the same variable: once any code in the
+// package touches a field or package-level variable through sync/atomic
+// (atomic.AddInt64(&s.hits, 1), atomic.LoadUint32(&flag), ...), every
+// other read and write of it must also go through sync/atomic — a plain
+// access elsewhere is a data race the memory model gives no meaning to,
+// and exactly the bug the /statsz counter pattern invites.
+//
+// Struct-typed atomics (atomic.Int64 and friends) are immune by
+// construction — their value is only reachable through methods — so the
+// analyzer concerns itself with the older &field calling convention.
+// Composite-literal keys (construction before sharing) and _test.go
+// files are exempt. The check is package-scoped: atomic use in another
+// package of the same field is invisible (DESIGN.md §12).
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bfvlsi/internal/lint/analysis"
+)
+
+// Analyzer forbids plain access to variables used with sync/atomic.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "a field accessed via sync/atomic anywhere in the package may never be read or " +
+		"written plainly elsewhere; mixed access is an unsynchronised race",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: every variable that is the &-operand of a sync/atomic
+	// call, with one representative position for the message.
+	atomicAt := map[types.Object]token.Pos{}
+	// operands marks the identifiers inside those calls, so pass 2 does
+	// not report the atomic accesses themselves.
+	operands := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				id := accessIdent(u.X)
+				if id == nil {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if _, isVar := obj.(*types.Var); !isVar {
+					continue
+				}
+				if _, seen := atomicAt[obj]; !seen {
+					atomicAt[obj] = call.Pos()
+				}
+				operands[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other use of those variables is a plain access.
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		skipKeys := compositeKeys(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || operands[id] || skipKeys[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			firstAtomic, ok := atomicAt[obj]
+			if !ok {
+				return true
+			}
+			first := pass.Fset.Position(firstAtomic)
+			pass.Reportf(id.Pos(),
+				"%s is accessed with sync/atomic (e.g. %s:%d) but read or written plainly here; "+
+					"every access must go through sync/atomic (or migrate the field to atomic.Int64)",
+				id.Name, shortName(first.Filename), first.Line)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports whether the call is a sync/atomic package
+// function (AddT, LoadT, StoreT, SwapT, CompareAndSwapT).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[pkgID].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// accessIdent returns the identifier naming the accessed variable: the
+// Sel of a field selector, or a bare identifier.
+func accessIdent(e ast.Expr) *ast.Ident {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// compositeKeys collects the key identifiers of struct composite
+// literals (s := stats{hits: 0}): construction, not shared access.
+func compositeKeys(f *ast.File) map[*ast.Ident]bool {
+	keys := map[*ast.Ident]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					keys[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+func shortName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

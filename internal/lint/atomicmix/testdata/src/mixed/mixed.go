@@ -1,0 +1,45 @@
+// Package mixed is the atomicmix fixture: counters touched through
+// sync/atomic must never be read or written plainly elsewhere.
+package mixed
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	plain  int64
+}
+
+var flag uint32
+
+func bump(s *stats) {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.misses, 1)
+	atomic.StoreUint32(&flag, 1)
+}
+
+// Good: atomic reads of atomic fields.
+func read(s *stats) (int64, int64) {
+	return atomic.LoadInt64(&s.hits), atomic.LoadInt64(&s.misses)
+}
+
+// Good: a field never touched atomically may be used plainly.
+func plainOnly(s *stats) int64 {
+	s.plain++
+	return s.plain
+}
+
+// Bad: plain reads and writes of atomically-accessed variables.
+func leak(s *stats) int64 {
+	s.hits++        // want `hits is accessed with sync/atomic`
+	total := s.hits // want `hits is accessed with sync/atomic`
+	if flag == 1 {  // want `flag is accessed with sync/atomic`
+		total += s.misses // want `misses is accessed with sync/atomic`
+	}
+	return total
+}
+
+// Good: construction via composite literal is not shared access.
+func fresh() *stats {
+	return &stats{hits: 0, misses: 0}
+}

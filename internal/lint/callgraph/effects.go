@@ -1,0 +1,354 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RecvParam is the Params key standing for the method receiver.
+const RecvParam = -1
+
+// ParamEffect summarizes what one function may do to the memory reached
+// through one parameter (or the receiver), on some path, without
+// holding any lock at the writing statement.
+type ParamEffect struct {
+	// Writes: assignment through the parameter's pointee — *p = v,
+	// p.f = v on a pointer param, or a pointer-receiver field write.
+	Writes bool
+	// WritesMap: element write p[k] = v where p is a map.
+	WritesMap bool
+	// SliceIndexParams: for slice element writes p[i] = v whose index
+	// reads other parameters, the set of those parameter indices. The
+	// caller decides whether the values it feeds those positions are
+	// goroutine-local (disjoint slots) or shared.
+	SliceIndexParams []int
+}
+
+func (pe *ParamEffect) addIndexParam(j int) {
+	for _, k := range pe.SliceIndexParams {
+		if k == j {
+			return
+		}
+	}
+	pe.SliceIndexParams = append(pe.SliceIndexParams, j)
+}
+
+// Effects is the bounded-depth summary of one function: unguarded
+// writes reachable through parameters, plus the join signals goleak
+// looks for inside goroutine bodies.
+type Effects struct {
+	Params map[int]*ParamEffect
+
+	// WaitDone: reaches (*sync.WaitGroup).Done or .Wait.
+	WaitDone bool
+	// ChanOp: reaches a channel send/receive/close/select/range.
+	ChanOp bool
+	// CtxDone: reaches (context.Context).Done.
+	CtxDone bool
+}
+
+// Joins reports whether any join/cancel signal is reachable.
+func (e *Effects) Joins() bool { return e.WaitDone || e.ChanOp || e.CtxDone }
+
+func (e *Effects) param(i int) *ParamEffect {
+	if e.Params == nil {
+		e.Params = map[int]*ParamEffect{}
+	}
+	pe := e.Params[i]
+	if pe == nil {
+		pe = &ParamEffect{}
+		e.Params[i] = pe
+	}
+	return pe
+}
+
+// EffectsOf returns fn's summary, computing every node's summary (base
+// extraction plus SummaryRounds propagation rounds) on first use.
+func (g *Graph) EffectsOf(n *Node) *Effects {
+	if !g.effectsDone {
+		g.computeEffects()
+		g.effectsDone = true
+	}
+	return n.effects
+}
+
+func (g *Graph) computeEffects() {
+	params := map[*Node]map[types.Object]int{}
+	for _, n := range g.Nodes {
+		params[n] = paramIndex(n)
+		n.effects = g.baseEffects(n, params[n])
+	}
+	// Propagate through call edges for a bounded number of rounds: a
+	// write or join signal travels at most SummaryRounds call edges.
+	// Each round reads a snapshot of the previous round's summaries
+	// (Jacobi iteration), so the bound is exact and independent of map
+	// iteration order.
+	for round := 0; round < SummaryRounds; round++ {
+		snap := map[*Node]*Effects{}
+		for _, n := range g.Nodes {
+			snap[n] = n.effects.clone()
+		}
+		changed := false
+		for _, n := range g.Nodes {
+			for _, site := range n.calls {
+				if g.propagateSite(n, site, params[n], snap) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func (e *Effects) clone() *Effects {
+	c := &Effects{WaitDone: e.WaitDone, ChanOp: e.ChanOp, CtxDone: e.CtxDone}
+	for i, pe := range e.Params {
+		cp := &ParamEffect{Writes: pe.Writes, WritesMap: pe.WritesMap}
+		cp.SliceIndexParams = append(cp.SliceIndexParams, pe.SliceIndexParams...)
+		c.param(i)
+		c.Params[i] = cp
+	}
+	return c
+}
+
+// paramIndex maps a node's receiver and parameter objects to indices
+// (receiver is RecvParam).
+func paramIndex(n *Node) map[types.Object]int {
+	idx := map[types.Object]int{}
+	sig, ok := n.Func.Type().(*types.Signature)
+	if !ok {
+		return idx
+	}
+	if r := sig.Recv(); r != nil {
+		idx[r] = RecvParam
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		idx[sig.Params().At(i)] = i
+	}
+	return idx
+}
+
+// baseEffects extracts the intraprocedural summary of one node: its own
+// unguarded writes through parameters and its own join signals.
+// Deferred statements count (a deferred wg.Done still fires); spawned
+// goroutines do not (their effects belong to the spawned body).
+func (g *Graph) baseEffects(n *Node, params map[types.Object]int) *Effects {
+	e := &Effects{}
+	locks := g.Locksets(n)
+	var walk func(ast.Node) bool
+	walk = func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				g.classifyWrite(e, lhs, params, locks)
+			}
+		case *ast.IncDecStmt:
+			g.classifyWrite(e, node.X, params, locks)
+		case *ast.SendStmt:
+			e.ChanOp = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				e.ChanOp = true
+			}
+		case *ast.SelectStmt:
+			e.ChanOp = true
+		case *ast.RangeStmt:
+			if tv, ok := g.Info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					e.ChanOp = true
+				}
+			}
+		case *ast.CallExpr:
+			g.classifyJoinCall(e, node)
+		}
+		return true
+	}
+	ast.Inspect(n.Decl.Body, walk)
+	return e
+}
+
+// classifyJoinCall recognizes the join-signal calls.
+func (g *Graph) classifyJoinCall(e *Effects, call *ast.CallExpr) {
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if g.Info.Uses[fun] == types.Universe.Lookup("close") {
+			e.ChanOp = true
+		}
+	case *ast.SelectorExpr:
+		fn, ok := g.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		switch fn.FullName() {
+		case "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+			e.WaitDone = true
+		case "(context.Context).Done":
+			e.CtxDone = true
+		}
+	}
+}
+
+// classifyWrite records one unguarded lvalue that aliases caller memory
+// through a parameter or pointer receiver.
+func (g *Graph) classifyWrite(e *Effects, lhs ast.Expr, params map[types.Object]int, locks *LockInfo) {
+	if locks.AnyHeld(lhs.Pos()) {
+		return // mutex-guarded: not an effect callers must fear
+	}
+	switch lhs := Unparen(lhs).(type) {
+	case *ast.StarExpr:
+		if i, ok := paramRoot(g.Info, params, lhs.X); ok {
+			e.param(i).Writes = true
+		}
+	case *ast.SelectorExpr:
+		root := RootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj := g.Info.ObjectOf(root)
+		i, ok := params[obj]
+		if !ok {
+			return
+		}
+		// A field write only escapes when the parameter is a pointer (or
+		// the receiver is a pointer receiver); value copies stay local.
+		if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+			e.param(i).Writes = true
+		}
+	case *ast.IndexExpr:
+		root := RootIdent(lhs.X)
+		if root == nil {
+			return
+		}
+		i, ok := params[g.Info.ObjectOf(root)]
+		if !ok {
+			return
+		}
+		tv, ok := g.Info.Types[lhs.X]
+		if !ok {
+			return
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			e.param(i).WritesMap = true
+		case *types.Slice:
+			// Record which parameters feed the index; indices built from
+			// locals or constants mirror the v1 under-approximation and
+			// are not reported.
+			for _, j := range indexParams(g.Info, params, lhs.Index) {
+				e.param(i).addIndexParam(j)
+			}
+		}
+	}
+}
+
+// paramRoot resolves an expression to a parameter index when its root
+// identifier is a parameter.
+func paramRoot(info *types.Info, params map[types.Object]int, e ast.Expr) (int, bool) {
+	root := RootIdent(e)
+	if root == nil {
+		return 0, false
+	}
+	i, ok := params[info.ObjectOf(root)]
+	return i, ok
+}
+
+// indexParams returns the parameter indices read by an index expression.
+func indexParams(info *types.Info, params map[types.Object]int, idx ast.Expr) []int {
+	var out []int
+	ast.Inspect(idx, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if i, ok := params[info.ObjectOf(id)]; ok {
+				out = append(out, i)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// propagateSite folds one callee's summary into the caller: join
+// signals always travel; write effects travel when the caller hands one
+// of its own parameters to a written position and holds no lock at the
+// call site.
+func (g *Graph) propagateSite(caller *Node, site *CallSite, params map[types.Object]int, snap map[*Node]*Effects) bool {
+	changed := false
+	for _, callee := range site.Callees {
+		ce := snap[callee]
+		if ce == nil {
+			continue
+		}
+		e := caller.effects
+		if ce.Joins() {
+			if ce.WaitDone && !e.WaitDone {
+				e.WaitDone, changed = true, true
+			}
+			if ce.ChanOp && !e.ChanOp {
+				e.ChanOp, changed = true, true
+			}
+			if ce.CtxDone && !e.CtxDone {
+				e.CtxDone, changed = true, true
+			}
+		}
+		if len(ce.Params) == 0 {
+			continue
+		}
+		if g.Locksets(caller).AnyHeld(site.Call.Pos()) {
+			continue // guarded call: the callee's writes happen under the lock
+		}
+		for calleeIdx, pe := range ce.Params {
+			arg, ok := ArgExpr(site.Call, calleeIdx)
+			if !ok {
+				continue
+			}
+			callerIdx, ok := paramRoot(g.Info, params, arg)
+			if !ok {
+				continue
+			}
+			cpe := e.param(callerIdx)
+			if pe.Writes && !cpe.Writes {
+				cpe.Writes, changed = true, true
+			}
+			if pe.WritesMap && !cpe.WritesMap {
+				cpe.WritesMap, changed = true, true
+			}
+			for _, j := range pe.SliceIndexParams {
+				// The callee indexes the slice with its parameter j; map
+				// that back to whatever the caller feeds position j.
+				jarg, ok := ArgExpr(site.Call, j)
+				if !ok {
+					continue
+				}
+				if ji, ok := paramRoot(g.Info, params, jarg); ok {
+					before := len(cpe.SliceIndexParams)
+					cpe.addIndexParam(ji)
+					if len(cpe.SliceIndexParams) != before {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// ArgExpr returns the caller expression feeding the callee's parameter
+// idx at this call: the receiver expression for RecvParam, otherwise
+// the positional argument. Variadic tails beyond the declared
+// parameters are not mapped.
+func ArgExpr(call *ast.CallExpr, idx int) (ast.Expr, bool) {
+	if idx == RecvParam {
+		if sel, ok := Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X, true
+		}
+		return nil, false
+	}
+	if idx < 0 || idx >= len(call.Args) {
+		return nil, false
+	}
+	return call.Args[idx], true
+}

@@ -1,0 +1,116 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// JoinsIn reports whether a join/cancel signal is reachable from the
+// given body (typically a goroutine literal's): a direct channel
+// operation, wg.Done/Wait, ctx.Done, a call to a package-local function
+// whose summary reaches one, a call through a bound closure containing
+// one, or an opaque call visibly handed a channel, context.Context, or
+// *sync.WaitGroup (the cross-package benefit of the doubt). Nested `go`
+// statements do not count — their signals join the nested goroutine,
+// not this one.
+func (g *Graph) JoinsIn(body ast.Node) bool {
+	return g.joinsIn(body, 0, map[*ast.FuncLit]bool{})
+}
+
+func (g *Graph) joinsIn(body ast.Node, depth int, seen map[*ast.FuncLit]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := g.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if g.callJoins(n, depth, seen) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// CallJoins reports whether one call can reach a join/cancel signal —
+// the entry point goleak uses for `go f(x)` statements with a
+// non-literal target.
+func (g *Graph) CallJoins(call *ast.CallExpr) bool {
+	return g.callJoins(call, 0, map[*ast.FuncLit]bool{})
+}
+
+func (g *Graph) callJoins(call *ast.CallExpr, depth int, seen map[*ast.FuncLit]bool) bool {
+	var e Effects
+	g.classifyJoinCall(&e, call)
+	if e.Joins() {
+		return true
+	}
+	callees, _ := g.resolveCallees(call)
+	for _, c := range callees {
+		if g.EffectsOf(c).Joins() {
+			return true
+		}
+	}
+	if id, ok := Unparen(call.Fun).(*ast.Ident); ok && depth < SummaryRounds {
+		if lit := g.ClosureOf(id); lit != nil && !seen[lit] {
+			seen[lit] = true
+			if g.joinsIn(lit.Body, depth+1, seen) {
+				return true
+			}
+		}
+	}
+	// A channel, context, or WaitGroup visibly crossing the call is
+	// taken as the join discipline living on the other side.
+	exprs := append([]ast.Expr{}, call.Args...)
+	if sel, ok := Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, a := range exprs {
+		if tv, ok := g.Info.Types[a]; ok && TypeCarriesJoin(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeCarriesJoin reports whether a value of this type carries a join
+// discipline across an opaque call: a channel, a context.Context, or a
+// *sync.WaitGroup.
+func TypeCarriesJoin(t types.Type) bool {
+	if isNamed(t, "context", "Context") {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return isNamed(u.Elem(), "sync", "WaitGroup")
+	}
+	return false
+}
+
+func isNamed(t types.Type, pkg, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}

@@ -1,0 +1,98 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"os"
+	"strings"
+	"testing"
+
+	"bfvlsi/internal/lint"
+	"bfvlsi/internal/lint/load"
+)
+
+// concurrencyAnalyzers are the v3 contract analyzers this file gates
+// on: the interprocedural call-graph/summary engine must run clean over
+// the fixed tree (the ISSUE's acceptance bar), independently of what
+// the rest of the suite does.
+var concurrencyAnalyzers = map[string]bool{
+	"lockcheck": true, "atomicmix": true, "goleak": true, "sweepshare": true,
+}
+
+// TestConcurrencyAnalyzersCleanOnRepo asserts the four concurrency
+// analyzers report zero findings across the module. The annotated
+// structs (serve's cache, dispatch's breaker and lease tables,
+// sweepfarm's journal) are the real fixtures here: a regression that
+// drops a lock or adds a joinless goroutine fails this test.
+func TestConcurrencyAnalyzersCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo type-check skipped in -short mode")
+	}
+	pkgs, err := load.New().Load("bfvlsi/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []string
+	for _, p := range pkgs {
+		if len(lint.AnalyzersFor(p.Path)) == 0 {
+			continue
+		}
+		diags, err := lint.Run(p.Path, p.Fset, p.Files, p.Types, p.Info)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Path, err)
+		}
+		for _, d := range diags {
+			if concurrencyAnalyzers[d.Category] {
+				findings = append(findings, p.Fset.Position(d.Pos).String()+": "+d.Message+" ("+d.Category+")")
+			}
+		}
+	}
+	if len(findings) > 0 {
+		t.Errorf("concurrency analyzers are not clean on the repository:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+// TestLockcheckCatchesUnguardedCacheAccess is the mutation test: take
+// the real internal/serve cache, strip the lock from stats(), and
+// assert lockcheck flags the now-unguarded access to the annotated
+// fields. This proves the repo-clean test above is load-bearing — the
+// annotations fire on exactly the regression they exist to stop.
+func TestLockcheckCatchesUnguardedCacheAccess(t *testing.T) {
+	src, err := os.ReadFile("../serve/cache.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const guard = "c.mu.Lock()\n\tdefer c.mu.Unlock()\n\treturn c.order.Len(), c.bytes, c.evicted"
+	const unguarded = "return c.order.Len(), c.bytes, c.evicted"
+	mutated := strings.Replace(string(src), guard, unguarded, 1)
+	if mutated == string(src) {
+		t.Fatalf("mutation did not apply; stats() no longer matches:\n%s", guard)
+	}
+
+	l := load.New()
+	f, err := parser.ParseFile(l.Fset, "cache.go", mutated, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.CheckFiles("bfvlsi/internal/serve", "", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkg.Path, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Category != "lockcheck" {
+			t.Errorf("unexpected %s diagnostic on the mutated cache: %s", d.Category, d.Message)
+			continue
+		}
+		if strings.Contains(d.Message, "c.mu") && strings.Contains(d.Message, "guardedby") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("lockcheck did not flag the un-guarded stats() access")
+	}
+}

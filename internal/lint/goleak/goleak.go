@@ -1,0 +1,62 @@
+// Package goleak implements the bflint analyzer requiring every
+// goroutine launched in non-test code to have a reachable join or
+// cancel signal: a WaitGroup.Done (usually deferred), a channel
+// send/receive/close/select the launcher can observe, or a
+// ctx.Done-scoped loop. A goroutine with none of these outlives its
+// work invisibly — the sweep drivers and the serve/dispatch daemons all
+// shut down by draining, so an unjoinable goroutine is either a leak or
+// an unkillable background task.
+//
+// The check is summary-based (internal/lint/callgraph): signals inside
+// package-local callees count through callgraph.SummaryRounds call
+// edges, closures bound once to a local (`work := func(){...}; go
+// work()`) are followed, and an opaque cross-package call visibly
+// handed a channel, context.Context, or *sync.WaitGroup is given the
+// benefit of the doubt. Everything else is reported at the go
+// statement.
+package goleak
+
+import (
+	"go/ast"
+
+	"bfvlsi/internal/lint/analysis"
+	"bfvlsi/internal/lint/callgraph"
+)
+
+// Analyzer requires a reachable join/cancel signal for every goroutine.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "every `go` statement in non-test code must have a reachable join or cancel " +
+		"signal: WaitGroup.Done, a channel operation, or ctx.Done",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	g := callgraph.Build(pass.Pkg, pass.TypesInfo, pass.Files)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineJoins(g, gs) {
+				pass.Reportf(gs.Pos(),
+					"goroutine has no reachable join or cancel signal (WaitGroup.Done, "+
+						"channel operation, or ctx.Done); it cannot be waited for or stopped")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// goroutineJoins decides whether the spawned body can reach a signal.
+func goroutineJoins(g *callgraph.Graph, gs *ast.GoStmt) bool {
+	if lit, ok := callgraph.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return g.JoinsIn(lit.Body)
+	}
+	return g.CallJoins(gs.Call)
+}

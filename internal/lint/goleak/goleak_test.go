@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"bfvlsi/internal/lint/analysistest"
+	"bfvlsi/internal/lint/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goleak.Analyzer, "leaky")
+}

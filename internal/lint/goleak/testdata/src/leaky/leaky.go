@@ -1,0 +1,98 @@
+// Package leaky is the goleak fixture: goroutines with and without a
+// reachable join/cancel signal, directly, through package-local
+// helpers, through bound closures, and across opaque imports.
+package leaky
+
+import (
+	"context"
+	"sync"
+
+	"leakyhelper"
+)
+
+func compute(i int) int { return i * i }
+
+// Bad: fire-and-forget literal with no signal.
+func fireAndForget(n int) {
+	go func() { // want `goroutine has no reachable join or cancel signal`
+		compute(n)
+	}()
+}
+
+// Good: WaitGroup-joined.
+func joined(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute(n)
+	}()
+	wg.Wait()
+}
+
+// Good: channel hand-off.
+func channelled(n int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- compute(n) }()
+	return <-ch
+}
+
+// Good: context-scoped loop.
+func scoped(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func worker(jobs chan int) {
+	for j := range jobs {
+		compute(j)
+	}
+}
+
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		compute(i)
+	}
+}
+
+// Good: the helper's summary reaches a channel receive.
+func viaHelper(jobs chan int) {
+	go worker(jobs)
+}
+
+// Bad: the helper's summary reaches nothing.
+func viaSpin(n int) {
+	go spin(n) // want `goroutine has no reachable join or cancel signal`
+}
+
+// Good: bound closure followed to its body.
+func viaClosure(n int) int {
+	ch := make(chan int, 1)
+	work := func() { ch <- compute(n) }
+	go work()
+	return <-ch
+}
+
+// Good: opaque cross-package call visibly handed a channel.
+func viaOpaque(ch chan int) {
+	go leakyhelper.Drain(ch)
+}
+
+// Bad: opaque cross-package call with nothing crossing.
+func viaOpaqueBad(n int) {
+	go leakyhelper.Spin(n) // want `goroutine has no reachable join or cancel signal`
+}
+
+// Bad: a nested goroutine's signal belongs to the nested goroutine.
+func nested(ch chan int) {
+	go func() { // want `goroutine has no reachable join or cancel signal`
+		go func() { ch <- 1 }()
+	}()
+}

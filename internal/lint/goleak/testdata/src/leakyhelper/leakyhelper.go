@@ -1,0 +1,16 @@
+// Package leakyhelper gives the goleak fixture an opaque import: its
+// summaries are invisible to the analyzer, so only visibly crossing
+// carriers (the channel parameter) earn the benefit of the doubt.
+package leakyhelper
+
+// Drain consumes the channel.
+func Drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// Spin burns cycles with no join discipline.
+func Spin(n int) {
+	for i := 0; i < n; i++ {
+	}
+}

@@ -25,7 +25,17 @@
 //     products in the layout packages must be interval-bounded below
 //     int overflow or use bitutil.CheckedShl/CheckedMul (overflowcalc);
 //   - sweep ownership: goroutine fan-outs write only goroutine-owned
-//     state (sweepshare).
+//     state (sweepshare, interprocedural since v3);
+//
+// and — on the internal/lint/callgraph call-graph/summary engine — the
+// v3 concurrency contracts:
+//
+//   - guarded fields: //bflint:guardedby annotations hold on every CFG
+//     path, through unexported helpers (lockcheck);
+//   - atomic discipline: a variable touched via sync/atomic is never
+//     read or written plainly (atomicmix);
+//   - goroutine accountability: every `go` statement has a reachable
+//     join or cancel signal (goleak).
 package lint
 
 import (
@@ -36,11 +46,14 @@ import (
 	"strings"
 
 	"bfvlsi/internal/lint/analysis"
+	"bfvlsi/internal/lint/atomicmix"
 	"bfvlsi/internal/lint/conscount"
 	"bfvlsi/internal/lint/detrand"
 	"bfvlsi/internal/lint/errflush"
 	"bfvlsi/internal/lint/facadecheck"
+	"bfvlsi/internal/lint/goleak"
 	"bfvlsi/internal/lint/hotalloc"
+	"bfvlsi/internal/lint/lockcheck"
 	"bfvlsi/internal/lint/maporder"
 	"bfvlsi/internal/lint/overflowcalc"
 	"bfvlsi/internal/lint/sweepshare"
@@ -106,6 +119,9 @@ func Suite() []*analysis.Analyzer {
 		hotalloc.Analyzer,
 		overflowcalc.Analyzer,
 		sweepshare.Analyzer,
+		lockcheck.Analyzer,
+		atomicmix.Analyzer,
+		goleak.Analyzer,
 	}
 }
 
@@ -120,13 +136,15 @@ func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
 	if simulatorPackages[pkgPath] || servicePackages[pkgPath] || checkpointPackages[pkgPath] {
 		out = append(out, detrand.Analyzer)
 	}
-	// The map-order, conservation, hot-path, and sweep-ownership
-	// contracts bind everywhere in the module: a golden trace is only as
-	// deterministic as its least deterministic caller, any package may
-	// mark a //bflint:hotpath loop, and goroutine fan-outs race no
-	// matter which package launches them.
+	// The map-order, conservation, hot-path, sweep-ownership, and v3
+	// concurrency contracts bind everywhere in the module: a golden
+	// trace is only as deterministic as its least deterministic caller,
+	// any package may mark a //bflint:hotpath loop or annotate a
+	// //bflint:guardedby field, and goroutines race no matter which
+	// package launches them.
 	out = append(out, maporder.Analyzer, conscount.Analyzer,
-		hotalloc.Analyzer, sweepshare.Analyzer)
+		hotalloc.Analyzer, sweepshare.Analyzer,
+		lockcheck.Analyzer, atomicmix.Analyzer, goleak.Analyzer)
 	if layoutPackages[pkgPath] {
 		out = append(out, overflowcalc.Analyzer)
 	}
@@ -193,7 +211,13 @@ func filterIgnored(fset *token.FileSet, files []*ast.File, diags []analysis.Diag
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				text := c.Text
+				if strings.HasPrefix(text, "//") {
+					text = text[2:]
+				} else {
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				}
+				text = strings.TrimSpace(text)
 				if !strings.HasPrefix(text, "bflint:ignore") {
 					continue
 				}
@@ -209,7 +233,21 @@ func filterIgnored(fset *token.FileSet, files []*ast.File, diags []analysis.Diag
 				}) {
 					names[n] = true
 				}
-				byLine[pos.Line] = names
+				// Multiple ignore comments on one line union their names;
+				// a bare ignore (empty set = suppress all) absorbs any
+				// named one. Overwriting here would make one comment
+				// silently cancel another.
+				if existing, seen := byLine[pos.Line]; seen {
+					if len(existing) == 0 || len(names) == 0 {
+						byLine[pos.Line] = map[string]bool{}
+					} else {
+						for n := range names {
+							existing[n] = true
+						}
+					}
+				} else {
+					byLine[pos.Line] = names
+				}
 			}
 		}
 	}

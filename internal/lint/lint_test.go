@@ -172,6 +172,55 @@ func sweep(n int) int {
 	}
 }
 
+// One suppression comment must silence all findings on its line across
+// analyzers — here a single bare //bflint:ignore swallows both the
+// goleak finding (at the go statement) and the detrand finding (at the
+// time.Now call) — and two ignore comments sharing a line must union
+// their names rather than the later overwriting the earlier.
+func TestIgnoreCrossAnalyzer(t *testing.T) {
+	const src = `package serve
+
+import "time"
+
+func fire() {
+	go func() { _ = time.Now() }() //bflint:ignore
+	go func() { _ = time.Now() }() /*bflint:ignore detrand*/ //bflint:ignore goleak
+	go func() { _ = time.Now() }()
+}
+`
+	l := load.New()
+	f, err := parser.ParseFile(l.Fset, "crossfix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.CheckFiles("bfvlsi/internal/serve", "", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkg.Path, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLine := map[int][]string{}
+	for _, d := range diags {
+		line := pkg.Fset.Position(d.Pos).Line
+		byLine[line] = append(byLine[line], d.Category)
+	}
+	if len(byLine[6]) != 0 {
+		t.Errorf("line 6 (bare ignore) still flagged by %v", byLine[6])
+	}
+	if len(byLine[7]) != 0 {
+		t.Errorf("line 7 (two named ignores) still flagged by %v; ignore comments must union", byLine[7])
+	}
+	want := map[string]bool{"detrand": true, "goleak": true}
+	for _, cat := range byLine[8] {
+		delete(want, cat)
+	}
+	if len(want) != 0 {
+		t.Errorf("line 8 (no ignore) missing expected findings: %v (got %v)", want, byLine[8])
+	}
+}
+
 // Every analyzer must bind somewhere, or it is dead weight that the
 // repo-clean test silently never exercises.
 func TestEveryAnalyzerBindsSomewhere(t *testing.T) {

@@ -1,0 +1,122 @@
+// Package guarded is the lockcheck fixture: every shape of
+// //bflint:guardedby access the analyzer distinguishes — straight-line
+// locked access, deferred unlock, branch-only locks, the unexported
+// *Locked helper idiom discharged (or not) at call sites, obligation
+// chains through two helpers, goroutine literals that do not inherit
+// the creator's lockset, and construction-time exemptions.
+package guarded
+
+import "sync"
+
+type table struct {
+	mu      sync.Mutex
+	count   int            //bflint:guardedby mu
+	entries map[string]int //bflint:guardedby mu
+}
+
+type badAnnot struct {
+	//bflint:guardedby missing
+	n int // want `names missing, which is not a sibling field`
+}
+
+// Good: lock held across the access.
+func (t *table) good() {
+	t.mu.Lock()
+	t.count++
+	t.mu.Unlock()
+}
+
+// Good: deferred unlock holds to the end of the body.
+func (t *table) goodDeferred(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.entries[k]
+}
+
+// Bad: no lock at all.
+func (t *table) Plain() int {
+	return t.count // want `t\.count is guarded by t\.mu`
+}
+
+// Bad: locked on one arm only — not held on every path.
+func (t *table) branchy(b bool) {
+	if b {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	t.count++ // want `t\.count is guarded by t\.mu`
+}
+
+// The *Locked helper idiom: the unexported helper relies on its callers.
+func (t *table) bumpLocked() {
+	t.count++ // the obligation moves to the call sites
+}
+
+// Good: caller discharges the obligation.
+func (t *table) viaHelper() {
+	t.mu.Lock()
+	t.bumpLocked()
+	t.mu.Unlock()
+}
+
+// Bad: this call site does not hold t.mu.
+func (t *table) viaHelperBad() {
+	t.bumpLocked() // want `t\.count is guarded by t\.mu .*callee bumpLocked`
+}
+
+// Obligation chains: outerLocked -> bumpLocked, both unexported.
+func (t *table) outerLocked() {
+	t.bumpLocked()
+}
+
+func (t *table) chainGood() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.outerLocked()
+}
+
+func (t *table) chainBad() {
+	t.outerLocked() // want `t\.count is guarded by t\.mu .*callee outerLocked`
+}
+
+// Bad: an unexported helper nobody calls can never discharge its
+// obligation.
+func (t *table) orphanLocked() {
+	t.count-- // want `t\.count is guarded by t\.mu .*no recorded callers`
+}
+
+// Bad: a goroutine does not inherit the lock its creator held.
+func (t *table) spawns() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() {
+		t.count++ // want `t\.count is guarded by t\.mu`
+	}()
+}
+
+// Good: construction of a fresh, unshared object is exempt.
+func newTable() *table {
+	t := &table{entries: map[string]int{}}
+	t.count = 0
+	return t
+}
+
+// Good: lock named through a nested path (s.inner.mu guards
+// s.inner.count).
+type wrapper struct {
+	inner table
+}
+
+func (w *wrapper) nested() {
+	w.inner.mu.Lock()
+	w.inner.count++
+	w.inner.mu.Unlock()
+}
+
+// Bad: nested path without the lock.
+func (w *wrapper) nestedBad() {
+	w.inner.count++ // want `w\.inner\.count is guarded by w\.inner\.mu`
+}
+
+var _ = badAnnot{}
+var _ = newTable

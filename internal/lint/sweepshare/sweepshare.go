@@ -15,6 +15,15 @@
 //
 // while accepting mutex-guarded writes (a .Lock() call precedes the
 // write inside the literal) and channel sends (ownership transfer).
+//
+// v2 is interprocedural (internal/lint/callgraph): a captured variable
+// handed to a package-local function that writes through it — a
+// pointer, map, or receiver write, summarized through up to
+// callgraph.SummaryRounds call edges — is flagged at the call, and
+// `go f(x)` statements whose target is a bound closure or package-local
+// function are checked like literals. Indexed writes remain sanctioned
+// when the index travels as a call argument (a launch-time copy is
+// goroutine-local by construction).
 package sweepshare
 
 import (
@@ -23,33 +32,49 @@ import (
 	"go/types"
 
 	"bfvlsi/internal/lint/analysis"
+	"bfvlsi/internal/lint/callgraph"
 )
 
 // Analyzer flags unsynchronised writes to captured variables inside
 // goroutine literals.
 var Analyzer = &analysis.Analyzer{
 	Name: "sweepshare",
-	Doc: "forbid writes to captured variables from `go func` literals without mutex or " +
-		"channel ownership; sweep workers must write disjoint indices via goroutine-local " +
-		"indexes or hand results over a channel",
+	Doc: "forbid writes to captured variables from `go` statements without mutex or " +
+		"channel ownership, including writes reached through called functions; sweep " +
+		"workers must write disjoint indices via goroutine-local indexes or hand " +
+		"results over a channel",
 	Run: run,
 }
 
+// checker carries the per-package state of one run.
+type checker struct {
+	pass  *analysis.Pass
+	graph *callgraph.Graph
+}
+
 func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, graph: callgraph.Build(pass.Pkg, pass.TypesInfo, pass.Files)}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
 			if !ok {
 				return true
 			}
-			lit, ok := gs.Call.Fun.(*ast.FuncLit)
-			if !ok {
-				return true
-			}
 			if pass.InTestFile(gs.Pos()) {
 				return true
 			}
-			checkGoroutine(pass, lit)
+			switch fun := unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				c.checkGoroutine(fun)
+			case *ast.Ident:
+				if lit := c.graph.ClosureOf(fun); lit != nil {
+					c.checkGoroutine(lit)
+				} else {
+					c.checkGoCall(gs.Call)
+				}
+			default:
+				c.checkGoCall(gs.Call)
+			}
 			return true
 		})
 	}
@@ -57,7 +82,8 @@ func run(pass *analysis.Pass) (any, error) {
 }
 
 // checkGoroutine inspects one goroutine literal body.
-func checkGoroutine(pass *analysis.Pass, lit *ast.FuncLit) {
+func (c *checker) checkGoroutine(lit *ast.FuncLit) {
+	pass := c.pass
 	local := localObjects(pass.TypesInfo, lit)
 	locked := lockPositions(pass.TypesInfo, lit)
 
@@ -67,7 +93,7 @@ func checkGoroutine(pass *analysis.Pass, lit *ast.FuncLit) {
 			// A nested literal runs on this goroutine unless launched
 			// itself; its writes count, with its own params/locals added
 			// to the local set.
-			checkNested(pass, n, local, locked)
+			c.checkNested(n, local, locked)
 			return false
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
@@ -75,6 +101,8 @@ func checkGoroutine(pass *analysis.Pass, lit *ast.FuncLit) {
 			}
 		case *ast.IncDecStmt:
 			checkWrite(pass, n.X, local, locked)
+		case *ast.CallExpr:
+			c.checkCall(n, local, locked)
 		}
 		return true
 	})
@@ -82,7 +110,8 @@ func checkGoroutine(pass *analysis.Pass, lit *ast.FuncLit) {
 
 // checkNested folds a nested (non-go) literal's own declarations into
 // the local set and recurses.
-func checkNested(pass *analysis.Pass, lit *ast.FuncLit, outer map[types.Object]bool, locked []token.Pos) {
+func (c *checker) checkNested(lit *ast.FuncLit, outer map[types.Object]bool, locked []token.Pos) {
+	pass := c.pass
 	local := localObjects(pass.TypesInfo, lit)
 	for o := range outer {
 		local[o] = true
@@ -90,7 +119,7 @@ func checkNested(pass *analysis.Pass, lit *ast.FuncLit, outer map[types.Object]b
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			checkNested(pass, n, local, locked)
+			c.checkNested(n, local, locked)
 			return false
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
@@ -98,9 +127,126 @@ func checkNested(pass *analysis.Pass, lit *ast.FuncLit, outer map[types.Object]b
 			}
 		case *ast.IncDecStmt:
 			checkWrite(pass, n.X, local, locked)
+		case *ast.CallExpr:
+			c.checkCall(n, local, locked)
 		}
 		return true
 	})
+}
+
+// checkCall traces a call inside a goroutine body through the callee's
+// effect summary: an unguarded pointer, map, or receiver write through
+// an argument whose root is captured races exactly like the literal
+// write would.
+func (c *checker) checkCall(call *ast.CallExpr, local map[types.Object]bool, locked []token.Pos) {
+	info := c.pass.TypesInfo
+	for _, callee := range c.graph.CalleesOf(call) {
+		eff := c.graph.EffectsOf(callee)
+		for idx, pe := range eff.Params {
+			arg, ok := callgraph.ArgExpr(call, idx)
+			if !ok {
+				continue
+			}
+			root := callgraph.RootIdent(arg)
+			if root == nil {
+				continue
+			}
+			obj := info.ObjectOf(root)
+			if obj == nil || local[obj] {
+				continue
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				continue
+			}
+			if guarded(locked, call.Pos()) {
+				continue
+			}
+			name := callee.Func.Name()
+			if pe.Writes {
+				c.pass.Reportf(call.Pos(),
+					"goroutine calls %s, which writes through captured %s without mutex or channel ownership; guard the write or hand results over a channel",
+					name, root.Name)
+			}
+			if pe.WritesMap {
+				c.pass.Reportf(call.Pos(),
+					"goroutine calls %s, which writes captured map %s; map writes race even on distinct keys — guard with a mutex or collect over a channel",
+					name, root.Name)
+			}
+			for _, j := range pe.SliceIndexParams {
+				idxArg, ok := callgraph.ArgExpr(call, j)
+				if ok && capturedIndex(info, idxArg, local) {
+					c.pass.Reportf(call.Pos(),
+						"goroutine calls %s, which writes %s[...] with a captured index; workers sharing an index variable race on the same slot — pass a goroutine-local index",
+						name, root.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkGoCall handles `go f(args)` with a non-literal target: arguments
+// are evaluated at launch, so plain values (including slice indices)
+// are goroutine-local copies, but pointers, maps, and receivers still
+// alias the launcher's memory and inherit the callee's write effects.
+func (c *checker) checkGoCall(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	for _, callee := range c.graph.CalleesOf(call) {
+		eff := c.graph.EffectsOf(callee)
+		for idx, pe := range eff.Params {
+			if !pe.Writes && !pe.WritesMap {
+				continue // slice-slot writes index a launch-time copy: disjoint by construction
+			}
+			arg, ok := callgraph.ArgExpr(call, idx)
+			if !ok {
+				continue
+			}
+			if pe.Writes && disjointPtrArg(info, arg) {
+				continue // &out[i]: a distinct slot per launch
+			}
+			root := callgraph.RootIdent(arg)
+			if root == nil {
+				continue
+			}
+			obj := info.ObjectOf(root)
+			if _, isVar := obj.(*types.Var); !isVar {
+				continue
+			}
+			name := callee.Func.Name()
+			if pe.Writes {
+				c.pass.Reportf(call.Pos(),
+					"goroutine calls %s, which writes through shared %s without mutex or channel ownership; guard the write or hand results over a channel",
+					name, root.Name)
+			}
+			if pe.WritesMap {
+				c.pass.Reportf(call.Pos(),
+					"goroutine calls %s, which writes shared map %s; map writes race even on distinct keys — guard with a mutex or collect over a channel",
+					name, root.Name)
+			}
+		}
+	}
+}
+
+// disjointPtrArg reports whether the argument is the address of a slice
+// or array element (&out[i]): with the index evaluated at launch, each
+// goroutine receives its own slot.
+func disjointPtrArg(info *types.Info, arg ast.Expr) bool {
+	u, ok := unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	ix, ok := unparen(u.X).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[ix.X]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+		return true
+	}
+	return false
 }
 
 // localObjects collects every object declared within the literal

@@ -158,3 +158,158 @@ func goodForEach(n int, f func(int)) {
 	close(jobs)
 	wg.Wait()
 }
+
+// ---- v2: interprocedural cases ----
+
+func accumulate(sum *int, d int) { *sum += d }
+
+func record(m map[int]int, k, v int) { m[k] = v }
+
+func store(out []point, i int) { out[i] = point{x: i} }
+
+func guardedAccumulate(mu *sync.Mutex, sum *int, d int) {
+	mu.Lock()
+	*sum += d
+	mu.Unlock()
+}
+
+type tally struct{ n int }
+
+func (t *tally) add(d int) { t.n += d }
+
+// Bad: the racy write hides inside a called function.
+func badCallPtr(n int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			accumulate(&total, i) // want `goroutine calls accumulate, which writes through captured total`
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// Bad: map write through a helper.
+func badCallMap(n int) map[int]int {
+	m := map[int]int{}
+	done := make(chan struct{})
+	go func() {
+		record(m, 1, 2) // want `goroutine calls record, which writes captured map m`
+		close(done)
+	}()
+	<-done
+	return m
+}
+
+// Bad: receiver write through a method call.
+func badCallMethod(t *tally, n int) {
+	done := make(chan struct{})
+	go func() {
+		t.add(n) // want `goroutine calls add, which writes through captured t`
+		close(done)
+	}()
+	<-done
+}
+
+// Bad: the helper indexes with a variable the goroutines share.
+func badCallSharedIndex(n int) []point {
+	out := make([]point, n)
+	var wg sync.WaitGroup
+	idx := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			store(out, idx) // want `goroutine calls store, which writes out\[\.\.\.\] with a captured index`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Good: the helper indexes with the goroutine's own parameter.
+func goodCallParamIndex(n int) []point {
+	out := make([]point, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			store(out, i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Good: the helper locks around its write.
+func goodCallGuarded(n int) int {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			guardedAccumulate(&mu, &total, i)
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// Bad: `go f(args)` with a package-local target writing its pointer arg.
+func badGoDirect(n int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go accumulate(&total, i) // want `goroutine calls accumulate, which writes through shared total`
+	}
+	wg.Wait()
+	return total
+}
+
+// Good: `go f(out, i)` — the index travels as a launch-time copy, so
+// each goroutine owns its slot.
+func goodGoDirectSlots(n int) []point {
+	out := make([]point, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go store(out, i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Good: &out[i] is a distinct slot per launch.
+func goodGoDirectPtrSlot(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go accumulate(&out[i], i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Bad: a bound closure launched by name is checked like a literal.
+func badBoundClosure(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	work := func(i int) {
+		defer wg.Done()
+		total += i // want `goroutine writes captured variable total`
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go work(i)
+	}
+	wg.Wait()
+	return total
+}

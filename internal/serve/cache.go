@@ -34,10 +34,10 @@ type cache struct {
 	mu       sync.Mutex
 	cap      int
 	maxBytes int64
-	bytes    int64      // total size of sized (completed) cached bodies
-	evicted  int64      // entries dropped to make room, both bounds
-	order    *list.List // front = most recently used; values are string keys
-	entries  map[string]*slot
+	bytes    int64            //bflint:guardedby mu -- total size of sized (completed) cached bodies
+	evicted  int64            //bflint:guardedby mu -- entries dropped to make room, both bounds
+	order    *list.List       //bflint:guardedby mu -- front = most recently used; values are string keys
+	entries  map[string]*slot //bflint:guardedby mu
 }
 
 type slot struct {

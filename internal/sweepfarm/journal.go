@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"bfvlsi/internal/routing"
 	"bfvlsi/internal/wire"
@@ -70,9 +71,13 @@ func unmarshalPoint(b []byte) (Point, error) {
 // Journal is an open append handle on a completed-point journal file.
 // One farm (or one dispatch worker lane) appends; every append is
 // fsynced before it returns, so a journaled point survives a hard kill.
+// Append and Close serialize on an internal mutex, so concurrent
+// appenders (a hedge pair both delivering into the same lane) interleave
+// whole records rather than tearing each other's frames.
 type Journal struct {
 	path string
-	f    *os.File
+	mu   sync.Mutex
+	f    *os.File //bflint:guardedby mu
 }
 
 // OpenJournal opens the journal at path for appending, creating it if
@@ -120,7 +125,8 @@ func OpenJournal(path string) (*Journal, []Point, error) {
 func (j *Journal) Path() string { return j.path }
 
 // Append writes one length-prefixed record and syncs it to disk before
-// returning. Append is not safe for concurrent use; callers serialize.
+// returning. Append is safe for concurrent use: records are written
+// whole under the journal's mutex.
 func (j *Journal) Append(p Point) error {
 	rec, err := marshalPoint(p)
 	if err != nil {
@@ -128,6 +134,8 @@ func (j *Journal) Append(p Point) error {
 	}
 	buf := binary.AppendUvarint(make([]byte, 0, len(rec)+4), uint64(len(rec)))
 	buf = append(buf, rec...)
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if _, err := j.f.Write(buf); err != nil {
 		return fmt.Errorf("sweepfarm: journal write: %w", err)
 	}
@@ -138,7 +146,11 @@ func (j *Journal) Append(p Point) error {
 }
 
 // Close releases the journal's file handle.
-func (j *Journal) Close() error { return j.f.Close() }
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
 
 // syncDir fsyncs the directory holding path, making a freshly created
 // file's directory entry durable.
