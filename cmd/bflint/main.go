@@ -42,22 +42,37 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("bflint", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bflint [-json] [packages]\n       bflint unit.cfg   (go vet -vettool mode)\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: bflint [-json|-sarif] [packages]\n       bflint -writeschema [-o file]\n       bflint unit.cfg   (go vet -vettool mode)\n\nanalyzers:\n")
 		for _, a := range lint.Suite() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flagsJSON := fs.Bool("flags", false, "describe flags in JSON (go vet protocol)")
 	jsonOut := fs.Bool("json", false, "emit findings and a per-analyzer summary as JSON on stdout (standalone mode only)")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout (standalone mode only)")
+	writeSchema := fs.Bool("writeschema", false, "regenerate the wire/snapshot schema manifest instead of linting")
+	outPath := fs.String("o", "", "output path for -writeschema (default <module>/internal/wire/schema.lock)")
 	if err := parseArgs(fs, args); err != nil {
 		return 2
 	}
 
 	if *flagsJSON {
-		// bflint defines no tool flags beyond the protocol ones; -json
-		// is standalone-only and not advertised to go vet.
+		// bflint defines no tool flags beyond the protocol ones; -json,
+		// -sarif, and -writeschema are standalone-only and not
+		// advertised to go vet.
 		fmt.Println("[]")
 		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "bflint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *writeSchema {
+		if *jsonOut || *sarifOut || fs.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "bflint: -writeschema takes no packages and no output-format flags")
+			return 2
+		}
+		return runWriteSchema(*outPath)
 	}
 
 	rest := fs.Args()
@@ -67,7 +82,14 @@ func run(args []string) int {
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	return runStandalone(rest, *jsonOut)
+	mode := outText
+	switch {
+	case *jsonOut:
+		mode = outJSON
+	case *sarifOut:
+		mode = outSARIF
+	}
+	return runStandalone(rest, mode)
 }
 
 // parseArgs handles -V=full before normal flag parsing: the go command
@@ -163,8 +185,17 @@ func emitJSON(w io.Writer, found []jsonDiagnostic) error {
 	return enc.Encode(report)
 }
 
+// outputMode selects the standalone findings format.
+type outputMode int
+
+const (
+	outText outputMode = iota
+	outJSON
+	outSARIF
+)
+
 // runStandalone loads the patterns from source and lints each package.
-func runStandalone(patterns []string, jsonOut bool) int {
+func runStandalone(patterns []string, mode outputMode) int {
 	ld := load.New()
 	pkgs, err := ld.Load(patterns...)
 	if err != nil {
@@ -188,13 +219,19 @@ func runStandalone(patterns []string, jsonOut bool) int {
 				Category: d.Category,
 				Message:  d.Message,
 			})
-			if !jsonOut {
+			if mode == outText {
 				fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pos, d.Message, d.Category)
 			}
 		}
 	}
-	if jsonOut {
+	switch mode {
+	case outJSON:
 		if err := emitJSON(os.Stdout, found); err != nil {
+			fmt.Fprintln(os.Stderr, "bflint:", err)
+			return 2
+		}
+	case outSARIF:
+		if err := emitSARIF(os.Stdout, found); err != nil {
 			fmt.Fprintln(os.Stderr, "bflint:", err)
 			return 2
 		}

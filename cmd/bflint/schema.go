@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bfvlsi/internal/lint"
+	"bfvlsi/internal/lint/load"
+	"bfvlsi/internal/lint/schema"
+)
+
+// runWriteSchema regenerates the schema manifest (-writeschema): it
+// loads the wire/snapshot packages, fingerprints every binary
+// marshaler, and writes the canonical schema.lock. The output is a
+// pure function of the source, so running it twice is byte-stable and
+// `cmp` against the committed file is a drift gate.
+func runWriteSchema(outPath string) int {
+	if outPath == "" {
+		root, err := moduleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bflint:", err)
+			return 2
+		}
+		outPath = filepath.Join(root, "internal", "wire", schema.ManifestName)
+	}
+	entries, err := schemaEntries()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bflint:", err)
+		return 2
+	}
+	if err := os.WriteFile(outPath, schema.FormatManifest(entries), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bflint:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "bflint: wrote %d schema entries to %s\n", len(entries), outPath)
+	return 0
+}
+
+// schemaEntries builds the manifest entries for every marshaler in the
+// wire packages.
+func schemaEntries() ([]schema.Entry, error) {
+	pkgs, err := load.New().Load(lint.WirePackagePaths()...)
+	if err != nil {
+		return nil, err
+	}
+	var entries []schema.Entry
+	for _, pkg := range pkgs {
+		for _, m := range schema.Marshalers(pkg.Types, pkg.Info, pkg.Files) {
+			_, version, ok := schema.VersionOf(pkg.Info, m.Marshal)
+			if !ok {
+				return nil, fmt.Errorf("%s: cannot determine the version byte of (%s).MarshalBinary",
+					pkg.Path, m.TypeName.Name())
+			}
+			entries = append(entries, schema.Entry{
+				Type:        schema.TypeID(m.Named),
+				Version:     version,
+				Fields:      m.Struct.NumFields(),
+				Fingerprint: schema.Fingerprint(m.Named),
+			})
+		}
+	}
+	return entries, nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod root.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory; pass -o explicitly")
+		}
+		dir = parent
+	}
+}

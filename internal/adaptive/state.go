@@ -56,8 +56,12 @@ func (r *Router) RestoreState(st *State) error {
 			return fmt.Errorf("adaptive: restore negative failure streak")
 		}
 	}
+	// OpenAtEnd is derived at Stats() read time, never stored, so an
+	// honest capture always carries 0; a nonzero value marks a
+	// hand-built or corrupt state.
 	if st.Cycle < 0 || st.Stats.Opened < 0 || st.Stats.Reclosed > st.Stats.Opened ||
-		st.Stats.Probes < 0 || st.Stats.ProbesAlive > st.Stats.Probes || st.Stats.Epochs < 0 {
+		st.Stats.Probes < 0 || st.Stats.ProbesAlive > st.Stats.Probes ||
+		st.Stats.Epochs < 0 || st.Stats.OpenAtEnd != 0 {
 		return fmt.Errorf("adaptive: restore counters inconsistent: %+v", st.Stats)
 	}
 	r.Reset(st.N, st.Rows)
@@ -67,6 +71,5 @@ func (r *Router) RestoreState(st *State) error {
 	copy(r.mapDead, st.MapDead)
 	r.haveMap = st.HaveMap
 	r.stats = st.Stats
-	r.stats.OpenAtEnd = 0
 	return nil
 }

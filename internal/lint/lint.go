@@ -35,7 +35,21 @@
 //   - atomic discipline: a variable touched via sync/atomic is never
 //     read or written plainly (atomicmix);
 //   - goroutine accountability: every `go` statement has a reachable
-//     join or cancel signal (goleak).
+//     join or cancel signal (goleak);
+//
+// and — sharing that engine through internal/lint/schema — the v4
+// serialization contracts:
+//
+//   - wire coverage: every field of a MarshalBinary/UnmarshalBinary
+//     type is read in Marshal's call reach and written in Unmarshal's,
+//     in the same order on both sides (wirecover);
+//   - checkpoint coverage: simulator state structs captured by
+//     internal/snapshot have every field written in the capture path
+//     and read in the restore path (statecover);
+//   - schema locking: a type's field schema fingerprint plus version
+//     byte must match the committed internal/wire/schema.lock; field
+//     changes without a version bump or a `bflint -writeschema`
+//     regeneration fail the lint (schemalock).
 package lint
 
 import (
@@ -56,7 +70,10 @@ import (
 	"bfvlsi/internal/lint/lockcheck"
 	"bfvlsi/internal/lint/maporder"
 	"bfvlsi/internal/lint/overflowcalc"
+	"bfvlsi/internal/lint/schemalock"
+	"bfvlsi/internal/lint/statecover"
 	"bfvlsi/internal/lint/sweepshare"
+	"bfvlsi/internal/lint/wirecover"
 )
 
 // modulePath is the import-path root of this repository.
@@ -122,7 +139,40 @@ func Suite() []*analysis.Analyzer {
 		lockcheck.Analyzer,
 		atomicmix.Analyzer,
 		goleak.Analyzer,
+		wirecover.Analyzer,
+		statecover.Analyzer,
+		schemalock.Analyzer,
 	}
+}
+
+// wirePackages are the packages whose binary marshalers carry the wire
+// round-trip and schema-lock contracts: the wire format itself and the
+// checkpoint frames layered on it.
+var wirePackages = map[string]bool{
+	modulePath + "/internal/wire":     true,
+	modulePath + "/internal/snapshot": true,
+}
+
+// WirePackagePaths returns the packages whose binary marshalers the
+// schema manifest covers, sorted; `bflint -writeschema` loads exactly
+// these, so the manifest and the schemalock binding cannot drift.
+func WirePackagePaths() []string {
+	paths := make([]string, 0, len(wirePackages))
+	for p := range wirePackages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// statePackages are the packages whose State/Restore pairs feed
+// internal/snapshot checkpoints: new simulator state must round-trip
+// through capture and restore.
+var statePackages = map[string]bool{
+	modulePath + "/internal/routing":  true,
+	modulePath + "/internal/reliable": true,
+	modulePath + "/internal/adaptive": true,
+	modulePath + "/internal/snapshot": true,
 }
 
 // AnalyzersFor returns the suite subset that binds to the package with
@@ -147,6 +197,12 @@ func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
 		lockcheck.Analyzer, atomicmix.Analyzer, goleak.Analyzer)
 	if layoutPackages[pkgPath] {
 		out = append(out, overflowcalc.Analyzer)
+	}
+	if wirePackages[pkgPath] {
+		out = append(out, wirecover.Analyzer, schemalock.Analyzer)
+	}
+	if statePackages[pkgPath] {
+		out = append(out, statecover.Analyzer)
 	}
 	if pkgPath == modulePath {
 		out = append(out, facadecheck.Analyzer)

@@ -231,6 +231,8 @@ func TestEveryAnalyzerBindsSomewhere(t *testing.T) {
 		"bfvlsi/internal/faults",
 		"bfvlsi/internal/reliable",
 		"bfvlsi/internal/adaptive",
+		"bfvlsi/internal/wire",
+		"bfvlsi/internal/snapshot",
 		"bfvlsi/internal/experiments",
 		"bfvlsi/internal/thompson",
 		"bfvlsi/internal/dispatch",

@@ -1,0 +1,295 @@
+package schema
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bfvlsi/internal/lint/callgraph"
+)
+
+// An AccessSet is the interprocedural field-access summary of one
+// function's call reach, keyed by the (package-local) named struct a
+// field belongs to. Reads and Writes are coverage facts; ReadOrder and
+// WriteOrder are first-occurrence sequences used for the
+// field-order-agreement check: ReadOrder records only reads that happen
+// inside the arguments of an encoder method call (so guard re-reads do
+// not pollute the encode order), WriteOrder records every field write
+// in source order (decode order on the unmarshal side).
+type AccessSet struct {
+	Reads      map[*types.TypeName]map[string]bool
+	Writes     map[*types.TypeName]map[string]bool
+	ReadOrder  map[*types.TypeName][]string
+	WriteOrder map[*types.TypeName][]string
+}
+
+// Collect walks root and every package-local function its call reach
+// can name (each body spliced once), recording accesses to fields of
+// the relevant struct types.
+func Collect(g *callgraph.Graph, info *types.Info, root *ast.FuncDecl, relevant map[*types.TypeName]bool) *AccessSet {
+	c := &collector{
+		g:        g,
+		info:     info,
+		relevant: relevant,
+		set: &AccessSet{
+			Reads:      map[*types.TypeName]map[string]bool{},
+			Writes:     map[*types.TypeName]map[string]bool{},
+			ReadOrder:  map[*types.TypeName][]string{},
+			WriteOrder: map[*types.TypeName][]string{},
+		},
+		visited: map[*ast.FuncDecl]bool{},
+	}
+	c.process(root)
+	return c.set
+}
+
+type collector struct {
+	g        *callgraph.Graph
+	info     *types.Info
+	relevant map[*types.TypeName]bool
+	set      *AccessSet
+	visited  map[*ast.FuncDecl]bool
+}
+
+func (c *collector) process(decl *ast.FuncDecl) {
+	if decl == nil || decl.Body == nil || c.visited[decl] {
+		return
+	}
+	c.visited[decl] = true
+	ast.Walk(&walker{c: c}, decl.Body)
+}
+
+// walker is the per-context AST visitor; inEnc is true while visiting
+// the arguments of an encoder method call (transitively, through
+// nested conversions and calls).
+type walker struct {
+	c     *collector
+	inEnc bool
+}
+
+func (w *walker) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		w.call(n)
+		return nil
+	case *ast.AssignStmt:
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			// Compound assignment (+=, |=, ...) reads its target too.
+			for _, l := range n.Lhs {
+				ast.Walk(w, l)
+			}
+		}
+		for _, r := range n.Rhs {
+			ast.Walk(w, r)
+		}
+		for _, l := range n.Lhs {
+			w.c.writeChain(w, l)
+		}
+		return nil
+	case *ast.IncDecStmt:
+		ast.Walk(w, n.X)
+		w.c.writeChain(w, n.X)
+		return nil
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			// Taking a field's address may hand it out for writing
+			// (decode(d, &out.Sim)); count it as both read and write.
+			w.c.writeChain(w, n.X)
+		}
+		return w
+	case *ast.CompositeLit:
+		if tn := w.c.litTypeName(n); tn != nil {
+			w.c.composite(w, n, tn)
+			return nil
+		}
+		return w
+	case *ast.SelectorExpr:
+		w.c.selector(w, n)
+		return nil
+	case *ast.FuncLit:
+		ast.Walk(&walker{c: w.c}, n.Body)
+		return nil
+	}
+	return w
+}
+
+// call handles one call expression: the callee expression and receiver
+// are visited in the current context, arguments in an encoder context
+// when the call is an encoder method, pointer-receiver method calls
+// count as writes through their receiver chain, and package-local
+// callees are spliced into the access set.
+func (w *walker) call(n *ast.CallExpr) {
+	c := w.c
+	ast.Walk(w, n.Fun)
+	aw := w
+	if enc := w.inEnc || c.isEncoderCall(n); enc != w.inEnc {
+		aw = &walker{c: c, inEnc: enc}
+	}
+	for _, a := range n.Args {
+		ast.Walk(aw, a)
+	}
+	if fun, ok := callgraph.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+		if sel, ok := c.info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if _, isPtr := sig.Recv().Type().(*types.Pointer); isPtr {
+						c.writeChain(w, fun.X)
+					}
+				}
+			}
+		}
+	}
+	for _, callee := range c.g.CalleesOf(n) {
+		c.process(callee.Decl)
+	}
+}
+
+// isEncoderCall reports whether the call is a method call on an
+// encoder value (the internal `enc` or the exported wire `Encoder`).
+func (c *collector) isEncoderCall(n *ast.CallExpr) bool {
+	fun, ok := callgraph.Unparen(n.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := c.info.Selections[fun]
+	if !ok || sel.Kind() != types.MethodVal {
+		return false
+	}
+	t := sel.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "enc" || name == "Encoder"
+}
+
+// selector records a field read when the selector denotes a field of a
+// relevant struct, then continues into the operand (x.y.z reads y of x
+// as well as z of x.y).
+func (c *collector) selector(w *walker, x *ast.SelectorExpr) {
+	if tn, name, ok := c.fieldSel(x); ok {
+		c.recordRead(tn, name, w.inEnc)
+	}
+	ast.Walk(w, x.X)
+}
+
+// fieldSel resolves a selector expression to (owning struct, field
+// name) when it selects a field of a relevant package-local struct.
+func (c *collector) fieldSel(x *ast.SelectorExpr) (*types.TypeName, string, bool) {
+	sel, ok := c.info.Selections[x]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	t := c.info.TypeOf(x.X)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !c.relevant[named.Obj()] {
+		return nil, "", false
+	}
+	return named.Obj(), x.Sel.Name, true
+}
+
+// writeChain records a write at every relevant selector level of an
+// assignment target (out.Stats.Width = v writes Width of Stats and
+// Stats of the root), walking index operands as reads.
+func (c *collector) writeChain(w *walker, e ast.Expr) {
+	for {
+		switch x := callgraph.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if tn, name, ok := c.fieldSel(x); ok {
+				c.recordWrite(tn, name)
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			ast.Walk(w, x.Index)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// litTypeName resolves a composite literal to a relevant named struct.
+func (c *collector) litTypeName(n *ast.CompositeLit) *types.TypeName {
+	tv, ok := c.info.Types[n]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	if !c.relevant[named.Obj()] {
+		return nil
+	}
+	return named.Obj()
+}
+
+// composite records the field writes a relevant struct literal
+// performs, in element order (keyed literals write the named fields,
+// unkeyed literals write positionally).
+func (c *collector) composite(w *walker, n *ast.CompositeLit, tn *types.TypeName) {
+	st := tn.Type().Underlying().(*types.Struct)
+	for i, e := range n.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			ast.Walk(w, kv.Value)
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				c.recordWrite(tn, id.Name)
+			}
+			continue
+		}
+		ast.Walk(w, e)
+		if i < st.NumFields() {
+			c.recordWrite(tn, st.Field(i).Name())
+		}
+	}
+}
+
+func (c *collector) recordRead(tn *types.TypeName, field string, ordered bool) {
+	m := c.set.Reads[tn]
+	if m == nil {
+		m = map[string]bool{}
+		c.set.Reads[tn] = m
+	}
+	m[field] = true
+	if ordered && !contains(c.set.ReadOrder[tn], field) {
+		c.set.ReadOrder[tn] = append(c.set.ReadOrder[tn], field)
+	}
+}
+
+func (c *collector) recordWrite(tn *types.TypeName, field string) {
+	m := c.set.Writes[tn]
+	if m == nil {
+		m = map[string]bool{}
+		c.set.Writes[tn] = m
+	}
+	m[field] = true
+	if !contains(c.set.WriteOrder[tn], field) {
+		c.set.WriteOrder[tn] = append(c.set.WriteOrder[tn], field)
+	}
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

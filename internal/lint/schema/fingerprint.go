@@ -1,0 +1,126 @@
+package schema
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"bfvlsi/internal/lint/callgraph"
+)
+
+// Fingerprint returns a deterministic SHA-256 (hex) of a struct type's
+// field schema: field names, types, and order, with every named struct
+// reachable through field types — cross-package included — expanded in
+// breadth-first discovery order. Named non-struct types are rendered by
+// their qualified name only (their underlying type is not part of the
+// fingerprint; see DESIGN.md §13 for that soundness limit).
+func Fingerprint(root *types.Named) string {
+	var b strings.Builder
+	qual := func(p *types.Package) string { return p.Path() }
+	seen := map[*types.TypeName]bool{root.Obj(): true}
+	queue := []*types.Named{root}
+	var enqueue func(t types.Type)
+	enqueue = func(t types.Type) {
+		switch t := t.(type) {
+		case *types.Pointer:
+			enqueue(t.Elem())
+		case *types.Slice:
+			enqueue(t.Elem())
+		case *types.Array:
+			enqueue(t.Elem())
+		case *types.Map:
+			enqueue(t.Key())
+			enqueue(t.Elem())
+		case *types.Named:
+			if seen[t.Obj()] {
+				return
+			}
+			if _, ok := t.Underlying().(*types.Struct); ok {
+				seen[t.Obj()] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "type %s struct\n", typeID(n))
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			fmt.Fprintf(&b, "field %s %s\n", f.Name(), types.TypeString(f.Type(), qual))
+			enqueue(f.Type())
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// typeID renders a named type's manifest key: package path dot name.
+func typeID(n *types.Named) string {
+	if p := n.Obj().Pkg(); p != nil {
+		return p.Path() + "." + n.Obj().Name()
+	}
+	return n.Obj().Name()
+}
+
+// TypeID is typeID for external callers (the -writeschema driver and
+// schemalock share the manifest key format through it).
+func TypeID(n *types.Named) string { return typeID(n) }
+
+// VersionOf extracts the version byte a MarshalBinary body passes to
+// its encoder constructor (newEnc or wire.NewEncoder second argument):
+// the constant's source name (VersionFaultSpec) and value. ok is false
+// when no constructor call with a constant version is found in the
+// body itself — helpers are deliberately not searched, so the version
+// stays attributable to the marshaler.
+func VersionOf(info *types.Info, fn *ast.FuncDecl) (name string, value int64, ok bool) {
+	if fn == nil || fn.Body == nil {
+		return "", 0, false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		call, is := n.(*ast.CallExpr)
+		if !is || len(call.Args) < 2 {
+			return true
+		}
+		callee := ""
+		switch f := callgraph.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			callee = f.Name
+		case *ast.SelectorExpr:
+			callee = f.Sel.Name
+		}
+		if callee != "newEnc" && callee != "NewEncoder" {
+			return true
+		}
+		tv, has := info.Types[call.Args[1]]
+		if !has || tv.Value == nil {
+			return true
+		}
+		v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+		if !exact {
+			return true
+		}
+		switch a := callgraph.Unparen(call.Args[1]).(type) {
+		case *ast.Ident:
+			name = a.Name
+		case *ast.SelectorExpr:
+			name = a.Sel.Name
+		default:
+			name = tv.Value.String()
+		}
+		value, ok = v, true
+		return false
+	})
+	return name, value, ok
+}

@@ -1,0 +1,139 @@
+// Package schema is the shared engine behind the serialization-contract
+// analyzers (wirecover, statecover, schemalock): it finds the
+// MarshalBinary/UnmarshalBinary pairs of a package, computes the
+// package-local struct closure a root type drags along, collects
+// interprocedural field-access sets (which fields a function's call
+// reach reads and writes, and in what encoder order), fingerprints a
+// type's field schema deterministically, and reads/writes the committed
+// schema.lock manifest.
+//
+// The access collector rides the internal/lint/callgraph package graph:
+// calls that resolve to package-local functions are spliced (their
+// bodies contribute to the caller's access set, each body at most
+// once), while cross-package and dynamic calls stay opaque. Field-order
+// facts are deliberately encoder-restricted: only a read that occurs in
+// the arguments of a method call on an `enc`/`Encoder` receiver counts
+// toward the marshal order, so validation guards that re-read fields do
+// not perturb it. DESIGN.md §13 records the soundness limits.
+package schema
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// A Marshaler is one type with both halves of the binary-marshaling
+// contract declared in the package under analysis.
+type Marshaler struct {
+	TypeName  *types.TypeName
+	Named     *types.Named
+	Struct    *types.Struct
+	Marshal   *ast.FuncDecl
+	Unmarshal *ast.FuncDecl
+}
+
+// Marshalers returns every package-declared struct type that has both
+// MarshalBinary and UnmarshalBinary methods with bodies, sorted by type
+// name for deterministic iteration.
+func Marshalers(pkg *types.Package, info *types.Info, files []*ast.File) []*Marshaler {
+	byType := map[*types.TypeName]*Marshaler{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if name != "MarshalBinary" && name != "UnmarshalBinary" {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				continue
+			}
+			rt := sig.Recv().Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			named, ok := rt.(*types.Named)
+			if !ok || named.Obj().Pkg() != pkg {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			m := byType[named.Obj()]
+			if m == nil {
+				m = &Marshaler{TypeName: named.Obj(), Named: named, Struct: st}
+				byType[named.Obj()] = m
+			}
+			if name == "MarshalBinary" {
+				m.Marshal = fd
+			} else {
+				m.Unmarshal = fd
+			}
+		}
+	}
+	var out []*Marshaler
+	for _, m := range byType {
+		if m.Marshal != nil && m.Unmarshal != nil {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].TypeName.Name() < out[j].TypeName.Name()
+	})
+	return out
+}
+
+// Closure returns the package-local named struct types reachable from
+// root through struct fields (unwrapping pointers, slices, arrays, and
+// maps), root first, in deterministic field-discovery order. Structs
+// from other packages terminate the walk: no cross-package facts exist
+// at analysis time, so coverage obligations stop at the package border
+// (the fingerprint in schemalock still sees through it).
+func Closure(pkg *types.Package, root *types.Named) []*types.Named {
+	var out []*types.Named
+	seen := map[*types.TypeName]bool{}
+	var visit func(t types.Type)
+	add := func(n *types.Named) {
+		if seen[n.Obj()] {
+			return
+		}
+		seen[n.Obj()] = true
+		if n.Obj().Pkg() != pkg {
+			return
+		}
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		out = append(out, n)
+		for i := 0; i < st.NumFields(); i++ {
+			visit(st.Field(i).Type())
+		}
+	}
+	visit = func(t types.Type) {
+		switch t := t.(type) {
+		case *types.Pointer:
+			visit(t.Elem())
+		case *types.Slice:
+			visit(t.Elem())
+		case *types.Array:
+			visit(t.Elem())
+		case *types.Map:
+			visit(t.Key())
+			visit(t.Elem())
+		case *types.Named:
+			add(t)
+		}
+	}
+	add(root)
+	return out
+}

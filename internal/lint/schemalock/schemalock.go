@@ -1,0 +1,143 @@
+// Package schemalock defines an Analyzer pinning the wire/snapshot
+// field schemas to the committed schema.lock manifest: every
+// MarshalBinary/UnmarshalBinary type's field names/types/order are
+// fingerprinted deterministically and compared — together with the
+// version byte its encoder constructor passes — against the manifest
+// entry. Changing a type's field set without bumping its version
+// constant, or without regenerating the manifest via
+// `bflint -writeschema`, is a lint error; so is a manifest that has
+// drifted from the code in either direction.
+package schemalock
+
+import (
+	"os"
+	"sort"
+
+	"bfvlsi/internal/lint/analysis"
+	"bfvlsi/internal/lint/schema"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "schemalock",
+	Doc: "check every MarshalBinary/UnmarshalBinary type's field schema " +
+		"fingerprint and version byte against the committed schema.lock " +
+		"manifest (regenerate with `bflint -writeschema`); a field-set change " +
+		"must bump the type's version constant",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	marshalers := schema.Marshalers(pass.Pkg, pass.TypesInfo, pass.Files)
+	var nonTest []*schema.Marshaler
+	for _, m := range marshalers {
+		if !pass.InTestFile(m.Marshal.Pos()) && !pass.InTestFile(m.Unmarshal.Pos()) {
+			nonTest = append(nonTest, m)
+		}
+	}
+	if len(nonTest) == 0 {
+		return nil, nil
+	}
+	pkgPos := pass.Files[0].Package
+	dir := pkgDir(pass)
+	path := schema.FindManifest(dir)
+	if path == "" {
+		pass.Reportf(pkgPos, "package %s has binary marshalers but no %s manifest was found: generate one with `bflint -writeschema`",
+			pass.Pkg.Path(), schema.ManifestName)
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		pass.Reportf(pkgPos, "cannot read schema manifest %s: %v", path, err)
+		return nil, nil
+	}
+	manifest, err := schema.ParseManifest(data)
+	if err != nil {
+		pass.Reportf(pkgPos, "cannot parse schema manifest %s: %v", path, err)
+		return nil, nil
+	}
+	present := map[string]bool{}
+	for _, m := range nonTest {
+		key := schema.TypeID(m.Named)
+		present[key] = true
+		verName, version, ok := schema.VersionOf(pass.TypesInfo, m.Marshal)
+		if !ok {
+			pass.Reportf(m.Marshal.Name.Pos(),
+				"cannot determine the version byte of (%s).MarshalBinary: pass a constant version to the encoder constructor",
+				m.TypeName.Name())
+			continue
+		}
+		entry, inLock := manifest[key]
+		if !inLock {
+			pass.Reportf(m.TypeName.Pos(),
+				"%s is not in %s: regenerate the manifest with `bflint -writeschema`",
+				key, schema.ManifestName)
+			continue
+		}
+		fp := schema.Fingerprint(m.Named)
+		switch {
+		case fp == entry.Fingerprint && version == entry.Version:
+			// Locked and matching.
+		case fp != entry.Fingerprint && version == entry.Version:
+			pass.Reportf(m.TypeName.Pos(),
+				"field schema of %s changed but its version byte %s is still %d: bump the version constant and regenerate %s with `bflint -writeschema`",
+				key, verName, version, schema.ManifestName)
+		default:
+			pass.Reportf(m.TypeName.Pos(),
+				"%s is stale for %s (version %d fingerprint %s..., code has version %d fingerprint %s...): regenerate it with `bflint -writeschema`",
+				schema.ManifestName, key, entry.Version, short(entry.Fingerprint), version, short(fp))
+		}
+	}
+	keys := make([]string, 0, len(manifest))
+	for key := range manifest {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if !present[key] && samePackage(key, pass.Pkg.Path()) {
+			pass.Reportf(pkgPos,
+				"%s entry %s (version %d) has no marshaler in this package: regenerate the manifest with `bflint -writeschema`",
+				schema.ManifestName, key, manifest[key].Version)
+		}
+	}
+	return nil, nil
+}
+
+// pkgDir returns the directory holding the package's first file.
+func pkgDir(pass *analysis.Pass) string {
+	name := pass.Fset.Position(pass.Files[0].Pos()).Filename
+	if i := lastSlash(name); i >= 0 {
+		return name[:i]
+	}
+	return "."
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' || s[i] == '\\' {
+			return i
+		}
+	}
+	return -1
+}
+
+// samePackage reports whether a manifest key (<pkgpath>.<Type>) names
+// a type of pkgPath.
+func samePackage(key, pkgPath string) bool {
+	if len(key) <= len(pkgPath)+1 || key[:len(pkgPath)] != pkgPath || key[len(pkgPath)] != '.' {
+		return false
+	}
+	rest := key[len(pkgPath)+1:]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '/' || rest[i] == '.' {
+			return false
+		}
+	}
+	return true
+}
+
+func short(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}

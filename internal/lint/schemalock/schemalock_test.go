@@ -1,0 +1,12 @@
+package schemalock_test
+
+import (
+	"testing"
+
+	"bfvlsi/internal/lint/analysistest"
+	"bfvlsi/internal/lint/schemalock"
+)
+
+func TestSchemalock(t *testing.T) {
+	analysistest.Run(t, "testdata", schemalock.Analyzer, "b", "c", "d")
+}

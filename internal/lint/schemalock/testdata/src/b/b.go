@@ -1,0 +1,25 @@
+// Package b is the schemalock fixture for the version-bump rule: the
+// committed manifest carries this type's old fingerprint under the
+// same version byte, as after a field edit without a bump.
+package b
+
+const versionT = 1
+
+func newEnc(typ, version int) []byte { return []byte{byte(typ), byte(version)} }
+
+type T struct { // want "field schema of b.T changed but its version byte versionT is still 1"
+	A int
+	B int
+}
+
+func (t *T) MarshalBinary() ([]byte, error) {
+	buf := newEnc(1, versionT)
+	buf = append(buf, byte(t.A), byte(t.B))
+	return buf, nil
+}
+
+func (t *T) UnmarshalBinary(data []byte) error {
+	t.A = int(data[2])
+	t.B = int(data[3])
+	return nil
+}

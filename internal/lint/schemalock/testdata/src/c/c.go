@@ -1,0 +1,21 @@
+// Package c is the schemalock fixture for manifest membership drift:
+// a new marshaler missing from the manifest, and a manifest entry
+// whose marshaler is gone.
+package c // want "entry c.Gone \\(version 1\\) has no marshaler in this package"
+
+func newEnc(typ, version int) []byte { return []byte{byte(typ), byte(version)} }
+
+type U struct { // want "c.U is not in schema.lock: regenerate the manifest"
+	A int
+}
+
+func (u *U) MarshalBinary() ([]byte, error) {
+	buf := newEnc(1, 1)
+	buf = append(buf, byte(u.A))
+	return buf, nil
+}
+
+func (u *U) UnmarshalBinary(data []byte) error {
+	u.A = int(data[2])
+	return nil
+}

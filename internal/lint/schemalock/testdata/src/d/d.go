@@ -1,0 +1,23 @@
+// Package d is the schemalock fixture for a doubly stale manifest
+// entry: both the version byte and the fingerprint disagree with the
+// code, so the manifest simply needs regenerating.
+package d
+
+const versionV = 1
+
+func newEnc(typ, version int) []byte { return []byte{byte(typ), byte(version)} }
+
+type V struct { // want "schema.lock is stale for d.V \\(version 2 fingerprint 222222222222"
+	A int
+}
+
+func (v *V) MarshalBinary() ([]byte, error) {
+	buf := newEnc(1, versionV)
+	buf = append(buf, byte(v.A))
+	return buf, nil
+}
+
+func (v *V) UnmarshalBinary(data []byte) error {
+	v.A = int(data[2])
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package statecover defines an Analyzer enforcing checkpoint field
+// coverage on the simulator state structs: a package whose state is
+// captured by internal/snapshot exposes a State() *S capture method
+// and a Restore*-style entry point taking *S, and every field of S
+// (and of every package-local struct nested in S that the path touches
+// per-field) must be written somewhere in the capture path and read
+// somewhere in the restore path. New simulator state therefore cannot
+// silently escape checkpoints: forgetting either half is a lint error.
+package statecover
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bfvlsi/internal/lint/analysis"
+	"bfvlsi/internal/lint/callgraph"
+	"bfvlsi/internal/lint/schema"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "statecover",
+	Doc: "check that snapshot state structs have every field written in the " +
+		"capture path (a State() method returning *S) and read in the restore " +
+		"path (a restore-prefixed function taking S), traced interprocedurally " +
+		"through package-local helpers",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var captures, restores []root
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			if named := captureTarget(pass, fd); named != nil {
+				captures = append(captures, root{fd, named})
+			}
+			if named := restoreTarget(pass, fd); named != nil {
+				restores = append(restores, root{fd, named})
+			}
+		}
+	}
+	if len(captures) == 0 && len(restores) == 0 {
+		return nil, nil
+	}
+	g := callgraph.Build(pass.Pkg, pass.TypesInfo, pass.Files)
+	for _, r := range captures {
+		check(pass, g, r, true)
+	}
+	for _, r := range restores {
+		check(pass, g, r, false)
+	}
+	return nil, nil
+}
+
+type root struct {
+	fn    *ast.FuncDecl
+	state *types.Named
+}
+
+// captureTarget recognizes a capture root: a method or function named
+// State whose single result is *S for a package-local struct S.
+func captureTarget(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Name.Name != "State" {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() != 1 {
+		return nil
+	}
+	return localStruct(pass.Pkg, sig.Results().At(0).Type())
+}
+
+// restoreTarget recognizes a restore root: a function whose name
+// starts with "restore" (any case) and whose last struct-typed
+// parameter is a package-local struct S — that parameter is the state
+// being restored.
+func restoreTarget(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	if !strings.HasPrefix(strings.ToLower(fd.Name.Name), "restore") {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := sig.Params().Len() - 1; i >= 0; i-- {
+		if named := localStruct(pass.Pkg, sig.Params().At(i).Type()); named != nil {
+			return named
+		}
+	}
+	return nil
+}
+
+// localStruct unwraps a pointer and returns the named type when it is
+// a struct declared in pkg.
+func localStruct(pkg *types.Package, t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pkg {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// check enforces coverage over the state struct closure for one root:
+// writes for a capture root, reads for a restore root. As in
+// wirecover, nested structs the path only ever copies whole-value
+// carry no per-field obligation.
+func check(pass *analysis.Pass, g *callgraph.Graph, r root, capture bool) {
+	closure := schema.Closure(pass.Pkg, r.state)
+	relevant := map[*types.TypeName]bool{}
+	for _, n := range closure {
+		relevant[n.Obj()] = true
+	}
+	set := schema.Collect(g, pass.TypesInfo, r.fn, relevant)
+	for _, n := range closure {
+		tn := n.Obj()
+		st := n.Underlying().(*types.Struct)
+		var have map[string]bool
+		if capture {
+			have = set.Writes[tn]
+		} else {
+			have = set.Reads[tn]
+		}
+		if tn != r.state.Obj() && len(have) == 0 {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if have[f.Name()] {
+				continue
+			}
+			if capture {
+				pass.Reportf(fieldPos(pass, f, r.fn.Name.Pos()),
+					"field %s.%s is never written in the capture path %s: checkpoints silently drop it",
+					tn.Name(), f.Name(), r.fn.Name.Name)
+			} else {
+				pass.Reportf(fieldPos(pass, f, r.fn.Name.Pos()),
+					"field %s.%s is never read in the restore path %s: restored runs silently ignore it",
+					tn.Name(), f.Name(), r.fn.Name.Name)
+			}
+		}
+	}
+}
+
+func fieldPos(pass *analysis.Pass, f *types.Var, fallback token.Pos) token.Pos {
+	if pass.Fset.File(f.Pos()) != nil {
+		return f.Pos()
+	}
+	return fallback
+}

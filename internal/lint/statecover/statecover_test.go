@@ -1,0 +1,12 @@
+package statecover_test
+
+import (
+	"testing"
+
+	"bfvlsi/internal/lint/analysistest"
+	"bfvlsi/internal/lint/statecover"
+)
+
+func TestStatecover(t *testing.T) {
+	analysistest.Run(t, "testdata", statecover.Analyzer, "sc")
+}

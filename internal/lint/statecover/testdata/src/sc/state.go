@@ -1,0 +1,88 @@
+// Package sc is the statecover fixture: capture (State) and restore
+// (Restore*) roots over state structs, with dropped fields on both
+// paths and a whole-value copy that exempts its struct from per-field
+// obligations.
+package sc
+
+// Mach is the live object whose learned state round-trips.
+type Mach struct {
+	a, b  int
+	inner Inner
+	whole Copied
+	v     int
+}
+
+// CapState is captured by Mach.State.
+type CapState struct {
+	A     int
+	B     int // want "field CapState.B is never written in the capture path State"
+	In    Inner
+	Whole Copied
+}
+
+// Inner is written per-field by the capture, so full coverage binds.
+type Inner struct {
+	X int
+	Y int // want "field Inner.Y is never written in the capture path State"
+}
+
+// Copied is only ever copied whole-value: no per-field obligation.
+type Copied struct {
+	P int
+	Q int
+}
+
+func (m *Mach) State() *CapState {
+	st := &CapState{A: m.a, Whole: m.whole}
+	st.In.X = m.inner.X
+	return st
+}
+
+// ResState is consumed by RestoreMach.
+type ResState struct {
+	A  int
+	B  int // want "field ResState.B is never read in the restore path RestoreMach"
+	In RInner
+}
+
+// RInner is read per-field by the restore, so full coverage binds.
+type RInner struct {
+	X int
+	Y int // want "field RInner.Y is never read in the restore path RestoreMach"
+}
+
+// Config is a struct parameter before the state: the root is the LAST
+// struct parameter, so Config carries no obligations.
+type Config struct {
+	Z int
+}
+
+func RestoreMach(cfg Config, st *ResState) *Mach {
+	m := &Mach{a: st.A}
+	m.inner.X = st.In.X
+	return m
+}
+
+// Tiny round-trips cleanly through a helper on the restore side.
+type Tiny struct{ v int }
+
+// TinyState is fully covered on both paths.
+type TinyState struct {
+	V int
+}
+
+func (t *Tiny) State() *TinyState { return &TinyState{V: t.v} }
+
+func RestoreTiny(st *TinyState) (*Tiny, error) {
+	if err := checkTiny(st); err != nil {
+		return nil, err
+	}
+	return &Tiny{v: st.V}, nil
+}
+
+// checkTiny is the interprocedural read: coverage traced through the
+// package-local helper, not just the root body.
+func checkTiny(st *TinyState) error {
+	_ = st.V
+	return nil
+}

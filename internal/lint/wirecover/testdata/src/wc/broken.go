@@ -1,0 +1,88 @@
+package wc
+
+// MissingRead drops a field on the encode side: the decoder expects
+// it, the encoder never reads it, frames silently truncate it.
+type MissingRead struct {
+	A int
+	C int // want "field MissingRead.C is never read in the reach of \\(MissingRead\\).MarshalBinary"
+}
+
+func (s *MissingRead) MarshalBinary() ([]byte, error) {
+	e := newEnc(2, 1)
+	e.uint(s.A)
+	return e.buf, nil
+}
+
+func (s *MissingRead) UnmarshalBinary(data []byte) error {
+	d := newDec(data, 2, 1)
+	s.A = d.uint()
+	s.C = d.uint()
+	return d.finish()
+}
+
+// MissingWrite drops a field on the decode side: decoded values leave
+// it zero no matter what the frame carried.
+type MissingWrite struct {
+	A int
+	C int // want "field MissingWrite.C is never written in the reach of \\(MissingWrite\\).UnmarshalBinary"
+}
+
+func (s *MissingWrite) MarshalBinary() ([]byte, error) {
+	e := newEnc(3, 1)
+	e.uint(s.A)
+	e.uint(s.C)
+	return e.buf, nil
+}
+
+func (s *MissingWrite) UnmarshalBinary(data []byte) error {
+	d := newDec(data, 3, 1)
+	s.A = d.uint()
+	return d.finish()
+}
+
+// OrderSwap covers every field on both sides but decodes them in the
+// opposite order, so the wire positions disagree.
+type OrderSwap struct {
+	A int
+	B int
+}
+
+func (s *OrderSwap) MarshalBinary() ([]byte, error) { // want "encodes OrderSwap fields in order \\[A B\\] but UnmarshalBinary decodes \\[B A\\]"
+	e := newEnc(4, 1)
+	e.uint(s.A)
+	e.uint(s.B)
+	return e.buf, nil
+}
+
+func (s *OrderSwap) UnmarshalBinary(data []byte) error {
+	d := newDec(data, 4, 1)
+	s.B = d.uint()
+	s.A = d.uint()
+	return d.finish()
+}
+
+// Outer's nested Pair is touched per-field on both sides, so partial
+// nested coverage is a finding (unlike a whole-value copy, which
+// carries no per-field obligation).
+type Outer struct {
+	Sub Pair
+}
+
+// Pair is covered on the encode side but only half-written on decode.
+type Pair struct {
+	L int
+	R int // want "field Pair.R is never written in the reach of \\(Outer\\).UnmarshalBinary"
+}
+
+func (s *Outer) MarshalBinary() ([]byte, error) {
+	e := newEnc(5, 1)
+	e.uint(s.Sub.L)
+	e.uint(s.Sub.R)
+	return e.buf, nil
+}
+
+func (s *Outer) UnmarshalBinary(data []byte) error {
+	d := newDec(data, 5, 1)
+	s.Sub.L = d.uint()
+	return d.finish()
+}

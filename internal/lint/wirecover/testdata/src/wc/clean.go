@@ -1,0 +1,55 @@
+package wc
+
+// Clean round-trips every field through shared body helpers, with a
+// validation guard that re-reads fields before encoding begins: guard
+// reads must not perturb the encode order the analyzer compares.
+type Clean struct {
+	A    int
+	B    int
+	Subs []Sub
+}
+
+// Sub is a nested struct encoded per-field by the helpers.
+type Sub struct {
+	X int
+	Y int
+}
+
+func (s *Clean) MarshalBinary() ([]byte, error) {
+	if s.B < 0 || s.A < 0 {
+		return nil, nil
+	}
+	e := newEnc(1, 1)
+	s.encodeBody(e)
+	return e.buf, nil
+}
+
+func (s *Clean) encodeBody(e *enc) {
+	e.uint(s.A)
+	e.uint(s.B)
+	e.uint(len(s.Subs))
+	for _, sv := range s.Subs {
+		e.uint(sv.X)
+		e.uint(sv.Y)
+	}
+}
+
+func (s *Clean) UnmarshalBinary(data []byte) error {
+	d := newDec(data, 1, 1)
+	var out Clean
+	out.decodeBody(d)
+	if err := d.finish(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+func (s *Clean) decodeBody(d *dec) {
+	s.A = d.uint()
+	s.B = d.uint()
+	n := d.uint()
+	for i := 0; i < n; i++ {
+		s.Subs = append(s.Subs, Sub{X: d.uint(), Y: d.uint()})
+	}
+}

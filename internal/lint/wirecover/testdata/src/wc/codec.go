@@ -1,0 +1,32 @@
+// Package wc is the wirecover fixture: a miniature of the
+// internal/wire encoder/decoder idiom (named enc/dec types, body
+// helpers shared between marshalers) with round-trip coverage and
+// field-order violations for the analyzer to catch.
+package wc
+
+type enc struct{ buf []byte }
+
+func newEnc(typ, version byte) *enc {
+	return &enc{buf: []byte{'B', 'F', typ, version}}
+}
+
+func (e *enc) uint(v int) { e.buf = append(e.buf, byte(v)) }
+
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func newDec(data []byte, typ, version byte) *dec { return &dec{buf: data, off: 4} }
+
+func (d *dec) uint() int {
+	if d.off >= len(d.buf) {
+		return 0
+	}
+	v := int(d.buf[d.off])
+	d.off++
+	return v
+}
+
+func (d *dec) finish() error { return d.err }

@@ -1,0 +1,133 @@
+// Package wirecover defines an Analyzer enforcing round-trip field
+// coverage on the binary wire format: every field of a type with
+// MarshalBinary/UnmarshalBinary — and of every package-local struct
+// nested in it that the marshaler touches per-field — must be read
+// somewhere in Marshal's call reach and written somewhere in
+// Unmarshal's, and the two sides must agree on field order. "Added a
+// field, forgot to encode it" (or decode it, or encoded it in a
+// different position than the decoder expects) becomes a lint error
+// instead of a cache-corrupting runtime surprise.
+package wirecover
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bfvlsi/internal/lint/analysis"
+	"bfvlsi/internal/lint/callgraph"
+	"bfvlsi/internal/lint/schema"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecover",
+	Doc: "check that every struct field of a MarshalBinary/UnmarshalBinary type " +
+		"is read in the marshal path, written in the unmarshal path (traced " +
+		"interprocedurally through package-local encode/decode helpers), and " +
+		"encoded and decoded in the same field order",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	marshalers := schema.Marshalers(pass.Pkg, pass.TypesInfo, pass.Files)
+	if len(marshalers) == 0 {
+		return nil, nil
+	}
+	g := callgraph.Build(pass.Pkg, pass.TypesInfo, pass.Files)
+	for _, m := range marshalers {
+		if pass.InTestFile(m.Marshal.Pos()) || pass.InTestFile(m.Unmarshal.Pos()) {
+			continue
+		}
+		closure := schema.Closure(pass.Pkg, m.Named)
+		relevant := map[*types.TypeName]bool{}
+		for _, n := range closure {
+			relevant[n.Obj()] = true
+		}
+		mset := schema.Collect(g, pass.TypesInfo, m.Marshal, relevant)
+		uset := schema.Collect(g, pass.TypesInfo, m.Unmarshal, relevant)
+		for _, n := range closure {
+			tn := n.Obj()
+			st := n.Underlying().(*types.Struct)
+			root := tn == m.TypeName
+			// Sub-structs the marshaler never touches per-field on a
+			// side (whole-value copies, or encoding delegated across
+			// the package border) carry no per-field obligation there.
+			if root || len(mset.Reads[tn]) > 0 {
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					if !mset.Reads[tn][f.Name()] {
+						pass.Reportf(fieldPos(pass, f, m.Marshal.Name.Pos()),
+							"field %s.%s is never read in the reach of (%s).MarshalBinary: encode it or the frame silently drops it",
+							tn.Name(), f.Name(), m.TypeName.Name())
+					}
+				}
+			}
+			if root || len(uset.Writes[tn]) > 0 {
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					if !uset.Writes[tn][f.Name()] {
+						pass.Reportf(fieldPos(pass, f, m.Unmarshal.Name.Pos()),
+							"field %s.%s is never written in the reach of (%s).UnmarshalBinary: decoded frames leave it zero",
+							tn.Name(), f.Name(), m.TypeName.Name())
+					}
+				}
+			}
+			checkOrder(pass, m, tn, mset.ReadOrder[tn], uset.WriteOrder[tn])
+		}
+	}
+	return nil, nil
+}
+
+// checkOrder compares the encoder-argument read order of Marshal with
+// the write order of Unmarshal, restricted to the fields both sides
+// order (guard-only reads and presence writes drop out of the
+// comparison).
+func checkOrder(pass *analysis.Pass, m *schema.Marshaler, tn *types.TypeName, morder, uorder []string) {
+	common := map[string]bool{}
+	for _, f := range morder {
+		common[f] = true
+	}
+	ms := filterTo(morder, common, uorder)
+	us := filterTo(uorder, common, nil)
+	if len(ms) != len(us) {
+		return // coverage diagnostics already explain a missing field
+	}
+	for i := range ms {
+		if ms[i] != us[i] {
+			pass.Reportf(m.Marshal.Name.Pos(),
+				"(%s).MarshalBinary encodes %s fields in order [%s] but UnmarshalBinary decodes [%s]: the wire positions disagree",
+				m.TypeName.Name(), tn.Name(), strings.Join(ms, " "), strings.Join(us, " "))
+			return
+		}
+	}
+}
+
+// filterTo keeps the elements of seq present in set (and, when also is
+// non-nil, present in also too).
+func filterTo(seq []string, set map[string]bool, also []string) []string {
+	alsoSet := map[string]bool{}
+	for _, f := range also {
+		alsoSet[f] = true
+	}
+	var out []string
+	for _, f := range seq {
+		if !set[f] {
+			continue
+		}
+		if also != nil && !alsoSet[f] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// fieldPos anchors a diagnostic at the field's declaration when it
+// lies in this package's fileset (types defined as aliases of another
+// package's struct declare their fields elsewhere), else at fallback.
+func fieldPos(pass *analysis.Pass, f *types.Var, fallback token.Pos) token.Pos {
+	if pass.Fset.File(f.Pos()) != nil {
+		return f.Pos()
+	}
+	return fallback
+}

@@ -1,0 +1,12 @@
+package wirecover_test
+
+import (
+	"testing"
+
+	"bfvlsi/internal/lint/analysistest"
+	"bfvlsi/internal/lint/wirecover"
+)
+
+func TestWirecover(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecover.Analyzer, "wc")
+}

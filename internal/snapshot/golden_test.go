@@ -1,0 +1,89 @@
+package snapshot
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden snapshot frames")
+
+// TestGoldenFrames pins the encoded bytes of the snapshot wire types —
+// a fully loaded Spec and a mid-run Checkpoint of the deepest stack
+// (VC + faults + reliable + adaptive) — against committed frames. The
+// checkpoint is deterministic by the restore-determinism contract, so
+// its bytes are a stable fingerprint of both the encoder and the
+// simulator. Regenerate deliberately with
+// `go test ./internal/snapshot -run TestGoldenFrames -update`.
+func TestGoldenFrames(t *testing.T) {
+	specs := testSpecs()
+	spec := specs[len(specs)-1].Spec // vc-faults-reliable-adaptive
+	run, err := Start(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.StepTo(45); err != nil {
+		t.Fatal(err)
+	}
+	ck := run.Checkpoint()
+
+	frames := []struct {
+		name string
+		data func() ([]byte, error)
+	}{
+		{"spec", spec.MarshalBinary},
+		{"checkpoint", ck.MarshalBinary},
+	}
+	for _, fr := range frames {
+		t.Run(fr.name, func(t *testing.T) {
+			got, err := fr.data()
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			path := filepath.Join("testdata", "golden", fr.name+".bin")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden frame missing (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("encoding of %s drifted from the golden frame (%d vs %d bytes)", fr.name, len(got), len(want))
+			}
+		})
+	}
+
+	// The committed checkpoint must still decode and resume: archived
+	// checkpoints written by old binaries stay usable.
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "checkpoint.bin"))
+	if err != nil {
+		t.Fatalf("golden checkpoint missing (regenerate with -update): %v", err)
+	}
+	var dec Checkpoint
+	if err := dec.UnmarshalBinary(want); err != nil {
+		t.Fatalf("committed checkpoint no longer decodes: %v", err)
+	}
+	again, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatalf("re-marshal of committed checkpoint: %v", err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Error("decode+re-encode of the committed checkpoint differs")
+	}
+	restored, err := dec.Restore(nil)
+	if err != nil {
+		t.Fatalf("committed checkpoint does not restore: %v", err)
+	}
+	if restored.Sim.Cycle() != 45 {
+		t.Errorf("restored run resumes at cycle %d, want 45", restored.Sim.Cycle())
+	}
+}

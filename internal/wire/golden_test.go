@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden wire frames")
+
+// TestGoldenFrames pins the encoded bytes of every wire type against
+// committed frames: schema.lock freezes the field schema, this corpus
+// freezes the actual byte layout. An encoding change that slips past
+// the analyzers (e.g. a varint width tweak) fails here. Regenerate
+// deliberately with `go test ./internal/wire -run TestGoldenFrames -update`.
+func TestGoldenFrames(t *testing.T) {
+	for name, v := range sampleValues(t) {
+		t.Run(name, func(t *testing.T) {
+			got, err := v.MarshalBinary()
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			path := filepath.Join("testdata", "golden", name+".bin")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden frame missing (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("encoding of %s drifted from the golden frame:\n got %x\nwant %x", name, got, want)
+			}
+			// The committed frame must still decode, and re-encode to
+			// itself: on-disk caches and archived sweep results written
+			// by old binaries stay readable.
+			dec := newValue(v)
+			if err := dec.UnmarshalBinary(want); err != nil {
+				t.Fatalf("committed frame no longer decodes: %v", err)
+			}
+			again, err := dec.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-marshal of committed frame: %v", err)
+			}
+			if !bytes.Equal(again, want) {
+				t.Errorf("decode+re-encode of the committed frame differs:\n got %x\nwant %x", again, want)
+			}
+		})
+	}
+}

@@ -7,7 +7,7 @@
 //
 //	byte 0-1  magic "BF"
 //	byte 2    type tag (one per marshalable type; see the Type constants)
-//	byte 3    format version of that type (currently 1 everywhere)
+//	byte 3    format version of that type (see the Version constants)
 //	byte 4-   body
 //
 // and the body is built from four primitives: minimal-length unsigned
@@ -34,6 +34,14 @@
 //     hole in the tag space.
 //   - Corrupt input must produce an error, never a panic; the fuzzers
 //     in fuzz_test.go enforce this.
+//
+// The field schema of every marshalable type is pinned by the committed
+// schema.lock manifest in this directory, checked by the schemalock
+// analyzer (see DESIGN.md section 13). To change a type's fields:
+// bump its Version constant below, update both encode and decode paths
+// (the wirecover analyzer checks they stay mirror images), regenerate
+// the manifest with `bflint -writeschema`, and refresh the golden
+// frames with `go test ./internal/wire -run TestGoldenFrames -update`.
 package wire
 
 import (
